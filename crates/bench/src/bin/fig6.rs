@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig6 from a full pipeline run.
+//! Usage: `cargo run -p malnet-bench --release --bin fig6 -- [--samples N] [--seed S] [--fast]`
+
+use malnet_bench::{parse_args, run_study, render};
+
+fn main() {
+    let opts = parse_args();
+    let (world, data, vendors) = run_study(&opts);
+    let late = malnet_netsim::time::STUDY_DAYS + 45;
+    let _ = (&world, &vendors, late);
+    print!("{}", render::fig5_fig6_fig7(&data));
+}

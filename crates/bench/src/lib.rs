@@ -1,0 +1,98 @@
+//! # malnet-bench — table/figure regeneration and benchmarks
+//!
+//! One binary per paper artefact (`table1` … `fig13`, `stats`,
+//! `repro-all`) regenerates the corresponding rows/series from a full
+//! pipeline run and prints them next to the paper's reported values.
+//! Criterion benches (`benches/components.rs`) measure the performance
+//! of every pipeline component; ablation binaries sweep the design knobs
+//! DESIGN.md calls out.
+//!
+//! All binaries accept `--samples N` (default 1447) and `--seed S`
+//! (default 22); smaller corpora run in seconds and preserve the shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+
+use malnet_botgen::world::{Calibration, World, WorldConfig};
+use malnet_core::{Datasets, Pipeline, PipelineOpts};
+use malnet_intel::VendorDb;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Corpus size.
+    pub samples: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Use fast (reduced-duration) pipeline settings.
+    pub fast: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            samples: 1447,
+            seed: 22,
+            fast: false,
+        }
+    }
+}
+
+/// Parse `--samples N --seed S --fast` from argv.
+pub fn parse_args() -> RunOpts {
+    let mut opts = RunOpts::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--samples" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.samples = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.seed = v;
+                    i += 1;
+                }
+            }
+            "--fast" => opts.fast = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    opts
+}
+
+/// Generate the world and run the full pipeline once.
+pub fn run_study(opts: &RunOpts) -> (World, Datasets, VendorDb) {
+    let world = World::generate(WorldConfig {
+        seed: opts.seed,
+        n_samples: opts.samples,
+        cal: Calibration::default(),
+    });
+    let popts = if opts.fast {
+        PipelineOpts {
+            seed: opts.seed,
+            ..PipelineOpts::fast()
+        }
+    } else {
+        PipelineOpts {
+            seed: opts.seed,
+            // The paper's parameters, scaled to what the discrete-event
+            // simulation needs: a 7-minute contained run reaches the
+            // handshaker threshold; restricted sessions must outlast the
+            // latest scheduled command (28 min + attack duration).
+            contained_secs: 420,
+            restricted_secs: 4200,
+            probe_rounds: 84,
+            probe_hosts_per_subnet: 120,
+            ..Default::default()
+        }
+    };
+    let (data, vendors) = Pipeline::new(popts).run(&world);
+    (world, data, vendors)
+}

@@ -1,0 +1,171 @@
+//! Synthetic malware binary emission: bytecode + blob → a genuine MIPS
+//! ELF executable.
+//!
+//! Layout (see [`crate::stub`] for the address map):
+//!
+//! * `.text` — the shared interpreter stub.
+//! * `.rodata` — the config header, the sample's bytecode program, and
+//!   its data blob (C2 addresses, exploit payloads, protocol strings).
+//!   Everything an analyst's `strings`/static pass would find in a real
+//!   sample lives here.
+//! * `.bss` — VM registers + RBUF, zero-filled at load.
+//!
+//! Each sample also receives a per-sample **junk pad** in `.rodata` so
+//! that file hashes differ across samples of the same family — mirroring
+//! the polymorphic re-packing of real feeds.
+
+use malnet_mips::elf::{ElfFile, ElfSegment};
+
+use crate::stub::{self, BSS_SIZE, CONFIG_MAGIC};
+
+/// A compiled bot: bytecode plus blob, ready for wrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BotProgram {
+    /// Bytecode records ([`crate::botvm`] encoding).
+    pub bytecode: Vec<u8>,
+    /// Data blob referenced by blob offsets in the bytecode.
+    pub blob: Vec<u8>,
+}
+
+/// Wrap a program into an ELF executable image.
+///
+/// `junk` is appended after the blob to diversify hashes; it is dead data
+/// the program never references.
+pub fn emit_elf(program: &BotProgram, junk: &[u8]) -> Vec<u8> {
+    let header_len = 20u32;
+    let bytecode_off = header_len;
+    let blob_off = bytecode_off + program.bytecode.len() as u32;
+    let mut rodata = Vec::with_capacity(
+        header_len as usize + program.bytecode.len() + program.blob.len() + junk.len(),
+    );
+    rodata.extend_from_slice(CONFIG_MAGIC);
+    rodata.extend_from_slice(&bytecode_off.to_be_bytes());
+    rodata.extend_from_slice(&(program.bytecode.len() as u32).to_be_bytes());
+    rodata.extend_from_slice(&blob_off.to_be_bytes());
+    rodata.extend_from_slice(&(program.blob.len() as u32).to_be_bytes());
+    rodata.extend_from_slice(&program.bytecode);
+    rodata.extend_from_slice(&program.blob);
+    rodata.extend_from_slice(junk);
+
+    let text = stub::build_stub();
+    let elf = ElfFile {
+        entry: stub::TEXT_BASE,
+        segments: vec![
+            ElfSegment {
+                vaddr: stub::TEXT_BASE,
+                memsz: text.len() as u32,
+                data: text,
+                writable: false,
+                executable: true,
+                name: ".text",
+            },
+            ElfSegment {
+                vaddr: stub::RODATA_BASE,
+                memsz: rodata.len() as u32,
+                data: rodata,
+                writable: false,
+                executable: false,
+                name: ".rodata",
+            },
+            ElfSegment {
+                vaddr: stub::BSS_BASE,
+                data: vec![],
+                memsz: BSS_SIZE,
+                writable: true,
+                executable: false,
+                name: ".bss",
+            },
+        ],
+    };
+    elf.write()
+}
+
+/// Recover the bytecode and blob from an emitted ELF (static-analysis
+/// side; also used by tests).
+pub fn extract_program(elf_bytes: &[u8]) -> Option<BotProgram> {
+    let elf = ElfFile::parse(elf_bytes).ok()?;
+    let rodata = elf
+        .segments
+        .iter()
+        .find(|s| !s.executable && !s.writable && !s.data.is_empty())?;
+    let d = &rodata.data;
+    if d.len() < 20 || &d[0..4] != CONFIG_MAGIC {
+        return None;
+    }
+    let u32_at = |i: usize| u32::from_be_bytes([d[i], d[i + 1], d[i + 2], d[i + 3]]) as usize;
+    let bc_off = u32_at(4);
+    let bc_len = u32_at(8);
+    let blob_off = u32_at(12);
+    let blob_len = u32_at(16);
+    Some(BotProgram {
+        bytecode: d.get(bc_off..bc_off + bc_len)?.to_vec(),
+        blob: d.get(blob_off..blob_off + blob_len)?.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::botvm::{Op, ProgramBuilder};
+    use malnet_mips::elf::ElfFile;
+
+    fn tiny_program() -> BotProgram {
+        let mut b = ProgramBuilder::new();
+        let (off, len) = b.blob_str("http://10.1.0.5/t8UsA2.sh");
+        b.op(Op::Ldi { r: 0, a: off })
+            .op(Op::Ldi { r: 1, a: len })
+            .op(Op::End);
+        let (bytecode, blob) = b.build();
+        BotProgram { bytecode, blob }
+    }
+
+    #[test]
+    fn emit_and_extract_roundtrip() {
+        let p = tiny_program();
+        let elf = emit_elf(&p, b"JUNKJUNK");
+        let q = extract_program(&elf).expect("extract");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn emitted_elf_is_valid_mips_exec() {
+        let elf_bytes = emit_elf(&tiny_program(), &[]);
+        let elf = ElfFile::parse(&elf_bytes).unwrap();
+        assert_eq!(elf.entry, crate::stub::TEXT_BASE);
+        assert_eq!(elf.segments.len(), 3);
+        assert!(elf.segments[0].executable);
+        assert_eq!(elf.segments[2].memsz, BSS_SIZE);
+    }
+
+    #[test]
+    fn strings_pass_finds_iocs_in_emitted_binary() {
+        let elf_bytes = emit_elf(&tiny_program(), &[]);
+        let elf = ElfFile::parse(&elf_bytes).unwrap();
+        let strings = elf.strings(8);
+        assert!(
+            strings.iter().any(|s| s.contains("http://10.1.0.5/t8UsA2.sh")),
+            "{strings:?}"
+        );
+    }
+
+    #[test]
+    fn junk_changes_hash_not_program() {
+        let p = tiny_program();
+        let e1 = emit_elf(&p, b"AAAA");
+        let e2 = emit_elf(&p, b"BBBB");
+        assert_ne!(e1, e2);
+        assert_eq!(extract_program(&e1), extract_program(&e2));
+    }
+
+    #[test]
+    fn corrupt_magic_extracts_none() {
+        let mut elf_bytes = emit_elf(&tiny_program(), &[]);
+        // Find and corrupt the MNBC magic.
+        let pos = elf_bytes
+            .windows(4)
+            .position(|w| w == CONFIG_MAGIC)
+            .unwrap();
+        elf_bytes[pos] = b'X';
+        assert!(extract_program(&elf_bytes).is_none());
+    }
+}

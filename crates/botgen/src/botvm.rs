@@ -1,0 +1,551 @@
+//! The bot bytecode ISA ("MNBC"): the behaviour language compiled into
+//! every synthetic malware binary.
+//!
+//! A real IoT bot is a C program compiled to MIPS. Ours is a bytecode
+//! program interpreted by a hand-written MIPS stub (see [`crate::stub`]),
+//! which keeps every *observable* property authentic — the file is a real
+//! MIPS ELF, executing it runs real MIPS instructions, and all behaviour
+//! flows through real Linux o32 syscalls — while letting the corpus
+//! generator express family logic (C2 check-in, command parsing, scanning,
+//! exploitation, floods) compactly.
+//!
+//! ## Encoding
+//!
+//! Fixed 16-byte records, big-endian:
+//! `op:u8  r:u8  x:u8  y:u8  a:u32  b:u32  c:u32`
+//!
+//! The VM has 16 registers (`r0..r15`, u32), a 4 KiB working buffer
+//! ("RBUF": receive area at offset 0, packet-craft area at
+//! [`CRAFT_OFF`]), and read-only access to the binary's data blob
+//! (strings, payload templates) in `.rodata`.
+
+use std::fmt;
+
+/// Number of VM registers.
+pub const NUM_REGS: usize = 16;
+/// Size of the VM working buffer.
+pub const RBUF_SIZE: u32 = 4096;
+/// Offset within RBUF where packet-crafting scratch space starts.
+pub const CRAFT_OFF: u32 = 2048;
+/// Bytes per bytecode record.
+pub const RECORD_SIZE: usize = 16;
+
+/// Socket types for [`Op::Socket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SockKind {
+    /// TCP stream socket.
+    Tcp,
+    /// UDP datagram socket.
+    Udp,
+    /// Raw socket carrying hand-built TCP segments (SYN floods).
+    RawTcp,
+    /// Raw socket carrying hand-built ICMP messages (BLACKNURSE).
+    RawIcmp,
+}
+
+impl SockKind {
+    /// Encoding used in the `x` field.
+    pub fn code(self) -> u8 {
+        match self {
+            SockKind::Tcp => 0,
+            SockKind::Udp => 1,
+            SockKind::RawTcp => 2,
+            SockKind::RawIcmp => 3,
+        }
+    }
+
+    /// Decode from the `x` field.
+    pub fn from_code(c: u8) -> Option<Self> {
+        Some(match c {
+            0 => SockKind::Tcp,
+            1 => SockKind::Udp,
+            2 => SockKind::RawTcp,
+            3 => SockKind::RawIcmp,
+            _ => return None,
+        })
+    }
+}
+
+/// A VM register index (0..16).
+pub type VReg = u8;
+
+/// One bytecode instruction.
+///
+/// Field conventions: `dst`/`r*` are VM register indices; `a`/`b`/`c`
+/// are 32-bit immediates; "blob" offsets index the binary's `.rodata`
+/// data blob; "rbuf" offsets index the working buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Op {
+    /// Terminate the process (`exit(0)`).
+    End,
+    /// `r = a`.
+    Ldi { r: VReg, a: u32 },
+    /// `r = x`.
+    Mov { r: VReg, x: VReg },
+    Add { r: VReg, x: VReg, y: VReg },
+    Sub { r: VReg, x: VReg, y: VReg },
+    Mul { r: VReg, x: VReg, y: VReg },
+    /// `r = x + a` (also subtract via wrapping).
+    Addi { r: VReg, x: VReg, a: u32 },
+    And { r: VReg, x: VReg, y: VReg },
+    Or { r: VReg, x: VReg, y: VReg },
+    Shr { r: VReg, x: VReg, a: u32 },
+    Shl { r: VReg, x: VReg, a: u32 },
+    /// Unsigned modulo: `r = x % y` (y must be nonzero).
+    Mod { r: VReg, x: VReg, y: VReg },
+    /// Unconditional jump to record index `a`.
+    Jmp { a: u32 },
+    /// Jump to `a` if `x == y`.
+    Jeq { x: VReg, y: VReg, a: u32 },
+    /// Jump to `a` if `x != y`.
+    Jne { x: VReg, y: VReg, a: u32 },
+    /// Jump to `a` if `x < y` (unsigned).
+    Jlt { x: VReg, y: VReg, a: u32 },
+    /// `r = random u32` (getrandom syscall).
+    Rand { r: VReg },
+    /// Sleep `a` milliseconds (nanosleep).
+    SleepMs { a: u32 },
+    /// Sleep `reg[x]` milliseconds.
+    SleepR { x: VReg },
+    /// `r = socket(kind)`.
+    Socket { r: VReg, kind: SockKind },
+    /// Connect fd `x` to ip `reg[y]`, port: `a` if nonzero else `reg[r]`…
+    /// result (0 ok / -1 fail) in `reg[r]` — when `a == 0`, the port is
+    /// taken from `reg[b]` (b is a register index here).
+    Connect { r: VReg, x: VReg, y: VReg, a: u32, b: u32 },
+    /// `send(fd=x, blob[a..a+b])`.
+    Send { x: VReg, a: u32, b: u32 },
+    /// `send(fd=x, rbuf[reg[y]..reg[y]+reg[b]])` (b is a register index).
+    SendR { x: VReg, y: VReg, b: u32 },
+    /// `r = recv(fd=x)` into RBUF[0..]; `a` = timeout ms; -1 on
+    /// timeout/closed.
+    Recv { r: VReg, x: VReg, a: u32 },
+    /// Orderly close of fd `x`.
+    Close { x: VReg },
+    /// Abortive close (RST) of fd `x`.
+    Abort { x: VReg },
+    /// `sendto(fd=x, ip=reg[y], port=(a nonzero ? a : reg[r]),
+    /// blob[b..b+c])`.
+    SendTo { x: VReg, y: VReg, r: VReg, a: u32, b: u32, c: u32 },
+    /// `sendto` from RBUF: `sendto(fd=x, ip=reg[y], port=reg[r],
+    /// rbuf[a..a+b])` — used for crafted floods with varying bytes.
+    SendToR { x: VReg, y: VReg, r: VReg, a: u32, b: u32 },
+    /// `r = recvfrom(fd=x)` into RBUF[0..]; `a` = timeout ms.
+    RecvFrom { r: VReg, x: VReg, a: u32 },
+    /// `r = rbuf[reg[x]]` (byte load).
+    Ldb { r: VReg, x: VReg },
+    /// `r = BE u32 at rbuf[reg[x]]` (unaligned ok).
+    Ldw { r: VReg, x: VReg },
+    /// `rbuf[reg[x]] = low byte of reg[y]`.
+    Stb { x: VReg, y: VReg },
+    /// Copy `blob[a..a+b]` into rbuf at offset `c`.
+    Cpy { a: u32, b: u32, c: u32 },
+    /// Parse dotted-quad ASCII at `rbuf[reg[x]]` → `reg[r]`; advances
+    /// `reg[x]` past the address. On failure `reg[r] = 0`.
+    ParseIp { r: VReg, x: VReg },
+    /// Parse decimal ASCII at `rbuf[reg[x]]` → `reg[r]`; advances `reg[x]`.
+    ParseNum { r: VReg, x: VReg },
+    /// Advance `reg[x]` past spaces.
+    SkipSp { x: VReg },
+    /// `reg[r] = 1` if `rbuf[reg[x]..]` starts with `blob[a..a+b]`, else 0.
+    Match { r: VReg, x: VReg, a: u32, b: u32 },
+    /// Send a raw transport payload: `fd=x` must be a raw socket; payload
+    /// is rbuf[a..a+b]; destination ip `reg[y]`. For RawTcp the payload is
+    /// a 20-byte TCP header the program crafted; for RawIcmp an ICMP
+    /// message.
+    RawSend { x: VReg, y: VReg, a: u32, b: u32 },
+}
+
+impl Op {
+    /// Opcode byte.
+    pub fn code(&self) -> u8 {
+        match self {
+            Op::End => 0,
+            Op::Ldi { .. } => 1,
+            Op::Mov { .. } => 2,
+            Op::Add { .. } => 3,
+            Op::Sub { .. } => 4,
+            Op::Mul { .. } => 5,
+            Op::Addi { .. } => 6,
+            Op::And { .. } => 7,
+            Op::Or { .. } => 8,
+            Op::Shr { .. } => 9,
+            Op::Shl { .. } => 10,
+            Op::Mod { .. } => 11,
+            Op::Jmp { .. } => 12,
+            Op::Jeq { .. } => 13,
+            Op::Jne { .. } => 14,
+            Op::Jlt { .. } => 15,
+            Op::Rand { .. } => 16,
+            Op::SleepMs { .. } => 17,
+            Op::SleepR { .. } => 18,
+            Op::Socket { .. } => 19,
+            Op::Connect { .. } => 20,
+            Op::Send { .. } => 21,
+            Op::SendR { .. } => 22,
+            Op::Recv { .. } => 23,
+            Op::Close { .. } => 24,
+            Op::Abort { .. } => 25,
+            Op::SendTo { .. } => 26,
+            Op::SendToR { .. } => 27,
+            Op::RecvFrom { .. } => 28,
+            Op::Ldb { .. } => 29,
+            Op::Ldw { .. } => 30,
+            Op::Stb { .. } => 31,
+            Op::Cpy { .. } => 32,
+            Op::ParseIp { .. } => 33,
+            Op::ParseNum { .. } => 34,
+            Op::SkipSp { .. } => 35,
+            Op::Match { .. } => 36,
+            Op::RawSend { .. } => 37,
+        }
+    }
+
+    /// Encode to a 16-byte record.
+    pub fn encode(&self) -> [u8; RECORD_SIZE] {
+        let mut rec = [0u8; RECORD_SIZE];
+        rec[0] = self.code();
+        let (r, x, y, a, b, c) = match *self {
+            Op::End => (0, 0, 0, 0, 0, 0),
+            Op::Ldi { r, a } => (r, 0, 0, a, 0, 0),
+            Op::Mov { r, x } => (r, x, 0, 0, 0, 0),
+            Op::Add { r, x, y } | Op::Sub { r, x, y } | Op::Mul { r, x, y } => (r, x, y, 0, 0, 0),
+            Op::Addi { r, x, a } => (r, x, 0, a, 0, 0),
+            Op::And { r, x, y } | Op::Or { r, x, y } | Op::Mod { r, x, y } => (r, x, y, 0, 0, 0),
+            Op::Shr { r, x, a } | Op::Shl { r, x, a } => (r, x, 0, a, 0, 0),
+            Op::Jmp { a } => (0, 0, 0, a, 0, 0),
+            Op::Jeq { x, y, a } | Op::Jne { x, y, a } | Op::Jlt { x, y, a } => (0, x, y, a, 0, 0),
+            Op::Rand { r } => (r, 0, 0, 0, 0, 0),
+            Op::SleepMs { a } => (0, 0, 0, a, 0, 0),
+            Op::SleepR { x } => (0, x, 0, 0, 0, 0),
+            Op::Socket { r, kind } => (r, kind.code(), 0, 0, 0, 0),
+            Op::Connect { r, x, y, a, b } => (r, x, y, a, b, 0),
+            Op::Send { x, a, b } => (0, x, 0, a, b, 0),
+            Op::SendR { x, y, b } => (0, x, y, 0, b, 0),
+            Op::Recv { r, x, a } => (r, x, 0, a, 0, 0),
+            Op::Close { x } => (0, x, 0, 0, 0, 0),
+            Op::Abort { x } => (0, x, 0, 0, 0, 0),
+            Op::SendTo { x, y, r, a, b, c } => (r, x, y, a, b, c),
+            Op::SendToR { x, y, r, a, b } => (r, x, y, a, b, 0),
+            Op::RecvFrom { r, x, a } => (r, x, 0, a, 0, 0),
+            Op::Ldb { r, x } | Op::Ldw { r, x } => (r, x, 0, 0, 0, 0),
+            Op::Stb { x, y } => (0, x, y, 0, 0, 0),
+            Op::Cpy { a, b, c } => (0, 0, 0, a, b, c),
+            Op::ParseIp { r, x } | Op::ParseNum { r, x } => (r, x, 0, 0, 0, 0),
+            Op::SkipSp { x } => (0, x, 0, 0, 0, 0),
+            Op::Match { r, x, a, b } => (r, x, 0, a, b, 0),
+            Op::RawSend { x, y, a, b } => (0, x, y, a, b, 0),
+        };
+        rec[1] = r;
+        rec[2] = x;
+        rec[3] = y;
+        rec[4..8].copy_from_slice(&a.to_be_bytes());
+        rec[8..12].copy_from_slice(&b.to_be_bytes());
+        rec[12..16].copy_from_slice(&c.to_be_bytes());
+        rec
+    }
+
+    /// Decode one record.
+    pub fn decode(rec: &[u8]) -> Option<Op> {
+        if rec.len() < RECORD_SIZE {
+            return None;
+        }
+        let r = rec[1];
+        let x = rec[2];
+        let y = rec[3];
+        let a = u32::from_be_bytes([rec[4], rec[5], rec[6], rec[7]]);
+        let b = u32::from_be_bytes([rec[8], rec[9], rec[10], rec[11]]);
+        let c = u32::from_be_bytes([rec[12], rec[13], rec[14], rec[15]]);
+        Some(match rec[0] {
+            0 => Op::End,
+            1 => Op::Ldi { r, a },
+            2 => Op::Mov { r, x },
+            3 => Op::Add { r, x, y },
+            4 => Op::Sub { r, x, y },
+            5 => Op::Mul { r, x, y },
+            6 => Op::Addi { r, x, a },
+            7 => Op::And { r, x, y },
+            8 => Op::Or { r, x, y },
+            9 => Op::Shr { r, x, a },
+            10 => Op::Shl { r, x, a },
+            11 => Op::Mod { r, x, y },
+            12 => Op::Jmp { a },
+            13 => Op::Jeq { x, y, a },
+            14 => Op::Jne { x, y, a },
+            15 => Op::Jlt { x, y, a },
+            16 => Op::Rand { r },
+            17 => Op::SleepMs { a },
+            18 => Op::SleepR { x },
+            19 => Op::Socket {
+                r,
+                kind: SockKind::from_code(x)?,
+            },
+            20 => Op::Connect { r, x, y, a, b },
+            21 => Op::Send { x, a, b },
+            22 => Op::SendR { x, y, b },
+            23 => Op::Recv { r, x, a },
+            24 => Op::Close { x },
+            25 => Op::Abort { x },
+            26 => Op::SendTo { x, y, r, a, b, c },
+            27 => Op::SendToR { x, y, r, a, b },
+            28 => Op::RecvFrom { r, x, a },
+            29 => Op::Ldb { r, x },
+            30 => Op::Ldw { r, x },
+            31 => Op::Stb { x, y },
+            32 => Op::Cpy { a, b, c },
+            33 => Op::ParseIp { r, x },
+            34 => Op::ParseNum { r, x },
+            35 => Op::SkipSp { x },
+            36 => Op::Match { r, x, a, b },
+            37 => Op::RawSend { x, y, a, b },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A label-aware bytecode program builder plus its data blob.
+#[derive(Debug, Default, Clone)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    fixups: Vec<(usize, String)>,
+    labels: std::collections::HashMap<String, u32>,
+    blob: Vec<u8>,
+}
+
+impl ProgramBuilder {
+    /// Empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an op.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Define a label at the current record index.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        let idx = self.ops.len() as u32;
+        assert!(
+            self.labels.insert(name.to_string(), idx).is_none(),
+            "duplicate bytecode label {name}"
+        );
+        self
+    }
+
+    /// Append a jump-family op whose target is a label, fixed up at build.
+    pub fn jump(&mut self, op: Op, label: &str) -> &mut Self {
+        self.fixups.push((self.ops.len(), label.to_string()));
+        self.ops.push(op);
+        self
+    }
+
+    /// Intern bytes into the blob, returning `(offset, len)`.
+    pub fn blob(&mut self, bytes: &[u8]) -> (u32, u32) {
+        let off = self.blob.len() as u32;
+        self.blob.extend_from_slice(bytes);
+        (off, bytes.len() as u32)
+    }
+
+    /// Intern a string into the blob.
+    pub fn blob_str(&mut self, s: &str) -> (u32, u32) {
+        self.blob(s.as_bytes())
+    }
+
+    /// Current record count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no ops have been added.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Resolve labels and produce `(bytecode, blob)`.
+    pub fn build(mut self) -> (Vec<u8>, Vec<u8>) {
+        for (idx, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined bytecode label {label}"));
+            match &mut self.ops[*idx] {
+                Op::Jmp { a } | Op::Jeq { a, .. } | Op::Jne { a, .. } | Op::Jlt { a, .. } => {
+                    *a = target;
+                }
+                other => panic!("jump fixup on non-jump {other:?}"),
+            }
+        }
+        let mut code = Vec::with_capacity(self.ops.len() * RECORD_SIZE);
+        for op in &self.ops {
+            code.extend_from_slice(&op.encode());
+        }
+        (code, self.blob)
+    }
+}
+
+/// Decode a whole bytecode buffer (for tests and analyst tooling).
+pub fn decode_all(code: &[u8]) -> Option<Vec<Op>> {
+    if code.len() % RECORD_SIZE != 0 {
+        return None;
+    }
+    code.chunks_exact(RECORD_SIZE).map(Op::decode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ops_roundtrip() {
+        let ops = vec![
+            Op::End,
+            Op::Ldi { r: 3, a: 0xdeadbeef },
+            Op::Mov { r: 1, x: 2 },
+            Op::Add { r: 1, x: 2, y: 3 },
+            Op::Sub { r: 1, x: 2, y: 3 },
+            Op::Mul { r: 1, x: 2, y: 3 },
+            Op::Addi { r: 1, x: 2, a: 77 },
+            Op::And { r: 1, x: 2, y: 3 },
+            Op::Or { r: 1, x: 2, y: 3 },
+            Op::Shr { r: 1, x: 2, a: 8 },
+            Op::Shl { r: 1, x: 2, a: 16 },
+            Op::Mod { r: 1, x: 2, y: 3 },
+            Op::Jmp { a: 9 },
+            Op::Jeq { x: 1, y: 2, a: 5 },
+            Op::Jne { x: 1, y: 2, a: 5 },
+            Op::Jlt { x: 1, y: 2, a: 5 },
+            Op::Rand { r: 7 },
+            Op::SleepMs { a: 250 },
+            Op::SleepR { x: 4 },
+            Op::Socket {
+                r: 0,
+                kind: SockKind::RawIcmp,
+            },
+            Op::Connect {
+                r: 1,
+                x: 0,
+                y: 2,
+                a: 23,
+                b: 0,
+            },
+            Op::Send { x: 0, a: 4, b: 10 },
+            Op::SendR { x: 0, y: 1, b: 2 },
+            Op::Recv { r: 3, x: 0, a: 5000 },
+            Op::Close { x: 0 },
+            Op::Abort { x: 0 },
+            Op::SendTo {
+                x: 0,
+                y: 1,
+                r: 2,
+                a: 80,
+                b: 0,
+                c: 1,
+            },
+            Op::SendToR {
+                x: 0,
+                y: 1,
+                r: 2,
+                a: 2048,
+                b: 20,
+            },
+            Op::RecvFrom { r: 3, x: 0, a: 100 },
+            Op::Ldb { r: 1, x: 2 },
+            Op::Ldw { r: 1, x: 2 },
+            Op::Stb { x: 1, y: 2 },
+            Op::Cpy { a: 0, b: 20, c: 2048 },
+            Op::ParseIp { r: 1, x: 2 },
+            Op::ParseNum { r: 1, x: 2 },
+            Op::SkipSp { x: 2 },
+            Op::Match {
+                r: 1,
+                x: 2,
+                a: 0,
+                b: 4,
+            },
+            Op::RawSend {
+                x: 0,
+                y: 1,
+                a: 2048,
+                b: 20,
+            },
+        ];
+        for op in &ops {
+            let rec = op.encode();
+            assert_eq!(Op::decode(&rec).as_ref(), Some(op), "{op}");
+        }
+        // And as a full buffer.
+        let buf: Vec<u8> = ops.iter().flat_map(|o| o.encode()).collect();
+        assert_eq!(decode_all(&buf).unwrap(), ops);
+    }
+
+    #[test]
+    fn opcodes_are_unique_and_dense() {
+        use std::collections::HashSet;
+        let sample = [
+            Op::End,
+            Op::Ldi { r: 0, a: 0 },
+            Op::RawSend {
+                x: 0,
+                y: 0,
+                a: 0,
+                b: 0,
+            },
+        ];
+        let mut seen = HashSet::new();
+        for op in &sample {
+            assert!(seen.insert(op.code()));
+        }
+        assert_eq!(sample[2].code(), 37, "RawSend is the last opcode");
+    }
+
+    #[test]
+    fn builder_resolves_labels() {
+        let mut b = ProgramBuilder::new();
+        b.label("start")
+            .op(Op::Ldi { r: 0, a: 1 })
+            .jump(Op::Jne { x: 0, y: 1, a: 0 }, "end")
+            .jump(Op::Jmp { a: 0 }, "start")
+            .label("end")
+            .op(Op::End);
+        let (code, _blob) = b.build();
+        let ops = decode_all(&code).unwrap();
+        assert_eq!(ops[1], Op::Jne { x: 0, y: 1, a: 3 });
+        assert_eq!(ops[2], Op::Jmp { a: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined bytecode label")]
+    fn undefined_label_panics_at_build() {
+        let mut b = ProgramBuilder::new();
+        b.jump(Op::Jmp { a: 0 }, "nowhere");
+        let _ = b.build();
+    }
+
+    #[test]
+    fn blob_interning_offsets() {
+        let mut b = ProgramBuilder::new();
+        let (o1, l1) = b.blob_str("UDP ");
+        let (o2, l2) = b.blob(&[0, 0, 0, 1]);
+        assert_eq!((o1, l1), (0, 4));
+        assert_eq!((o2, l2), (4, 4));
+        b.op(Op::End);
+        let (_, blob) = b.build();
+        assert_eq!(blob, b"UDP \x00\x00\x00\x01");
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert!(Op::decode(&[99; 16]).is_none());
+        assert!(decode_all(&[0; 15]).is_none());
+        assert!(Op::decode(&[19, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]).is_none());
+    }
+}

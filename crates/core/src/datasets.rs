@@ -1,0 +1,256 @@
+//! The five datasets of Table 1, as the pipeline produces them.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use malnet_protocols::{AttackCommand, Family, TargetProtocol};
+
+use malnet_botgen::exploitdb::VulnId;
+
+/// One collected sample (D-Samples row).
+#[derive(Debug, Clone)]
+pub struct SampleRecord {
+    /// Feed hash.
+    pub sha256: String,
+    /// Publish/collection day.
+    pub day: u32,
+    /// YARA-derived family label.
+    pub yara_family: Option<String>,
+    /// AVClass2-derived label (with its known MIPS quirks).
+    pub avclass_family: Option<String>,
+    /// AV engines flagging the file.
+    pub av_detections: u32,
+    /// Did the binary activate in the sandbox?
+    pub activated: bool,
+    /// C2 addresses this sample referred to (D-C2s keys).
+    pub c2_addrs: Vec<String>,
+    /// Guest instructions executed during analysis (diagnostics).
+    pub instructions: u64,
+}
+
+/// One C2 address (D-C2s row), aggregated over every sample and day that
+/// touched it.
+#[derive(Debug, Clone)]
+pub struct C2Record {
+    /// Address (IP string or domain).
+    pub addr: String,
+    /// Resolved/contacted IP.
+    pub ip: Ipv4Addr,
+    /// Port.
+    pub port: u16,
+    /// DNS-named?
+    pub dns: bool,
+    /// Hosting ASN (from the AS registry).
+    pub asn: Option<u32>,
+    /// Day the pipeline first saw it.
+    pub first_seen_day: u32,
+    /// Distinct sample hashes referring to it.
+    pub samples: Vec<String>,
+    /// Days the address answered a liveness probe.
+    pub live_days: Vec<u32>,
+    /// Flagged malicious by the feeds on the discovery day?
+    pub vt_day0: bool,
+    /// Number of vendors flagging it on the discovery day.
+    pub vt_day0_vendors: usize,
+    /// Flagged malicious at the final re-query?
+    pub vt_late: bool,
+    /// Number of vendors flagging it at the final re-query.
+    pub vt_late_vendors: usize,
+    /// Traffic matched a known C2 protocol (manual-verification stand-in).
+    pub protocol_verified: bool,
+    /// Families whose samples referred to it.
+    pub families: Vec<Family>,
+}
+
+impl C2Record {
+    /// Observed lifespan in days: last live − first live + 1; 0 when the
+    /// server was never seen alive.
+    pub fn observed_lifespan(&self) -> u32 {
+        match (self.live_days.iter().min(), self.live_days.iter().max()) {
+            (Some(a), Some(b)) => b - a + 1,
+            _ => 0,
+        }
+    }
+}
+
+/// The D-PC2 probing matrix for one discovered server.
+#[derive(Debug, Clone)]
+pub struct ProbedC2 {
+    /// Server address.
+    pub ip: Ipv4Addr,
+    /// Probed port.
+    pub port: u16,
+    /// One entry per probe: (probe index, engaged?).
+    pub probes: Vec<(u32, bool)>,
+}
+
+impl ProbedC2 {
+    /// Count of engaged probes.
+    pub fn responses(&self) -> usize {
+        self.probes.iter().filter(|(_, r)| *r).count()
+    }
+}
+
+/// One extracted exploit (D-Exploits row).
+#[derive(Debug, Clone)]
+pub struct ExploitRecord {
+    /// Sample hash.
+    pub sha256: String,
+    /// Collection day.
+    pub day: u32,
+    /// Vulnerabilities evidenced by the payload.
+    pub vulns: Vec<VulnId>,
+    /// Attacked port.
+    pub port: u16,
+    /// Downloader address in the payload.
+    pub downloader: Option<Ipv4Addr>,
+    /// Loader filename in the payload.
+    pub loader: Option<String>,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// How a DDoS command was detected (§2.5 methods a and b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DdosDetection {
+    /// Decoded by a family protocol profiler.
+    Profiler,
+    /// Caught by the ≥100-pps behavioural heuristic.
+    Behavioral,
+    /// Found by both.
+    Both,
+}
+
+/// One observed DDoS command (D-DDOS row).
+#[derive(Debug, Clone)]
+pub struct DdosRecord {
+    /// Sample hash.
+    pub sha256: String,
+    /// Bot family.
+    pub family: Family,
+    /// Issuing C2 address.
+    pub c2_addr: String,
+    /// Issuing C2 IP.
+    pub c2_ip: Ipv4Addr,
+    /// Day observed.
+    pub day: u32,
+    /// The decoded command.
+    pub command: AttackCommand,
+    /// Detection method.
+    pub detection: DdosDetection,
+    /// Peak packets-per-second measured toward the target.
+    pub measured_pps: u64,
+    /// Verified (bot actually flooded the commanded target)?
+    pub verified: bool,
+    /// Target protocol classification (Figure 10).
+    pub target_protocol: TargetProtocol,
+    /// Was the C2 flagged by the feeds on the attack day?
+    pub c2_known_to_feeds: bool,
+}
+
+/// The full output of a pipeline run (Table 1).
+#[derive(Debug, Clone, Default)]
+pub struct Datasets {
+    /// D-Samples.
+    pub samples: Vec<SampleRecord>,
+    /// D-C2s keyed by address.
+    pub c2s: BTreeMap<String, C2Record>,
+    /// D-PC2.
+    pub probed: Vec<ProbedC2>,
+    /// D-Exploits.
+    pub exploits: Vec<ExploitRecord>,
+    /// D-DDOS.
+    pub ddos: Vec<DdosRecord>,
+}
+
+impl Datasets {
+    /// D-PC2 traffic-measurement count (paper: 64 per C2 over two weeks
+    /// of 4-hour probes, i.e. probes actually delivered).
+    pub fn probe_measurements(&self) -> usize {
+        self.probed.iter().map(|p| p.probes.len()).sum()
+    }
+
+    /// Samples from which at least one exploit was extracted.
+    pub fn exploit_sample_count(&self) -> usize {
+        let mut shas: Vec<&str> = self.exploits.iter().map(|e| e.sha256.as_str()).collect();
+        shas.sort_unstable();
+        shas.dedup();
+        shas.len()
+    }
+
+    /// Table 1 summary line.
+    pub fn table1(&self) -> String {
+        format!(
+            "D-Samples: {} | D-C2s: {} | D-PC2: {} measurements over {} servers | \
+             D-Exploits: {} samples ({} payloads) | D-DDOS: {} commands",
+            self.samples.len(),
+            self.c2s.len(),
+            self.probe_measurements(),
+            self.probed.len(),
+            self.exploit_sample_count(),
+            self.exploits.len(),
+            self.ddos.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_lifespan_rules() {
+        let mut r = C2Record {
+            addr: "1.2.3.4".into(),
+            ip: Ipv4Addr::new(1, 2, 3, 4),
+            port: 23,
+            dns: false,
+            asn: None,
+            first_seen_day: 10,
+            samples: vec![],
+            live_days: vec![],
+            vt_day0: false,
+            vt_day0_vendors: 0,
+            vt_late: false,
+            vt_late_vendors: 0,
+            protocol_verified: false,
+            families: vec![],
+        };
+        assert_eq!(r.observed_lifespan(), 0);
+        r.live_days = vec![10];
+        assert_eq!(r.observed_lifespan(), 1);
+        r.live_days = vec![10, 11, 14];
+        assert_eq!(r.observed_lifespan(), 5);
+    }
+
+    #[test]
+    fn dataset_counters() {
+        let mut d = Datasets::default();
+        d.exploits.push(ExploitRecord {
+            sha256: "a".into(),
+            day: 1,
+            vulns: vec![],
+            port: 80,
+            downloader: None,
+            loader: None,
+            payload: vec![],
+        });
+        d.exploits.push(ExploitRecord {
+            sha256: "a".into(),
+            day: 1,
+            vulns: vec![],
+            port: 8080,
+            downloader: None,
+            loader: None,
+            payload: vec![],
+        });
+        assert_eq!(d.exploit_sample_count(), 1);
+        d.probed.push(ProbedC2 {
+            ip: Ipv4Addr::new(1, 1, 1, 1),
+            port: 23,
+            probes: vec![(0, true), (1, false)],
+        });
+        assert_eq!(d.probe_measurements(), 2);
+        assert!(d.table1().contains("D-Samples: 0"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Evaluation harness: scoring the pipeline's measurements against the
+//! world's ground truth.
+//!
+//! This is the only module allowed to read `malnet_botgen::world`
+//! internals. It answers "how good are the instruments?" — detection
+//! precision/recall for C2 addresses, exploit classification recall, and
+//! DDoS command recall — mirroring the paper's own validation notes
+//! (CnCHunter's ~90% C2 precision, the ~90% activation rate).
+
+use std::collections::BTreeSet;
+
+use malnet_botgen::world::World;
+
+use crate::datasets::Datasets;
+use crate::stats::pct;
+
+/// Instrument scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// % of analyzed samples that activated.
+    pub activation_rate: f64,
+    /// C2 detection precision: detected addresses that are real C2s.
+    pub c2_precision: f64,
+    /// C2 detection recall over non-P2P analyzed samples' primaries.
+    pub c2_recall: f64,
+    /// Exploit classification recall: ground-truth exploiting samples
+    /// (analyzed + activated) whose exploits were captured.
+    pub exploit_recall: f64,
+    /// DDoS command recall: planned commands observed.
+    pub ddos_recall: f64,
+    /// Family labelling accuracy over analyzed samples (YARA).
+    pub label_accuracy: f64,
+}
+
+/// Score a pipeline run against its world.
+pub fn evaluate(world: &World, data: &Datasets) -> EvalReport {
+    let analyzed: BTreeSet<&str> = data.samples.iter().map(|s| s.sha256.as_str()).collect();
+    let truth_by_sha: std::collections::HashMap<&str, &malnet_botgen::world::SampleTruth> = world
+        .samples
+        .iter()
+        .map(|s| (s.sha256.as_str(), s))
+        .collect();
+
+    // Activation.
+    let activated = data.samples.iter().filter(|s| s.activated).count();
+    let activation_rate = pct(activated, data.samples.len());
+
+    // C2 precision/recall.
+    let truth_addrs: BTreeSet<String> = world.c2s.iter().map(|c| c.addr_string()).collect();
+    let detected: BTreeSet<&String> = data.c2s.keys().collect();
+    let true_pos = detected.iter().filter(|a| truth_addrs.contains(**a)).count();
+    let c2_precision = pct(true_pos, detected.len());
+    let mut expected = 0usize;
+    let mut found = 0usize;
+    for s in &data.samples {
+        let Some(truth) = truth_by_sha.get(s.sha256.as_str()) else {
+            continue;
+        };
+        if truth.family.is_p2p() || truth.corrupted || truth.c2_ids.is_empty() {
+            continue;
+        }
+        expected += 1;
+        let primary = world.c2s[truth.c2_ids[0]].addr_string();
+        if s.c2_addrs.contains(&primary) {
+            found += 1;
+        }
+    }
+    let c2_recall = pct(found, expected);
+
+    // Exploit recall.
+    let exploit_samples: BTreeSet<&str> =
+        data.exploits.iter().map(|e| e.sha256.as_str()).collect();
+    let mut exp_expected = 0usize;
+    let mut exp_found = 0usize;
+    for s in &data.samples {
+        let Some(truth) = truth_by_sha.get(s.sha256.as_str()) else {
+            continue;
+        };
+        if truth.corrupted || truth.spec.exploits.is_empty() || !s.activated {
+            continue;
+        }
+        exp_expected += 1;
+        if exploit_samples.contains(s.sha256.as_str()) {
+            exp_found += 1;
+        }
+    }
+    let exploit_recall = pct(exp_found, exp_expected);
+
+    // DDoS recall: planned commands for analyzed samples vs observed.
+    let mut planned = 0usize;
+    let mut observed = 0usize;
+    for plan in &world.attacks {
+        let sha = &world.samples[plan.sample_id].sha256;
+        if !analyzed.contains(sha.as_str()) {
+            continue;
+        }
+        for (_, cmd) in &plan.commands {
+            planned += 1;
+            if data.ddos.iter().any(|d| {
+                d.sha256 == *sha
+                    && d.command.method == cmd.method
+                    && d.command.target == cmd.target
+            }) {
+                observed += 1;
+            }
+        }
+    }
+    let ddos_recall = pct(observed, planned);
+
+    // Family labels.
+    let mut label_hits = 0usize;
+    let mut label_total = 0usize;
+    for s in &data.samples {
+        let Some(truth) = truth_by_sha.get(s.sha256.as_str()) else {
+            continue;
+        };
+        label_total += 1;
+        if s.yara_family.as_deref() == Some(truth.family.label()) {
+            label_hits += 1;
+        }
+    }
+    let label_accuracy = pct(label_hits, label_total);
+
+    EvalReport {
+        activation_rate,
+        c2_precision,
+        c2_recall,
+        exploit_recall,
+        ddos_recall,
+        label_accuracy,
+    }
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "activation rate : {:>5.1}%", self.activation_rate)?;
+        writeln!(f, "C2 precision    : {:>5.1}%", self.c2_precision)?;
+        writeln!(f, "C2 recall       : {:>5.1}%", self.c2_recall)?;
+        writeln!(f, "exploit recall  : {:>5.1}%", self.exploit_recall)?;
+        writeln!(f, "DDoS recall     : {:>5.1}%", self.ddos_recall)?;
+        write!(f, "label accuracy  : {:>5.1}%", self.label_accuracy)
+    }
+}

@@ -1,0 +1,518 @@
+//! The daily MalNet loop (paper §2): collect → vet → activate → extract
+//! → cross-validate → track.
+//!
+//! For every study day with new feed items the pipeline:
+//!
+//! 1. vets each binary (≥ 5 AV engines, §2.2) and labels it (YARA +
+//!    AVClass2),
+//! 2. activates it in the **contained** sandbox (InetSim-faked Internet)
+//!    to extract C2 candidates (§2.1 mode 1) and exploit payloads via the
+//!    handshaker (§2.4),
+//! 3. queries the intelligence feeds for each C2 address on the discovery
+//!    day (§2.3a / §3.3),
+//! 4. checks day-0 liveness against the real (simulated) Internet and
+//!    keeps probing known C2s daily to measure observed lifespans (§3.2),
+//! 5. for samples with a live, engaging C2, runs a **restricted** session
+//!    (C2-only egress) and extracts DDoS commands (§2.5),
+//! 6. runs the D-PC2 probing study in its two-week window (§2.3b),
+//! 7. re-queries the feeds at the end ("May 7th") for Table 3.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use malnet_botgen::exploitdb;
+use malnet_botgen::world::World;
+use malnet_intel::engines::EngineModel;
+use malnet_intel::{avclass2_label, yara_label, VendorDb};
+use malnet_netsim::net::Network;
+use malnet_netsim::stack::SockEvent;
+use malnet_netsim::time::{SimDuration, SimTime, STUDY_DAYS};
+use malnet_protocols::Family;
+use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
+use malnet_wire::dns::{DnsMessage, DomainName};
+
+use crate::c2detect::detect_c2;
+use crate::datasets::{C2Record, Datasets, DdosRecord, ExploitRecord, SampleRecord};
+use crate::ddos;
+use crate::prober::{self, ProbeConfig};
+
+/// The monitor host used for liveness probes and DNS lookups.
+pub const MONITOR_IP: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 7);
+/// The sandboxed device address.
+pub const BOT_IP: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 2);
+
+/// Pipeline knobs. Defaults follow the paper; tests shrink durations.
+#[derive(Debug, Clone)]
+pub struct PipelineOpts {
+    /// RNG seed for sandbox runs.
+    pub seed: u64,
+    /// Virtual seconds of the contained (C2 + exploit extraction) run.
+    pub contained_secs: u64,
+    /// Virtual seconds of the restricted DDoS-observation session
+    /// (paper: 2 hours).
+    pub restricted_secs: u64,
+    /// Handshaker engagement threshold (paper: 20 distinct addresses).
+    pub handshaker_threshold: usize,
+    /// Behavioural DDoS threshold in packets/second (paper: 100).
+    pub pps_threshold: u64,
+    /// AV corroboration bar (paper: 5 engines).
+    pub av_bar: u32,
+    /// Days to keep re-probing a discovered C2 after it stops answering.
+    pub track_grace_days: u32,
+    /// Upper bound on tracked days per C2.
+    pub track_max_days: u32,
+    /// Run the D-PC2 probing study.
+    pub run_probing: bool,
+    /// Probing rounds (paper: 84 = 14 days × 6).
+    pub probe_rounds: u32,
+    /// Hosts swept per probing subnet (paper: the full /24).
+    pub probe_hosts_per_subnet: u32,
+    /// Analyze at most this many samples (tests); `None` = all.
+    pub max_samples: Option<usize>,
+    /// Day of the final feed re-query (paper: 2022-05-07 ≈ day 432).
+    pub late_query_day: u32,
+}
+
+impl Default for PipelineOpts {
+    fn default() -> Self {
+        PipelineOpts {
+            seed: 22,
+            contained_secs: 420,
+            restricted_secs: 7200,
+            handshaker_threshold: 20,
+            pps_threshold: 100,
+            av_bar: 5,
+            track_grace_days: 2,
+            track_max_days: 60,
+            run_probing: true,
+            probe_rounds: 84,
+            probe_hosts_per_subnet: 254,
+            max_samples: None,
+            late_query_day: STUDY_DAYS + 45,
+        }
+    }
+}
+
+impl PipelineOpts {
+    /// A configuration small enough for unit/integration tests while
+    /// exercising every stage.
+    pub fn fast() -> Self {
+        PipelineOpts {
+            contained_secs: 150,
+            restricted_secs: 4200,
+            handshaker_threshold: 5,
+            probe_rounds: 12,
+            probe_hosts_per_subnet: 30,
+            ..Default::default()
+        }
+    }
+}
+
+struct TrackState {
+    ip: Ipv4Addr,
+    port: u16,
+    misses: u32,
+    days: u32,
+}
+
+/// The pipeline engine.
+pub struct Pipeline {
+    opts: PipelineOpts,
+    vendors: VendorDb,
+    engines: EngineModel,
+    data: Datasets,
+    tracking: HashMap<String, TrackState>,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    pub fn new(opts: PipelineOpts) -> Self {
+        Pipeline {
+            vendors: VendorDb::new(opts.seed),
+            engines: EngineModel::new(opts.seed),
+            data: Datasets::default(),
+            tracking: HashMap::new(),
+            opts,
+        }
+    }
+
+    /// Run the full study over a world and return the datasets.
+    pub fn run(mut self, world: &World) -> (Datasets, VendorDb) {
+        let mut analyzed = 0usize;
+        let mut days_with_samples: Vec<u32> = world.publish_days();
+        days_with_samples.sort_unstable();
+        let last_day = days_with_samples.last().copied().unwrap_or(0) + self.opts.track_max_days;
+
+        for day in 0..=last_day.min(STUDY_DAYS + self.opts.track_max_days) {
+            let new_samples = world.samples_published_on(day);
+            let has_tracking = !self.tracking.is_empty();
+            if new_samples.is_empty() && !has_tracking {
+                continue;
+            }
+            // One world network per day: shared by liveness probes and
+            // restricted sessions.
+            let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
+            self.daily_liveness_sweep(&mut net, day);
+            for sample in new_samples {
+                if let Some(max) = self.opts.max_samples {
+                    if analyzed >= max {
+                        continue;
+                    }
+                }
+                analyzed += 1;
+                net = self.analyze_sample(world, net, day, sample.id);
+            }
+        }
+
+        // Final feed re-query ("May 7th 2022").
+        let late = self.opts.late_query_day;
+        for rec in self.data.c2s.values_mut() {
+            let v = self.vendors.query(&rec.addr, late);
+            rec.vt_late = v.is_malicious();
+            rec.vt_late_vendors = v.count();
+        }
+
+        // D-PC2 probing study.
+        if self.opts.run_probing {
+            let weapons = probe_weapons(world);
+            if !weapons.is_empty() {
+                let cfg = ProbeConfig {
+                    rounds: self.opts.probe_rounds,
+                    hosts_per_subnet: self.opts.probe_hosts_per_subnet,
+                    ..ProbeConfig::from_world(world)
+                };
+                self.data.probed = prober::run_probing(world, &weapons, &cfg, self.opts.seed);
+            }
+        }
+
+        (self.data, self.vendors)
+    }
+
+    /// Probe all tracked C2s once on `day`.
+    fn daily_liveness_sweep(&mut self, net: &mut Network, day: u32) {
+        if self.tracking.is_empty() {
+            return;
+        }
+        net.add_external_host(MONITOR_IP);
+        let mut socks: BTreeMap<u64, String> = BTreeMap::new();
+        for (addr, t) in &self.tracking {
+            let sock = net.ext_tcp_connect(MONITOR_IP, t.ip, t.port);
+            socks.insert(sock.0, addr.clone());
+        }
+        net.run_for(SimDuration::from_secs(8));
+        let mut live: Vec<String> = Vec::new();
+        for ev in net.ext_events(MONITOR_IP) {
+            if let SockEvent::Connected(s) = ev {
+                if let Some(addr) = socks.get(&s.0) {
+                    live.push(addr.clone());
+                }
+            }
+        }
+        for (&sock, _) in &socks {
+            net.ext_tcp_abort(MONITOR_IP, malnet_netsim::stack::SockId(sock));
+        }
+        net.run_for(SimDuration::from_secs(1));
+        net.ext_events(MONITOR_IP);
+        net.remove_host(MONITOR_IP);
+        let mut drop_list = Vec::new();
+        for (addr, t) in self.tracking.iter_mut() {
+            t.days += 1;
+            if live.contains(addr) {
+                t.misses = 0;
+                if let Some(rec) = self.data.c2s.get_mut(addr) {
+                    rec.live_days.push(day);
+                }
+            } else {
+                t.misses += 1;
+            }
+            if t.misses > self.opts.track_grace_days || t.days > self.opts.track_max_days {
+                drop_list.push(addr.clone());
+            }
+        }
+        for addr in drop_list {
+            self.tracking.remove(&addr);
+        }
+    }
+
+    /// Full per-sample analysis. Takes and returns the day's world
+    /// network (restricted sessions run on it).
+    fn analyze_sample(
+        &mut self,
+        world: &World,
+        world_net: Network,
+        day: u32,
+        sample_id: usize,
+    ) -> Network {
+        let sample = &world.samples[sample_id];
+        let elf = &sample.elf;
+        let av = self.engines.detections_for_malware().max(sample.av_detections.min(60));
+        let yara = yara_label(elf).map(str::to_string);
+        let avclass = avclass2_label(elf).map(str::to_string);
+
+        // --- contained activation: C2 + exploit extraction ---
+        let contained_net = Network::new(SimTime::from_day(day, 0), self.opts.seed ^ sample_id as u64);
+        let mut sb = Sandbox::new(
+            contained_net,
+            SandboxConfig {
+                bot_ip: BOT_IP,
+                mode: AnalysisMode::Contained,
+                handshaker_threshold: Some(self.opts.handshaker_threshold),
+                instruction_budget: 400_000_000,
+                seed: self.opts.seed ^ (sample_id as u64) << 7,
+            },
+        );
+        let art = sb.execute(elf, SimDuration::from_secs(self.opts.contained_secs));
+        drop(sb);
+        let activated = !matches!(art.exit, malnet_sandbox::ExitReason::Fault(_))
+            && art.syscalls > 0
+            && !matches!(art.exit, malnet_sandbox::ExitReason::Exited(126 | 127));
+
+        // Exploits (D-Exploits).
+        for cap in &art.exploits {
+            let vulns = exploitdb::classify(&cap.payload);
+            if vulns.is_empty() {
+                continue;
+            }
+            let dl = exploitdb::extract_downloader(&cap.payload);
+            self.data.exploits.push(ExploitRecord {
+                sha256: sample.sha256.clone(),
+                day,
+                vulns,
+                port: cap.port,
+                downloader: dl.as_ref().map(|(ip, _)| *ip),
+                loader: dl.map(|(_, l)| l),
+                payload: cap.payload.clone(),
+            });
+        }
+
+        // C2 candidates — skip P2P-labelled samples (§2.3a).
+        let is_p2p = matches!(yara.as_deref(), Some("mozi") | Some("hajime"));
+        let candidates = if is_p2p { Vec::new() } else { detect_c2(&art, BOT_IP) };
+
+        let mut net = world_net;
+        let mut live_c2_ips: Vec<(String, Ipv4Addr, u16, Option<Family>)> = Vec::new();
+        let mut c2_addrs = Vec::new();
+        for cand in &candidates {
+            c2_addrs.push(cand.addr.clone());
+            // Resolve DNS candidates against the real resolver.
+            let real_ip = if cand.dns {
+                resolve_on(&mut net, &cand.addr)
+            } else {
+                Some(cand.ip)
+            };
+            self.vendors.register(&cand.addr, cand.dns, day);
+            let verdict = self.vendors.query(&cand.addr, day);
+            let asn = real_ip.and_then(|ip| world.asdb.asn_of(ip)).map(|a| a.0);
+            let family_label = cand
+                .family_from_traffic
+                .or_else(|| family_from_label(yara.as_deref()));
+            let rec = self
+                .data
+                .c2s
+                .entry(cand.addr.clone())
+                .or_insert_with(|| C2Record {
+                    addr: cand.addr.clone(),
+                    ip: real_ip.unwrap_or(cand.ip),
+                    port: cand.port,
+                    dns: cand.dns,
+                    asn,
+                    first_seen_day: day,
+                    samples: vec![],
+                    live_days: vec![],
+                    vt_day0: verdict.is_malicious(),
+                    vt_day0_vendors: verdict.count(),
+                    vt_late: false,
+                    vt_late_vendors: 0,
+                    protocol_verified: cand.family_from_traffic.is_some(),
+                    families: vec![],
+                });
+            if !rec.samples.contains(&sample.sha256) {
+                rec.samples.push(sample.sha256.clone());
+            }
+            if let Some(f) = family_label {
+                if !rec.families.contains(&f) {
+                    rec.families.push(f);
+                }
+            }
+            rec.protocol_verified |= cand.family_from_traffic.is_some();
+
+            // Day-0 liveness probe on the real network.
+            if let Some(ip) = real_ip {
+                let live = tcp_probe(&mut net, ip, cand.port);
+                if live {
+                    let rec = self.data.c2s.get_mut(&cand.addr).expect("just inserted");
+                    if !rec.live_days.contains(&day) {
+                        rec.live_days.push(day);
+                    }
+                    rec.ip = ip;
+                    self.tracking
+                        .entry(cand.addr.clone())
+                        .or_insert(TrackState {
+                            ip,
+                            port: cand.port,
+                            misses: 0,
+                            days: 0,
+                        });
+                    live_c2_ips.push((cand.addr.clone(), ip, cand.port, family_label));
+                }
+            }
+        }
+
+        // --- restricted DDoS-observation session (§2.5) ---
+        if activated && !live_c2_ips.is_empty() {
+            let allowed: Vec<Ipv4Addr> = live_c2_ips.iter().map(|(_, ip, _, _)| *ip).collect();
+            let mut allowed_plus = allowed.clone();
+            allowed_plus.push(malnet_botgen::world::WORLD_RESOLVER);
+            let mut sb = Sandbox::new(
+                net,
+                SandboxConfig {
+                    bot_ip: BOT_IP,
+                    mode: AnalysisMode::Restricted {
+                        allowed: allowed_plus,
+                    },
+                    handshaker_threshold: None,
+                    instruction_budget: 2_000_000_000,
+                    seed: self.opts.seed ^ (sample_id as u64) << 9,
+                },
+            );
+            let session = sb.execute(elf, SimDuration::from_secs(self.opts.restricted_secs));
+            net = sb.into_network();
+            let packets = session.packets();
+            for (addr, ip, _port, fam) in &live_c2_ips {
+                let cmds = ddos::extract(&packets, BOT_IP, *ip, *fam, self.opts.pps_threshold);
+                for c in cmds {
+                    if !c.verified {
+                        continue; // manual verification gate (§2.5)
+                    }
+                    // One command = one record: the same command relayed
+                    // through a second bot of the same botnet is not a
+                    // new attack.
+                    let dup = self.data.ddos.iter().any(|d| {
+                        d.c2_addr == *addr && d.day == day && d.command == c.command
+                    });
+                    if dup {
+                        continue;
+                    }
+                    let known = self.vendors.query(addr, day).is_malicious();
+                    self.data.ddos.push(DdosRecord {
+                        sha256: sample.sha256.clone(),
+                        family: fam.unwrap_or(Family::Mirai),
+                        c2_addr: addr.clone(),
+                        c2_ip: *ip,
+                        day,
+                        command: c.command,
+                        detection: c.detection,
+                        measured_pps: c.measured_pps,
+                        verified: c.verified,
+                        target_protocol: c
+                            .command
+                            .target_protocol(fam.map(|f| f.tls_over_tcp()).unwrap_or(true)),
+                        c2_known_to_feeds: known,
+                    });
+                }
+            }
+        }
+
+        self.data.samples.push(SampleRecord {
+            sha256: sample.sha256.clone(),
+            day,
+            yara_family: yara,
+            avclass_family: avclass,
+            av_detections: av,
+            activated,
+            c2_addrs,
+            instructions: art.instructions,
+        });
+        net
+    }
+}
+
+fn family_from_label(label: Option<&str>) -> Option<Family> {
+    match label? {
+        "mirai" => Some(Family::Mirai),
+        "gafgyt" => Some(Family::Gafgyt),
+        "tsunami" => Some(Family::Tsunami),
+        "daddyl33t" => Some(Family::Daddyl33t),
+        "mozi" => Some(Family::Mozi),
+        "hajime" => Some(Family::Hajime),
+        "vpnfilter" => Some(Family::VpnFilter),
+        _ => None,
+    }
+}
+
+/// TCP liveness probe from the monitor host.
+fn tcp_probe(net: &mut Network, ip: Ipv4Addr, port: u16) -> bool {
+    let added = !net.has_host(MONITOR_IP);
+    if added {
+        net.add_external_host(MONITOR_IP);
+    }
+    let sock = net.ext_tcp_connect(MONITOR_IP, ip, port);
+    net.run_for(SimDuration::from_secs(8));
+    let mut live = false;
+    for ev in net.ext_events(MONITOR_IP) {
+        if let SockEvent::Connected(s) = ev {
+            if s == sock {
+                live = true;
+            }
+        }
+    }
+    net.ext_tcp_abort(MONITOR_IP, sock);
+    net.run_for(SimDuration::from_secs(1));
+    net.ext_events(MONITOR_IP);
+    if added {
+        net.remove_host(MONITOR_IP);
+    }
+    live
+}
+
+/// Resolve a domain against the world resolver.
+fn resolve_on(net: &mut Network, domain: &str) -> Option<Ipv4Addr> {
+    let name = DomainName::new(domain).ok()?;
+    let added = !net.has_host(MONITOR_IP);
+    if added {
+        net.add_external_host(MONITOR_IP);
+    }
+    net.with_external(MONITOR_IP, |s| {
+        s.udp_bind(45353);
+        ((), vec![])
+    });
+    let q = DnsMessage::query(7, name);
+    net.ext_udp_send(
+        MONITOR_IP,
+        45353,
+        malnet_botgen::world::WORLD_RESOLVER,
+        53,
+        q.encode(),
+    );
+    net.run_for(SimDuration::from_secs(3));
+    let mut answer = None;
+    for ev in net.ext_events(MONITOR_IP) {
+        if let SockEvent::UdpData { data, .. } = ev {
+            if let Ok(msg) = DnsMessage::decode(&data) {
+                if let Some((_, ip, _)) = msg.answers.first() {
+                    answer = Some(*ip);
+                }
+            }
+        }
+    }
+    if added {
+        net.remove_host(MONITOR_IP);
+    }
+    answer
+}
+
+/// Pick the probing weapons: one Mirai and one Gafgyt sample with clean
+/// call-home behaviour (no exploit arsenal, no sandbox evasion, runs
+/// reliably). The paper's operators likewise hand-selected two known-good
+/// samples for the probing study (§2.3b).
+fn probe_weapons(world: &World) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for fam in [Family::Mirai, Family::Gafgyt] {
+        if let Some(s) = world.samples.iter().find(|s| {
+            s.family == fam && !s.corrupted && s.spec.exploits.is_empty() && !s.spec.evasive
+        }) {
+            out.push(s.elf.clone());
+        }
+    }
+    out
+}

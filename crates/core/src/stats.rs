@@ -1,0 +1,268 @@
+//! Statistics and plain-text rendering for tables and figures.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An empirical CDF over integer-valued observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cdf {
+    /// Sorted observations.
+    values: Vec<u64>,
+}
+
+impl Cdf {
+    /// Build from observations.
+    pub fn new(mut values: Vec<u64>) -> Self {
+        values.sort_unstable();
+        Cdf { values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Fraction of observations ≤ `x` (0.0 when empty).
+    pub fn at(&self, x: u64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let n = self.values.partition_point(|&v| v <= x);
+        n as f64 / self.values.len() as f64
+    }
+
+    /// The q-quantile (0.0..=1.0).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let idx = ((self.values.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        self.values[idx]
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<u64>() as f64 / self.values.len() as f64
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> u64 {
+        self.values.last().copied().unwrap_or(0)
+    }
+
+    /// Render as "(x, cdf%)" steps at distinct values.
+    pub fn render(&self, label: &str) -> String {
+        let mut out = format!("CDF of {label} (n={}):\n", self.len());
+        let mut distinct: Vec<u64> = self.values.clone();
+        distinct.dedup();
+        for x in distinct {
+            let _ = writeln!(out, "  x <= {:>6}  : {:>6.1}%", x, self.at(x) * 100.0);
+        }
+        out
+    }
+}
+
+/// A labelled counting distribution.
+#[derive(Debug, Clone, Default)]
+pub struct Counter<K: Ord> {
+    map: BTreeMap<K, u64>,
+}
+
+impl<K: Ord + Clone + std::fmt::Display> Counter<K> {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Counter {
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Increment a key.
+    pub fn add(&mut self, k: K) {
+        *self.map.entry(k).or_insert(0) += 1;
+    }
+
+    /// Increment a key by `n`.
+    pub fn add_n(&mut self, k: K, n: u64) {
+        *self.map.entry(k).or_insert(0) += n;
+    }
+
+    /// Count for a key.
+    pub fn get(&self, k: &K) -> u64 {
+        self.map.get(k).copied().unwrap_or(0)
+    }
+
+    /// Total of all counts.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Entries sorted by descending count.
+    pub fn sorted(&self) -> Vec<(K, u64)> {
+        let mut v: Vec<(K, u64)> = self.map.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self) -> Vec<(K, u64)> {
+        self.map.iter().map(|(k, c)| (k.clone(), *c)).collect()
+    }
+
+    /// Render a bar chart.
+    pub fn render_bars(&self, title: &str) -> String {
+        let mut out = format!("{title}\n");
+        let max = self.map.values().copied().max().unwrap_or(1).max(1);
+        for (k, c) in self.sorted() {
+            let bar = "#".repeat(((c * 40) / max) as usize);
+            let _ = writeln!(out, "  {k:<24} {c:>6}  {bar}");
+        }
+        out
+    }
+}
+
+/// A week × category heatmap (Figure 1 style).
+#[derive(Debug, Clone, Default)]
+pub struct Heatmap {
+    cells: BTreeMap<(String, u32), u64>,
+    rows: Vec<String>,
+}
+
+impl Heatmap {
+    /// Empty heatmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment cell (row, column).
+    pub fn add(&mut self, row: &str, col: u32) {
+        if !self.rows.iter().any(|r| r == row) {
+            self.rows.push(row.to_string());
+        }
+        *self.cells.entry((row.to_string(), col)).or_insert(0) += 1;
+    }
+
+    /// Value at a cell.
+    pub fn get(&self, row: &str, col: u32) -> u64 {
+        self.cells
+            .get(&(row.to_string(), col))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total per row, descending.
+    pub fn row_totals(&self) -> Vec<(String, u64)> {
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        for ((r, _), v) in &self.cells {
+            *totals.entry(r.as_str()).or_insert(0) += v;
+        }
+        let mut v: Vec<(String, u64)> = totals
+            .into_iter()
+            .map(|(k, c)| (k.to_string(), c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Render with intensity glyphs for columns `1..=cols`, top `n_rows`
+    /// rows by total.
+    pub fn render(&self, title: &str, cols: u32, n_rows: usize) -> String {
+        let glyphs = [' ', '.', ':', '*', 'o', 'O', '@', '#'];
+        let mut out = format!("{title}\n");
+        let max = self.cells.values().copied().max().unwrap_or(1).max(1);
+        for (row, total) in self.row_totals().into_iter().take(n_rows) {
+            let mut line = format!("  {row:<24} |");
+            for c in 1..=cols {
+                let v = self.get(&row, c);
+                let idx = if v == 0 {
+                    0
+                } else {
+                    1 + ((v - 1) * (glyphs.len() as u64 - 2) / max) as usize
+                };
+                line.push(glyphs[idx.min(glyphs.len() - 1)]);
+            }
+            let _ = writeln!(out, "{line}| total={total}");
+        }
+        out
+    }
+}
+
+/// Percentage helper: `part / whole * 100`, 0 for empty denominators.
+pub fn pct(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_basics() {
+        let c = Cdf::new(vec![1, 1, 1, 1, 2, 4, 10, 10]);
+        assert_eq!(c.len(), 8);
+        assert!((c.at(1) - 0.5).abs() < 1e-9);
+        assert!((c.at(4) - 0.75).abs() < 1e-9);
+        assert!((c.at(10) - 1.0).abs() < 1e-9);
+        assert_eq!(c.quantile(0.0), 1);
+        assert_eq!(c.quantile(1.0), 10);
+        assert!((c.mean() - 3.75).abs() < 1e-9);
+        assert_eq!(c.max(), 10);
+    }
+
+    #[test]
+    fn cdf_empty_is_safe() {
+        let c = Cdf::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.at(5), 0.0);
+        assert_eq!(c.quantile(0.5), 0);
+        assert_eq!(c.mean(), 0.0);
+    }
+
+    #[test]
+    fn counter_orders_by_count() {
+        let mut c = Counter::new();
+        c.add("b");
+        c.add("a");
+        c.add("a");
+        c.add_n("z", 5);
+        let sorted = c.sorted();
+        assert_eq!(sorted[0], ("z", 5));
+        assert_eq!(sorted[1], ("a", 2));
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.get(&"missing"), 0);
+        let bars = c.render_bars("t");
+        assert!(bars.contains('z'));
+    }
+
+    #[test]
+    fn heatmap_cells_and_rendering() {
+        let mut h = Heatmap::new();
+        h.add("AS1", 1);
+        h.add("AS1", 1);
+        h.add("AS2", 3);
+        assert_eq!(h.get("AS1", 1), 2);
+        assert_eq!(h.get("AS1", 2), 0);
+        let totals = h.row_totals();
+        assert_eq!(totals[0], ("AS1".to_string(), 2));
+        let render = h.render("hm", 4, 10);
+        assert!(render.contains("AS1"));
+        assert!(render.contains("total=2"));
+    }
+
+    #[test]
+    fn pct_handles_zero() {
+        assert_eq!(pct(1, 0), 0.0);
+        assert!((pct(3, 4) - 75.0).abs() < 1e-9);
+    }
+}

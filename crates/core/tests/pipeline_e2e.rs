@@ -1,0 +1,129 @@
+//! Full pipeline integration: a small world, the complete daily loop,
+//! and sanity checks across all five datasets.
+
+use malnet_botgen::world::{Calibration, World, WorldConfig};
+use malnet_core::eval::evaluate;
+use malnet_core::{Pipeline, PipelineOpts};
+
+fn small_world() -> World {
+    World::generate(WorldConfig {
+        seed: 33,
+        n_samples: 60,
+        cal: Calibration::default(),
+    })
+}
+
+#[test]
+fn pipeline_produces_all_five_datasets() {
+    let world = small_world();
+    let opts = PipelineOpts {
+        max_samples: Some(60),
+        ..PipelineOpts::fast()
+    };
+    let (data, _vendors) = Pipeline::new(opts).run(&world);
+
+    // D-Samples: every analyzed sample recorded.
+    assert_eq!(data.samples.len(), 60);
+    // Most samples activate (paper: ~90%).
+    let activated = data.samples.iter().filter(|s| s.activated).count();
+    assert!(activated >= 48, "activation too low: {activated}/60");
+
+    // D-C2s: non-trivial C2 discovery.
+    assert!(
+        data.c2s.len() >= 15,
+        "too few C2 addresses: {}",
+        data.c2s.len()
+    );
+    // Some were alive on day 0 and produced lifespan observations.
+    let live_seen = data
+        .c2s
+        .values()
+        .filter(|r| !r.live_days.is_empty())
+        .count();
+    assert!(live_seen >= 3, "no liveness observations: {live_seen}");
+
+    // D-Exploits: exploiting samples produced classified payloads.
+    assert!(
+        !data.exploits.is_empty(),
+        "handshaker produced no exploits"
+    );
+    assert!(data.exploits.iter().all(|e| !e.vulns.is_empty()));
+    assert!(data
+        .exploits
+        .iter()
+        .all(|e| e.downloader.is_some() && e.loader.is_some()));
+
+    // D-PC2: probing found at least one responding server.
+    assert!(!data.probed.is_empty(), "probing found nothing");
+
+    // D-DDOS: at least one attack command decoded and verified.
+    assert!(!data.ddos.is_empty(), "no DDoS commands observed");
+    assert!(data.ddos.iter().all(|d| d.verified));
+    // Packet floods clear the behavioural threshold; connection-oriented
+    // attacks (STOMP/TLS) are low-rate and caught by the profiler only.
+    assert!(data
+        .ddos
+        .iter()
+        .filter(|d| matches!(
+            d.detection,
+            malnet_core::datasets::DdosDetection::Behavioral
+                | malnet_core::datasets::DdosDetection::Both
+        ))
+        .all(|d| d.measured_pps >= 100));
+    assert!(data.ddos.iter().any(|d| d.measured_pps >= 100));
+}
+
+#[test]
+fn instruments_score_well_against_ground_truth() {
+    let world = small_world();
+    let opts = PipelineOpts {
+        max_samples: Some(60),
+        run_probing: false,
+        ..PipelineOpts::fast()
+    };
+    let (data, _) = Pipeline::new(opts).run(&world);
+    let report = evaluate(&world, &data);
+    // The paper cites ~90% activation and ~90% C2 precision.
+    assert!(
+        report.activation_rate >= 80.0,
+        "activation {}",
+        report.activation_rate
+    );
+    assert!(
+        report.c2_precision >= 85.0,
+        "precision {}\n{report}",
+        report.c2_precision
+    );
+    assert!(report.c2_recall >= 70.0, "recall {}\n{report}", report.c2_recall);
+    assert!(
+        report.label_accuracy >= 90.0,
+        "labels {}\n{report}",
+        report.label_accuracy
+    );
+    assert!(
+        report.ddos_recall >= 50.0,
+        "ddos recall {}\n{report}",
+        report.ddos_recall
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let world = small_world();
+    let mk = || {
+        let opts = PipelineOpts {
+            max_samples: Some(12),
+            run_probing: false,
+            ..PipelineOpts::fast()
+        };
+        Pipeline::new(opts).run(&world).0
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.samples.len(), b.samples.len());
+    assert_eq!(a.c2s.len(), b.c2s.len());
+    assert_eq!(a.ddos.len(), b.ddos.len());
+    let ka: Vec<&String> = a.c2s.keys().collect();
+    let kb: Vec<&String> = b.c2s.keys().collect();
+    assert_eq!(ka, kb);
+}

@@ -1,0 +1,101 @@
+//! Property tests for the analysis layer: statistics invariants and
+//! extractor totality on arbitrary traffic.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use malnet_core::ddos;
+use malnet_core::stats::{Cdf, Counter};
+use malnet_protocols::Family;
+use malnet_wire::packet::Packet;
+use malnet_wire::tcp::TcpFlags;
+
+fn arb_packet() -> impl Strategy<Value = (u64, Packet)> {
+    (
+        any::<u32>().prop_map(u64::from),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(true), Just(false)],
+        proptest::collection::vec(any::<u8>(), 0..48),
+    )
+        .prop_map(|(ts, src, dst, sp, dp, tcp, payload)| {
+            let p = if tcp {
+                Packet::tcp(
+                    Ipv4Addr::from(src),
+                    sp,
+                    Ipv4Addr::from(dst),
+                    dp,
+                    1,
+                    0,
+                    TcpFlags::PSH_ACK,
+                    payload,
+                )
+            } else {
+                Packet::udp(Ipv4Addr::from(src), sp, Ipv4Addr::from(dst), dp, payload)
+            };
+            (ts, p)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// CDF invariants: monotone, bounded, quantiles within data range.
+    #[test]
+    fn cdf_invariants(values in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let cdf = Cdf::new(values.clone());
+        let mut last = 0.0f64;
+        for x in [0u64, 1, 10, 100, 1000, 10_000] {
+            let v = cdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= last);
+            last = v;
+        }
+        prop_assert!((cdf.at(cdf.max()) - 1.0).abs() < 1e-9);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = cdf.quantile(q);
+            prop_assert!((min..=max).contains(&v));
+        }
+        prop_assert!(cdf.mean() >= min as f64 && cdf.mean() <= max as f64);
+    }
+
+    /// Counter totals equal the sum of entries in any order.
+    #[test]
+    fn counter_conservation(keys in proptest::collection::vec(0u8..20, 0..200)) {
+        let mut c = Counter::new();
+        for k in &keys {
+            c.add(*k);
+        }
+        prop_assert_eq!(c.total() as usize, keys.len());
+        let sum: u64 = c.sorted().iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(sum as usize, keys.len());
+    }
+
+    /// The DDoS extractor is total over arbitrary packet soups, for every
+    /// family profile and threshold, and everything it returns satisfies
+    /// its own invariants.
+    #[test]
+    fn ddos_extractor_total(
+        pkts in proptest::collection::vec(arb_packet(), 0..120),
+        fam_idx in 0usize..7,
+        pps in prop_oneof![Just(1u64), Just(100), Just(100_000)],
+    ) {
+        let bot = Ipv4Addr::new(100, 64, 0, 2);
+        let c2 = Ipv4Addr::new(10, 1, 0, 5);
+        let mut pkts = pkts;
+        pkts.sort_by_key(|(ts, _)| *ts);
+        let out = ddos::extract(&pkts, bot, c2, Some(Family::ALL[fam_idx]), pps);
+        for e in &out {
+            prop_assert!(e.command.duration_secs < 1 << 31);
+            // Behavioural detections always carry rate evidence.
+            if matches!(e.detection, malnet_core::datasets::DdosDetection::Behavioral) {
+                prop_assert!(e.measured_pps >= pps);
+            }
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! A two-pass MIPS32 assembler.
+//!
+//! Instructions are structured values ([`Ins`]), not parsed text: the stub
+//! generator in `malnet-botgen` builds programs programmatically. Labels
+//! are strings resolved in the second pass. Branch/jump delay slots are
+//! filled with an automatic `nop` (the classic conservative assembler
+//! behaviour), so generated code is always delay-slot-correct.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// MIPS register, by conventional name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+#[allow(missing_docs)]
+impl Reg {
+    pub const ZERO: Reg = Reg(0);
+    pub const AT: Reg = Reg(1);
+    pub const V0: Reg = Reg(2);
+    pub const V1: Reg = Reg(3);
+    pub const A0: Reg = Reg(4);
+    pub const A1: Reg = Reg(5);
+    pub const A2: Reg = Reg(6);
+    pub const A3: Reg = Reg(7);
+    pub const T0: Reg = Reg(8);
+    pub const T1: Reg = Reg(9);
+    pub const T2: Reg = Reg(10);
+    pub const T3: Reg = Reg(11);
+    pub const T4: Reg = Reg(12);
+    pub const T5: Reg = Reg(13);
+    pub const T6: Reg = Reg(14);
+    pub const T7: Reg = Reg(15);
+    pub const S0: Reg = Reg(16);
+    pub const S1: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const T8: Reg = Reg(24);
+    pub const T9: Reg = Reg(25);
+    pub const K0: Reg = Reg(26);
+    pub const K1: Reg = Reg(27);
+    pub const GP: Reg = Reg(28);
+    pub const SP: Reg = Reg(29);
+    pub const FP: Reg = Reg(30);
+    pub const RA: Reg = Reg(31);
+}
+
+/// Conventional register names for the disassembler.
+pub const REG_NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
+    "fp", "ra",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", REG_NAMES[self.0 as usize & 31])
+    }
+}
+
+/// A branch/jump target: either a named label or an absolute address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// Resolved in pass 2 from the label table.
+    Label(String),
+    /// Absolute byte address.
+    Abs(u32),
+}
+
+impl From<&str> for Target {
+    fn from(s: &str) -> Self {
+        Target::Label(s.to_string())
+    }
+}
+impl From<u32> for Target {
+    fn from(a: u32) -> Self {
+        Target::Abs(a)
+    }
+}
+
+/// One MIPS32 instruction (or pseudo-instruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Ins {
+    // --- R-type arithmetic/logic ---
+    Addu(Reg, Reg, Reg), // rd, rs, rt
+    Subu(Reg, Reg, Reg),
+    And(Reg, Reg, Reg),
+    Or(Reg, Reg, Reg),
+    Xor(Reg, Reg, Reg),
+    Nor(Reg, Reg, Reg),
+    Slt(Reg, Reg, Reg),
+    Sltu(Reg, Reg, Reg),
+    Sll(Reg, Reg, u8), // rd, rt, shamt
+    Srl(Reg, Reg, u8),
+    Sra(Reg, Reg, u8),
+    Sllv(Reg, Reg, Reg), // rd, rt, rs
+    Srlv(Reg, Reg, Reg),
+    Mult(Reg, Reg),
+    Multu(Reg, Reg),
+    Div(Reg, Reg),
+    Divu(Reg, Reg),
+    Mfhi(Reg),
+    Mflo(Reg),
+    Jr(Reg),
+    Jalr(Reg, Reg), // rd, rs
+    Syscall,
+    Break,
+    // --- I-type ---
+    Addiu(Reg, Reg, i16), // rt, rs, imm
+    Slti(Reg, Reg, i16),
+    Sltiu(Reg, Reg, i16),
+    Andi(Reg, Reg, u16),
+    Ori(Reg, Reg, u16),
+    Xori(Reg, Reg, u16),
+    Lui(Reg, u16),
+    Lb(Reg, Reg, i16), // rt, base, offset
+    Lbu(Reg, Reg, i16),
+    Lh(Reg, Reg, i16),
+    Lhu(Reg, Reg, i16),
+    Lw(Reg, Reg, i16),
+    Sb(Reg, Reg, i16),
+    Sh(Reg, Reg, i16),
+    Sw(Reg, Reg, i16),
+    Beq(Reg, Reg, Target),
+    Bne(Reg, Reg, Target),
+    Blez(Reg, Target),
+    Bgtz(Reg, Target),
+    Bltz(Reg, Target),
+    Bgez(Reg, Target),
+    // --- J-type ---
+    J(Target),
+    Jal(Target),
+    // --- pseudo ---
+    /// `nop` == `sll $zero, $zero, 0`.
+    Nop,
+    /// Load a full 32-bit immediate (`lui` + `ori`): 8 bytes.
+    Li(Reg, u32),
+    /// Register move (`addu rd, rs, $zero`).
+    Move(Reg, Reg),
+    /// Unconditional branch (`beq $zero, $zero, target`).
+    B(Target),
+}
+
+impl Ins {
+    /// Encoded size in bytes (pseudo `Li` expands to two words; branches
+    /// and jumps get an automatic delay-slot `nop`).
+    pub fn size(&self) -> u32 {
+        match self {
+            Ins::Li(..) => 8,
+            Ins::Beq(..)
+            | Ins::Bne(..)
+            | Ins::Blez(..)
+            | Ins::Bgtz(..)
+            | Ins::Bltz(..)
+            | Ins::Bgez(..)
+            | Ins::B(..)
+            | Ins::J(..)
+            | Ins::Jal(..)
+            | Ins::Jr(..)
+            | Ins::Jalr(..) => 8,
+            _ => 4,
+        }
+    }
+}
+
+fn r_type(op: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u8, funct: u32) -> u32 {
+    op << 26
+        | u32::from(rs.0 & 31) << 21
+        | u32::from(rt.0 & 31) << 16
+        | u32::from(rd.0 & 31) << 11
+        | u32::from(shamt & 31) << 6
+        | funct
+}
+
+fn i_type(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    op << 26 | u32::from(rs.0 & 31) << 21 | u32::from(rt.0 & 31) << 16 | u32::from(imm)
+}
+
+/// Assembler error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// Branch target out of the signed-16-bit word-offset range.
+    BranchOutOfRange {
+        /// Branch site address.
+        at: u32,
+        /// Requested target address.
+        target: u32,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label {l:?}"),
+            AsmError::BranchOutOfRange { at, target } => {
+                write!(f, "branch at {at:#x} to {target:#x} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Item {
+    Ins(Ins),
+    Label(String),
+}
+
+/// The two-pass assembler. Instructions are appended in order; `assemble`
+/// produces big-endian machine code.
+#[derive(Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    base: u32,
+}
+
+impl Assembler {
+    /// Create an assembler whose first instruction lands at `base`.
+    pub fn new(base: u32) -> Self {
+        Assembler {
+            items: Vec::new(),
+            base,
+        }
+    }
+
+    /// Append an instruction.
+    pub fn ins(&mut self, i: Ins) -> &mut Self {
+        self.items.push(Item::Ins(i));
+        self
+    }
+
+    /// Append many instructions.
+    pub fn emit(&mut self, ins: impl IntoIterator<Item = Ins>) -> &mut Self {
+        for i in ins {
+            self.ins(i);
+        }
+        self
+    }
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.items.push(Item::Label(name.to_string()));
+        self
+    }
+
+    /// Assemble to big-endian machine code.
+    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+        // Pass 1: label addresses.
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        let mut pc = self.base;
+        for item in &self.items {
+            match item {
+                Item::Label(name) => {
+                    if labels.insert(name.clone(), pc).is_some() {
+                        return Err(AsmError::DuplicateLabel(name.clone()));
+                    }
+                }
+                Item::Ins(i) => pc += i.size(),
+            }
+        }
+        let resolve = |t: &Target| -> Result<u32, AsmError> {
+            match t {
+                Target::Abs(a) => Ok(*a),
+                Target::Label(l) => labels
+                    .get(l)
+                    .copied()
+                    .ok_or_else(|| AsmError::UndefinedLabel(l.clone())),
+            }
+        };
+        // Pass 2: encode.
+        let mut out: Vec<u8> = Vec::new();
+        let mut pc = self.base;
+        let word = |out: &mut Vec<u8>, w: u32, pc: &mut u32| {
+            out.extend_from_slice(&w.to_be_bytes());
+            *pc += 4;
+        };
+        let branch_imm = |pc: u32, target: u32| -> Result<u16, AsmError> {
+            let delta = (i64::from(target) - i64::from(pc) - 4) / 4;
+            if !(-(1 << 15)..(1 << 15)).contains(&delta) {
+                return Err(AsmError::BranchOutOfRange { at: pc, target });
+            }
+            Ok(delta as i16 as u16)
+        };
+        for item in &self.items {
+            let Item::Ins(i) = item else { continue };
+            match i {
+                Ins::Addu(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x21), &mut pc),
+                Ins::Subu(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x23), &mut pc),
+                Ins::And(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x24), &mut pc),
+                Ins::Or(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x25), &mut pc),
+                Ins::Xor(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x26), &mut pc),
+                Ins::Nor(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x27), &mut pc),
+                Ins::Slt(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x2a), &mut pc),
+                Ins::Sltu(rd, rs, rt) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x2b), &mut pc),
+                Ins::Sll(rd, rt, sh) => {
+                    word(&mut out, r_type(0, Reg::ZERO, *rt, *rd, *sh, 0x00), &mut pc)
+                }
+                Ins::Srl(rd, rt, sh) => {
+                    word(&mut out, r_type(0, Reg::ZERO, *rt, *rd, *sh, 0x02), &mut pc)
+                }
+                Ins::Sra(rd, rt, sh) => {
+                    word(&mut out, r_type(0, Reg::ZERO, *rt, *rd, *sh, 0x03), &mut pc)
+                }
+                Ins::Sllv(rd, rt, rs) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x04), &mut pc),
+                Ins::Srlv(rd, rt, rs) => word(&mut out, r_type(0, *rs, *rt, *rd, 0, 0x06), &mut pc),
+                Ins::Mult(rs, rt) => {
+                    word(&mut out, r_type(0, *rs, *rt, Reg::ZERO, 0, 0x18), &mut pc)
+                }
+                Ins::Multu(rs, rt) => {
+                    word(&mut out, r_type(0, *rs, *rt, Reg::ZERO, 0, 0x19), &mut pc)
+                }
+                Ins::Div(rs, rt) => {
+                    word(&mut out, r_type(0, *rs, *rt, Reg::ZERO, 0, 0x1a), &mut pc)
+                }
+                Ins::Divu(rs, rt) => {
+                    word(&mut out, r_type(0, *rs, *rt, Reg::ZERO, 0, 0x1b), &mut pc)
+                }
+                Ins::Mfhi(rd) => word(
+                    &mut out,
+                    r_type(0, Reg::ZERO, Reg::ZERO, *rd, 0, 0x10),
+                    &mut pc,
+                ),
+                Ins::Mflo(rd) => word(
+                    &mut out,
+                    r_type(0, Reg::ZERO, Reg::ZERO, *rd, 0, 0x12),
+                    &mut pc,
+                ),
+                Ins::Jr(rs) => {
+                    word(&mut out, r_type(0, *rs, Reg::ZERO, Reg::ZERO, 0, 0x08), &mut pc);
+                    word(&mut out, 0, &mut pc); // delay slot
+                }
+                Ins::Jalr(rd, rs) => {
+                    word(&mut out, r_type(0, *rs, Reg::ZERO, *rd, 0, 0x09), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Syscall => word(&mut out, 0x0000000c, &mut pc),
+                Ins::Break => word(&mut out, 0x0000000d, &mut pc),
+                Ins::Addiu(rt, rs, imm) => {
+                    word(&mut out, i_type(0x09, *rs, *rt, *imm as u16), &mut pc)
+                }
+                Ins::Slti(rt, rs, imm) => {
+                    word(&mut out, i_type(0x0a, *rs, *rt, *imm as u16), &mut pc)
+                }
+                Ins::Sltiu(rt, rs, imm) => {
+                    word(&mut out, i_type(0x0b, *rs, *rt, *imm as u16), &mut pc)
+                }
+                Ins::Andi(rt, rs, imm) => word(&mut out, i_type(0x0c, *rs, *rt, *imm), &mut pc),
+                Ins::Ori(rt, rs, imm) => word(&mut out, i_type(0x0d, *rs, *rt, *imm), &mut pc),
+                Ins::Xori(rt, rs, imm) => word(&mut out, i_type(0x0e, *rs, *rt, *imm), &mut pc),
+                Ins::Lui(rt, imm) => word(&mut out, i_type(0x0f, Reg::ZERO, *rt, *imm), &mut pc),
+                Ins::Lb(rt, base, off) => {
+                    word(&mut out, i_type(0x20, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Lh(rt, base, off) => {
+                    word(&mut out, i_type(0x21, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Lw(rt, base, off) => {
+                    word(&mut out, i_type(0x23, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Lbu(rt, base, off) => {
+                    word(&mut out, i_type(0x24, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Lhu(rt, base, off) => {
+                    word(&mut out, i_type(0x25, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Sb(rt, base, off) => {
+                    word(&mut out, i_type(0x28, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Sh(rt, base, off) => {
+                    word(&mut out, i_type(0x29, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Sw(rt, base, off) => {
+                    word(&mut out, i_type(0x2b, *base, *rt, *off as u16), &mut pc)
+                }
+                Ins::Beq(rs, rt, t) => {
+                    let imm = branch_imm(pc, resolve(t)?)?;
+                    word(&mut out, i_type(0x04, *rs, *rt, imm), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Bne(rs, rt, t) => {
+                    let imm = branch_imm(pc, resolve(t)?)?;
+                    word(&mut out, i_type(0x05, *rs, *rt, imm), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Blez(rs, t) => {
+                    let imm = branch_imm(pc, resolve(t)?)?;
+                    word(&mut out, i_type(0x06, *rs, Reg::ZERO, imm), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Bgtz(rs, t) => {
+                    let imm = branch_imm(pc, resolve(t)?)?;
+                    word(&mut out, i_type(0x07, *rs, Reg::ZERO, imm), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Bltz(rs, t) => {
+                    let imm = branch_imm(pc, resolve(t)?)?;
+                    word(&mut out, i_type(0x01, *rs, Reg(0), imm), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Bgez(rs, t) => {
+                    let imm = branch_imm(pc, resolve(t)?)?;
+                    word(&mut out, i_type(0x01, *rs, Reg(1), imm), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::J(t) => {
+                    let target = resolve(t)?;
+                    word(&mut out, 0x02 << 26 | (target >> 2) & 0x03ff_ffff, &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Jal(t) => {
+                    let target = resolve(t)?;
+                    word(&mut out, 0x03 << 26 | (target >> 2) & 0x03ff_ffff, &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+                Ins::Nop => word(&mut out, 0, &mut pc),
+                Ins::Li(rt, imm) => {
+                    word(&mut out, i_type(0x0f, Reg::ZERO, *rt, (*imm >> 16) as u16), &mut pc);
+                    word(&mut out, i_type(0x0d, *rt, *rt, *imm as u16), &mut pc);
+                }
+                Ins::Move(rd, rs) => {
+                    word(&mut out, r_type(0, *rs, Reg::ZERO, *rd, 0, 0x21), &mut pc)
+                }
+                Ins::B(t) => {
+                    let imm = branch_imm(pc, resolve(t)?)?;
+                    word(&mut out, i_type(0x04, Reg::ZERO, Reg::ZERO, imm), &mut pc);
+                    word(&mut out, 0, &mut pc);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_words() {
+        // addu $v0, $a0, $a1  => 0x00851021
+        let mut a = Assembler::new(0);
+        a.ins(Ins::Addu(Reg::V0, Reg::A0, Reg::A1));
+        assert_eq!(a.assemble().unwrap(), 0x00851021u32.to_be_bytes());
+        // ori $t0, $zero, 0x1234 => 0x34081234
+        let mut a = Assembler::new(0);
+        a.ins(Ins::Ori(Reg::T0, Reg::ZERO, 0x1234));
+        assert_eq!(a.assemble().unwrap(), 0x34081234u32.to_be_bytes());
+        // lw $t1, 8($sp) => 0x8fa90008
+        let mut a = Assembler::new(0);
+        a.ins(Ins::Lw(Reg::T1, Reg::SP, 8));
+        assert_eq!(a.assemble().unwrap(), 0x8fa90008u32.to_be_bytes());
+        // syscall => 0x0000000c
+        let mut a = Assembler::new(0);
+        a.ins(Ins::Syscall);
+        assert_eq!(a.assemble().unwrap(), 0x0000000cu32.to_be_bytes());
+    }
+
+    #[test]
+    fn li_expands_to_lui_ori() {
+        let mut a = Assembler::new(0);
+        a.ins(Ins::Li(Reg::T0, 0xdeadbeef));
+        let code = a.assemble().unwrap();
+        assert_eq!(code.len(), 8);
+        assert_eq!(&code[0..4], &0x3c08deadu32.to_be_bytes()); // lui $t0, 0xdead
+        assert_eq!(&code[4..8], &0x3508beefu32.to_be_bytes()); // ori $t0, $t0, 0xbeef
+    }
+
+    #[test]
+    fn branch_back_and_forward_resolve() {
+        let mut a = Assembler::new(0x400000);
+        a.label("top")
+            .ins(Ins::Addiu(Reg::T0, Reg::T0, 1))
+            .ins(Ins::Bne(Reg::T0, Reg::T1, "top".into()))
+            .ins(Ins::Beq(Reg::ZERO, Reg::ZERO, "end".into()))
+            .ins(Ins::Nop)
+            .label("end")
+            .ins(Ins::Jr(Reg::RA));
+        let code = a.assemble().unwrap();
+        // bne at 0x400004, target 0x400000: offset = (0x400000-0x400008)/4 = -2
+        let w = u32::from_be_bytes([code[4], code[5], code[6], code[7]]);
+        assert_eq!(w & 0xffff, 0xfffe);
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Assembler::new(0);
+        a.ins(Ins::J("nowhere".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::UndefinedLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Assembler::new(0);
+        a.label("x").ins(Ins::Nop).label("x");
+        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn jumps_get_delay_slot_nops() {
+        let mut a = Assembler::new(0x400000);
+        a.label("self").ins(Ins::J("self".into()));
+        let code = a.assemble().unwrap();
+        assert_eq!(code.len(), 8);
+        assert_eq!(&code[4..8], &[0, 0, 0, 0]);
+        let w = u32::from_be_bytes([code[0], code[1], code[2], code[3]]);
+        assert_eq!(w >> 26, 0x02);
+        assert_eq!(w & 0x03ff_ffff, 0x400000 >> 2);
+    }
+
+    #[test]
+    fn sizes_match_emitted_bytes() {
+        let ins = [
+            Ins::Nop,
+            Ins::Li(Reg::T0, 5),
+            Ins::J("l".into()),
+            Ins::Addu(Reg::T0, Reg::T1, Reg::T2),
+            Ins::Beq(Reg::T0, Reg::T1, "l".into()),
+        ];
+        let mut a = Assembler::new(0);
+        a.label("l");
+        let mut expect = 0;
+        for i in ins {
+            expect += i.size();
+            a.ins(i.clone());
+        }
+        assert_eq!(a.assemble().unwrap().len() as u32, expect);
+    }
+}

@@ -1,0 +1,589 @@
+//! The interpreting MIPS32 CPU.
+//!
+//! Faithful enough to run the code our assembler produces: full integer
+//! ALU, hi/lo multiply/divide, loads/stores (big-endian), branches and
+//! jumps **with architectural delay slots**, and `syscall`/`break`.
+//! Unknown opcodes fault (like SIGILL) rather than being ignored — the
+//! sandbox treats a faulting binary as "failed to activate", one of the
+//! activation-rate factors the paper discusses (§6f).
+
+use crate::mem::{MemError, Memory};
+use std::fmt;
+
+/// CPU execution fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Memory access fault.
+    Mem(MemError),
+    /// Undecodable instruction word.
+    IllegalInstruction {
+        /// Program counter of the instruction.
+        pc: u32,
+        /// The raw word.
+        word: u32,
+    },
+    /// `break` executed.
+    Break {
+        /// Program counter of the `break`.
+        pc: u32,
+    },
+    /// Integer divide by zero (we fault instead of UNPREDICTABLE).
+    DivideByZero {
+        /// Program counter of the divide.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::Mem(e) => write!(f, "memory fault: {e}"),
+            CpuError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at {pc:#010x}")
+            }
+            CpuError::Break { pc } => write!(f, "break at {pc:#010x}"),
+            CpuError::DivideByZero { pc } => write!(f, "divide by zero at {pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+impl From<MemError> for CpuError {
+    fn from(e: MemError) -> Self {
+        CpuError::Mem(e)
+    }
+}
+
+/// What `step` observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Normal instruction retired.
+    Continue,
+    /// A `syscall` instruction executed. The embedder must service it
+    /// (reading `$v0`/`$a0..$a3`), write results, and resume; the PC has
+    /// already advanced past the `syscall`.
+    Syscall,
+}
+
+/// Conventional stack top for emulated processes.
+pub const STACK_TOP: u32 = 0x7fff_f000;
+/// Default stack size.
+pub const STACK_SIZE: u32 = 256 * 1024;
+
+/// The CPU: registers plus memory.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers; index 0 is hardwired to zero.
+    pub regs: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+    /// Multiply/divide HI.
+    pub hi: u32,
+    /// Multiply/divide LO.
+    pub lo: u32,
+    /// The address space.
+    pub mem: Memory,
+    /// Retired instruction count.
+    pub retired: u64,
+    pending_branch: Option<u32>,
+}
+
+impl Cpu {
+    /// Create a CPU starting at `entry` over `mem`, with `$sp` set to the
+    /// stack top (the stack segment must already be mapped).
+    pub fn new(mem: Memory, entry: u32) -> Self {
+        let mut regs = [0u32; 32];
+        regs[29] = STACK_TOP - 16;
+        Cpu {
+            regs,
+            pc: entry,
+            hi: 0,
+            lo: 0,
+            mem,
+            retired: 0,
+            pending_branch: None,
+        }
+    }
+
+    /// Read register (index 0 always 0).
+    #[inline]
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[(r & 31) as usize]
+    }
+
+    /// Write register (writes to $zero are discarded).
+    #[inline]
+    pub fn set_reg(&mut self, r: u8, v: u32) {
+        if r & 31 != 0 {
+            self.regs[(r & 31) as usize] = v;
+        }
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self) -> Result<StepOutcome, CpuError> {
+        let pc = self.pc;
+        let word = self.mem.read_u32(pc)?;
+        // Where does control go after this instruction (unless it branches)?
+        let next = match self.pending_branch.take() {
+            Some(target) => target,
+            None => pc.wrapping_add(4),
+        };
+        self.pc = next;
+        self.retired += 1;
+
+        let op = word >> 26;
+        let rs = ((word >> 21) & 31) as u8;
+        let rt = ((word >> 16) & 31) as u8;
+        let rd = ((word >> 11) & 31) as u8;
+        let shamt = ((word >> 6) & 31) as u8;
+        let funct = word & 0x3f;
+        let imm = (word & 0xffff) as u16;
+        let simm = imm as i16 as i32;
+
+        macro_rules! branch_to {
+            ($target:expr) => {{
+                // The *next* instruction (delay slot) executes first; the
+                // branch takes effect after it.
+                self.pending_branch = Some($target);
+            }};
+        }
+
+        match op {
+            0 => match funct {
+                0x00 => {
+                    let v = self.reg(rt) << shamt;
+                    self.set_reg(rd, v);
+                }
+                0x02 => {
+                    let v = self.reg(rt) >> shamt;
+                    self.set_reg(rd, v);
+                }
+                0x03 => {
+                    let v = ((self.reg(rt) as i32) >> shamt) as u32;
+                    self.set_reg(rd, v);
+                }
+                0x04 => {
+                    let v = self.reg(rt) << (self.reg(rs) & 31);
+                    self.set_reg(rd, v);
+                }
+                0x06 => {
+                    let v = self.reg(rt) >> (self.reg(rs) & 31);
+                    self.set_reg(rd, v);
+                }
+                0x08 => branch_to!(self.reg(rs)),
+                0x09 => {
+                    let target = self.reg(rs);
+                    self.set_reg(rd, pc.wrapping_add(8));
+                    branch_to!(target);
+                }
+                0x0c => return Ok(StepOutcome::Syscall),
+                0x0d => return Err(CpuError::Break { pc }),
+                0x10 => self.set_reg(rd, self.hi),
+                0x12 => self.set_reg(rd, self.lo),
+                0x18 => {
+                    let p = i64::from(self.reg(rs) as i32) * i64::from(self.reg(rt) as i32);
+                    self.lo = p as u32;
+                    self.hi = (p >> 32) as u32;
+                }
+                0x19 => {
+                    let p = u64::from(self.reg(rs)) * u64::from(self.reg(rt));
+                    self.lo = p as u32;
+                    self.hi = (p >> 32) as u32;
+                }
+                0x1a => {
+                    let d = self.reg(rt) as i32;
+                    if d == 0 {
+                        return Err(CpuError::DivideByZero { pc });
+                    }
+                    let n = self.reg(rs) as i32;
+                    self.lo = n.wrapping_div(d) as u32;
+                    self.hi = n.wrapping_rem(d) as u32;
+                }
+                0x1b => {
+                    let d = self.reg(rt);
+                    if d == 0 {
+                        return Err(CpuError::DivideByZero { pc });
+                    }
+                    let n = self.reg(rs);
+                    self.lo = n / d;
+                    self.hi = n % d;
+                }
+                0x21 => {
+                    let v = self.reg(rs).wrapping_add(self.reg(rt));
+                    self.set_reg(rd, v);
+                }
+                0x23 => {
+                    let v = self.reg(rs).wrapping_sub(self.reg(rt));
+                    self.set_reg(rd, v);
+                }
+                0x24 => {
+                    let v = self.reg(rs) & self.reg(rt);
+                    self.set_reg(rd, v);
+                }
+                0x25 => {
+                    let v = self.reg(rs) | self.reg(rt);
+                    self.set_reg(rd, v);
+                }
+                0x26 => {
+                    let v = self.reg(rs) ^ self.reg(rt);
+                    self.set_reg(rd, v);
+                }
+                0x27 => {
+                    let v = !(self.reg(rs) | self.reg(rt));
+                    self.set_reg(rd, v);
+                }
+                0x2a => {
+                    let v = ((self.reg(rs) as i32) < (self.reg(rt) as i32)) as u32;
+                    self.set_reg(rd, v);
+                }
+                0x2b => {
+                    let v = (self.reg(rs) < self.reg(rt)) as u32;
+                    self.set_reg(rd, v);
+                }
+                _ => return Err(CpuError::IllegalInstruction { pc, word }),
+            },
+            0x01 => {
+                // REGIMM: bltz (rt=0), bgez (rt=1)
+                let taken = match rt {
+                    0 => (self.reg(rs) as i32) < 0,
+                    1 => (self.reg(rs) as i32) >= 0,
+                    _ => return Err(CpuError::IllegalInstruction { pc, word }),
+                };
+                if taken {
+                    branch_to!(pc.wrapping_add(4).wrapping_add((simm << 2) as u32));
+                }
+            }
+            0x02 => branch_to!((pc.wrapping_add(4) & 0xf000_0000) | (word & 0x03ff_ffff) << 2),
+            0x03 => {
+                self.set_reg(31, pc.wrapping_add(8));
+                branch_to!((pc.wrapping_add(4) & 0xf000_0000) | (word & 0x03ff_ffff) << 2);
+            }
+            0x04 => {
+                if self.reg(rs) == self.reg(rt) {
+                    branch_to!(pc.wrapping_add(4).wrapping_add((simm << 2) as u32));
+                }
+            }
+            0x05 => {
+                if self.reg(rs) != self.reg(rt) {
+                    branch_to!(pc.wrapping_add(4).wrapping_add((simm << 2) as u32));
+                }
+            }
+            0x06 => {
+                if (self.reg(rs) as i32) <= 0 {
+                    branch_to!(pc.wrapping_add(4).wrapping_add((simm << 2) as u32));
+                }
+            }
+            0x07 => {
+                if (self.reg(rs) as i32) > 0 {
+                    branch_to!(pc.wrapping_add(4).wrapping_add((simm << 2) as u32));
+                }
+            }
+            0x08 | 0x09 => {
+                // addi is treated as addiu (no overflow traps in our guest).
+                let v = self.reg(rs).wrapping_add(simm as u32);
+                self.set_reg(rt, v);
+            }
+            0x0a => {
+                let v = ((self.reg(rs) as i32) < simm) as u32;
+                self.set_reg(rt, v);
+            }
+            0x0b => {
+                let v = (self.reg(rs) < simm as u32) as u32;
+                self.set_reg(rt, v);
+            }
+            0x0c => {
+                let v = self.reg(rs) & u32::from(imm);
+                self.set_reg(rt, v);
+            }
+            0x0d => {
+                let v = self.reg(rs) | u32::from(imm);
+                self.set_reg(rt, v);
+            }
+            0x0e => {
+                let v = self.reg(rs) ^ u32::from(imm);
+                self.set_reg(rt, v);
+            }
+            0x0f => self.set_reg(rt, u32::from(imm) << 16),
+            0x20 => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                let v = self.mem.read_u8(a)? as i8 as i32 as u32;
+                self.set_reg(rt, v);
+            }
+            0x21 => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                let v = self.mem.read_u16(a)? as i16 as i32 as u32;
+                self.set_reg(rt, v);
+            }
+            0x23 => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                let v = self.mem.read_u32(a)?;
+                self.set_reg(rt, v);
+            }
+            0x24 => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                let v = u32::from(self.mem.read_u8(a)?);
+                self.set_reg(rt, v);
+            }
+            0x25 => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                let v = u32::from(self.mem.read_u16(a)?);
+                self.set_reg(rt, v);
+            }
+            0x28 => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                self.mem.write_u8(a, self.reg(rt) as u8)?;
+            }
+            0x29 => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                self.mem.write_u16(a, self.reg(rt) as u16)?;
+            }
+            0x2b => {
+                let a = self.reg(rs).wrapping_add(simm as u32);
+                self.mem.write_u32(a, self.reg(rt))?;
+            }
+            _ => return Err(CpuError::IllegalInstruction { pc, word }),
+        }
+        Ok(StepOutcome::Continue)
+    }
+
+    /// Run until a syscall, a fault, or `budget` instructions retire.
+    /// Returns `Ok(Some(StepOutcome::Syscall))` on syscall, `Ok(None)`
+    /// when the budget is exhausted.
+    pub fn run(&mut self, budget: u64) -> Result<Option<StepOutcome>, CpuError> {
+        for _ in 0..budget {
+            match self.step()? {
+                StepOutcome::Continue => {}
+                s @ StepOutcome::Syscall => return Ok(Some(s)),
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Assembler, Ins, Reg};
+
+    /// Assemble and run a program until `break`, then return the CPU.
+    fn run(build: impl FnOnce(&mut Assembler)) -> Cpu {
+        let base = 0x0040_0000;
+        let mut a = Assembler::new(base);
+        build(&mut a);
+        a.ins(Ins::Break);
+        let code = a.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.map(base, code, false);
+        mem.map_zeroed(0x1000_0000, 4096, true);
+        mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+        let mut cpu = Cpu::new(mem, base);
+        loop {
+            match cpu.step() {
+                Ok(StepOutcome::Continue) => {}
+                Ok(StepOutcome::Syscall) => panic!("unexpected syscall"),
+                Err(CpuError::Break { .. }) => return cpu,
+                Err(e) => panic!("fault: {e}"),
+            }
+            assert!(cpu.retired < 100_000, "runaway test program");
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let cpu = run(|a| {
+            a.ins(Ins::Li(Reg::T0, 7))
+                .ins(Ins::Li(Reg::T1, 5))
+                .ins(Ins::Addu(Reg::T2, Reg::T0, Reg::T1)) // 12
+                .ins(Ins::Subu(Reg::T3, Reg::T0, Reg::T1)) // 2
+                .ins(Ins::And(Reg::T4, Reg::T0, Reg::T1)) // 5
+                .ins(Ins::Or(Reg::T5, Reg::T0, Reg::T1)) // 7
+                .ins(Ins::Xor(Reg::T6, Reg::T0, Reg::T1)) // 2
+                .ins(Ins::Sll(Reg::T7, Reg::T0, 4)); // 112
+        });
+        assert_eq!(cpu.reg(10), 12);
+        assert_eq!(cpu.reg(11), 2);
+        assert_eq!(cpu.reg(12), 5);
+        assert_eq!(cpu.reg(13), 7);
+        assert_eq!(cpu.reg(14), 2);
+        assert_eq!(cpu.reg(15), 112);
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let cpu = run(|a| {
+            a.ins(Ins::Li(Reg::T0, 99)).ins(Ins::Addu(Reg::ZERO, Reg::T0, Reg::T0));
+        });
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn loop_with_branch_counts_correctly() {
+        let cpu = run(|a| {
+            a.ins(Ins::Li(Reg::T0, 0))
+                .ins(Ins::Li(Reg::T1, 10))
+                .label("loop")
+                .ins(Ins::Addiu(Reg::T0, Reg::T0, 1))
+                .ins(Ins::Bne(Reg::T0, Reg::T1, "loop".into()));
+        });
+        assert_eq!(cpu.reg(8), 10);
+    }
+
+    #[test]
+    fn delay_slot_executes_before_branch() {
+        // Hand-encode: beq taken with an addiu in the delay slot.
+        let base = 0x0040_0000;
+        let mut a = Assembler::new(base);
+        // beq $zero,$zero,+2 (skip one word after delay slot)
+        // delay slot: addiu $t0, $t0, 5  (must execute!)
+        // skipped: addiu $t0, $t0, 100
+        // target: break
+        let code: Vec<u32> = vec![
+            0x1000_0002, // beq $zero,$zero,+2
+            0x2508_0005, // addiu $t0,$t0,5 (delay slot)
+            0x2508_0064, // addiu $t0,$t0,100 (skipped)
+            0x0000_000d, // break
+        ];
+        let bytes: Vec<u8> = code.iter().flat_map(|w| w.to_be_bytes()).collect();
+        let mut mem = Memory::new();
+        mem.map(base, bytes, false);
+        mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+        let mut cpu = Cpu::new(mem, base);
+        let _ = a;
+        loop {
+            match cpu.step() {
+                Ok(_) => {}
+                Err(CpuError::Break { .. }) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(cpu.reg(8), 5, "delay slot must run; skipped word must not");
+    }
+
+    #[test]
+    fn jal_links_and_jr_returns() {
+        let cpu = run(|a| {
+            a.ins(Ins::Jal("fn".into()))
+                .ins(Ins::Li(Reg::T5, 1)) // after return
+                .ins(Ins::B("done".into()))
+                .label("fn")
+                .ins(Ins::Li(Reg::T4, 42))
+                .ins(Ins::Jr(Reg::RA))
+                .label("done");
+        });
+        assert_eq!(cpu.reg(12), 42);
+        assert_eq!(cpu.reg(13), 1);
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let cpu = run(|a| {
+            a.ins(Ins::Li(Reg::T0, 0x1000_0000))
+                .ins(Ins::Li(Reg::T1, 0xcafe_babe))
+                .ins(Ins::Sw(Reg::T1, Reg::T0, 0))
+                .ins(Ins::Lbu(Reg::T2, Reg::T0, 0)) // 0xca (big-endian)
+                .ins(Ins::Lb(Reg::T3, Reg::T0, 0)) // sign-extended 0xffffffca
+                .ins(Ins::Lhu(Reg::T4, Reg::T0, 2)) // 0xbabe
+                .ins(Ins::Lw(Reg::T5, Reg::T0, 0));
+        });
+        assert_eq!(cpu.reg(10), 0xca);
+        assert_eq!(cpu.reg(11), 0xffff_ffca);
+        assert_eq!(cpu.reg(12), 0xbabe);
+        assert_eq!(cpu.reg(13), 0xcafe_babe);
+    }
+
+    #[test]
+    fn mult_div_hi_lo() {
+        let cpu = run(|a| {
+            a.ins(Ins::Li(Reg::T0, 100_000))
+                .ins(Ins::Li(Reg::T1, 70_000))
+                .ins(Ins::Multu(Reg::T0, Reg::T1))
+                .ins(Ins::Mflo(Reg::T2))
+                .ins(Ins::Mfhi(Reg::T3))
+                .ins(Ins::Li(Reg::T4, 17))
+                .ins(Ins::Li(Reg::T5, 5))
+                .ins(Ins::Divu(Reg::T4, Reg::T5))
+                .ins(Ins::Mflo(Reg::T6))
+                .ins(Ins::Mfhi(Reg::T7));
+        });
+        let p = 100_000u64 * 70_000;
+        assert_eq!(cpu.reg(10), p as u32);
+        assert_eq!(cpu.reg(11), (p >> 32) as u32);
+        assert_eq!(cpu.reg(14), 3);
+        assert_eq!(cpu.reg(15), 2);
+    }
+
+    #[test]
+    fn comparisons() {
+        let cpu = run(|a| {
+            a.ins(Ins::Li(Reg::T0, 0xffff_fffb)) // -5
+                .ins(Ins::Li(Reg::T1, 3))
+                .ins(Ins::Slt(Reg::T2, Reg::T0, Reg::T1)) // signed: -5 < 3 → 1
+                .ins(Ins::Sltu(Reg::T3, Reg::T0, Reg::T1)) // unsigned → 0
+                .ins(Ins::Slti(Reg::T4, Reg::T1, 10)) // 1
+                .ins(Ins::Sltiu(Reg::T5, Reg::T1, 2)); // 0
+        });
+        assert_eq!(cpu.reg(10), 1);
+        assert_eq!(cpu.reg(11), 0);
+        assert_eq!(cpu.reg(12), 1);
+        assert_eq!(cpu.reg(13), 0);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let base = 0x0040_0000;
+        let mut a = Assembler::new(base);
+        a.ins(Ins::Li(Reg::T0, 1)).ins(Ins::Divu(Reg::T0, Reg::ZERO));
+        let code = a.assemble().unwrap();
+        let mut mem = Memory::new();
+        mem.map(base, code, false);
+        mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+        let mut cpu = Cpu::new(mem, base);
+        let err = loop {
+            match cpu.step() {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, CpuError::DivideByZero { .. }));
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let mut mem = Memory::new();
+        mem.map(0x400000, 0xffff_ffffu32.to_be_bytes().to_vec(), false);
+        mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+        let mut cpu = Cpu::new(mem, 0x400000);
+        assert!(matches!(
+            cpu.step(),
+            Err(CpuError::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn syscall_surfaces_to_embedder() {
+        let base = 0x400000;
+        let mut a = Assembler::new(base);
+        a.ins(Ins::Li(Reg::V0, 4001)).ins(Ins::Syscall);
+        let mut mem = Memory::new();
+        mem.map(base, a.assemble().unwrap(), false);
+        mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+        let mut cpu = Cpu::new(mem, base);
+        let out = cpu.run(100).unwrap();
+        assert_eq!(out, Some(StepOutcome::Syscall));
+        assert_eq!(cpu.reg(2), 4001);
+    }
+
+    #[test]
+    fn run_budget_exhausts() {
+        let base = 0x400000;
+        let mut a = Assembler::new(base);
+        a.label("spin").ins(Ins::J("spin".into()));
+        let mut mem = Memory::new();
+        mem.map(base, a.assemble().unwrap(), false);
+        mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+        let mut cpu = Cpu::new(mem, base);
+        assert_eq!(cpu.run(1000).unwrap(), None);
+        assert_eq!(cpu.retired, 1000);
+    }
+}

@@ -1,0 +1,144 @@
+//! A MIPS32 disassembler for the subset the assembler emits.
+//!
+//! Used by tests (assembler/disassembler agreement) and by analyst-facing
+//! tooling (the `dissect` example prints the text section of a sample).
+
+use crate::asm::REG_NAMES;
+
+fn r(n: u32) -> &'static str {
+    REG_NAMES[(n & 31) as usize]
+}
+
+/// Disassemble one big-endian instruction word at address `pc`.
+/// Returns a human-readable string; unknown encodings come back as
+/// `.word 0x????????`.
+pub fn disassemble(word: u32, pc: u32) -> String {
+    let op = word >> 26;
+    let rs = (word >> 21) & 31;
+    let rt = (word >> 16) & 31;
+    let rd = (word >> 11) & 31;
+    let shamt = (word >> 6) & 31;
+    let funct = word & 0x3f;
+    let imm = (word & 0xffff) as u16;
+    let simm = imm as i16;
+    let btarget = pc
+        .wrapping_add(4)
+        .wrapping_add(((simm as i32) << 2) as u32);
+    match op {
+        0 => match funct {
+            0x00 if word == 0 => "nop".to_string(),
+            0x00 => format!("sll ${}, ${}, {}", r(rd), r(rt), shamt),
+            0x02 => format!("srl ${}, ${}, {}", r(rd), r(rt), shamt),
+            0x03 => format!("sra ${}, ${}, {}", r(rd), r(rt), shamt),
+            0x04 => format!("sllv ${}, ${}, ${}", r(rd), r(rt), r(rs)),
+            0x06 => format!("srlv ${}, ${}, ${}", r(rd), r(rt), r(rs)),
+            0x08 => format!("jr ${}", r(rs)),
+            0x09 => format!("jalr ${}, ${}", r(rd), r(rs)),
+            0x0c => "syscall".to_string(),
+            0x0d => "break".to_string(),
+            0x10 => format!("mfhi ${}", r(rd)),
+            0x12 => format!("mflo ${}", r(rd)),
+            0x18 => format!("mult ${}, ${}", r(rs), r(rt)),
+            0x19 => format!("multu ${}, ${}", r(rs), r(rt)),
+            0x1a => format!("div ${}, ${}", r(rs), r(rt)),
+            0x1b => format!("divu ${}, ${}", r(rs), r(rt)),
+            0x21 => format!("addu ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            0x23 => format!("subu ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            0x24 => format!("and ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            0x25 => format!("or ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            0x26 => format!("xor ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            0x27 => format!("nor ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            0x2a => format!("slt ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            0x2b => format!("sltu ${}, ${}, ${}", r(rd), r(rs), r(rt)),
+            _ => format!(".word {word:#010x}"),
+        },
+        0x01 => match rt {
+            0 => format!("bltz ${}, {btarget:#x}", r(rs)),
+            1 => format!("bgez ${}, {btarget:#x}", r(rs)),
+            _ => format!(".word {word:#010x}"),
+        },
+        0x02 => format!(
+            "j {:#x}",
+            (pc.wrapping_add(4) & 0xf000_0000) | (word & 0x03ff_ffff) << 2
+        ),
+        0x03 => format!(
+            "jal {:#x}",
+            (pc.wrapping_add(4) & 0xf000_0000) | (word & 0x03ff_ffff) << 2
+        ),
+        0x04 => format!("beq ${}, ${}, {btarget:#x}", r(rs), r(rt)),
+        0x05 => format!("bne ${}, ${}, {btarget:#x}", r(rs), r(rt)),
+        0x06 => format!("blez ${}, {btarget:#x}", r(rs)),
+        0x07 => format!("bgtz ${}, {btarget:#x}", r(rs)),
+        0x08 | 0x09 => format!("addiu ${}, ${}, {simm}", r(rt), r(rs)),
+        0x0a => format!("slti ${}, ${}, {simm}", r(rt), r(rs)),
+        0x0b => format!("sltiu ${}, ${}, {simm}", r(rt), r(rs)),
+        0x0c => format!("andi ${}, ${}, {imm:#x}", r(rt), r(rs)),
+        0x0d => format!("ori ${}, ${}, {imm:#x}", r(rt), r(rs)),
+        0x0e => format!("xori ${}, ${}, {imm:#x}", r(rt), r(rs)),
+        0x0f => format!("lui ${}, {imm:#x}", r(rt)),
+        0x20 => format!("lb ${}, {simm}(${})", r(rt), r(rs)),
+        0x21 => format!("lh ${}, {simm}(${})", r(rt), r(rs)),
+        0x23 => format!("lw ${}, {simm}(${})", r(rt), r(rs)),
+        0x24 => format!("lbu ${}, {simm}(${})", r(rt), r(rs)),
+        0x25 => format!("lhu ${}, {simm}(${})", r(rt), r(rs)),
+        0x28 => format!("sb ${}, {simm}(${})", r(rt), r(rs)),
+        0x29 => format!("sh ${}, {simm}(${})", r(rt), r(rs)),
+        0x2b => format!("sw ${}, {simm}(${})", r(rt), r(rs)),
+        _ => format!(".word {word:#010x}"),
+    }
+}
+
+/// Disassemble a big-endian code buffer starting at `base`; one line per
+/// word.
+pub fn disassemble_all(code: &[u8], base: u32) -> Vec<String> {
+    code.chunks_exact(4)
+        .enumerate()
+        .map(|(i, c)| {
+            let w = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            let pc = base + (i as u32) * 4;
+            format!("{pc:#010x}:  {w:08x}  {}", disassemble(w, pc))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{Assembler, Ins, Reg};
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(disassemble(0x00851021, 0), "addu $v0, $a0, $a1");
+        assert_eq!(disassemble(0x34081234, 0), "ori $t0, $zero, 0x1234");
+        assert_eq!(disassemble(0x8fa90008, 0), "lw $t1, 8($sp)");
+        assert_eq!(disassemble(0, 0), "nop");
+        assert_eq!(disassemble(0x0000000c, 0), "syscall");
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        // beq $zero,$zero,-2 at 0x400008 → target 0x400004... offset -2
+        // encoded imm = 0xfffe; target = pc+4 + (-2)*4 = 0x40000c - 8 = 0x400004
+        let s = disassemble(0x1000_fffe, 0x400008);
+        assert_eq!(s, "beq $zero, $zero, 0x400004");
+    }
+
+    #[test]
+    fn assembler_output_disassembles_cleanly() {
+        let mut a = Assembler::new(0x400000);
+        a.ins(Ins::Li(Reg::T0, 0x12345678))
+            .ins(Ins::Addu(Reg::T1, Reg::T0, Reg::T0))
+            .label("l")
+            .ins(Ins::Bne(Reg::T1, Reg::ZERO, "l".into()))
+            .ins(Ins::Jal("l".into()))
+            .ins(Ins::Lw(Reg::A0, Reg::SP, -4))
+            .ins(Ins::Syscall)
+            .ins(Ins::Jr(Reg::RA));
+        let code = a.assemble().unwrap();
+        let lines = disassemble_all(&code, 0x400000);
+        assert_eq!(lines.len(), code.len() / 4);
+        assert!(lines.iter().all(|l| !l.contains(".word")), "{lines:#?}");
+        assert!(lines[0].contains("lui $t0, 0x1234"));
+        assert!(lines[1].contains("ori $t0, $t0, 0x5678"));
+    }
+}

@@ -1,0 +1,396 @@
+//! ELF32 big-endian MIPS executables: writer and reader.
+//!
+//! The writer produces statically-linked `ET_EXEC` images with proper
+//! program headers (one `PT_LOAD` per segment) and a minimal section table
+//! (`.text`, `.rodata`, `.bss`, `.shstrtab`) so tools like `readelf`
+//! recognise the files. The reader is what the sandbox's loader and the
+//! pipeline's static analysis use; it is tolerant of anything beyond the
+//! loadable segments.
+
+use std::fmt;
+
+/// ELF parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// File too short or header fields point outside the file.
+    Truncated,
+    /// Bad magic / class / data encoding.
+    NotElf(&'static str),
+    /// Wrong machine (we only load EM_MIPS).
+    WrongMachine(u16),
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::Truncated => write!(f, "elf: truncated"),
+            ElfError::NotElf(w) => write!(f, "elf: not a supported ELF ({w})"),
+            ElfError::WrongMachine(m) => write!(f, "elf: wrong machine {m:#x} (want EM_MIPS)"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+/// A loadable segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfSegment {
+    /// Virtual load address.
+    pub vaddr: u32,
+    /// File bytes to place at `vaddr`.
+    pub data: Vec<u8>,
+    /// Total in-memory size; if larger than `data.len()` the remainder is
+    /// zero-filled (`.bss` style).
+    pub memsz: u32,
+    /// Writable?
+    pub writable: bool,
+    /// Executable?
+    pub executable: bool,
+    /// Section name recorded for this segment (presentation only).
+    pub name: &'static str,
+}
+
+/// A parsed (or to-be-written) ELF executable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfFile {
+    /// Entry point address.
+    pub entry: u32,
+    /// Loadable segments in file order.
+    pub segments: Vec<ElfSegment>,
+}
+
+const EM_MIPS: u16 = 8;
+
+impl ElfFile {
+    /// Serialize to ELF bytes.
+    pub fn write(&self) -> Vec<u8> {
+        let ehsize = 52u32;
+        let phentsize = 32u32;
+        let shentsize = 40u32;
+        let phnum = self.segments.len() as u32;
+        let phoff = ehsize;
+        let mut out = Vec::new();
+        // --- ELF header ---
+        out.extend_from_slice(&[0x7f, b'E', b'L', b'F']);
+        out.push(1); // ELFCLASS32
+        out.push(2); // ELFDATA2MSB (big-endian)
+        out.push(1); // EV_CURRENT
+        out.push(0); // ELFOSABI_NONE
+        out.extend_from_slice(&[0; 8]); // padding
+        out.extend_from_slice(&2u16.to_be_bytes()); // ET_EXEC
+        out.extend_from_slice(&EM_MIPS.to_be_bytes());
+        out.extend_from_slice(&1u32.to_be_bytes()); // version
+        out.extend_from_slice(&self.entry.to_be_bytes());
+        out.extend_from_slice(&phoff.to_be_bytes());
+        let shoff_pos = out.len();
+        out.extend_from_slice(&0u32.to_be_bytes()); // shoff patched later
+        out.extend_from_slice(&0x7000_1000u32.to_be_bytes()); // e_flags: EF_MIPS_ARCH_32 | NOREORDER-ish
+        out.extend_from_slice(&(ehsize as u16).to_be_bytes());
+        out.extend_from_slice(&(phentsize as u16).to_be_bytes());
+        out.extend_from_slice(&(phnum as u16).to_be_bytes());
+        out.extend_from_slice(&(shentsize as u16).to_be_bytes());
+        let shnum = self.segments.len() as u16 + 2; // null + shstrtab
+        out.extend_from_slice(&shnum.to_be_bytes());
+        out.extend_from_slice(&(shnum - 1).to_be_bytes()); // shstrndx (last)
+
+        // --- program headers ---
+        let data_start = phoff + phnum * phentsize;
+        let mut offsets = Vec::new();
+        let mut cursor = data_start;
+        for seg in &self.segments {
+            // Align each segment's file offset to 16 for neatness.
+            cursor = (cursor + 15) & !15;
+            offsets.push(cursor);
+            cursor += seg.data.len() as u32;
+        }
+        for (seg, off) in self.segments.iter().zip(&offsets) {
+            out.extend_from_slice(&1u32.to_be_bytes()); // PT_LOAD
+            out.extend_from_slice(&off.to_be_bytes());
+            out.extend_from_slice(&seg.vaddr.to_be_bytes());
+            out.extend_from_slice(&seg.vaddr.to_be_bytes()); // paddr
+            out.extend_from_slice(&(seg.data.len() as u32).to_be_bytes());
+            out.extend_from_slice(&seg.memsz.max(seg.data.len() as u32).to_be_bytes());
+            let mut flags = 4u32; // R
+            if seg.writable {
+                flags |= 2;
+            }
+            if seg.executable {
+                flags |= 1;
+            }
+            out.extend_from_slice(&flags.to_be_bytes());
+            out.extend_from_slice(&16u32.to_be_bytes()); // align
+        }
+        // --- segment data ---
+        for (seg, off) in self.segments.iter().zip(&offsets) {
+            while (out.len() as u32) < *off {
+                out.push(0);
+            }
+            out.extend_from_slice(&seg.data);
+        }
+        // --- section string table ---
+        let mut shstrtab = vec![0u8];
+        let mut name_off = Vec::new();
+        for seg in &self.segments {
+            name_off.push(shstrtab.len() as u32);
+            shstrtab.extend_from_slice(seg.name.as_bytes());
+            shstrtab.push(0);
+        }
+        let shstrtab_name_off = shstrtab.len() as u32;
+        shstrtab.extend_from_slice(b".shstrtab\0");
+        let shstrtab_off = out.len() as u32;
+        out.extend_from_slice(&shstrtab);
+        // --- section headers ---
+        let shoff = (out.len() as u32 + 3) & !3;
+        while (out.len() as u32) < shoff {
+            out.push(0);
+        }
+        out[shoff_pos..shoff_pos + 4].copy_from_slice(&shoff.to_be_bytes());
+        // null section
+        out.extend_from_slice(&[0u8; 40]);
+        for ((seg, off), name) in self.segments.iter().zip(&offsets).zip(&name_off) {
+            out.extend_from_slice(&name.to_be_bytes());
+            let sh_type = if seg.data.is_empty() { 8u32 } else { 1u32 }; // NOBITS : PROGBITS
+            out.extend_from_slice(&sh_type.to_be_bytes());
+            let mut flags = 2u32; // ALLOC
+            if seg.writable {
+                flags |= 1;
+            }
+            if seg.executable {
+                flags |= 4;
+            }
+            out.extend_from_slice(&flags.to_be_bytes());
+            out.extend_from_slice(&seg.vaddr.to_be_bytes());
+            out.extend_from_slice(&off.to_be_bytes());
+            out.extend_from_slice(&(seg.data.len() as u32).to_be_bytes());
+            out.extend_from_slice(&0u32.to_be_bytes()); // link
+            out.extend_from_slice(&0u32.to_be_bytes()); // info
+            out.extend_from_slice(&4u32.to_be_bytes()); // addralign
+            out.extend_from_slice(&0u32.to_be_bytes()); // entsize
+        }
+        // shstrtab section
+        out.extend_from_slice(&shstrtab_name_off.to_be_bytes());
+        out.extend_from_slice(&3u32.to_be_bytes()); // STRTAB
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.extend_from_slice(&shstrtab_off.to_be_bytes());
+        out.extend_from_slice(&(shstrtab.len() as u32).to_be_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.extend_from_slice(&1u32.to_be_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out
+    }
+
+    /// Parse loadable segments from ELF bytes.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ElfError> {
+        let need = |n: usize| -> Result<(), ElfError> {
+            if bytes.len() < n {
+                Err(ElfError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(52)?;
+        if &bytes[0..4] != b"\x7fELF" {
+            return Err(ElfError::NotElf("magic"));
+        }
+        if bytes[4] != 1 {
+            return Err(ElfError::NotElf("class"));
+        }
+        if bytes[5] != 2 {
+            return Err(ElfError::NotElf("data encoding"));
+        }
+        let u16_at = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+        let u32_at = |i: usize| {
+            u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
+        };
+        let machine = u16_at(18);
+        if machine != EM_MIPS {
+            return Err(ElfError::WrongMachine(machine));
+        }
+        let entry = u32_at(24);
+        let phoff = u32_at(28) as usize;
+        let phentsize = u16_at(42) as usize;
+        let phnum = u16_at(44) as usize;
+        if phentsize < 32 || phnum > 64 {
+            return Err(ElfError::NotElf("program header geometry"));
+        }
+        let mut segments = Vec::new();
+        for i in 0..phnum {
+            let base = phoff + i * phentsize;
+            need(base + 32)?;
+            let p_type = u32_at(base);
+            if p_type != 1 {
+                continue; // only PT_LOAD
+            }
+            let off = u32_at(base + 4) as usize;
+            let vaddr = u32_at(base + 8);
+            let filesz = u32_at(base + 16) as usize;
+            let memsz = u32_at(base + 20);
+            let flags = u32_at(base + 24);
+            if off + filesz > bytes.len() {
+                return Err(ElfError::Truncated);
+            }
+            segments.push(ElfSegment {
+                vaddr,
+                data: bytes[off..off + filesz].to_vec(),
+                memsz,
+                writable: flags & 2 != 0,
+                executable: flags & 1 != 0,
+                name: match (flags & 1 != 0, flags & 2 != 0) {
+                    (true, _) => ".text",
+                    (false, false) => ".rodata",
+                    (false, true) => ".data",
+                },
+            });
+        }
+        Ok(ElfFile { entry, segments })
+    }
+
+    /// Load segments into a fresh [`crate::mem::Memory`] (zero-filling
+    /// `memsz > filesz` tails) and return it.
+    pub fn load(&self) -> crate::mem::Memory {
+        let mut mem = crate::mem::Memory::new();
+        for seg in &self.segments {
+            let mut data = seg.data.clone();
+            if seg.memsz as usize > data.len() {
+                data.resize(seg.memsz as usize, 0);
+            }
+            mem.map(seg.vaddr, data, seg.writable);
+        }
+        mem
+    }
+
+    /// Extract printable ASCII strings of at least `min_len` bytes from
+    /// all segments — the classic `strings(1)` pass the pipeline uses for
+    /// static C2-address extraction.
+    pub fn strings(&self, min_len: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            let mut cur = Vec::new();
+            for &b in seg.data.iter().chain(std::iter::once(&0u8)) {
+                if (0x20..0x7f).contains(&b) {
+                    cur.push(b);
+                } else {
+                    if cur.len() >= min_len {
+                        out.push(String::from_utf8_lossy(&cur).to_string());
+                    }
+                    cur.clear();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ElfFile {
+        ElfFile {
+            entry: 0x0040_0000,
+            segments: vec![
+                ElfSegment {
+                    vaddr: 0x0040_0000,
+                    data: vec![0x24, 0x02, 0x0f, 0xa1, 0x00, 0x00, 0x00, 0x0c],
+                    memsz: 8,
+                    writable: false,
+                    executable: true,
+                    name: ".text",
+                },
+                ElfSegment {
+                    vaddr: 0x1000_0000,
+                    data: b"http://10.1.0.5/bins/mips;POST /GponForm/diag_Form\0".to_vec(),
+                    memsz: 51,
+                    writable: false,
+                    executable: false,
+                    name: ".rodata",
+                },
+                ElfSegment {
+                    vaddr: 0x2000_0000,
+                    data: vec![],
+                    memsz: 4096,
+                    writable: true,
+                    executable: false,
+                    name: ".bss",
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let f = sample();
+        let bytes = f.write();
+        let g = ElfFile::parse(&bytes).unwrap();
+        assert_eq!(g.entry, f.entry);
+        assert_eq!(g.segments.len(), 3);
+        assert_eq!(g.segments[0].data, f.segments[0].data);
+        assert_eq!(g.segments[1].data, f.segments[1].data);
+        assert_eq!(g.segments[2].memsz, 4096);
+        assert!(g.segments[0].executable);
+        assert!(g.segments[2].writable);
+    }
+
+    #[test]
+    fn header_fields_are_mips_be_exec() {
+        let bytes = sample().write();
+        assert_eq!(&bytes[0..4], b"\x7fELF");
+        assert_eq!(bytes[4], 1); // 32-bit
+        assert_eq!(bytes[5], 2); // big-endian
+        assert_eq!(u16::from_be_bytes([bytes[16], bytes[17]]), 2); // ET_EXEC
+        assert_eq!(u16::from_be_bytes([bytes[18], bytes[19]]), 8); // EM_MIPS
+    }
+
+    #[test]
+    fn rejects_non_elf_and_wrong_machine() {
+        assert_eq!(ElfFile::parse(b"MZ").unwrap_err(), ElfError::Truncated);
+        let mut bytes = sample().write();
+        bytes[0] = 0;
+        assert_eq!(ElfFile::parse(&bytes).unwrap_err(), ElfError::NotElf("magic"));
+        let mut bytes = sample().write();
+        bytes[18] = 0;
+        bytes[19] = 62; // x86-64
+        assert_eq!(ElfFile::parse(&bytes).unwrap_err(), ElfError::WrongMachine(62));
+    }
+
+    #[test]
+    fn truncated_segment_rejected() {
+        let mut bytes = sample().write();
+        bytes.truncate(80);
+        assert_eq!(ElfFile::parse(&bytes).unwrap_err(), ElfError::Truncated);
+    }
+
+    #[test]
+    fn load_maps_segments_with_bss_zeroed() {
+        let mem = sample().load();
+        assert_eq!(mem.read_u32(0x0040_0000).unwrap(), 0x24020fa1);
+        assert_eq!(mem.read_u8(0x2000_0fff).unwrap(), 0);
+        assert!(mem.read_u8(0x2000_1000).is_err());
+    }
+
+    #[test]
+    fn strings_extraction_finds_iocs() {
+        let f = sample();
+        let strs = f.strings(6);
+        assert!(strs.iter().any(|s| s.contains("http://10.1.0.5/bins/mips")));
+        assert!(strs.iter().any(|s| s.contains("GponForm")));
+    }
+
+    #[test]
+    fn entry_survives() {
+        let f = ElfFile {
+            entry: 0x00400abc,
+            segments: vec![ElfSegment {
+                vaddr: 0x400000,
+                data: vec![0; 16],
+                memsz: 16,
+                writable: false,
+                executable: true,
+                name: ".text",
+            }],
+        };
+        assert_eq!(ElfFile::parse(&f.write()).unwrap().entry, 0x00400abc);
+    }
+}

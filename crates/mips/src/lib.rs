@@ -1,0 +1,41 @@
+//! # malnet-mips — MIPS32 ELF tooling and an interpreting emulator
+//!
+//! The paper's sandbox (CnCHunter) activates MIPS 32-bit malware binaries
+//! under QEMU. This crate is our QEMU substitute plus the binary tooling
+//! needed to *produce* such binaries in the first place:
+//!
+//! * [`elf`] — an ELF32 big-endian MIPS executable writer and reader.
+//!   `malnet-botgen` emits synthetic malware as real `ET_EXEC` ELF files;
+//!   the sandbox and the static-analysis side both re-parse those files
+//!   from bytes.
+//! * [`asm`] — a two-pass MIPS32 assembler (structured instruction values,
+//!   labels, pseudo-instructions) used to build the bot's interpreter stub.
+//! * [`dis`] — a disassembler, used by tests (assembler/disassembler
+//!   agreement) and by analyst tooling.
+//! * [`mem`] — a segmented flat memory model.
+//! * [`cpu`] — an interpreting MIPS32 CPU with genuine branch delay slots.
+//!   Execution stops at `syscall` instructions, handing control to the
+//!   embedder through [`cpu::StepOutcome`]; the sandbox services those
+//!   syscalls against the simulated network (Linux o32 ABI, see [`sys`]).
+//! * [`sys`] — the o32 syscall numbers and calling convention shared
+//!   between the stub generator and the sandbox.
+//!
+//! Design note: this is an *interpreter*, not a JIT — determinism and
+//! instruction-budget enforcement matter more than speed, and the bot
+//! programs are small (a bytecode dispatch loop over the bot's behaviour
+//! program).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod dis;
+pub mod elf;
+pub mod mem;
+pub mod sys;
+
+pub use asm::{Assembler, Ins, Reg};
+pub use cpu::{Cpu, CpuError, StepOutcome};
+pub use elf::{ElfFile, ElfSegment};
+pub use mem::Memory;

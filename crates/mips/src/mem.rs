@@ -1,0 +1,251 @@
+//! Segmented memory for the emulated process.
+//!
+//! Memory is a small set of contiguous segments (text, rodata, bss,
+//! stack). All multi-byte accesses are big-endian, as on traditional MIPS.
+//! Out-of-segment or misaligned accesses return errors that the CPU
+//! surfaces as faults (real malware that wanders off segfaults; so do we).
+
+use std::fmt;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// No segment maps this address range.
+    Unmapped {
+        /// Faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// Write attempted to a read-only segment.
+    ReadOnly {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// Address not aligned for the access size.
+    Misaligned {
+        /// Faulting address.
+        addr: u32,
+        /// Required alignment.
+        align: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr, size } => {
+                write!(f, "unmapped access of {size} bytes at {addr:#010x}")
+            }
+            MemError::ReadOnly { addr } => write!(f, "write to read-only memory at {addr:#010x}"),
+            MemError::Misaligned { addr, align } => {
+                write!(f, "misaligned {align}-byte access at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    base: u32,
+    data: Vec<u8>,
+    writable: bool,
+}
+
+/// The emulated address space.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    segments: Vec<Segment>,
+}
+
+impl Memory {
+    /// An empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map a segment. Panics on overlap (loader bug, not guest behaviour).
+    pub fn map(&mut self, base: u32, data: Vec<u8>, writable: bool) {
+        let end = base as u64 + data.len() as u64;
+        assert!(end <= u32::MAX as u64 + 1, "segment exceeds address space");
+        for s in &self.segments {
+            let s_end = s.base as u64 + s.data.len() as u64;
+            assert!(
+                end <= s.base as u64 || s_end <= base as u64,
+                "overlapping segments at {base:#x}"
+            );
+        }
+        self.segments.push(Segment {
+            base,
+            data,
+            writable,
+        });
+    }
+
+    /// Map a zero-filled writable segment.
+    pub fn map_zeroed(&mut self, base: u32, len: u32, writable: bool) {
+        self.map(base, vec![0; len as usize], writable);
+    }
+
+    fn seg(&self, addr: u32, size: u32) -> Result<(usize, usize), MemError> {
+        for (i, s) in self.segments.iter().enumerate() {
+            let off = addr.wrapping_sub(s.base);
+            if (off as u64) + size as u64 <= s.data.len() as u64 && addr >= s.base {
+                return Ok((i, off as usize));
+            }
+        }
+        Err(MemError::Unmapped { addr, size })
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: u32) -> Result<u8, MemError> {
+        let (i, off) = self.seg(addr, 1)?;
+        Ok(self.segments[i].data[off])
+    }
+
+    /// Read a big-endian halfword (2-byte aligned).
+    pub fn read_u16(&self, addr: u32) -> Result<u16, MemError> {
+        if addr % 2 != 0 {
+            return Err(MemError::Misaligned { addr, align: 2 });
+        }
+        let (i, off) = self.seg(addr, 2)?;
+        let d = &self.segments[i].data;
+        Ok(u16::from_be_bytes([d[off], d[off + 1]]))
+    }
+
+    /// Read a big-endian word (4-byte aligned).
+    pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
+        if addr % 4 != 0 {
+            return Err(MemError::Misaligned { addr, align: 4 });
+        }
+        let (i, off) = self.seg(addr, 4)?;
+        let d = &self.segments[i].data;
+        Ok(u32::from_be_bytes([d[off], d[off + 1], d[off + 2], d[off + 3]]))
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), MemError> {
+        let (i, off) = self.seg(addr, 1)?;
+        if !self.segments[i].writable {
+            return Err(MemError::ReadOnly { addr });
+        }
+        self.segments[i].data[off] = v;
+        Ok(())
+    }
+
+    /// Write a big-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemError> {
+        if addr % 2 != 0 {
+            return Err(MemError::Misaligned { addr, align: 2 });
+        }
+        let (i, off) = self.seg(addr, 2)?;
+        if !self.segments[i].writable {
+            return Err(MemError::ReadOnly { addr });
+        }
+        self.segments[i].data[off..off + 2].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Write a big-endian word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemError> {
+        if addr % 4 != 0 {
+            return Err(MemError::Misaligned { addr, align: 4 });
+        }
+        let (i, off) = self.seg(addr, 4)?;
+        if !self.segments[i].writable {
+            return Err(MemError::ReadOnly { addr });
+        }
+        self.segments[i].data[off..off + 4].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Read `len` bytes into a vector.
+    pub fn read_bytes(&self, addr: u32, len: u32) -> Result<Vec<u8>, MemError> {
+        let (i, off) = self.seg(addr, len)?;
+        Ok(self.segments[i].data[off..off + len as usize].to_vec())
+    }
+
+    /// Write a byte slice.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
+        let (i, off) = self.seg(addr, bytes.len() as u32)?;
+        if !self.segments[i].writable {
+            return Err(MemError::ReadOnly { addr });
+        }
+        self.segments[i].data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map(0x1000, vec![0; 256], true);
+        m.map(0x400000, (0..64).collect(), false);
+        m
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_sizes() {
+        let mut m = mem();
+        m.write_u8(0x1000, 0xab).unwrap();
+        m.write_u16(0x1002, 0xbeef).unwrap();
+        m.write_u32(0x1004, 0xdeadbeef).unwrap();
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0xab);
+        assert_eq!(m.read_u16(0x1002).unwrap(), 0xbeef);
+        assert_eq!(m.read_u32(0x1004).unwrap(), 0xdeadbeef);
+        // Big-endian byte order on the wire.
+        assert_eq!(m.read_u8(0x1004).unwrap(), 0xde);
+        assert_eq!(m.read_u8(0x1007).unwrap(), 0xef);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = mem();
+        assert!(matches!(m.read_u8(0x2000), Err(MemError::Unmapped { .. })));
+        // Straddling the end of a segment also faults.
+        assert!(matches!(
+            m.read_u32(0x10fe),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.read_bytes(0x10f0, 32),
+            Err(MemError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn read_only_segment_rejects_writes() {
+        let mut m = mem();
+        assert_eq!(m.read_u8(0x400001).unwrap(), 1);
+        assert!(matches!(
+            m.write_u8(0x400000, 1),
+            Err(MemError::ReadOnly { .. })
+        ));
+    }
+
+    #[test]
+    fn misaligned_faults() {
+        let m = mem();
+        assert!(matches!(m.read_u32(0x1001), Err(MemError::Misaligned { .. })));
+        assert!(matches!(m.read_u16(0x1001), Err(MemError::Misaligned { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_panics() {
+        let mut m = mem();
+        m.map(0x10ff, vec![0; 4], true);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = mem();
+        m.write_bytes(0x1010, b"hello world").unwrap();
+        assert_eq!(m.read_bytes(0x1010, 11).unwrap(), b"hello world");
+    }
+}

@@ -1,0 +1,197 @@
+//! Authoritative DNS service for the simulated Internet.
+//!
+//! A DNS zone holds A records that the world model can update over time
+//! (C2 domains re-point as operators move servers). [`DnsService`] is the
+//! [`crate::net::Service`] that answers queries on UDP 53;
+//! multiple services (the "real" resolver and the sandbox's fake resolver)
+//! can share one zone through the cloneable [`DnsHandle`].
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use malnet_wire::dns::{DnsMessage, DomainName};
+
+use crate::net::{Service, ServiceCtx};
+use crate::stack::SockEvent;
+
+/// The conventional resolver address every simulated host uses.
+pub const RESOLVER_IP: Ipv4Addr = Ipv4Addr::new(9, 9, 9, 9);
+
+#[derive(Debug, Default)]
+struct ZoneData {
+    records: HashMap<DomainName, Vec<Ipv4Addr>>,
+    queries_served: u64,
+}
+
+/// A shared, mutable DNS zone.
+#[derive(Debug, Clone, Default)]
+pub struct DnsHandle(Rc<RefCell<ZoneData>>);
+
+impl DnsHandle {
+    /// Create an empty zone.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the A records for a name.
+    pub fn set(&self, name: DomainName, addrs: Vec<Ipv4Addr>) {
+        self.0.borrow_mut().records.insert(name, addrs);
+    }
+
+    /// Remove a name entirely (future queries get NXDOMAIN).
+    pub fn remove(&self, name: &DomainName) {
+        self.0.borrow_mut().records.remove(name);
+    }
+
+    /// Current A records for a name.
+    pub fn lookup(&self, name: &DomainName) -> Option<Vec<Ipv4Addr>> {
+        self.0.borrow().records.get(name).cloned()
+    }
+
+    /// Number of queries the service answered.
+    pub fn queries_served(&self) -> u64 {
+        self.0.borrow().queries_served
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.0.borrow().records.len()
+    }
+
+    /// True if the zone has no records.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().records.is_empty()
+    }
+}
+
+/// The DNS server: answers A queries on UDP 53 from its zone.
+#[derive(Debug)]
+pub struct DnsService {
+    zone: DnsHandle,
+}
+
+impl DnsService {
+    /// Create a service answering from `zone`.
+    pub fn new(zone: DnsHandle) -> Self {
+        DnsService { zone }
+    }
+}
+
+impl Service for DnsService {
+    fn start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        ctx.udp_bind(53);
+    }
+
+    fn on_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: SockEvent) {
+        let SockEvent::UdpData { port, src, data } = ev else {
+            return;
+        };
+        if port != 53 {
+            return;
+        }
+        let Ok(query) = DnsMessage::decode(&data) else {
+            return; // malformed query: silently dropped, like most resolvers
+        };
+        if query.is_response {
+            return;
+        }
+        self.zone.0.borrow_mut().queries_served += 1;
+        let reply = match self.zone.lookup(&query.question) {
+            Some(addrs) if !addrs.is_empty() => {
+                DnsMessage::answer(query.id, query.question.clone(), &addrs)
+            }
+            _ => DnsMessage::nxdomain(query.id, query.question.clone()),
+        };
+        ctx.udp_send(53, src.0, src.1, reply.encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Network;
+    use crate::time::{SimDuration, SimTime};
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    #[test]
+    fn resolves_known_name() {
+        let zone = DnsHandle::new();
+        let name = DomainName::new("cnc.botnet.example").unwrap();
+        zone.set(name.clone(), vec![Ipv4Addr::new(10, 1, 0, 5)]);
+        let mut net = Network::new(SimTime::EPOCH, 1);
+        net.add_service_host(RESOLVER_IP, Box::new(DnsService::new(zone.clone())));
+        net.add_external_host(CLIENT);
+        net.ext_udp_bind(CLIENT, 40000);
+        let q = DnsMessage::query(99, name.clone());
+        net.ext_udp_send(CLIENT, 40000, RESOLVER_IP, 53, q.encode());
+        net.run_for(SimDuration::from_secs(2));
+        let evs = net.ext_events(CLIENT);
+        let data = evs
+            .iter()
+            .find_map(|e| match e {
+                SockEvent::UdpData { data, .. } => Some(data.clone()),
+                _ => None,
+            })
+            .expect("got a reply");
+        let reply = DnsMessage::decode(&data).unwrap();
+        assert_eq!(reply.id, 99);
+        assert_eq!(reply.answers[0].1, Ipv4Addr::new(10, 1, 0, 5));
+        assert_eq!(zone.queries_served(), 1);
+    }
+
+    #[test]
+    fn unknown_name_is_nxdomain() {
+        let zone = DnsHandle::new();
+        let mut net = Network::new(SimTime::EPOCH, 1);
+        net.add_service_host(RESOLVER_IP, Box::new(DnsService::new(zone)));
+        net.add_external_host(CLIENT);
+        net.ext_udp_bind(CLIENT, 40000);
+        let name = DomainName::new("nope.example").unwrap();
+        net.ext_udp_send(
+            CLIENT,
+            40000,
+            RESOLVER_IP,
+            53,
+            DnsMessage::query(1, name).encode(),
+        );
+        net.run_for(SimDuration::from_secs(2));
+        let evs = net.ext_events(CLIENT);
+        let data = evs
+            .iter()
+            .find_map(|e| match e {
+                SockEvent::UdpData { data, .. } => Some(data.clone()),
+                _ => None,
+            })
+            .expect("got a reply");
+        let reply = DnsMessage::decode(&data).unwrap();
+        assert_eq!(reply.rcode, malnet_wire::dns::Rcode::NxDomain);
+    }
+
+    #[test]
+    fn record_updates_take_effect() {
+        let zone = DnsHandle::new();
+        let name = DomainName::new("moving.example").unwrap();
+        zone.set(name.clone(), vec![Ipv4Addr::new(1, 1, 1, 1)]);
+        assert_eq!(zone.lookup(&name).unwrap()[0], Ipv4Addr::new(1, 1, 1, 1));
+        zone.set(name.clone(), vec![Ipv4Addr::new(2, 2, 2, 2)]);
+        assert_eq!(zone.lookup(&name).unwrap()[0], Ipv4Addr::new(2, 2, 2, 2));
+        zone.remove(&name);
+        assert!(zone.lookup(&name).is_none());
+    }
+
+    #[test]
+    fn malformed_queries_are_dropped() {
+        let zone = DnsHandle::new();
+        let mut net = Network::new(SimTime::EPOCH, 1);
+        net.add_service_host(RESOLVER_IP, Box::new(DnsService::new(zone.clone())));
+        net.add_external_host(CLIENT);
+        net.ext_udp_bind(CLIENT, 40000);
+        net.ext_udp_send(CLIENT, 40000, RESOLVER_IP, 53, vec![1, 2, 3]);
+        net.run_for(SimDuration::from_secs(2));
+        assert!(net.ext_events(CLIENT).is_empty());
+        assert_eq!(zone.queries_served(), 0);
+    }
+}

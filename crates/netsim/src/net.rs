@@ -1,0 +1,891 @@
+//! The discrete-event network: hosts, links, timers, and captures.
+//!
+//! [`Network`] owns every simulated host. A host is either:
+//!
+//! * a **service host** — application logic implemented as a [`Service`]
+//!   trait object, driven by socket events and timers (C2 servers, DNS,
+//!   HTTP downloaders, victims, …), or
+//! * an **external host** — driven from outside the event loop by the
+//!   sandbox, which performs socket operations directly and drains a
+//!   per-host event inbox (this is how the emulated malware's syscalls
+//!   reach the network).
+//!
+//! Packets experience deterministic per-pair latency plus optional fault
+//! injection ([`LinkFaults`]): loss and corruption probabilities drawn
+//! from the network's seeded RNG. Packets to **down** hosts are silently
+//! dropped, which is how dead C2 servers produce SYN timeouts. Capture
+//! taps record traffic per host IP, producing the pcap evidence the
+//! analysis pipeline consumes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use malnet_wire::Packet;
+
+use crate::stack::{HostStack, SockEvent, SockId};
+use crate::time::{SimDuration, SimTime};
+
+/// SYN timeout before an unanswered active open fails.
+pub const CONNECT_TIMEOUT: SimDuration = SimDuration::from_secs(3);
+
+/// Link-level fault injection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFaults {
+    /// Probability a packet is dropped in flight.
+    pub loss: f64,
+    /// Probability one payload byte is flipped in flight (visible in
+    /// captures as checksum failures).
+    pub corrupt: f64,
+    /// Base one-way latency.
+    pub latency: SimDuration,
+    /// Maximum additional deterministic per-pair jitter.
+    pub jitter: SimDuration,
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults {
+            loss: 0.0,
+            corrupt: 0.0,
+            latency: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(30),
+        }
+    }
+}
+
+/// Context handed to services: the host's stack plus network side effects.
+///
+/// Socket operations performed through the context automatically transmit
+/// the packets they generate.
+pub struct ServiceCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The service host's socket stack.
+    pub stack: &'a mut HostStack,
+    out: &'a mut Vec<Packet>,
+    timers: &'a mut Vec<(SimDuration, u64)>,
+    rng: &'a mut StdRng,
+}
+
+impl ServiceCtx<'_> {
+    /// Listen for TCP connections.
+    pub fn tcp_listen(&mut self, port: u16) {
+        self.stack.tcp_listen(port);
+    }
+
+    /// Bind a UDP port.
+    pub fn udp_bind(&mut self, port: u16) {
+        self.stack.udp_bind(port);
+    }
+
+    /// Active-open a TCP connection.
+    pub fn tcp_connect(&mut self, dst: Ipv4Addr, dport: u16) -> SockId {
+        let (sock, syn) = self.stack.tcp_connect(dst, dport);
+        self.out.push(syn);
+        sock
+    }
+
+    /// Send on an established connection.
+    pub fn tcp_send(&mut self, sock: SockId, data: &[u8]) {
+        let pkts = self.stack.tcp_send(sock, data);
+        self.out.extend(pkts);
+    }
+
+    /// Orderly close.
+    pub fn tcp_close(&mut self, sock: SockId) {
+        let pkts = self.stack.tcp_close(sock);
+        self.out.extend(pkts);
+    }
+
+    /// Abortive close.
+    pub fn tcp_abort(&mut self, sock: SockId) {
+        if let Some(p) = self.stack.tcp_abort(sock) {
+            self.out.push(p);
+        }
+    }
+
+    /// Send a UDP datagram.
+    pub fn udp_send(&mut self, sport: u16, dst: Ipv4Addr, dport: u16, payload: Vec<u8>) {
+        let p = self.stack.udp_send(sport, dst, dport, payload);
+        self.out.push(p);
+    }
+
+    /// Send a raw pre-built packet (source must be this host).
+    pub fn send_raw(&mut self, pkt: Packet) {
+        debug_assert_eq!(pkt.src, self.stack.ip);
+        self.out.push(pkt);
+    }
+
+    /// Arm a timer; `token` comes back via [`Service::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.timers.push((delay, token));
+    }
+
+    /// Deterministic RNG for application-level randomness.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Application logic living on a service host.
+pub trait Service {
+    /// Called once when the host is installed (register listeners, arm
+    /// timers).
+    fn start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for each socket event.
+    fn on_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: SockEvent);
+
+    /// Called when a timer armed via [`ServiceCtx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+enum Driver {
+    Service(Box<dyn Service>),
+    External(VecDeque<SockEvent>),
+}
+
+struct HostEntry {
+    stack: HostStack,
+    driver: Driver,
+    up: bool,
+    capture: Option<Vec<(u64, Packet)>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Deliver,
+    Timer { host: Ipv4Addr, token: u64 },
+    ConnectTimeout { host: Ipv4Addr, sock: SockId },
+}
+
+struct QueuedEvent {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+    packet: Option<Packet>,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Statistics counters for a network run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Packets submitted for transmission.
+    pub sent: u64,
+    /// Packets delivered to a host stack.
+    pub delivered: u64,
+    /// Packets dropped by fault injection.
+    pub lost: u64,
+    /// Packets corrupted by fault injection.
+    pub corrupted: u64,
+    /// Packets dropped because the destination was absent or down.
+    pub blackholed: u64,
+}
+
+/// The simulated Internet.
+pub struct Network {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    hosts: HashMap<Ipv4Addr, HostEntry>,
+    /// Fault model applied to every link.
+    pub faults: LinkFaults,
+    rng: StdRng,
+    /// Run statistics.
+    pub stats: NetStats,
+    /// Optional egress filter: packets for which the filter returns false
+    /// are dropped at transmission time. Used by the sandbox's containment
+    /// (Snort-like IDS / restricted mode). Filters see (now, packet).
+    filter: Option<Box<dyn FnMut(SimTime, &Packet) -> bool>>,
+}
+
+impl Network {
+    /// Create a network starting at `start` with the given RNG seed.
+    pub fn new(start: SimTime, seed: u64) -> Self {
+        Network {
+            now: start,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            hosts: HashMap::new(),
+            faults: LinkFaults::default(),
+            rng: StdRng::seed_from_u64(seed ^ 0x6d61_6c6e_6574),
+            stats: NetStats::default(),
+            filter: None,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Install an egress filter (containment). Replaces any existing one.
+    pub fn set_egress_filter(&mut self, f: Box<dyn FnMut(SimTime, &Packet) -> bool>) {
+        self.filter = Some(f);
+    }
+
+    /// Remove the egress filter.
+    pub fn clear_egress_filter(&mut self) {
+        self.filter = None;
+    }
+
+    /// Install a service host. Panics on duplicate IP (world-construction
+    /// bug).
+    pub fn add_service_host(&mut self, ip: Ipv4Addr, mut service: Box<dyn Service>) {
+        assert!(!self.hosts.contains_key(&ip), "duplicate host {ip}");
+        let mut stack = HostStack::new(ip);
+        let mut out = Vec::new();
+        let mut timers = Vec::new();
+        {
+            let mut ctx = ServiceCtx {
+                now: self.now,
+                stack: &mut stack,
+                out: &mut out,
+                timers: &mut timers,
+                rng: &mut self.rng,
+            };
+            service.start(&mut ctx);
+        }
+        self.hosts.insert(
+            ip,
+            HostEntry {
+                stack,
+                driver: Driver::Service(service),
+                up: true,
+                capture: None,
+            },
+        );
+        self.flush(ip, out, timers);
+    }
+
+    /// Install an externally-driven host (the sandbox's malware VM or
+    /// prober).
+    pub fn add_external_host(&mut self, ip: Ipv4Addr) {
+        assert!(!self.hosts.contains_key(&ip), "duplicate host {ip}");
+        self.hosts.insert(
+            ip,
+            HostEntry {
+                stack: HostStack::new(ip),
+                driver: Driver::External(VecDeque::new()),
+                up: true,
+                capture: None,
+            },
+        );
+    }
+
+    /// Remove a host entirely (its in-flight packets will blackhole).
+    pub fn remove_host(&mut self, ip: Ipv4Addr) {
+        self.hosts.remove(&ip);
+    }
+
+    /// Does a host exist at this address?
+    pub fn has_host(&self, ip: Ipv4Addr) -> bool {
+        self.hosts.contains_key(&ip)
+    }
+
+    /// Mark a host up or down. Taking a host down resets its connections
+    /// (as a power cycle would).
+    pub fn set_host_up(&mut self, ip: Ipv4Addr, up: bool) {
+        if let Some(h) = self.hosts.get_mut(&ip) {
+            if h.up && !up {
+                h.stack.reset_all();
+            }
+            h.up = up;
+        }
+    }
+
+    /// Is the host present and up?
+    pub fn host_up(&self, ip: Ipv4Addr) -> bool {
+        self.hosts.get(&ip).map(|h| h.up).unwrap_or(false)
+    }
+
+    /// Enable packet capture on a host; all packets sent or received by
+    /// `ip` from now on are recorded.
+    pub fn start_capture(&mut self, ip: Ipv4Addr) {
+        if let Some(h) = self.hosts.get_mut(&ip) {
+            h.capture = Some(Vec::new());
+        }
+    }
+
+    /// Stop capturing and return the recorded (timestamp µs, packet) list.
+    pub fn stop_capture(&mut self, ip: Ipv4Addr) -> Vec<(u64, Packet)> {
+        self.hosts
+            .get_mut(&ip)
+            .and_then(|h| h.capture.take())
+            .unwrap_or_default()
+    }
+
+    /// Peek at a running capture without stopping it.
+    pub fn capture_len(&self, ip: Ipv4Addr) -> usize {
+        self.hosts
+            .get(&ip)
+            .and_then(|h| h.capture.as_ref())
+            .map(|c| c.len())
+            .unwrap_or(0)
+    }
+
+    fn record(&mut self, ip: Ipv4Addr, ts: SimTime, pkt: &Packet) {
+        if let Some(h) = self.hosts.get_mut(&ip) {
+            if let Some(cap) = h.capture.as_mut() {
+                cap.push((ts.as_micros(), pkt.clone()));
+            }
+        }
+    }
+
+    /// Deterministic per-pair latency: base + hash-derived jitter.
+    fn latency(&self, src: Ipv4Addr, dst: Ipv4Addr) -> SimDuration {
+        let h = u64::from(u32::from(src))
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(u32::from(dst)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        let jitter_us = if self.faults.jitter.as_micros() == 0 {
+            0
+        } else {
+            h % self.faults.jitter.as_micros()
+        };
+        SimDuration::from_micros(self.faults.latency.as_micros() + jitter_us)
+    }
+
+    /// Submit a packet for transmission at the current time.
+    pub fn send_packet(&mut self, pkt: Packet) {
+        self.stats.sent += 1;
+        if let Some(filter) = self.filter.as_mut() {
+            if !filter(self.now, &pkt) {
+                // Contained by the egress filter; still visible on the
+                // sender's tap (the IDS sits at the network perimeter).
+                let now = self.now;
+                let src = pkt.src;
+                self.record(src, now, &pkt);
+                return;
+            }
+        }
+        let now = self.now;
+        self.record(pkt.src, now, &pkt);
+        // Fault injection.
+        if self.faults.loss > 0.0 && self.rng.gen_bool(self.faults.loss) {
+            self.stats.lost += 1;
+            return;
+        }
+        let mut pkt = pkt;
+        if self.faults.corrupt > 0.0 && self.rng.gen_bool(self.faults.corrupt) {
+            self.stats.corrupted += 1;
+            // Flip one bit of the payload if there is one; corrupted
+            // packets fail transport checksums and are dropped at the
+            // receiver, exactly like real damaged frames.
+            if let malnet_wire::packet::Transport::Udp { payload, .. }
+            | malnet_wire::packet::Transport::Tcp { payload, .. } = &mut pkt.transport
+            {
+                if !payload.is_empty() {
+                    payload[0] ^= 0x01;
+                    // Note: we re-encode, so checksums are recomputed and
+                    // the corruption is semantic (payload altered), not a
+                    // checksum failure. This models payload damage that
+                    // slips past checksums and exercises parser robustness.
+                }
+            }
+        }
+        let delay = self.latency(pkt.src, pkt.dst);
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Deliver, Some(pkt));
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind, packet: Option<Packet>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            at,
+            seq,
+            kind,
+            packet,
+        }));
+    }
+
+    fn flush(&mut self, ip: Ipv4Addr, out: Vec<Packet>, timers: Vec<(SimDuration, u64)>) {
+        for pkt in out {
+            self.send_packet(pkt);
+        }
+        for (delay, token) in timers {
+            let at = self.now + delay;
+            self.push_event(at, EventKind::Timer { host: ip, token }, None);
+        }
+    }
+
+    /// Perform socket operations on an external host. Packets generated by
+    /// the operations are transmitted; connect timeouts are armed
+    /// automatically.
+    pub fn with_external<R>(
+        &mut self,
+        ip: Ipv4Addr,
+        f: impl FnOnce(&mut HostStack) -> (R, Vec<Packet>),
+    ) -> R {
+        let host = self.hosts.get_mut(&ip).expect("external host exists");
+        debug_assert!(matches!(host.driver, Driver::External(_)));
+        let (r, pkts) = f(&mut host.stack);
+        for pkt in pkts {
+            self.send_packet(pkt);
+        }
+        r
+    }
+
+    /// Active-open from an external host, arming the SYN timeout.
+    pub fn ext_tcp_connect(&mut self, ip: Ipv4Addr, dst: Ipv4Addr, dport: u16) -> SockId {
+        let sock = self.with_external(ip, |s| {
+            let (sock, syn) = s.tcp_connect(dst, dport);
+            (sock, vec![syn])
+        });
+        let at = self.now + CONNECT_TIMEOUT;
+        self.push_event(at, EventKind::ConnectTimeout { host: ip, sock }, None);
+        sock
+    }
+
+    /// Active-open from an external host with a fixed source port.
+    pub fn ext_tcp_connect_from(
+        &mut self,
+        ip: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+    ) -> SockId {
+        let sock = self.with_external(ip, |s| {
+            let (sock, syn) = s.tcp_connect_from(sport, dst, dport);
+            (sock, vec![syn])
+        });
+        let at = self.now + CONNECT_TIMEOUT;
+        self.push_event(at, EventKind::ConnectTimeout { host: ip, sock }, None);
+        sock
+    }
+
+    /// Send on an external host's connection.
+    pub fn ext_tcp_send(&mut self, ip: Ipv4Addr, sock: SockId, data: &[u8]) {
+        self.with_external(ip, |s| ((), s.tcp_send(sock, data)));
+    }
+
+    /// Close an external host's connection.
+    pub fn ext_tcp_close(&mut self, ip: Ipv4Addr, sock: SockId) {
+        self.with_external(ip, |s| ((), s.tcp_close(sock)));
+    }
+
+    /// Abort an external host's connection.
+    pub fn ext_tcp_abort(&mut self, ip: Ipv4Addr, sock: SockId) {
+        self.with_external(ip, |s| ((), s.tcp_abort(sock).into_iter().collect()));
+    }
+
+    /// Listen on an external host.
+    pub fn ext_tcp_listen(&mut self, ip: Ipv4Addr, port: u16) {
+        self.with_external(ip, |s| {
+            s.tcp_listen(port);
+            ((), vec![])
+        });
+    }
+
+    /// Bind UDP on an external host.
+    pub fn ext_udp_bind(&mut self, ip: Ipv4Addr, port: u16) {
+        self.with_external(ip, |s| {
+            s.udp_bind(port);
+            ((), vec![])
+        });
+    }
+
+    /// Send UDP from an external host.
+    pub fn ext_udp_send(&mut self, ip: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, data: Vec<u8>) {
+        self.with_external(ip, |s| {
+            let p = s.udp_send(sport, dst, dport, data);
+            ((), vec![p])
+        });
+    }
+
+    /// Send a raw packet from an external host (attack traffic with crafted
+    /// source ports, ICMP floods, …).
+    pub fn ext_send_raw(&mut self, ip: Ipv4Addr, pkt: Packet) {
+        debug_assert_eq!(pkt.src, ip);
+        self.send_packet(pkt);
+    }
+
+    /// Drain the event inbox of an external host.
+    pub fn ext_events(&mut self, ip: Ipv4Addr) -> Vec<SockEvent> {
+        match self.hosts.get_mut(&ip).map(|h| &mut h.driver) {
+            Some(Driver::External(q)) => q.drain(..).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Inspect an external host's stack (read-only helpers like `state`).
+    pub fn ext_stack(&self, ip: Ipv4Addr) -> Option<&HostStack> {
+        self.hosts.get(&ip).map(|h| &h.stack)
+    }
+
+    /// Process all events up to and including `until`. Returns the number
+    /// of events processed.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at.max(self.now);
+            self.dispatch(ev);
+            n += 1;
+        }
+        self.now = self.now.max(until);
+        n
+    }
+
+    /// Advance by `dur`, processing everything due.
+    pub fn run_for(&mut self, dur: SimDuration) -> u64 {
+        let until = self.now + dur;
+        self.run_until(until)
+    }
+
+    /// Run until the queue is empty or `max_events` processed; returns
+    /// events processed. Useful for "settle" phases in tests.
+    pub fn run_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            self.now = ev.at.max(self.now);
+            self.dispatch(ev);
+            n += 1;
+        }
+        n
+    }
+
+    fn dispatch(&mut self, ev: QueuedEvent) {
+        match ev.kind {
+            EventKind::Deliver => {
+                let pkt = ev.packet.expect("deliver carries packet");
+                let dst = pkt.dst;
+                let up = self.host_up(dst);
+                if !up {
+                    self.stats.blackholed += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                let now = self.now;
+                self.record(dst, now, &pkt);
+                let host = self.hosts.get_mut(&dst).expect("host_up checked");
+                let out = host.stack.handle_packet(&pkt);
+                let mut pkts = out.replies;
+                let mut timers = Vec::new();
+                match &mut host.driver {
+                    Driver::External(q) => q.extend(out.events),
+                    Driver::Service(_) => {
+                        // Re-borrow dance: take the service out to appease
+                        // the borrow checker, run events, put it back.
+                        let mut driver =
+                            std::mem::replace(&mut host.driver, Driver::External(VecDeque::new()));
+                        if let Driver::Service(svc) = &mut driver {
+                            let mut ctx_out = Vec::new();
+                            {
+                                let mut ctx = ServiceCtx {
+                                    now: self.now,
+                                    stack: &mut host.stack,
+                                    out: &mut ctx_out,
+                                    timers: &mut timers,
+                                    rng: &mut self.rng,
+                                };
+                                for e in out.events {
+                                    svc.on_event(&mut ctx, e);
+                                }
+                            }
+                            pkts.extend(ctx_out);
+                        }
+                        let host = self.hosts.get_mut(&dst).expect("still here");
+                        host.driver = driver;
+                    }
+                }
+                self.flush(dst, pkts, timers);
+            }
+            EventKind::Timer { host: ip, token } => {
+                let Some(host) = self.hosts.get_mut(&ip) else {
+                    return;
+                };
+                if !host.up {
+                    return;
+                }
+                let mut pkts = Vec::new();
+                let mut timers = Vec::new();
+                let mut driver =
+                    std::mem::replace(&mut host.driver, Driver::External(VecDeque::new()));
+                if let Driver::Service(svc) = &mut driver {
+                    let mut ctx_out = Vec::new();
+                    {
+                        let mut ctx = ServiceCtx {
+                            now: self.now,
+                            stack: &mut host.stack,
+                            out: &mut ctx_out,
+                            timers: &mut timers,
+                            rng: &mut self.rng,
+                        };
+                        svc.on_timer(&mut ctx, token);
+                    }
+                    pkts.extend(ctx_out);
+                }
+                let host = self.hosts.get_mut(&ip).expect("still here");
+                host.driver = driver;
+                self.flush(ip, pkts, timers);
+            }
+            EventKind::ConnectTimeout { host: ip, sock } => {
+                let Some(host) = self.hosts.get_mut(&ip) else {
+                    return;
+                };
+                if let Some(ev) = host.stack.connect_timeout_fired(sock) {
+                    match &mut host.driver {
+                        Driver::External(q) => q.push_back(ev),
+                        Driver::Service(_) => {
+                            let mut driver = std::mem::replace(
+                                &mut host.driver,
+                                Driver::External(VecDeque::new()),
+                            );
+                            let mut pkts = Vec::new();
+                            let mut timers = Vec::new();
+                            if let Driver::Service(svc) = &mut driver {
+                                let mut ctx = ServiceCtx {
+                                    now: self.now,
+                                    stack: &mut host.stack,
+                                    out: &mut pkts,
+                                    timers: &mut timers,
+                                    rng: &mut self.rng,
+                                };
+                                svc.on_event(&mut ctx, ev);
+                            }
+                            let host = self.hosts.get_mut(&ip).expect("still here");
+                            host.driver = driver;
+                            self.flush(ip, pkts, timers);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arm a timer on a service host from outside (world orchestration).
+    pub fn arm_timer(&mut self, ip: Ipv4Addr, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.push_event(at, EventKind::Timer { host: ip, token }, None);
+    }
+
+    /// Access the deterministic RNG (world construction convenience).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::ConnectError;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    /// A service that listens on a port and echoes data back uppercased.
+    struct Upper;
+    impl Service for Upper {
+        fn start(&mut self, ctx: &mut ServiceCtx<'_>) {
+            ctx.tcp_listen(7);
+        }
+        fn on_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: SockEvent) {
+            if let SockEvent::TcpData { sock, data } = ev {
+                let up: Vec<u8> = data.iter().map(|b| b.to_ascii_uppercase()).collect();
+                ctx.tcp_send(sock, &up);
+            }
+        }
+    }
+
+    fn net() -> Network {
+        Network::new(SimTime::EPOCH, 42)
+    }
+
+    #[test]
+    fn external_connects_to_service_and_exchanges_data() {
+        let mut net = net();
+        net.add_service_host(B, Box::new(Upper));
+        net.add_external_host(A);
+        let sock = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(1));
+        let evs = net.ext_events(A);
+        assert!(evs.contains(&SockEvent::Connected(sock)), "{evs:?}");
+        net.ext_tcp_send(A, sock, b"hello");
+        net.run_for(SimDuration::from_secs(1));
+        let evs = net.ext_events(A);
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e, SockEvent::TcpData { data, .. } if data == b"HELLO")),
+            "{evs:?}"
+        );
+    }
+
+    #[test]
+    fn connect_to_dead_host_times_out() {
+        let mut net = net();
+        net.add_external_host(A);
+        net.add_service_host(B, Box::new(Upper));
+        net.set_host_up(B, false);
+        let sock = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(10));
+        let evs = net.ext_events(A);
+        assert!(
+            evs.contains(&SockEvent::ConnectFailed {
+                sock,
+                reason: ConnectError::TimedOut
+            }),
+            "{evs:?}"
+        );
+        assert!(net.stats.blackholed >= 1);
+    }
+
+    #[test]
+    fn connect_to_closed_port_is_refused() {
+        let mut net = net();
+        net.add_external_host(A);
+        net.add_service_host(B, Box::new(Upper));
+        let sock = net.ext_tcp_connect(A, B, 9);
+        net.run_for(SimDuration::from_secs(10));
+        let evs = net.ext_events(A);
+        assert!(
+            evs.contains(&SockEvent::ConnectFailed {
+                sock,
+                reason: ConnectError::Refused
+            }),
+            "{evs:?}"
+        );
+    }
+
+    #[test]
+    fn capture_sees_both_directions() {
+        let mut net = net();
+        net.add_service_host(B, Box::new(Upper));
+        net.add_external_host(A);
+        net.start_capture(A);
+        let sock = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(1));
+        net.ext_tcp_send(A, sock, b"x");
+        net.run_for(SimDuration::from_secs(1));
+        let cap = net.stop_capture(A);
+        // SYN, SYN-ACK, ACK, data, ack, reply data, ack ≥ 6 packets.
+        assert!(cap.len() >= 6, "capture too small: {}", cap.len());
+        let to_b = cap.iter().filter(|(_, p)| p.dst == B).count();
+        let from_b = cap.iter().filter(|(_, p)| p.src == B).count();
+        assert!(to_b >= 3 && from_b >= 2);
+        // Timestamps are monotone.
+        assert!(cap.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn loss_faults_cause_syn_timeouts() {
+        let mut net = net();
+        net.faults.loss = 1.0;
+        net.add_service_host(B, Box::new(Upper));
+        net.add_external_host(A);
+        let sock = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(10));
+        let evs = net.ext_events(A);
+        assert!(evs.contains(&SockEvent::ConnectFailed {
+            sock,
+            reason: ConnectError::TimedOut
+        }));
+        assert!(net.stats.lost >= 1);
+    }
+
+    #[test]
+    fn egress_filter_contains_traffic() {
+        let mut net = net();
+        net.add_service_host(B, Box::new(Upper));
+        net.add_external_host(A);
+        // Block everything except to port 7 — then block everything.
+        net.set_egress_filter(Box::new(|_, pkt| pkt.transport.dst_port() != Some(9999)));
+        net.ext_udp_send(A, 5, B, 9999, vec![1]);
+        net.run_for(SimDuration::from_secs(1));
+        assert_eq!(net.stats.delivered, 0);
+        net.ext_udp_send(A, 5, B, 53, vec![1]);
+        net.run_for(SimDuration::from_secs(1));
+        // The datagram reaches B (1 delivery) and B's port-unreachable
+        // reply reaches A (a 2nd delivery).
+        assert!(net.stats.delivered >= 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerLog(Vec<u64>);
+        impl Service for TimerLog {
+            fn start(&mut self, ctx: &mut ServiceCtx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(2), 2);
+                ctx.set_timer(SimDuration::from_secs(1), 1);
+                ctx.set_timer(SimDuration::from_secs(3), 3);
+            }
+            fn on_event(&mut self, _ctx: &mut ServiceCtx<'_>, _ev: SockEvent) {}
+            fn on_timer(&mut self, ctx: &mut ServiceCtx<'_>, token: u64) {
+                self.0.push(token);
+                if token == 1 {
+                    // Fire a UDP packet so the outside can observe us.
+                    ctx.udp_send(1, Ipv4Addr::new(10, 0, 0, 99), 1, vec![token as u8]);
+                }
+            }
+        }
+        let mut net = net();
+        net.add_service_host(B, Box::new(TimerLog(Vec::new())));
+        net.run_for(SimDuration::from_secs(5));
+        assert!(net.stats.sent >= 1);
+    }
+
+    #[test]
+    fn down_host_resets_connections() {
+        let mut net = net();
+        net.add_service_host(B, Box::new(Upper));
+        net.add_external_host(A);
+        let _sock = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(1));
+        net.set_host_up(B, false);
+        assert!(!net.host_up(B));
+        net.set_host_up(B, true);
+        // Stack was reset: no connections remain server-side.
+        assert_eq!(net.hosts.get(&B).unwrap().stack.conn_count(), 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut net = Network::new(SimTime::EPOCH, 7);
+            net.faults.loss = 0.3;
+            net.add_service_host(B, Box::new(Upper));
+            net.add_external_host(A);
+            net.start_capture(A);
+            for _ in 0..20 {
+                let s = net.ext_tcp_connect(A, B, 7);
+                net.run_for(SimDuration::from_secs(1));
+                net.ext_tcp_send(A, s, b"abc");
+                net.run_for(SimDuration::from_secs(5));
+            }
+            net.stop_capture(A)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

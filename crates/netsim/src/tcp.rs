@@ -1,0 +1,401 @@
+//! A per-connection TCP state machine.
+//!
+//! This is deliberately a *simulator's* TCP: it produces correct-looking
+//! segment sequences (SYN / SYN-ACK / ACK, PSH-ACK data with sequence and
+//! acknowledgement tracking, FIN teardown, RST aborts) for captures, and
+//! reliable in-order delivery is guaranteed by the event queue, so there is
+//! no retransmission or reassembly machinery. Loss is modelled at the
+//! connection-establishment level by the network (SYN timeouts), matching
+//! what the paper's instruments actually observe: handshake completion,
+//! payload bytes, and aborts.
+
+use std::net::Ipv4Addr;
+
+use malnet_wire::tcp::{TcpFlags, TcpHeader};
+use malnet_wire::Packet;
+
+/// Maximum payload bytes per emitted segment (conservative Ethernet MSS).
+pub const MSS: usize = 1400;
+
+/// TCP connection states (the subset a simulated endpoint traverses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// SYN sent, waiting for SYN-ACK (client).
+    SynSent,
+    /// SYN received, SYN-ACK sent, waiting for ACK (server).
+    SynReceived,
+    /// Three-way handshake complete.
+    Established,
+    /// We sent FIN, waiting for peer's ACK/FIN.
+    FinWait,
+    /// Peer sent FIN; we may still send, then FIN.
+    CloseWait,
+    /// We sent FIN after CloseWait, waiting for last ACK.
+    LastAck,
+    /// Fully closed (or aborted).
+    Closed,
+}
+
+/// Events a connection reports to its owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpEvent {
+    /// Handshake completed (both roles).
+    Connected,
+    /// In-order payload bytes arrived.
+    Data(Vec<u8>),
+    /// Peer closed its direction (FIN received).
+    PeerFin,
+    /// Connection was reset by the peer.
+    Reset,
+}
+
+/// One endpoint of a TCP connection.
+#[derive(Debug, Clone)]
+pub struct TcpConn {
+    /// Local address/port.
+    pub local: (Ipv4Addr, u16),
+    /// Remote address/port.
+    pub remote: (Ipv4Addr, u16),
+    /// Current state.
+    pub state: TcpState,
+    snd_nxt: u32,
+    rcv_nxt: u32,
+    /// Total payload bytes received.
+    pub bytes_in: u64,
+    /// Total payload bytes sent.
+    pub bytes_out: u64,
+}
+
+impl TcpConn {
+    /// Initiate an active open. Returns the connection and the SYN packet.
+    pub fn connect(local: (Ipv4Addr, u16), remote: (Ipv4Addr, u16), iss: u32) -> (Self, Packet) {
+        let conn = TcpConn {
+            local,
+            remote,
+            state: TcpState::SynSent,
+            snd_nxt: iss.wrapping_add(1),
+            rcv_nxt: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
+        let syn = Packet::tcp(
+            local.0, local.1, remote.0, remote.1, iss, 0, TcpFlags::SYN, vec![],
+        );
+        (conn, syn)
+    }
+
+    /// Passive open: a listener accepted a SYN with sequence `peer_seq`.
+    /// Returns the connection and the SYN-ACK packet.
+    pub fn accept(
+        local: (Ipv4Addr, u16),
+        remote: (Ipv4Addr, u16),
+        iss: u32,
+        peer_seq: u32,
+    ) -> (Self, Packet) {
+        let conn = TcpConn {
+            local,
+            remote,
+            state: TcpState::SynReceived,
+            snd_nxt: iss.wrapping_add(1),
+            rcv_nxt: peer_seq.wrapping_add(1),
+            bytes_in: 0,
+            bytes_out: 0,
+        };
+        let syn_ack = Packet::tcp(
+            local.0,
+            local.1,
+            remote.0,
+            remote.1,
+            iss,
+            conn.rcv_nxt,
+            TcpFlags::SYN_ACK,
+            vec![],
+        );
+        (conn, syn_ack)
+    }
+
+    fn mk(&self, flags: TcpFlags, seq: u32, payload: Vec<u8>) -> Packet {
+        Packet::tcp(
+            self.local.0,
+            self.local.1,
+            self.remote.0,
+            self.remote.1,
+            seq,
+            self.rcv_nxt,
+            flags,
+            payload,
+        )
+    }
+
+    /// Feed an incoming segment; returns packets to transmit and events
+    /// for the owner.
+    pub fn on_segment(&mut self, hdr: &TcpHeader, payload: &[u8]) -> (Vec<Packet>, Vec<TcpEvent>) {
+        let mut out = Vec::new();
+        let mut evs = Vec::new();
+        if hdr.flags.rst() {
+            if self.state != TcpState::Closed {
+                self.state = TcpState::Closed;
+                evs.push(TcpEvent::Reset);
+            }
+            return (out, evs);
+        }
+        match self.state {
+            TcpState::SynSent => {
+                if hdr.flags.syn() && hdr.flags.ack() {
+                    self.rcv_nxt = hdr.seq.wrapping_add(1);
+                    self.state = TcpState::Established;
+                    out.push(self.mk(TcpFlags::ACK, self.snd_nxt, vec![]));
+                    evs.push(TcpEvent::Connected);
+                }
+                // A bare SYN (simultaneous open) is not modelled.
+            }
+            TcpState::SynReceived => {
+                if hdr.flags.ack() && !hdr.flags.syn() {
+                    self.state = TcpState::Established;
+                    evs.push(TcpEvent::Connected);
+                    // Data may ride on the completing ACK.
+                    if !payload.is_empty() {
+                        let (mut o2, mut e2) = self.on_segment(
+                            &TcpHeader {
+                                flags: TcpFlags::PSH_ACK,
+                                ..*hdr
+                            },
+                            payload,
+                        );
+                        out.append(&mut o2);
+                        evs.append(&mut e2);
+                    }
+                }
+            }
+            TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
+                if !payload.is_empty() && self.state != TcpState::CloseWait {
+                    // In-order delivery is guaranteed by the simulator; a
+                    // mismatched sequence indicates an internal bug.
+                    debug_assert_eq!(hdr.seq, self.rcv_nxt, "out-of-order segment in simulator");
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+                    self.bytes_in += payload.len() as u64;
+                    out.push(self.mk(TcpFlags::ACK, self.snd_nxt, vec![]));
+                    evs.push(TcpEvent::Data(payload.to_vec()));
+                }
+                if hdr.flags.fin() {
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                    out.push(self.mk(TcpFlags::ACK, self.snd_nxt, vec![]));
+                    evs.push(TcpEvent::PeerFin);
+                    self.state = match self.state {
+                        TcpState::FinWait => TcpState::Closed,
+                        _ => TcpState::CloseWait,
+                    };
+                }
+            }
+            TcpState::LastAck => {
+                if hdr.flags.ack() {
+                    self.state = TcpState::Closed;
+                }
+            }
+            TcpState::Closed => {}
+        }
+        (out, evs)
+    }
+
+    /// Send payload bytes; emits one or more PSH-ACK segments. Returns an
+    /// empty vector when the connection cannot carry data.
+    pub fn send(&mut self, data: &[u8]) -> Vec<Packet> {
+        if !matches!(self.state, TcpState::Established | TcpState::CloseWait) || data.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for chunk in data.chunks(MSS) {
+            let seq = self.snd_nxt;
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
+            self.bytes_out += chunk.len() as u64;
+            out.push(self.mk(TcpFlags::PSH_ACK, seq, chunk.to_vec()));
+        }
+        out
+    }
+
+    /// Begin an orderly close; emits FIN-ACK when appropriate.
+    pub fn close(&mut self) -> Option<Packet> {
+        match self.state {
+            TcpState::Established => {
+                let seq = self.snd_nxt;
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.state = TcpState::FinWait;
+                Some(self.mk(TcpFlags::FIN_ACK, seq, vec![]))
+            }
+            TcpState::CloseWait => {
+                let seq = self.snd_nxt;
+                self.snd_nxt = self.snd_nxt.wrapping_add(1);
+                self.state = TcpState::LastAck;
+                Some(self.mk(TcpFlags::FIN_ACK, seq, vec![]))
+            }
+            TcpState::SynSent | TcpState::SynReceived => {
+                self.state = TcpState::Closed;
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Abort with RST.
+    pub fn abort(&mut self) -> Option<Packet> {
+        if self.state == TcpState::Closed {
+            return None;
+        }
+        let seq = self.snd_nxt;
+        self.state = TcpState::Closed;
+        Some(self.mk(TcpFlags::RST, seq, vec![]))
+    }
+
+    /// True once the connection has fully terminated.
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malnet_wire::packet::Transport;
+
+    const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn hdr_of(p: &Packet) -> (TcpHeader, Vec<u8>) {
+        match &p.transport {
+            Transport::Tcp { header, payload } => (*header, payload.clone()),
+            _ => panic!("not tcp"),
+        }
+    }
+
+    /// Run a full handshake and return both established endpoints.
+    fn establish() -> (TcpConn, TcpConn) {
+        let (mut client, syn) = TcpConn::connect((C, 40000), (S, 23), 1000);
+        let (sh, sp) = hdr_of(&syn);
+        let (mut server, syn_ack) = TcpConn::accept((S, 23), (C, 40000), 9000, sh.seq);
+        assert!(sp.is_empty());
+        let (ah, ap) = hdr_of(&syn_ack);
+        let (acks, evs) = client.on_segment(&ah, &ap);
+        assert_eq!(evs, vec![TcpEvent::Connected]);
+        assert_eq!(acks.len(), 1);
+        let (h3, p3) = hdr_of(&acks[0]);
+        let (out, evs) = server.on_segment(&h3, &p3);
+        assert!(out.is_empty());
+        assert_eq!(evs, vec![TcpEvent::Connected]);
+        assert_eq!(client.state, TcpState::Established);
+        assert_eq!(server.state, TcpState::Established);
+        (client, server)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        establish();
+    }
+
+    #[test]
+    fn data_transfer_updates_seq_and_acks() {
+        let (mut client, mut server) = establish();
+        let segs = client.send(b"GET / HTTP/1.0\r\n\r\n");
+        assert_eq!(segs.len(), 1);
+        let (h, p) = hdr_of(&segs[0]);
+        assert!(h.flags.psh() && h.flags.ack());
+        let (acks, evs) = server.on_segment(&h, &p);
+        assert_eq!(evs, vec![TcpEvent::Data(b"GET / HTTP/1.0\r\n\r\n".to_vec())]);
+        assert_eq!(acks.len(), 1);
+        let (ah, _) = hdr_of(&acks[0]);
+        assert_eq!(ah.ack, h.seq.wrapping_add(p.len() as u32));
+        assert_eq!(server.bytes_in, 18);
+        assert_eq!(client.bytes_out, 18);
+    }
+
+    #[test]
+    fn large_send_is_segmented_at_mss() {
+        let (mut client, mut server) = establish();
+        let data = vec![7u8; MSS * 2 + 100];
+        let segs = client.send(&data);
+        assert_eq!(segs.len(), 3);
+        let mut received = Vec::new();
+        for s in &segs {
+            let (h, p) = hdr_of(s);
+            let (_, evs) = server.on_segment(&h, &p);
+            for e in evs {
+                if let TcpEvent::Data(d) = e {
+                    received.extend_from_slice(&d);
+                }
+            }
+        }
+        assert_eq!(received, data);
+    }
+
+    #[test]
+    fn orderly_close_both_directions() {
+        let (mut client, mut server) = establish();
+        let fin = client.close().unwrap();
+        let (fh, fp) = hdr_of(&fin);
+        assert!(fh.flags.fin());
+        let (acks, evs) = server.on_segment(&fh, &fp);
+        assert!(evs.contains(&TcpEvent::PeerFin));
+        assert_eq!(server.state, TcpState::CloseWait);
+        for a in &acks {
+            let (h, p) = hdr_of(a);
+            client.on_segment(&h, &p);
+        }
+        let fin2 = server.close().unwrap();
+        let (f2h, f2p) = hdr_of(&fin2);
+        let (acks2, evs2) = client.on_segment(&f2h, &f2p);
+        assert!(evs2.contains(&TcpEvent::PeerFin));
+        assert!(client.is_closed());
+        for a in &acks2 {
+            let (h, p) = hdr_of(a);
+            server.on_segment(&h, &p);
+        }
+        assert!(server.is_closed());
+    }
+
+    #[test]
+    fn rst_aborts_and_reports() {
+        let (mut client, mut server) = establish();
+        let rst = client.abort().unwrap();
+        assert!(client.is_closed());
+        let (h, p) = hdr_of(&rst);
+        let (out, evs) = server.on_segment(&h, &p);
+        assert!(out.is_empty());
+        assert_eq!(evs, vec![TcpEvent::Reset]);
+        assert!(server.is_closed());
+    }
+
+    #[test]
+    fn send_before_established_is_dropped() {
+        let (mut client, _syn) = TcpConn::connect((C, 1), (S, 2), 5);
+        assert!(client.send(b"early").is_empty());
+    }
+
+    #[test]
+    fn data_on_handshake_ack_is_delivered() {
+        let (mut client, syn) = TcpConn::connect((C, 40000), (S, 80), 1000);
+        let (sh, _) = hdr_of(&syn);
+        let (mut server, syn_ack) = TcpConn::accept((S, 80), (C, 40000), 9000, sh.seq);
+        let (ah, ap) = hdr_of(&syn_ack);
+        client.on_segment(&ah, &ap);
+        // Client sends data immediately; first the pure ACK then data.
+        let segs = client.send(b"hello");
+        // Server sees ACK+data in order; merge by feeding data segment
+        // directly (the pure ACK raced ahead in the simulator).
+        let (h, p) = hdr_of(&segs[0]);
+        let (_, evs) = server.on_segment(
+            &TcpHeader {
+                flags: TcpFlags::PSH_ACK,
+                ..h
+            },
+            &p,
+        );
+        assert!(evs.contains(&TcpEvent::Connected));
+        assert!(evs.contains(&TcpEvent::Data(b"hello".to_vec())));
+    }
+
+    #[test]
+    fn close_in_syn_sent_quietly_closes() {
+        let (mut client, _) = TcpConn::connect((C, 1), (S, 2), 5);
+        assert!(client.close().is_none());
+        assert!(client.is_closed());
+    }
+}

@@ -1,0 +1,270 @@
+//! Virtual time and the study calendar.
+//!
+//! All timestamps in the simulation are [`SimTime`]: microseconds since the
+//! study epoch, **2021-03-01 00:00 UTC** (day 0). The paper's measurement
+//! ran March 2021 – March 2022 and reports weekly activity using a
+//! non-contiguous mapping of 31 "study weeks" onto calendar weeks
+//! (Appendix E); [`study_week_of_day`] reproduces that mapping.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// A span of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+    /// From milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+    /// From minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration::from_secs(m * 60)
+    }
+    /// From hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration::from_secs(h * 3600)
+    }
+    /// From days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration::from_secs(d * SECS_PER_DAY)
+    }
+    /// Total microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+    /// Total whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / MICROS_PER_SEC
+    }
+    /// Duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+    /// Saturating multiply by an integer factor.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// An instant of virtual time: microseconds since the study epoch
+/// (2021-03-01 00:00 UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The study epoch itself.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from a day index plus seconds within the day.
+    pub const fn from_day(day: u32, secs_into_day: u64) -> Self {
+        SimTime(day as u64 * SECS_PER_DAY * MICROS_PER_SEC + secs_into_day * MICROS_PER_SEC)
+    }
+
+    /// Microseconds since epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since epoch (the paper's "day number").
+    pub const fn day(self) -> u32 {
+        (self.0 / (SECS_PER_DAY * MICROS_PER_SEC)) as u32
+    }
+
+    /// Seconds into the current day.
+    pub const fn secs_into_day(self) -> u64 {
+        (self.0 / MICROS_PER_SEC) % SECS_PER_DAY
+    }
+
+    /// Elapsed duration since an earlier instant (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day();
+        let s = self.secs_into_day();
+        write!(f, "d{:03} {:02}:{:02}:{:02}", day, s / 3600, (s / 60) % 60, s % 60)
+    }
+}
+
+/// Number of days in the study window. Collection ran March 2021 – March
+/// 2022 and the last study week (calendar week 12 of 2022, per Appendix E)
+/// ends in late March 2022, 392 days after the epoch.
+pub const STUDY_DAYS: u32 = 392;
+
+/// The paper's 31 study weeks (Appendix E): study weeks 1..=31 map onto
+/// calendar weeks with gaps ("disruption of the service, not observing
+/// MIPS 32b samples, or not detecting any C2 server").
+///
+/// * Study week 1  → calendar week 14 of 2021
+/// * Study weeks 2..=11 → calendar weeks 24..=33 of 2021
+/// * Study weeks 12..=20 → calendar weeks 44..=52 of 2021
+/// * Study weeks 21..=31 → calendar weeks 2..=12 of 2022
+///
+/// Returns `None` for days that fall outside the observed study weeks.
+pub fn study_week_of_day(day: u32) -> Option<u32> {
+    // Day 0 = 2021-03-01, a Monday, which opens ISO week 9 of 2021.
+    // Calendar week n of 2021 therefore starts at day (n - 9) * 7; 2021
+    // has 52 ISO weeks, so week w of 2022 has continued index 52 + w.
+    let w = 9 + day / 7;
+    match w {
+        14 => Some(1),
+        24..=33 => Some(2 + (w - 24)),
+        44..=52 => Some(12 + (w - 44)),
+        // 2022: calendar weeks 2..=12 == continued indexes 54..=64.
+        54..=64 => Some(21 + (w - 54)),
+        _ => None,
+    }
+}
+
+/// Total number of study weeks the paper plots in Figure 1.
+pub const STUDY_WEEKS: u32 = 31;
+
+/// Day range `[start, end)` covered by a study week (inverse of
+/// [`study_week_of_day`]). Returns `None` for weeks outside 1..=31.
+pub fn days_of_study_week(week: u32) -> Option<std::ops::Range<u32>> {
+    let cal = match week {
+        1 => 14,
+        2..=11 => 24 + (week - 2),
+        12..=20 => 44 + (week - 12),
+        21..=31 => 54 + (week - 21),
+        _ => return None,
+    };
+    let start = (cal - 9) * 7;
+    Some(start..start + 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1).as_micros(), MICROS_PER_SEC);
+        assert_eq!(SimDuration::from_days(2), SimDuration::from_hours(48));
+        assert_eq!(SimDuration::from_mins(3), SimDuration::from_secs(180));
+        assert_eq!(SimDuration::from_millis(1500).as_secs(), 1);
+    }
+
+    #[test]
+    fn time_day_arithmetic() {
+        let t = SimTime::from_day(10, 3600);
+        assert_eq!(t.day(), 10);
+        assert_eq!(t.secs_into_day(), 3600);
+        let u = t + SimDuration::from_days(1);
+        assert_eq!(u.day(), 11);
+        assert_eq!(u.since(t), SimDuration::from_days(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = SimTime::from_day(5, 7265);
+        assert_eq!(t.to_string(), "d005 02:01:05");
+    }
+
+    #[test]
+    fn study_week_mapping_has_31_weeks() {
+        let mut seen = std::collections::BTreeSet::new();
+        for day in 0..STUDY_DAYS {
+            if let Some(w) = study_week_of_day(day) {
+                assert!((1..=STUDY_WEEKS).contains(&w), "week {w} out of range");
+                seen.insert(w);
+            }
+        }
+        assert_eq!(seen.len(), STUDY_WEEKS as usize);
+        // Weeks are visited in increasing order of day.
+        let mut last = 0;
+        for day in 0..STUDY_DAYS {
+            if let Some(w) = study_week_of_day(day) {
+                assert!(w >= last);
+                last = w;
+            }
+        }
+    }
+
+    #[test]
+    fn study_week_1_is_april_2021() {
+        // Calendar week 14 begins (14-9)*7 = day 35 = 2021-04-05.
+        assert_eq!(study_week_of_day(35), Some(1));
+        assert_eq!(study_week_of_day(34), None);
+        assert_eq!(study_week_of_day(41), Some(1));
+        assert_eq!(study_week_of_day(42), None); // week 15 unobserved
+    }
+
+    #[test]
+    fn sub_is_saturating() {
+        let t = SimTime::from_day(0, 10);
+        assert_eq!((t - SimDuration::from_days(5)).as_micros(), 0);
+    }
+}
+
+#[cfg(test)]
+mod inverse_tests {
+    use super::*;
+
+    #[test]
+    fn week_ranges_invert_the_mapping() {
+        for w in 1..=STUDY_WEEKS {
+            let r = days_of_study_week(w).unwrap();
+            for d in r {
+                assert_eq!(study_week_of_day(d), Some(w), "day {d} week {w}");
+            }
+        }
+        assert!(days_of_study_week(0).is_none());
+        assert!(days_of_study_week(32).is_none());
+    }
+}

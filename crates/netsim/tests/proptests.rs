@@ -1,0 +1,126 @@
+//! Property tests for the simulator substrates: address-plan invariants,
+//! calendar conversions, socket-stack robustness and network determinism.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use malnet_netsim::asdb::{standard_internet, Prefix};
+use malnet_netsim::net::{Network, Service, ServiceCtx};
+use malnet_netsim::stack::{HostStack, SockEvent};
+use malnet_netsim::time::{
+    days_of_study_week, study_week_of_day, SimDuration, SimTime, STUDY_WEEKS,
+};
+use malnet_wire::packet::Packet;
+use malnet_wire::tcp::TcpFlags;
+
+struct Echo;
+impl Service for Echo {
+    fn start(&mut self, ctx: &mut ServiceCtx<'_>) {
+        ctx.tcp_listen(7);
+        ctx.udp_bind(7);
+    }
+    fn on_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: SockEvent) {
+        match ev {
+            SockEvent::TcpData { sock, data } => ctx.tcp_send(sock, &data),
+            SockEvent::UdpData { port, src, data } => ctx.udp_send(port, src.0, src.1, data),
+            _ => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Prefix membership agrees with host enumeration.
+    #[test]
+    fn prefix_hosts_are_members(base in any::<u32>(), len in 8u8..=30, n in any::<u32>()) {
+        let p = Prefix::new(Ipv4Addr::from(base), len);
+        match p.host(n) {
+            Some(ip) => {
+                prop_assert!(p.contains(ip));
+                prop_assert!(n < p.capacity());
+            }
+            None => prop_assert!(n >= p.capacity()),
+        }
+    }
+
+    /// IP allocation never produces an address outside the AS's prefixes,
+    /// and lookups invert allocation.
+    #[test]
+    fn alloc_lookup_inverse(k in 1usize..60) {
+        let mut db = standard_internet(10, 5, 2, 2);
+        let asns: Vec<_> = db.records().iter().map(|r| r.asn).collect();
+        for i in 0..k {
+            let asn = asns[i % asns.len()];
+            if let Some(ip) = db.alloc_ip(asn) {
+                prop_assert_eq!(db.asn_of(ip), Some(asn));
+            }
+        }
+    }
+
+    /// Study-week mapping and its inverse are consistent for all days.
+    #[test]
+    fn calendar_roundtrip(day in 0u32..500) {
+        if let Some(w) = study_week_of_day(day) {
+            prop_assert!((1..=STUDY_WEEKS).contains(&w));
+            let range = days_of_study_week(w).unwrap();
+            prop_assert!(range.contains(&day));
+        }
+    }
+
+    /// Time arithmetic: day/seconds decomposition inverts construction.
+    #[test]
+    fn time_decomposition(day in 0u32..10_000, secs in 0u64..86_400) {
+        let t = SimTime::from_day(day, secs);
+        prop_assert_eq!(t.day(), day);
+        prop_assert_eq!(t.secs_into_day(), secs);
+    }
+
+    /// A host stack never panics on arbitrary packets addressed to it.
+    #[test]
+    fn stack_total_on_arbitrary_packets(
+        pkts in proptest::collection::vec(
+            (any::<u32>(), any::<u16>(), any::<u16>(), 0u8..32,
+             proptest::collection::vec(any::<u8>(), 0..64)),
+            0..40,
+        )
+    ) {
+        let me = Ipv4Addr::new(10, 0, 0, 1);
+        let mut stack = HostStack::new(me);
+        stack.tcp_listen(7);
+        stack.udp_bind(9);
+        for (src, sp, dp, flags, payload) in pkts {
+            let p = Packet::tcp(Ipv4Addr::from(src), sp, me, dp, 1, 0, TcpFlags(flags), payload);
+            let _ = stack.handle_packet(&p);
+        }
+    }
+
+    /// The network is deterministic under arbitrary loss rates and
+    /// workloads: two identically-seeded runs produce identical captures.
+    #[test]
+    fn network_deterministic_under_faults(
+        loss in 0.0f64..0.9,
+        seed in any::<u64>(),
+        sends in 1usize..15,
+    ) {
+        let run = || {
+            let mut net = Network::new(SimTime::EPOCH, seed);
+            net.faults.loss = loss;
+            let server = Ipv4Addr::new(10, 0, 0, 2);
+            let client = Ipv4Addr::new(10, 0, 0, 1);
+            net.add_service_host(server, Box::new(Echo));
+            net.add_external_host(client);
+            net.start_capture(client);
+            for i in 0..sends {
+                let s = net.ext_tcp_connect(client, server, 7);
+                net.run_for(SimDuration::from_secs(1));
+                net.ext_tcp_send(client, s, &[i as u8; 16]);
+                net.ext_udp_send(client, 1000, server, 7, vec![i as u8]);
+                net.run_for(SimDuration::from_secs(5));
+            }
+            net.stop_capture(client)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

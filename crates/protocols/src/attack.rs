@@ -1,0 +1,190 @@
+//! The DDoS attack taxonomy observed in the paper (§5.1): eight attack
+//! types across three malware families.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The eight observed DDoS attack types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackMethod {
+    /// Generic UDP flood (Mirai vector 0 "UDP Flood", Gafgyt `UDP`,
+    /// Daddyl33t `UDPRAW`). Null-byte payload.
+    UdpFlood,
+    /// TCP SYN flood (Mirai vector 3, Daddyl33t `HYDRASYN`).
+    SynFlood,
+    /// TLS handshake exhaustion (Mirai over TCP; Daddyl33t sends encoded
+    /// DTLS-ish datagrams to a UDP port).
+    TlsFlood,
+    /// BLACKNURSE: ICMP type-3 code-3 flood (Daddyl33t only).
+    Blacknurse,
+    /// STOMP application flood over TCP (completes the handshake, then
+    /// junk STOMP frames).
+    Stomp,
+    /// Valve Source Engine query flood against game servers (Mirai vector
+    /// 1; also seen once from Gafgyt).
+    Vse,
+    /// STD: repeated random-string UDP flood (Gafgyt).
+    Std,
+    /// NFO: custom UDP payload aimed at NFOservers infrastructure
+    /// (Daddyl33t, `NFOV6`).
+    Nfo,
+}
+
+impl AttackMethod {
+    /// All methods, for iteration in reports.
+    pub const ALL: [AttackMethod; 8] = [
+        AttackMethod::UdpFlood,
+        AttackMethod::SynFlood,
+        AttackMethod::TlsFlood,
+        AttackMethod::Blacknurse,
+        AttackMethod::Stomp,
+        AttackMethod::Vse,
+        AttackMethod::Std,
+        AttackMethod::Nfo,
+    ];
+
+    /// Short display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackMethod::UdpFlood => "UDP Flood",
+            AttackMethod::SynFlood => "SYN Flood",
+            AttackMethod::TlsFlood => "TLS",
+            AttackMethod::Blacknurse => "BLACKNURSE",
+            AttackMethod::Stomp => "STOMP",
+            AttackMethod::Vse => "VSE",
+            AttackMethod::Std => "STD",
+            AttackMethod::Nfo => "NFO",
+        }
+    }
+}
+
+impl fmt::Display for AttackMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The protocol the attack traffic lands on (the paper's Figure 10
+/// categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TargetProtocol {
+    /// UDP, excluding DNS.
+    Udp,
+    /// TCP.
+    Tcp,
+    /// DNS (UDP port 53).
+    Dns,
+    /// ICMP.
+    Icmp,
+}
+
+impl fmt::Display for TargetProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TargetProtocol::Udp => "UDP",
+            TargetProtocol::Tcp => "TCP",
+            TargetProtocol::Dns => "DNS",
+            TargetProtocol::Icmp => "ICMP",
+        })
+    }
+}
+
+/// A parsed DDoS command: what the C2 asked a bot to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttackCommand {
+    /// Attack type.
+    pub method: AttackMethod,
+    /// Victim address.
+    pub target: Ipv4Addr,
+    /// Victim port (0 where the attack has no port, e.g. BLACKNURSE).
+    pub port: u16,
+    /// Attack duration in seconds.
+    pub duration_secs: u32,
+}
+
+impl AttackCommand {
+    /// Classify the attack's target protocol (Figure 10 logic): SYN/STOMP
+    /// ride TCP, BLACKNURSE is ICMP, UDP-carried floods aimed at port 53
+    /// count as DNS, everything else is UDP. Mirai's TLS flood is
+    /// TCP-carried; Daddyl33t's targets a UDP port — we classify by the
+    /// wire protocol the family uses, passed as `tls_over_tcp`.
+    pub fn target_protocol(&self, tls_over_tcp: bool) -> TargetProtocol {
+        match self.method {
+            AttackMethod::SynFlood | AttackMethod::Stomp => TargetProtocol::Tcp,
+            AttackMethod::Blacknurse => TargetProtocol::Icmp,
+            AttackMethod::TlsFlood if tls_over_tcp => TargetProtocol::Tcp,
+            _ if self.port == 53 => TargetProtocol::Dns,
+            _ => TargetProtocol::Udp,
+        }
+    }
+}
+
+impl fmt::Display for AttackCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {}:{} for {}s",
+            self.method, self.target, self.port, self.duration_secs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(method: AttackMethod, port: u16) -> AttackCommand {
+        AttackCommand {
+            method,
+            target: Ipv4Addr::new(192, 0, 2, 1),
+            port,
+            duration_secs: 60,
+        }
+    }
+
+    #[test]
+    fn protocol_classification() {
+        assert_eq!(
+            cmd(AttackMethod::SynFlood, 80).target_protocol(true),
+            TargetProtocol::Tcp
+        );
+        assert_eq!(
+            cmd(AttackMethod::Stomp, 61613).target_protocol(true),
+            TargetProtocol::Tcp
+        );
+        assert_eq!(
+            cmd(AttackMethod::Blacknurse, 0).target_protocol(true),
+            TargetProtocol::Icmp
+        );
+        assert_eq!(
+            cmd(AttackMethod::UdpFlood, 53).target_protocol(true),
+            TargetProtocol::Dns
+        );
+        assert_eq!(
+            cmd(AttackMethod::UdpFlood, 80).target_protocol(true),
+            TargetProtocol::Udp
+        );
+        // Mirai TLS rides TCP; Daddyl33t's rides UDP.
+        assert_eq!(
+            cmd(AttackMethod::TlsFlood, 443).target_protocol(true),
+            TargetProtocol::Tcp
+        );
+        assert_eq!(
+            cmd(AttackMethod::TlsFlood, 443).target_protocol(false),
+            TargetProtocol::Udp
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(AttackMethod::Vse.to_string(), "VSE");
+        assert_eq!(AttackMethod::Blacknurse.name(), "BLACKNURSE");
+        assert_eq!(AttackMethod::ALL.len(), 8);
+    }
+
+    #[test]
+    fn display_includes_endpoint() {
+        let c = cmd(AttackMethod::UdpFlood, 80);
+        assert_eq!(c.to_string(), "UDP Flood -> 192.0.2.1:80 for 60s");
+    }
+}

@@ -1,0 +1,161 @@
+//! The Daddyl33t C2 protocol: text, dot-prefixed commands.
+//!
+//! The paper reverse-engineered this family's traffic (§2.5a). It is a
+//! QBot descendant targeting IoT devices; its distinguishing attacks are
+//! HYDRASYN, the UDP-carried TLS flood, BLACKNURSE (ICMP) and NFOV6.
+//!
+//! * **Bot → C2 login**: `l33t <id>`.
+//! * **Keepalive**: C2 sends `.ping`, bot replies `.pong`.
+//! * **Attack commands**:
+//!   `.udpraw <ip> <port> <secs>`, `.hydrasyn <ip> <port> <secs>`,
+//!   `.tls <ip> <port> <secs>`, `.nurse <ip> <secs>`,
+//!   `.nfov6 <ip> <secs>` (always UDP port 238), `.stop`.
+
+use std::net::Ipv4Addr;
+
+use crate::attack::{AttackCommand, AttackMethod};
+
+/// The UDP port the NFO attack always targets (per the paper §5.1).
+pub const NFO_PORT: u16 = 238;
+
+/// Bot login line.
+pub fn login_line(id: u32) -> String {
+    format!("l33t {id:08x}\n")
+}
+
+/// Keepalive from the C2.
+pub const PING: &str = ".ping\n";
+/// Bot's keepalive response.
+pub const PONG: &str = ".pong\n";
+
+/// Encode a command; `None` for methods Daddyl33t lacks.
+pub fn encode_command(cmd: &AttackCommand) -> Option<String> {
+    let line = match cmd.method {
+        AttackMethod::UdpFlood => {
+            format!(".udpraw {} {} {}\n", cmd.target, cmd.port, cmd.duration_secs)
+        }
+        AttackMethod::SynFlood => format!(
+            ".hydrasyn {} {} {}\n",
+            cmd.target, cmd.port, cmd.duration_secs
+        ),
+        AttackMethod::TlsFlood => {
+            format!(".tls {} {} {}\n", cmd.target, cmd.port, cmd.duration_secs)
+        }
+        AttackMethod::Blacknurse => format!(".nurse {} {}\n", cmd.target, cmd.duration_secs),
+        AttackMethod::Nfo => format!(".nfov6 {} {}\n", cmd.target, cmd.duration_secs),
+        _ => return None,
+    };
+    Some(line)
+}
+
+/// Parse one line into an attack command.
+pub fn decode_line(line: &str) -> Option<AttackCommand> {
+    let line = line.trim();
+    let mut parts = line.split_whitespace();
+    let verb = parts.next()?;
+    let (method, has_port, fixed_port) = match verb {
+        ".udpraw" => (AttackMethod::UdpFlood, true, 0),
+        ".hydrasyn" => (AttackMethod::SynFlood, true, 0),
+        ".tls" => (AttackMethod::TlsFlood, true, 0),
+        ".nurse" => (AttackMethod::Blacknurse, false, 0),
+        ".nfov6" => (AttackMethod::Nfo, false, NFO_PORT),
+        _ => return None,
+    };
+    let target: Ipv4Addr = parts.next()?.parse().ok()?;
+    let port = if has_port {
+        parts.next()?.parse().ok()?
+    } else {
+        fixed_port
+    };
+    let duration_secs: u32 = parts.next()?.parse().ok()?;
+    Some(AttackCommand {
+        method,
+        target,
+        port,
+        duration_secs,
+    })
+}
+
+/// Extract every attack command from a C2→bot byte stream.
+pub fn decode_stream(data: &[u8]) -> Vec<AttackCommand> {
+    String::from_utf8_lossy(data)
+        .lines()
+        .filter_map(decode_line)
+        .collect()
+}
+
+/// Does this bot→C2 payload look like a Daddyl33t login?
+pub fn is_login(data: &[u8]) -> bool {
+    data.starts_with(b"l33t ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(method: AttackMethod, port: u16) -> AttackCommand {
+        AttackCommand {
+            method,
+            target: Ipv4Addr::new(172, 20, 3, 77),
+            port,
+            duration_secs: 45,
+        }
+    }
+
+    #[test]
+    fn roundtrip_daddyl33t_methods() {
+        for (m, port) in [
+            (AttackMethod::UdpFlood, 4567),
+            (AttackMethod::SynFlood, 80),
+            (AttackMethod::TlsFlood, 443),
+        ] {
+            let c = cmd(m, port);
+            let line = encode_command(&c).unwrap();
+            assert_eq!(decode_line(&line), Some(c), "{m}");
+        }
+    }
+
+    #[test]
+    fn nurse_has_no_port() {
+        let c = cmd(AttackMethod::Blacknurse, 0);
+        let line = encode_command(&c).unwrap();
+        assert_eq!(line, ".nurse 172.20.3.77 45\n");
+        assert_eq!(decode_line(&line), Some(c));
+    }
+
+    #[test]
+    fn nfo_pins_port_238() {
+        let c = cmd(AttackMethod::Nfo, NFO_PORT);
+        let line = encode_command(&c).unwrap();
+        let d = decode_line(&line).unwrap();
+        assert_eq!(d.port, 238);
+    }
+
+    #[test]
+    fn gafgyt_methods_refused() {
+        assert!(encode_command(&cmd(AttackMethod::Std, 1)).is_none());
+        assert!(encode_command(&cmd(AttackMethod::Vse, 1)).is_none());
+    }
+
+    #[test]
+    fn stream_parse_skips_keepalives() {
+        let stream = b".ping\n.hydrasyn 10.0.0.1 80 30\n.stop\n.tls 10.0.0.2 443 60\n";
+        let cmds = decode_stream(stream);
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].method, AttackMethod::SynFlood);
+        assert_eq!(cmds[1].method, AttackMethod::TlsFlood);
+    }
+
+    #[test]
+    fn login_detection() {
+        assert!(is_login(login_line(0xdead).as_bytes()));
+        assert!(!is_login(b"BUILD GAFGYT mips"));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(decode_line(".udpraw 1.2.3.4 80").is_none());
+        assert!(decode_line(".nurse nope 30").is_none());
+        assert!(decode_line(".unknown 1.2.3.4 80 30").is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! The Gafgyt (a.k.a. BASHLITE/Qbot-lineage) C2 protocol: line-oriented
+//! text, IRC-flavoured but not IRC.
+//!
+//! * **Bot → C2 login**: a line like `BUILD GAFGYT <arch>`.
+//! * **C2 → Bot keepalive**: `PING`, answered with `PONG`.
+//! * **C2 → Bot attack commands** start with `!*`:
+//!   `!* UDP <ip> <port> <secs> 32 0`, `!* STD <ip> <port> <secs>`,
+//!   `!* VSE <ip> <port> <secs>`, `!* STOP`.
+
+use std::net::Ipv4Addr;
+
+use crate::attack::{AttackCommand, AttackMethod};
+
+/// The login line a bot sends after connecting.
+pub fn login_line(arch: &str) -> String {
+    format!("BUILD GAFGYT {arch}\n")
+}
+
+/// The C2 keepalive and the bot's reply.
+pub const PING: &str = "PING\n";
+/// Bot's answer to [`PING`].
+pub const PONG: &str = "PONG\n";
+
+/// Encode an attack command as a `!*` line. Returns `None` for methods
+/// Gafgyt does not implement.
+pub fn encode_command(cmd: &AttackCommand) -> Option<String> {
+    let line = match cmd.method {
+        AttackMethod::UdpFlood => format!(
+            "!* UDP {} {} {} 32 0\n",
+            cmd.target, cmd.port, cmd.duration_secs
+        ),
+        AttackMethod::Std => format!("!* STD {} {} {}\n", cmd.target, cmd.port, cmd.duration_secs),
+        AttackMethod::Vse => format!("!* VSE {} {} {}\n", cmd.target, cmd.port, cmd.duration_secs),
+        _ => return None,
+    };
+    Some(line)
+}
+
+/// Parse one line; returns a command if it is a well-formed attack line.
+pub fn decode_line(line: &str) -> Option<AttackCommand> {
+    let line = line.trim();
+    let rest = line.strip_prefix("!*")?.trim();
+    let mut parts = rest.split_whitespace();
+    let verb = parts.next()?;
+    let method = match verb {
+        "UDP" => AttackMethod::UdpFlood,
+        "STD" => AttackMethod::Std,
+        "VSE" => AttackMethod::Vse,
+        _ => return None, // STOP, SCANNER ON, etc. are not attacks
+    };
+    let target: Ipv4Addr = parts.next()?.parse().ok()?;
+    let port: u16 = parts.next()?.parse().ok()?;
+    let duration_secs: u32 = parts.next()?.parse().ok()?;
+    Some(AttackCommand {
+        method,
+        target,
+        port,
+        duration_secs,
+    })
+}
+
+/// Extract every attack command from a C2→bot byte stream.
+pub fn decode_stream(data: &[u8]) -> Vec<AttackCommand> {
+    String::from_utf8_lossy(data)
+        .lines()
+        .filter_map(decode_line)
+        .collect()
+}
+
+/// Does this bot→C2 payload look like a Gafgyt login? Used by the
+/// pipeline's manual-verification step (§2.3).
+pub fn is_login(data: &[u8]) -> bool {
+    data.starts_with(b"BUILD GAFGYT")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(method: AttackMethod) -> AttackCommand {
+        AttackCommand {
+            method,
+            target: Ipv4Addr::new(198, 51, 100, 7),
+            port: 80,
+            duration_secs: 300,
+        }
+    }
+
+    #[test]
+    fn roundtrip_gafgyt_methods() {
+        for m in [AttackMethod::UdpFlood, AttackMethod::Std, AttackMethod::Vse] {
+            let c = cmd(m);
+            let line = encode_command(&c).unwrap();
+            assert_eq!(decode_line(&line), Some(c), "{m}");
+        }
+    }
+
+    #[test]
+    fn udp_line_format_matches_family_style() {
+        let line = encode_command(&cmd(AttackMethod::UdpFlood)).unwrap();
+        assert_eq!(line, "!* UDP 198.51.100.7 80 300 32 0\n");
+    }
+
+    #[test]
+    fn non_gafgyt_methods_refuse() {
+        assert!(encode_command(&cmd(AttackMethod::SynFlood)).is_none());
+        assert!(encode_command(&cmd(AttackMethod::Blacknurse)).is_none());
+    }
+
+    #[test]
+    fn control_lines_are_not_attacks() {
+        assert!(decode_line("!* STOP").is_none());
+        assert!(decode_line("!* SCANNER ON").is_none());
+        assert!(decode_line("PING").is_none());
+        assert!(decode_line("").is_none());
+    }
+
+    #[test]
+    fn malformed_fields_rejected() {
+        assert!(decode_line("!* UDP not-an-ip 80 300").is_none());
+        assert!(decode_line("!* UDP 1.2.3.4 99999 300").is_none());
+        assert!(decode_line("!* UDP 1.2.3.4 80").is_none());
+    }
+
+    #[test]
+    fn stream_extracts_multiple_commands() {
+        let stream = b"PING\n!* UDP 1.2.3.4 80 60 32 0\nnoise\n!* STD 5.6.7.8 123 30\n";
+        let cmds = decode_stream(stream);
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].method, AttackMethod::UdpFlood);
+        assert_eq!(cmds[1].method, AttackMethod::Std);
+        assert_eq!(cmds[1].port, 123);
+    }
+
+    #[test]
+    fn login_detection() {
+        assert!(is_login(login_line("mips").as_bytes()));
+        assert!(!is_login(b"NICK tsunami"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # malnet-protocols — IoT botnet C2 application protocols
+//!
+//! The paper (§2.5a) builds application-layer profiles of three IoT C2
+//! protocols — Mirai (binary), Gafgyt (text) and Daddyl33t (text) — from
+//! source code and reverse engineering, and uses them to extract DDoS
+//! commands from captured C2 traffic. This crate implements those
+//! protocols **from both sides**:
+//!
+//! * **Encoders** drive the simulated botmasters (in `malnet-botgen`) and
+//!   the bot binaries themselves — the command a C2 service sends is the
+//!   same byte sequence a real controller would emit.
+//! * **Decoders/profilers** ([`profiler`]) are MalNet's analysis
+//!   instruments: they parse raw C2→bot payload bytes out of captures and
+//!   recover [`attack::AttackCommand`]s.
+//!
+//! Tsunami's IRC dialect ([`tsunami`]) and Mozi's UDP DHT gossip
+//! ([`mozi`]) are implemented for corpus realism: Tsunami bots join a
+//! channel and idle; Mozi is P2P and gets filtered out of the C2 study
+//! exactly as in the paper (§2.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod daddyl33t;
+pub mod gafgyt;
+pub mod mirai;
+pub mod mozi;
+pub mod profiler;
+pub mod tsunami;
+
+pub use attack::{AttackCommand, AttackMethod, TargetProtocol};
+pub use profiler::{C2Profiler, Family};

@@ -1,0 +1,246 @@
+//! The Mirai C2 protocol (binary), modelled on the leaked source.
+//!
+//! * **Bot → C2 handshake**: 4 bytes `00 00 00 01` (protocol version 1),
+//!   optionally followed by a length-prefixed source identifier.
+//! * **Keepalive**: both directions exchange a 2-byte length prefix of
+//!   `0x0000` roughly every 60 s; the C2 echoes it.
+//! * **C2 → Bot attack command**:
+//!   `[u16 total_len] [u32 duration] [u8 vector] [u8 n_targets]
+//!    { u32 ip, u8 prefix }* [u8 n_flags] { u8 key, u8 len, bytes }*`
+//!   Vector ids follow the public source (0 = UDP "0" in the paper's
+//!   wording, 1 = VSE, 3 = SYN, 5 = STOMP); we add 33 for the TLS flood
+//!   variant observed in the wild. Flag key 7 carries the destination
+//!   port as ASCII digits, as real Mirai does.
+
+use std::net::Ipv4Addr;
+
+use crate::attack::{AttackCommand, AttackMethod};
+
+/// The 4-byte bot handshake.
+pub const HANDSHAKE: [u8; 4] = [0, 0, 0, 1];
+
+/// The 2-byte keepalive ping.
+pub const KEEPALIVE: [u8; 2] = [0, 0];
+
+/// Mirai attack vector ids.
+pub mod vector {
+    /// Generic UDP flood ("0" in the paper).
+    pub const UDP: u8 = 0;
+    /// Valve Source Engine query flood.
+    pub const VSE: u8 = 1;
+    /// DNS water-torture (not separately observed; folded into UDP:53).
+    pub const DNS: u8 = 2;
+    /// TCP SYN flood.
+    pub const SYN: u8 = 3;
+    /// STOMP application flood.
+    pub const STOMP: u8 = 5;
+    /// TLS exhaustion (variant extension).
+    pub const TLS: u8 = 33;
+}
+
+fn method_to_vector(m: AttackMethod) -> Option<u8> {
+    Some(match m {
+        AttackMethod::UdpFlood => vector::UDP,
+        AttackMethod::Vse => vector::VSE,
+        AttackMethod::SynFlood => vector::SYN,
+        AttackMethod::Stomp => vector::STOMP,
+        AttackMethod::TlsFlood => vector::TLS,
+        _ => return None,
+    })
+}
+
+fn vector_to_method(v: u8) -> Option<AttackMethod> {
+    Some(match v {
+        vector::UDP | vector::DNS => AttackMethod::UdpFlood,
+        vector::VSE => AttackMethod::Vse,
+        vector::SYN => AttackMethod::SynFlood,
+        vector::STOMP => AttackMethod::Stomp,
+        vector::TLS => AttackMethod::TlsFlood,
+        _ => return None,
+    })
+}
+
+/// Encode an attack command as the C2 would send it.
+/// Returns `None` for methods Mirai does not implement (STD, NFO,
+/// BLACKNURSE belong to other families).
+pub fn encode_command(cmd: &AttackCommand) -> Option<Vec<u8>> {
+    let vec_id = method_to_vector(cmd.method)?;
+    let mut body = Vec::with_capacity(32);
+    body.extend_from_slice(&cmd.duration_secs.to_be_bytes());
+    body.push(vec_id);
+    body.push(1); // one target
+    body.extend_from_slice(&u32::from(cmd.target).to_be_bytes());
+    body.push(32); // /32 prefix
+    let port_ascii = cmd.port.to_string().into_bytes();
+    body.push(1); // one flag
+    body.push(7); // key 7: destination port
+    body.push(port_ascii.len() as u8);
+    body.extend_from_slice(&port_ascii);
+    let mut out = Vec::with_capacity(2 + body.len());
+    out.extend_from_slice(&((body.len() as u16 + 2).to_be_bytes()));
+    out.extend_from_slice(&body);
+    Some(out)
+}
+
+/// Attempt to decode one attack command from the head of `buf`.
+/// Returns the command and the bytes consumed, or `None` if `buf` does
+/// not begin with a well-formed command (keepalives return `None`).
+pub fn decode_command(buf: &[u8]) -> Option<(AttackCommand, usize)> {
+    if buf.len() < 2 {
+        return None;
+    }
+    let total = usize::from(u16::from_be_bytes([buf[0], buf[1]]));
+    if total < 8 || total > buf.len() {
+        return None;
+    }
+    let body = &buf[2..total];
+    let duration = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+    let vec_id = body[4];
+    let method = vector_to_method(vec_id)?;
+    let n_targets = body[5];
+    if n_targets == 0 {
+        return None;
+    }
+    let mut pos = 6;
+    let mut target = None;
+    for _ in 0..n_targets {
+        if pos + 5 > body.len() {
+            return None;
+        }
+        let ip = Ipv4Addr::new(body[pos], body[pos + 1], body[pos + 2], body[pos + 3]);
+        target.get_or_insert(ip);
+        pos += 5;
+    }
+    let mut port = 0u16;
+    if pos < body.len() {
+        let n_flags = body[pos];
+        pos += 1;
+        for _ in 0..n_flags {
+            if pos + 2 > body.len() {
+                return None;
+            }
+            let key = body[pos];
+            let len = usize::from(body[pos + 1]);
+            pos += 2;
+            if pos + len > body.len() {
+                return None;
+            }
+            if key == 7 {
+                port = std::str::from_utf8(&body[pos..pos + len])
+                    .ok()?
+                    .parse()
+                    .ok()?;
+            }
+            pos += len;
+        }
+    }
+    Some((
+        AttackCommand {
+            method,
+            target: target?,
+            port,
+            duration_secs: duration,
+        },
+        total,
+    ))
+}
+
+/// Is this payload the bot handshake?
+pub fn is_handshake(buf: &[u8]) -> bool {
+    buf.len() >= 4 && buf[..4] == HANDSHAKE
+}
+
+/// Is this payload a bare keepalive?
+pub fn is_keepalive(buf: &[u8]) -> bool {
+    buf == KEEPALIVE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(method: AttackMethod) -> AttackCommand {
+        AttackCommand {
+            method,
+            target: Ipv4Addr::new(203, 0, 113, 9),
+            port: 4567,
+            duration_secs: 120,
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_mirai_vectors() {
+        for m in [
+            AttackMethod::UdpFlood,
+            AttackMethod::Vse,
+            AttackMethod::SynFlood,
+            AttackMethod::Stomp,
+            AttackMethod::TlsFlood,
+        ] {
+            let c = cmd(m);
+            let bytes = encode_command(&c).unwrap();
+            let (d, used) = decode_command(&bytes).unwrap();
+            assert_eq!(d, c, "{m}");
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn non_mirai_methods_refuse_encoding() {
+        assert!(encode_command(&cmd(AttackMethod::Std)).is_none());
+        assert!(encode_command(&cmd(AttackMethod::Nfo)).is_none());
+        assert!(encode_command(&cmd(AttackMethod::Blacknurse)).is_none());
+    }
+
+    #[test]
+    fn keepalive_and_handshake_not_commands() {
+        assert!(decode_command(&KEEPALIVE).is_none());
+        assert!(decode_command(&HANDSHAKE).is_none());
+        assert!(is_handshake(&HANDSHAKE));
+        assert!(is_keepalive(&KEEPALIVE));
+        assert!(!is_keepalive(&HANDSHAKE));
+    }
+
+    #[test]
+    fn truncated_command_rejected() {
+        let bytes = encode_command(&cmd(AttackMethod::UdpFlood)).unwrap();
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_command(&bytes[..cut]).is_none(),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_rejected_without_panic() {
+        for len in 0..64 {
+            let garbage: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            let _ = decode_command(&garbage);
+        }
+    }
+
+    #[test]
+    fn wire_layout_matches_spec() {
+        let bytes = encode_command(&cmd(AttackMethod::SynFlood)).unwrap();
+        let total = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        assert_eq!(total, bytes.len());
+        assert_eq!(&bytes[2..6], &120u32.to_be_bytes()); // duration
+        assert_eq!(bytes[6], vector::SYN);
+        assert_eq!(bytes[7], 1); // one target
+        assert_eq!(&bytes[8..12], &[203, 0, 113, 9]);
+        assert_eq!(bytes[12], 32); // /32
+        assert_eq!(bytes[13], 1); // one flag
+        assert_eq!(bytes[14], 7); // key 7 (dport)
+        assert_eq!(&bytes[16..20], b"4567");
+    }
+
+    #[test]
+    fn command_with_trailing_data_reports_consumed() {
+        let mut bytes = encode_command(&cmd(AttackMethod::UdpFlood)).unwrap();
+        let n = bytes.len();
+        bytes.extend_from_slice(&KEEPALIVE);
+        let (_, used) = decode_command(&bytes).unwrap();
+        assert_eq!(used, n);
+    }
+}

@@ -1,0 +1,153 @@
+//! Mozi: P2P (DHT-flavoured) gossip over UDP.
+//!
+//! Mozi has no C2 server — it bootstraps into a DHT of peers. The paper
+//! filters Mozi samples out of the C2 study (§2.3) and notes that
+//! AVClass2 *mislabels* Mozi as Mirai; both behaviours are reproduced in
+//! this codebase (the filter in `malnet-core`, the mislabel in
+//! `malnet-intel`). Here we implement the gossip messages so Mozi samples
+//! generate authentic-looking peer traffic in captures.
+//!
+//! Message format (simplified bencode-flavoured):
+//! `M z` magic, one command byte (`p` ping / `r` pong / `f` find_node /
+//! `n` nodes), then a 20-byte node id, then for `n` a count byte and
+//! 6-byte compact peer entries (ip:port).
+
+use std::net::Ipv4Addr;
+
+/// Mozi's conventional UDP port in our world.
+pub const MOZI_PORT: u16 = 14_737;
+
+/// A gossip message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MoziMsg {
+    /// Liveness probe.
+    Ping {
+        /// Sender's DHT node id.
+        node_id: [u8; 20],
+    },
+    /// Liveness answer.
+    Pong {
+        /// Sender's DHT node id.
+        node_id: [u8; 20],
+    },
+    /// Peer discovery request.
+    FindNode {
+        /// Sender's DHT node id.
+        node_id: [u8; 20],
+    },
+    /// Peer discovery answer.
+    Nodes {
+        /// Sender's DHT node id.
+        node_id: [u8; 20],
+        /// Compact peer list.
+        peers: Vec<(Ipv4Addr, u16)>,
+    },
+}
+
+impl MoziMsg {
+    /// Serialize to datagram bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(b"Mz");
+        match self {
+            MoziMsg::Ping { node_id } => {
+                out.push(b'p');
+                out.extend_from_slice(node_id);
+            }
+            MoziMsg::Pong { node_id } => {
+                out.push(b'r');
+                out.extend_from_slice(node_id);
+            }
+            MoziMsg::FindNode { node_id } => {
+                out.push(b'f');
+                out.extend_from_slice(node_id);
+            }
+            MoziMsg::Nodes { node_id, peers } => {
+                out.push(b'n');
+                out.extend_from_slice(node_id);
+                out.push(peers.len() as u8);
+                for (ip, port) in peers {
+                    out.extend_from_slice(&ip.octets());
+                    out.extend_from_slice(&port.to_be_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse from datagram bytes.
+    pub fn decode(data: &[u8]) -> Option<Self> {
+        if data.len() < 23 || &data[0..2] != b"Mz" {
+            return None;
+        }
+        let mut node_id = [0u8; 20];
+        node_id.copy_from_slice(&data[3..23]);
+        match data[2] {
+            b'p' => Some(MoziMsg::Ping { node_id }),
+            b'r' => Some(MoziMsg::Pong { node_id }),
+            b'f' => Some(MoziMsg::FindNode { node_id }),
+            b'n' => {
+                let count = usize::from(*data.get(23)?);
+                let mut peers = Vec::with_capacity(count);
+                let mut pos = 24;
+                for _ in 0..count {
+                    let e = data.get(pos..pos + 6)?;
+                    peers.push((
+                        Ipv4Addr::new(e[0], e[1], e[2], e[3]),
+                        u16::from_be_bytes([e[4], e[5]]),
+                    ));
+                    pos += 6;
+                }
+                Some(MoziMsg::Nodes { node_id, peers })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(seed: u8) -> [u8; 20] {
+        let mut x = [0u8; 20];
+        for (i, b) in x.iter_mut().enumerate() {
+            *b = seed.wrapping_add(i as u8);
+        }
+        x
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        for msg in [MoziMsg::Ping { node_id: id(1) }, MoziMsg::Pong { node_id: id(2) }] {
+            assert_eq!(MoziMsg::decode(&msg.encode()), Some(msg));
+        }
+    }
+
+    #[test]
+    fn nodes_roundtrip() {
+        let msg = MoziMsg::Nodes {
+            node_id: id(9),
+            peers: vec![
+                (Ipv4Addr::new(10, 0, 0, 1), MOZI_PORT),
+                (Ipv4Addr::new(10, 0, 0, 2), 9999),
+            ],
+        };
+        assert_eq!(MoziMsg::decode(&msg.encode()), Some(msg));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(MoziMsg::decode(b"").is_none());
+        assert!(MoziMsg::decode(b"Mzx0123456789012345678901").is_none());
+        assert!(MoziMsg::decode(b"XX p").is_none());
+        // Truncated peer list.
+        let mut bytes = MoziMsg::Nodes {
+            node_id: id(0),
+            peers: vec![(Ipv4Addr::new(1, 2, 3, 4), 5)],
+        }
+        .encode();
+        bytes.truncate(bytes.len() - 2);
+        assert!(MoziMsg::decode(&bytes).is_none());
+    }
+}

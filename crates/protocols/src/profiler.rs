@@ -1,0 +1,242 @@
+//! The C2 profiler: MalNet's instrument for reading DDoS commands out of
+//! captured C2 traffic (paper §2.5a).
+//!
+//! Given the C2→bot byte stream of a session, the profiler extracts
+//! [`AttackCommand`]s using the per-family protocol profiles. It can also
+//! *identify* the family from traffic shape alone, which the pipeline's
+//! manual-verification step uses (§2.3: "compares the captured traffic
+//! with Mirai, Gafgyt, Tsunami and Daddyl33t network protocols").
+
+use std::fmt;
+
+use crate::attack::AttackCommand;
+use crate::{daddyl33t, gafgyt, mirai, tsunami};
+
+/// The malware families of the study (Table 1; descriptions per the
+/// paper's Appendix C, Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Family {
+    /// Exploits IoT devices and turns them into bots. First appeared in
+    /// 2016 and is associated with the Dyn and OVH DDoS attacks. Its C2
+    /// communication protocol is **binary**.
+    Mirai,
+    /// Infects Linux systems (especially BusyBox devices) to launch DDoS
+    /// attacks; appeared in 2014 with many later variants. Distinguishing
+    /// trait for this study: its **text-based** C2 protocol.
+    Gafgyt,
+    /// A Linux backdoor with download-and-execute capability; its
+    /// distinction here is C2 communication over the **IRC** protocol.
+    Tsunami,
+    /// A QBot descendant targeting IoT devices; of interest for its
+    /// distinct DDoS attacks against the ICMP protocol (BLACKNURSE) and
+    /// gaming servers (NFO).
+    Daddyl33t,
+    /// An APT targeting routers and network devices, with persistence
+    /// that survives reboots; modest network footprint.
+    VpnFilter,
+    /// An evolution of Mirai/Gafgyt using Hajime-style **peer-to-peer**
+    /// communication; among the most prevalent Linux malware of 2021.
+    Mozi,
+    /// A P2P IoT malware that "secures" the device it infects while
+    /// spreading further; no C2 server.
+    Hajime,
+}
+
+impl Family {
+    /// All families, in the paper's Table 1 order.
+    pub const ALL: [Family; 7] = [
+        Family::Mirai,
+        Family::Gafgyt,
+        Family::Tsunami,
+        Family::Daddyl33t,
+        Family::VpnFilter,
+        Family::Mozi,
+        Family::Hajime,
+    ];
+
+    /// Canonical lowercase label (AVClass-style).
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Mirai => "mirai",
+            Family::Gafgyt => "gafgyt",
+            Family::Tsunami => "tsunami",
+            Family::Daddyl33t => "daddyl33t",
+            Family::VpnFilter => "vpnfilter",
+            Family::Mozi => "mozi",
+            Family::Hajime => "hajime",
+        }
+    }
+
+    /// Is this family peer-to-peer (no C2 server)? P2P samples are
+    /// filtered out when building D-C2s (§2.3).
+    pub fn is_p2p(self) -> bool {
+        matches!(self, Family::Mozi | Family::Hajime)
+    }
+
+    /// Does the DDoS study profile this family's protocol? (§2.5a: Mirai,
+    /// Gafgyt, Daddyl33t.)
+    pub fn has_ddos_profile(self) -> bool {
+        matches!(self, Family::Mirai | Family::Gafgyt | Family::Daddyl33t)
+    }
+
+    /// Mirai's TLS flood rides TCP; Daddyl33t's rides UDP (paper §5.1).
+    pub fn tls_over_tcp(self) -> bool {
+        self == Family::Mirai
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The profiler over one C2 session's byte streams.
+#[derive(Debug, Clone)]
+pub struct C2Profiler {
+    family: Family,
+}
+
+impl C2Profiler {
+    /// A profiler for a known family.
+    pub fn new(family: Family) -> Self {
+        C2Profiler { family }
+    }
+
+    /// Extract attack commands from the C2→bot byte stream.
+    /// Families without a DDoS profile yield nothing.
+    pub fn extract_commands(&self, c2_to_bot: &[u8]) -> Vec<AttackCommand> {
+        match self.family {
+            Family::Mirai => {
+                let mut out = Vec::new();
+                let mut pos = 0;
+                while pos < c2_to_bot.len() {
+                    if let Some((cmd, used)) = mirai::decode_command(&c2_to_bot[pos..]) {
+                        out.push(cmd);
+                        pos += used;
+                    } else if c2_to_bot[pos..].starts_with(&mirai::KEEPALIVE) {
+                        pos += 2;
+                    } else {
+                        pos += 1; // resynchronise
+                    }
+                }
+                out
+            }
+            Family::Gafgyt => gafgyt::decode_stream(c2_to_bot),
+            Family::Daddyl33t => daddyl33t::decode_stream(c2_to_bot),
+            _ => Vec::new(),
+        }
+    }
+
+    /// The family this profiler expects.
+    pub fn family(&self) -> Family {
+        self.family
+    }
+}
+
+/// Identify the family from the *bot→C2* opening bytes (login/handshake).
+/// Returns `None` when nothing matches a known profile — the behavioural
+/// heuristic (§2.5b) takes over in that case.
+pub fn identify_family(bot_to_c2: &[u8]) -> Option<Family> {
+    if mirai::is_handshake(bot_to_c2) {
+        Some(Family::Mirai)
+    } else if gafgyt::is_login(bot_to_c2) {
+        Some(Family::Gafgyt)
+    } else if daddyl33t::is_login(bot_to_c2) {
+        Some(Family::Daddyl33t)
+    } else if tsunami::is_registration(bot_to_c2) {
+        Some(Family::Tsunami)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::AttackMethod;
+    use std::net::Ipv4Addr;
+
+    fn cmd(method: AttackMethod, port: u16) -> AttackCommand {
+        AttackCommand {
+            method,
+            target: Ipv4Addr::new(192, 0, 2, 200),
+            port,
+            duration_secs: 60,
+        }
+    }
+
+    #[test]
+    fn mirai_stream_with_keepalives_and_noise() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&mirai::KEEPALIVE);
+        stream.extend_from_slice(&mirai::encode_command(&cmd(AttackMethod::UdpFlood, 80)).unwrap());
+        stream.extend_from_slice(&mirai::KEEPALIVE);
+        stream.extend_from_slice(&mirai::encode_command(&cmd(AttackMethod::SynFlood, 443)).unwrap());
+        let cmds = C2Profiler::new(Family::Mirai).extract_commands(&stream);
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(cmds[0].method, AttackMethod::UdpFlood);
+        assert_eq!(cmds[1].method, AttackMethod::SynFlood);
+    }
+
+    #[test]
+    fn gafgyt_and_daddy_streams() {
+        let g = b"PING\n!* VSE 192.0.2.200 27015 60\n";
+        let cmds = C2Profiler::new(Family::Gafgyt).extract_commands(g);
+        assert_eq!(cmds, vec![cmd(AttackMethod::Vse, 27015)]);
+        let d = b".nurse 192.0.2.200 60\n";
+        let cmds = C2Profiler::new(Family::Daddyl33t).extract_commands(d);
+        assert_eq!(cmds, vec![cmd(AttackMethod::Blacknurse, 0)]);
+    }
+
+    #[test]
+    fn unprofiled_families_extract_nothing() {
+        let stream = b"PRIVMSG #c :!udp 1.2.3.4 80 30\r\n";
+        assert!(C2Profiler::new(Family::Tsunami)
+            .extract_commands(stream)
+            .is_empty());
+        assert!(C2Profiler::new(Family::Mozi)
+            .extract_commands(stream)
+            .is_empty());
+    }
+
+    #[test]
+    fn family_identification_from_login() {
+        assert_eq!(identify_family(&mirai::HANDSHAKE), Some(Family::Mirai));
+        assert_eq!(
+            identify_family(crate::gafgyt::login_line("mips").as_bytes()),
+            Some(Family::Gafgyt)
+        );
+        assert_eq!(
+            identify_family(crate::daddyl33t::login_line(1).as_bytes()),
+            Some(Family::Daddyl33t)
+        );
+        assert_eq!(
+            identify_family(crate::tsunami::register_lines("x").as_bytes()),
+            Some(Family::Tsunami)
+        );
+        assert_eq!(identify_family(b"GET / HTTP/1.0"), None);
+    }
+
+    #[test]
+    fn family_properties_match_paper() {
+        assert!(Family::Mozi.is_p2p());
+        assert!(Family::Hajime.is_p2p());
+        assert!(!Family::Mirai.is_p2p());
+        assert!(Family::Mirai.has_ddos_profile());
+        assert!(Family::Gafgyt.has_ddos_profile());
+        assert!(Family::Daddyl33t.has_ddos_profile());
+        assert!(!Family::Tsunami.has_ddos_profile());
+        assert!(Family::Mirai.tls_over_tcp());
+        assert!(!Family::Daddyl33t.tls_over_tcp());
+    }
+
+    #[test]
+    fn mirai_resync_over_garbage() {
+        let mut stream = vec![0xde, 0xad, 0x13];
+        stream.extend_from_slice(&mirai::encode_command(&cmd(AttackMethod::Stomp, 61613)).unwrap());
+        let cmds = C2Profiler::new(Family::Mirai).extract_commands(&stream);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].method, AttackMethod::Stomp);
+    }
+}

@@ -1,0 +1,330 @@
+//! Run orchestration: containment modes, InetSim faking, the handshaker,
+//! weaponization, and capture management.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use malnet_netsim::net::Network;
+use malnet_netsim::time::SimDuration;
+use malnet_wire::packet::Packet;
+use malnet_wire::pcap;
+
+use crate::process::{BotProcess, ExitReason, ProcessConfig};
+use crate::services::{FakeVictim, InetSimHttp, VictimCapture, VictimLog, WildcardDns};
+
+/// The sinkhole address the wildcard DNS hands out in contained mode.
+pub const DNS_SINKHOLE: Ipv4Addr = Ipv4Addr::new(100, 64, 99, 99);
+/// Where the sandbox's fake resolver lives.
+pub const FAKE_RESOLVER: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 53);
+
+/// How the sandbox treats the malware's traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisMode {
+    /// No real Internet. DNS is answered by a wildcard resolver
+    /// (InetSim-style); HTTP (port 80/8080) is served by fake servers;
+    /// other destinations do not exist unless the handshaker engages.
+    /// This is the paper's C2-*detection* configuration (§2.6a).
+    Contained,
+    /// Restricted egress: only destinations in `allowed` are reachable
+    /// (the world's live C2 host(s)); everything else is contained. The
+    /// paper's DDoS-observation configuration (§2.5: "only C2 traffic is
+    /// allowed"). Blocked traffic is still captured at the sender tap.
+    Restricted {
+        /// Destination IPs allowed out.
+        allowed: Vec<Ipv4Addr>,
+    },
+    /// CnCHunter weaponization (§2.1 mode 2): every TCP connect the
+    /// malware makes to a non-DNS destination is redirected to `target`.
+    /// Used by the active-probing study to test candidate C2 endpoints.
+    Weaponized {
+        /// The probe target that replaces the malware's own C2.
+        target: (Ipv4Addr, u16),
+    },
+}
+
+/// Sandbox-wide knobs.
+#[derive(Debug, Clone)]
+pub struct SandboxConfig {
+    /// The infected device's address.
+    pub bot_ip: Ipv4Addr,
+    /// Containment mode.
+    pub mode: AnalysisMode,
+    /// Handshaker victim-impersonation threshold: after a TCP port has
+    /// been contacted on ≥ this many distinct addresses, the sandbox
+    /// impersonates subsequent victims on that port (paper §2.4 uses 20).
+    /// `None` disables the handshaker.
+    pub handshaker_threshold: Option<usize>,
+    /// Guest instruction budget.
+    pub instruction_budget: u64,
+    /// RNG seed (drives guest randomness).
+    pub seed: u64,
+}
+
+impl Default for SandboxConfig {
+    fn default() -> Self {
+        SandboxConfig {
+            bot_ip: Ipv4Addr::new(100, 64, 0, 2),
+            mode: AnalysisMode::Contained,
+            handshaker_threshold: Some(20),
+            instruction_budget: 200_000_000,
+            seed: 7,
+        }
+    }
+}
+
+/// One exploit payload captured by the handshaker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedExploit {
+    /// Victim address that was impersonated.
+    pub victim: Ipv4Addr,
+    /// Attacked port.
+    pub port: u16,
+    /// The exploit payload bytes.
+    pub payload: Vec<u8>,
+    /// Capture time (µs).
+    pub ts_micros: u64,
+}
+
+/// Everything a run produces. All analysis downstream of the sandbox
+/// works from these artifacts (primarily the pcap bytes), never from
+/// simulator internals.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    /// Why the process stopped.
+    pub exit: ExitReason,
+    /// Full packet capture at the bot's tap, as a pcap file.
+    pub pcap: Vec<u8>,
+    /// Exploit payloads the handshaker collected.
+    pub exploits: Vec<CapturedExploit>,
+    /// DNS names the malware queried (from the fake resolver's log).
+    pub dns_queries: Vec<String>,
+    /// Guest instructions retired.
+    pub instructions: u64,
+    /// Syscalls serviced.
+    pub syscalls: u64,
+}
+
+impl Artifacts {
+    /// Parse the capture into timestamped logical packets (convenience
+    /// for tests and the pipeline).
+    pub fn packets(&self) -> Vec<(u64, Packet)> {
+        pcap::parse_capture(&self.pcap).map(|(p, _)| p).unwrap_or_default()
+    }
+}
+
+/// The sandbox: a network plus containment policy and instruments.
+pub struct Sandbox {
+    /// The simulated Internet this run sees. May be pre-populated with
+    /// world hosts (live C2s, probe subnets) by the caller.
+    pub net: Network,
+    cfg: SandboxConfig,
+    victim_log: VictimLog,
+    dns_names: Rc<RefCell<Vec<String>>>,
+    /// Distinct destination IPs seen per TCP port (handshaker counter).
+    port_contacts: HashMap<u16, HashSet<Ipv4Addr>>,
+    /// Ports where the handshaker has engaged.
+    engaged_ports: HashSet<u16>,
+    /// Destinations the sandbox spawned fake hosts for.
+    spawned: HashSet<Ipv4Addr>,
+}
+
+impl Sandbox {
+    /// Wrap an existing network (which may already contain world hosts).
+    /// Installs the fake resolver, the bot's host entry, and the capture
+    /// tap.
+    pub fn new(mut net: Network, cfg: SandboxConfig) -> Self {
+        let dns_names = Rc::new(RefCell::new(Vec::new()));
+        if !net.has_host(FAKE_RESOLVER) {
+            net.add_service_host(
+                FAKE_RESOLVER,
+                Box::new(WildcardDns::new(DNS_SINKHOLE, dns_names.clone())),
+            );
+        }
+        if !net.has_host(cfg.bot_ip) {
+            net.add_external_host(cfg.bot_ip);
+        }
+        net.start_capture(cfg.bot_ip);
+        let mut sb = Sandbox {
+            net,
+            cfg,
+            victim_log: VictimLog::default(),
+            dns_names,
+            port_contacts: HashMap::new(),
+            engaged_ports: HashSet::new(),
+            spawned: HashSet::new(),
+        };
+        sb.install_egress_filter();
+        sb
+    }
+
+    /// The sandbox configuration.
+    pub fn config(&self) -> &SandboxConfig {
+        &self.cfg
+    }
+
+    fn install_egress_filter(&mut self) {
+        if let AnalysisMode::Restricted { allowed } = &self.cfg.mode {
+            let allowed: HashSet<Ipv4Addr> = allowed.iter().copied().collect();
+            let bot = self.cfg.bot_ip;
+            self.net.set_egress_filter(Box::new(move |_, pkt| {
+                if pkt.src != bot {
+                    return true; // only the bot is contained
+                }
+                pkt.dst == FAKE_RESOLVER || allowed.contains(&pkt.dst)
+            }));
+        }
+    }
+
+    /// Policy hook for guest TCP connects. Returns the (possibly
+    /// rewritten) destination, or `None` to refuse outright.
+    pub(crate) fn prepare_tcp_dest(
+        &mut self,
+        dst: Ipv4Addr,
+        port: u16,
+    ) -> Option<(Ipv4Addr, u16)> {
+        match self.cfg.mode.clone() {
+            AnalysisMode::Weaponized { target } => {
+                // All C2-bound traffic goes to the probe target instead.
+                Some(target)
+            }
+            AnalysisMode::Contained => {
+                self.note_contact(dst, port);
+                self.maybe_spawn_fake(dst, port);
+                Some((dst, port))
+            }
+            AnalysisMode::Restricted { allowed } => {
+                self.note_contact(dst, port);
+                if !allowed.contains(&dst) {
+                    self.maybe_spawn_fake(dst, port);
+                }
+                Some((dst, port))
+            }
+        }
+    }
+
+    /// Policy hook for guest UDP destinations: reroute DNS to the fake
+    /// resolver in contained modes.
+    pub(crate) fn prepare_udp_dest(&mut self, dst: Ipv4Addr, port: u16) -> (Ipv4Addr, u16) {
+        if port == 53 && !self.net.has_host(dst) {
+            return (FAKE_RESOLVER, 53);
+        }
+        (dst, port)
+    }
+
+    fn note_contact(&mut self, dst: Ipv4Addr, port: u16) {
+        self.port_contacts.entry(port).or_default().insert(dst);
+        if let Some(threshold) = self.cfg.handshaker_threshold {
+            if !self.engaged_ports.contains(&port)
+                && self.port_contacts[&port].len() >= threshold
+            {
+                self.engaged_ports.insert(port);
+            }
+        }
+    }
+
+    /// Spawn a fake endpoint for `dst` when policy says we should engage:
+    /// * HTTP ports always get an InetSim server (downloader faking);
+    /// * handshaker-engaged ports get a fake victim that records the
+    ///   payload.
+    fn maybe_spawn_fake(&mut self, dst: Ipv4Addr, port: u16) {
+        if self.net.has_host(dst) || self.spawned.contains(&dst) {
+            return;
+        }
+        if self.engaged_ports.contains(&port) {
+            self.net.add_service_host(
+                dst,
+                Box::new(FakeVictim::new(dst, vec![port], self.victim_log.clone())),
+            );
+            self.spawned.insert(dst);
+        } else if port == 80 || port == 8080 {
+            self.net
+                .add_service_host(dst, Box::new(InetSimHttp::new(vec![port, 8080])));
+            self.spawned.insert(dst);
+        }
+    }
+
+    /// Number of distinct addresses contacted per port so far.
+    pub fn port_contact_counts(&self) -> HashMap<u16, usize> {
+        self.port_contacts
+            .iter()
+            .map(|(p, s)| (*p, s.len()))
+            .collect()
+    }
+
+    /// Execute an ELF for up to `duration` of virtual time and collect
+    /// artifacts. The network clock keeps its pre-run origin, so repeated
+    /// runs on one network advance through the study day.
+    pub fn execute(&mut self, elf_bytes: &[u8], duration: SimDuration) -> Artifacts {
+        let deadline = self.net.now() + duration;
+        let pcfg = ProcessConfig {
+            bot_ip: self.cfg.bot_ip,
+            instruction_budget: self.cfg.instruction_budget,
+            seed: self.cfg.seed,
+        };
+        let (exit, instructions, syscalls) = match BotProcess::load(elf_bytes, pcfg) {
+            Some(mut proc) => {
+                let exit = proc.run(self, deadline);
+                (exit, proc.instructions(), proc.syscall_count)
+            }
+            None => (
+                ExitReason::Fault("unloadable ELF".to_string()),
+                0,
+                0,
+            ),
+        };
+        // Let in-flight packets land so captures include trailing ACKs.
+        self.net.run_for(SimDuration::from_millis(500));
+        let cap = self.net.stop_capture(self.cfg.bot_ip);
+        self.net.start_capture(self.cfg.bot_ip);
+        let mut pcap_bytes = Vec::new();
+        {
+            let mut w = pcap::PcapWriter::new(&mut pcap_bytes).expect("vec write");
+            for (ts, pkt) in &cap {
+                w.write(*ts, pkt).expect("vec write");
+            }
+            let _ = w.finish().expect("flush");
+        }
+        let exploits = self
+            .victim_log
+            .borrow()
+            .iter()
+            .map(|v: &VictimCapture| CapturedExploit {
+                victim: v.victim,
+                port: v.port,
+                payload: v.payload.clone(),
+                ts_micros: v.ts_micros,
+            })
+            .collect();
+        self.victim_log.borrow_mut().clear();
+        let dns_queries = std::mem::take(&mut *self.dns_names.borrow_mut());
+        Artifacts {
+            exit,
+            pcap: pcap_bytes,
+            exploits,
+            dns_queries,
+            instructions,
+            syscalls,
+        }
+    }
+
+    /// Dissolve the sandbox and return the network (with world hosts
+    /// intact) to the caller.
+    pub fn into_network(mut self) -> Network {
+        self.net.clear_egress_filter();
+        let _ = self.net.stop_capture(self.cfg.bot_ip);
+        self.net.remove_host(self.cfg.bot_ip);
+        self.net
+    }
+}
+
+impl std::fmt::Debug for Sandbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sandbox")
+            .field("bot_ip", &self.cfg.bot_ip)
+            .field("mode", &self.cfg.mode)
+            .field("engaged_ports", &self.engaged_ports)
+            .finish()
+    }
+}

@@ -1,0 +1,207 @@
+//! Sandbox robustness: hostile inputs, resource limits, and containment
+//! guarantees. The sandbox must never panic, never leak traffic, and
+//! always return artifacts.
+
+use std::net::Ipv4Addr;
+
+use malnet_mips::asm::{Assembler, Ins, Reg};
+use malnet_mips::elf::{ElfFile, ElfSegment};
+use malnet_mips::sys;
+use malnet_netsim::net::Network;
+use malnet_netsim::time::{SimDuration, SimTime};
+use malnet_sandbox::{AnalysisMode, ExitReason, Sandbox, SandboxConfig};
+
+fn sandbox() -> Sandbox {
+    Sandbox::new(Network::new(SimTime::EPOCH, 1), SandboxConfig::default())
+}
+
+/// Build a minimal hand-written ELF from raw instructions.
+fn elf_from(ins: Vec<Ins>) -> Vec<u8> {
+    let base = 0x0040_0000;
+    let mut a = Assembler::new(base);
+    for i in ins {
+        a.ins(i);
+    }
+    let text = a.assemble().unwrap();
+    ElfFile {
+        entry: base,
+        segments: vec![ElfSegment {
+            vaddr: base,
+            memsz: text.len() as u32,
+            data: text,
+            writable: false,
+            executable: true,
+            name: ".text",
+        }],
+    }
+    .write()
+}
+
+#[test]
+fn garbage_bytes_fail_activation_cleanly() {
+    let mut sb = sandbox();
+    for input in [
+        vec![],
+        vec![0u8; 10],
+        b"MZ\x90\x00not an elf at all".to_vec(),
+        vec![0x7f, b'E', b'L', b'F', 9, 9, 9, 9],
+    ] {
+        let art = sb.execute(&input, SimDuration::from_secs(5));
+        assert!(matches!(art.exit, ExitReason::Fault(_)), "{:?}", art.exit);
+        assert_eq!(art.instructions, 0);
+    }
+}
+
+#[test]
+fn spinning_binary_hits_instruction_budget() {
+    // j self — an infinite compute loop with no syscalls.
+    let elf = elf_from(vec![Ins::J(0x0040_0000u32.into())]);
+    let mut sb = Sandbox::new(
+        Network::new(SimTime::EPOCH, 1),
+        SandboxConfig {
+            instruction_budget: 100_000,
+            ..Default::default()
+        },
+    );
+    let art = sb.execute(&elf, SimDuration::from_secs(60));
+    assert_eq!(art.exit, ExitReason::Budget);
+    assert!(art.instructions >= 100_000);
+}
+
+#[test]
+fn segfaulting_binary_reports_fault() {
+    // lw from unmapped memory.
+    let elf = elf_from(vec![Ins::Li(Reg::T0, 0xdead_0000), Ins::Lw(Reg::T1, Reg::T0, 0)]);
+    let mut sb = sandbox();
+    let art = sb.execute(&elf, SimDuration::from_secs(5));
+    match art.exit {
+        ExitReason::Fault(msg) => assert!(msg.contains("unmapped"), "{msg}"),
+        other => panic!("expected fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn clean_exit_status_is_reported() {
+    let elf = elf_from(vec![
+        Ins::Li(Reg::A0, 42),
+        Ins::Li(Reg::V0, sys::NR_EXIT),
+        Ins::Syscall,
+    ]);
+    let mut sb = sandbox();
+    let art = sb.execute(&elf, SimDuration::from_secs(5));
+    assert_eq!(art.exit, ExitReason::Exited(42));
+    assert_eq!(art.syscalls, 1);
+}
+
+#[test]
+fn unknown_syscalls_fail_soft() {
+    // An unknown syscall number must return an error to the guest, not
+    // kill the run; the guest then exits normally.
+    let elf = elf_from(vec![
+        Ins::Li(Reg::V0, 4999),
+        Ins::Syscall,
+        Ins::Li(Reg::A0, 0),
+        Ins::Li(Reg::V0, sys::NR_EXIT),
+        Ins::Syscall,
+    ]);
+    let mut sb = sandbox();
+    let art = sb.execute(&elf, SimDuration::from_secs(5));
+    assert_eq!(art.exit, ExitReason::Exited(0));
+}
+
+#[test]
+fn weaponized_mode_redirects_every_connect() {
+    // The guest connects to 1.2.3.4:9999; in weaponized mode the SYN must
+    // appear on the wire toward the probe target instead.
+    let target_ip = Ipv4Addr::new(10, 50, 0, 1);
+    let mut a = Assembler::new(0x0040_0000);
+    // socket(AF_INET, SOCK_STREAM, 0)
+    a.ins(Ins::Li(Reg::A0, sys::AF_INET))
+        .ins(Ins::Li(Reg::A1, sys::SOCK_STREAM))
+        .ins(Ins::Li(Reg::A2, 0))
+        .ins(Ins::Li(Reg::V0, sys::NR_SOCKET))
+        .ins(Ins::Syscall)
+        .ins(Ins::Move(Reg::S0, Reg::V0))
+        // build sockaddr for 1.2.3.4:9999 on the stack
+        .ins(Ins::Li(Reg::T0, u32::from(sys::AF_INET as u16) << 16 | 9999))
+        .ins(Ins::Sw(Reg::T0, Reg::SP, 32))
+        .ins(Ins::Li(Reg::T1, u32::from(Ipv4Addr::new(1, 2, 3, 4))))
+        .ins(Ins::Sw(Reg::T1, Reg::SP, 36))
+        .ins(Ins::Move(Reg::A0, Reg::S0))
+        .ins(Ins::Addiu(Reg::A1, Reg::SP, 32))
+        .ins(Ins::Li(Reg::A2, 16))
+        .ins(Ins::Li(Reg::V0, sys::NR_CONNECT))
+        .ins(Ins::Syscall)
+        .ins(Ins::Li(Reg::A0, 0))
+        .ins(Ins::Li(Reg::V0, sys::NR_EXIT))
+        .ins(Ins::Syscall);
+    let text = a.assemble().unwrap();
+    let elf = ElfFile {
+        entry: 0x0040_0000,
+        segments: vec![ElfSegment {
+            vaddr: 0x0040_0000,
+            memsz: text.len() as u32,
+            data: text,
+            writable: false,
+            executable: true,
+            name: ".text",
+        }],
+    }
+    .write();
+    let mut sb = Sandbox::new(
+        Network::new(SimTime::EPOCH, 2),
+        SandboxConfig {
+            mode: AnalysisMode::Weaponized {
+                target: (target_ip, 1312),
+            },
+            ..Default::default()
+        },
+    );
+    let art = sb.execute(&elf, SimDuration::from_secs(20));
+    let packets = art.packets();
+    assert!(
+        packets
+            .iter()
+            .any(|(_, p)| p.dst == target_ip && p.transport.dst_port() == Some(1312)),
+        "SYN must go to the probe target: {packets:?}"
+    );
+    assert!(
+        !packets.iter().any(|(_, p)| p.dst == Ipv4Addr::new(1, 2, 3, 4)),
+        "original C2 must never be contacted"
+    );
+}
+
+#[test]
+fn deadline_is_enforced_during_sleep() {
+    // nanosleep(10_000s) with a 5s deadline: the run must stop at the
+    // deadline, not after the sleep.
+    let mut a = Assembler::new(0x0040_0000);
+    a.ins(Ins::Li(Reg::T0, 10_000))
+        .ins(Ins::Sw(Reg::T0, Reg::SP, 32))
+        .ins(Ins::Sw(Reg::ZERO, Reg::SP, 36))
+        .ins(Ins::Addiu(Reg::A0, Reg::SP, 32))
+        .ins(Ins::Li(Reg::A1, 0))
+        .ins(Ins::Li(Reg::V0, sys::NR_NANOSLEEP))
+        .ins(Ins::Syscall)
+        .label("spin")
+        .ins(Ins::J("spin".into()));
+    let text = a.assemble().unwrap();
+    let elf = ElfFile {
+        entry: 0x0040_0000,
+        segments: vec![ElfSegment {
+            vaddr: 0x0040_0000,
+            memsz: text.len() as u32,
+            data: text,
+            writable: false,
+            executable: true,
+            name: ".text",
+        }],
+    }
+    .write();
+    let mut sb = sandbox();
+    let start = sb.net.now();
+    let art = sb.execute(&elf, SimDuration::from_secs(5));
+    assert!(matches!(art.exit, ExitReason::Deadline | ExitReason::Budget));
+    let elapsed = sb.net.now().since(start);
+    assert!(elapsed <= SimDuration::from_secs(6), "{elapsed:?}");
+}

@@ -1,0 +1,392 @@
+//! A small DNS message codec.
+//!
+//! Supports exactly what the simulation needs: A-record queries and
+//! responses (including NXDOMAIN), with standard name compression *not*
+//! emitted but tolerated on decode via pointer following. This is the
+//! format spoken by the simulated resolver, by InetSim-style DNS faking in
+//! the sandbox, and parsed back by the pipeline when attributing DNS-based
+//! C2 addresses.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::error::WireError;
+
+/// Maximum label-pointer indirections followed before declaring a loop.
+const MAX_POINTER_HOPS: usize = 16;
+
+/// DNS response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Name does not exist.
+    NxDomain,
+    /// Server failure.
+    ServFail,
+}
+
+impl Rcode {
+    fn to_bits(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+        }
+    }
+
+    fn from_bits(bits: u16) -> Result<Self, WireError> {
+        match bits {
+            0 => Ok(Rcode::NoError),
+            2 => Ok(Rcode::ServFail),
+            3 => Ok(Rcode::NxDomain),
+            v => Err(WireError::Unsupported {
+                layer: "dns",
+                what: "rcode",
+                value: u64::from(v),
+            }),
+        }
+    }
+}
+
+/// A fully-qualified domain name, stored lowercase without trailing dot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainName(String);
+
+impl DomainName {
+    /// Parse from a dotted string. Labels must be 1..=63 bytes, total <= 253.
+    pub fn new(name: &str) -> Result<Self, WireError> {
+        let name = name.trim_end_matches('.').to_ascii_lowercase();
+        if name.is_empty() || name.len() > 253 {
+            return Err(WireError::Malformed {
+                layer: "dns",
+                what: "name length",
+            });
+        }
+        for label in name.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(WireError::Malformed {
+                    layer: "dns",
+                    what: "label length",
+                });
+            }
+        }
+        Ok(DomainName(name))
+    }
+
+    /// The dotted-string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for label in self.0.split('.') {
+            out.push(label.len() as u8);
+            out.extend_from_slice(label.as_bytes());
+        }
+        out.push(0);
+    }
+
+    /// Decode a (possibly compressed) name starting at `pos` within `msg`.
+    /// Returns the name and the offset just past the name's first
+    /// occurrence (i.e. where parsing continues).
+    fn decode_from(msg: &[u8], pos: usize) -> Result<(Self, usize), WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut cursor = pos;
+        let mut after: Option<usize> = None;
+        let mut hops = 0usize;
+        loop {
+            let len = *msg.get(cursor).ok_or(WireError::Truncated {
+                layer: "dns",
+                needed: cursor + 1,
+                got: msg.len(),
+            })?;
+            if len & 0xc0 == 0xc0 {
+                let lo = *msg.get(cursor + 1).ok_or(WireError::Truncated {
+                    layer: "dns",
+                    needed: cursor + 2,
+                    got: msg.len(),
+                })?;
+                if after.is_none() {
+                    after = Some(cursor + 2);
+                }
+                cursor = usize::from(len & 0x3f) << 8 | usize::from(lo);
+                hops += 1;
+                if hops > MAX_POINTER_HOPS {
+                    return Err(WireError::Malformed {
+                        layer: "dns",
+                        what: "compression pointer loop",
+                    });
+                }
+                continue;
+            }
+            if len == 0 {
+                if after.is_none() {
+                    after = Some(cursor + 1);
+                }
+                break;
+            }
+            let len = usize::from(len);
+            let start = cursor + 1;
+            let end = start + len;
+            let label = msg.get(start..end).ok_or(WireError::Truncated {
+                layer: "dns",
+                needed: end,
+                got: msg.len(),
+            })?;
+            let label = std::str::from_utf8(label)
+                .map_err(|_| WireError::Malformed {
+                    layer: "dns",
+                    what: "non-ascii label",
+                })?
+                .to_ascii_lowercase();
+            labels.push(label);
+            cursor = end;
+        }
+        if labels.is_empty() {
+            return Err(WireError::Malformed {
+                layer: "dns",
+                what: "empty name",
+            });
+        }
+        Ok((
+            DomainName(labels.join(".")),
+            after.expect("after set on termination"),
+        ))
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A DNS message restricted to single-question A-record transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction identifier.
+    pub id: u16,
+    /// True for responses, false for queries.
+    pub is_response: bool,
+    /// Response code (meaningful only when `is_response`).
+    pub rcode: Rcode,
+    /// The queried name.
+    pub question: DomainName,
+    /// A-record answers (empty for queries and NXDOMAIN responses).
+    pub answers: Vec<(DomainName, Ipv4Addr, u32)>,
+}
+
+impl DnsMessage {
+    /// Build an A query.
+    pub fn query(id: u16, name: DomainName) -> Self {
+        DnsMessage {
+            id,
+            is_response: false,
+            rcode: Rcode::NoError,
+            question: name,
+            answers: Vec::new(),
+        }
+    }
+
+    /// Build a response carrying the given addresses (TTL fixed at 300 s).
+    pub fn answer(id: u16, name: DomainName, addrs: &[Ipv4Addr]) -> Self {
+        DnsMessage {
+            id,
+            is_response: true,
+            rcode: Rcode::NoError,
+            question: name.clone(),
+            answers: addrs.iter().map(|a| (name.clone(), *a, 300)).collect(),
+        }
+    }
+
+    /// Build an NXDOMAIN response.
+    pub fn nxdomain(id: u16, name: DomainName) -> Self {
+        DnsMessage {
+            id,
+            is_response: true,
+            rcode: Rcode::NxDomain,
+            question: name,
+            answers: Vec::new(),
+        }
+    }
+
+    /// Serialize to wire bytes (no compression).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000; // QR
+            flags |= 0x0400; // AA
+        } else {
+            flags |= 0x0100; // RD
+        }
+        flags |= self.rcode.to_bits();
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes()); // QDCOUNT
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes()); // ANCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // NSCOUNT
+        out.extend_from_slice(&0u16.to_be_bytes()); // ARCOUNT
+        self.question.encode_into(&mut out);
+        out.extend_from_slice(&1u16.to_be_bytes()); // QTYPE A
+        out.extend_from_slice(&1u16.to_be_bytes()); // QCLASS IN
+        for (name, addr, ttl) in &self.answers {
+            name.encode_into(&mut out);
+            out.extend_from_slice(&1u16.to_be_bytes()); // TYPE A
+            out.extend_from_slice(&1u16.to_be_bytes()); // CLASS IN
+            out.extend_from_slice(&ttl.to_be_bytes());
+            out.extend_from_slice(&4u16.to_be_bytes()); // RDLENGTH
+            out.extend_from_slice(&addr.octets());
+        }
+        out
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < 12 {
+            return Err(WireError::Truncated {
+                layer: "dns",
+                needed: 12,
+                got: data.len(),
+            });
+        }
+        let id = u16::from_be_bytes([data[0], data[1]]);
+        let flags = u16::from_be_bytes([data[2], data[3]]);
+        let is_response = flags & 0x8000 != 0;
+        let rcode = Rcode::from_bits(flags & 0x000f)?;
+        let qdcount = u16::from_be_bytes([data[4], data[5]]);
+        let ancount = u16::from_be_bytes([data[6], data[7]]);
+        if qdcount != 1 {
+            return Err(WireError::Unsupported {
+                layer: "dns",
+                what: "question count",
+                value: u64::from(qdcount),
+            });
+        }
+        let (question, mut pos) = DomainName::decode_from(data, 12)?;
+        pos += 4; // QTYPE + QCLASS
+        let mut answers = Vec::new();
+        for _ in 0..ancount {
+            let (name, after) = DomainName::decode_from(data, pos)?;
+            pos = after;
+            let fixed = data.get(pos..pos + 10).ok_or(WireError::Truncated {
+                layer: "dns",
+                needed: pos + 10,
+                got: data.len(),
+            })?;
+            let rtype = u16::from_be_bytes([fixed[0], fixed[1]]);
+            let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+            let rdlen = usize::from(u16::from_be_bytes([fixed[8], fixed[9]]));
+            pos += 10;
+            let rdata = data.get(pos..pos + rdlen).ok_or(WireError::Truncated {
+                layer: "dns",
+                needed: pos + rdlen,
+                got: data.len(),
+            })?;
+            pos += rdlen;
+            if rtype == 1 {
+                if rdlen != 4 {
+                    return Err(WireError::Malformed {
+                        layer: "dns",
+                        what: "A record rdlength",
+                    });
+                }
+                answers.push((
+                    name,
+                    Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]),
+                    ttl,
+                ));
+            }
+            // Non-A records are skipped (the simulator never emits them).
+        }
+        Ok(DnsMessage {
+            id,
+            is_response,
+            rcode,
+            question,
+            answers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::query(0xbeef, DomainName::new("cnc.example.com").unwrap());
+        let m = DnsMessage::decode(&q.encode()).unwrap();
+        assert_eq!(m, q);
+        assert!(!m.is_response);
+    }
+
+    #[test]
+    fn answer_roundtrip() {
+        let name = DomainName::new("bot.evil.net").unwrap();
+        let a = DnsMessage::answer(
+            7,
+            name,
+            &[Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8)],
+        );
+        let m = DnsMessage::decode(&a.encode()).unwrap();
+        assert_eq!(m.answers.len(), 2);
+        assert_eq!(m.answers[0].1, Ipv4Addr::new(1, 2, 3, 4));
+        assert_eq!(m.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let n = DnsMessage::nxdomain(9, DomainName::new("gone.example").unwrap());
+        let m = DnsMessage::decode(&n.encode()).unwrap();
+        assert_eq!(m.rcode, Rcode::NxDomain);
+        assert!(m.answers.is_empty());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(DomainName::new("").is_err());
+        assert!(DomainName::new(&"a".repeat(64)).is_err());
+        assert!(DomainName::new("ok.example.com.").is_ok());
+        assert_eq!(
+            DomainName::new("MiXeD.Example.COM").unwrap().as_str(),
+            "mixed.example.com"
+        );
+    }
+
+    #[test]
+    fn compressed_answer_name_decoded() {
+        // Hand-craft a response whose answer name is a pointer to offset 12.
+        let q = DnsMessage::query(1, DomainName::new("c.example").unwrap());
+        let mut bytes = q.encode();
+        bytes[6..8].copy_from_slice(&1u16.to_be_bytes()); // ANCOUNT = 1
+        bytes.extend_from_slice(&[0xc0, 12]); // pointer to question name
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // TYPE A
+        bytes.extend_from_slice(&1u16.to_be_bytes()); // CLASS IN
+        bytes.extend_from_slice(&60u32.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&[9, 9, 9, 9]);
+        let m = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(m.answers[0].0.as_str(), "c.example");
+        assert_eq!(m.answers[0].1, Ipv4Addr::new(9, 9, 9, 9));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        let q = DnsMessage::query(1, DomainName::new("c.example").unwrap());
+        let mut bytes = q.encode();
+        bytes[6..8].copy_from_slice(&1u16.to_be_bytes());
+        let self_ptr = bytes.len() as u16;
+        bytes.extend_from_slice(&[0xc0 | ((self_ptr >> 8) as u8 & 0x3f), self_ptr as u8]);
+        assert!(DnsMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert!(matches!(
+            DnsMessage::decode(&[0; 5]).unwrap_err(),
+            WireError::Truncated { layer: "dns", .. }
+        ));
+    }
+}

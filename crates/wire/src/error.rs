@@ -1,0 +1,105 @@
+//! Error type shared by all wire-format parsers.
+
+use std::fmt;
+
+/// An error produced while parsing or emitting a wire format.
+///
+/// Parsers in this crate are *total*: any byte slice is either decoded
+/// successfully or rejected with a `WireError` describing why. No parser
+/// panics on malformed input — captured traffic is untrusted by design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed part of the header.
+    Truncated {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// Bytes required by the header.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A length field describes more payload than the buffer holds.
+    LengthMismatch {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// Length claimed by the header field.
+        claimed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol layer whose checksum failed.
+        layer: &'static str,
+    },
+    /// A version / type / magic field has an unsupported value.
+    Unsupported {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// Human description of the unsupported field.
+        what: &'static str,
+        /// Observed value.
+        value: u64,
+    },
+    /// A field value is semantically invalid (e.g. header length < minimum).
+    Malformed {
+        /// Protocol layer that was being parsed.
+        layer: &'static str,
+        /// Human description of the problem.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { layer, needed, got } => {
+                write!(f, "{layer}: truncated (need {needed} bytes, got {got})")
+            }
+            WireError::LengthMismatch {
+                layer,
+                claimed,
+                got,
+            } => write!(
+                f,
+                "{layer}: length field claims {claimed} bytes but only {got} available"
+            ),
+            WireError::BadChecksum { layer } => write!(f, "{layer}: checksum mismatch"),
+            WireError::Unsupported { layer, what, value } => {
+                write!(f, "{layer}: unsupported {what} ({value:#x})")
+            }
+            WireError::Malformed { layer, what } => write!(f, "{layer}: malformed {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = WireError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "ipv4: truncated (need 20 bytes, got 3)");
+        let e = WireError::BadChecksum { layer: "tcp" };
+        assert!(e.to_string().contains("tcp"));
+        let e = WireError::Unsupported {
+            layer: "eth",
+            what: "ethertype",
+            value: 0x86dd,
+        };
+        assert!(e.to_string().contains("0x86dd"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(WireError::BadChecksum { layer: "udp" });
+    }
+}

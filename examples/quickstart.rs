@@ -1,0 +1,81 @@
+//! Quickstart: analyze one synthetic IoT malware binary end to end.
+//!
+//! Builds a Mirai-style sample (a genuine MIPS32 ELF), activates it in
+//! the contained sandbox, and prints what the MalNet instruments see:
+//! the C2 address, the exploits the handshaker captured, and a slice of
+//! the packet capture.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use std::net::Ipv4Addr;
+
+use malnet::botgen::binary::emit_elf;
+use malnet::botgen::exploitdb::{self, VulnId};
+use malnet::botgen::programs::compile;
+use malnet::botgen::spec::{BehaviorSpec, C2Endpoint, ExploitPlan};
+use malnet::core::c2detect::detect_c2;
+use malnet::intel::yara_label;
+use malnet::netsim::net::Network;
+use malnet::netsim::time::{SimDuration, SimTime};
+use malnet::sandbox::{AnalysisMode, Sandbox, SandboxConfig};
+
+fn main() {
+    // --- 1. a "freshly captured" sample ---------------------------------
+    let c2 = Ipv4Addr::new(10, 1, 0, 5);
+    let spec = BehaviorSpec {
+        c2: vec![(C2Endpoint::Ip(c2), 23)],
+        exploits: vec![ExploitPlan {
+            vuln: VulnId::Gpon10561,
+            downloader: c2,
+            loader: "t8UsA2.sh".into(),
+            full_gpon: true,
+        }],
+        scan_mask: 0x1f,
+        scan_burst: 6,
+        recv_timeout_ms: 5_000,
+        ..Default::default()
+    };
+    let elf = emit_elf(&compile(&spec), b"quickstart");
+    println!("sample: {} bytes of ELF32/MIPS (big-endian, ET_EXEC)", elf.len());
+    println!("YARA family label: {:?}", yara_label(&elf));
+
+    // --- 2. activate it in the contained sandbox ------------------------
+    let mut sb = Sandbox::new(
+        Network::new(SimTime::EPOCH, 1),
+        SandboxConfig {
+            mode: AnalysisMode::Contained,
+            handshaker_threshold: Some(5),
+            ..Default::default()
+        },
+    );
+    let art = sb.execute(&elf, SimDuration::from_secs(600));
+    println!(
+        "\nsandbox run: exit={:?}, {} guest instructions, {} syscalls, {} packets captured",
+        art.exit,
+        art.instructions,
+        art.syscalls,
+        art.packets().len()
+    );
+
+    // --- 3. what the analyst sees ---------------------------------------
+    println!("\nC2 candidates (CnCHunter-style detection):");
+    for cand in detect_c2(&art, SandboxConfig::default().bot_ip) {
+        println!(
+            "  {}:{}  dns={}  attempts={}  family-from-traffic={:?}",
+            cand.addr, cand.port, cand.dns, cand.attempts, cand.family_from_traffic
+        );
+    }
+
+    println!("\nexploits captured by the handshaker:");
+    for e in &art.exploits {
+        let vulns = exploitdb::classify(&e.payload);
+        let dl = exploitdb::extract_downloader(&e.payload);
+        println!("  victim {}:{} -> {vulns:?}, downloader {dl:?}", e.victim, e.port);
+    }
+
+    println!("\nfirst packets on the wire:");
+    for (ts, p) in art.packets().iter().take(8) {
+        println!("  {:>12} µs  {}", ts, p.summary());
+    }
+    println!("\n(the full capture is a valid pcap: art.pcap — open it in Wireshark)");
+}

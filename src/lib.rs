@@ -1,0 +1,55 @@
+//! # MalNet — a binary-centric network-level profiling of IoT malware
+//!
+//! A full Rust reproduction of *MalNet* (Davanian & Faloutsos, ACM IMC
+//! 2022): the daily, binary-centric dynamic-analysis pipeline that turns
+//! freshly-reported IoT malware binaries into network-level intelligence
+//! about C2 servers, proliferation exploits and live DDoS attacks.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`wire`] | `malnet-wire` | packet wire formats + pcap I/O |
+//! | [`netsim`] | `malnet-netsim` | the discrete-event Internet |
+//! | [`mips`] | `malnet-mips` | MIPS32 ELF tooling + emulator |
+//! | [`botgen`] | `malnet-botgen` | synthetic malware world model |
+//! | [`protocols`] | `malnet-protocols` | C2 protocols + profilers |
+//! | [`sandbox`] | `malnet-sandbox` | CnCHunter-style sandbox |
+//! | [`intel`] | `malnet-intel` | threat-intelligence feed models |
+//! | [`core`] | `malnet-core` | the MalNet pipeline itself |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use malnet::botgen::world::{World, WorldConfig, Calibration};
+//! use malnet::core::{Pipeline, PipelineOpts};
+//!
+//! // A miniature study: 8 samples through the full daily loop.
+//! let world = World::generate(WorldConfig {
+//!     seed: 7,
+//!     n_samples: 8,
+//!     cal: Calibration::default(),
+//! });
+//! let opts = PipelineOpts {
+//!     max_samples: Some(8),
+//!     run_probing: false,
+//!     ..PipelineOpts::fast()
+//! };
+//! let (datasets, _feeds) = Pipeline::new(opts).run(&world);
+//! assert_eq!(datasets.samples.len(), 8);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the table/figure regeneration harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use malnet_botgen as botgen;
+pub use malnet_core as core;
+pub use malnet_intel as intel;
+pub use malnet_mips as mips;
+pub use malnet_netsim as netsim;
+pub use malnet_protocols as protocols;
+pub use malnet_sandbox as sandbox;
+pub use malnet_wire as wire;
