@@ -1,16 +1,18 @@
-//! Criterion performance benchmarks for every pipeline component.
+//! Performance benchmarks for every pipeline component.
 //!
 //! These measure the *implementation's* throughput (the substrate the
 //! reproduction runs on), complementing the repro binaries which
-//! regenerate the paper's measurement results.
+//! regenerate the paper's measurement results. They run on the in-repo
+//! [`malnet_bench::timing`] harness: `cargo bench --bench components`
+//! measures; `cargo test` runs each bench once as a smoke test.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::net::Ipv4Addr;
 
+use malnet_bench::timing::Harness;
 use malnet_botgen::binary::emit_elf;
+use malnet_botgen::exploitdb::VulnId;
 use malnet_botgen::programs::compile;
 use malnet_botgen::spec::{BehaviorSpec, C2Endpoint, ExploitPlan};
-use malnet_botgen::exploitdb::VulnId;
 use malnet_botgen::world::{Calibration, World, WorldConfig};
 use malnet_core::c2detect::detect_c2;
 use malnet_core::{Pipeline, PipelineOpts};
@@ -19,12 +21,12 @@ use malnet_mips::cpu::{Cpu, CpuError, STACK_SIZE, STACK_TOP};
 use malnet_mips::mem::Memory;
 use malnet_netsim::net::Network;
 use malnet_netsim::time::{SimDuration, SimTime};
-use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
+use malnet_sandbox::{Sandbox, SandboxConfig};
 use malnet_wire::packet::Packet;
-use malnet_wire::tcp::TcpFlags;
 use malnet_wire::pcap;
+use malnet_wire::tcp::TcpFlags;
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire(h: &mut Harness) {
     let pkt = Packet::tcp(
         Ipv4Addr::new(10, 0, 0, 1),
         40000,
@@ -35,26 +37,24 @@ fn bench_wire(c: &mut Criterion) {
         TcpFlags::PSH_ACK,
         vec![0xAA; 512],
     );
-    c.bench_function("wire/tcp_frame_encode", |b| {
-        b.iter(|| std::hint::black_box(pkt.encode_frame()))
-    });
+    h.bench("wire/tcp_frame_encode", || pkt.encode_frame());
     let frame = pkt.encode_frame();
-    c.bench_function("wire/tcp_frame_decode", |b| {
-        b.iter(|| Packet::decode_frame(std::hint::black_box(&frame)).unwrap())
+    h.bench("wire/tcp_frame_decode", || {
+        Packet::decode_frame(std::hint::black_box(&frame)).unwrap()
     });
     let capture: Vec<(u64, Packet)> = (0..200).map(|i| (i * 1000, pkt.clone())).collect();
     let bytes = pcap::to_bytes(&capture);
-    c.bench_function("wire/pcap_parse_200pkts", |b| {
-        b.iter(|| pcap::parse_capture(std::hint::black_box(&bytes)).unwrap())
+    h.bench("wire/pcap_parse_200pkts", || {
+        pcap::parse_capture(std::hint::black_box(&bytes)).unwrap()
     });
 }
 
-fn bench_mips(c: &mut Criterion) {
+fn bench_mips(h: &mut Harness) {
     // A tight arithmetic loop: measures emulator instructions/second.
     let base = 0x0040_0000;
     let mut a = Assembler::new(base);
     a.ins(Ins::Li(Reg::T0, 0))
-        .ins(Ins::Li(Reg::T1, 1_000_00))
+        .ins(Ins::Li(Reg::T1, 100_000))
         .label("loop")
         .ins(Ins::Addiu(Reg::T0, Reg::T0, 1))
         .ins(Ins::Addu(Reg::T2, Reg::T0, Reg::T0))
@@ -62,27 +62,23 @@ fn bench_mips(c: &mut Criterion) {
         .ins(Ins::Bne(Reg::T0, Reg::T1, "loop".into()))
         .ins(Ins::Break);
     let code = a.assemble().unwrap();
-    c.bench_function("mips/emulate_500k_instr", |b| {
-        b.iter_batched(
-            || {
-                let mut mem = Memory::new();
-                mem.map(base, code.clone(), false);
-                mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
-                Cpu::new(mem, base)
-            },
-            |mut cpu| loop {
-                match cpu.step() {
-                    Ok(_) => {}
-                    Err(CpuError::Break { .. }) => break cpu.retired,
-                    Err(e) => panic!("{e}"),
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("mips/assemble_stub", |b| {
-        b.iter(|| malnet_botgen::stub::build_stub())
-    });
+    h.bench_batched(
+        "mips/emulate_500k_instr",
+        || {
+            let mut mem = Memory::new();
+            mem.map(base, code.clone(), false);
+            mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+            Cpu::new(mem, base)
+        },
+        |mut cpu| loop {
+            match cpu.step() {
+                Ok(_) => {}
+                Err(CpuError::Break { .. }) => break cpu.retired,
+                Err(e) => panic!("{e}"),
+            }
+        },
+    );
+    h.bench("mips/assemble_stub", malnet_botgen::stub::build_stub);
 }
 
 fn sample_spec() -> BehaviorSpec {
@@ -99,35 +95,31 @@ fn sample_spec() -> BehaviorSpec {
     }
 }
 
-fn bench_botgen(c: &mut Criterion) {
+fn bench_botgen(h: &mut Harness) {
     let spec = sample_spec();
-    c.bench_function("botgen/compile_and_emit_elf", |b| {
-        b.iter(|| emit_elf(&compile(std::hint::black_box(&spec)), b"bench"))
+    h.bench("botgen/compile_and_emit_elf", || {
+        emit_elf(&compile(std::hint::black_box(&spec)), b"bench")
     });
-    c.bench_function("botgen/world_generate_100", |b| {
-        b.iter(|| {
-            World::generate(WorldConfig {
-                seed: 1,
-                n_samples: 100,
-                cal: Calibration::default(),
-            })
+    h.bench("botgen/world_generate_100", || {
+        World::generate(WorldConfig {
+            seed: 1,
+            n_samples: 100,
+            cal: Calibration::default(),
         })
     });
 }
 
-fn bench_sandbox(c: &mut Criterion) {
+fn bench_sandbox(h: &mut Harness) {
     let elf = emit_elf(&compile(&sample_spec()), b"bench");
-    c.bench_function("sandbox/contained_60s_run", |b| {
-        b.iter(|| {
-            let mut sb = Sandbox::new(
-                Network::new(SimTime::EPOCH, 1),
-                SandboxConfig {
-                    handshaker_threshold: Some(5),
-                    ..Default::default()
-                },
-            );
-            sb.execute(std::hint::black_box(&elf), SimDuration::from_secs(60))
-        })
+    h.bench("sandbox/contained_60s_run", || {
+        let mut sb = Sandbox::new(
+            Network::new(SimTime::EPOCH, 1),
+            SandboxConfig {
+                handshaker_threshold: Some(5),
+                ..Default::default()
+            },
+        );
+        sb.execute(std::hint::black_box(&elf), SimDuration::from_secs(60))
     });
     // C2 detection over a real capture.
     let mut sb = Sandbox::new(
@@ -138,45 +130,33 @@ fn bench_sandbox(c: &mut Criterion) {
         },
     );
     let art = sb.execute(&elf, SimDuration::from_secs(120));
-    c.bench_function("core/c2detect_on_capture", |b| {
-        b.iter(|| detect_c2(std::hint::black_box(&art), Ipv4Addr::new(100, 64, 0, 2)))
+    h.bench("core/c2detect_on_capture", || {
+        detect_c2(std::hint::black_box(&art), Ipv4Addr::new(100, 64, 0, 2))
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(h: &mut Harness) {
     let world = World::generate(WorldConfig {
         seed: 3,
         n_samples: 10,
         cal: Calibration::default(),
     });
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(5));
-    group.bench_function("ten_sample_study", |b| {
-        b.iter(|| {
-            let opts = PipelineOpts {
-                max_samples: Some(10),
-                run_probing: false,
-                ..PipelineOpts::fast()
-            };
-            Pipeline::new(opts).run(std::hint::black_box(&world))
-        })
+    h.bench("pipeline/ten_sample_study", || {
+        let opts = PipelineOpts {
+            max_samples: Some(10),
+            run_probing: false,
+            ..PipelineOpts::fast()
+        };
+        Pipeline::new(opts).run(std::hint::black_box(&world))
     });
-    group.finish();
 }
 
-fn configured() -> Criterion {
-    // The heavy benches run whole sandbox sessions per iteration; keep
-    // sample counts small so `cargo bench` completes in ~a minute.
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    let mut h = Harness::from_args();
+    bench_wire(&mut h);
+    bench_mips(&mut h);
+    bench_botgen(&mut h);
+    bench_sandbox(&mut h);
+    bench_pipeline(&mut h);
+    h.report();
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = bench_wire, bench_mips, bench_botgen, bench_sandbox, bench_pipeline
-}
-criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Parallelism sweep for the contained-activation stage.
+//!
+//! Times `run_contained_batch` — the phase-A fan-out behind
+//! `PipelineOpts::parallelism` — over one fixed batch at several worker
+//! counts, then times the full pipeline at the same settings. Because
+//! the merge stage consumes outcomes in canonical sample-id order, the
+//! outputs are byte-identical at every N (the determinism suite proves
+//! this); the sweep quantifies the wall-clock side of that trade.
+//!
+//! Usage:
+//! `cargo run -p malnet-bench --release --bin par_sweep -- [--samples N] [--seed S]`
+
+use std::time::Instant;
+
+use malnet_bench::parse_args;
+use malnet_bench::timing::fmt_duration;
+use malnet_botgen::world::{Calibration, World, WorldConfig};
+use malnet_core::pipeline::run_contained_batch;
+use malnet_core::{Pipeline, PipelineOpts};
+
+fn main() {
+    let mut opts = parse_args();
+    if opts.samples == 1447 {
+        opts.samples = 96; // the sweep runs every batch several times
+    }
+    let world = World::generate(WorldConfig {
+        seed: opts.seed,
+        n_samples: opts.samples,
+        cal: Calibration::default(),
+    });
+    let batch: Vec<usize> = (0..world.samples.len()).collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "contained-activation sweep: {} samples, seed {}, {} cores visible",
+        opts.samples, opts.seed, cores
+    );
+
+    println!("\n== stage in isolation: run_contained_batch over one day's batch ==");
+    println!(
+        "{:>4} {:>14} {:>10} {:>16}",
+        "N", "wall", "speedup", "samples/sec"
+    );
+    let mut baseline = None;
+    for n in [1usize, 2, 4, 8] {
+        let popts = PipelineOpts {
+            seed: opts.seed,
+            parallelism: n,
+            ..PipelineOpts::fast()
+        };
+        // One warm-up pass, then the timed pass.
+        let _ = run_contained_batch(&world, &popts, 0, &batch);
+        let t0 = Instant::now();
+        let outcomes = run_contained_batch(&world, &popts, 0, &batch);
+        let wall = t0.elapsed();
+        assert_eq!(outcomes.len(), batch.len());
+        let base = *baseline.get_or_insert(wall);
+        println!(
+            "{n:>4} {:>14} {:>9.2}x {:>16.1}",
+            fmt_duration(wall),
+            base.as_secs_f64() / wall.as_secs_f64(),
+            batch.len() as f64 / wall.as_secs_f64(),
+        );
+    }
+
+    println!("\n== end to end: Pipeline::run (contained stage + sequential merge) ==");
+    println!("{:>4} {:>14} {:>10}", "N", "wall", "speedup");
+    let mut baseline = None;
+    for n in [1usize, 2, 4, 8] {
+        let popts = PipelineOpts {
+            seed: opts.seed,
+            parallelism: n,
+            max_samples: Some(opts.samples),
+            run_probing: false,
+            ..PipelineOpts::fast()
+        };
+        let t0 = Instant::now();
+        let (data, _) = Pipeline::new(popts).run(&world);
+        let wall = t0.elapsed();
+        let base = *baseline.get_or_insert(wall);
+        println!(
+            "{n:>4} {:>14} {:>9.2}x   ({} sample records)",
+            fmt_duration(wall),
+            base.as_secs_f64() / wall.as_secs_f64(),
+            data.samples.len(),
+        );
+    }
+    println!("\n(outputs are byte-identical across N; see crates/core/tests/parallel_determinism.rs)");
+}

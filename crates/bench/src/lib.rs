@@ -3,8 +3,10 @@
 //! One binary per paper artefact (`table1` … `fig13`, `stats`,
 //! `repro-all`) regenerates the corresponding rows/series from a full
 //! pipeline run and prints them next to the paper's reported values.
-//! Criterion benches (`benches/components.rs`) measure the performance
-//! of every pipeline component; ablation binaries sweep the design knobs
+//! Component benches (`benches/components.rs`, on the in-repo
+//! [`timing`] harness) measure the performance of every pipeline
+//! component; `par-sweep` measures the contained-activation stage at
+//! several parallelism levels; ablation binaries sweep the design knobs
 //! DESIGN.md calls out.
 //!
 //! All binaries accept `--samples N` (default 1447) and `--seed S`
@@ -14,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod render;
+pub mod timing;
 
 use malnet_botgen::world::{Calibration, World, WorldConfig};
 use malnet_core::{Datasets, Pipeline, PipelineOpts};

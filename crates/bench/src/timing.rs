@@ -1,0 +1,170 @@
+//! A minimal, dependency-free timing harness.
+//!
+//! The offline build has no criterion, so the component benches use
+//! this instead: auto-calibrated iteration counts, a handful of batches
+//! per bench, and a best/median/mean report. It intentionally mirrors
+//! the small slice of the criterion API the benches need (`bench`,
+//! `bench_batched`), so the bench bodies read the same.
+//!
+//! Modes follow the cargo convention: `cargo bench` passes `--bench` to
+//! the target, which selects full measurement; any other invocation
+//! (notably `cargo test`, which builds and runs bench targets) gets a
+//! one-iteration smoke run so the suite stays fast.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Bench name, e.g. `wire/tcp_frame_encode`.
+    pub name: String,
+    /// Fastest observed batch, per iteration.
+    pub best: Duration,
+    /// Median batch, per iteration.
+    pub median: Duration,
+    /// Mean over all batches, per iteration.
+    pub mean: Duration,
+    /// Iterations per batch the calibration settled on.
+    pub iters: u64,
+}
+
+/// Timing harness: collects rows and prints a report.
+pub struct Harness {
+    /// Target wall time per bench (all batches together).
+    target: Duration,
+    /// Number of batches to measure per bench.
+    batches: usize,
+    /// `true` under `cargo bench` (`--bench` in argv); `false` means
+    /// smoke mode: one iteration per bench, no report table.
+    measure: bool,
+    rows: Vec<Row>,
+}
+
+impl Harness {
+    /// Build a harness from argv; see the module docs for the modes.
+    pub fn from_args() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Harness {
+            target: Duration::from_millis(1500),
+            batches: 5,
+            measure,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Whether full measurement is on (as opposed to smoke mode).
+    pub fn measuring(&self) -> bool {
+        self.measure
+    }
+
+    /// Time `f`, auto-calibrating the iteration count so one batch
+    /// takes roughly `target / batches`.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.measure {
+            black_box(f());
+            println!("smoke {name}: ok");
+            return;
+        }
+        // Calibrate: time a single call, derive iterations per batch.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_batch = self.target / self.batches as u32;
+        let iters = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+        let mut samples = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        self.push_row(name, iters, samples);
+    }
+
+    /// Like [`Harness::bench`], but re-creates state with `setup` before
+    /// every iteration and times only `f` (criterion's `iter_batched`).
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) {
+        if !self.measure {
+            black_box(f(setup()));
+            println!("smoke {name}: ok");
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(f(input));
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let per_batch = self.target / self.batches as u32;
+        let iters = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(self.batches);
+        for _ in 0..self.batches {
+            let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(f(input));
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        self.push_row(name, iters, samples);
+    }
+
+    fn push_row(&mut self, name: &str, iters: u64, mut samples: Vec<Duration>) {
+        samples.sort();
+        let best = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name:<34} best {:>12} median {:>12} ({iters} iters/batch)",
+            fmt_duration(best),
+            fmt_duration(median),
+        );
+        self.rows.push(Row {
+            name: name.to_string(),
+            best,
+            median,
+            mean,
+            iters,
+        });
+    }
+
+    /// Print the final aligned table (no-op in smoke mode).
+    pub fn report(&self) {
+        if !self.measure {
+            return;
+        }
+        println!("\n== component benchmarks ==");
+        println!(
+            "{:<34} {:>12} {:>12} {:>12}",
+            "bench", "best", "median", "mean"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<34} {:>12} {:>12} {:>12}",
+                r.name,
+                fmt_duration(r.best),
+                fmt_duration(r.median),
+                fmt_duration(r.mean),
+            );
+        }
+    }
+}
+
+/// Render a duration with a unit that keeps 3-4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}

@@ -394,7 +394,7 @@ impl ProgramBuilder {
 
 /// Decode a whole bytecode buffer (for tests and analyst tooling).
 pub fn decode_all(code: &[u8]) -> Option<Vec<Op>> {
-    if code.len() % RECORD_SIZE != 0 {
+    if !code.len().is_multiple_of(RECORD_SIZE) {
         return None;
     }
     code.chunks_exact(RECORD_SIZE).map(Op::decode).collect()

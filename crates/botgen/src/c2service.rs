@@ -7,12 +7,11 @@
 //! an accepting-but-silent server is exactly what the probing study
 //! observed 91% of the time after a successful probe.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-use rand::Rng;
+use malnet_prng::Rng;
 
 use malnet_netsim::net::{Service, ServiceCtx};
 use malnet_netsim::stack::{SockEvent, SockId};
@@ -59,7 +58,7 @@ pub struct C2LogInner {
 }
 
 /// Shared handle to a C2's ground-truth log.
-pub type C2Log = Rc<RefCell<C2LogInner>>;
+pub type C2Log = Arc<Mutex<C2LogInner>>;
 
 /// Configuration of one C2 server.
 #[derive(Debug, Clone)]
@@ -97,7 +96,7 @@ struct Session {
 /// Persistent responsiveness-chain state, shared across service
 /// reinstantiations (the world rebuilds per-day networks, but a server's
 /// mood does not reset at midnight).
-pub type RespondState = Rc<RefCell<bool>>;
+pub type RespondState = Arc<Mutex<bool>>;
 
 /// The C2 server service.
 pub struct C2Service {
@@ -138,7 +137,7 @@ impl C2Service {
                 after_engage,
                 after_silent,
             } => {
-                let p = if *self.last_engaged.borrow() {
+                let p = if *self.last_engaged.lock().unwrap() {
                     after_engage
                 } else {
                     after_silent
@@ -146,7 +145,7 @@ impl C2Service {
                 ctx.rng().gen_bool(p)
             }
         };
-        *self.last_engaged.borrow_mut() = engaged;
+        *self.last_engaged.lock().unwrap() = engaged;
         engaged
     }
 
@@ -221,17 +220,19 @@ impl Service for C2Service {
                 if !session.logged_in {
                     session.logged_in = true;
                     self.log
-                        .borrow_mut()
+                        .lock()
+                        .unwrap()
                         .logins
                         .push((ctx.now.as_micros(), data.clone()));
                     // Engagement draw on first protocol bytes.
                     let mut sessions = std::mem::take(&mut self.sessions);
                     let engaged = self.draw_engage(ctx);
-                    self.sessions = sessions.drain().collect();
+                    self.sessions = std::mem::take(&mut sessions);
                     let session = self.sessions.get_mut(&sock).expect("session exists");
                     session.engaged = engaged;
                     self.log
-                        .borrow_mut()
+                        .lock()
+                        .unwrap()
                         .sessions
                         .push((ctx.now.as_micros(), engaged));
                     if session.engaged {
@@ -285,7 +286,8 @@ impl Service for C2Service {
         };
         if let Some(bytes) = self.encode_command(cmd) {
             self.log
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .commands
                 .push((ctx.now.as_micros(), *cmd));
             ctx.tcp_send(sock, &bytes);
@@ -356,8 +358,8 @@ mod tests {
         assert_eq!(&received[..2], &mirai::KEEPALIVE);
         let (decoded, _) = mirai::decode_command(&received[2..]).expect("command decodes");
         assert_eq!(decoded, cmd());
-        assert_eq!(log.borrow().commands.len(), 1);
-        assert!(log.borrow().sessions[0].1);
+        assert_eq!(log.lock().unwrap().commands.len(), 1);
+        assert!(log.lock().unwrap().sessions[0].1);
     }
 
     #[test]
@@ -382,8 +384,8 @@ mod tests {
             !evs.iter().any(|e| matches!(e, SockEvent::TcpData { .. })),
             "silent C2 must not send data"
         );
-        assert_eq!(log.borrow().sessions[0].1, false);
-        assert_eq!(log.borrow().logins.len(), 1);
+        assert!(!log.lock().unwrap().sessions[0].1);
+        assert_eq!(log.lock().unwrap().logins.len(), 1);
     }
 
     #[test]
@@ -408,7 +410,7 @@ mod tests {
             net.run_for(SimDuration::from_secs(1));
             net.ext_events(BOT);
         }
-        let sessions = log.borrow().sessions.clone();
+        let sessions = log.lock().unwrap().sessions.clone();
         assert_eq!(sessions.len(), 200);
         let engaged: Vec<bool> = sessions.iter().map(|(_, e)| *e).collect();
         let successes = engaged.iter().filter(|e| **e).count();

@@ -765,7 +765,7 @@ mod tests {
     #[test]
     fn stub_assembles_and_is_substantial() {
         let code = build_stub();
-        assert!(code.len() % 4 == 0);
+        assert!(code.len().is_multiple_of(4));
         assert!(
             code.len() > 1500,
             "stub unexpectedly small: {} bytes",

@@ -22,9 +22,9 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use malnet_prng::rngs::StdRng;
+use malnet_prng::seq::SliceRandom;
+use malnet_prng::{Rng, SeedableRng};
 
 use malnet_netsim::asdb::{standard_internet, AsDb, AsKind, Asn, Prefix};
 use malnet_netsim::dns::{DnsHandle, DnsService};
@@ -247,6 +247,15 @@ pub struct World {
     /// First day of the 2-week probing window.
     pub probe_start_day: u32,
 }
+
+// Compile-time guarantee: worker threads running contained activations
+// may share one `&World` (parallel pipeline stage).
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync::<World>();
+    assert_send::<World>();
+};
 
 /// Weighted reuse choice: linear rich-get-richer, saturating near the
 /// paper's observed maximum (~18 samples per C2) so no runaway hubs form.
@@ -777,6 +786,21 @@ impl World {
         }
     }
 
+    /// Reset every C2's Markov responsiveness chain to its initial
+    /// (silent) state.
+    ///
+    /// The chains deliberately persist across per-day networks *within*
+    /// one study run — a server's mood does not reset at midnight — but
+    /// they live in the world, so a second run over the same `World`
+    /// would otherwise start where the first left off and silently
+    /// diverge. The pipeline calls this at the start of every run so a
+    /// run is a pure function of `(world, opts)`.
+    pub fn reset_respond_chains(&self) {
+        for c2 in &self.c2s {
+            *c2.respond_state.lock().unwrap() = false;
+        }
+    }
+
     /// Samples published on `day`, in id order.
     pub fn samples_published_on(&self, day: u32) -> Vec<&SampleTruth> {
         self.samples
@@ -882,6 +906,7 @@ fn plan_attacks(
     samples: &mut [SampleTruth],
 ) -> (Vec<AttackPlan>, AttackSchedule) {
     // Per-family command menus (Figure 11).
+    #[allow(clippy::type_complexity)]
     let menus: [(Family, &[(AttackMethod, u32)], usize, usize); 3] = [
         (
             Family::Mirai,
@@ -1036,6 +1061,12 @@ fn plan_attacks(
                     samples[sid].c2_ids[0] = shared;
                 }
             }
+        }
+        // Tiny worlds (test-sized corpora) may have no eligible sample
+        // of this family at all; skip its menu rather than divide by a
+        // zero-length rotation below.
+        if chosen.is_empty() {
+            continue;
         }
         // Command multiset for this family.
         let mut cmds: Vec<AttackMethod> = Vec::new();

@@ -237,7 +237,7 @@ fn mirai_bot_obeys_udp_flood_command() {
         duration_secs: 3,
     };
     let (art, log) = run_with_live_c2(Family::Mirai, command, 60);
-    assert_eq!(log.borrow().commands.len(), 1, "C2 issued the command");
+    assert_eq!(log.lock().unwrap().commands.len(), 1, "C2 issued the command");
     let n = flood_packets_to(&art, target);
     // 3 s at default 200 pps ≈ 600 packets (containment still captures).
     assert!(n > 300, "expected a flood, saw {n} packets");

@@ -70,23 +70,20 @@ pub fn detect_c2(art: &Artifacts, bot_ip: Ipv4Addr) -> Vec<C2Candidate> {
     let mut port_fanout: HashMap<u16, BTreeSet<Ipv4Addr>> = HashMap::new();
     let mut synack_seen: BTreeSet<(Ipv4Addr, u16)> = BTreeSet::new();
     for (_, p) in &packets {
-        match &p.transport {
-            Transport::Tcp { header, payload } => {
-                if p.src == bot_ip {
-                    let key = (p.dst, header.dst_port);
-                    let f = flows.entry(key).or_default();
-                    if header.flags.syn() && !header.flags.ack() {
-                        f.syns += 1;
-                        port_fanout.entry(header.dst_port).or_default().insert(p.dst);
-                    }
-                    if !payload.is_empty() && f.first_payload.is_empty() {
-                        f.first_payload = payload.clone();
-                    }
-                } else if p.dst == bot_ip && header.flags.syn() && header.flags.ack() {
-                    synack_seen.insert((p.src, header.src_port));
+        if let Transport::Tcp { header, payload } = &p.transport {
+            if p.src == bot_ip {
+                let key = (p.dst, header.dst_port);
+                let f = flows.entry(key).or_default();
+                if header.flags.syn() && !header.flags.ack() {
+                    f.syns += 1;
+                    port_fanout.entry(header.dst_port).or_default().insert(p.dst);
                 }
+                if !payload.is_empty() && f.first_payload.is_empty() {
+                    f.first_payload = payload.clone();
+                }
+            } else if p.dst == bot_ip && header.flags.syn() && header.flags.ack() {
+                synack_seen.insert((p.src, header.src_port));
             }
-            _ => {}
         }
     }
     for (key, f) in &mut flows {

@@ -8,7 +8,7 @@ use malnet_protocols::{AttackCommand, Family, TargetProtocol};
 use malnet_botgen::exploitdb::VulnId;
 
 /// One collected sample (D-Samples row).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleRecord {
     /// Feed hash.
     pub sha256: String,
@@ -30,7 +30,7 @@ pub struct SampleRecord {
 
 /// One C2 address (D-C2s row), aggregated over every sample and day that
 /// touched it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct C2Record {
     /// Address (IP string or domain).
     pub addr: String,
@@ -74,7 +74,7 @@ impl C2Record {
 }
 
 /// The D-PC2 probing matrix for one discovered server.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProbedC2 {
     /// Server address.
     pub ip: Ipv4Addr,
@@ -92,7 +92,7 @@ impl ProbedC2 {
 }
 
 /// One extracted exploit (D-Exploits row).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExploitRecord {
     /// Sample hash.
     pub sha256: String,
@@ -122,7 +122,7 @@ pub enum DdosDetection {
 }
 
 /// One observed DDoS command (D-DDOS row).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DdosRecord {
     /// Sample hash.
     pub sha256: String,
@@ -149,7 +149,7 @@ pub struct DdosRecord {
 }
 
 /// The full output of a pipeline run (Table 1).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Datasets {
     /// D-Samples.
     pub samples: Vec<SampleRecord>,
@@ -176,6 +176,38 @@ impl Datasets {
         shas.sort_unstable();
         shas.dedup();
         shas.len()
+    }
+
+    /// A canonical, byte-stable serialization of every dataset.
+    ///
+    /// Row order is already canonical — the pipeline merges per-sample
+    /// results in sample-id order and `c2s` is a `BTreeMap` — so a plain
+    /// structured dump is reproducible. Two pipeline runs are equivalent
+    /// iff their dumps are byte-identical; the parallel-determinism suite
+    /// compares these across `parallelism` settings.
+    pub fn canonical_dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== D-Samples ==\n");
+        for r in &self.samples {
+            out.push_str(&format!("{r:?}\n"));
+        }
+        out.push_str("== D-C2s ==\n");
+        for (addr, r) in &self.c2s {
+            out.push_str(&format!("{addr} => {r:?}\n"));
+        }
+        out.push_str("== D-PC2 ==\n");
+        for r in &self.probed {
+            out.push_str(&format!("{r:?}\n"));
+        }
+        out.push_str("== D-Exploits ==\n");
+        for r in &self.exploits {
+            out.push_str(&format!("{r:?}\n"));
+        }
+        out.push_str("== D-DDOS ==\n");
+        for r in &self.ddos {
+            out.push_str(&format!("{r:?}\n"));
+        }
+        out
     }
 
     /// Table 1 summary line.

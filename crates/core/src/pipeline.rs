@@ -19,6 +19,10 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use malnet_prng::sub_seed;
 
 use malnet_botgen::exploitdb;
 use malnet_botgen::world::World;
@@ -71,6 +75,13 @@ pub struct PipelineOpts {
     pub max_samples: Option<usize>,
     /// Day of the final feed re-query (paper: 2022-05-07 ≈ day 432).
     pub late_query_day: u32,
+    /// Worker threads for the contained-activation stage. `1` (the
+    /// default) keeps the fully sequential legacy path; larger values fan
+    /// contained sandbox runs out over OS threads. Every value produces
+    /// byte-identical datasets: each sample's contained run draws from
+    /// its own [`sub_seed`]-derived RNG and results are merged back in
+    /// sample-id order (see DESIGN.md).
+    pub parallelism: usize,
 }
 
 impl Default for PipelineOpts {
@@ -89,6 +100,7 @@ impl Default for PipelineOpts {
             probe_hosts_per_subnet: 254,
             max_samples: None,
             late_query_day: STUDY_DAYS + 45,
+            parallelism: 1,
         }
     }
 }
@@ -138,6 +150,10 @@ impl Pipeline {
 
     /// Run the full study over a world and return the datasets.
     pub fn run(mut self, world: &World) -> (Datasets, VendorDb) {
+        // A run must be a pure function of `(world, opts)`: the C2
+        // responsiveness chains live in the world and would otherwise
+        // carry state from a previous run over the same `World`.
+        world.reset_respond_chains();
         let mut analyzed = 0usize;
         let mut days_with_samples: Vec<u32> = world.publish_days();
         days_with_samples.sort_unstable();
@@ -153,14 +169,17 @@ impl Pipeline {
             // restricted sessions.
             let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
             self.daily_liveness_sweep(&mut net, day);
-            for sample in new_samples {
-                if let Some(max) = self.opts.max_samples {
-                    if analyzed >= max {
-                        continue;
-                    }
-                }
-                analyzed += 1;
-                net = self.analyze_sample(world, net, day, sample.id);
+            // Select the day's batch up front (`samples_published_on`
+            // returns ids in ascending order) so the contained stage can
+            // fan out while the merge stays canonically ordered.
+            let mut batch: Vec<usize> = new_samples.iter().map(|s| s.id).collect();
+            if let Some(max) = self.opts.max_samples {
+                batch.truncate(max.saturating_sub(analyzed));
+            }
+            analyzed += batch.len();
+            let outcomes = run_contained_batch(world, &self.opts, day, &batch);
+            for outcome in outcomes {
+                net = self.merge_outcome(world, net, day, outcome);
             }
         }
 
@@ -208,7 +227,7 @@ impl Pipeline {
                 }
             }
         }
-        for (&sock, _) in &socks {
+        for &sock in socks.keys() {
             net.ext_tcp_abort(MONITOR_IP, malnet_netsim::stack::SockId(sock));
         }
         net.run_for(SimDuration::from_secs(1));
@@ -234,60 +253,37 @@ impl Pipeline {
         }
     }
 
-    /// Full per-sample analysis. Takes and returns the day's world
-    /// network (restricted sessions run on it).
-    fn analyze_sample(
+    /// Merge one sample's contained-activation outcome into the study
+    /// state (phase B). Takes and returns the day's world network
+    /// (day-0 probes and restricted sessions run on it).
+    ///
+    /// Every stateful effect lives here — the feed-consensus RNG draw,
+    /// vendor registration, DNS resolution and liveness probes on the
+    /// shared world network, the restricted DDoS session, and all record
+    /// pushes — so calling this in sample-id order reproduces the legacy
+    /// sequential pipeline exactly, no matter how phase A was scheduled.
+    fn merge_outcome(
         &mut self,
         world: &World,
         world_net: Network,
         day: u32,
-        sample_id: usize,
+        outcome: ContainedOutcome,
     ) -> Network {
+        let ContainedOutcome {
+            sample_id,
+            yara,
+            avclass,
+            activated,
+            exploits,
+            candidates,
+            instructions,
+        } = outcome;
         let sample = &world.samples[sample_id];
         let elf = &sample.elf;
         let av = self.engines.detections_for_malware().max(sample.av_detections.min(60));
-        let yara = yara_label(elf).map(str::to_string);
-        let avclass = avclass2_label(elf).map(str::to_string);
-
-        // --- contained activation: C2 + exploit extraction ---
-        let contained_net = Network::new(SimTime::from_day(day, 0), self.opts.seed ^ sample_id as u64);
-        let mut sb = Sandbox::new(
-            contained_net,
-            SandboxConfig {
-                bot_ip: BOT_IP,
-                mode: AnalysisMode::Contained,
-                handshaker_threshold: Some(self.opts.handshaker_threshold),
-                instruction_budget: 400_000_000,
-                seed: self.opts.seed ^ (sample_id as u64) << 7,
-            },
-        );
-        let art = sb.execute(elf, SimDuration::from_secs(self.opts.contained_secs));
-        drop(sb);
-        let activated = !matches!(art.exit, malnet_sandbox::ExitReason::Fault(_))
-            && art.syscalls > 0
-            && !matches!(art.exit, malnet_sandbox::ExitReason::Exited(126 | 127));
 
         // Exploits (D-Exploits).
-        for cap in &art.exploits {
-            let vulns = exploitdb::classify(&cap.payload);
-            if vulns.is_empty() {
-                continue;
-            }
-            let dl = exploitdb::extract_downloader(&cap.payload);
-            self.data.exploits.push(ExploitRecord {
-                sha256: sample.sha256.clone(),
-                day,
-                vulns,
-                port: cap.port,
-                downloader: dl.as_ref().map(|(ip, _)| *ip),
-                loader: dl.map(|(_, l)| l),
-                payload: cap.payload.clone(),
-            });
-        }
-
-        // C2 candidates — skip P2P-labelled samples (§2.3a).
-        let is_p2p = matches!(yara.as_deref(), Some("mozi") | Some("hajime"));
-        let candidates = if is_p2p { Vec::new() } else { detect_c2(&art, BOT_IP) };
+        self.data.exploits.extend(exploits);
 
         let mut net = world_net;
         let mut live_c2_ips: Vec<(String, Ipv4Addr, u16, Option<Family>)> = Vec::new();
@@ -372,7 +368,7 @@ impl Pipeline {
                     },
                     handshaker_threshold: None,
                     instruction_budget: 2_000_000_000,
-                    seed: self.opts.seed ^ (sample_id as u64) << 9,
+                    seed: sample_seed(self.opts.seed, day, sample_id, SeedStream::Restricted),
                 },
             );
             let session = sb.execute(elf, SimDuration::from_secs(self.opts.restricted_secs));
@@ -421,10 +417,189 @@ impl Pipeline {
             av_detections: av,
             activated,
             c2_addrs,
-            instructions: art.instructions,
+            instructions,
         });
         net
     }
+}
+
+/// The per-sample RNG streams derived from the master seed. Each stream
+/// gets its own [`sub_seed`] domain so the contained network, contained
+/// sandbox, and restricted sandbox never share a generator.
+#[derive(Debug, Clone, Copy)]
+enum SeedStream {
+    /// The contained run's isolated [`Network`].
+    ContainedNet,
+    /// The contained [`Sandbox`] (emulator jitter, handshaker).
+    ContainedSandbox,
+    /// The restricted DDoS-observation [`Sandbox`].
+    Restricted,
+}
+
+/// Derive the seed for one per-sample RNG stream.
+///
+/// Built on [`sub_seed`] (splitmix64 chaining) so seeds are well mixed
+/// across `(day, sample, stream)` even for adjacent master seeds — unlike
+/// the old `master ^ id << k` scheme, which collided across days.
+fn sample_seed(master: u64, day: u32, sample_id: usize, stream: SeedStream) -> u64 {
+    let domain = match stream {
+        SeedStream::ContainedNet => 0,
+        SeedStream::ContainedSandbox => 0x5eed_0000_0000_0001,
+        SeedStream::Restricted => 0x5eed_0000_0000_0002,
+    };
+    sub_seed(master ^ domain, day, sample_id as u64)
+}
+
+/// Everything the contained-activation stage (phase A) produces for one
+/// sample. Plain data: safe to compute on a worker thread and ship back
+/// to the merge stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainedOutcome {
+    /// The analyzed sample's id in `world.samples`.
+    pub sample_id: usize,
+    /// YARA family label of the binary.
+    pub yara: Option<String>,
+    /// AVClass2 family label of the binary.
+    pub avclass: Option<String>,
+    /// Did the sample activate (run and speak) in the sandbox?
+    pub activated: bool,
+    /// Classified exploit payloads captured by the handshaker.
+    pub exploits: Vec<ExploitRecord>,
+    /// C2 candidates extracted from the capture (empty for P2P samples).
+    pub candidates: Vec<crate::c2detect::C2Candidate>,
+    /// Instructions the emulator retired.
+    pub instructions: u64,
+}
+
+// Compile-time guarantee: phase-A outcomes can ship across threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ContainedOutcome>();
+};
+
+/// Phase A of per-sample analysis: the contained sandbox run and every
+/// derivation that depends only on it.
+///
+/// This is a pure function of `(world, opts, day, sample_id)`: the run
+/// executes against a fresh, isolated [`Network`] seeded by
+/// [`sub_seed`], touches no pipeline state, and so can execute on any
+/// thread in any order. The pipeline fans these out when
+/// [`PipelineOpts::parallelism`] > 1.
+pub fn contained_activation(
+    world: &World,
+    opts: &PipelineOpts,
+    day: u32,
+    sample_id: usize,
+) -> ContainedOutcome {
+    let sample = &world.samples[sample_id];
+    let elf = &sample.elf;
+    let yara = yara_label(elf).map(str::to_string);
+    let avclass = avclass2_label(elf).map(str::to_string);
+
+    // --- contained activation: C2 + exploit extraction ---
+    let contained_net = Network::new(
+        SimTime::from_day(day, 0),
+        sample_seed(opts.seed, day, sample_id, SeedStream::ContainedNet),
+    );
+    let mut sb = Sandbox::new(
+        contained_net,
+        SandboxConfig {
+            bot_ip: BOT_IP,
+            mode: AnalysisMode::Contained,
+            handshaker_threshold: Some(opts.handshaker_threshold),
+            instruction_budget: 400_000_000,
+            seed: sample_seed(opts.seed, day, sample_id, SeedStream::ContainedSandbox),
+        },
+    );
+    let art = sb.execute(elf, SimDuration::from_secs(opts.contained_secs));
+    drop(sb);
+    let activated = !matches!(art.exit, malnet_sandbox::ExitReason::Fault(_))
+        && art.syscalls > 0
+        && !matches!(art.exit, malnet_sandbox::ExitReason::Exited(126 | 127));
+
+    // Exploits (D-Exploits).
+    let mut exploits = Vec::new();
+    for cap in &art.exploits {
+        let vulns = exploitdb::classify(&cap.payload);
+        if vulns.is_empty() {
+            continue;
+        }
+        let dl = exploitdb::extract_downloader(&cap.payload);
+        exploits.push(ExploitRecord {
+            sha256: sample.sha256.clone(),
+            day,
+            vulns,
+            port: cap.port,
+            downloader: dl.as_ref().map(|(ip, _)| *ip),
+            loader: dl.map(|(_, l)| l),
+            payload: cap.payload.clone(),
+        });
+    }
+
+    // C2 candidates — skip P2P-labelled samples (§2.3a).
+    let is_p2p = matches!(yara.as_deref(), Some("mozi") | Some("hajime"));
+    let candidates = if is_p2p {
+        Vec::new()
+    } else {
+        detect_c2(&art, BOT_IP)
+    };
+
+    ContainedOutcome {
+        sample_id,
+        yara,
+        avclass,
+        activated,
+        exploits,
+        candidates,
+        instructions: art.instructions,
+    }
+}
+
+/// Run phase A for a day's batch, returning outcomes in batch order.
+///
+/// With `opts.parallelism <= 1` this is a plain sequential loop (the
+/// legacy path). Otherwise a scoped thread pool pulls sample indices
+/// from a shared counter and writes each outcome into its batch slot, so
+/// the returned order — and therefore everything the merge stage does —
+/// is independent of thread scheduling.
+///
+/// Public so the bench harness can time the contained stage in
+/// isolation (`malnet-bench`'s `par_sweep`); pipeline callers go
+/// through [`Pipeline::run`].
+pub fn run_contained_batch(
+    world: &World,
+    opts: &PipelineOpts,
+    day: u32,
+    batch: &[usize],
+) -> Vec<ContainedOutcome> {
+    let workers = opts.parallelism.max(1).min(batch.len());
+    if workers <= 1 {
+        return batch
+            .iter()
+            .map(|&id| contained_activation(world, opts, day, id))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ContainedOutcome>>> =
+        batch.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&id) = batch.get(i) else { break };
+                let out = contained_activation(world, opts, day, id);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every batch slot is filled by a worker")
+        })
+        .collect()
 }
 
 fn family_from_label(label: Option<&str>) -> Option<Family> {

@@ -111,7 +111,7 @@ pub fn run_probing(world: &World, weapons: &[Vec<u8>], cfg: &ProbeConfig, seed: 
             }
         }
         // Close everything we opened.
-        for (&sock_raw, _) in &socks {
+        for &sock_raw in socks.keys() {
             net.ext_tcp_abort(PROBER_IP, malnet_netsim::stack::SockId(sock_raw));
         }
         net.run_for(SimDuration::from_secs(1));

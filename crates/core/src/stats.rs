@@ -107,7 +107,7 @@ impl<K: Ord + Clone + std::fmt::Display> Counter<K> {
     /// Entries sorted by descending count.
     pub fn sorted(&self) -> Vec<(K, u64)> {
         let mut v: Vec<(K, u64)> = self.map.iter().map(|(k, c)| (k.clone(), *c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 
@@ -167,7 +167,7 @@ impl Heatmap {
             .into_iter()
             .map(|(k, c)| (k.to_string(), c))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 

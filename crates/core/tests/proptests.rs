@@ -2,14 +2,31 @@
 //! extractor totality on arbitrary traffic.
 
 use std::net::Ipv4Addr;
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
+use malnet_botgen::world::{World, WorldConfig};
 use malnet_core::ddos;
+use malnet_prng::SeedableRng;
+use malnet_core::pipeline::{contained_activation, PipelineOpts};
 use malnet_core::stats::{Cdf, Counter};
 use malnet_protocols::Family;
 use malnet_wire::packet::Packet;
 use malnet_wire::tcp::TcpFlags;
+
+/// A small world shared by the permutation-invariance cases (generation
+/// is the expensive part; the property only needs a fixed corpus).
+fn perm_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        World::generate(WorldConfig {
+            seed: 4242,
+            n_samples: 10,
+            ..WorldConfig::default()
+        })
+    })
+}
 
 fn arb_packet() -> impl Strategy<Value = (u64, Packet)> {
     (
@@ -96,6 +113,45 @@ proptest! {
             if matches!(e.detection, malnet_core::datasets::DdosDetection::Behavioral) {
                 prop_assert!(e.measured_pps >= pps);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Merge-order permutation invariance, the property the parallel
+    /// pipeline rests on: phase A (`contained_activation`) is a pure
+    /// function of `(world, opts, day, sample_id)`, so computing a
+    /// batch's outcomes in *any* order yields the same per-sample result
+    /// — and a merge that consumes them in sample-id order therefore
+    /// cannot observe the schedule.
+    #[test]
+    fn contained_activation_is_permutation_invariant(
+        seed in prop_oneof![Just(5u64), Just(77), Just(4242)],
+        perm_seed in any::<u64>(),
+        day in 0u32..200,
+    ) {
+        let world = perm_world();
+        let opts = PipelineOpts {
+            seed,
+            contained_secs: 40,
+            handshaker_threshold: 5,
+            ..PipelineOpts::fast()
+        };
+        let batch: Vec<usize> = (0..world.samples.len()).collect();
+        // Canonical order.
+        let canonical: Vec<_> = batch
+            .iter()
+            .map(|&id| contained_activation(world, &opts, day, id))
+            .collect();
+        // A deterministic pseudo-random permutation of the same batch.
+        let mut permuted_ids = batch.clone();
+        let mut rng = malnet_prng::StdRng::seed_from_u64(perm_seed);
+        malnet_prng::seq::SliceRandom::shuffle(&mut permuted_ids[..], &mut rng);
+        for &id in &permuted_ids {
+            let out = contained_activation(world, &opts, day, id);
+            prop_assert_eq!(&out, &canonical[id], "sample {} diverged", id);
         }
     }
 }

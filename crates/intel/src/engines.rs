@@ -6,8 +6,8 @@
 //! chance of a low-consensus file (which the pipeline then drops,
 //! exercising the filter).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use malnet_prng::rngs::StdRng;
+use malnet_prng::{Rng, SeedableRng};
 
 /// Engines on the scanning service (paper: 75 as of Aug 2022).
 pub const TOTAL_ENGINES: usize = 75;

@@ -18,8 +18,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use malnet_prng::rngs::StdRng;
+use malnet_prng::{Rng, SeedableRng};
 
 /// Total vendor feeds on the VT-like service (paper: 89).
 pub const TOTAL_VENDORS: usize = 89;
@@ -209,6 +209,24 @@ impl VendorDb {
                 discoverer,
             },
         );
+    }
+
+    /// A canonical, byte-stable serialization of the vendor state.
+    ///
+    /// Records are sorted by address (the backing map is a `HashMap`,
+    /// so iteration order alone is not reproducible). Two `VendorDb`s
+    /// that produce identical dumps have registered the same addresses
+    /// with the same RNG draws — the parallel-determinism suite compares
+    /// these across `parallelism` settings.
+    pub fn canonical_dump(&self) -> String {
+        let mut keys: Vec<&String> = self.records.keys().collect();
+        keys.sort();
+        let mut out = String::new();
+        for k in keys {
+            let r = &self.records[k];
+            out.push_str(&format!("{k} => {r:?}\n"));
+        }
+        out
     }
 
     /// Query the feeds as of `day` — the VT-equivalent call.

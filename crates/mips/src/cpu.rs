@@ -433,7 +433,7 @@ mod tests {
     fn delay_slot_executes_before_branch() {
         // Hand-encode: beq taken with an addiu in the delay slot.
         let base = 0x0040_0000;
-        let mut a = Assembler::new(base);
+        let a = Assembler::new(base);
         // beq $zero,$zero,+2 (skip one word after delay slot)
         // delay slot: addiu $t0, $t0, 5  (must execute!)
         // skipped: addiu $t0, $t0, 100

@@ -107,7 +107,7 @@ impl Memory {
 
     /// Read a big-endian halfword (2-byte aligned).
     pub fn read_u16(&self, addr: u32) -> Result<u16, MemError> {
-        if addr % 2 != 0 {
+        if !addr.is_multiple_of(2) {
             return Err(MemError::Misaligned { addr, align: 2 });
         }
         let (i, off) = self.seg(addr, 2)?;
@@ -117,7 +117,7 @@ impl Memory {
 
     /// Read a big-endian word (4-byte aligned).
     pub fn read_u32(&self, addr: u32) -> Result<u32, MemError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(MemError::Misaligned { addr, align: 4 });
         }
         let (i, off) = self.seg(addr, 4)?;
@@ -137,7 +137,7 @@ impl Memory {
 
     /// Write a big-endian halfword.
     pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemError> {
-        if addr % 2 != 0 {
+        if !addr.is_multiple_of(2) {
             return Err(MemError::Misaligned { addr, align: 2 });
         }
         let (i, off) = self.seg(addr, 2)?;
@@ -150,7 +150,7 @@ impl Memory {
 
     /// Write a big-endian word.
     pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemError> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return Err(MemError::Misaligned { addr, align: 4 });
         }
         let (i, off) = self.seg(addr, 4)?;

@@ -212,9 +212,12 @@ impl AsDb {
     }
 }
 
-/// The ten ASes of the paper's Table 2, in the paper's row order:
+/// One row of the paper's Table 2:
 /// `(name, asn, country, hosting?, anti_ddos (None = N/A), crypto)`.
-pub const TABLE2_ASES: [(&str, u32, &str, bool, Option<bool>, bool); 10] = [
+pub type Table2Row = (&'static str, u32, &'static str, bool, Option<bool>, bool);
+
+/// The ten ASes of the paper's Table 2, in the paper's row order.
+pub const TABLE2_ASES: [Table2Row; 10] = [
     ("ColoCrossing", 36352, "US", true, Some(true), false),
     ("Delis LLC", 211252, "US", true, None, false),
     ("DigitalOcean", 14061, "US", true, Some(true), false),

@@ -6,10 +6,9 @@
 //! multiple services (the "real" resolver and the sandbox's fake resolver)
 //! can share one zone through the cloneable [`DnsHandle`].
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use malnet_wire::dns::{DnsMessage, DomainName};
 
@@ -26,8 +25,11 @@ struct ZoneData {
 }
 
 /// A shared, mutable DNS zone.
+///
+/// Thread-safe so a [`DnsService`] can live inside a `Network` that is
+/// moved to a worker thread (parallel contained activation).
 #[derive(Debug, Clone, Default)]
-pub struct DnsHandle(Rc<RefCell<ZoneData>>);
+pub struct DnsHandle(Arc<Mutex<ZoneData>>);
 
 impl DnsHandle {
     /// Create an empty zone.
@@ -37,32 +39,32 @@ impl DnsHandle {
 
     /// Insert or replace the A records for a name.
     pub fn set(&self, name: DomainName, addrs: Vec<Ipv4Addr>) {
-        self.0.borrow_mut().records.insert(name, addrs);
+        self.0.lock().unwrap().records.insert(name, addrs);
     }
 
     /// Remove a name entirely (future queries get NXDOMAIN).
     pub fn remove(&self, name: &DomainName) {
-        self.0.borrow_mut().records.remove(name);
+        self.0.lock().unwrap().records.remove(name);
     }
 
     /// Current A records for a name.
     pub fn lookup(&self, name: &DomainName) -> Option<Vec<Ipv4Addr>> {
-        self.0.borrow().records.get(name).cloned()
+        self.0.lock().unwrap().records.get(name).cloned()
     }
 
     /// Number of queries the service answered.
     pub fn queries_served(&self) -> u64 {
-        self.0.borrow().queries_served
+        self.0.lock().unwrap().queries_served
     }
 
     /// Number of registered names.
     pub fn len(&self) -> usize {
-        self.0.borrow().records.len()
+        self.0.lock().unwrap().records.len()
     }
 
     /// True if the zone has no records.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().records.is_empty()
+        self.0.lock().unwrap().records.is_empty()
     }
 }
 
@@ -97,7 +99,7 @@ impl Service for DnsService {
         if query.is_response {
             return;
         }
-        self.zone.0.borrow_mut().queries_served += 1;
+        self.zone.0.lock().unwrap().queries_served += 1;
         let reply = match self.zone.lookup(&query.question) {
             Some(addrs) if !addrs.is_empty() => {
                 DnsMessage::answer(query.id, query.question.clone(), &addrs)

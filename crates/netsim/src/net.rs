@@ -21,8 +21,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use malnet_prng::rngs::StdRng;
+use malnet_prng::{Rng, SeedableRng};
 
 use malnet_wire::Packet;
 
@@ -149,7 +149,7 @@ pub trait Service {
 }
 
 enum Driver {
-    Service(Box<dyn Service>),
+    Service(Box<dyn Service + Send>),
     External(VecDeque<SockEvent>),
 }
 
@@ -220,8 +220,19 @@ pub struct Network {
     /// Optional egress filter: packets for which the filter returns false
     /// are dropped at transmission time. Used by the sandbox's containment
     /// (Snort-like IDS / restricted mode). Filters see (now, packet).
-    filter: Option<Box<dyn FnMut(SimTime, &Packet) -> bool>>,
+    filter: Option<EgressFilter>,
 }
+
+/// An egress filter: `(now, packet) -> deliver?`. `Send` so a contained
+/// network (filter installed) can run on a worker thread.
+pub type EgressFilter = Box<dyn FnMut(SimTime, &Packet) -> bool + Send>;
+
+// Compile-time guarantee: a network (with all its services) can move to
+// a worker thread for parallel contained activation.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Network>();
+};
 
 impl Network {
     /// Create a network starting at `start` with the given RNG seed.
@@ -244,7 +255,7 @@ impl Network {
     }
 
     /// Install an egress filter (containment). Replaces any existing one.
-    pub fn set_egress_filter(&mut self, f: Box<dyn FnMut(SimTime, &Packet) -> bool>) {
+    pub fn set_egress_filter(&mut self, f: EgressFilter) {
         self.filter = Some(f);
     }
 
@@ -255,7 +266,7 @@ impl Network {
 
     /// Install a service host. Panics on duplicate IP (world-construction
     /// bug).
-    pub fn add_service_host(&mut self, ip: Ipv4Addr, mut service: Box<dyn Service>) {
+    pub fn add_service_host(&mut self, ip: Ipv4Addr, mut service: Box<dyn Service + Send>) {
         assert!(!self.hosts.contains_key(&ip), "duplicate host {ip}");
         let mut stack = HostStack::new(ip);
         let mut out = Vec::new();

@@ -123,4 +123,37 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+
+    /// Two identically-seeded networks deliver identical `SockEvent`
+    /// streams — even when one of them runs on a spawned thread. This is
+    /// the substrate guarantee behind the parallel pipeline: a `Network`
+    /// has no hidden global, thread-local, or address-dependent state.
+    #[test]
+    fn same_seed_same_sockevent_stream(
+        seed in any::<u64>(),
+        loss in 0.0f64..0.5,
+        sends in 1usize..10,
+    ) {
+        let run = move || -> Vec<SockEvent> {
+            let mut net = Network::new(SimTime::EPOCH, seed);
+            net.faults.loss = loss;
+            let server = Ipv4Addr::new(10, 0, 0, 2);
+            let client = Ipv4Addr::new(10, 0, 0, 1);
+            net.add_service_host(server, Box::new(Echo));
+            net.add_external_host(client);
+            let mut events = Vec::new();
+            for i in 0..sends {
+                let s = net.ext_tcp_connect(client, server, 7);
+                net.run_for(SimDuration::from_secs(1));
+                net.ext_tcp_send(client, s, &[i as u8; 8]);
+                net.ext_udp_send(client, 2000, server, 7, vec![i as u8, 0xEE]);
+                net.run_for(SimDuration::from_secs(4));
+                events.extend(net.ext_events(client));
+            }
+            events
+        };
+        let on_main = run();
+        let on_thread = std::thread::spawn(run).join().expect("worker run");
+        prop_assert_eq!(on_main, on_thread);
+    }
 }

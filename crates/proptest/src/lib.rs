@@ -1,0 +1,561 @@
+//! Minimal, offline property-testing shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of the `proptest` 1.x API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`, the
+//! `proptest!` / `prop_oneof!` / `prop_assert*` macros, `any::<T>()`,
+//! [`Just`], range strategies, tuple strategies, `collection::vec`, and
+//! a tiny character-class regex string strategy.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the drawn values via
+//!   the assertion message; cases are reproducible because every test's
+//!   RNG is seeded from the test's name.
+//! * **No persistence.** `.proptest-regressions` files are ignored.
+//! * Case counts default to 64 and honor `ProptestConfig::with_cases`.
+
+#![forbid(unsafe_code)]
+
+use malnet_prng::{Rng, SeedableRng, StdRng};
+
+/// Why a single property case did not pass (real proptest's type,
+/// minus shrinking metadata). Test bodies may `return Err(...)` or use
+/// `?`; the runner panics on `Fail` and skips the case on `Reject`.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated for the drawn input.
+    Fail(String),
+    /// The drawn input is invalid for the property; not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "fail: {m}"),
+            TestCaseError::Reject(m) => write!(f, "reject: {m}"),
+        }
+    }
+}
+
+/// Per-case outcome; `proptest!` bodies are wrapped to return this.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`cases` is the only knob the shim honors).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the property's name so every
+/// `cargo test` run draws the same cases.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform drawn values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "draw anything" strategy.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// `proptest::sample` (subset): drawing positions in runtime-sized
+/// collections.
+pub mod sample {
+    use super::{Arbitrary, StdRng};
+    use malnet_prng::Rng;
+
+    /// An index into a collection whose length is only known at use
+    /// time: draw one with `any::<Index>()`, project with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map this draw uniformly into `0..len`. Panics if `len == 0`,
+        /// as in real proptest.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.gen())
+        }
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+/// The canonical strategy for a type: uniform over its representable
+/// values (integers, bools, unit-interval floats).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Uniform choice between strategies (built by `prop_oneof!`).
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from type-erased arms. Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// `&str` patterns act as string strategies, supporting the character-
+/// class regex subset the workspace uses: literals, `\`-escapes, `.`
+/// (any printable), `[a-z0-9_]` classes, and `{m}` / `{m,n}` / `?` /
+/// `*` / `+` quantifiers (unbounded ones capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        regex_lite_generate(self, rng)
+    }
+}
+
+fn regex_lite_generate(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: an escaped char, a class, or a literal.
+        let atom: Vec<char> = match chars[i] {
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in pattern {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed class") + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Parse an optional quantifier.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '?' => {
+                    i += 1;
+                    (0usize, 1usize)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unclosed quantifier") + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let m: usize = body.trim().parse().expect("bad quantifier");
+                            (m, m)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(atom[rng.gen_range(0..atom.len())]);
+        }
+    }
+    out
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use malnet_prng::Rng;
+
+    /// Element-count specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a drawn length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of values drawn from `elem`, with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The strategy namespace (subset).
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Map, OneOf, Strategy};
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    /// The `prop` namespace alias real proptest's prelude provides
+    /// (`prop::sample::Index`, `prop::collection::vec`, ...).
+    pub use crate as prop;
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Define property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @impl ($cfg); $($rest)* }
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                for _case in 0..cfg.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Bodies may `return Err(TestCaseError::...)` or use
+                    // `?`, as with real proptest: wrap in a closure that
+                    // yields a per-case result.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => continue,
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed: {msg}")
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @impl ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Property assertion (panics; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn regex_lite_matches_shape() {
+        let mut rng = test_rng("regex_lite_matches_shape");
+        for _ in 0..200 {
+            let s = regex_lite_generate("[a-zA-Z0-9]{1,12}\\.sh", &mut rng);
+            assert!(s.ends_with(".sh"), "{s}");
+            let stem = &s[..s.len() - 3];
+            assert!((1..=12).contains(&stem.len()), "{s}");
+            assert!(stem.chars().all(|c| c.is_ascii_alphanumeric()), "{s}");
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_vec_draw_in_bounds() {
+        let mut rng = test_rng("ranges_tuples_and_vec");
+        let strat = (0u8..32, 5usize..=9, any::<bool>());
+        for _ in 0..100 {
+            let (a, b, _c) = strat.generate(&mut rng);
+            assert!(a < 32);
+            assert!((5..=9).contains(&b));
+        }
+        let v = collection::vec(any::<u32>(), 31).generate(&mut rng);
+        assert_eq!(v.len(), 31);
+        let v2 = collection::vec(0u64..10, 1..4).generate(&mut rng);
+        assert!((1..4).contains(&v2.len()));
+        assert!(v2.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let mut rng = test_rng("oneof_and_map");
+        let s = prop_oneof![Just(1u64), Just(100), (0u64..5).prop_map(|x| x + 1000)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!(v == 1 || v == 100 || (1000..1005).contains(&v));
+            seen.insert(v.min(1000));
+        }
+        assert_eq!(seen.len(), 3, "all arms exercised: {seen:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns bind, asserts run.
+        #[test]
+        fn macro_smoke(x in 1u32..100, (a, b) in (0u8..10, 0u8..10)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(u32::from(a) * 2 / 2, u32::from(a));
+            prop_assert_ne!(u32::from(b) + 1, 0);
+        }
+    }
+}

@@ -10,8 +10,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use malnet_prng::rngs::StdRng;
+use malnet_prng::{Rng, SeedableRng};
 
 use malnet_mips::cpu::{Cpu, StepOutcome};
 use malnet_mips::elf::ElfFile;

@@ -1,10 +1,9 @@
 //! Run orchestration: containment modes, InetSim faking, the handshaker,
 //! weaponization, and capture management.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use malnet_netsim::net::Network;
 use malnet_netsim::time::SimDuration;
@@ -121,7 +120,7 @@ pub struct Sandbox {
     pub net: Network,
     cfg: SandboxConfig,
     victim_log: VictimLog,
-    dns_names: Rc<RefCell<Vec<String>>>,
+    dns_names: Arc<Mutex<Vec<String>>>,
     /// Distinct destination IPs seen per TCP port (handshaker counter).
     port_contacts: HashMap<u16, HashSet<Ipv4Addr>>,
     /// Ports where the handshaker has engaged.
@@ -130,12 +129,20 @@ pub struct Sandbox {
     spawned: HashSet<Ipv4Addr>,
 }
 
+// Compile-time guarantee: a whole sandbox (network included) can run on
+// a worker thread; `Artifacts` is the plain data it ships back.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Sandbox>();
+    assert_send::<Artifacts>();
+};
+
 impl Sandbox {
     /// Wrap an existing network (which may already contain world hosts).
     /// Installs the fake resolver, the bot's host entry, and the capture
     /// tap.
     pub fn new(mut net: Network, cfg: SandboxConfig) -> Self {
-        let dns_names = Rc::new(RefCell::new(Vec::new()));
+        let dns_names = Arc::new(Mutex::new(Vec::new()));
         if !net.has_host(FAKE_RESOLVER) {
             net.add_service_host(
                 FAKE_RESOLVER,
@@ -288,7 +295,8 @@ impl Sandbox {
         }
         let exploits = self
             .victim_log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .map(|v: &VictimCapture| CapturedExploit {
                 victim: v.victim,
@@ -297,8 +305,8 @@ impl Sandbox {
                 ts_micros: v.ts_micros,
             })
             .collect();
-        self.victim_log.borrow_mut().clear();
-        let dns_queries = std::mem::take(&mut *self.dns_names.borrow_mut());
+        self.victim_log.lock().unwrap().clear();
+        let dns_queries = std::mem::take(&mut *self.dns_names.lock().unwrap());
         Artifacts {
             exit,
             pcap: pcap_bytes,

@@ -1,9 +1,8 @@
 //! Fake-endpoint services the sandbox spins up on demand.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use malnet_netsim::net::{Service, ServiceCtx};
 use malnet_netsim::stack::SockEvent;
@@ -22,7 +21,7 @@ pub struct VictimCapture {
 }
 
 /// Shared collector the sandbox reads after a run.
-pub type VictimLog = Rc<RefCell<Vec<VictimCapture>>>;
+pub type VictimLog = Arc<Mutex<Vec<VictimCapture>>>;
 
 /// A fake victim: completes the TCP handshake on its ports, records the
 /// first payload of each connection, sends a bland acknowledgement, and
@@ -57,10 +56,10 @@ impl Service for FakeVictim {
     fn on_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: SockEvent) {
         match ev {
             SockEvent::TcpData { sock, data } => {
-                if !self.got.contains_key(&sock) {
-                    self.got.insert(sock, true);
+                if let std::collections::hash_map::Entry::Vacant(e) = self.got.entry(sock) {
+                    e.insert(true);
                     let port = ctx.stack.local_port(sock).unwrap_or(0);
-                    self.log.borrow_mut().push(VictimCapture {
+                    self.log.lock().unwrap().push(VictimCapture {
                         victim: self.ip,
                         port,
                         payload: data,
@@ -123,12 +122,12 @@ impl Service for InetSimHttp {
 pub struct WildcardDns {
     answer: Ipv4Addr,
     /// Names queried so far (the C2-domain evidence).
-    pub queried: Rc<RefCell<Vec<String>>>,
+    pub queried: Arc<Mutex<Vec<String>>>,
 }
 
 impl WildcardDns {
     /// Answer every query with `answer`, recording names into `queried`.
-    pub fn new(answer: Ipv4Addr, queried: Rc<RefCell<Vec<String>>>) -> Self {
+    pub fn new(answer: Ipv4Addr, queried: Arc<Mutex<Vec<String>>>) -> Self {
         WildcardDns { answer, queried }
     }
 }
@@ -148,7 +147,7 @@ impl Service for WildcardDns {
         if q.is_response {
             return;
         }
-        self.queried.borrow_mut().push(q.question.as_str().to_string());
+        self.queried.lock().unwrap().push(q.question.as_str().to_string());
         let reply = malnet_wire::dns::DnsMessage::answer(q.id, q.question.clone(), &[self.answer]);
         ctx.udp_send(53, src.0, src.1, reply.encode());
     }
@@ -166,7 +165,7 @@ mod tests {
 
     #[test]
     fn fake_victim_records_first_payload() {
-        let log: VictimLog = Rc::default();
+        let log: VictimLog = Arc::default();
         let mut net = Network::new(SimTime::EPOCH, 5);
         net.add_service_host(FAKE, Box::new(FakeVictim::new(FAKE, vec![8080], log.clone())));
         net.add_external_host(BOT);
@@ -174,7 +173,7 @@ mod tests {
         net.run_for(SimDuration::from_secs(1));
         net.ext_tcp_send(BOT, sock, b"POST /GponForm/diag_Form HTTP/1.1\r\n\r\nXWebPageName=diag");
         net.run_for(SimDuration::from_secs(2));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].port, 8080);
         assert!(log[0].payload.starts_with(b"POST /GponForm"));
@@ -182,7 +181,7 @@ mod tests {
 
     #[test]
     fn wildcard_dns_answers_everything() {
-        let queried = Rc::new(RefCell::new(Vec::new()));
+        let queried = Arc::new(Mutex::new(Vec::new()));
         let sink = Ipv4Addr::new(100, 64, 0, 1);
         let mut net = Network::new(SimTime::EPOCH, 5);
         net.add_service_host(FAKE, Box::new(WildcardDns::new(sink, queried.clone())));
@@ -200,7 +199,7 @@ mod tests {
             })
             .expect("reply");
         assert_eq!(reply.answers[0].1, sink);
-        assert_eq!(queried.borrow().as_slice(), ["cnc.weird-botnet.ru"]);
+        assert_eq!(queried.lock().unwrap().as_slice(), ["cnc.weird-botnet.ru"]);
     }
 
     #[test]

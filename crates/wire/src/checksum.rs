@@ -121,6 +121,6 @@ mod tests {
         even.push(&data[..150]);
         even.push(&data[150..]);
         assert_eq!(even.finish(), checksum(&data));
-        drop(inc);
+        let _ = inc;
     }
 }

@@ -91,6 +91,7 @@ pub struct Packet {
 
 impl Packet {
     /// Build a TCP packet.
+    #[allow(clippy::too_many_arguments)] // mirrors the TCP header fields
     pub fn tcp(
         src: Ipv4Addr,
         src_port: u16,

@@ -134,11 +134,11 @@ impl TcpHeader {
 
     /// Parse a TCP segment, verifying the pseudo-header checksum, and
     /// return the header plus payload slice.
-    pub fn decode<'a>(
+    pub fn decode(
         src: Ipv4Addr,
         dst: Ipv4Addr,
-        data: &'a [u8],
-    ) -> Result<(Self, &'a [u8]), WireError> {
+        data: &[u8],
+    ) -> Result<(Self, &[u8]), WireError> {
         if data.len() < HEADER_LEN {
             return Err(WireError::Truncated {
                 layer: "tcp",

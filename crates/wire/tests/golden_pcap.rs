@@ -1,0 +1,231 @@
+//! Golden pcap fixtures: checked-in captures that pin the wire format.
+//!
+//! Two properties are enforced for every fixture:
+//!
+//! 1. **Encoding is frozen** — re-encoding the canonical packet list
+//!    produces exactly the committed bytes. Any change to header layout,
+//!    checksum computation, MAC synthesis, or pcap framing fails here
+//!    before it can silently alter every capture the pipeline writes.
+//! 2. **Decode → re-encode is the identity** — parsing the committed
+//!    bytes back into logical packets and serializing them again yields
+//!    the same file, byte for byte.
+//!
+//! Regenerate after an *intentional* format change with:
+//!
+//! ```sh
+//! MALNET_REGEN_GOLDEN=1 cargo test -p malnet-wire --test golden_pcap
+//! ```
+//!
+//! and commit the updated fixtures together with the code change.
+
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+use malnet_wire::dns::{DnsMessage, DomainName};
+use malnet_wire::icmp::IcmpMessage;
+use malnet_wire::packet::Packet;
+use malnet_wire::pcap;
+use malnet_wire::tcp::TcpFlags;
+
+const BOT: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 2);
+const C2: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 5);
+const RESOLVER: Ipv4Addr = Ipv4Addr::new(9, 9, 9, 9);
+const VICTIM: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 50);
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// A TCP session: handshake, Mirai-style login, ack, teardown.
+fn tcp_session_packets() -> Vec<(u64, Packet)> {
+    vec![
+        (
+            1_000_000,
+            Packet::tcp(BOT, 40123, C2, 23, 100, 0, TcpFlags::SYN, vec![]),
+        ),
+        (
+            1_050_000,
+            Packet::tcp(C2, 23, BOT, 40123, 7000, 101, TcpFlags::SYN_ACK, vec![]),
+        ),
+        (
+            1_100_000,
+            Packet::tcp(BOT, 40123, C2, 23, 101, 7001, TcpFlags::ACK, vec![]),
+        ),
+        (
+            1_200_000,
+            Packet::tcp(
+                BOT,
+                40123,
+                C2,
+                23,
+                101,
+                7001,
+                TcpFlags::PSH_ACK,
+                vec![0x00, 0x00, 0x00, 0x01],
+            ),
+        ),
+        (
+            1_300_000,
+            Packet::tcp(
+                C2,
+                23,
+                BOT,
+                40123,
+                7001,
+                105,
+                TcpFlags::PSH_ACK,
+                vec![0x00, 0x00],
+            ),
+        ),
+        (
+            1_400_000,
+            Packet::tcp(BOT, 40123, C2, 23, 105, 7003, TcpFlags::FIN_ACK, vec![]),
+        ),
+    ]
+}
+
+/// A DNS lookup over UDP: query for a C2 domain and its A-record answer.
+fn dns_lookup_packets() -> Vec<(u64, Packet)> {
+    let name = DomainName::new("cnc.botnet.example").unwrap();
+    let query = DnsMessage::query(0x4d61, name.clone());
+    let answer = DnsMessage::answer(0x4d61, name, &[C2]);
+    vec![
+        (
+            2_000_000,
+            Packet::udp(BOT, 5353, RESOLVER, 53, query.encode()),
+        ),
+        (
+            2_040_000,
+            Packet::udp(RESOLVER, 53, BOT, 5353, answer.encode()),
+        ),
+    ]
+}
+
+/// ICMP traffic: an echo exchange plus a BLACKNURSE-style
+/// destination-unreachable flood packet.
+fn icmp_packets() -> Vec<(u64, Packet)> {
+    vec![
+        (
+            3_000_000,
+            Packet::icmp(
+                BOT,
+                VICTIM,
+                IcmpMessage::EchoRequest {
+                    ident: 0x77,
+                    seq: 1,
+                    payload: b"malnet-ping".to_vec(),
+                },
+            ),
+        ),
+        (
+            3_060_000,
+            Packet::icmp(
+                VICTIM,
+                BOT,
+                IcmpMessage::EchoReply {
+                    ident: 0x77,
+                    seq: 1,
+                    payload: b"malnet-ping".to_vec(),
+                },
+            ),
+        ),
+        (
+            3_200_000,
+            Packet::icmp(
+                BOT,
+                VICTIM,
+                IcmpMessage::DestinationUnreachable {
+                    code: 3,
+                    payload: vec![0x45, 0x00, 0x00, 0x1c],
+                },
+            ),
+        ),
+    ]
+}
+
+/// A mixed capture resembling one contained sandbox run: DNS resolution,
+/// C2 session, a UDP flood burst, and ICMP control traffic.
+fn mixed_capture_packets() -> Vec<(u64, Packet)> {
+    let mut pkts = dns_lookup_packets();
+    pkts.extend(tcp_session_packets());
+    for i in 0..4u64 {
+        pkts.push((
+            4_000_000 + i * 1_000,
+            Packet::udp(BOT, 44000, VICTIM, 80, vec![0xAA; 64]),
+        ));
+    }
+    pkts.extend(icmp_packets());
+    pkts.sort_by_key(|(ts, _)| *ts);
+    pkts
+}
+
+fn fixtures() -> Vec<(&'static str, Vec<(u64, Packet)>)> {
+    vec![
+        ("tcp_session.pcap", tcp_session_packets()),
+        ("dns_lookup.pcap", dns_lookup_packets()),
+        ("icmp_echo_unreachable.pcap", icmp_packets()),
+        ("mixed_capture.pcap", mixed_capture_packets()),
+    ]
+}
+
+fn check_or_regen(name: &str, packets: &[(u64, Packet)]) {
+    let path = fixture_path(name);
+    let encoded = pcap::to_bytes(packets);
+    if std::env::var_os("MALNET_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &encoded).expect("write fixture");
+        return;
+    }
+    let golden = std::fs::read(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {path:?} ({e}); regenerate with MALNET_REGEN_GOLDEN=1"));
+    assert_eq!(
+        encoded, golden,
+        "{name}: encoding drifted from the committed golden bytes"
+    );
+}
+
+/// Property 1: encoding the canonical packet lists reproduces the
+/// committed fixture bytes exactly.
+#[test]
+fn encoding_matches_golden_fixtures() {
+    for (name, packets) in fixtures() {
+        check_or_regen(name, &packets);
+    }
+}
+
+/// Property 2: decode → re-encode over each committed fixture is the
+/// byte-level identity, and no frame is skipped as unparseable.
+#[test]
+fn golden_fixtures_roundtrip_byte_identical() {
+    for (name, _) in fixtures() {
+        let path = fixture_path(name);
+        let Ok(golden) = std::fs::read(&path) else {
+            // `encoding_matches_golden_fixtures` reports the missing
+            // file; avoid double-failing during regeneration.
+            continue;
+        };
+        let (parsed, skipped) = pcap::parse_capture(&golden).expect("fixture parses");
+        assert_eq!(skipped, 0, "{name}: unparseable frames in fixture");
+        assert!(!parsed.is_empty(), "{name}: empty fixture");
+        let reencoded = pcap::to_bytes(&parsed);
+        assert_eq!(
+            reencoded, golden,
+            "{name}: decode → re-encode is not the identity"
+        );
+    }
+}
+
+/// The logical packet lists also survive the round trip (header fields,
+/// payloads, flags — not just bytes).
+#[test]
+fn golden_fixtures_parse_to_expected_packets() {
+    for (name, packets) in fixtures() {
+        let path = fixture_path(name);
+        let Ok(golden) = std::fs::read(&path) else {
+            continue;
+        };
+        let (parsed, _) = pcap::parse_capture(&golden).expect("fixture parses");
+        assert_eq!(parsed, packets, "{name}: logical packets drifted");
+    }
+}

@@ -71,7 +71,7 @@ fn main() {
     println!(
         "session capture: {} packets; C2 issued {} command(s)",
         packets.len(),
-        log.borrow().commands.len()
+        log.lock().unwrap().commands.len()
     );
 
     // --- the analyst side -------------------------------------------------

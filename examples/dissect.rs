@@ -32,14 +32,13 @@ fn main() {
     println!("ELF32 MSB executable, MIPS, entry {:#010x}", elf.entry);
     for seg in &elf.segments {
         println!(
-            "  {:<8} vaddr {:#010x} filesz {:>6} memsz {:>6} {}{}{}",
+            "  {:<8} vaddr {:#010x} filesz {:>6} memsz {:>6} {}{}R",
             seg.name,
             seg.vaddr,
             seg.data.len(),
             seg.memsz,
             if seg.executable { "X" } else { "-" },
             if seg.writable { "W" } else { "-" },
-            "R",
         );
     }
 

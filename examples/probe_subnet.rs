@@ -51,8 +51,10 @@ fn main() {
     };
     let probed = run_probing(&world, &weapons, &cfg, 1);
 
-    let mut data = Datasets::default();
-    data.probed = probed;
+    let data = Datasets {
+        probed,
+        ..Default::default()
+    };
     println!("\nresponse raster (# = engaged, . = silent):");
     for p in &data.probed {
         let raster: String = p
