@@ -151,6 +151,50 @@ fn bench_pipeline(h: &mut Harness) {
     });
 }
 
+/// The telemetry hot path must be close to free when disabled (a branch
+/// on an `Option` discriminant) and cheap when enabled (one relaxed
+/// atomic add). These rows are the evidence behind the claim in
+/// DESIGN.md §8's telemetry section.
+fn bench_telemetry(h: &mut Harness) {
+    use malnet_telemetry::Telemetry;
+    let off = Telemetry::disabled().counter("bench.counter");
+    h.bench("telemetry/counter_add_disabled", || {
+        for _ in 0..1024 {
+            std::hint::black_box(&off).add(1);
+        }
+    });
+    let tel = Telemetry::enabled();
+    let on = tel.counter("bench.counter");
+    h.bench("telemetry/counter_add_enabled", || {
+        for _ in 0..1024 {
+            std::hint::black_box(&on).add(1);
+        }
+    });
+    let hist = tel.histogram("bench.histogram");
+    h.bench("telemetry/histogram_record", || {
+        for v in 0..1024u64 {
+            std::hint::black_box(&hist).record(v);
+        }
+    });
+    h.bench("telemetry/span_enter_exit", || {
+        let _g = std::hint::black_box(&tel).span("bench.span");
+    });
+    let pipeline_tel = Telemetry::enabled();
+    let world = World::generate(WorldConfig {
+        seed: 3,
+        n_samples: 10,
+        cal: Calibration::default(),
+    });
+    h.bench("telemetry/ten_sample_study_instrumented", || {
+        let opts = PipelineOpts {
+            max_samples: Some(10),
+            run_probing: false,
+            ..PipelineOpts::fast()
+        };
+        Pipeline::with_telemetry(opts, pipeline_tel.clone()).run(std::hint::black_box(&world))
+    });
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_wire(&mut h);
@@ -158,5 +202,7 @@ fn main() {
     bench_botgen(&mut h);
     bench_sandbox(&mut h);
     bench_pipeline(&mut h);
+    bench_telemetry(&mut h);
     h.report();
+    h.write_json("results/BENCH_components.json");
 }

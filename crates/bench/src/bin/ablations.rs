@@ -94,7 +94,13 @@ fn main() {
             hosts_per_subnet: 40,
             ..ProbeConfig::from_world(&world)
         };
-        let probed = run_probing(&world, &weapons, &cfg, opts.seed);
+        let probed = run_probing(
+            &world,
+            &weapons,
+            &cfg,
+            opts.seed,
+            &malnet_telemetry::Telemetry::disabled(),
+        );
         let responses: usize = probed.iter().map(|p| p.responses()).sum();
         println!(
             "{:>12} {:>8} {:>10} {:>16.2}",

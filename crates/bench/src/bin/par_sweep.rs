@@ -7,9 +7,16 @@
 //! outputs are byte-identical at every N (the determinism suite proves
 //! this); the sweep quantifies the wall-clock side of that trade.
 //!
+//! Besides the stdout table, the sweep writes a machine-readable
+//! artifact to `results/par_sweep.json`: both sweeps plus the full
+//! telemetry [`RunReport`](malnet_telemetry::RunReport) of the final
+//! instrumented pipeline run (per-stage self/total wall-times, counters,
+//! histograms, per-day rollups). EXPERIMENTS.md documents the format.
+//!
 //! Usage:
 //! `cargo run -p malnet-bench --release --bin par_sweep -- [--samples N] [--seed S]`
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use malnet_bench::parse_args;
@@ -17,6 +24,10 @@ use malnet_bench::timing::fmt_duration;
 use malnet_botgen::world::{Calibration, World, WorldConfig};
 use malnet_core::pipeline::run_contained_batch;
 use malnet_core::{Pipeline, PipelineOpts};
+use malnet_telemetry::Telemetry;
+
+/// Worker counts both sweeps measure.
+const SWEEP_N: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let mut opts = parse_args();
@@ -40,17 +51,19 @@ fn main() {
         "{:>4} {:>14} {:>10} {:>16}",
         "N", "wall", "speedup", "samples/sec"
     );
+    let tel_off = Telemetry::disabled();
+    let mut stage_rows: Vec<(usize, u64)> = Vec::new();
     let mut baseline = None;
-    for n in [1usize, 2, 4, 8] {
+    for n in SWEEP_N {
         let popts = PipelineOpts {
             seed: opts.seed,
             parallelism: n,
             ..PipelineOpts::fast()
         };
         // One warm-up pass, then the timed pass.
-        let _ = run_contained_batch(&world, &popts, 0, &batch);
+        let _ = run_contained_batch(&world, &popts, 0, &batch, &tel_off);
         let t0 = Instant::now();
-        let outcomes = run_contained_batch(&world, &popts, 0, &batch);
+        let outcomes = run_contained_batch(&world, &popts, 0, &batch, &tel_off);
         let wall = t0.elapsed();
         assert_eq!(outcomes.len(), batch.len());
         let base = *baseline.get_or_insert(wall);
@@ -60,12 +73,15 @@ fn main() {
             base.as_secs_f64() / wall.as_secs_f64(),
             batch.len() as f64 / wall.as_secs_f64(),
         );
+        stage_rows.push((n, wall.as_micros() as u64));
     }
 
     println!("\n== end to end: Pipeline::run (contained stage + sequential merge) ==");
     println!("{:>4} {:>14} {:>10}", "N", "wall", "speedup");
+    let mut pipeline_rows: Vec<(usize, u64)> = Vec::new();
+    let mut last_report = None;
     let mut baseline = None;
-    for n in [1usize, 2, 4, 8] {
+    for n in SWEEP_N {
         let popts = PipelineOpts {
             seed: opts.seed,
             parallelism: n,
@@ -73,8 +89,12 @@ fn main() {
             run_probing: false,
             ..PipelineOpts::fast()
         };
+        // Telemetry on for every end-to-end run: the sweep doubles as a
+        // demonstration that instrumentation does not break scaling, and
+        // the last run's report lands in the JSON artifact.
+        let tel = Telemetry::enabled();
         let t0 = Instant::now();
-        let (data, _) = Pipeline::new(popts).run(&world);
+        let (data, _) = Pipeline::with_telemetry(popts, tel.clone()).run(&world);
         let wall = t0.elapsed();
         let base = *baseline.get_or_insert(wall);
         println!(
@@ -83,6 +103,57 @@ fn main() {
             base.as_secs_f64() / wall.as_secs_f64(),
             data.samples.len(),
         );
+        pipeline_rows.push((n, wall.as_micros() as u64));
+        last_report = Some(tel.report());
     }
-    println!("\n(outputs are byte-identical across N; see crates/core/tests/parallel_determinism.rs)");
+
+    let report = last_report.expect("at least one pipeline run");
+    if let Some(phase_a) = report.span("pipeline.phase_a") {
+        println!(
+            "\nphase A: {} total, {} self across {} day(s); merge: {}",
+            fmt_duration(std::time::Duration::from_micros(phase_a.total_us)),
+            fmt_duration(std::time::Duration::from_micros(phase_a.self_us)),
+            phase_a.calls,
+            report
+                .span("pipeline.merge")
+                .map(|m| fmt_duration(std::time::Duration::from_micros(m.total_us)))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+
+    let json = sweep_json(opts.samples, opts.seed, &stage_rows, &pipeline_rows, &report);
+    let path = std::path::Path::new("results/par_sweep.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {} ({} bytes)", path.display(), json.len()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+    println!("(outputs are byte-identical across N; see crates/core/tests/parallel_determinism.rs)");
+}
+
+/// Assemble the `malnet.par_sweep` v1 artifact (see EXPERIMENTS.md).
+fn sweep_json(
+    samples: usize,
+    seed: u64,
+    stage: &[(usize, u64)],
+    pipeline: &[(usize, u64)],
+    report: &malnet_telemetry::RunReport,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"malnet.par_sweep\",\"version\":1,");
+    let _ = write!(out, "\"samples\":{samples},\"seed\":{seed},");
+    for (key, rows) in [("stage_sweep", stage), ("pipeline_sweep", pipeline)] {
+        let _ = write!(out, "\"{key}\":[");
+        for (i, (n, wall_us)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"parallelism\":{n},\"wall_us\":{wall_us}}}");
+        }
+        out.push_str("],");
+    }
+    let _ = write!(out, "\"run_report\":{}}}", report.to_json());
+    out
 }

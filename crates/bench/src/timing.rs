@@ -133,6 +133,45 @@ impl Harness {
         });
     }
 
+    /// Serialize the measured rows as a `malnet.bench` v1 JSON document
+    /// (the `BENCH_*.json` artifact format; see EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"schema\":\"malnet.bench\",\"version\":1,\"rows\":[");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"best_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"iters\":{}}}",
+                r.name.replace('\\', "\\\\").replace('"', "\\\""),
+                r.best.as_nanos(),
+                r.median.as_nanos(),
+                r.mean.as_nanos(),
+                r.iters
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON artifact to `path`, creating parent directories.
+    /// No-op in smoke mode (nothing was measured).
+    pub fn write_json(&self, path: &str) {
+        if !self.measure {
+            return;
+        }
+        let path = std::path::Path::new(path);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+
     /// Print the final aligned table (no-op in smoke mode).
     pub fn report(&self) {
         if !self.measure {

@@ -19,10 +19,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use malnet_prng::sub_seed;
+use malnet_telemetry::Telemetry;
 
 use malnet_botgen::exploitdb;
 use malnet_botgen::world::World;
@@ -134,22 +136,36 @@ pub struct Pipeline {
     engines: EngineModel,
     data: Datasets,
     tracking: HashMap<String, TrackState>,
+    tel: Telemetry,
 }
 
 impl Pipeline {
-    /// Create a pipeline.
+    /// Create a pipeline with telemetry disabled.
     pub fn new(opts: PipelineOpts) -> Self {
+        Self::with_telemetry(opts, Telemetry::disabled())
+    }
+
+    /// Create a pipeline that records spans/counters into `tel`. The
+    /// instrumentation is observation-only — it never draws from any
+    /// RNG or reads the simulated clock — so the returned datasets are
+    /// byte-identical to an uninstrumented run (enforced by
+    /// `crates/core/tests/parallel_determinism.rs`). Snapshot the
+    /// results with [`Telemetry::report`] after [`Pipeline::run`].
+    pub fn with_telemetry(opts: PipelineOpts, tel: Telemetry) -> Self {
         Pipeline {
             vendors: VendorDb::new(opts.seed),
             engines: EngineModel::new(opts.seed),
             data: Datasets::default(),
             tracking: HashMap::new(),
             opts,
+            tel,
         }
     }
 
     /// Run the full study over a world and return the datasets.
     pub fn run(mut self, world: &World) -> (Datasets, VendorDb) {
+        let tel = self.tel.clone();
+        let _run_span = tel.span("pipeline.run");
         // A run must be a pure function of `(world, opts)`: the C2
         // responsiveness chains live in the world and would otherwise
         // carry state from a previous run over the same `World`.
@@ -159,15 +175,19 @@ impl Pipeline {
         days_with_samples.sort_unstable();
         let last_day = days_with_samples.last().copied().unwrap_or(0) + self.opts.track_max_days;
 
+        let samples_analyzed = tel.counter("pipeline.samples_analyzed");
         for day in 0..=last_day.min(STUDY_DAYS + self.opts.track_max_days) {
             let new_samples = world.samples_published_on(day);
             let has_tracking = !self.tracking.is_empty();
             if new_samples.is_empty() && !has_tracking {
                 continue;
             }
+            let day_span = tel.span("pipeline.day");
+            let day_start = std::time::Instant::now();
             // One world network per day: shared by liveness probes and
             // restricted sessions.
             let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
+            net.set_telemetry(&tel);
             self.daily_liveness_sweep(&mut net, day);
             // Select the day's batch up front (`samples_published_on`
             // returns ids in ascending order) so the contained stage can
@@ -177,30 +197,50 @@ impl Pipeline {
                 batch.truncate(max.saturating_sub(analyzed));
             }
             analyzed += batch.len();
-            let outcomes = run_contained_batch(world, &self.opts, day, &batch);
+            samples_analyzed.add(batch.len() as u64);
+            let outcomes = {
+                let _phase_a = tel.span("pipeline.phase_a");
+                run_contained_batch(world, &self.opts, day, &batch, &tel)
+            };
             for outcome in outcomes {
                 net = self.merge_outcome(world, net, day, outcome);
             }
+            drop(day_span);
+            tel.rollup(
+                "day",
+                &[
+                    ("day", u64::from(day)),
+                    ("new_samples", batch.len() as u64),
+                    ("tracked_c2s", self.tracking.len() as u64),
+                    ("c2s_known", self.data.c2s.len() as u64),
+                    ("wall_us", day_start.elapsed().as_micros() as u64),
+                ],
+            );
         }
 
         // Final feed re-query ("May 7th 2022").
-        let late = self.opts.late_query_day;
-        for rec in self.data.c2s.values_mut() {
-            let v = self.vendors.query(&rec.addr, late);
-            rec.vt_late = v.is_malicious();
-            rec.vt_late_vendors = v.count();
+        {
+            let _late_span = tel.span("pipeline.late_query");
+            let late = self.opts.late_query_day;
+            for rec in self.data.c2s.values_mut() {
+                let v = self.vendors.query(&rec.addr, late);
+                rec.vt_late = v.is_malicious();
+                rec.vt_late_vendors = v.count();
+            }
         }
 
         // D-PC2 probing study.
         if self.opts.run_probing {
             let weapons = probe_weapons(world);
             if !weapons.is_empty() {
+                let _probe_span = tel.span("pipeline.probing");
                 let cfg = ProbeConfig {
                     rounds: self.opts.probe_rounds,
                     hosts_per_subnet: self.opts.probe_hosts_per_subnet,
                     ..ProbeConfig::from_world(world)
                 };
-                self.data.probed = prober::run_probing(world, &weapons, &cfg, self.opts.seed);
+                self.data.probed =
+                    prober::run_probing(world, &weapons, &cfg, self.opts.seed, &tel);
             }
         }
 
@@ -212,6 +252,9 @@ impl Pipeline {
         if self.tracking.is_empty() {
             return;
         }
+        let _span = self.tel.span("pipeline.liveness_sweep");
+        self.tel
+            .add("pipeline.liveness_probes", self.tracking.len() as u64);
         net.add_external_host(MONITOR_IP);
         let mut socks: BTreeMap<u64, String> = BTreeMap::new();
         for (addr, t) in &self.tracking {
@@ -269,6 +312,8 @@ impl Pipeline {
         day: u32,
         outcome: ContainedOutcome,
     ) -> Network {
+        let tel = self.tel.clone();
+        let _merge_span = tel.span("pipeline.merge");
         let ContainedOutcome {
             sample_id,
             yara,
@@ -286,12 +331,14 @@ impl Pipeline {
         self.data.exploits.extend(exploits);
 
         let mut net = world_net;
+        let known_c2s_before = self.data.c2s.len();
         let mut live_c2_ips: Vec<(String, Ipv4Addr, u16, Option<Family>)> = Vec::new();
         let mut c2_addrs = Vec::new();
         for cand in &candidates {
             c2_addrs.push(cand.addr.clone());
             // Resolve DNS candidates against the real resolver.
             let real_ip = if cand.dns {
+                tel.add("pipeline.dns_resolutions", 1);
                 resolve_on(&mut net, &cand.addr)
             } else {
                 Some(cand.ip)
@@ -353,9 +400,16 @@ impl Pipeline {
                 }
             }
         }
+        tel.add(
+            "pipeline.c2_detected",
+            (self.data.c2s.len() - known_c2s_before) as u64,
+        );
+        tel.add("pipeline.c2_live_day0", live_c2_ips.len() as u64);
 
         // --- restricted DDoS-observation session (§2.5) ---
         if activated && !live_c2_ips.is_empty() {
+            let restricted_span = tel.span("pipeline.restricted_session");
+            tel.add("pipeline.restricted_sessions", 1);
             let allowed: Vec<Ipv4Addr> = live_c2_ips.iter().map(|(_, ip, _, _)| *ip).collect();
             let mut allowed_plus = allowed.clone();
             allowed_plus.push(malnet_botgen::world::WORLD_RESOLVER);
@@ -370,12 +424,16 @@ impl Pipeline {
                     instruction_budget: 2_000_000_000,
                     seed: sample_seed(self.opts.seed, day, sample_id, SeedStream::Restricted),
                 },
-            );
+            )
+            .with_telemetry(&tel);
             let session = sb.execute(elf, SimDuration::from_secs(self.opts.restricted_secs));
             net = sb.into_network();
+            drop(restricted_span);
+            let _eavesdrop_span = tel.span("pipeline.ddos_eavesdrop");
             let packets = session.packets();
             for (addr, ip, _port, fam) in &live_c2_ips {
                 let cmds = ddos::extract(&packets, BOT_IP, *ip, *fam, self.opts.pps_threshold);
+                tel.add("pipeline.ddos_commands_seen", cmds.len() as u64);
                 for c in cmds {
                     if !c.verified {
                         continue; // manual verification gate (§2.5)
@@ -405,6 +463,7 @@ impl Pipeline {
                             .target_protocol(fam.map(|f| f.tls_over_tcp()).unwrap_or(true)),
                         c2_known_to_feeds: known,
                     });
+                    tel.add("pipeline.ddos_commands_recorded", 1);
                 }
             }
         }
@@ -490,17 +549,20 @@ pub fn contained_activation(
     opts: &PipelineOpts,
     day: u32,
     sample_id: usize,
+    tel: &Telemetry,
 ) -> ContainedOutcome {
+    let _span = tel.span("pipeline.contained_sample");
     let sample = &world.samples[sample_id];
     let elf = &sample.elf;
     let yara = yara_label(elf).map(str::to_string);
     let avclass = avclass2_label(elf).map(str::to_string);
 
     // --- contained activation: C2 + exploit extraction ---
-    let contained_net = Network::new(
+    let mut contained_net = Network::new(
         SimTime::from_day(day, 0),
         sample_seed(opts.seed, day, sample_id, SeedStream::ContainedNet),
     );
+    contained_net.set_telemetry(tel);
     let mut sb = Sandbox::new(
         contained_net,
         SandboxConfig {
@@ -510,7 +572,8 @@ pub fn contained_activation(
             instruction_budget: 400_000_000,
             seed: sample_seed(opts.seed, day, sample_id, SeedStream::ContainedSandbox),
         },
-    );
+    )
+    .with_telemetry(tel);
     let art = sb.execute(elf, SimDuration::from_secs(opts.contained_secs));
     drop(sb);
     let activated = !matches!(art.exit, malnet_sandbox::ExitReason::Fault(_))
@@ -544,6 +607,12 @@ pub fn contained_activation(
         detect_c2(&art, BOT_IP)
     };
 
+    if activated {
+        tel.add("pipeline.samples_activated", 1);
+    }
+    tel.add("pipeline.c2_candidates", candidates.len() as u64);
+    tel.add("pipeline.exploits_classified", exploits.len() as u64);
+
     ContainedOutcome {
         sample_id,
         yara,
@@ -563,6 +632,10 @@ pub fn contained_activation(
 /// the returned order — and therefore everything the merge stage does —
 /// is independent of thread scheduling.
 ///
+/// A panic inside any sample's contained run is caught on the worker
+/// and re-raised here with the sample id and day attached — instead of
+/// the bare `Mutex` poison a crashing worker used to surface.
+///
 /// Public so the bench harness can time the contained stage in
 /// isolation (`malnet-bench`'s `par_sweep`); pipeline callers go
 /// through [`Pipeline::run`].
@@ -571,35 +644,62 @@ pub fn run_contained_batch(
     opts: &PipelineOpts,
     day: u32,
     batch: &[usize],
+    tel: &Telemetry,
 ) -> Vec<ContainedOutcome> {
+    let run_one = |id: usize| -> Result<ContainedOutcome, String> {
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            contained_activation(world, opts, day, id, tel)
+        }))
+        .map_err(|payload| panic_message(payload.as_ref()))
+    };
+    let unwrap_outcome = |res: Result<ContainedOutcome, String>, id: usize| match res {
+        Ok(out) => out,
+        Err(msg) => panic!(
+            "phase-A contained activation panicked on sample {id} (day {day}): {msg}"
+        ),
+    };
     let workers = opts.parallelism.max(1).min(batch.len());
     if workers <= 1 {
         return batch
             .iter()
-            .map(|&id| contained_activation(world, opts, day, id))
+            .map(|&id| unwrap_outcome(run_one(id), id))
             .collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<ContainedOutcome>>> =
+    let slots: Vec<Mutex<Option<Result<ContainedOutcome, String>>>> =
         batch.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&id) = batch.get(i) else { break };
-                let out = contained_activation(world, opts, day, id);
+                let out = run_one(id);
                 *slots[i].lock().unwrap() = Some(out);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every batch slot is filled by a worker")
+        .zip(batch)
+        .map(|(slot, &id)| {
+            let res = slot
+                .into_inner()
+                .expect("no worker panics while holding a slot lock")
+                .expect("every batch slot is filled by a worker");
+            unwrap_outcome(res, id)
         })
         .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn family_from_label(label: Option<&str>) -> Option<Family> {

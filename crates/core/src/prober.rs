@@ -19,6 +19,7 @@ use malnet_netsim::asdb::Prefix;
 use malnet_netsim::stack::SockEvent;
 use malnet_netsim::time::{SimDuration, SimTime};
 use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
+use malnet_telemetry::Telemetry;
 use malnet_wire::packet::Transport;
 
 use crate::datasets::ProbedC2;
@@ -63,14 +64,26 @@ impl ProbeConfig {
 
 /// Run the probing study. `weapons` are the malware binaries used for
 /// engagement probes (paper: one Mirai and one Gafgyt sample), tried in
-/// rotation.
-pub fn run_probing(world: &World, weapons: &[Vec<u8>], cfg: &ProbeConfig, seed: u64) -> Vec<ProbedC2> {
+/// rotation. Probe counts land in `tel` (`prober.probes_sent`,
+/// `prober.listeners_found`, `prober.engagements`); pass
+/// [`Telemetry::disabled`] to opt out.
+pub fn run_probing(
+    world: &World,
+    weapons: &[Vec<u8>],
+    cfg: &ProbeConfig,
+    seed: u64,
+    tel: &Telemetry,
+) -> Vec<ProbedC2> {
     assert!(!weapons.is_empty(), "need at least one weaponized sample");
+    let probes_sent = tel.counter("prober.probes_sent");
+    let listeners_found = tel.counter("prober.listeners_found");
+    let engagements = tel.counter("prober.engagements");
     // (ip, port) → probe outcomes.
     let mut results: BTreeMap<(Ipv4Addr, u16), Vec<(u32, bool)>> = BTreeMap::new();
     let mut banner_filtered: BTreeSet<(Ipv4Addr, u16)> = BTreeSet::new();
 
     for round in 0..cfg.rounds {
+        let _round_span = tel.span("prober.round");
         let day = cfg.start_day + round / cfg.rounds_per_day;
         let secs_into_day =
             u64::from(round % cfg.rounds_per_day) * 86_400 / u64::from(cfg.rounds_per_day);
@@ -92,6 +105,7 @@ pub fn run_probing(world: &World, weapons: &[Vec<u8>], cfg: &ProbeConfig, seed: 
                 }
             }
         }
+        probes_sent.add(socks.len() as u64);
         net.run_for(SimDuration::from_secs(8));
         let mut listeners: Vec<(Ipv4Addr, u16)> = Vec::new();
         let mut banners: BTreeMap<(Ipv4Addr, u16), Vec<u8>> = BTreeMap::new();
@@ -128,6 +142,7 @@ pub fn run_probing(world: &World, weapons: &[Vec<u8>], cfg: &ProbeConfig, seed: 
             }
             true
         });
+        listeners_found.add(listeners.len() as u64);
         net.remove_host(PROBER_IP);
 
         // --- step 3: weaponized engagement probes ---
@@ -152,6 +167,9 @@ pub fn run_probing(world: &World, weapons: &[Vec<u8>], cfg: &ProbeConfig, seed: 
                 p.src == ip
                     && matches!(&p.transport, Transport::Tcp { payload, .. } if !payload.is_empty())
             });
+            if engaged {
+                engagements.incr();
+            }
             results.entry((ip, port)).or_default().push((round, engaged));
         }
     }
@@ -203,7 +221,17 @@ mod tests {
             hosts_per_subnet: 40, // covers the planted C2s at hosts 10..88
             ..ProbeConfig::from_world(&world)
         };
-        let probed = run_probing(&world, &weapons, &cfg, 1);
+        let tel = Telemetry::enabled();
+        let probed = run_probing(&world, &weapons, &cfg, 1, &tel);
+        let report = tel.report();
+        assert!(
+            report.counter("prober.probes_sent").unwrap_or(0) > 0,
+            "probe counter should record the SYN sweep"
+        );
+        assert_eq!(
+            report.span("prober.round").map(|s| s.calls),
+            Some(u64::from(cfg.rounds))
+        );
         // The elusive C2s respond rarely but more than never: with 12
         // rounds across 7 servers we expect at least a couple found.
         assert!(!probed.is_empty(), "no C2 discovered by probing");

@@ -265,4 +265,73 @@ mod tests {
         assert_eq!(pct(1, 0), 0.0);
         assert!((pct(3, 4) - 75.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn cdf_single_element() {
+        let c = Cdf::new(vec![7]);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        // Every quantile of a singleton is the element itself.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(c.quantile(q), 7, "quantile({q})");
+        }
+        assert_eq!(c.at(6), 0.0);
+        assert!((c.at(7) - 1.0).abs() < 1e-9);
+        assert!((c.mean() - 7.0).abs() < 1e-9);
+        assert_eq!(c.max(), 7);
+    }
+
+    #[test]
+    fn cdf_all_duplicates() {
+        let c = Cdf::new(vec![3; 10]);
+        // A constant distribution: the CDF is a single step at the value,
+        // and every quantile collapses onto it.
+        assert_eq!(c.at(2), 0.0);
+        assert!((c.at(3) - 1.0).abs() < 1e-9);
+        assert_eq!(c.quantile(0.0), 3);
+        assert_eq!(c.quantile(0.5), 3);
+        assert_eq!(c.quantile(1.0), 3);
+        assert!((c.mean() - 3.0).abs() < 1e-9);
+        // The rendering dedups: one step line, not ten.
+        let render = c.render("const");
+        assert_eq!(render.matches("x <=").count(), 1);
+    }
+
+    #[test]
+    fn cdf_quantile_clamps_out_of_range() {
+        let c = Cdf::new(vec![1, 2, 3]);
+        assert_eq!(c.quantile(-0.5), 1);
+        assert_eq!(c.quantile(1.5), 3);
+    }
+
+    #[test]
+    fn cdf_unsorted_input_is_sorted() {
+        let c = Cdf::new(vec![9, 1, 5]);
+        assert_eq!(c.quantile(0.0), 1);
+        assert_eq!(c.quantile(0.5), 5);
+        assert_eq!(c.quantile(1.0), 9);
+    }
+
+    #[test]
+    fn counter_empty_rollups() {
+        let c: Counter<&str> = Counter::new();
+        assert_eq!(c.total(), 0);
+        assert!(c.sorted().is_empty());
+        assert!(c.entries().is_empty());
+        // render_bars on an empty counter must not divide by zero.
+        let bars = c.render_bars("empty");
+        assert!(bars.starts_with("empty"));
+    }
+
+    #[test]
+    fn heatmap_empty_and_single_cell() {
+        let h = Heatmap::new();
+        assert!(h.row_totals().is_empty());
+        assert_eq!(h.render("empty", 4, 10), "empty\n");
+        let mut h = Heatmap::new();
+        h.add("AS9", 2);
+        let totals = h.row_totals();
+        assert_eq!(totals, vec![("AS9".to_string(), 1)]);
+        assert!(h.render("one", 4, 10).contains("total=1"));
+    }
 }

@@ -6,9 +6,16 @@
 //! pipeline at parallelism 1 (the legacy sequential path), 2, and 8,
 //! across several master seeds, and require the canonical serializations
 //! of both the datasets and the vendor-feed state to be byte-identical.
+//!
+//! Telemetry rides the same differential: an instrumented run
+//! (`Pipeline::with_telemetry`) must produce the same bytes as an
+//! uninstrumented one at every parallelism level, and the telemetry
+//! *counters* themselves — being commutative atomic adds driven only by
+//! simulation events — must agree across parallelism levels too.
 
 use malnet_botgen::world::{World, WorldConfig};
 use malnet_core::pipeline::{Pipeline, PipelineOpts};
+use malnet_telemetry::Telemetry;
 
 /// A world small enough to run three times per seed in a test, with
 /// enough samples per day that the parallel batches are non-trivial.
@@ -20,15 +27,24 @@ fn test_world(seed: u64) -> World {
     })
 }
 
-fn run_dumps(world: &World, seed: u64, parallelism: usize) -> (String, String) {
+fn run_dumps_with(
+    world: &World,
+    seed: u64,
+    parallelism: usize,
+    tel: Telemetry,
+) -> (String, String) {
     let opts = PipelineOpts {
         seed,
         parallelism,
         max_samples: Some(30),
         ..PipelineOpts::fast()
     };
-    let (data, vendors) = Pipeline::new(opts).run(world);
+    let (data, vendors) = Pipeline::with_telemetry(opts, tel).run(world);
     (data.canonical_dump(), vendors.canonical_dump())
+}
+
+fn run_dumps(world: &World, seed: u64, parallelism: usize) -> (String, String) {
+    run_dumps_with(world, seed, parallelism, Telemetry::disabled())
 }
 
 /// The core differential: for each master seed, parallelism ∈ {1, 2, 8}
@@ -74,4 +90,66 @@ fn oversubscribed_parallelism_is_safe() {
     let base = run_dumps(&world, 90, 1);
     let over = run_dumps(&world, 90, 64);
     assert_eq!(base, over);
+}
+
+/// Telemetry is provably inert: with instrumentation enabled, every
+/// parallelism level in {1, 2, 8, 64} produces the same bytes as the
+/// uninstrumented parallelism-1 baseline. This is the ISSUE's
+/// acceptance differential — telemetry reads only the host monotonic
+/// clock and atomic state of its own, never the sim clock or RNG, so
+/// turning it on cannot perturb a single output byte.
+#[test]
+fn telemetry_is_inert_across_parallelism() {
+    let seed = 4242;
+    let world = test_world(seed);
+    let baseline = run_dumps_with(&world, seed, 1, Telemetry::disabled());
+    for par in [1usize, 2, 8, 64] {
+        let instrumented = run_dumps_with(&world, seed, par, Telemetry::enabled());
+        assert_eq!(
+            baseline, instrumented,
+            "telemetry perturbed output at parallelism={par}"
+        );
+    }
+}
+
+/// The telemetry counters themselves are schedule-independent: every
+/// counter driven by simulation events (samples activated, C2s
+/// detected, packets delivered, instructions retired, ...) totals the
+/// same at parallelism 1 and 8. Only wall-clock span durations may
+/// differ between runs.
+#[test]
+fn telemetry_counters_are_parallelism_invariant() {
+    let seed = 77;
+    let world = test_world(seed);
+    let mut reports = Vec::new();
+    for par in [1usize, 8] {
+        let tel = Telemetry::enabled();
+        run_dumps_with(&world, seed, par, tel.clone());
+        reports.push(tel.report());
+    }
+    let (seq, par) = (&reports[0], &reports[1]);
+    assert!(!seq.counters.is_empty(), "instrumented run recorded nothing");
+    assert_eq!(
+        seq.counters, par.counters,
+        "counter totals diverged between parallelism 1 and 8"
+    );
+    // Histogram *contents* (bucket populations, not timings) must agree too.
+    assert_eq!(seq.histograms.len(), par.histograms.len());
+    for (a, b) in seq.histograms.iter().zip(&par.histograms) {
+        assert_eq!(a, b, "histogram {} diverged across parallelism", a.name);
+    }
+    // Per-day rollups are emitted by the sequential coordinator and carry
+    // a wall-time field; compare everything but that.
+    assert_eq!(seq.rollups.len(), par.rollups.len());
+    let strip = |fields: &[(String, u64)]| {
+        fields
+            .iter()
+            .filter(|(k, _)| k != "wall_us")
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    for ((ak, af), (bk, bf)) in seq.rollups.iter().zip(&par.rollups) {
+        assert_eq!(ak, bk);
+        assert_eq!(strip(af), strip(bf), "rollup {ak} diverged");
+    }
 }

@@ -140,17 +140,21 @@ proptest! {
             ..PipelineOpts::fast()
         };
         let batch: Vec<usize> = (0..world.samples.len()).collect();
-        // Canonical order.
+        // Canonical order, telemetry off.
+        let off = malnet_telemetry::Telemetry::disabled();
         let canonical: Vec<_> = batch
             .iter()
-            .map(|&id| contained_activation(world, &opts, day, id))
+            .map(|&id| contained_activation(world, &opts, day, id, &off))
             .collect();
-        // A deterministic pseudo-random permutation of the same batch.
+        // A deterministic pseudo-random permutation of the same batch,
+        // with telemetry *on*: neither the schedule nor the
+        // instrumentation may change a single outcome byte.
+        let on = malnet_telemetry::Telemetry::enabled();
         let mut permuted_ids = batch.clone();
         let mut rng = malnet_prng::StdRng::seed_from_u64(perm_seed);
         malnet_prng::seq::SliceRandom::shuffle(&mut permuted_ids[..], &mut rng);
         for &id in &permuted_ids {
-            let out = contained_activation(world, &opts, day, id);
+            let out = contained_activation(world, &opts, day, id, &on);
             prop_assert_eq!(&out, &canonical[id], "sample {} diverged", id);
         }
     }

@@ -1,0 +1,131 @@
+//! Integration coverage for the instrumented pipeline.
+//!
+//! Runs the `fast()` study with telemetry enabled and checks the run
+//! report names every stage the pipeline claims to instrument, that the
+//! JSON serialization round-trips through `malnet_telemetry::json`, and
+//! that a worker panic in the phase-A fan-out surfaces the sample id
+//! and day instead of a bare mutex poison.
+
+use malnet_botgen::world::{World, WorldConfig};
+use malnet_core::pipeline::{run_contained_batch, Pipeline, PipelineOpts};
+use malnet_telemetry::{json, Telemetry};
+
+fn test_world(seed: u64, n_samples: usize) -> World {
+    World::generate(WorldConfig {
+        seed,
+        n_samples,
+        ..WorldConfig::default()
+    })
+}
+
+/// Every stage span and counter the full study must populate. Mirrors
+/// the CI gate in `malnet-bench`'s `run_report` binary.
+#[test]
+fn run_report_covers_every_stage() {
+    let world = test_world(11, 48);
+    let tel = Telemetry::enabled();
+    let opts = PipelineOpts {
+        seed: 11,
+        parallelism: 2,
+        max_samples: Some(48),
+        ..PipelineOpts::fast()
+    };
+    Pipeline::with_telemetry(opts, tel.clone()).run(&world);
+    let report = tel.report();
+
+    for span in [
+        "pipeline.run",
+        "pipeline.day",
+        "pipeline.phase_a",
+        "pipeline.contained_sample",
+        "pipeline.merge",
+        "pipeline.restricted_session",
+        "pipeline.ddos_eavesdrop",
+        "pipeline.liveness_sweep",
+        "pipeline.probing",
+        "pipeline.late_query",
+        "prober.round",
+        "sandbox.exec",
+    ] {
+        let s = report.span(span).unwrap_or_else(|| panic!("missing span {span:?}"));
+        assert!(s.calls > 0, "span {span:?} never entered");
+        assert!(s.self_us <= s.total_us, "span {span:?} self > total");
+    }
+    for counter in [
+        "pipeline.samples_analyzed",
+        "pipeline.samples_activated",
+        "pipeline.c2_candidates",
+        "prober.probes_sent",
+        "sandbox.instructions_retired",
+        "sandbox.syscalls_serviced",
+        "netsim.packets_delivered",
+        "netsim.dns_queries",
+        "wire.pcap_bytes_encoded",
+        "wire.pcap_records_encoded",
+    ] {
+        let v = report
+            .counter(counter)
+            .unwrap_or_else(|| panic!("missing counter {counter:?}"));
+        assert!(v > 0, "counter {counter:?} is zero");
+    }
+    let hist = report
+        .histogram("sandbox.instructions_per_run")
+        .expect("instructions histogram");
+    assert_eq!(
+        hist.count,
+        report.counter("sandbox.runs").unwrap(),
+        "one histogram observation per sandbox run"
+    );
+    assert!(!report.rollups.is_empty(), "no per-day rollups");
+
+    // The serialized report is valid, versioned JSON.
+    let v = json::parse(&report.to_json()).expect("report JSON parses");
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some("malnet.run_report")
+    );
+    assert_eq!(v.get("version").and_then(|n| n.as_u64()), Some(1));
+}
+
+/// A panicking contained run must name the failing sample and day, not
+/// die as a `PoisonError` on the result slot mutex.
+#[test]
+fn phase_a_panic_names_sample_and_day() {
+    let world = test_world(5, 8);
+    let opts = PipelineOpts {
+        seed: 5,
+        parallelism: 4,
+        ..PipelineOpts::fast()
+    };
+    // An out-of-range sample id makes exactly one worker's run panic.
+    let batch = vec![0usize, 1, 9999, 2];
+    let tel = Telemetry::disabled();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_contained_batch(&world, &opts, 3, &batch, &tel)
+    }))
+    .expect_err("batch with bad sample id must panic");
+    let msg = caught
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a string");
+    assert!(
+        msg.contains("sample 9999") && msg.contains("day 3"),
+        "panic message lacks sample/day context: {msg}"
+    );
+
+    // The sequential path (parallelism 1) reports identically.
+    let opts_seq = PipelineOpts {
+        parallelism: 1,
+        ..opts
+    };
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_contained_batch(&world, &opts_seq, 3, &batch, &tel)
+    }))
+    .expect_err("sequential batch with bad sample id must panic");
+    let msg = caught
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("sample 9999") && msg.contains("day 3"), "{msg}");
+}

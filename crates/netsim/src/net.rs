@@ -221,6 +221,29 @@ pub struct Network {
     /// are dropped at transmission time. Used by the sandbox's containment
     /// (Snort-like IDS / restricted mode). Filters see (now, packet).
     filter: Option<EgressFilter>,
+    /// Pre-resolved telemetry counters (inert by default).
+    tel: NetTelemetry,
+}
+
+/// The network's pre-resolved telemetry counters. Disabled handles are
+/// `None` inside, so the per-packet cost without telemetry is one branch.
+#[derive(Debug, Clone, Default)]
+struct NetTelemetry {
+    delivered: malnet_telemetry::Counter,
+    dropped: malnet_telemetry::Counter,
+    dns_queries: malnet_telemetry::Counter,
+    delivered_bytes: malnet_telemetry::Histogram,
+}
+
+impl NetTelemetry {
+    fn resolve(tel: &malnet_telemetry::Telemetry) -> Self {
+        NetTelemetry {
+            delivered: tel.counter("netsim.packets_delivered"),
+            dropped: tel.counter("netsim.packets_dropped"),
+            dns_queries: tel.counter("netsim.dns_queries"),
+            delivered_bytes: tel.histogram("netsim.delivered_payload_bytes"),
+        }
+    }
 }
 
 /// An egress filter: `(now, packet) -> deliver?`. `Send` so a contained
@@ -246,7 +269,17 @@ impl Network {
             rng: StdRng::seed_from_u64(seed ^ 0x6d61_6c6e_6574),
             stats: NetStats::default(),
             filter: None,
+            tel: NetTelemetry::default(),
         }
+    }
+
+    /// Attach a telemetry handle: packet delivery, drops and DNS queries
+    /// are counted into it from now on. Telemetry is observation-only —
+    /// it never reads the simulated clock or the network RNG, so
+    /// attaching it cannot perturb any simulation outcome (the
+    /// differential determinism suite enforces this).
+    pub fn set_telemetry(&mut self, tel: &malnet_telemetry::Telemetry) {
+        self.tel = NetTelemetry::resolve(tel);
     }
 
     /// Current virtual time.
@@ -398,6 +431,7 @@ impl Network {
         // Fault injection.
         if self.faults.loss > 0.0 && self.rng.gen_bool(self.faults.loss) {
             self.stats.lost += 1;
+            self.tel.dropped.incr();
             return;
         }
         let mut pkt = pkt;
@@ -594,9 +628,19 @@ impl Network {
                 let up = self.host_up(dst);
                 if !up {
                     self.stats.blackholed += 1;
+                    self.tel.dropped.incr();
                     return;
                 }
                 self.stats.delivered += 1;
+                self.tel.delivered.incr();
+                self.tel
+                    .delivered_bytes
+                    .record(pkt.transport.payload().len() as u64);
+                if matches!(&pkt.transport,
+                    malnet_wire::packet::Transport::Udp { header, .. } if header.dst_port == 53)
+                {
+                    self.tel.dns_queries.incr();
+                }
                 let now = self.now;
                 self.record(dst, now, &pkt);
                 let host = self.hosts.get_mut(&dst).expect("host_up checked");

@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 
 use malnet_netsim::net::Network;
 use malnet_netsim::time::SimDuration;
+use malnet_telemetry::Telemetry;
 use malnet_wire::packet::Packet;
 use malnet_wire::pcap;
 
@@ -127,6 +128,32 @@ pub struct Sandbox {
     engaged_ports: HashSet<u16>,
     /// Destinations the sandbox spawned fake hosts for.
     spawned: HashSet<Ipv4Addr>,
+    /// Telemetry handle (inert by default); see [`Sandbox::with_telemetry`].
+    tel: Telemetry,
+    /// Pre-resolved counters for the execute path.
+    tel_handles: SandboxTelemetry,
+}
+
+/// Pre-resolved sandbox metric handles.
+#[derive(Debug, Clone, Default)]
+struct SandboxTelemetry {
+    runs: malnet_telemetry::Counter,
+    instructions: malnet_telemetry::Counter,
+    syscalls: malnet_telemetry::Counter,
+    exploits: malnet_telemetry::Counter,
+    instructions_per_run: malnet_telemetry::Histogram,
+}
+
+impl SandboxTelemetry {
+    fn resolve(tel: &Telemetry) -> Self {
+        SandboxTelemetry {
+            runs: tel.counter("sandbox.runs"),
+            instructions: tel.counter("sandbox.instructions_retired"),
+            syscalls: tel.counter("sandbox.syscalls_serviced"),
+            exploits: tel.counter("sandbox.exploits_captured"),
+            instructions_per_run: tel.histogram("sandbox.instructions_per_run"),
+        }
+    }
 }
 
 // Compile-time guarantee: a whole sandbox (network included) can run on
@@ -161,9 +188,23 @@ impl Sandbox {
             port_contacts: HashMap::new(),
             engaged_ports: HashSet::new(),
             spawned: HashSet::new(),
+            tel: Telemetry::disabled(),
+            tel_handles: SandboxTelemetry::default(),
         };
         sb.install_egress_filter();
         sb
+    }
+
+    /// Attach a telemetry handle: `sandbox.exec` spans, instruction /
+    /// syscall / exploit counters, and the wrapped network's packet
+    /// counters all record into it. Telemetry never feeds back into the
+    /// run (no RNG draws, no virtual-clock reads), so an instrumented
+    /// sandbox produces byte-identical artifacts.
+    pub fn with_telemetry(mut self, tel: &Telemetry) -> Self {
+        self.tel = tel.clone();
+        self.tel_handles = SandboxTelemetry::resolve(tel);
+        self.net.set_telemetry(tel);
+        self
     }
 
     /// The sandbox configuration.
@@ -264,6 +305,7 @@ impl Sandbox {
     /// artifacts. The network clock keeps its pre-run origin, so repeated
     /// runs on one network advance through the study day.
     pub fn execute(&mut self, elf_bytes: &[u8], duration: SimDuration) -> Artifacts {
+        let _span = self.tel.span("sandbox.exec");
         let deadline = self.net.now() + duration;
         let pcfg = ProcessConfig {
             bot_ip: self.cfg.bot_ip,
@@ -287,13 +329,14 @@ impl Sandbox {
         self.net.start_capture(self.cfg.bot_ip);
         let mut pcap_bytes = Vec::new();
         {
-            let mut w = pcap::PcapWriter::new(&mut pcap_bytes).expect("vec write");
+            let mut w =
+                pcap::PcapWriter::with_telemetry(&mut pcap_bytes, &self.tel).expect("vec write");
             for (ts, pkt) in &cap {
                 w.write(*ts, pkt).expect("vec write");
             }
             let _ = w.finish().expect("flush");
         }
-        let exploits = self
+        let exploits: Vec<CapturedExploit> = self
             .victim_log
             .lock()
             .unwrap()
@@ -307,6 +350,11 @@ impl Sandbox {
             .collect();
         self.victim_log.lock().unwrap().clear();
         let dns_queries = std::mem::take(&mut *self.dns_names.lock().unwrap());
+        self.tel_handles.runs.incr();
+        self.tel_handles.instructions.add(instructions);
+        self.tel_handles.syscalls.add(syscalls);
+        self.tel_handles.instructions_per_run.record(instructions);
+        self.tel_handles.exploits.add(exploits.len() as u64);
         Artifacts {
             exit,
             pcap: pcap_bytes,

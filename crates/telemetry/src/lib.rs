@@ -1,0 +1,577 @@
+//! # malnet-telemetry — deterministic-safe tracing and metrics
+//!
+//! A lightweight, dependency-free observability layer for the MalNet
+//! pipeline: span guards with monotonic wall-clock timing, atomic
+//! counters, log2-bucketed histograms, ordered rollup rows, and a
+//! versioned JSON [`RunReport`] snapshot.
+//!
+//! ## Design constraints
+//!
+//! The pipeline's core guarantee is byte-identical output across
+//! parallelism levels (DESIGN.md §8), so instrumentation must be
+//! **provably inert**:
+//!
+//! * Telemetry never touches the simulation — no RNG draws, no
+//!   `SimTime` reads, no feedback into any instrumented component. The
+//!   only clock it reads is [`std::time::Instant`], and only for span
+//!   durations, which land exclusively in the report.
+//! * All mutation is commutative (atomic adds / min / max), so counter
+//!   and histogram totals are identical regardless of thread
+//!   scheduling; only wall-times vary run to run.
+//! * A [`Telemetry::disabled`] handle carries no registry at all: every
+//!   hot-path operation compiles down to a branch on an `Option`
+//!   discriminant (see the `telemetry/*` rows in
+//!   `crates/bench/benches/components.rs` for the measured cost).
+//!
+//! ## Usage
+//!
+//! ```
+//! use malnet_telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! {
+//!     let _span = tel.span("pipeline.day");
+//!     tel.counter("pipeline.samples_analyzed").add(3);
+//!     tel.histogram("sandbox.instructions_per_run").record(1 << 20);
+//! }
+//! let report = tel.report();
+//! assert_eq!(report.counter("pipeline.samples_analyzed"), Some(3));
+//! let json = report.to_json();
+//! assert!(json.contains("\"pipeline.day\""));
+//! ```
+//!
+//! Handles ([`Counter`], [`Histogram`]) are pre-resolved `Arc`s:
+//! resolve once at construction, then `add`/`record` lock-free on the
+//! hot path. The string-keyed conveniences on [`Telemetry`] lock a
+//! registry map and are meant for cold paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub use report::{HistogramReport, RunReport, SpanReport};
+
+/// Number of log2 histogram buckets: bucket 0 holds the value 0, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A handle to the telemetry system: either a shared registry or the
+/// inert disabled state. Cheap to clone, `Send + Sync`, safe to share
+/// across worker threads.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Telemetry {
+    /// A live telemetry handle with a fresh registry.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// The inert handle: no registry, every operation is a no-op branch.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Is this handle recording?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve (or create) a counter handle by name. Resolve once and
+    /// reuse the handle on hot paths.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|r| r.counter_cell(name)))
+    }
+
+    /// Resolve (or create) a histogram handle by name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|r| r.histogram_cell(name)))
+    }
+
+    /// Enter a named span. The returned guard records wall time into the
+    /// span's total on drop; time spent in nested spans on the *same
+    /// thread* is attributed to the children and subtracted from this
+    /// span's self-time. Spans opened on worker threads start their own
+    /// attribution stack, so a fan-out stage's per-item spans are
+    /// siblings of (not children of) the coordinating span — their
+    /// summed total can exceed the coordinator's wall time on purpose
+    /// (it is aggregate CPU, not wall).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let active = self.inner.as_ref().map(|r| {
+            let stat = r.span_cell(name);
+            SPAN_STACK.with(|s| s.borrow_mut().push(stat.clone()));
+            ActiveSpan {
+                stat,
+                start: Instant::now(),
+            }
+        });
+        SpanGuard { active }
+    }
+
+    /// One-shot counter add by name (cold paths; locks the registry).
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(r) = &self.inner {
+            r.counter_cell(name).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// One-shot histogram record by name (cold paths).
+    pub fn record(&self, name: &str, value: u64) {
+        if let Some(r) = &self.inner {
+            r.histogram_cell(name).record(value);
+        }
+    }
+
+    /// Append an ordered rollup row (e.g. one per study day): a key
+    /// plus labelled integer fields, reported verbatim in arrival order.
+    pub fn rollup(&self, key: &str, fields: &[(&str, u64)]) {
+        if let Some(r) = &self.inner {
+            r.rollups.lock().unwrap().push(RollupRow {
+                key: key.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), *v))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Snapshot everything recorded so far into a [`RunReport`]. A
+    /// disabled handle yields an empty (but valid, versioned) report.
+    pub fn report(&self) -> RunReport {
+        match &self.inner {
+            Some(r) => r.snapshot(),
+            None => RunReport::default(),
+        }
+    }
+}
+
+/// A pre-resolved counter handle. The disabled variant is a `None` and
+/// `add` is a single conditional branch.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared histogram state: log2 buckets plus count/sum/min/max, all
+/// atomic so recording is lock-free and commutative.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    fn record(&self, value: u64) {
+        let idx = bucket_index(value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// The log2 bucket a value lands in: 0 for 0, else `ilog2(v) + 1`.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the summary's representative
+/// value for percentile estimation).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A pre-resolved histogram handle.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.record(value);
+        }
+    }
+
+    /// Observations recorded so far (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanStat {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    child_ns: AtomicU64,
+}
+
+thread_local! {
+    /// Per-thread stack of active spans, used to attribute child time to
+    /// the enclosing span for self-time computation. Shared across
+    /// `Telemetry` instances on a thread; in practice one registry is
+    /// live per pipeline run.
+    static SPAN_STACK: RefCell<Vec<Arc<SpanStat>>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    stat: Arc<SpanStat>,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Telemetry::span`]; records elapsed wall time
+/// on drop. Guards must drop in LIFO order per thread (the natural
+/// scoping); an out-of-order drop only misattributes self-time, it
+/// cannot corrupt totals.
+#[must_use = "a span guard records time when dropped; binding it to _ ends the span immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed = active.start.elapsed().as_nanos() as u64;
+        active.stat.calls.fetch_add(1, Ordering::Relaxed);
+        active.stat.total_ns.fetch_add(elapsed, Ordering::Relaxed);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own entry (top of stack in well-scoped use).
+            if let Some(pos) = stack.iter().rposition(|e| Arc::ptr_eq(e, &active.stat)) {
+                stack.remove(pos);
+            }
+            if let Some(parent) = stack.last() {
+                parent.child_ns.fetch_add(elapsed, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RollupRow {
+    key: String,
+    fields: Vec<(String, u64)>,
+}
+
+/// The thread-safe metric registry behind an enabled [`Telemetry`].
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    spans: Mutex<BTreeMap<String, Arc<SpanStat>>>,
+    rollups: Mutex<Vec<RollupRow>>,
+}
+
+impl Registry {
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().unwrap();
+        match map.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Arc::new(AtomicU64::new(0));
+                map.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    fn histogram_cell(&self, name: &str) -> Arc<HistogramCore> {
+        let mut map = self.histograms.lock().unwrap();
+        match map.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Arc::new(HistogramCore::default());
+                map.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    fn span_cell(&self, name: &str) -> Arc<SpanStat> {
+        let mut map = self.spans.lock().unwrap();
+        match map.get(name) {
+            Some(s) => s.clone(),
+            None => {
+                let s = Arc::new(SpanStat::default());
+                map.insert(name.to_string(), s.clone());
+                s
+            }
+        }
+    }
+
+    fn snapshot(&self) -> RunReport {
+        let mut report = RunReport::default();
+        for (name, stat) in self.spans.lock().unwrap().iter() {
+            let total_ns = stat.total_ns.load(Ordering::Relaxed);
+            let child_ns = stat.child_ns.load(Ordering::Relaxed);
+            report.spans.push(SpanReport {
+                name: name.clone(),
+                calls: stat.calls.load(Ordering::Relaxed),
+                total_us: total_ns / 1_000,
+                self_us: total_ns.saturating_sub(child_ns) / 1_000,
+            });
+        }
+        for (name, c) in self.counters.lock().unwrap().iter() {
+            report.counters.push((name.clone(), c.load(Ordering::Relaxed)));
+        }
+        for (name, h) in self.histograms.lock().unwrap().iter() {
+            let count = h.count.load(Ordering::Relaxed);
+            let buckets: Vec<(u64, u64)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_upper_bound(i), n))
+                })
+                .collect();
+            report.histograms.push(HistogramReport {
+                name: name.clone(),
+                count,
+                sum: h.sum.load(Ordering::Relaxed),
+                min: if count == 0 {
+                    0
+                } else {
+                    h.min.load(Ordering::Relaxed)
+                },
+                max: h.max.load(Ordering::Relaxed),
+                p50: percentile_from_buckets(&buckets, count, 0.50),
+                p90: percentile_from_buckets(&buckets, count, 0.90),
+                p99: percentile_from_buckets(&buckets, count, 0.99),
+                buckets,
+            });
+        }
+        for row in self.rollups.lock().unwrap().iter() {
+            report
+                .rollups
+                .push((row.key.clone(), row.fields.clone()));
+        }
+        report
+    }
+}
+
+/// Estimate the q-quantile from `(upper_bound, count)` bucket pairs:
+/// the upper bound of the first bucket whose cumulative count reaches
+/// `q * total` (0 for empty input).
+fn percentile_from_buckets(buckets: &[(u64, u64)], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for &(le, n) in buckets {
+        cum += n;
+        if cum >= rank {
+            return le;
+        }
+    }
+    buckets.last().map_or(0, |&(le, _)| le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert_and_free_of_state() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        let c = tel.counter("x");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = tel.histogram("y");
+        h.record(9);
+        assert_eq!(h.count(), 0);
+        {
+            let _g = tel.span("z");
+        }
+        tel.rollup("day", &[("day", 1)]);
+        let rep = tel.report();
+        assert!(rep.spans.is_empty());
+        assert!(rep.counters.is_empty());
+        assert!(rep.histograms.is_empty());
+        assert!(rep.rollups.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_across_handles_and_threads() {
+        let tel = Telemetry::enabled();
+        let c = tel.counter("pkts");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        // A second resolve of the same name sees the same cell.
+        assert_eq!(tel.counter("pkts").get(), 4000);
+        tel.add("pkts", 2);
+        assert_eq!(tel.report().counter("pkts"), Some(4002));
+    }
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let tel = Telemetry::enabled();
+        let h = tel.histogram("lat");
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let rep = tel.report();
+        let hr = rep.histogram("lat").expect("present");
+        assert_eq!(hr.count, 6);
+        assert_eq!(hr.sum, 1106);
+        assert_eq!(hr.min, 0);
+        assert_eq!(hr.max, 1000);
+        assert_eq!(hr.p50, 3); // 3rd of 6 observations lands in [2,3]
+        assert_eq!(hr.p99, 1023);
+        let total: u64 = hr.buckets.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn span_self_time_excludes_children() {
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = tel.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(8));
+            }
+        }
+        let rep = tel.report();
+        let outer = rep.span("outer").expect("outer recorded");
+        let inner = rep.span("inner").expect("inner recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(inner.total_us >= 8_000);
+        assert!(outer.total_us >= inner.total_us);
+        // Outer self-time excludes the inner sleep.
+        assert!(outer.self_us < outer.total_us);
+        assert!(outer.self_us <= outer.total_us - inner.total_us + 1_000);
+    }
+
+    #[test]
+    fn spans_on_worker_threads_do_not_nest_under_coordinator() {
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("coord");
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let tel = tel.clone();
+                    s.spawn(move || {
+                        let _w = tel.span("worker");
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    });
+                }
+            });
+        }
+        let rep = tel.report();
+        assert_eq!(rep.span("worker").unwrap().calls, 2);
+        // Worker time is NOT subtracted from the coordinator: workers
+        // have their own per-thread stacks.
+        let coord = rep.span("coord").unwrap();
+        assert_eq!(coord.self_us, coord.total_us);
+    }
+
+    #[test]
+    fn rollups_preserve_order_and_fields() {
+        let tel = Telemetry::enabled();
+        tel.rollup("day", &[("day", 0), ("samples", 3)]);
+        tel.rollup("day", &[("day", 5), ("samples", 1)]);
+        let rep = tel.report();
+        assert_eq!(rep.rollups.len(), 2);
+        assert_eq!(rep.rollups[0].0, "day");
+        assert_eq!(rep.rollups[0].1[0], ("day".to_string(), 0));
+        assert_eq!(rep.rollups[1].1[1], ("samples".to_string(), 1));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile_from_buckets(&[], 0, 0.5), 0);
+        assert_eq!(percentile_from_buckets(&[(7, 1)], 1, 0.0), 7);
+        assert_eq!(percentile_from_buckets(&[(7, 1)], 1, 1.0), 7);
+        let b = [(1, 50), (1023, 50)];
+        assert_eq!(percentile_from_buckets(&b, 100, 0.5), 1);
+        assert_eq!(percentile_from_buckets(&b, 100, 0.51), 1023);
+    }
+}

@@ -1,0 +1,267 @@
+//! The versioned, machine-readable run report.
+//!
+//! A [`RunReport`] is a plain-data snapshot of a telemetry registry:
+//! span wall-times (total and self), counter values, histogram
+//! summaries, and ordered rollup rows. [`RunReport::to_json`] renders
+//! the stable on-disk schema (`malnet.run_report` v1) that `par_sweep`
+//! and CI write under `results/`; EXPERIMENTS.md documents the format.
+
+use std::fmt::Write as _;
+
+/// Wall-time summary of one named span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanReport {
+    /// Span name, e.g. `pipeline.phase_a`.
+    pub name: String,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total wall microseconds across all calls.
+    pub total_us: u64,
+    /// Total minus time attributed to same-thread child spans.
+    pub self_us: u64,
+}
+
+/// Summary of one log2-bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// Histogram name, e.g. `sandbox.instructions_per_run`.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Median, estimated at bucket granularity (upper bound).
+    pub p50: u64,
+    /// 90th percentile estimate.
+    pub p90: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// Non-empty `(inclusive upper bound, count)` buckets, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// The schema identifier embedded in every report.
+pub const SCHEMA: &str = "malnet.run_report";
+/// The current schema version.
+pub const VERSION: u32 = 1;
+
+/// A complete telemetry snapshot. `Default` is the valid empty report a
+/// disabled handle produces.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Spans in name order.
+    pub spans: Vec<SpanReport>,
+    /// `(name, value)` counters in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram summaries in name order.
+    pub histograms: Vec<HistogramReport>,
+    /// `(key, fields)` rollup rows in arrival order.
+    pub rollups: Vec<(String, Vec<(String, u64)>)>,
+}
+
+impl RunReport {
+    /// Look up a span by name.
+    pub fn span(&self, name: &str) -> Option<&SpanReport> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serialize to the versioned JSON schema (see EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push('{');
+        let _ = write!(out, "{}:{},", json_str("schema"), json_str(SCHEMA));
+        let _ = write!(out, "{}:{},", json_str("version"), VERSION);
+
+        out.push_str("\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"calls\":{},\"total_us\":{},\"self_us\":{}}}",
+                json_str(&s.name),
+                s.calls,
+                s.total_us,
+                s.self_us
+            );
+        }
+        out.push_str("],");
+
+        out.push_str("\"counters\":[");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":{},\"value\":{}}}", json_str(name), value);
+        }
+        out.push_str("],");
+
+        out.push_str("\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                json_str(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99
+            );
+            for (j, (le, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"le\":{le},\"count\":{n}}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],");
+
+        out.push_str("\"rollups\":[");
+        for (i, (key, fields)) in self.rollups.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"key\":{},\"fields\":{{", json_str(key));
+            for (j, (name, value)) in fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(name), value);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Quote and escape a JSON string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            spans: vec![SpanReport {
+                name: "pipeline.day".to_string(),
+                calls: 3,
+                total_us: 1200,
+                self_us: 400,
+            }],
+            counters: vec![("netsim.packets_delivered".to_string(), 42)],
+            histograms: vec![HistogramReport {
+                name: "sandbox.instructions_per_run".to_string(),
+                count: 2,
+                sum: 12,
+                min: 4,
+                max: 8,
+                p50: 7,
+                p90: 15,
+                p99: 15,
+                buckets: vec![(7, 1), (15, 1)],
+            }],
+            rollups: vec![(
+                "day".to_string(),
+                vec![("day".to_string(), 0), ("samples".to_string(), 5)],
+            )],
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_versioned_json() {
+        let v = json::parse(&RunReport::default().to_json()).expect("parses");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        assert_eq!(v.get("version").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(v.get("spans").and_then(|a| a.as_array()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let rep = sample_report();
+        let v = json::parse(&rep.to_json()).expect("parses");
+        let spans = v.get("spans").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(
+            spans[0].get("name").and_then(|s| s.as_str()),
+            Some("pipeline.day")
+        );
+        assert_eq!(spans[0].get("self_us").and_then(|n| n.as_u64()), Some(400));
+        let counters = v.get("counters").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(counters[0].get("value").and_then(|n| n.as_u64()), Some(42));
+        let hists = v.get("histograms").and_then(|a| a.as_array()).unwrap();
+        let buckets = hists[0].get("buckets").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[1].get("le").and_then(|n| n.as_u64()), Some(15));
+        let rollups = v.get("rollups").and_then(|a| a.as_array()).unwrap();
+        let fields = rollups[0].get("fields").unwrap();
+        assert_eq!(fields.get("samples").and_then(|n| n.as_u64()), Some(5));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let rep = sample_report();
+        assert_eq!(rep.span("pipeline.day").unwrap().calls, 3);
+        assert!(rep.span("missing").is_none());
+        assert_eq!(rep.counter("netsim.packets_delivered"), Some(42));
+        assert_eq!(rep.counter("missing"), None);
+        assert_eq!(rep.histogram("sandbox.instructions_per_run").unwrap().max, 8);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut rep = RunReport::default();
+        rep.counters.push(("weird \"name\"\n".to_string(), 1));
+        let v = json::parse(&rep.to_json()).expect("parses");
+        let counters = v.get("counters").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(
+            counters[0].get("name").and_then(|s| s.as_str()),
+            Some("weird \"name\"\n")
+        );
+    }
+}

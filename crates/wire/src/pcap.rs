@@ -8,6 +8,8 @@
 
 use std::io::{self, Read, Write};
 
+use malnet_telemetry::Telemetry;
+
 use crate::error::WireError;
 use crate::packet::Packet;
 
@@ -39,11 +41,24 @@ impl PcapPacket {
 pub struct PcapWriter<W: Write> {
     inner: W,
     packets_written: u64,
+    records_encoded: malnet_telemetry::Counter,
+    bytes_encoded: malnet_telemetry::Counter,
 }
+
+/// Size of the pcap global header in bytes.
+const GLOBAL_HEADER_LEN: u64 = 24;
+/// Size of each per-record header in bytes.
+const RECORD_HEADER_LEN: u64 = 16;
 
 impl<W: Write> PcapWriter<W> {
     /// Create a writer and emit the global header.
-    pub fn new(mut inner: W) -> io::Result<Self> {
+    pub fn new(inner: W) -> io::Result<Self> {
+        Self::with_telemetry(inner, &Telemetry::disabled())
+    }
+
+    /// Like [`PcapWriter::new`], but counting encoded records and bytes
+    /// into `wire.pcap_records_encoded` / `wire.pcap_bytes_encoded`.
+    pub fn with_telemetry(mut inner: W, tel: &Telemetry) -> io::Result<Self> {
         inner.write_all(&MAGIC_LE.to_le_bytes())?;
         inner.write_all(&2u16.to_le_bytes())?; // version major
         inner.write_all(&4u16.to_le_bytes())?; // version minor
@@ -51,9 +66,13 @@ impl<W: Write> PcapWriter<W> {
         inner.write_all(&0u32.to_le_bytes())?; // sigfigs
         inner.write_all(&SNAPLEN.to_le_bytes())?;
         inner.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        let bytes_encoded = tel.counter("wire.pcap_bytes_encoded");
+        bytes_encoded.add(GLOBAL_HEADER_LEN);
         Ok(PcapWriter {
             inner,
             packets_written: 0,
+            records_encoded: tel.counter("wire.pcap_records_encoded"),
+            bytes_encoded,
         })
     }
 
@@ -67,6 +86,8 @@ impl<W: Write> PcapWriter<W> {
         self.inner.write_all(&(frame.len() as u32).to_le_bytes())?;
         self.inner.write_all(frame)?;
         self.packets_written += 1;
+        self.records_encoded.incr();
+        self.bytes_encoded.add(RECORD_HEADER_LEN + frame.len() as u64);
         Ok(())
     }
 

@@ -49,7 +49,15 @@ fn main() {
         hosts_per_subnet: 100,
         ..ProbeConfig::from_world(&world)
     };
-    let probed = run_probing(&world, &weapons, &cfg, 1);
+    let tel = malnet::telemetry::Telemetry::enabled();
+    let probed = run_probing(&world, &weapons, &cfg, 1, &tel);
+    let report = tel.report();
+    println!(
+        "probes sent: {}, listeners found: {}, engagements: {}",
+        report.counter("prober.probes_sent").unwrap_or(0),
+        report.counter("prober.listeners_found").unwrap_or(0),
+        report.counter("prober.engagements").unwrap_or(0),
+    );
 
     let data = Datasets {
         probed,

@@ -17,6 +17,7 @@
 //! | [`sandbox`] | `malnet-sandbox` | CnCHunter-style sandbox |
 //! | [`intel`] | `malnet-intel` | threat-intelligence feed models |
 //! | [`core`] | `malnet-core` | the MalNet pipeline itself |
+//! | [`telemetry`] | `malnet-telemetry` | spans, counters, run reports |
 //!
 //! ## Quickstart
 //!
@@ -52,4 +53,5 @@ pub use malnet_mips as mips;
 pub use malnet_netsim as netsim;
 pub use malnet_protocols as protocols;
 pub use malnet_sandbox as sandbox;
+pub use malnet_telemetry as telemetry;
 pub use malnet_wire as wire;
