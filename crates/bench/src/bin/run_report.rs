@@ -20,6 +20,7 @@ const EXPECTED_SPANS: &[&str] = &[
     "pipeline.day",
     "pipeline.phase_a",
     "pipeline.contained_sample",
+    "pipeline.static_triage",
     "pipeline.merge",
     "pipeline.restricted_session",
     "pipeline.ddos_eavesdrop",
@@ -36,6 +37,8 @@ const EXPECTED_COUNTERS: &[&str] = &[
     "pipeline.samples_activated",
     "pipeline.c2_candidates",
     "pipeline.c2_detected",
+    "xray.samples_triaged",
+    "xray.endpoints_extracted",
     "prober.probes_sent",
     "sandbox.instructions_retired",
     "sandbox.syscalls_serviced",

@@ -45,6 +45,7 @@ pub fn detect_c2(art: &Artifacts, bot_ip: Ipv4Addr) -> Vec<C2Candidate> {
     // DNS: map answered IPs back to queried names. The sandbox's wildcard
     // resolver answers every name with the sinkhole, so pair answers with
     // names by matching the response payloads in the capture.
+    // Lookup-only (queried per candidate IP, never iterated). lint: hash-ok
     let mut ip_to_name: HashMap<Ipv4Addr, String> = HashMap::new();
     for (_, p) in &packets {
         if p.dst == bot_ip {
@@ -67,6 +68,7 @@ pub fn detect_c2(art: &Artifacts, bot_ip: Ipv4Addr) -> Vec<C2Candidate> {
         first_payload: Vec<u8>,
     }
     let mut flows: BTreeMap<(Ipv4Addr, u16), Flow> = BTreeMap::new();
+    // Lookup-only (fanout counts read per flow key). lint: hash-ok
     let mut port_fanout: HashMap<u16, BTreeSet<Ipv4Addr>> = HashMap::new();
     let mut synack_seen: BTreeSet<(Ipv4Addr, u16)> = BTreeSet::new();
     for (_, p) in &packets {

@@ -148,6 +148,34 @@ pub struct DdosRecord {
     pub c2_known_to_feeds: bool,
 }
 
+/// Phase-0 static triage result for one sample (D-Triage row): what
+/// `malnet-xray` learned from the raw ELF bytes before the sandbox ran
+/// a single instruction. Observation-only — nothing downstream branches
+/// on it — so the dynamic datasets are byte-identical with triage on or
+/// off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageRecord {
+    /// Sample hash.
+    pub sha256: String,
+    /// Analysis day.
+    pub day: u32,
+    /// Did the ELF parse?
+    pub valid_elf: bool,
+    /// Structural lint codes raised (sorted as reported).
+    pub lints: Vec<String>,
+    /// Were network syscalls reachable from the entry point?
+    pub net_capable: bool,
+    /// Embedded bytecode records decoded.
+    pub bytecode_records: usize,
+    /// Embedded bytecode records skipped as undecodable.
+    pub bytecode_skipped: usize,
+    /// Statically recovered C2 candidate addresses (same key convention
+    /// as D-C2s), sorted and deduplicated.
+    pub candidates: Vec<String>,
+    /// Total endpoints recovered (C2 + resolver + peer).
+    pub endpoints: usize,
+}
+
 /// The full output of a pipeline run (Table 1).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Datasets {
@@ -161,6 +189,8 @@ pub struct Datasets {
     pub exploits: Vec<ExploitRecord>,
     /// D-DDOS.
     pub ddos: Vec<DdosRecord>,
+    /// D-Triage: static triage observations (empty when triage is off).
+    pub triage: Vec<TriageRecord>,
 }
 
 impl Datasets {
@@ -205,6 +235,13 @@ impl Datasets {
         }
         out.push_str("== D-DDOS ==\n");
         for r in &self.ddos {
+            out.push_str(&format!("{r:?}\n"));
+        }
+        // D-Triage stays LAST: the determinism suite strips it by
+        // splitting on the section header to compare the dynamic
+        // datasets across triage on/off.
+        out.push_str("== D-Triage ==\n");
+        for r in &self.triage {
             out.push_str(&format!("{r:?}\n"));
         }
         out

@@ -75,6 +75,7 @@ pub fn extract(
             *per_sec.entry((ts / 1_000_000, p.dst)).or_insert(0) += 1;
         }
     }
+    // Lookup-only (read per command target, never iterated). lint: hash-ok
     let mut peak_pps: HashMap<Ipv4Addr, u64> = HashMap::new();
     for ((_, dst), n) in &per_sec {
         let e = peak_pps.entry(*dst).or_insert(0);

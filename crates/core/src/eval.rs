@@ -35,6 +35,7 @@ pub struct EvalReport {
 /// Score a pipeline run against its world.
 pub fn evaluate(world: &World, data: &Datasets) -> EvalReport {
     let analyzed: BTreeSet<&str> = data.samples.iter().map(|s| s.sha256.as_str()).collect();
+    // Lookup-only index; iteration never touches it. lint: hash-ok
     let truth_by_sha: std::collections::HashMap<&str, &malnet_botgen::world::SampleTruth> = world
         .samples
         .iter()
@@ -128,6 +129,134 @@ pub fn evaluate(world: &World, data: &Datasets) -> EvalReport {
         exploit_recall,
         ddos_recall,
         label_accuracy,
+    }
+}
+
+/// Agreement counts between the static triage candidates and the
+/// dynamically observed C2 addresses, for one family (or overall).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct XvalScore {
+    /// Family label (`yara`), `"unlabelled"`, or `"overall"`.
+    pub family: String,
+    /// Samples scored (has both a triage record and a sample record).
+    pub samples: usize,
+    /// Static C2 candidates across those samples.
+    pub static_candidates: usize,
+    /// Dynamically observed C2 addresses across those samples.
+    pub dynamic_c2s: usize,
+    /// Addresses found by both instruments.
+    pub agreed: usize,
+    /// Dynamic addresses that are IPv4 literals (the hardcoded-IP
+    /// subset the paper's static profiling targets).
+    pub dynamic_ips: usize,
+    /// Hardcoded-IP addresses the static pass also recovered.
+    pub ip_agreed: usize,
+}
+
+impl XvalScore {
+    /// % of static candidates confirmed dynamically.
+    pub fn precision(&self) -> f64 {
+        pct(self.agreed, self.static_candidates)
+    }
+
+    /// % of dynamic C2s the static pass recovered.
+    pub fn recall(&self) -> f64 {
+        pct(self.agreed, self.dynamic_c2s)
+    }
+
+    /// % of hardcoded-IP dynamic C2s the static pass recovered.
+    pub fn ip_recall(&self) -> f64 {
+        pct(self.ip_agreed, self.dynamic_ips)
+    }
+
+    fn absorb(&mut self, o: &XvalScore) {
+        self.samples += o.samples;
+        self.static_candidates += o.static_candidates;
+        self.dynamic_c2s += o.dynamic_c2s;
+        self.agreed += o.agreed;
+        self.dynamic_ips += o.dynamic_ips;
+        self.ip_agreed += o.ip_agreed;
+    }
+}
+
+/// Static-vs-dynamic cross-validation of C2 extraction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticXval {
+    /// Per-family scores, sorted by family label.
+    pub per_family: Vec<XvalScore>,
+    /// Aggregate over every scored sample.
+    pub overall: XvalScore,
+}
+
+/// Score the static triage (D-Triage candidates) against the dynamic
+/// pipeline's per-sample C2 observations (D-Samples `c2_addrs`).
+///
+/// Needs only the datasets — no ground truth — because the question is
+/// instrument *agreement*, not instrument accuracy: would a
+/// static-only profiling of this corpus have found the endpoints the
+/// sandbox observed? Both instruments use the same address convention
+/// (domain string when DNS-derived, dotted-quad otherwise), so plain
+/// set intersection per sample is the right comparison.
+pub fn static_cross_validation(data: &Datasets) -> StaticXval {
+    // Lookup-only index; iteration never touches it. lint: hash-ok
+    let triage_by_sha: std::collections::HashMap<&str, &crate::datasets::TriageRecord> =
+        data.triage.iter().map(|t| (t.sha256.as_str(), t)).collect();
+    let mut fams: std::collections::BTreeMap<String, XvalScore> = Default::default();
+    for s in &data.samples {
+        let Some(t) = triage_by_sha.get(s.sha256.as_str()) else {
+            continue;
+        };
+        let fam = s
+            .yara_family
+            .clone()
+            .unwrap_or_else(|| "unlabelled".to_string());
+        let score = fams.entry(fam.clone()).or_insert_with(|| XvalScore {
+            family: fam,
+            ..XvalScore::default()
+        });
+        score.samples += 1;
+        let dynamic: BTreeSet<&str> = s.c2_addrs.iter().map(String::as_str).collect();
+        let stat: BTreeSet<&str> = t.candidates.iter().map(String::as_str).collect();
+        score.static_candidates += stat.len();
+        score.dynamic_c2s += dynamic.len();
+        score.agreed += stat.intersection(&dynamic).count();
+        for a in &dynamic {
+            if a.parse::<std::net::Ipv4Addr>().is_ok() {
+                score.dynamic_ips += 1;
+                if stat.contains(a) {
+                    score.ip_agreed += 1;
+                }
+            }
+        }
+    }
+    let mut overall = XvalScore {
+        family: "overall".to_string(),
+        ..XvalScore::default()
+    };
+    let per_family: Vec<XvalScore> = fams.into_values().collect();
+    for f in &per_family {
+        overall.absorb(f);
+    }
+    StaticXval {
+        per_family,
+        overall,
+    }
+}
+
+impl std::fmt::Display for StaticXval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in self.per_family.iter().chain(std::iter::once(&self.overall)) {
+            writeln!(
+                f,
+                "{:<12} samples {:>4} | precision {:>5.1}% | recall {:>5.1}% | ip-recall {:>5.1}%",
+                s.family,
+                s.samples,
+                s.precision(),
+                s.recall(),
+                s.ip_recall()
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -17,7 +17,7 @@
 //! 6. runs the D-PC2 probing study in its two-week window (§2.3b),
 //! 7. re-queries the feeds at the end ("May 7th") for Table 3.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,7 +38,7 @@ use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
 use malnet_wire::dns::{DnsMessage, DomainName};
 
 use crate::c2detect::detect_c2;
-use crate::datasets::{C2Record, Datasets, DdosRecord, ExploitRecord, SampleRecord};
+use crate::datasets::{C2Record, Datasets, DdosRecord, ExploitRecord, SampleRecord, TriageRecord};
 use crate::ddos;
 use crate::prober::{self, ProbeConfig};
 
@@ -75,6 +75,12 @@ pub struct PipelineOpts {
     pub probe_hosts_per_subnet: u32,
     /// Analyze at most this many samples (tests); `None` = all.
     pub max_samples: Option<usize>,
+    /// Run the phase-0 static triage (`malnet-xray`) on every sample
+    /// before its contained activation. Observation-only: the triage
+    /// result lands in D-Triage and telemetry, and nothing downstream
+    /// branches on it, so the dynamic datasets are byte-identical with
+    /// triage on or off (enforced by the parallel-determinism suite).
+    pub static_triage: bool,
     /// Day of the final feed re-query (paper: 2022-05-07 ≈ day 432).
     pub late_query_day: u32,
     /// Worker threads for the contained-activation stage. `1` (the
@@ -101,6 +107,7 @@ impl Default for PipelineOpts {
             probe_rounds: 84,
             probe_hosts_per_subnet: 254,
             max_samples: None,
+            static_triage: true,
             late_query_day: STUDY_DAYS + 45,
             parallelism: 1,
         }
@@ -135,7 +142,12 @@ pub struct Pipeline {
     vendors: VendorDb,
     engines: EngineModel,
     data: Datasets,
-    tracking: HashMap<String, TrackState>,
+    // BTreeMap, not HashMap: `daily_liveness_sweep` iterates this map
+    // and its order decides the order liveness connections are created
+    // on the shared network. A hash map would randomize that order
+    // across *processes* (`RandomState` is seeded per-process), breaking
+    // cross-run reproducibility of the datasets.
+    tracking: BTreeMap<String, TrackState>,
     tel: Telemetry,
 }
 
@@ -156,7 +168,7 @@ impl Pipeline {
             vendors: VendorDb::new(opts.seed),
             engines: EngineModel::new(opts.seed),
             data: Datasets::default(),
-            tracking: HashMap::new(),
+            tracking: BTreeMap::new(),
             opts,
             tel,
         }
@@ -183,7 +195,7 @@ impl Pipeline {
                 continue;
             }
             let day_span = tel.span("pipeline.day");
-            let day_start = std::time::Instant::now();
+            let day_start = tel.stopwatch();
             // One world network per day: shared by liveness probes and
             // restricted sessions.
             let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
@@ -213,7 +225,7 @@ impl Pipeline {
                     ("new_samples", batch.len() as u64),
                     ("tracked_c2s", self.tracking.len() as u64),
                     ("c2s_known", self.data.c2s.len() as u64),
-                    ("wall_us", day_start.elapsed().as_micros() as u64),
+                    ("wall_us", day_start.elapsed_us()),
                 ],
             );
         }
@@ -322,7 +334,9 @@ impl Pipeline {
             exploits,
             candidates,
             instructions,
+            triage,
         } = outcome;
+        self.data.triage.extend(triage);
         let sample = &world.samples[sample_id];
         let elf = &sample.elf;
         let av = self.engines.detections_for_malware().max(sample.av_detections.min(60));
@@ -528,6 +542,8 @@ pub struct ContainedOutcome {
     pub candidates: Vec<crate::c2detect::C2Candidate>,
     /// Instructions the emulator retired.
     pub instructions: u64,
+    /// Phase-0 static triage result (None when triage is off).
+    pub triage: Option<TriageRecord>,
 }
 
 // Compile-time guarantee: phase-A outcomes can ship across threads.
@@ -556,6 +572,14 @@ pub fn contained_activation(
     let elf = &sample.elf;
     let yara = yara_label(elf).map(str::to_string);
     let avclass = avclass2_label(elf).map(str::to_string);
+
+    // --- phase 0: static triage (no instruction executed) ---
+    let triage = if opts.static_triage {
+        let _triage_span = tel.span("pipeline.static_triage");
+        Some(static_triage(elf, day, &sample.sha256, tel))
+    } else {
+        None
+    };
 
     // --- contained activation: C2 + exploit extraction ---
     let mut contained_net = Network::new(
@@ -621,6 +645,33 @@ pub fn contained_activation(
         exploits,
         candidates,
         instructions: art.instructions,
+        triage,
+    }
+}
+
+/// Run `malnet-xray` over one binary and fold the result into a
+/// [`TriageRecord`]. Pure (no RNG, no simulated clock) and
+/// per-sample-independent, so it parallelizes with the rest of phase A.
+fn static_triage(elf: &[u8], day: u32, sha256: &str, tel: &Telemetry) -> TriageRecord {
+    let rep = malnet_xray::analyze(elf);
+    tel.add("xray.samples_triaged", 1);
+    tel.add("xray.endpoints_extracted", rep.endpoints.len() as u64);
+    if !rep.valid_elf {
+        tel.add("xray.invalid_elf", 1);
+    }
+    let mut candidates: Vec<String> = rep.c2_candidates().map(|e| e.addr.clone()).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    TriageRecord {
+        sha256: sha256.to_string(),
+        day,
+        valid_elf: rep.valid_elf,
+        lints: rep.lints.iter().map(|l| l.code.to_string()).collect(),
+        net_capable: rep.text.net_capable(),
+        bytecode_records: rep.bytecode_records,
+        bytecode_skipped: rep.bytecode_skipped,
+        candidates,
+        endpoints: rep.endpoints.len(),
     }
 }
 

@@ -112,6 +112,58 @@ fn telemetry_is_inert_across_parallelism() {
     }
 }
 
+/// The phase-0 static triage is observation-only: with triage on, the
+/// dynamic datasets (everything before the trailing D-Triage section)
+/// and the vendor state are byte-identical to a triage-off run, and
+/// both configurations are themselves parallelism-invariant across
+/// {1, 2, 8, 64}.
+#[test]
+fn static_triage_is_observation_only_across_parallelism() {
+    let seed = 1337;
+    let world = test_world(seed);
+    let dynamic_part = |dump: &str| dump.split("== D-Triage ==").next().unwrap().to_string();
+    let run = |par: usize, triage: bool| {
+        let opts = PipelineOpts {
+            seed,
+            parallelism: par,
+            max_samples: Some(30),
+            static_triage: triage,
+            ..PipelineOpts::fast()
+        };
+        let (data, vendors) = Pipeline::new(opts).run(&world);
+        (data.canonical_dump(), vendors.canonical_dump())
+    };
+
+    let (on_base, on_vendors_base) = run(1, true);
+    let (off_base, off_vendors_base) = run(1, false);
+    // Triage actually recorded something…
+    let triage_rows = on_base
+        .split("== D-Triage ==")
+        .nth(1)
+        .expect("D-Triage section present");
+    assert!(!triage_rows.trim().is_empty(), "no triage records produced");
+    // …the off run recorded none…
+    assert!(off_base.ends_with("== D-Triage ==\n"));
+    // …and nothing dynamic moved.
+    assert_eq!(dynamic_part(&on_base), dynamic_part(&off_base));
+    assert_eq!(on_vendors_base, off_vendors_base);
+
+    for par in [2usize, 8, 64] {
+        let (on, on_v) = run(par, true);
+        assert_eq!(
+            on_base, on,
+            "triage-on datasets diverged at parallelism={par}"
+        );
+        assert_eq!(on_vendors_base, on_v);
+        let (off, off_v) = run(par, false);
+        assert_eq!(
+            off_base, off,
+            "triage-off datasets diverged at parallelism={par}"
+        );
+        assert_eq!(off_vendors_base, off_v);
+    }
+}
+
 /// The telemetry counters themselves are schedule-independent: every
 /// counter driven by simulation events (samples activated, C2s
 /// detected, packets delivered, instructions retired, ...) totals the

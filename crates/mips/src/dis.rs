@@ -1,9 +1,19 @@
 //! A MIPS32 disassembler for the subset the assembler emits.
 //!
-//! Used by tests (assembler/disassembler agreement) and by analyst-facing
-//! tooling (the `dissect` example prints the text section of a sample).
+//! Two entry points:
+//!
+//! * [`disassemble`] / [`disassemble_all`] — human-readable text, used by
+//!   tests (assembler/disassembler agreement) and by analyst-facing
+//!   tooling (the `dissect` example prints the text section of a sample).
+//! * [`decode`] — a *structured* decoder returning an [`Inst`] with the
+//!   instruction's field values, control-flow class ([`Flow`]) and
+//!   resolved branch/jump targets. This is what `malnet-xray` builds its
+//!   CFG, syscall-reachability and `lui`/`ori` constant propagation on.
+//!   A decoded instruction can be lowered back to an assembler [`Ins`]
+//!   via [`Inst::to_ins`], which pins the decoder against the assembler
+//!   (see the `asm → dis → asm` round-trip proptest).
 
-use crate::asm::REG_NAMES;
+use crate::asm::{Ins, Reg, Target, REG_NAMES};
 
 fn r(n: u32) -> &'static str {
     REG_NAMES[(n & 31) as usize]
@@ -101,6 +111,197 @@ pub fn disassemble_all(code: &[u8], base: u32) -> Vec<String> {
         .collect()
 }
 
+/// Control-flow class of a decoded instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Straight-line instruction (ALU, load/store, `lui`, ...).
+    Normal,
+    /// Conditional branch to the absolute address; the delay slot at
+    /// `pc + 4` executes either way, and the fall-through resumes at
+    /// `pc + 8`.
+    Branch(u32),
+    /// Unconditional `j` to the absolute address (delay slot at `pc + 4`).
+    Jump(u32),
+    /// `jal` to the absolute address; the callee conventionally returns
+    /// to `pc + 8`.
+    Call(u32),
+    /// `jr` — register-indirect jump, target statically unknown.
+    JumpReg,
+    /// `jalr` — register-indirect call.
+    CallReg,
+    /// `syscall` (falls through after the kernel services it).
+    Syscall,
+    /// `break`.
+    Break,
+}
+
+/// A structurally decoded big-endian MIPS32 instruction word.
+///
+/// Field accessors expose the raw bit fields; [`Inst::flow`] classifies
+/// control flow with branch/jump targets already made absolute (same
+/// arithmetic the text disassembler prints). `known` is `true` iff the
+/// word decodes to a named mnemonic — exactly the words [`disassemble`]
+/// does *not* render as `.word`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// The raw instruction word.
+    pub word: u32,
+    /// The address the word was decoded at.
+    pub pc: u32,
+    /// Control-flow class, with absolute targets.
+    pub flow: Flow,
+    /// Whether the encoding is one the assembler can emit.
+    pub known: bool,
+}
+
+impl Inst {
+    /// Primary opcode (bits 31..26).
+    pub fn op(&self) -> u32 {
+        self.word >> 26
+    }
+    /// `rs` register field (bits 25..21).
+    pub fn rs(&self) -> u8 {
+        ((self.word >> 21) & 31) as u8
+    }
+    /// `rt` register field (bits 20..16).
+    pub fn rt(&self) -> u8 {
+        ((self.word >> 16) & 31) as u8
+    }
+    /// `rd` register field (bits 15..11).
+    pub fn rd(&self) -> u8 {
+        ((self.word >> 11) & 31) as u8
+    }
+    /// Shift amount field (bits 10..6).
+    pub fn shamt(&self) -> u8 {
+        ((self.word >> 6) & 31) as u8
+    }
+    /// R-type function field (bits 5..0).
+    pub fn funct(&self) -> u32 {
+        self.word & 0x3f
+    }
+    /// Zero-extended 16-bit immediate.
+    pub fn imm(&self) -> u16 {
+        (self.word & 0xffff) as u16
+    }
+    /// Sign-extended 16-bit immediate.
+    pub fn simm(&self) -> i16 {
+        self.imm() as i16
+    }
+
+    /// Lower back to the assembler's [`Ins`] representation; `None` for
+    /// unknown encodings. Branch/jump targets come back as
+    /// [`Target::Abs`], so re-assembling the result at the same `pc`
+    /// reproduces the original word (the delay-slot `nop` the assembler
+    /// appends is a separate word in the original stream).
+    pub fn to_ins(&self) -> Option<Ins> {
+        let (rs, rt, rd) = (Reg(self.rs()), Reg(self.rt()), Reg(self.rd()));
+        let (imm, simm, sh) = (self.imm(), self.simm(), self.shamt());
+        Some(match self.op() {
+            0 => match self.funct() {
+                0x00 => Ins::Sll(rd, rt, sh),
+                0x02 => Ins::Srl(rd, rt, sh),
+                0x03 => Ins::Sra(rd, rt, sh),
+                0x04 => Ins::Sllv(rd, rt, rs),
+                0x06 => Ins::Srlv(rd, rt, rs),
+                0x08 => Ins::Jr(rs),
+                0x09 => Ins::Jalr(rd, rs),
+                0x0c => Ins::Syscall,
+                0x0d => Ins::Break,
+                0x10 => Ins::Mfhi(rd),
+                0x12 => Ins::Mflo(rd),
+                0x18 => Ins::Mult(rs, rt),
+                0x19 => Ins::Multu(rs, rt),
+                0x1a => Ins::Div(rs, rt),
+                0x1b => Ins::Divu(rs, rt),
+                0x21 => Ins::Addu(rd, rs, rt),
+                0x23 => Ins::Subu(rd, rs, rt),
+                0x24 => Ins::And(rd, rs, rt),
+                0x25 => Ins::Or(rd, rs, rt),
+                0x26 => Ins::Xor(rd, rs, rt),
+                0x27 => Ins::Nor(rd, rs, rt),
+                0x2a => Ins::Slt(rd, rs, rt),
+                0x2b => Ins::Sltu(rd, rs, rt),
+                _ => return None,
+            },
+            0x01 => match self.rt() {
+                0 => Ins::Bltz(rs, self.abs_target()?),
+                1 => Ins::Bgez(rs, self.abs_target()?),
+                _ => return None,
+            },
+            0x02 => Ins::J(self.abs_target()?),
+            0x03 => Ins::Jal(self.abs_target()?),
+            0x04 => Ins::Beq(rs, rt, self.abs_target()?),
+            0x05 => Ins::Bne(rs, rt, self.abs_target()?),
+            0x06 => Ins::Blez(rs, self.abs_target()?),
+            0x07 => Ins::Bgtz(rs, self.abs_target()?),
+            0x08 | 0x09 => Ins::Addiu(rt, rs, simm),
+            0x0a => Ins::Slti(rt, rs, simm),
+            0x0b => Ins::Sltiu(rt, rs, simm),
+            0x0c => Ins::Andi(rt, rs, imm),
+            0x0d => Ins::Ori(rt, rs, imm),
+            0x0e => Ins::Xori(rt, rs, imm),
+            0x0f => Ins::Lui(rt, imm),
+            0x20 => Ins::Lb(rt, rs, simm),
+            0x21 => Ins::Lh(rt, rs, simm),
+            0x23 => Ins::Lw(rt, rs, simm),
+            0x24 => Ins::Lbu(rt, rs, simm),
+            0x25 => Ins::Lhu(rt, rs, simm),
+            0x28 => Ins::Sb(rt, rs, simm),
+            0x29 => Ins::Sh(rt, rs, simm),
+            0x2b => Ins::Sw(rt, rs, simm),
+            _ => return None,
+        })
+    }
+
+    fn abs_target(&self) -> Option<Target> {
+        match self.flow {
+            Flow::Branch(t) | Flow::Jump(t) | Flow::Call(t) => Some(Target::Abs(t)),
+            _ => None,
+        }
+    }
+}
+
+/// Structurally decode one big-endian instruction word at address `pc`.
+///
+/// Never fails: unknown encodings come back with `known == false` and
+/// `Flow::Normal` (a conservative fall-through, matching how the CPU's
+/// reserved-instruction path is not modelled here).
+pub fn decode(word: u32, pc: u32) -> Inst {
+    let op = word >> 26;
+    let rt = (word >> 16) & 31;
+    let funct = word & 0x3f;
+    let simm = (word & 0xffff) as u16 as i16;
+    let btarget = pc.wrapping_add(4).wrapping_add(((simm as i32) << 2) as u32);
+    let jtarget = (pc.wrapping_add(4) & 0xf000_0000) | (word & 0x03ff_ffff) << 2;
+    let (flow, known) = match op {
+        0 => match funct {
+            0x08 => (Flow::JumpReg, true),
+            0x09 => (Flow::CallReg, true),
+            0x0c => (Flow::Syscall, true),
+            0x0d => (Flow::Break, true),
+            0x00 | 0x02 | 0x03 | 0x04 | 0x06 | 0x10 | 0x12 | 0x18 | 0x19 | 0x1a | 0x1b | 0x21
+            | 0x23 | 0x24 | 0x25 | 0x26 | 0x27 | 0x2a | 0x2b => (Flow::Normal, true),
+            _ => (Flow::Normal, false),
+        },
+        0x01 => (Flow::Branch(btarget), rt <= 1),
+        0x02 => (Flow::Jump(jtarget), true),
+        0x03 => (Flow::Call(jtarget), true),
+        0x04..=0x07 => (Flow::Branch(btarget), true),
+        0x08..=0x0f => (Flow::Normal, true),
+        0x20 | 0x21 | 0x23 | 0x24 | 0x25 | 0x28 | 0x29 | 0x2b => (Flow::Normal, true),
+        _ => (Flow::Normal, false),
+    };
+    // An op-0x01 word with rt > 1 is not a branch we can name; treat it
+    // as an unknown straight-line word rather than a branch to garbage.
+    let flow = if !known { Flow::Normal } else { flow };
+    Inst {
+        word,
+        pc,
+        flow,
+        known,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,5 +341,66 @@ mod tests {
         assert!(lines.iter().all(|l| !l.contains(".word")), "{lines:#?}");
         assert!(lines[0].contains("lui $t0, 0x1234"));
         assert!(lines[1].contains("ori $t0, $t0, 0x5678"));
+    }
+
+    #[test]
+    fn structured_decode_flow_and_targets() {
+        // beq $zero,$zero,-2 at 0x400008 → branch to 0x400004.
+        let i = decode(0x1000_fffe, 0x400008);
+        assert_eq!(i.flow, Flow::Branch(0x400004));
+        assert!(i.known);
+        // j 0x400000 (from jumps_get_delay_slot_nops encoding).
+        let j = decode(0x02 << 26 | (0x400000 >> 2), 0x400000);
+        assert_eq!(j.flow, Flow::Jump(0x400000));
+        // syscall / break / jr / jalr.
+        assert_eq!(decode(0x0000000c, 0).flow, Flow::Syscall);
+        assert_eq!(decode(0x0000000d, 0).flow, Flow::Break);
+        assert_eq!(decode(0x03e00008, 0).flow, Flow::JumpReg); // jr $ra
+        // lui is straight-line with the immediate visible.
+        let lui = decode(0x3c08dead, 0);
+        assert_eq!(lui.flow, Flow::Normal);
+        assert_eq!(lui.op(), 0x0f);
+        assert_eq!(lui.rt(), 8);
+        assert_eq!(lui.imm(), 0xdead);
+    }
+
+    #[test]
+    fn structured_decode_agrees_with_text_disassembler() {
+        // `known` must mean exactly "disassemble does not print .word",
+        // across a word sweep that covers every opcode/funct bucket.
+        for base in [0u32, 0x0000_0c00, 0x1000_fffe, 0x3c08_dead, 0xffff_ffff] {
+            for delta in 0..512u32 {
+                let w = base ^ (delta << 16) ^ delta;
+                let i = decode(w, 0x400000);
+                let text = disassemble(w, 0x400000);
+                assert_eq!(
+                    i.known,
+                    !text.starts_with(".word"),
+                    "word {w:#010x} → {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_ins_reencodes_identically() {
+        let mut a = Assembler::new(0x400000);
+        a.ins(Ins::Li(Reg::S0, 0x10000000))
+            .ins(Ins::Move(Reg::T0, Reg::S0))
+            .label("l")
+            .ins(Ins::Sh(Reg::T9, Reg::S4, 0x1200))
+            .ins(Ins::Bne(Reg::T1, Reg::ZERO, "l".into()))
+            .ins(Ins::Syscall)
+            .ins(Ins::J("l".into()));
+        let code = a.assemble().unwrap();
+        for (k, c) in code.chunks_exact(4).enumerate() {
+            let w = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            let pc = 0x400000 + 4 * k as u32;
+            let ins = decode(w, pc).to_ins().expect("assembler output decodes");
+            let mut re = Assembler::new(pc);
+            re.ins(ins);
+            let bytes = re.assemble().unwrap();
+            assert_eq!(&bytes[..4], c, "word {w:#010x} at {pc:#x}");
+        }
     }
 }

@@ -61,6 +61,12 @@ pub struct ElfFile {
 
 const EM_MIPS: u16 = 8;
 
+/// Upper bound on any single segment's `memsz` accepted by
+/// [`ElfFile::parse`]: 64 MiB, far above anything the writer emits but
+/// small enough that a bit-flipped header can't make [`ElfFile::load`]
+/// zero-fill gigabytes.
+pub const MAX_SEGMENT_MEMSZ: usize = 64 << 20;
+
 impl ElfFile {
     /// Serialize to ELF bytes.
     pub fn write(&self) -> Vec<u8> {
@@ -217,8 +223,13 @@ impl ElfFile {
         }
         let mut segments = Vec::new();
         for i in 0..phnum {
-            let base = phoff + i * phentsize;
-            need(base + 32)?;
+            // All offset arithmetic is checked: a crafted phoff/phentsize
+            // must produce `Err`, never wrap around and read a bogus slice
+            // (or panic). `phnum <= 64` bounds the loop itself.
+            let base = phoff
+                .checked_add(i.checked_mul(phentsize).ok_or(ElfError::Truncated)?)
+                .ok_or(ElfError::Truncated)?;
+            need(base.checked_add(32).ok_or(ElfError::Truncated)?)?;
             let p_type = u32_at(base);
             if p_type != 1 {
                 continue; // only PT_LOAD
@@ -228,12 +239,19 @@ impl ElfFile {
             let filesz = u32_at(base + 16) as usize;
             let memsz = u32_at(base + 20);
             let flags = u32_at(base + 24);
-            if off + filesz > bytes.len() {
+            let end = off.checked_add(filesz).ok_or(ElfError::Truncated)?;
+            if end > bytes.len() {
                 return Err(ElfError::Truncated);
+            }
+            // A malformed memsz must not make `load()` zero-fill gigabytes:
+            // cap the in-memory size at a sane executable bound. (The
+            // writer emits memsz == filesz except for small .bss tails.)
+            if memsz as usize > MAX_SEGMENT_MEMSZ {
+                return Err(ElfError::NotElf("segment memsz"));
             }
             segments.push(ElfSegment {
                 vaddr,
-                data: bytes[off..off + filesz].to_vec(),
+                data: bytes[off..end].to_vec(),
                 memsz,
                 writable: flags & 2 != 0,
                 executable: flags & 1 != 0,
@@ -359,6 +377,29 @@ mod tests {
     fn truncated_segment_rejected() {
         let mut bytes = sample().write();
         bytes.truncate(80);
+        assert_eq!(ElfFile::parse(&bytes).unwrap_err(), ElfError::Truncated);
+    }
+
+    #[test]
+    fn absurd_memsz_rejected() {
+        let mut bytes = sample().write();
+        // First program header starts at 52; memsz is at +20.
+        let memsz_at = 52 + 20;
+        bytes[memsz_at..memsz_at + 4].copy_from_slice(&0xffff_ffffu32.to_be_bytes());
+        assert_eq!(
+            ElfFile::parse(&bytes).unwrap_err(),
+            ElfError::NotElf("segment memsz")
+        );
+    }
+
+    #[test]
+    fn wrapping_phoff_rejected() {
+        let mut bytes = sample().write();
+        // phoff at byte 28: point it near usize::MAX's u32 edge so that
+        // `phoff + i*phentsize + 32` would wrap on a 32-bit usize and
+        // must be caught by the checked arithmetic (on 64-bit it simply
+        // fails the bounds check).
+        bytes[28..32].copy_from_slice(&0xffff_fff0u32.to_be_bytes());
         assert_eq!(ElfFile::parse(&bytes).unwrap_err(), ElfError::Truncated);
     }
 

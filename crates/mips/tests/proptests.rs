@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use malnet_mips::asm::{Assembler, Ins, Reg};
 use malnet_mips::cpu::{Cpu, CpuError, STACK_SIZE, STACK_TOP};
 use malnet_mips::dis;
+use malnet_mips::elf::{ElfFile, ElfSegment, MAX_SEGMENT_MEMSZ};
 use malnet_mips::mem::Memory;
 
 fn reg_strategy() -> impl Strategy<Value = Reg> {
@@ -33,6 +34,80 @@ fn alu_ins() -> impl Strategy<Value = Ins> {
         (r(), r(), any::<u16>()).prop_map(|(a, b, i)| Ins::Xori(a, b, i)),
         (r(), any::<u16>()).prop_map(|(a, i)| Ins::Lui(a, i)),
     ]
+}
+
+/// The instruction subset `botgen::stub` actually emits (pseudos
+/// included): what `malnet-xray`'s structured decoding must handle
+/// losslessly. Branch/jump targets are absolute and word-aligned inside
+/// a window the 16-bit branch offset always reaches.
+fn stub_ins() -> impl Strategy<Value = Ins> {
+    use malnet_mips::asm::Target;
+    let r = reg_strategy;
+    let t = || (0u32..1024).prop_map(|k| Target::Abs(0x0040_0000 + k * 4));
+    prop_oneof![
+        (r(), any::<u32>()).prop_map(|(a, v)| Ins::Li(a, v)),
+        (r(), r()).prop_map(|(a, b)| Ins::Move(a, b)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, o)| Ins::Lw(a, b, o)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, o)| Ins::Lbu(a, b, o)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, o)| Ins::Sw(a, b, o)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, o)| Ins::Sh(a, b, o)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, o)| Ins::Sb(a, b, o)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Ins::Addu(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Ins::Subu(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Ins::And(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Ins::Or(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Ins::Sltu(a, b, c)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Ins::Sltiu(a, b, i)),
+        (r(), r(), any::<i16>()).prop_map(|(a, b, i)| Ins::Addiu(a, b, i)),
+        (r(), r(), any::<u16>()).prop_map(|(a, b, i)| Ins::Andi(a, b, i)),
+        (r(), r(), 0u8..32).prop_map(|(a, b, s)| Ins::Sll(a, b, s)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Ins::Sllv(a, b, c)),
+        (r(), r(), r()).prop_map(|(a, b, c)| Ins::Srlv(a, b, c)),
+        (r(), r()).prop_map(|(a, b)| Ins::Multu(a, b)),
+        (r(), r()).prop_map(|(a, b)| Ins::Divu(a, b)),
+        r().prop_map(Ins::Mfhi),
+        r().prop_map(Ins::Mflo),
+        (r(), r(), t()).prop_map(|(a, b, t)| Ins::Beq(a, b, t)),
+        (r(), r(), t()).prop_map(|(a, b, t)| Ins::Bne(a, b, t)),
+        t().prop_map(Ins::B),
+        t().prop_map(Ins::J),
+        Just(Ins::Syscall),
+        Just(Ins::Nop),
+    ]
+}
+
+/// A small but fully-featured ELF (text + rodata payload + bss), the
+/// shape `botgen` emits, for the malformed-input properties.
+fn sample_elf(rodata: &[u8]) -> ElfFile {
+    ElfFile {
+        entry: 0x0040_0000,
+        segments: vec![
+            ElfSegment {
+                vaddr: 0x0040_0000,
+                data: vec![0x24, 0x02, 0x0f, 0xa1, 0x00, 0x00, 0x00, 0x0c],
+                memsz: 8,
+                writable: false,
+                executable: true,
+                name: ".text",
+            },
+            ElfSegment {
+                vaddr: 0x1000_0000,
+                data: rodata.to_vec(),
+                memsz: rodata.len() as u32,
+                writable: false,
+                executable: false,
+                name: ".rodata",
+            },
+            ElfSegment {
+                vaddr: 0x2000_0000,
+                data: vec![],
+                memsz: 0x2000,
+                writable: true,
+                executable: false,
+                name: ".bss",
+            },
+        ],
+    }
 }
 
 /// A pure-Rust reference for the ALU subset.
@@ -145,6 +220,93 @@ proptest! {
         let _ = m.read_u32(probe);
         let _ = m.read_u8(probe);
         let _ = m.read_u16(probe);
+    }
+
+    /// `asm → dis → asm` round trip over the instruction subset the
+    /// `botgen::stub` interpreter is built from: every word the
+    /// assembler emits decodes to a structured [`dis::Inst`] whose
+    /// [`dis::Inst::to_ins`] lowering re-encodes to the *identical* word
+    /// at the same pc. This pins the structured decoder (which
+    /// `malnet-xray` builds CFGs and constant propagation on) against
+    /// the assembler bit for bit.
+    #[test]
+    fn asm_dis_asm_roundtrip_on_stub_subset(
+        program in proptest::collection::vec(stub_ins(), 1..48),
+    ) {
+        let base = 0x0040_0000;
+        let mut a = Assembler::new(base);
+        for ins in &program {
+            a.ins(ins.clone());
+        }
+        let code = a.assemble().unwrap();
+        for (k, c) in code.chunks_exact(4).enumerate() {
+            let w = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            let pc = base + 4 * k as u32;
+            let inst = dis::decode(w, pc);
+            prop_assert!(inst.known, "assembler emitted unknown word {w:#010x}");
+            let lowered = inst.to_ins();
+            prop_assert!(lowered.is_some(), "no lowering for {w:#010x}");
+            let mut re = Assembler::new(pc);
+            re.ins(lowered.unwrap());
+            let bytes = re.assemble().unwrap();
+            prop_assert_eq!(
+                &bytes[..4], c,
+                "re-encode mismatch for {:#010x} at {:#x}", w, pc
+            );
+            // The text disassembler must name it too (no `.word`).
+            prop_assert!(!dis::disassemble(w, pc).starts_with(".word"));
+        }
+    }
+
+    /// Truncating a well-formed ELF anywhere yields `Err` or a
+    /// well-formed prefix parse — never a panic; cutting inside the
+    /// header or program-header table must be rejected.
+    #[test]
+    fn elf_parse_survives_truncation(
+        text in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = sample_elf(&text).write();
+        let cut = cut.index(bytes.len() + 1);
+        let res = ElfFile::parse(&bytes[..cut]);
+        // Anything shorter than the header + ph table cannot parse.
+        if cut < 52 {
+            prop_assert_eq!(
+                res.as_ref().unwrap_err(),
+                &malnet_mips::elf::ElfError::Truncated
+            );
+        }
+        if let Ok(f) = res {
+            let total: usize = f.segments.iter().map(|s| s.data.len()).sum();
+            prop_assert!(total <= cut, "parsed more bytes than the input holds");
+        }
+    }
+
+    /// Arbitrary byte corruption of header and program-header-table
+    /// bytes never panics the parser or makes it over-allocate: any
+    /// successful parse carries at most the input's bytes, and every
+    /// accepted memsz stays under the documented cap (so `load()` is
+    /// safe to call on whatever `parse` accepts).
+    #[test]
+    fn elf_parse_survives_bitflips(
+        text in proptest::collection::vec(any::<u8>(), 0..128),
+        flips in proptest::collection::vec((0usize..160, 0u8..8), 1..24),
+    ) {
+        let mut bytes = sample_elf(&text).write();
+        for (pos, bit) in flips {
+            let pos = pos % bytes.len();
+            bytes[pos] ^= 1 << bit;
+        }
+        if let Ok(f) = ElfFile::parse(&bytes) {
+            let total: usize = f.segments.iter().map(|s| s.data.len()).sum();
+            prop_assert!(total <= bytes.len());
+            for seg in &f.segments {
+                prop_assert!(seg.memsz as usize <= MAX_SEGMENT_MEMSZ);
+            }
+            // Loading whatever parse accepted must also be panic-free
+            // and bounded.
+            let _ = f.load();
+        }
     }
 
     /// The CPU never panics on arbitrary instruction words — every word

@@ -148,6 +148,16 @@ impl Telemetry {
         }
     }
 
+    /// Start a [`Stopwatch`] tied to this handle. The stopwatch reads
+    /// the wall clock only when telemetry is enabled, so instrumented
+    /// code can time itself without the disabled path ever touching
+    /// `std::time` — this (not a raw `Instant::now()`) is the sanctioned
+    /// way for non-telemetry crates to measure wall time, and the
+    /// workspace `source_lint` enforces it.
+    pub fn stopwatch(&self) -> Stopwatch {
+        Stopwatch(self.inner.as_ref().map(|_| Instant::now()))
+    }
+
     /// Snapshot everything recorded so far into a [`RunReport`]. A
     /// disabled handle yields an empty (but valid, versioned) report.
     pub fn report(&self) -> RunReport {
@@ -155,6 +165,19 @@ impl Telemetry {
             Some(r) => r.snapshot(),
             None => RunReport::default(),
         }
+    }
+}
+
+/// A wall-clock stopwatch from [`Telemetry::stopwatch`]. Inert (always
+/// reads 0) when the owning handle is disabled.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// Microseconds elapsed since construction; 0 when telemetry is
+    /// disabled.
+    pub fn elapsed_us(&self) -> u64 {
+        self.0.map_or(0, |t| t.elapsed().as_micros() as u64)
     }
 }
 
@@ -452,6 +475,16 @@ mod tests {
         assert!(rep.counters.is_empty());
         assert!(rep.histograms.is_empty());
         assert!(rep.rollups.is_empty());
+    }
+
+    #[test]
+    fn stopwatch_is_inert_when_disabled() {
+        let sw = Telemetry::disabled().stopwatch();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert_eq!(sw.elapsed_us(), 0);
+        let sw = Telemetry::enabled().stopwatch();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_us() >= 1_000);
     }
 
     #[test]
