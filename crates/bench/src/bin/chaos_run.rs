@@ -1,0 +1,188 @@
+//! Run the pipeline under the standard chaos fault plan, write the
+//! graceful-degradation health report to `results/health_report.json`
+//! (`malnet.health_report` v1, documented in EXPERIMENTS.md), and
+//! verify it: the report must parse, at least one injected failure must
+//! have been quarantined into D-Health, and the study must still have
+//! produced data. CI runs this on every push and uploads the artifact;
+//! a chaos run that aborts — or that degrades *silently* — fails the
+//! build.
+//!
+//! Usage:
+//! `cargo run -p malnet-bench --release --bin chaos_run -- [--samples N] [--seed S]`
+
+use std::fmt::Write as _;
+
+use malnet_bench::parse_args;
+use malnet_botgen::world::{Calibration, World, WorldConfig};
+use malnet_core::chaos::FaultPlan;
+use malnet_core::{Pipeline, PipelineOpts};
+use malnet_telemetry::{json, Telemetry};
+use malnet_xray::report::json_escape;
+
+/// Fault seed of the CI chaos run (fixed: the injected faults — and
+/// therefore the report — are byte-reproducible).
+const FAULT_SEED: u64 = 7;
+
+/// Fault-injection and degradation counters the report snapshots.
+const FAULT_COUNTERS: &[&str] = &[
+    "chaos.forced_panics",
+    "chaos.binaries_mutated",
+    "chaos.c2_downtime_windows",
+    "netsim.dns_faults_injected",
+    "netsim.dns_queries",
+    "pipeline.dns_resolutions",
+    "netsim.packets_dropped",
+    "pipeline.samples_quarantined",
+    "pipeline.liveness_retries",
+    "prober.syn_retries",
+];
+
+fn main() {
+    let mut opts = parse_args();
+    if opts.samples == 1447 {
+        opts.samples = 48; // CI-sized corpus; still hits every stage
+    }
+    let world = World::generate(WorldConfig {
+        seed: opts.seed,
+        n_samples: opts.samples,
+        cal: Calibration::default(),
+    });
+    let tel = Telemetry::enabled();
+    let popts = PipelineOpts {
+        seed: opts.seed,
+        parallelism: 2,
+        max_samples: Some(opts.samples),
+        faults: FaultPlan::chaos(FAULT_SEED),
+        syn_retries: 1,
+        ..PipelineOpts::fast()
+    };
+    let (data, _vendors) = Pipeline::with_telemetry(popts, tel.clone()).run(&world);
+    let report = tel.report();
+    println!(
+        "chaos run done: {} samples profiled, {} quarantined, {} degradation rows, {} C2s",
+        data.samples.len(),
+        data.health.quarantined(),
+        data.health.rows.len(),
+        data.c2s.len()
+    );
+
+    // --- assemble malnet.health_report v1 ---
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"malnet.health_report\",\"version\":1,");
+    let _ = write!(
+        out,
+        "\"samples\":{},\"seed\":{},\"fault_seed\":{FAULT_SEED},",
+        opts.samples, opts.seed
+    );
+    let _ = write!(
+        out,
+        "\"profiled\":{},\"quarantined\":{},",
+        data.samples.len(),
+        data.health.quarantined()
+    );
+    out.push_str("\"rows\":[");
+    for (i, r) in data.health.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ctx = r
+            .fault_context
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            out,
+            "{{\"sha256\":\"{}\",\"day\":{},\"kind\":\"{:?}\",\"detail\":\"{}\",\"fault_context\":[{ctx}]}}",
+            json_escape(&r.sha256),
+            r.day,
+            r.kind,
+            json_escape(&r.detail)
+        );
+    }
+    out.push_str("],\"exit_counts\":{");
+    for (i, (reason, n)) in data.health.exit_counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{n}", json_escape(reason));
+    }
+    out.push_str("},\"fault_counters\":{");
+    for (i, name) in FAULT_COUNTERS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{}", report.counter(name).unwrap_or(0));
+    }
+    out.push_str("}}");
+
+    let path = std::path::Path::new("results/health_report.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, &out).expect("write health report");
+    println!("wrote {} ({} bytes)", path.display(), out.len());
+
+    // --- verification: re-read from disk, parse, check degradation ---
+    let reread = std::fs::read_to_string(path).expect("re-read health report");
+    let v = match json::parse(&reread) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("FAIL: health report is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failures = Vec::new();
+    if v.get("schema").and_then(|s| s.as_str()) != Some("malnet.health_report") {
+        failures.push("schema field missing or wrong".to_string());
+    }
+    if v.get("version").and_then(|n| n.as_u64()) != Some(1) {
+        failures.push("version field missing or wrong".to_string());
+    }
+    let quarantined = v.get("quarantined").and_then(|n| n.as_u64()).unwrap_or(0);
+    if quarantined == 0 {
+        failures.push("chaos run quarantined no samples (injection inert?)".to_string());
+    }
+    let profiled = v.get("profiled").and_then(|n| n.as_u64()).unwrap_or(0);
+    if profiled == 0 {
+        failures.push("chaos run profiled no samples (study degraded to nothing)".to_string());
+    }
+    let rows = v
+        .get("rows")
+        .and_then(|a| a.as_array())
+        .map(<[_]>::len)
+        .unwrap_or(0);
+    if rows != data.health.rows.len() {
+        failures.push(format!(
+            "rows round-trip mismatch: wrote {}, re-read {rows}",
+            data.health.rows.len()
+        ));
+    }
+    if v.get("exit_counts").and_then(|o| o.get("exited")).is_none() {
+        failures.push("exit_counts lost the healthy-exit tally".to_string());
+    }
+    for name in ["chaos.forced_panics", "netsim.dns_faults_injected"] {
+        if report.counter(name).unwrap_or(0) == 0 {
+            failures.push(format!("fault counter {name:?} is zero — injection inert"));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "health report OK: {quarantined} quarantined, {rows} degradation rows, {} exit classes",
+        data.health.exit_counts.len()
+    );
+    for r in &data.health.rows {
+        println!(
+            "  day {:>3} {:<16} {:?} {}",
+            r.day,
+            &r.sha256[..16.min(r.sha256.len())],
+            r.kind,
+            r.detail
+        );
+    }
+}

@@ -16,6 +16,15 @@
 //!   Lookup-only maps are fine: annotate the declaration (same or
 //!   previous line) with `lint: hash-ok` and say why.
 //!
+//! * **Panic sites** (`panic!`, `.unwrap()`, `.expect(`) in
+//!   `crates/core/src` and `crates/wire/src` production code. One
+//!   crashing sample must degrade into D-Health, not abort a multi-day
+//!   study (see DESIGN.md §robustness). Deliberate sites — invariants
+//!   that genuinely cannot fail, or the chaos layer's forced panic —
+//!   are annotated `lint: panic-ok` (same or previous line) with a
+//!   justification. Test modules (everything after a `#[cfg(test)]`
+//!   line) are exempt: a test *should* panic on a broken invariant.
+//!
 //! Comment lines and (for the hash rule) `use` declarations are
 //! ignored; importing a type is not a hazard, iterating it is.
 //!
@@ -33,7 +42,7 @@ struct Violation {
     file: String,
     /// 1-indexed line.
     line: usize,
-    /// Which rule fired (`clock` or `hash`).
+    /// Which rule fired (`clock`, `hash`, or `panic`).
     rule: &'static str,
     /// The offending source line, trimmed.
     text: String,
@@ -53,19 +62,28 @@ const CLOCK_TOKENS: &[&str] = &["SystemTime::now", "Instant::now", "std::time"];
 const CLOCK_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "crates/bench/"];
 const HASH_TOKENS: &[&str] = &["HashMap", "HashSet"];
 const HASH_SCOPED_PREFIXES: &[&str] = &["crates/core/src/", "crates/wire/src/"];
+const PANIC_TOKENS: &[&str] = &["panic!", ".unwrap()", ".expect("];
+const PANIC_SCOPED_PREFIXES: &[&str] = &["crates/core/src/", "crates/wire/src/"];
 
 /// Pure lint over one file's content. `path` is workspace-relative with
 /// forward slashes.
 fn lint_source(path: &str, content: &str) -> Vec<Violation> {
     let clock_applies = !CLOCK_EXEMPT_PREFIXES.iter().any(|p| path.starts_with(p));
     let hash_applies = HASH_SCOPED_PREFIXES.iter().any(|p| path.starts_with(p));
-    if !clock_applies && !hash_applies {
+    let panic_applies = PANIC_SCOPED_PREFIXES.iter().any(|p| path.starts_with(p));
+    if !clock_applies && !hash_applies && !panic_applies {
         return Vec::new();
     }
     let mut out = Vec::new();
     let mut prev_line = "";
+    // Unit-test modules sit at the bottom of each file behind
+    // `#[cfg(test)]`; the panic rule stops applying there.
+    let mut in_tests = false;
     for (i, line) in content.lines().enumerate() {
         let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
         let is_comment = trimmed.starts_with("//");
         let allowed = |marker: &str| line.contains(marker) || prev_line.contains(marker);
         if clock_applies
@@ -90,6 +108,19 @@ fn lint_source(path: &str, content: &str) -> Vec<Violation> {
                 file: path.to_string(),
                 line: i + 1,
                 rule: "hash",
+                text: trimmed.trim_end().to_string(),
+            });
+        }
+        if panic_applies
+            && !in_tests
+            && !is_comment
+            && !allowed("lint: panic-ok")
+            && PANIC_TOKENS.iter().any(|t| line.contains(t))
+        {
+            out.push(Violation {
+                file: path.to_string(),
+                line: i + 1,
+                rule: "panic",
                 text: trimmed.trim_end().to_string(),
             });
         }
@@ -154,7 +185,8 @@ fn main() {
     eprintln!(
         "{} violation(s). Clocks belong in crates/telemetry (use Telemetry::stopwatch \
          elsewhere); hash collections in core/wire need a `lint: hash-ok` justification \
-         or a BTree collection.",
+         or a BTree collection; panic sites in core/wire production code need typed \
+         errors / quarantine or a `lint: panic-ok` justification.",
         violations.len()
     );
     std::process::exit(1);
@@ -209,6 +241,31 @@ mod tests {
         )
         .is_empty());
         assert_eq!(lint_source("crates/wire/src/dns.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn panic_violation_is_caught_and_marker_clears_it() {
+        let bad = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        let v = lint_source("crates/core/src/pipeline.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "panic");
+        assert_eq!(v[0].line, 2);
+
+        let marked =
+            "fn f(v: Option<u32>) -> u32 {\n    // set above. lint: panic-ok\n    v.unwrap()\n}\n";
+        assert!(lint_source("crates/core/src/pipeline.rs", marked).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_skips_test_modules_and_other_crates() {
+        let src = "fn prod(v: Option<u32>) -> u32 {\n    v.expect(\"set\")\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { panic!(\"boom\") }\n}\n";
+        let v = lint_source("crates/wire/src/dns.rs", src);
+        assert_eq!(v.len(), 1, "{v:#?}");
+        assert_eq!(v[0].line, 2);
+        // Out of scope entirely: other crates and test directories.
+        assert!(lint_source("crates/sandbox/src/emu.rs", src).is_empty());
+        assert!(lint_source("crates/core/tests/determinism.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Deterministic chaos engineering: declarative, seeded fault plans.
+//!
+//! MalNet's real deployment survived a hostile substrate — C2 servers
+//! with a median lifetime of 3 days, dead resolvers, lossy paths, and
+//! binaries that crash or hang. A [`FaultPlan`] reproduces that
+//! hostility *on purpose*, under the same byte-determinism discipline as
+//! the rest of the pipeline:
+//!
+//! * every fault decision is a pure function of
+//!   `(fault_seed, day, coordinate)` via [`sub_seed`]-derived generators,
+//!   so a fixed plan injects the identical faults no matter how phase A
+//!   is scheduled across threads or processes;
+//! * a plan with every rate at zero ([`FaultPlan::none`], the default)
+//!   draws **zero** RNG values and perturbs nothing — the run is
+//!   byte-identical to a chaos-unaware build (enforced by
+//!   `crates/core/tests/parallel_determinism.rs`).
+//!
+//! The plan covers five fault families: world-network link loss and
+//! corruption, DNS failure injection (drop / SERVFAIL / NXDOMAIN),
+//! scheduled C2 downtime windows, binary mutation (truncation and bit
+//! flips) at feed ingestion, and forced phase-A worker panics. The
+//! pipeline applies it in [`crate::pipeline`]; quarantined casualties
+//! land in the D-Health dataset section.
+
+use malnet_netsim::dns::DnsFaults;
+use malnet_netsim::net::LinkFaults;
+use malnet_prng::rngs::StdRng;
+use malnet_prng::{sub_seed, Rng, SeedableRng};
+
+/// Sub-seed domain for world-network link faults (per day).
+const DOMAIN_WORLD_LINK: u64 = 0xc4a0_0000_0000_0001;
+/// Sub-seed domain for contained-network link faults (per day, sample).
+const DOMAIN_CONTAINED_LINK: u64 = 0xc4a0_0000_0000_0002;
+/// Sub-seed domain for C2 downtime windows (per day, host).
+const DOMAIN_DOWNTIME: u64 = 0xc4a0_0000_0000_0003;
+/// Sub-seed domain for binary mutation (per day, sample).
+const DOMAIN_BINARY: u64 = 0xc4a0_0000_0000_0004;
+/// Sub-seed domain for forced worker panics (per day, sample).
+const DOMAIN_PANIC: u64 = 0xc4a0_0000_0000_0005;
+
+/// A declarative, seeded fault plan.
+///
+/// Rates are probabilities in `[0, 1]`; a rate of zero disables its
+/// fault family without consuming randomness. All decision methods are
+/// pure functions of `(fault_seed, day, coordinate)` — see the module
+/// docs for the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed every fault decision derives from.
+    pub fault_seed: u64,
+    /// Packet-loss probability on the shared world network.
+    pub world_loss: f64,
+    /// Payload-corruption probability on the shared world network.
+    pub world_corrupt: f64,
+    /// Packet-loss probability on per-sample contained networks.
+    pub contained_loss: f64,
+    /// Payload-corruption probability on per-sample contained networks.
+    pub contained_corrupt: f64,
+    /// Probability a DNS query is silently dropped.
+    pub dns_drop: f64,
+    /// Probability a DNS query is answered SERVFAIL.
+    pub dns_servfail: f64,
+    /// Probability a DNS query is answered NXDOMAIN.
+    pub dns_nxdomain: f64,
+    /// Probability a live C2 host gets a scheduled downtime window on a
+    /// given day.
+    pub c2_downtime_rate: f64,
+    /// `[min, max]` length in seconds of an injected downtime window.
+    pub c2_downtime_secs: (u64, u64),
+    /// Probability a sample's binary is truncated before analysis.
+    pub truncate_rate: f64,
+    /// Probability a sample's binary has one bit flipped before
+    /// analysis (evaluated only if truncation did not fire).
+    pub bitflip_rate: f64,
+    /// Probability a sample's phase-A worker panics outright.
+    pub panic_rate: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: every rate zero, nothing perturbed, no RNG drawn.
+    pub const fn none() -> Self {
+        FaultPlan {
+            fault_seed: 0,
+            world_loss: 0.0,
+            world_corrupt: 0.0,
+            contained_loss: 0.0,
+            contained_corrupt: 0.0,
+            dns_drop: 0.0,
+            dns_servfail: 0.0,
+            dns_nxdomain: 0.0,
+            c2_downtime_rate: 0.0,
+            c2_downtime_secs: (0, 0),
+            truncate_rate: 0.0,
+            bitflip_rate: 0.0,
+            panic_rate: 0.0,
+        }
+    }
+
+    /// The standard chaos preset used by the differential tests and the
+    /// `chaos_run` bench bin: every fault family active at rates high
+    /// enough to fire in a small test world, low enough that the study
+    /// still produces data.
+    pub const fn chaos(fault_seed: u64) -> Self {
+        FaultPlan {
+            fault_seed,
+            world_loss: 0.02,
+            world_corrupt: 0.01,
+            contained_loss: 0.03,
+            contained_corrupt: 0.01,
+            dns_drop: 0.05,
+            dns_servfail: 0.05,
+            dns_nxdomain: 0.03,
+            c2_downtime_rate: 0.15,
+            c2_downtime_secs: (120, 3600),
+            truncate_rate: 0.06,
+            bitflip_rate: 0.06,
+            panic_rate: 0.05,
+        }
+    }
+
+    /// Is this the empty plan? (Every fault family disabled.)
+    pub fn is_none(&self) -> bool {
+        self.world_loss == 0.0
+            && self.world_corrupt == 0.0
+            && self.contained_loss == 0.0
+            && self.contained_corrupt == 0.0
+            && self.dns_drop == 0.0
+            && self.dns_servfail == 0.0
+            && self.dns_nxdomain == 0.0
+            && self.c2_downtime_rate == 0.0
+            && self.truncate_rate == 0.0
+            && self.bitflip_rate == 0.0
+            && self.panic_rate == 0.0
+    }
+
+    fn rng(&self, domain: u64, day: u32, id: u64) -> StdRng {
+        StdRng::seed_from_u64(sub_seed(self.fault_seed ^ domain, day, id))
+    }
+
+    /// Per-day jitter in `[0.5, 1.5)` applied to a base rate, so fault
+    /// pressure varies day to day (good days and bad days, like a real
+    /// vantage point) while staying fully determined by the plan.
+    fn day_scale(rng: &mut StdRng) -> f64 {
+        0.5 + rng.gen_range(0.0..1.0)
+    }
+
+    /// Link faults for the shared world network on `day`.
+    pub fn world_link(&self, day: u32) -> LinkFaults {
+        if self.world_loss == 0.0 && self.world_corrupt == 0.0 {
+            return LinkFaults::default();
+        }
+        let mut rng = self.rng(DOMAIN_WORLD_LINK, day, 0);
+        let scale = Self::day_scale(&mut rng);
+        LinkFaults {
+            loss: (self.world_loss * scale).min(1.0),
+            corrupt: (self.world_corrupt * scale).min(1.0),
+            ..LinkFaults::default()
+        }
+    }
+
+    /// Link faults for one sample's contained network on `day`.
+    pub fn contained_link(&self, day: u32, sample_id: usize) -> LinkFaults {
+        if self.contained_loss == 0.0 && self.contained_corrupt == 0.0 {
+            return LinkFaults::default();
+        }
+        let mut rng = self.rng(DOMAIN_CONTAINED_LINK, day, sample_id as u64);
+        let scale = Self::day_scale(&mut rng);
+        LinkFaults {
+            loss: (self.contained_loss * scale).min(1.0),
+            corrupt: (self.contained_corrupt * scale).min(1.0),
+            ..LinkFaults::default()
+        }
+    }
+
+    /// DNS failure-injection policy for the world resolver on `day`.
+    pub fn dns_faults(&self, day: u32) -> DnsFaults {
+        if self.dns_drop == 0.0 && self.dns_servfail == 0.0 && self.dns_nxdomain == 0.0 {
+            return DnsFaults::default();
+        }
+        let mut rng = self.rng(DOMAIN_WORLD_LINK, day, 1);
+        let scale = Self::day_scale(&mut rng);
+        DnsFaults {
+            drop_rate: (self.dns_drop * scale).min(1.0),
+            servfail_rate: (self.dns_servfail * scale).min(1.0),
+            nxdomain_rate: (self.dns_nxdomain * scale).min(1.0),
+        }
+    }
+
+    /// Should host `ip` get a downtime window on `day`? Returns the
+    /// window as `(start_secs_into_day, duration_secs)`.
+    pub fn downtime_window(&self, day: u32, ip: std::net::Ipv4Addr) -> Option<(u64, u64)> {
+        if self.c2_downtime_rate == 0.0 {
+            return None;
+        }
+        let mut rng = self.rng(DOMAIN_DOWNTIME, day, u64::from(u32::from(ip)));
+        if !rng.gen_bool(self.c2_downtime_rate) {
+            return None;
+        }
+        let (lo, hi) = self.c2_downtime_secs;
+        let dur = if hi > lo { rng.gen_range(lo..=hi) } else { lo.max(1) };
+        // Start somewhere inside the pipeline's active hours for the
+        // day: liveness sweeps run first, restricted sessions can run
+        // for a couple of simulated hours after.
+        let start = rng.gen_range(0u64..7_200);
+        Some((start, dur))
+    }
+
+    /// Maybe mutate a sample's binary before analysis. Returns the
+    /// mutated bytes plus a human-readable fault-context string, or
+    /// `None` to analyze the binary untouched.
+    pub fn mutate_binary(&self, day: u32, sample_id: usize, elf: &[u8]) -> Option<(Vec<u8>, String)> {
+        if (self.truncate_rate == 0.0 && self.bitflip_rate == 0.0) || elf.is_empty() {
+            return None;
+        }
+        let mut rng = self.rng(DOMAIN_BINARY, day, sample_id as u64);
+        if self.truncate_rate > 0.0 && rng.gen_bool(self.truncate_rate) {
+            let keep = rng.gen_range(1..=elf.len());
+            let mut bytes = elf.to_vec();
+            bytes.truncate(keep);
+            return Some((bytes, format!("binary truncated {} -> {keep} bytes", elf.len())));
+        }
+        if self.bitflip_rate > 0.0 && rng.gen_bool(self.bitflip_rate) {
+            let pos = rng.gen_range(0..elf.len());
+            let bit = rng.gen_range(0u32..8);
+            let mut bytes = elf.to_vec();
+            bytes[pos] ^= 1 << bit;
+            return Some((bytes, format!("binary bit-flipped @{pos}.{bit}")));
+        }
+        None
+    }
+
+    /// Should the phase-A worker for `(day, sample_id)` panic outright?
+    /// Models the in-process crashes a real analysis harness has to
+    /// contain (emulator bugs, resource exhaustion).
+    pub fn forced_panic(&self, day: u32, sample_id: usize) -> bool {
+        if self.panic_rate == 0.0 {
+            return false;
+        }
+        let mut rng = self.rng(DOMAIN_PANIC, day, sample_id as u64);
+        rng.gen_bool(self.panic_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert_eq!(p.world_link(3), LinkFaults::default());
+        assert_eq!(p.contained_link(3, 9), LinkFaults::default());
+        assert_eq!(p.dns_faults(3), DnsFaults::default());
+        assert_eq!(p.downtime_window(3, Ipv4Addr::new(1, 2, 3, 4)), None);
+        assert_eq!(p.mutate_binary(3, 9, b"\x7fELF"), None);
+        assert!(!p.forced_panic(3, 9));
+        assert_eq!(FaultPlan::default(), p);
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_coordinates() {
+        let p = FaultPlan::chaos(42);
+        assert!(!p.is_none());
+        for day in 0..20 {
+            for id in 0..20usize {
+                let ip = Ipv4Addr::new(10, 0, 0, id as u8);
+                assert_eq!(p.world_link(day), p.world_link(day));
+                assert_eq!(p.contained_link(day, id), p.contained_link(day, id));
+                assert_eq!(p.dns_faults(day), p.dns_faults(day));
+                assert_eq!(p.downtime_window(day, ip), p.downtime_window(day, ip));
+                assert_eq!(
+                    p.mutate_binary(day, id, b"some elf bytes"),
+                    p.mutate_binary(day, id, b"some elf bytes")
+                );
+                assert_eq!(p.forced_panic(day, id), p.forced_panic(day, id));
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_preset_fires_every_fault_family() {
+        let p = FaultPlan::chaos(7);
+        let days = 0..40u32;
+        assert!(days.clone().any(|d| p.world_link(d).loss > 0.0));
+        assert!(days.clone().any(|d| p.dns_faults(d).any()));
+        let mut windows = 0;
+        let mut mutations = 0;
+        let mut panics = 0;
+        for d in days {
+            for id in 0..40usize {
+                let ip = Ipv4Addr::new(172, 16, id as u8, 1);
+                if p.downtime_window(d, ip).is_some() {
+                    windows += 1;
+                }
+                if p.mutate_binary(d, id, &[0u8; 64]).is_some() {
+                    mutations += 1;
+                }
+                if p.forced_panic(d, id) {
+                    panics += 1;
+                }
+            }
+        }
+        assert!(windows > 0, "no downtime windows over 1600 trials");
+        assert!(mutations > 0, "no binary mutations over 1600 trials");
+        assert!(panics > 0, "no forced panics over 1600 trials");
+    }
+
+    #[test]
+    fn downtime_windows_respect_bounds() {
+        let p = FaultPlan::chaos(3);
+        for d in 0..60 {
+            for h in 0..30u8 {
+                let ip = Ipv4Addr::new(10, 1, h, 2);
+                if let Some((start, dur)) = p.downtime_window(d, ip) {
+                    assert!(start < 7_200);
+                    assert!((120..=3_600).contains(&dur));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_change_but_bound_the_bytes() {
+        let p = FaultPlan::chaos(11);
+        let elf = vec![0xabu8; 256];
+        for d in 0..60 {
+            for id in 0..30usize {
+                if let Some((bytes, desc)) = p.mutate_binary(d, id, &elf) {
+                    assert!(!bytes.is_empty());
+                    assert!(bytes.len() <= elf.len());
+                    assert_ne!(bytes, elf);
+                    assert!(desc.contains("truncated") || desc.contains("bit-flipped"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_fault_seeds_give_different_plans() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        let differs = (0..40).any(|d| a.world_link(d) != b.world_link(d));
+        assert!(differs, "fault seeds 1 and 2 produced identical link schedules");
+    }
+}

@@ -176,6 +176,62 @@ pub struct TriageRecord {
     pub endpoints: usize,
 }
 
+/// Why a sample landed in D-Health instead of (or in addition to) the
+/// regular datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthKind {
+    /// The phase-A worker panicked; the sample was quarantined and the
+    /// study continued without it.
+    WorkerPanic,
+    /// The contained sandbox reported a CPU fault (segfault, illegal
+    /// instruction, unloadable/malformed ELF).
+    SandboxFault,
+    /// The contained sandbox exhausted its instruction budget (guest
+    /// hung in a compute loop).
+    BudgetExhausted,
+}
+
+/// One graceful-degradation event (D-Health row): a sample the pipeline
+/// could not fully profile, with enough context to audit why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthRecord {
+    /// Sample hash.
+    pub sha256: String,
+    /// Study day the event occurred.
+    pub day: u32,
+    /// What went wrong.
+    pub kind: HealthKind,
+    /// Exit reason / panic message detail.
+    pub detail: String,
+    /// Injected-fault context active for this sample (empty outside
+    /// chaos runs).
+    pub fault_context: Vec<String>,
+}
+
+/// The D-Health section: graceful-degradation accounting for a run.
+///
+/// `rows` holds the samples that could not be fully profiled;
+/// `exit_counts` tallies every contained-run exit reason (including the
+/// healthy ones), so the section doubles as a run health report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthData {
+    /// Quarantine/degradation events in merge (sample-id) order.
+    pub rows: Vec<HealthRecord>,
+    /// Contained-run exit reasons, coarsely classified, with counts.
+    pub exit_counts: BTreeMap<String, u64>,
+}
+
+impl HealthData {
+    /// Number of quarantined samples (worker panics), as opposed to
+    /// degraded-but-profiled ones.
+    pub fn quarantined(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.kind == HealthKind::WorkerPanic)
+            .count()
+    }
+}
+
 /// The full output of a pipeline run (Table 1).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Datasets {
@@ -189,6 +245,9 @@ pub struct Datasets {
     pub exploits: Vec<ExploitRecord>,
     /// D-DDOS.
     pub ddos: Vec<DdosRecord>,
+    /// D-Health: graceful-degradation accounting (quarantined samples,
+    /// sandbox faults, budget exhaustion).
+    pub health: HealthData,
     /// D-Triage: static triage observations (empty when triage is off).
     pub triage: Vec<TriageRecord>,
 }
@@ -236,6 +295,13 @@ impl Datasets {
         out.push_str("== D-DDOS ==\n");
         for r in &self.ddos {
             out.push_str(&format!("{r:?}\n"));
+        }
+        out.push_str("== D-Health ==\n");
+        for r in &self.health.rows {
+            out.push_str(&format!("{r:?}\n"));
+        }
+        for (reason, n) in &self.health.exit_counts {
+            out.push_str(&format!("exit {reason} = {n}\n"));
         }
         // D-Triage stays LAST: the determinism suite strips it by
         // splitting on the section header to compare the dynamic

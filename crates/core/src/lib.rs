@@ -16,6 +16,9 @@
 //!   engagement checks (§2.3b).
 //! * [`pipeline`] — the daily loop: collect, vet, activate, extract,
 //!   cross-validate with the intelligence feeds, track liveness.
+//! * [`chaos`] — deterministic fault plans (link loss, DNS failures,
+//!   C2 downtime, binary mutation, worker panics) and the
+//!   graceful-degradation discipline behind the D-Health section.
 //! * [`datasets`] — D-Samples, D-C2s, D-PC2, D-Exploits, D-DDOS.
 //! * [`stats`] — CDFs, distributions and the text renderers used by the
 //!   table/figure regeneration harness.
@@ -32,6 +35,7 @@
 
 pub mod analysis;
 pub mod c2detect;
+pub mod chaos;
 pub mod datasets;
 pub mod ddos;
 pub mod eval;
@@ -39,5 +43,6 @@ pub mod pipeline;
 pub mod prober;
 pub mod stats;
 
+pub use chaos::FaultPlan;
 pub use datasets::Datasets;
 pub use pipeline::{Pipeline, PipelineOpts};

@@ -38,7 +38,11 @@ use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
 use malnet_wire::dns::{DnsMessage, DomainName};
 
 use crate::c2detect::detect_c2;
-use crate::datasets::{C2Record, Datasets, DdosRecord, ExploitRecord, SampleRecord, TriageRecord};
+use crate::chaos::FaultPlan;
+use crate::datasets::{
+    C2Record, Datasets, DdosRecord, ExploitRecord, HealthKind, HealthRecord, SampleRecord,
+    TriageRecord,
+};
 use crate::ddos;
 use crate::prober::{self, ProbeConfig};
 
@@ -90,6 +94,18 @@ pub struct PipelineOpts {
     /// its own [`sub_seed`]-derived RNG and results are merged back in
     /// sample-id order (see DESIGN.md).
     pub parallelism: usize,
+    /// Deterministic chaos-engineering fault plan. [`FaultPlan::none`]
+    /// (the default) injects nothing, draws no randomness, and leaves
+    /// every byte of the datasets untouched; any other plan perturbs the
+    /// run identically at every parallelism level (enforced by the
+    /// determinism suite).
+    pub faults: FaultPlan,
+    /// Bounded SYN re-probes (with linear backoff) before the daily
+    /// liveness sweep or the D-PC2 prober declares a listener dead.
+    /// `0` (the default) keeps the legacy single-probe behaviour; chaos
+    /// runs raise it so transient injected loss stops producing false
+    /// C2-death verdicts.
+    pub syn_retries: u32,
 }
 
 impl Default for PipelineOpts {
@@ -110,6 +126,8 @@ impl Default for PipelineOpts {
             static_triage: true,
             late_query_day: STUDY_DAYS + 45,
             parallelism: 1,
+            faults: FaultPlan::none(),
+            syn_retries: 0,
         }
     }
 }
@@ -200,6 +218,7 @@ impl Pipeline {
             // restricted sessions.
             let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
             net.set_telemetry(&tel);
+            self.apply_world_chaos(world, &mut net, day);
             self.daily_liveness_sweep(&mut net, day);
             // Select the day's batch up front (`samples_published_on`
             // returns ids in ascending order) so the contained stage can
@@ -215,7 +234,10 @@ impl Pipeline {
                 run_contained_batch(world, &self.opts, day, &batch, &tel)
             };
             for outcome in outcomes {
-                net = self.merge_outcome(world, net, day, outcome);
+                match outcome {
+                    Ok(out) => net = self.merge_outcome(world, net, day, out),
+                    Err(q) => self.quarantine_sample(world, day, q),
+                }
             }
             drop(day_span);
             tel.rollup(
@@ -249,6 +271,7 @@ impl Pipeline {
                 let cfg = ProbeConfig {
                     rounds: self.opts.probe_rounds,
                     hosts_per_subnet: self.opts.probe_hosts_per_subnet,
+                    syn_retries: self.opts.syn_retries,
                     ..ProbeConfig::from_world(world)
                 };
                 self.data.probed =
@@ -259,7 +282,53 @@ impl Pipeline {
         (self.data, self.vendors)
     }
 
-    /// Probe all tracked C2s once on `day`.
+    /// Apply the day's share of the fault plan to the shared world
+    /// network: link faults, DNS failure injection, and scheduled C2
+    /// downtime windows. A no-op (that draws no randomness) for the
+    /// empty plan.
+    fn apply_world_chaos(&self, world: &World, net: &mut Network, day: u32) {
+        let plan = &self.opts.faults;
+        if plan.is_none() {
+            return;
+        }
+        net.faults = plan.world_link(day);
+        net.dns_faults = plan.dns_faults(day);
+        for c2 in &world.c2s {
+            if !c2.alive_on(day) {
+                continue;
+            }
+            if let Some((start, dur)) = plan.downtime_window(day, c2.host_ip) {
+                let down_at = SimTime::from_day(day, start);
+                net.schedule_host_state(c2.host_ip, down_at, false);
+                net.schedule_host_state(c2.host_ip, down_at + SimDuration::from_secs(dur), true);
+                self.tel.add("chaos.c2_downtime_windows", 1);
+            }
+        }
+    }
+
+    /// Phase-B handling of a sample whose phase-A worker panicked: the
+    /// casualty is recorded in D-Health and the study continues. This
+    /// replaces the old abort-on-panic behaviour — one crashing sample
+    /// must not cost a multi-day study.
+    fn quarantine_sample(&mut self, world: &World, day: u32, q: Quarantined) {
+        self.tel.add("pipeline.samples_quarantined", 1);
+        *self
+            .data
+            .health
+            .exit_counts
+            .entry("worker-panic".to_string())
+            .or_insert(0) += 1;
+        self.data.health.rows.push(HealthRecord {
+            sha256: world.samples[q.sample_id].sha256.clone(),
+            day,
+            kind: HealthKind::WorkerPanic,
+            detail: q.detail,
+            fault_context: q.fault_context,
+        });
+    }
+
+    /// Probe all tracked C2s once on `day` (re-probing misses up to
+    /// `opts.syn_retries` times with linear backoff).
     fn daily_liveness_sweep(&mut self, net: &mut Network, day: u32) {
         if self.tracking.is_empty() {
             return;
@@ -268,25 +337,40 @@ impl Pipeline {
         self.tel
             .add("pipeline.liveness_probes", self.tracking.len() as u64);
         net.add_external_host(MONITOR_IP);
-        let mut socks: BTreeMap<u64, String> = BTreeMap::new();
-        for (addr, t) in &self.tracking {
-            let sock = net.ext_tcp_connect(MONITOR_IP, t.ip, t.port);
-            socks.insert(sock.0, addr.clone());
-        }
-        net.run_for(SimDuration::from_secs(8));
         let mut live: Vec<String> = Vec::new();
-        for ev in net.ext_events(MONITOR_IP) {
-            if let SockEvent::Connected(s) = ev {
-                if let Some(addr) = socks.get(&s.0) {
-                    live.push(addr.clone());
+        // BTreeMap iteration order: the connect order is canonical.
+        let mut pending: Vec<(String, Ipv4Addr, u16)> = self
+            .tracking
+            .iter()
+            .map(|(addr, t)| (addr.clone(), t.ip, t.port))
+            .collect();
+        for attempt in 0..=self.opts.syn_retries {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 0 {
+                self.tel.add("pipeline.liveness_retries", pending.len() as u64);
+            }
+            let mut socks: BTreeMap<u64, String> = BTreeMap::new();
+            for (addr, ip, port) in &pending {
+                let sock = net.ext_tcp_connect(MONITOR_IP, *ip, *port);
+                socks.insert(sock.0, addr.clone());
+            }
+            net.run_for(SimDuration::from_secs(8 * (u64::from(attempt) + 1)));
+            for ev in net.ext_events(MONITOR_IP) {
+                if let SockEvent::Connected(s) = ev {
+                    if let Some(addr) = socks.get(&s.0) {
+                        live.push(addr.clone());
+                    }
                 }
             }
+            for &sock in socks.keys() {
+                net.ext_tcp_abort(MONITOR_IP, malnet_netsim::stack::SockId(sock));
+            }
+            net.run_for(SimDuration::from_secs(1));
+            net.ext_events(MONITOR_IP);
+            pending.retain(|(addr, _, _)| !live.contains(addr));
         }
-        for &sock in socks.keys() {
-            net.ext_tcp_abort(MONITOR_IP, malnet_netsim::stack::SockId(sock));
-        }
-        net.run_for(SimDuration::from_secs(1));
-        net.ext_events(MONITOR_IP);
         net.remove_host(MONITOR_IP);
         let mut drop_list = Vec::new();
         for (addr, t) in self.tracking.iter_mut() {
@@ -335,9 +419,35 @@ impl Pipeline {
             candidates,
             instructions,
             triage,
+            exit,
+            fault_context,
         } = outcome;
         self.data.triage.extend(triage);
         let sample = &world.samples[sample_id];
+        // D-Health accounting: every contained run's exit reason is
+        // tallied; sandbox faults (including malformed-ELF rejects) and
+        // budget exhaustion get full degradation rows.
+        let class = exit_class(&exit);
+        *self
+            .data
+            .health
+            .exit_counts
+            .entry(class.to_string())
+            .or_insert(0) += 1;
+        let degraded_kind = match class {
+            "fault" => Some(HealthKind::SandboxFault),
+            "budget" => Some(HealthKind::BudgetExhausted),
+            _ => None,
+        };
+        if let Some(kind) = degraded_kind {
+            self.data.health.rows.push(HealthRecord {
+                sha256: sample.sha256.clone(),
+                day,
+                kind,
+                detail: exit.clone(),
+                fault_context: fault_context.clone(),
+            });
+        }
         let elf = &sample.elf;
         let av = self.engines.detections_for_malware().max(sample.av_detections.min(60));
 
@@ -397,11 +507,14 @@ impl Pipeline {
             if let Some(ip) = real_ip {
                 let live = tcp_probe(&mut net, ip, cand.port);
                 if live {
-                    let rec = self.data.c2s.get_mut(&cand.addr).expect("just inserted");
-                    if !rec.live_days.contains(&day) {
-                        rec.live_days.push(day);
+                    // The entry was inserted above; `if let` (rather
+                    // than an `expect`) keeps the hot path panic-free.
+                    if let Some(rec) = self.data.c2s.get_mut(&cand.addr) {
+                        if !rec.live_days.contains(&day) {
+                            rec.live_days.push(day);
+                        }
+                        rec.ip = ip;
                     }
-                    rec.ip = ip;
                     self.tracking
                         .entry(cand.addr.clone())
                         .or_insert(TrackState {
@@ -544,6 +657,24 @@ pub struct ContainedOutcome {
     pub instructions: u64,
     /// Phase-0 static triage result (None when triage is off).
     pub triage: Option<TriageRecord>,
+    /// Exit label of the contained run (`"exited(0)"`, `"fault: …"`,
+    /// `"deadline"`, `"budget"`) — input to D-Health accounting.
+    pub exit: String,
+    /// Injected-fault context active during this sample's contained run
+    /// (empty outside chaos runs).
+    pub fault_context: Vec<String>,
+}
+
+/// A phase-A casualty: the worker analyzing this sample panicked. The
+/// pipeline quarantines it into D-Health instead of aborting the study.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// The sample's id in `world.samples`.
+    pub sample_id: usize,
+    /// Panic message (best effort).
+    pub detail: String,
+    /// Injected-fault context, when the panic was chaos-forced.
+    pub fault_context: Vec<String>,
 }
 
 // Compile-time guarantee: phase-A outcomes can ship across threads.
@@ -568,8 +699,25 @@ pub fn contained_activation(
     tel: &Telemetry,
 ) -> ContainedOutcome {
     let _span = tel.span("pipeline.contained_sample");
+    let plan = &opts.faults;
+    if plan.forced_panic(day, sample_id) {
+        tel.add("chaos.forced_panics", 1);
+        // Deliberate: the chaos layer's injected crash. lint: panic-ok
+        panic!("chaos: forced phase-A worker panic (day {day}, sample {sample_id})");
+    }
     let sample = &world.samples[sample_id];
-    let elf = &sample.elf;
+    let mut fault_context: Vec<String> = Vec::new();
+    // Binary mutation (truncation / bit flip) models a corrupted feed
+    // download; the analysis sees the mutated bytes end to end.
+    let mutated = plan.mutate_binary(day, sample_id, &sample.elf);
+    let elf: &[u8] = match &mutated {
+        Some((bytes, desc)) => {
+            tel.add("chaos.binaries_mutated", 1);
+            fault_context.push(desc.clone());
+            bytes
+        }
+        None => &sample.elf,
+    };
     let yara = yara_label(elf).map(str::to_string);
     let avclass = avclass2_label(elf).map(str::to_string);
 
@@ -587,6 +735,28 @@ pub fn contained_activation(
         sample_seed(opts.seed, day, sample_id, SeedStream::ContainedNet),
     );
     contained_net.set_telemetry(tel);
+    if !plan.is_none() {
+        let link = plan.contained_link(day, sample_id);
+        if link.loss > 0.0 || link.corrupt > 0.0 {
+            fault_context.push(format!(
+                "contained link loss={:.4} corrupt={:.4}",
+                link.loss, link.corrupt
+            ));
+            contained_net.faults = link;
+        }
+        // The sandbox's fake resolver is a DnsService like any other:
+        // the day's DNS fault policy applies to it too. Decisions draw
+        // from the contained net's per-sample RNG, so they are a pure
+        // function of (fault_seed, day, sample_id).
+        let dns = plan.dns_faults(day);
+        if dns.any() {
+            fault_context.push(format!(
+                "dns drop={:.4} servfail={:.4} nxdomain={:.4}",
+                dns.drop_rate, dns.servfail_rate, dns.nxdomain_rate
+            ));
+            contained_net.dns_faults = dns;
+        }
+    }
     let mut sb = Sandbox::new(
         contained_net,
         SandboxConfig {
@@ -646,6 +816,32 @@ pub fn contained_activation(
         candidates,
         instructions: art.instructions,
         triage,
+        exit: exit_label(&art.exit),
+        fault_context,
+    }
+}
+
+/// Canonical string form of a sandbox exit reason.
+fn exit_label(exit: &malnet_sandbox::ExitReason) -> String {
+    match exit {
+        malnet_sandbox::ExitReason::Exited(code) => format!("exited({code})"),
+        malnet_sandbox::ExitReason::Fault(msg) => format!("fault: {msg}"),
+        malnet_sandbox::ExitReason::Deadline => "deadline".to_string(),
+        malnet_sandbox::ExitReason::Budget => "budget".to_string(),
+    }
+}
+
+/// Coarse exit class an [`exit_label`] string belongs to — the
+/// D-Health `exit_counts` key.
+fn exit_class(label: &str) -> &'static str {
+    if label.starts_with("exited") {
+        "exited"
+    } else if label.starts_with("fault") {
+        "fault"
+    } else if label == "budget" {
+        "budget"
+    } else {
+        "deadline"
     }
 }
 
@@ -684,8 +880,10 @@ fn static_triage(elf: &[u8], day: u32, sha256: &str, tel: &Telemetry) -> TriageR
 /// is independent of thread scheduling.
 ///
 /// A panic inside any sample's contained run is caught on the worker
-/// and re-raised here with the sample id and day attached — instead of
-/// the bare `Mutex` poison a crashing worker used to surface.
+/// and returned as a [`Quarantined`] casualty in that sample's batch
+/// slot — the rest of the batch is unaffected and the pipeline's merge
+/// stage records the casualty in D-Health instead of aborting the
+/// study.
 ///
 /// Public so the bench harness can time the contained stage in
 /// isolation (`malnet-bench`'s `par_sweep`); pipeline callers go
@@ -696,28 +894,27 @@ pub fn run_contained_batch(
     day: u32,
     batch: &[usize],
     tel: &Telemetry,
-) -> Vec<ContainedOutcome> {
-    let run_one = |id: usize| -> Result<ContainedOutcome, String> {
+) -> Vec<Result<ContainedOutcome, Quarantined>> {
+    let run_one = |id: usize| -> Result<ContainedOutcome, Quarantined> {
         std::panic::catch_unwind(AssertUnwindSafe(|| {
             contained_activation(world, opts, day, id, tel)
         }))
-        .map_err(|payload| panic_message(payload.as_ref()))
-    };
-    let unwrap_outcome = |res: Result<ContainedOutcome, String>, id: usize| match res {
-        Ok(out) => out,
-        Err(msg) => panic!(
-            "phase-A contained activation panicked on sample {id} (day {day}): {msg}"
-        ),
+        .map_err(|payload| Quarantined {
+            sample_id: id,
+            detail: panic_message(payload.as_ref()),
+            fault_context: if opts.faults.forced_panic(day, id) {
+                vec!["forced worker panic".to_string()]
+            } else {
+                Vec::new()
+            },
+        })
     };
     let workers = opts.parallelism.max(1).min(batch.len());
     if workers <= 1 {
-        return batch
-            .iter()
-            .map(|&id| unwrap_outcome(run_one(id), id))
-            .collect();
+        return batch.iter().map(|&id| run_one(id)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<ContainedOutcome, String>>>> =
+    let slots: Vec<Mutex<Option<Result<ContainedOutcome, Quarantined>>>> =
         batch.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -725,7 +922,10 @@ pub fn run_contained_batch(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&id) = batch.get(i) else { break };
                 let out = run_one(id);
-                *slots[i].lock().unwrap() = Some(out);
+                // `run_one` cannot panic (it catches), so the lock can
+                // only be poisoned by harness bugs; degrade by taking
+                // the data anyway rather than aborting the study.
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
             });
         }
     });
@@ -733,11 +933,15 @@ pub fn run_contained_batch(
         .into_iter()
         .zip(batch)
         .map(|(slot, &id)| {
-            let res = slot
-                .into_inner()
-                .expect("no worker panics while holding a slot lock")
-                .expect("every batch slot is filled by a worker");
-            unwrap_outcome(res, id)
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(Quarantined {
+                        sample_id: id,
+                        detail: "phase-A batch slot was never filled".to_string(),
+                        fault_context: Vec::new(),
+                    })
+                })
         })
         .collect()
 }

@@ -45,6 +45,12 @@ pub struct ProbeConfig {
     /// Sweep the full /24 (254 hosts) or only the first N addresses
     /// (tests use a small N; the methodology is identical).
     pub hosts_per_subnet: u32,
+    /// Bounded SYN re-probes (with linear backoff) for hosts that did
+    /// not answer the first sweep, before declaring them non-listening.
+    /// `0` (the default) keeps the legacy single-SYN discovery; chaos
+    /// runs raise it so transient injected loss stops producing false
+    /// listener-death verdicts.
+    pub syn_retries: u32,
 }
 
 impl ProbeConfig {
@@ -58,6 +64,7 @@ impl ProbeConfig {
             rounds_per_day: 6,
             engage_secs: 25,
             hosts_per_subnet: 254,
+            syn_retries: 0,
         }
     }
 }
@@ -78,6 +85,7 @@ pub fn run_probing(
     let probes_sent = tel.counter("prober.probes_sent");
     let listeners_found = tel.counter("prober.listeners_found");
     let engagements = tel.counter("prober.engagements");
+    let syn_retries = tel.counter("prober.syn_retries");
     // (ip, port) → probe outcomes.
     let mut results: BTreeMap<(Ipv4Addr, u16), Vec<(u32, bool)>> = BTreeMap::new();
     let mut banner_filtered: BTreeSet<(Ipv4Addr, u16)> = BTreeSet::new();
@@ -91,8 +99,9 @@ pub fn run_probing(
         net.run_until(SimTime::from_day(day, secs_into_day));
         net.add_external_host(PROBER_IP);
 
-        // --- step 1: listener discovery (batched SYN sweep) ---
-        let mut socks: BTreeMap<u64, (Ipv4Addr, u16)> = BTreeMap::new();
+        // --- step 1: listener discovery (batched SYN sweep, with
+        // bounded re-probes for unanswered hosts) ---
+        let mut pending: Vec<(Ipv4Addr, u16)> = Vec::new();
         for subnet in &cfg.subnets {
             for h in 0..cfg.hosts_per_subnet.min(subnet.capacity()) {
                 let Some(ip) = subnet.host(h) else { continue };
@@ -100,36 +109,49 @@ pub fn run_probing(
                     if banner_filtered.contains(&(ip, port)) {
                         continue;
                     }
-                    let sock = net.ext_tcp_connect(PROBER_IP, ip, port);
-                    socks.insert(sock.0, (ip, port));
+                    pending.push((ip, port));
                 }
             }
         }
-        probes_sent.add(socks.len() as u64);
-        net.run_for(SimDuration::from_secs(8));
         let mut listeners: Vec<(Ipv4Addr, u16)> = Vec::new();
         let mut banners: BTreeMap<(Ipv4Addr, u16), Vec<u8>> = BTreeMap::new();
-        for ev in net.ext_events(PROBER_IP) {
-            match ev {
-                SockEvent::Connected(s) => {
-                    if let Some(&pair) = socks.get(&s.0) {
-                        listeners.push(pair);
-                    }
-                }
-                SockEvent::TcpData { sock, data } => {
-                    if let Some(&pair) = socks.get(&sock.0) {
-                        banners.entry(pair).or_default().extend(data);
-                    }
-                }
-                _ => {}
+        for attempt in 0..=cfg.syn_retries {
+            if pending.is_empty() {
+                break;
             }
+            let mut socks: BTreeMap<u64, (Ipv4Addr, u16)> = BTreeMap::new();
+            for &(ip, port) in &pending {
+                let sock = net.ext_tcp_connect(PROBER_IP, ip, port);
+                socks.insert(sock.0, (ip, port));
+            }
+            probes_sent.add(socks.len() as u64);
+            if attempt > 0 {
+                syn_retries.add(socks.len() as u64);
+            }
+            net.run_for(SimDuration::from_secs(8 * (u64::from(attempt) + 1)));
+            for ev in net.ext_events(PROBER_IP) {
+                match ev {
+                    SockEvent::Connected(s) => {
+                        if let Some(&pair) = socks.get(&s.0) {
+                            listeners.push(pair);
+                        }
+                    }
+                    SockEvent::TcpData { sock, data } => {
+                        if let Some(&pair) = socks.get(&sock.0) {
+                            banners.entry(pair).or_default().extend(data);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Close everything we opened.
+            for &sock_raw in socks.keys() {
+                net.ext_tcp_abort(PROBER_IP, malnet_netsim::stack::SockId(sock_raw));
+            }
+            net.run_for(SimDuration::from_secs(1));
+            net.ext_events(PROBER_IP);
+            pending.retain(|pair| !listeners.contains(pair));
         }
-        // Close everything we opened.
-        for &sock_raw in socks.keys() {
-            net.ext_tcp_abort(PROBER_IP, malnet_netsim::stack::SockId(sock_raw));
-        }
-        net.run_for(SimDuration::from_secs(1));
-        net.ext_events(PROBER_IP);
 
         // --- step 2: banner filter ---
         listeners.retain(|pair| {

@@ -14,6 +14,7 @@
 //! simulation events — must agree across parallelism levels too.
 
 use malnet_botgen::world::{World, WorldConfig};
+use malnet_core::chaos::FaultPlan;
 use malnet_core::pipeline::{Pipeline, PipelineOpts};
 use malnet_telemetry::Telemetry;
 
@@ -161,6 +162,171 @@ fn static_triage_is_observation_only_across_parallelism() {
             "triage-off datasets diverged at parallelism={par}"
         );
         assert_eq!(off_vendors_base, off_v);
+    }
+}
+
+/// Faults-off ≡ seed bytes: a `FaultPlan` whose rates are all zero —
+/// even with a non-zero `fault_seed` — draws no randomness and perturbs
+/// nothing, so the run is byte-identical to the chaos-unaware baseline
+/// at every parallelism level.
+#[test]
+fn empty_fault_plan_is_invisible() {
+    let seed = 2024;
+    let world = test_world(seed);
+    let baseline = run_dumps(&world, seed, 1);
+    for par in [1usize, 2, 8, 64] {
+        let opts = PipelineOpts {
+            seed,
+            parallelism: par,
+            max_samples: Some(30),
+            faults: FaultPlan {
+                fault_seed: 99,
+                ..FaultPlan::none()
+            },
+            ..PipelineOpts::fast()
+        };
+        let (data, vendors) = Pipeline::new(opts).run(&world);
+        assert_eq!(
+            baseline,
+            (data.canonical_dump(), vendors.canonical_dump()),
+            "empty fault plan changed bytes at parallelism={par}"
+        );
+    }
+}
+
+/// The chaos differential: with a fixed fault seed the study (1) always
+/// completes instead of aborting, (2) produces well-formed datasets,
+/// (3) quarantines at least one injected failure into D-Health, and
+/// (4) is byte-identical across parallelism {1, 2, 8, 64}.
+#[test]
+fn chaos_runs_are_deterministic_and_complete() {
+    let seed = 909;
+    let world = test_world(seed);
+    let run = |par: usize| {
+        let opts = PipelineOpts {
+            seed,
+            parallelism: par,
+            max_samples: Some(30),
+            faults: FaultPlan::chaos(7),
+            syn_retries: 1,
+            ..PipelineOpts::fast()
+        };
+        Pipeline::new(opts).run(&world)
+    };
+    let (base_data, base_vendors) = run(1);
+    let base = base_data.canonical_dump();
+    // Well-formed: every section header present, in canonical order.
+    let mut at = 0;
+    for header in [
+        "== D-Samples ==",
+        "== D-C2s ==",
+        "== D-PC2 ==",
+        "== D-Exploits ==",
+        "== D-DDOS ==",
+        "== D-Health ==",
+        "== D-Triage ==",
+    ] {
+        let pos = base[at..].find(header).unwrap_or_else(|| {
+            panic!("chaos dump lost section {header}")
+        });
+        at += pos;
+    }
+    // Degradation is visible, and the study still produced data.
+    assert!(
+        base_data.health.quarantined() >= 1,
+        "chaos run quarantined nothing: {:?}",
+        base_data.health
+    );
+    assert!(!base_data.health.exit_counts.is_empty());
+    assert!(
+        !base_data.samples.is_empty(),
+        "chaos run profiled no samples at all"
+    );
+    for par in [2usize, 8, 64] {
+        let (data, vendors) = run(par);
+        assert_eq!(
+            base,
+            data.canonical_dump(),
+            "chaos datasets diverged at parallelism={par}"
+        );
+        assert_eq!(
+            base_vendors.canonical_dump(),
+            vendors.canonical_dump(),
+            "chaos vendor state diverged at parallelism={par}"
+        );
+    }
+    // And the plan actually perturbed the run.
+    let clean = run_dumps(&world, seed, 1);
+    assert_ne!(clean.0, base, "chaos plan left the datasets untouched");
+}
+
+/// Regression for the old abort-on-panic behaviour: a forced phase-A
+/// worker panic must quarantine only its own sample — every other
+/// sample of the day is still profiled and lands in D-Samples.
+#[test]
+fn phase_a_panic_no_longer_aborts_the_run() {
+    let seed = 31;
+    let world = test_world(seed);
+    let opts = PipelineOpts {
+        seed,
+        parallelism: 4,
+        max_samples: Some(30),
+        faults: FaultPlan {
+            fault_seed: 5,
+            panic_rate: 0.3,
+            ..FaultPlan::none()
+        },
+        ..PipelineOpts::fast()
+    };
+    let (data, _) = Pipeline::new(opts).run(&world);
+    let quarantined = data.health.quarantined();
+    assert!(
+        quarantined >= 1,
+        "panic_rate=0.3 over 30 samples forced no panic"
+    );
+    assert!(
+        !data.samples.is_empty(),
+        "a worker panic still takes out the whole study"
+    );
+    // Conservation: every analyzed sample either was profiled or sits in
+    // quarantine — none silently vanished.
+    assert_eq!(data.samples.len() + quarantined, 30);
+    for row in &data.health.rows {
+        assert!(row.detail.contains("chaos: forced"), "unexpected row {row:?}");
+        assert_eq!(row.fault_context, vec!["forced worker panic".to_string()]);
+    }
+}
+
+/// Even under heavy link faults, the sandbox's capture artifacts stay
+/// parseable: corruption is injected *semantically* (payload bytes) so
+/// the pcap container itself never breaks.
+#[test]
+fn chaos_pcaps_stay_parseable() {
+    use malnet_netsim::net::Network;
+    use malnet_netsim::time::{SimDuration, SimTime};
+    use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
+
+    let world = test_world(64);
+    for (i, sample) in world.samples.iter().take(8).enumerate() {
+        let mut net = Network::new(SimTime::from_day(0, 0), 900 + i as u64);
+        net.faults.loss = 0.3;
+        net.faults.corrupt = 0.4;
+        let mut sb = Sandbox::new(
+            net,
+            SandboxConfig {
+                bot_ip: std::net::Ipv4Addr::new(100, 64, 0, 2),
+                mode: AnalysisMode::Contained,
+                handshaker_threshold: Some(5),
+                instruction_budget: 100_000_000,
+                seed: 77 + i as u64,
+            },
+        );
+        let art = sb.execute(&sample.elf, SimDuration::from_secs(60));
+        let parsed = malnet_wire::pcap::parse_capture(&art.pcap);
+        assert!(
+            parsed.is_ok(),
+            "sample {i}: capture unparseable under faults: {parsed:?}"
+        );
     }
 }
 

@@ -10,6 +10,8 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::{Arc, Mutex};
 
+use malnet_prng::rngs::StdRng;
+use malnet_prng::Rng;
 use malnet_wire::dns::{DnsMessage, DomainName};
 
 use crate::net::{Service, ServiceCtx};
@@ -17,6 +19,59 @@ use crate::stack::SockEvent;
 
 /// The conventional resolver address every simulated host uses.
 pub const RESOLVER_IP: Ipv4Addr = Ipv4Addr::new(9, 9, 9, 9);
+
+/// How an injected DNS failure manifests for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsFailure {
+    /// The query is silently dropped (resolver overloaded / path loss).
+    Drop,
+    /// The resolver answers SERVFAIL.
+    ServFail,
+    /// The resolver lies with NXDOMAIN for an existing name.
+    NxDomain,
+}
+
+/// Fault-injection policy for DNS services, carried by the
+/// [`crate::net::Network`] like [`crate::net::LinkFaults`] and applied by
+/// every [`DnsService`] on that network.
+///
+/// All rates default to 0.0, in which case `decide` never draws from the
+/// RNG — a fault-free network is byte-identical to one that predates this
+/// knob (the chaos layer's `FaultPlan::none()` guarantee).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DnsFaults {
+    /// Probability a query is silently dropped.
+    pub drop_rate: f64,
+    /// Probability a query is answered SERVFAIL.
+    pub servfail_rate: f64,
+    /// Probability a query is answered NXDOMAIN regardless of the zone.
+    pub nxdomain_rate: f64,
+}
+
+impl DnsFaults {
+    /// Is any failure mode configured?
+    pub fn any(&self) -> bool {
+        self.drop_rate > 0.0 || self.servfail_rate > 0.0 || self.nxdomain_rate > 0.0
+    }
+
+    /// Decide the fate of one query. Draws exactly one RNG value when any
+    /// rate is non-zero and none otherwise.
+    pub fn decide(&self, rng: &mut StdRng) -> Option<DnsFailure> {
+        if !self.any() {
+            return None;
+        }
+        let draw: f64 = rng.gen();
+        if draw < self.drop_rate {
+            Some(DnsFailure::Drop)
+        } else if draw < self.drop_rate + self.servfail_rate {
+            Some(DnsFailure::ServFail)
+        } else if draw < self.drop_rate + self.servfail_rate + self.nxdomain_rate {
+            Some(DnsFailure::NxDomain)
+        } else {
+            None
+        }
+    }
+}
 
 #[derive(Debug, Default)]
 struct ZoneData {
@@ -100,11 +155,27 @@ impl Service for DnsService {
             return;
         }
         self.zone.0.lock().unwrap().queries_served += 1;
-        let reply = match self.zone.lookup(&query.question) {
-            Some(addrs) if !addrs.is_empty() => {
-                DnsMessage::answer(query.id, query.question.clone(), &addrs)
+        // Fault injection (chaos layer): the network's DNS fault policy
+        // may drop the query or corrupt the verdict.
+        let faults = ctx.dns_faults();
+        let injected = faults.decide(ctx.rng());
+        if injected.is_some() {
+            ctx.note_dns_fault();
+        }
+        let reply = match injected {
+            Some(DnsFailure::Drop) => return,
+            Some(DnsFailure::ServFail) => {
+                DnsMessage::servfail(query.id, query.question.clone())
             }
-            _ => DnsMessage::nxdomain(query.id, query.question.clone()),
+            Some(DnsFailure::NxDomain) => {
+                DnsMessage::nxdomain(query.id, query.question.clone())
+            }
+            None => match self.zone.lookup(&query.question) {
+                Some(addrs) if !addrs.is_empty() => {
+                    DnsMessage::answer(query.id, query.question.clone(), &addrs)
+                }
+                _ => DnsMessage::nxdomain(query.id, query.question.clone()),
+            },
         };
         ctx.udp_send(53, src.0, src.1, reply.encode());
     }
@@ -182,6 +253,87 @@ mod tests {
         assert_eq!(zone.lookup(&name).unwrap()[0], Ipv4Addr::new(2, 2, 2, 2));
         zone.remove(&name);
         assert!(zone.lookup(&name).is_none());
+    }
+
+    /// Drive `n` queries for `name` against a resolver with the given
+    /// fault policy; returns the decoded replies (dropped queries simply
+    /// produce no reply).
+    fn query_n(faults: DnsFaults, name: &DomainName, n: u16) -> Vec<DnsMessage> {
+        let zone = DnsHandle::new();
+        zone.set(name.clone(), vec![Ipv4Addr::new(10, 1, 0, 5)]);
+        let mut net = Network::new(SimTime::EPOCH, 99);
+        net.dns_faults = faults;
+        net.add_service_host(RESOLVER_IP, Box::new(DnsService::new(zone)));
+        net.add_external_host(CLIENT);
+        net.ext_udp_bind(CLIENT, 40000);
+        for id in 0..n {
+            net.ext_udp_send(
+                CLIENT,
+                40000,
+                RESOLVER_IP,
+                53,
+                DnsMessage::query(id, name.clone()).encode(),
+            );
+            net.run_for(SimDuration::from_secs(1));
+        }
+        net.ext_events(CLIENT)
+            .iter()
+            .filter_map(|e| match e {
+                SockEvent::UdpData { data, .. } => DnsMessage::decode(data).ok(),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_policy_never_draws_or_fails() {
+        let name = DomainName::new("stable.example").unwrap();
+        let replies = query_n(DnsFaults::default(), &name, 8);
+        assert_eq!(replies.len(), 8);
+        assert!(replies
+            .iter()
+            .all(|r| r.rcode == malnet_wire::dns::Rcode::NoError));
+    }
+
+    #[test]
+    fn injected_faults_drop_and_corrupt_verdicts() {
+        let name = DomainName::new("chaotic.example").unwrap();
+        // All three modes at once; every query must hit one of them.
+        let faults = DnsFaults {
+            drop_rate: 0.4,
+            servfail_rate: 0.3,
+            nxdomain_rate: 0.3,
+        };
+        let replies = query_n(faults, &name, 40);
+        assert!(replies.len() < 40, "no query was ever dropped");
+        assert!(replies
+            .iter()
+            .any(|r| r.rcode == malnet_wire::dns::Rcode::ServFail));
+        assert!(replies
+            .iter()
+            .any(|r| r.rcode == malnet_wire::dns::Rcode::NxDomain));
+        assert!(replies
+            .iter()
+            .all(|r| r.rcode != malnet_wire::dns::Rcode::NoError));
+    }
+
+    #[test]
+    fn fault_decisions_are_seed_deterministic() {
+        let name = DomainName::new("repeat.example").unwrap();
+        let faults = DnsFaults {
+            drop_rate: 0.2,
+            servfail_rate: 0.2,
+            nxdomain_rate: 0.2,
+        };
+        let a: Vec<_> = query_n(faults, &name, 30)
+            .into_iter()
+            .map(|r| (r.id, r.rcode))
+            .collect();
+        let b: Vec<_> = query_n(faults, &name, 30)
+            .into_iter()
+            .map(|r| (r.id, r.rcode))
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

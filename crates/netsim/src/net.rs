@@ -33,7 +33,7 @@ use crate::time::{SimDuration, SimTime};
 pub const CONNECT_TIMEOUT: SimDuration = SimDuration::from_secs(3);
 
 /// Link-level fault injection parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkFaults {
     /// Probability a packet is dropped in flight.
     pub loss: f64,
@@ -69,6 +69,8 @@ pub struct ServiceCtx<'a> {
     out: &'a mut Vec<Packet>,
     timers: &'a mut Vec<(SimDuration, u64)>,
     rng: &'a mut StdRng,
+    dns_faults: crate::dns::DnsFaults,
+    dns_fault_counter: &'a malnet_telemetry::Counter,
 }
 
 impl ServiceCtx<'_> {
@@ -129,6 +131,17 @@ impl ServiceCtx<'_> {
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
+
+    /// The network's DNS fault-injection policy (chaos layer). Services
+    /// that answer DNS consult this per query.
+    pub fn dns_faults(&self) -> crate::dns::DnsFaults {
+        self.dns_faults
+    }
+
+    /// Record one injected DNS fault (telemetry only).
+    pub fn note_dns_fault(&mut self) {
+        self.dns_fault_counter.incr();
+    }
 }
 
 /// Application logic living on a service host.
@@ -165,6 +178,9 @@ enum EventKind {
     Deliver,
     Timer { host: Ipv4Addr, token: u64 },
     ConnectTimeout { host: Ipv4Addr, sock: SockId },
+    /// Scheduled host up/down transition (chaos layer: C2 downtime
+    /// windows). Dispatch calls [`Network::set_host_up`].
+    HostState { host: Ipv4Addr, up: bool },
 }
 
 struct QueuedEvent {
@@ -214,6 +230,8 @@ pub struct Network {
     hosts: HashMap<Ipv4Addr, HostEntry>,
     /// Fault model applied to every link.
     pub faults: LinkFaults,
+    /// Fault model applied to DNS services on this network (chaos layer).
+    pub dns_faults: crate::dns::DnsFaults,
     rng: StdRng,
     /// Run statistics.
     pub stats: NetStats,
@@ -232,6 +250,7 @@ struct NetTelemetry {
     delivered: malnet_telemetry::Counter,
     dropped: malnet_telemetry::Counter,
     dns_queries: malnet_telemetry::Counter,
+    dns_faults: malnet_telemetry::Counter,
     delivered_bytes: malnet_telemetry::Histogram,
 }
 
@@ -241,6 +260,7 @@ impl NetTelemetry {
             delivered: tel.counter("netsim.packets_delivered"),
             dropped: tel.counter("netsim.packets_dropped"),
             dns_queries: tel.counter("netsim.dns_queries"),
+            dns_faults: tel.counter("netsim.dns_faults_injected"),
             delivered_bytes: tel.histogram("netsim.delivered_payload_bytes"),
         }
     }
@@ -266,6 +286,7 @@ impl Network {
             queue: BinaryHeap::new(),
             hosts: HashMap::new(),
             faults: LinkFaults::default(),
+            dns_faults: crate::dns::DnsFaults::default(),
             rng: StdRng::seed_from_u64(seed ^ 0x6d61_6c6e_6574),
             stats: NetStats::default(),
             filter: None,
@@ -311,6 +332,8 @@ impl Network {
                 out: &mut out,
                 timers: &mut timers,
                 rng: &mut self.rng,
+                dns_faults: self.dns_faults,
+                dns_fault_counter: &self.tel.dns_faults,
             };
             service.start(&mut ctx);
         }
@@ -351,15 +374,30 @@ impl Network {
         self.hosts.contains_key(&ip)
     }
 
-    /// Mark a host up or down. Taking a host down resets its connections
-    /// (as a power cycle would).
+    /// Mark a host up or down. Taking a host down aborts its connections
+    /// and puts RST segments on the wire for every established peer — the
+    /// kernel's socket cleanup outruns the link going dark when a daemon
+    /// dies, so peers learn of the death instead of holding half-open
+    /// connections forever. (Before this, a C2 dying mid-session left the
+    /// eavesdropping side with dangling TCP state that never resolved.)
     pub fn set_host_up(&mut self, ip: Ipv4Addr, up: bool) {
+        let mut rsts = Vec::new();
         if let Some(h) = self.hosts.get_mut(&ip) {
             if h.up && !up {
-                h.stack.reset_all();
+                rsts = h.stack.abort_all();
             }
             h.up = up;
         }
+        for pkt in rsts {
+            self.send_packet(pkt);
+        }
+    }
+
+    /// Schedule a host up/down transition at an absolute virtual time
+    /// (chaos layer: C2 downtime windows). Times in the past fire on the
+    /// next event-loop step.
+    pub fn schedule_host_state(&mut self, ip: Ipv4Addr, at: SimTime, up: bool) {
+        self.push_event(at, EventKind::HostState { host: ip, up }, None);
     }
 
     /// Is the host present and up?
@@ -663,6 +701,8 @@ impl Network {
                                     out: &mut ctx_out,
                                     timers: &mut timers,
                                     rng: &mut self.rng,
+                                    dns_faults: self.dns_faults,
+                                    dns_fault_counter: &self.tel.dns_faults,
                                 };
                                 for e in out.events {
                                     svc.on_event(&mut ctx, e);
@@ -696,6 +736,8 @@ impl Network {
                             out: &mut ctx_out,
                             timers: &mut timers,
                             rng: &mut self.rng,
+                            dns_faults: self.dns_faults,
+                            dns_fault_counter: &self.tel.dns_faults,
                         };
                         svc.on_timer(&mut ctx, token);
                     }
@@ -726,6 +768,8 @@ impl Network {
                                     out: &mut pkts,
                                     timers: &mut timers,
                                     rng: &mut self.rng,
+                                    dns_faults: self.dns_faults,
+                                    dns_fault_counter: &self.tel.dns_faults,
                                 };
                                 svc.on_event(&mut ctx, ev);
                             }
@@ -735,6 +779,9 @@ impl Network {
                         }
                     }
                 }
+            }
+            EventKind::HostState { host, up } => {
+                self.set_host_up(host, up);
             }
         }
     }
@@ -921,6 +968,67 @@ mod tests {
         net.set_host_up(B, true);
         // Stack was reset: no connections remain server-side.
         assert_eq!(net.hosts.get(&B).unwrap().stack.conn_count(), 0);
+    }
+
+    /// Regression (ISSUE 4 satellite): a host dying **mid-session** must
+    /// not leave the peer with dangling TCP state. Before the fix, the
+    /// downed host's own stack was cleared but the established peer
+    /// connection hung around forever — no event, no garbage collection.
+    #[test]
+    fn mid_session_host_death_resets_the_peer() {
+        let mut net = net();
+        net.add_service_host(B, Box::new(Upper));
+        net.add_external_host(A);
+        let sock = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(1));
+        assert!(net.ext_events(A).contains(&SockEvent::Connected(sock)));
+        assert_eq!(net.ext_stack(A).unwrap().conn_count(), 1);
+        // The server dies while the session is established.
+        net.set_host_up(B, false);
+        net.run_for(SimDuration::from_secs(1));
+        let evs = net.ext_events(A);
+        assert!(
+            evs.contains(&SockEvent::Reset { sock }),
+            "peer saw no reset: {evs:?}"
+        );
+        assert_eq!(
+            net.ext_stack(A).unwrap().conn_count(),
+            0,
+            "dangling TCP state on the peer after C2 death"
+        );
+    }
+
+    /// Scheduled downtime windows (chaos layer): the host is down inside
+    /// the window and answers again after it ends.
+    #[test]
+    fn scheduled_host_state_transitions_fire() {
+        let mut net = net();
+        net.add_service_host(B, Box::new(Upper));
+        net.add_external_host(A);
+        net.schedule_host_state(B, SimTime::EPOCH + SimDuration::from_secs(5), false);
+        net.schedule_host_state(B, SimTime::EPOCH + SimDuration::from_secs(20), true);
+        // Before the window: connects fine.
+        let s1 = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(2));
+        assert!(net.ext_events(A).contains(&SockEvent::Connected(s1)));
+        net.ext_tcp_abort(A, s1);
+        // Inside the window: SYN times out.
+        net.run_until(SimTime::EPOCH + SimDuration::from_secs(8));
+        let s2 = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(8));
+        let evs = net.ext_events(A);
+        assert!(
+            evs.contains(&SockEvent::ConnectFailed {
+                sock: s2,
+                reason: ConnectError::TimedOut
+            }),
+            "{evs:?}"
+        );
+        // After the window: back up.
+        net.run_until(SimTime::EPOCH + SimDuration::from_secs(21));
+        let s3 = net.ext_tcp_connect(A, B, 7);
+        net.run_for(SimDuration::from_secs(2));
+        assert!(net.ext_events(A).contains(&SockEvent::Connected(s3)));
     }
 
     #[test]

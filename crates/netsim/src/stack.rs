@@ -311,6 +311,27 @@ impl HostStack {
         self.by_sock.clear();
     }
 
+    /// Abort every connection, returning the RST notifications for the
+    /// peers in canonical `(local port, peer ip, peer port)` order (the
+    /// sort makes the emission order — and therefore network event
+    /// ordering — independent of `HashMap` iteration). Used by
+    /// `Network::set_host_up(_, false)` so a dying host's peers are not
+    /// left with dangling TCP state.
+    pub fn abort_all(&mut self) -> Vec<Packet> {
+        let mut keys: Vec<ConnKey> = self.conns.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        for key in keys {
+            if let Some((_, mut conn)) = self.conns.remove(&key) {
+                if let Some(rst) = conn.abort() {
+                    out.push(rst);
+                }
+            }
+        }
+        self.by_sock.clear();
+        out
+    }
+
     /// Demultiplex one incoming packet.
     pub fn handle_packet(&mut self, pkt: &Packet) -> StackOutput {
         let mut out = StackOutput::default();

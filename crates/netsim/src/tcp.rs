@@ -3,11 +3,14 @@
 //! This is deliberately a *simulator's* TCP: it produces correct-looking
 //! segment sequences (SYN / SYN-ACK / ACK, PSH-ACK data with sequence and
 //! acknowledgement tracking, FIN teardown, RST aborts) for captures, and
-//! reliable in-order delivery is guaranteed by the event queue, so there is
-//! no retransmission or reassembly machinery. Loss is modelled at the
-//! connection-establishment level by the network (SYN timeouts), matching
-//! what the paper's instruments actually observe: handshake completion,
-//! payload bytes, and aborts.
+//! the event queue delivers surviving packets in order, so there is no
+//! retransmission or reassembly machinery. Loss normally shows up at the
+//! connection-establishment level (SYN timeouts); under link-fault
+//! injection a *data* segment can vanish mid-stream too, in which case
+//! the receiver resynchronizes on the sender's sequence and the
+//! application sees a hole — matching what the paper's instruments
+//! actually observe on lossy paths: handshake completion, payload bytes,
+//! and aborts.
 
 use std::net::Ipv4Addr;
 
@@ -169,13 +172,24 @@ impl TcpConn {
             }
             TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
                 if !payload.is_empty() && self.state != TcpState::CloseWait {
-                    // In-order delivery is guaranteed by the simulator; a
-                    // mismatched sequence indicates an internal bug.
-                    debug_assert_eq!(hdr.seq, self.rcv_nxt, "out-of-order segment in simulator");
-                    self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
-                    self.bytes_in += payload.len() as u64;
-                    out.push(self.mk(TcpFlags::ACK, self.snd_nxt, vec![]));
-                    evs.push(TcpEvent::Data(payload.to_vec()));
+                    // The event queue delivers in order, so a sequence
+                    // gap means link-fault injection dropped a segment.
+                    // There is no retransmission machinery to recover
+                    // the hole; resynchronize on the sender's sequence
+                    // (the application sees a mid-stream drop, exactly
+                    // what a lossy real-world path produces) instead of
+                    // treating the gap as fatal. Segments entirely
+                    // before `rcv_nxt` are duplicates: re-ACK, don't
+                    // re-deliver.
+                    let diff = hdr.seq.wrapping_sub(self.rcv_nxt) as i32;
+                    if diff < 0 {
+                        out.push(self.mk(TcpFlags::ACK, self.snd_nxt, vec![]));
+                    } else {
+                        self.rcv_nxt = hdr.seq.wrapping_add(payload.len() as u32);
+                        self.bytes_in += payload.len() as u64;
+                        out.push(self.mk(TcpFlags::ACK, self.snd_nxt, vec![]));
+                        evs.push(TcpEvent::Data(payload.to_vec()));
+                    }
                 }
                 if hdr.flags.fin() {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
@@ -361,6 +375,43 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(evs, vec![TcpEvent::Reset]);
         assert!(server.is_closed());
+    }
+
+    /// A mid-stream loss (sequence gap) must not panic or stall: the
+    /// receiver resynchronizes on the sender's sequence and the bytes
+    /// after the hole still flow.
+    #[test]
+    fn lost_segment_resynchronizes_instead_of_panicking() {
+        let (mut client, mut server) = establish();
+        let segs = client.send(b"first");
+        let lost = client.send(b"DROPPED");
+        drop(lost); // never delivered: injected link loss
+        let segs3 = client.send(b"third");
+        let (h1, p1) = hdr_of(&segs[0]);
+        let (_, evs1) = server.on_segment(&h1, &p1);
+        assert_eq!(evs1, vec![TcpEvent::Data(b"first".to_vec())]);
+        let (h3, p3) = hdr_of(&segs3[0]);
+        let (acks, evs3) = server.on_segment(&h3, &p3);
+        assert_eq!(evs3, vec![TcpEvent::Data(b"third".to_vec())]);
+        assert_eq!(acks.len(), 1);
+        // rcv_nxt tracks the sender again after the hole.
+        assert_eq!(server.rcv_nxt, h3.seq.wrapping_add(p3.len() as u32));
+        assert_eq!(server.bytes_in, 10); // "first" + "third"
+    }
+
+    /// A duplicated segment (e.g. replayed by fault injection) is
+    /// re-ACKed but not re-delivered to the application.
+    #[test]
+    fn duplicate_segment_is_reacked_not_redelivered() {
+        let (mut client, mut server) = establish();
+        let segs = client.send(b"payload");
+        let (h, p) = hdr_of(&segs[0]);
+        let (_, evs) = server.on_segment(&h, &p);
+        assert_eq!(evs, vec![TcpEvent::Data(b"payload".to_vec())]);
+        let (acks, evs_dup) = server.on_segment(&h, &p);
+        assert!(evs_dup.is_empty(), "duplicate delivered twice: {evs_dup:?}");
+        assert_eq!(acks.len(), 1, "duplicate must still be ACKed");
+        assert_eq!(server.bytes_in, 7);
     }
 
     #[test]

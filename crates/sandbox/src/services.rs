@@ -148,7 +148,27 @@ impl Service for WildcardDns {
             return;
         }
         self.queried.lock().unwrap().push(q.question.as_str().to_string());
-        let reply = malnet_wire::dns::DnsMessage::answer(q.id, q.question.clone(), &[self.answer]);
+        // Fault injection (chaos layer): the fake resolver honours the
+        // network's DNS fault policy exactly like the world resolver —
+        // the name is still logged as evidence, but the bot may get no
+        // answer, SERVFAIL, or NXDOMAIN.
+        let faults = ctx.dns_faults();
+        let injected = faults.decide(ctx.rng());
+        if injected.is_some() {
+            ctx.note_dns_fault();
+        }
+        let reply = match injected {
+            Some(malnet_netsim::dns::DnsFailure::Drop) => return,
+            Some(malnet_netsim::dns::DnsFailure::ServFail) => {
+                malnet_wire::dns::DnsMessage::servfail(q.id, q.question.clone())
+            }
+            Some(malnet_netsim::dns::DnsFailure::NxDomain) => {
+                malnet_wire::dns::DnsMessage::nxdomain(q.id, q.question.clone())
+            }
+            None => {
+                malnet_wire::dns::DnsMessage::answer(q.id, q.question.clone(), &[self.answer])
+            }
+        };
         ctx.udp_send(53, src.0, src.1, reply.encode());
     }
 }

@@ -149,10 +149,13 @@ impl DomainName {
                 what: "empty name",
             });
         }
-        Ok((
-            DomainName(labels.join(".")),
-            after.expect("after set on termination"),
-        ))
+        // `after` is always set by the branch that exits the loop, but a
+        // parser never panics on its input — surface a typed error.
+        let after = after.ok_or(WireError::Malformed {
+            layer: "dns",
+            what: "unterminated name",
+        })?;
+        Ok((DomainName(labels.join(".")), after))
     }
 }
 
@@ -206,6 +209,18 @@ impl DnsMessage {
             id,
             is_response: true,
             rcode: Rcode::NxDomain,
+            question: name,
+            answers: Vec::new(),
+        }
+    }
+
+    /// Build a SERVFAIL response (resolver-side failure; the name may or
+    /// may not exist).
+    pub fn servfail(id: u16, name: DomainName) -> Self {
+        DnsMessage {
+            id,
+            is_response: true,
+            rcode: Rcode::ServFail,
             question: name,
             answers: Vec::new(),
         }

@@ -110,10 +110,13 @@ impl<W: Write> PcapWriter<W> {
 
 /// In-memory convenience: serialize a packet list to pcap bytes.
 pub fn to_bytes(packets: &[(u64, Packet)]) -> Vec<u8> {
+    // io::Write on Vec<u8> is infallible. lint: panic-ok
     let mut w = PcapWriter::new(Vec::new()).expect("vec write cannot fail");
     for (ts, p) in packets {
+        // io::Write on Vec<u8> is infallible. lint: panic-ok
         w.write(*ts, p).expect("vec write cannot fail");
     }
+    // io::Write on Vec<u8> is infallible. lint: panic-ok
     w.finish().expect("vec flush cannot fail")
 }
 

@@ -142,4 +142,37 @@ proptest! {
     fn pcap_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
         let _ = pcap::parse_capture(&bytes);
     }
+
+    /// Chaos-layer contract: a capture cut short mid-record (a sandbox
+    /// killed mid-write, a truncated artifact download) must parse or
+    /// error, never panic — and everything before the cut is kept.
+    #[test]
+    fn pcap_reader_tolerates_truncated_captures(
+        pkts in proptest::collection::vec((any::<u32>().prop_map(u64::from), arb_packet()), 1..12),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let bytes = pcap::to_bytes(&pkts);
+        let keep = cut.index(bytes.len());
+        if let Ok((parsed, _skipped)) = pcap::parse_capture(&bytes[..keep]) {
+            prop_assert!(parsed.len() <= pkts.len());
+            for (got, want) in parsed.iter().zip(pkts.iter()) {
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// Chaos-layer contract: a single flipped bit anywhere in a valid
+    /// capture (storage rot, a corrupting link) must never panic the
+    /// reader, whatever it does to the decoded packets.
+    #[test]
+    fn pcap_reader_tolerates_bit_flips(
+        pkts in proptest::collection::vec((any::<u32>().prop_map(u64::from), arb_packet()), 1..12),
+        which in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = pcap::to_bytes(&pkts);
+        let i = which.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        let _ = pcap::parse_capture(&bytes);
+    }
 }
