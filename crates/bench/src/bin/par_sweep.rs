@@ -1,17 +1,21 @@
-//! Parallelism sweep for the contained-activation stage.
+//! Parallelism sweep for the pipeline's two fan-out stages.
 //!
 //! Times `run_contained_batch` — the phase-A fan-out behind
 //! `PipelineOpts::parallelism` — over one fixed batch at several worker
-//! counts, then times the full pipeline at the same settings. Because
-//! the merge stage consumes outcomes in canonical sample-id order, the
-//! outputs are byte-identical at every N (the determinism suite proves
-//! this); the sweep quantifies the wall-clock side of that trade.
+//! counts, then times the full pipeline (phase A + parallel phase B +
+//! D-PC2 probing) at the same settings. Because every fan-out merges
+//! back in canonical order, the outputs are byte-identical at every N;
+//! the sweep quantifies the wall-clock side of that trade **and
+//! enforces the byte side**: each parallel run's datasets and vendor
+//! state are diffed against the sequential baseline, and any divergence
+//! exits non-zero (the CI gate).
 //!
 //! Besides the stdout table, the sweep writes a machine-readable
-//! artifact to `results/par_sweep.json`: both sweeps plus the full
-//! telemetry [`RunReport`](malnet_telemetry::RunReport) of the final
-//! instrumented pipeline run (per-stage self/total wall-times, counters,
-//! histograms, per-day rollups). EXPERIMENTS.md documents the format.
+//! artifact to `results/par_sweep.json` (`malnet.par_sweep` v2): both
+//! sweeps, a per-N phase-A/phase-B/probing wall-time breakdown, the
+//! divergence verdict, plus the full telemetry
+//! [`RunReport`](malnet_telemetry::RunReport) of the final instrumented
+//! pipeline run. EXPERIMENTS.md documents the format.
 //!
 //! Usage:
 //! `cargo run -p malnet-bench --release --bin par_sweep -- [--samples N] [--seed S]`
@@ -28,6 +32,16 @@ use malnet_telemetry::Telemetry;
 
 /// Worker counts both sweeps measure.
 const SWEEP_N: [usize; 4] = [1, 2, 4, 8];
+
+/// One end-to-end measurement: wall time plus the coordinator-side
+/// wall-time of each pipeline phase, read from that run's telemetry.
+struct PipelineRow {
+    parallelism: usize,
+    wall_us: u64,
+    phase_a_us: u64,
+    phase_b_us: u64,
+    probing_us: u64,
+}
 
 fn main() {
     let mut opts = parse_args();
@@ -76,17 +90,21 @@ fn main() {
         stage_rows.push((n, wall.as_micros() as u64));
     }
 
-    println!("\n== end to end: Pipeline::run (contained stage + sequential merge) ==");
-    println!("{:>4} {:>14} {:>10}", "N", "wall", "speedup");
-    let mut pipeline_rows: Vec<(usize, u64)> = Vec::new();
+    println!("\n== end to end: Pipeline::run (phase A + phase B + probing) ==");
+    println!(
+        "{:>4} {:>14} {:>10} {:>12} {:>12} {:>12}",
+        "N", "wall", "speedup", "phase A", "phase B", "probing"
+    );
+    let mut pipeline_rows: Vec<PipelineRow> = Vec::new();
     let mut last_report = None;
     let mut baseline = None;
+    let mut baseline_dumps: Option<(String, String)> = None;
+    let mut divergent: Vec<usize> = Vec::new();
     for n in SWEEP_N {
         let popts = PipelineOpts {
             seed: opts.seed,
             parallelism: n,
             max_samples: Some(opts.samples),
-            run_probing: false,
             ..PipelineOpts::fast()
         };
         // Telemetry on for every end-to-end run: the sweep doubles as a
@@ -94,34 +112,51 @@ fn main() {
         // the last run's report lands in the JSON artifact.
         let tel = Telemetry::enabled();
         let t0 = Instant::now();
-        let (data, _) = Pipeline::with_telemetry(popts, tel.clone()).run(&world);
+        let (data, vendors) = Pipeline::with_telemetry(popts, tel.clone()).run(&world);
         let wall = t0.elapsed();
+        let report = tel.report();
+        let span_us = |name: &str| report.span(name).map_or(0, |s| s.total_us);
+        let row = PipelineRow {
+            parallelism: n,
+            wall_us: wall.as_micros() as u64,
+            phase_a_us: span_us("pipeline.phase_a"),
+            phase_b_us: span_us("pipeline.phase_b"),
+            probing_us: span_us("pipeline.probing"),
+        };
         let base = *baseline.get_or_insert(wall);
         println!(
-            "{n:>4} {:>14} {:>9.2}x   ({} sample records)",
+            "{n:>4} {:>14} {:>9.2}x {:>12} {:>12} {:>12}",
             fmt_duration(wall),
             base.as_secs_f64() / wall.as_secs_f64(),
-            data.samples.len(),
+            fmt_duration(std::time::Duration::from_micros(row.phase_a_us)),
+            fmt_duration(std::time::Duration::from_micros(row.phase_b_us)),
+            fmt_duration(std::time::Duration::from_micros(row.probing_us)),
         );
-        pipeline_rows.push((n, wall.as_micros() as u64));
-        last_report = Some(tel.report());
+        // The byte gate: every parallel run must reproduce the
+        // sequential baseline exactly, or the sweep fails.
+        let dumps = (data.canonical_dump(), vendors.canonical_dump());
+        match &baseline_dumps {
+            None => baseline_dumps = Some(dumps),
+            Some(base_dumps) => {
+                if *base_dumps != dumps {
+                    eprintln!("DIVERGENCE: parallelism {n} produced different bytes than 1");
+                    divergent.push(n);
+                }
+            }
+        }
+        pipeline_rows.push(row);
+        last_report = Some(report);
     }
 
     let report = last_report.expect("at least one pipeline run");
-    if let Some(phase_a) = report.span("pipeline.phase_a") {
-        println!(
-            "\nphase A: {} total, {} self across {} day(s); merge: {}",
-            fmt_duration(std::time::Duration::from_micros(phase_a.total_us)),
-            fmt_duration(std::time::Duration::from_micros(phase_a.self_us)),
-            phase_a.calls,
-            report
-                .span("pipeline.merge")
-                .map(|m| fmt_duration(std::time::Duration::from_micros(m.total_us)))
-                .unwrap_or_else(|| "-".into()),
-        );
-    }
-
-    let json = sweep_json(opts.samples, opts.seed, &stage_rows, &pipeline_rows, &report);
+    let json = sweep_json(
+        opts.samples,
+        opts.seed,
+        &stage_rows,
+        &pipeline_rows,
+        &divergent,
+        &report,
+    );
     let path = std::path::Path::new("results/par_sweep.json");
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
@@ -130,30 +165,67 @@ fn main() {
         Ok(()) => println!("\nwrote {} ({} bytes)", path.display(), json.len()),
         Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
     }
-    println!("(outputs are byte-identical across N; see crates/core/tests/parallel_determinism.rs)");
+    if divergent.is_empty() {
+        println!("byte check: all parallel runs match the sequential baseline");
+    } else {
+        eprintln!(
+            "byte check FAILED: parallelism {divergent:?} diverged from the sequential baseline"
+        );
+        std::process::exit(1);
+    }
 }
 
-/// Assemble the `malnet.par_sweep` v1 artifact (see EXPERIMENTS.md).
+/// Assemble the `malnet.par_sweep` v2 artifact (see EXPERIMENTS.md).
 fn sweep_json(
     samples: usize,
     seed: u64,
     stage: &[(usize, u64)],
-    pipeline: &[(usize, u64)],
+    pipeline: &[PipelineRow],
+    divergent: &[usize],
     report: &malnet_telemetry::RunReport,
 ) -> String {
     let mut out = String::new();
-    out.push_str("{\"schema\":\"malnet.par_sweep\",\"version\":1,");
+    out.push_str("{\"schema\":\"malnet.par_sweep\",\"version\":2,");
     let _ = write!(out, "\"samples\":{samples},\"seed\":{seed},");
-    for (key, rows) in [("stage_sweep", stage), ("pipeline_sweep", pipeline)] {
-        let _ = write!(out, "\"{key}\":[");
-        for (i, (n, wall_us)) in rows.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let _ = write!(out, "{{\"parallelism\":{n},\"wall_us\":{wall_us}}}");
+    out.push_str("\"stage_sweep\":[");
+    for (i, (n, wall_us)) in stage.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
-        out.push_str("],");
+        let _ = write!(out, "{{\"parallelism\":{n},\"wall_us\":{wall_us}}}");
     }
+    out.push_str("],\"pipeline_sweep\":[");
+    for (i, row) in pipeline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"parallelism\":{},\"wall_us\":{}}}",
+            row.parallelism, row.wall_us
+        );
+    }
+    out.push_str("],\"phase_breakdown\":[");
+    for (i, row) in pipeline.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"parallelism\":{},\"phase_a_us\":{},\"phase_b_us\":{},\"probing_us\":{}}}",
+            row.parallelism, row.phase_a_us, row.phase_b_us, row.probing_us
+        );
+    }
+    out.push_str("],");
+    let _ = write!(
+        out,
+        "\"divergent\":[{}],",
+        divergent
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
     let _ = write!(out, "\"run_report\":{}}}", report.to_json());
     out
 }

@@ -19,6 +19,7 @@ const EXPECTED_SPANS: &[&str] = &[
     "pipeline.run",
     "pipeline.day",
     "pipeline.phase_a",
+    "pipeline.phase_b",
     "pipeline.contained_sample",
     "pipeline.static_triage",
     "pipeline.merge",

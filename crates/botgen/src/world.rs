@@ -820,7 +820,30 @@ impl World {
     /// Build the live network for `day`: DNS, every C2 host that exists
     /// that day (up or down per its schedule), standalone downloaders,
     /// and the probing theatre when the window is open.
+    ///
+    /// C2 services share the world's persistent Markov
+    /// responsiveness-chain state ([`C2Truth::respond_state`]), so
+    /// sessions on successive networks built from the same world
+    /// continue one chain. That coupling is what forces sequential
+    /// execution; callers that fan networks out across worker threads
+    /// must use [`World::network_for_day_detached`] instead.
     pub fn network_for_day(&self, day: u32, seed: u64) -> (Network, Vec<C2Log>) {
+        self.build_network(day, seed, false)
+    }
+
+    /// Like [`World::network_for_day`], but every C2 service gets a
+    /// **fresh, private** responsiveness-chain state instead of sharing
+    /// the world's. The returned network is then a pure function of
+    /// `(world, day, seed)` — safe to build and run concurrently on any
+    /// worker thread without racing other networks, which is what the
+    /// parallel restricted-session and prober stages rely on
+    /// (DESIGN.md §8). Chains start in the "last session silent" state,
+    /// exactly like a freshly generated world's.
+    pub fn network_for_day_detached(&self, day: u32, seed: u64) -> (Network, Vec<C2Log>) {
+        self.build_network(day, seed, true)
+    }
+
+    fn build_network(&self, day: u32, seed: u64, detached: bool) -> (Network, Vec<C2Log>) {
         let mut net = Network::new(SimTime::from_day(day, 0), seed ^ u64::from(day) << 17);
         // DNS.
         let zone = DnsHandle::new();
@@ -852,9 +875,14 @@ impl World {
                 serve_loader: c2.serves_loader.clone(),
             };
             let log = C2Log::default();
+            let state = if detached {
+                RespondState::default()
+            } else {
+                c2.respond_state.clone()
+            };
             net.add_service_host(
                 c2.host_ip,
-                Box::new(C2Service::with_state(cfg, log.clone(), c2.respond_state.clone())),
+                Box::new(C2Service::with_state(cfg, log.clone(), state)),
             );
             if !c2.alive_on(day) {
                 net.set_host_up(c2.host_ip, false);

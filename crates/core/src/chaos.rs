@@ -37,6 +37,15 @@ const DOMAIN_DOWNTIME: u64 = 0xc4a0_0000_0000_0003;
 const DOMAIN_BINARY: u64 = 0xc4a0_0000_0000_0004;
 /// Sub-seed domain for forced worker panics (per day, sample).
 const DOMAIN_PANIC: u64 = 0xc4a0_0000_0000_0005;
+/// Sub-seed domain for link latency jitter (per day, link). The world
+/// network's link coordinate is [`WORLD_LINK_ID`]; contained networks
+/// use their sample id.
+const DOMAIN_LINK_JITTER: u64 = 0xc4a0_0000_0000_0006;
+
+/// Link coordinate of the shared world network in the
+/// [`DOMAIN_LINK_JITTER`] stream (contained links use the sample id, so
+/// the world link gets a coordinate no sample can collide with).
+const WORLD_LINK_ID: u64 = u64::MAX;
 
 /// A declarative, seeded fault plan.
 ///
@@ -74,6 +83,14 @@ pub struct FaultPlan {
     pub bitflip_rate: f64,
     /// Probability a sample's phase-A worker panics outright.
     pub panic_rate: f64,
+    /// Probability a link (the shared world network per day, or one
+    /// sample's contained network) gets its latency jitter re-rolled:
+    /// a widened jitter window plus a per-link `jitter_seed` that
+    /// reshuffles the deterministic per-pair delivery pattern.
+    pub link_jitter_rate: f64,
+    /// `[min, max]` extra jitter in milliseconds added on top of the
+    /// default jitter window when the `link_jitter` fault fires.
+    pub link_jitter_ms: (u64, u64),
 }
 
 impl Default for FaultPlan {
@@ -99,6 +116,8 @@ impl FaultPlan {
             truncate_rate: 0.0,
             bitflip_rate: 0.0,
             panic_rate: 0.0,
+            link_jitter_rate: 0.0,
+            link_jitter_ms: (0, 0),
         }
     }
 
@@ -121,6 +140,8 @@ impl FaultPlan {
             truncate_rate: 0.06,
             bitflip_rate: 0.06,
             panic_rate: 0.05,
+            link_jitter_rate: 0.35,
+            link_jitter_ms: (10, 150),
         }
     }
 
@@ -137,6 +158,7 @@ impl FaultPlan {
             && self.truncate_rate == 0.0
             && self.bitflip_rate == 0.0
             && self.panic_rate == 0.0
+            && self.link_jitter_rate == 0.0
     }
 
     fn rng(&self, domain: u64, day: u32, id: u64) -> StdRng {
@@ -152,30 +174,57 @@ impl FaultPlan {
 
     /// Link faults for the shared world network on `day`.
     pub fn world_link(&self, day: u32) -> LinkFaults {
-        if self.world_loss == 0.0 && self.world_corrupt == 0.0 {
-            return LinkFaults::default();
-        }
-        let mut rng = self.rng(DOMAIN_WORLD_LINK, day, 0);
-        let scale = Self::day_scale(&mut rng);
-        LinkFaults {
-            loss: (self.world_loss * scale).min(1.0),
-            corrupt: (self.world_corrupt * scale).min(1.0),
-            ..LinkFaults::default()
-        }
+        let mut link = if self.world_loss == 0.0 && self.world_corrupt == 0.0 {
+            LinkFaults::default()
+        } else {
+            let mut rng = self.rng(DOMAIN_WORLD_LINK, day, 0);
+            let scale = Self::day_scale(&mut rng);
+            LinkFaults {
+                loss: (self.world_loss * scale).min(1.0),
+                corrupt: (self.world_corrupt * scale).min(1.0),
+                ..LinkFaults::default()
+            }
+        };
+        self.apply_link_jitter(&mut link, day, WORLD_LINK_ID);
+        link
     }
 
     /// Link faults for one sample's contained network on `day`.
     pub fn contained_link(&self, day: u32, sample_id: usize) -> LinkFaults {
-        if self.contained_loss == 0.0 && self.contained_corrupt == 0.0 {
-            return LinkFaults::default();
+        let mut link = if self.contained_loss == 0.0 && self.contained_corrupt == 0.0 {
+            LinkFaults::default()
+        } else {
+            let mut rng = self.rng(DOMAIN_CONTAINED_LINK, day, sample_id as u64);
+            let scale = Self::day_scale(&mut rng);
+            LinkFaults {
+                loss: (self.contained_loss * scale).min(1.0),
+                corrupt: (self.contained_corrupt * scale).min(1.0),
+                ..LinkFaults::default()
+            }
+        };
+        self.apply_link_jitter(&mut link, day, sample_id as u64);
+        link
+    }
+
+    /// Maybe re-roll a link's latency jitter: widen the jitter window by
+    /// a drawn amount and install a per-link `jitter_seed`, both pure
+    /// functions of `(fault_seed, day, link_id)`. A zero
+    /// `link_jitter_rate` draws nothing and leaves the link untouched,
+    /// so jitter-free plans stay byte-invisible.
+    fn apply_link_jitter(&self, link: &mut LinkFaults, day: u32, link_id: u64) {
+        if self.link_jitter_rate == 0.0 {
+            return;
         }
-        let mut rng = self.rng(DOMAIN_CONTAINED_LINK, day, sample_id as u64);
-        let scale = Self::day_scale(&mut rng);
-        LinkFaults {
-            loss: (self.contained_loss * scale).min(1.0),
-            corrupt: (self.contained_corrupt * scale).min(1.0),
-            ..LinkFaults::default()
+        let mut rng = self.rng(DOMAIN_LINK_JITTER, day, link_id);
+        if !rng.gen_bool(self.link_jitter_rate) {
+            return;
         }
+        let (lo, hi) = self.link_jitter_ms;
+        let extra_ms = if hi > lo { rng.gen_range(lo..=hi) } else { lo.max(1) };
+        link.jitter = link.jitter + malnet_netsim::time::SimDuration::from_millis(extra_ms);
+        // Non-zero by construction so a fired fault always reshuffles
+        // the per-pair pattern (seed 0 means "legacy pattern").
+        link.jitter_seed = rng.gen::<u64>() | 1;
     }
 
     /// DNS failure-injection policy for the world resolver on `day`.
@@ -311,6 +360,48 @@ mod tests {
         assert!(windows > 0, "no downtime windows over 1600 trials");
         assert!(mutations > 0, "no binary mutations over 1600 trials");
         assert!(panics > 0, "no forced panics over 1600 trials");
+        // Latency jitter fires too, on both the world link and contained
+        // links, with a widened window and a reshuffling seed.
+        let world_jittered = (0..40u32).filter(|&d| {
+            let l = p.world_link(d);
+            l.jitter_seed != 0 && l.jitter > LinkFaults::default().jitter
+        });
+        assert!(world_jittered.count() > 0, "no world link_jitter over 40 days");
+        let contained_jittered = (0..40u32)
+            .flat_map(|d| (0..40usize).map(move |id| (d, id)))
+            .filter(|&(d, id)| p.contained_link(d, id).jitter_seed != 0);
+        assert!(
+            contained_jittered.count() > 0,
+            "no contained link_jitter over 1600 trials"
+        );
+    }
+
+    /// A plan with loss/corruption but `link_jitter_rate` 0 must leave
+    /// the latency model at its defaults (jitter window and seed): the
+    /// jitter fault domain draws nothing when disabled.
+    #[test]
+    fn jitter_free_plans_do_not_touch_latency() {
+        let p = FaultPlan {
+            link_jitter_rate: 0.0,
+            ..FaultPlan::chaos(19)
+        };
+        for d in 0..30u32 {
+            let w = p.world_link(d);
+            assert_eq!(w.jitter, LinkFaults::default().jitter);
+            assert_eq!(w.jitter_seed, 0);
+            for id in 0..10usize {
+                let c = p.contained_link(d, id);
+                assert_eq!(c.jitter, LinkFaults::default().jitter);
+                assert_eq!(c.jitter_seed, 0);
+            }
+        }
+        // And the jitter knob alone makes a plan non-empty.
+        let only_jitter = FaultPlan {
+            link_jitter_rate: 0.5,
+            link_jitter_ms: (10, 20),
+            ..FaultPlan::none()
+        };
+        assert!(!only_jitter.is_none());
     }
 
     #[test]

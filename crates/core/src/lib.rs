@@ -36,6 +36,7 @@
 pub mod analysis;
 pub mod c2detect;
 pub mod chaos;
+mod par;
 pub mod datasets;
 pub mod ddos;
 pub mod eval;

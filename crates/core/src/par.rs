@@ -1,0 +1,86 @@
+//! The pipeline's deterministic fan-out primitive.
+//!
+//! Both parallel stages (phase A's contained activations, phase B's
+//! restricted sessions, and the prober's per-day rounds) share the same
+//! scheduling discipline: worker threads pull item indices from a
+//! shared counter, each item's result is written into its own
+//! index-addressed slot, and the caller reads the slots back in item
+//! order. The *completion* order is scheduling-dependent; the returned
+//! order never is — which is the first leg of the byte-determinism
+//! argument in DESIGN.md §8 (the second leg is that `run` itself must
+//! be a pure function of the item).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `run(i)` for every `i in 0..count` over at most `workers` OS
+/// threads and return the results in item order.
+///
+/// `workers <= 1` (or a single item) is the plain sequential loop —
+/// byte-identical to the fan-out by construction, and the path the
+/// determinism differentials compare against. `run` is shared by
+/// reference across threads, so it must be `Sync`; panics inside `run`
+/// propagate out of the scope exactly as they would from the
+/// sequential loop (callers that need containment wrap `run` in
+/// `catch_unwind`, as phase A does).
+///
+/// `missing(i)` fills a slot whose worker died before writing it —
+/// reachable only through a harness bug (a panicking `run` tears down
+/// the whole scope first), but degrading beats aborting a multi-day
+/// study on such a bug.
+pub(crate) fn fan_out<R, F, M>(count: usize, workers: usize, run: F, missing: M) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+    M: Fn(usize) -> R,
+{
+    let workers = workers.max(1).min(count);
+    if workers <= 1 {
+        return (0..count).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = run(i);
+                // The lock can only be poisoned by a panic inside this
+                // very assignment; take the data rather than aborting.
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| missing(i))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order_at_any_width() {
+        let base: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        for workers in [1usize, 2, 7, 64] {
+            let out = fan_out(97, workers, |i| i * 3, |_| usize::MAX);
+            assert_eq!(out, base, "order broke at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = fan_out(0, 8, |_| 1, |_| 0);
+        assert!(out.is_empty());
+    }
+}

@@ -20,8 +20,6 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use malnet_prng::sub_seed;
 use malnet_telemetry::Telemetry;
@@ -102,9 +100,10 @@ pub struct PipelineOpts {
     pub faults: FaultPlan,
     /// Bounded SYN re-probes (with linear backoff) before the daily
     /// liveness sweep or the D-PC2 prober declares a listener dead.
-    /// `0` (the default) keeps the legacy single-probe behaviour; chaos
-    /// runs raise it so transient injected loss stops producing false
-    /// C2-death verdicts.
+    /// Defaults to `2`: the legacy single-probe behaviour (`0`) let a
+    /// one-packet loss window kill a live C2's tracking entry, skewing
+    /// the lifespan study toward short lives (see the
+    /// `syn_retry_survives_transient_loss` regression test).
     pub syn_retries: u32,
 }
 
@@ -127,7 +126,7 @@ impl Default for PipelineOpts {
             late_query_day: STUDY_DAYS + 45,
             parallelism: 1,
             faults: FaultPlan::none(),
-            syn_retries: 0,
+            syn_retries: 2,
         }
     }
 }
@@ -218,7 +217,7 @@ impl Pipeline {
             // restricted sessions.
             let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
             net.set_telemetry(&tel);
-            self.apply_world_chaos(world, &mut net, day);
+            apply_world_chaos(&self.opts.faults, world, &mut net, day, &tel);
             self.daily_liveness_sweep(&mut net, day);
             // Select the day's batch up front (`samples_published_on`
             // returns ids in ascending order) so the contained stage can
@@ -233,10 +232,28 @@ impl Pipeline {
                 let _phase_a = tel.span("pipeline.phase_a");
                 run_contained_batch(world, &self.opts, day, &batch, &tel)
             };
-            for outcome in outcomes {
-                match outcome {
-                    Ok(out) => net = self.merge_outcome(world, net, day, out),
-                    Err(q) => self.quarantine_sample(world, day, q),
+            {
+                // Phase B splits in three: B1 replays every world-network
+                // effect on the coordinator in sample-id order, B2 fans
+                // restricted sessions out over detached per-sample
+                // networks, B3 folds their evidence back in sample-id
+                // order. Only B2 is parallel; B1/B3 own all shared state.
+                let _phase_b = tel.span("pipeline.phase_b");
+                let mut jobs: Vec<RestrictedJob> = Vec::new();
+                for outcome in outcomes {
+                    match outcome {
+                        Ok(out) => {
+                            if let Some(job) = self.merge_world_effects(world, &mut net, day, out)
+                            {
+                                jobs.push(job);
+                            }
+                        }
+                        Err(q) => self.quarantine_sample(world, day, q),
+                    }
+                }
+                let sessions = run_restricted_batch(world, &self.opts, day, &jobs, &tel);
+                for session in sessions {
+                    self.merge_ddos_evidence(world, day, session);
                 }
             }
             drop(day_span);
@@ -272,6 +289,7 @@ impl Pipeline {
                     rounds: self.opts.probe_rounds,
                     hosts_per_subnet: self.opts.probe_hosts_per_subnet,
                     syn_retries: self.opts.syn_retries,
+                    parallelism: self.opts.parallelism,
                     ..ProbeConfig::from_world(world)
                 };
                 self.data.probed =
@@ -280,30 +298,6 @@ impl Pipeline {
         }
 
         (self.data, self.vendors)
-    }
-
-    /// Apply the day's share of the fault plan to the shared world
-    /// network: link faults, DNS failure injection, and scheduled C2
-    /// downtime windows. A no-op (that draws no randomness) for the
-    /// empty plan.
-    fn apply_world_chaos(&self, world: &World, net: &mut Network, day: u32) {
-        let plan = &self.opts.faults;
-        if plan.is_none() {
-            return;
-        }
-        net.faults = plan.world_link(day);
-        net.dns_faults = plan.dns_faults(day);
-        for c2 in &world.c2s {
-            if !c2.alive_on(day) {
-                continue;
-            }
-            if let Some((start, dur)) = plan.downtime_window(day, c2.host_ip) {
-                let down_at = SimTime::from_day(day, start);
-                net.schedule_host_state(c2.host_ip, down_at, false);
-                net.schedule_host_state(c2.host_ip, down_at + SimDuration::from_secs(dur), true);
-                self.tel.add("chaos.c2_downtime_windows", 1);
-            }
-        }
     }
 
     /// Phase-B handling of a sample whose phase-A worker panicked: the
@@ -336,42 +330,13 @@ impl Pipeline {
         let _span = self.tel.span("pipeline.liveness_sweep");
         self.tel
             .add("pipeline.liveness_probes", self.tracking.len() as u64);
-        net.add_external_host(MONITOR_IP);
-        let mut live: Vec<String> = Vec::new();
         // BTreeMap iteration order: the connect order is canonical.
-        let mut pending: Vec<(String, Ipv4Addr, u16)> = self
+        let targets: Vec<(String, Ipv4Addr, u16)> = self
             .tracking
             .iter()
             .map(|(addr, t)| (addr.clone(), t.ip, t.port))
             .collect();
-        for attempt in 0..=self.opts.syn_retries {
-            if pending.is_empty() {
-                break;
-            }
-            if attempt > 0 {
-                self.tel.add("pipeline.liveness_retries", pending.len() as u64);
-            }
-            let mut socks: BTreeMap<u64, String> = BTreeMap::new();
-            for (addr, ip, port) in &pending {
-                let sock = net.ext_tcp_connect(MONITOR_IP, *ip, *port);
-                socks.insert(sock.0, addr.clone());
-            }
-            net.run_for(SimDuration::from_secs(8 * (u64::from(attempt) + 1)));
-            for ev in net.ext_events(MONITOR_IP) {
-                if let SockEvent::Connected(s) = ev {
-                    if let Some(addr) = socks.get(&s.0) {
-                        live.push(addr.clone());
-                    }
-                }
-            }
-            for &sock in socks.keys() {
-                net.ext_tcp_abort(MONITOR_IP, malnet_netsim::stack::SockId(sock));
-            }
-            net.run_for(SimDuration::from_secs(1));
-            net.ext_events(MONITOR_IP);
-            pending.retain(|(addr, _, _)| !live.contains(addr));
-        }
-        net.remove_host(MONITOR_IP);
+        let live = liveness_probe_rounds(net, &targets, self.opts.syn_retries, &self.tel);
         let mut drop_list = Vec::new();
         for (addr, t) in self.tracking.iter_mut() {
             t.days += 1;
@@ -392,22 +357,26 @@ impl Pipeline {
         }
     }
 
-    /// Merge one sample's contained-activation outcome into the study
-    /// state (phase B). Takes and returns the day's world network
-    /// (day-0 probes and restricted sessions run on it).
+    /// Phase B1: merge one sample's contained-activation outcome into
+    /// the study state on the coordinator thread.
     ///
-    /// Every stateful effect lives here — the feed-consensus RNG draw,
-    /// vendor registration, DNS resolution and liveness probes on the
-    /// shared world network, the restricted DDoS session, and all record
-    /// pushes — so calling this in sample-id order reproduces the legacy
-    /// sequential pipeline exactly, no matter how phase A was scheduled.
-    fn merge_outcome(
+    /// Every *order-sensitive* effect lives here — vendor registration
+    /// and feed queries, DNS resolution and day-0 liveness probes on the
+    /// shared world network, tracking-table inserts, and all record
+    /// pushes — so calling this in sample-id order reproduces the
+    /// canonical sequence no matter how phase A was scheduled. The one
+    /// effect that used to live here but is order-*insensitive* — the
+    /// restricted DDoS-observation session — is hoisted out: when the
+    /// sample activated with live C2s this returns a [`RestrictedJob`]
+    /// for the phase-B worker pool ([`run_restricted_batch`]), whose
+    /// evidence rejoins the datasets in [`Pipeline::merge_ddos_evidence`].
+    fn merge_world_effects(
         &mut self,
         world: &World,
-        world_net: Network,
+        net: &mut Network,
         day: u32,
         outcome: ContainedOutcome,
-    ) -> Network {
+    ) -> Option<RestrictedJob> {
         let tel = self.tel.clone();
         let _merge_span = tel.span("pipeline.merge");
         let ContainedOutcome {
@@ -448,13 +417,11 @@ impl Pipeline {
                 fault_context: fault_context.clone(),
             });
         }
-        let elf = &sample.elf;
         let av = self.engines.detections_for_malware().max(sample.av_detections.min(60));
 
         // Exploits (D-Exploits).
         self.data.exploits.extend(exploits);
 
-        let mut net = world_net;
         let known_c2s_before = self.data.c2s.len();
         let mut live_c2_ips: Vec<(String, Ipv4Addr, u16, Option<Family>)> = Vec::new();
         let mut c2_addrs = Vec::new();
@@ -463,7 +430,7 @@ impl Pipeline {
             // Resolve DNS candidates against the real resolver.
             let real_ip = if cand.dns {
                 tel.add("pipeline.dns_resolutions", 1);
-                resolve_on(&mut net, &cand.addr)
+                resolve_on(net, &cand.addr)
             } else {
                 Some(cand.ip)
             };
@@ -505,7 +472,7 @@ impl Pipeline {
 
             // Day-0 liveness probe on the real network.
             if let Some(ip) = real_ip {
-                let live = tcp_probe(&mut net, ip, cand.port);
+                let live = tcp_probe(net, ip, cand.port);
                 if live {
                     // The entry was inserted above; `if let` (rather
                     // than an `expect`) keeps the hot path panic-free.
@@ -533,68 +500,6 @@ impl Pipeline {
         );
         tel.add("pipeline.c2_live_day0", live_c2_ips.len() as u64);
 
-        // --- restricted DDoS-observation session (§2.5) ---
-        if activated && !live_c2_ips.is_empty() {
-            let restricted_span = tel.span("pipeline.restricted_session");
-            tel.add("pipeline.restricted_sessions", 1);
-            let allowed: Vec<Ipv4Addr> = live_c2_ips.iter().map(|(_, ip, _, _)| *ip).collect();
-            let mut allowed_plus = allowed.clone();
-            allowed_plus.push(malnet_botgen::world::WORLD_RESOLVER);
-            let mut sb = Sandbox::new(
-                net,
-                SandboxConfig {
-                    bot_ip: BOT_IP,
-                    mode: AnalysisMode::Restricted {
-                        allowed: allowed_plus,
-                    },
-                    handshaker_threshold: None,
-                    instruction_budget: 2_000_000_000,
-                    seed: sample_seed(self.opts.seed, day, sample_id, SeedStream::Restricted),
-                },
-            )
-            .with_telemetry(&tel);
-            let session = sb.execute(elf, SimDuration::from_secs(self.opts.restricted_secs));
-            net = sb.into_network();
-            drop(restricted_span);
-            let _eavesdrop_span = tel.span("pipeline.ddos_eavesdrop");
-            let packets = session.packets();
-            for (addr, ip, _port, fam) in &live_c2_ips {
-                let cmds = ddos::extract(&packets, BOT_IP, *ip, *fam, self.opts.pps_threshold);
-                tel.add("pipeline.ddos_commands_seen", cmds.len() as u64);
-                for c in cmds {
-                    if !c.verified {
-                        continue; // manual verification gate (§2.5)
-                    }
-                    // One command = one record: the same command relayed
-                    // through a second bot of the same botnet is not a
-                    // new attack.
-                    let dup = self.data.ddos.iter().any(|d| {
-                        d.c2_addr == *addr && d.day == day && d.command == c.command
-                    });
-                    if dup {
-                        continue;
-                    }
-                    let known = self.vendors.query(addr, day).is_malicious();
-                    self.data.ddos.push(DdosRecord {
-                        sha256: sample.sha256.clone(),
-                        family: fam.unwrap_or(Family::Mirai),
-                        c2_addr: addr.clone(),
-                        c2_ip: *ip,
-                        day,
-                        command: c.command,
-                        detection: c.detection,
-                        measured_pps: c.measured_pps,
-                        verified: c.verified,
-                        target_protocol: c
-                            .command
-                            .target_protocol(fam.map(|f| f.tls_over_tcp()).unwrap_or(true)),
-                        c2_known_to_feeds: known,
-                    });
-                    tel.add("pipeline.ddos_commands_recorded", 1);
-                }
-            }
-        }
-
         self.data.samples.push(SampleRecord {
             sha256: sample.sha256.clone(),
             day,
@@ -605,8 +510,192 @@ impl Pipeline {
             c2_addrs,
             instructions,
         });
-        net
+
+        // Restricted DDoS-observation session (§2.5): eligible samples
+        // become worker-pool jobs instead of running inline here.
+        if activated && !live_c2_ips.is_empty() {
+            Some(RestrictedJob {
+                sample_id,
+                live: live_c2_ips,
+            })
+        } else {
+            None
+        }
     }
+
+    /// Phase B3: fold one restricted session's DDoS evidence into the
+    /// datasets on the coordinator thread. Runs in sample-id order, so
+    /// the duplicate-command gate and the feed queries see exactly the
+    /// state the sequential pipeline would have.
+    fn merge_ddos_evidence(&mut self, world: &World, day: u32, session: RestrictedOutcome) {
+        let _merge_span = self.tel.span("pipeline.merge");
+        let sample = &world.samples[session.sample_id];
+        for (addr, ip, fam, cmds) in session.evidence {
+            for c in cmds {
+                if !c.verified {
+                    continue; // manual verification gate (§2.5)
+                }
+                // One command = one record: the same command relayed
+                // through a second bot of the same botnet is not a
+                // new attack.
+                let dup = self
+                    .data
+                    .ddos
+                    .iter()
+                    .any(|d| d.c2_addr == addr && d.day == day && d.command == c.command);
+                if dup {
+                    continue;
+                }
+                let known = self.vendors.query(&addr, day).is_malicious();
+                self.data.ddos.push(DdosRecord {
+                    sha256: sample.sha256.clone(),
+                    family: fam.unwrap_or(Family::Mirai),
+                    c2_addr: addr.clone(),
+                    c2_ip: ip,
+                    day,
+                    command: c.command,
+                    detection: c.detection,
+                    measured_pps: c.measured_pps,
+                    verified: c.verified,
+                    target_protocol: c
+                        .command
+                        .target_protocol(fam.map(|f| f.tls_over_tcp()).unwrap_or(true)),
+                    c2_known_to_feeds: known,
+                });
+                self.tel.add("pipeline.ddos_commands_recorded", 1);
+            }
+        }
+    }
+}
+
+/// Apply the day's share of the fault plan to a world-derived network:
+/// link faults, DNS failure injection, and scheduled C2 downtime
+/// windows. A no-op (that draws no randomness) for the empty plan.
+///
+/// A free function because two kinds of network need it: the
+/// coordinator's shared world network and each restricted session's
+/// detached network ([`run_restricted_batch`]) — the same day must see
+/// the same faults on both, or a restricted session would observe a C2
+/// the liveness sweep saw go down.
+fn apply_world_chaos(plan: &FaultPlan, world: &World, net: &mut Network, day: u32, tel: &Telemetry) {
+    if plan.is_none() {
+        return;
+    }
+    net.faults = plan.world_link(day);
+    net.dns_faults = plan.dns_faults(day);
+    for c2 in &world.c2s {
+        if !c2.alive_on(day) {
+            continue;
+        }
+        if let Some((start, dur)) = plan.downtime_window(day, c2.host_ip) {
+            let down_at = SimTime::from_day(day, start);
+            net.schedule_host_state(c2.host_ip, down_at, false);
+            net.schedule_host_state(c2.host_ip, down_at + SimDuration::from_secs(dur), true);
+            tel.add("chaos.c2_downtime_windows", 1);
+        }
+    }
+}
+
+/// One sample's pending restricted DDoS-observation session: emitted by
+/// [`Pipeline::merge_world_effects`] (phase B1) and consumed by the
+/// phase-B worker pool ([`run_restricted_batch`]).
+#[derive(Debug, Clone)]
+struct RestrictedJob {
+    /// The sample's id in `world.samples`.
+    sample_id: usize,
+    /// The sample's C2s that answered the day-0 liveness probe:
+    /// `(addr, ip, port, family)` in candidate order.
+    live: Vec<(String, Ipv4Addr, u16, Option<Family>)>,
+}
+
+/// Everything one restricted session produced, as plain data the
+/// coordinator merges in sample-id order (phase B3).
+struct RestrictedOutcome {
+    /// The sample's id in `world.samples`.
+    sample_id: usize,
+    /// Per live C2: `(addr, ip, family, extracted commands)` in the
+    /// job's candidate order.
+    evidence: Vec<(String, Ipv4Addr, Option<Family>, Vec<ddos::ExtractedCommand>)>,
+}
+
+/// Phase B2: run every pending restricted session, returning outcomes in
+/// job (= sample-id) order.
+///
+/// Each session runs against its **own detached network** built by
+/// [`World::network_for_day_detached`] from a [`SeedStream::RestrictedNet`]
+/// sub-seed: same topology and day as the coordinator's world network,
+/// but private RNG state and private C2 responsiveness chains, so one
+/// session's traffic can never perturb another's — the property that
+/// makes the fan-out byte-deterministic (DESIGN.md §8). The day's fault
+/// plan is re-applied to every detached network so chaos runs see
+/// identical outage windows on both sides of the split.
+fn run_restricted_batch(
+    world: &World,
+    opts: &PipelineOpts,
+    day: u32,
+    jobs: &[RestrictedJob],
+    tel: &Telemetry,
+) -> Vec<RestrictedOutcome> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    // Workers re-attach their spans under the coordinator's phase-B span.
+    let parent = tel.current_span();
+    crate::par::fan_out(
+        jobs.len(),
+        opts.parallelism,
+        |i| {
+            let job = &jobs[i];
+            let session = {
+                let _span = tel.span_under("pipeline.restricted_session", &parent);
+                tel.add("pipeline.restricted_sessions", 1);
+                let (mut net, _logs) = world.network_for_day_detached(
+                    day,
+                    sample_seed(opts.seed, day, job.sample_id, SeedStream::RestrictedNet),
+                );
+                net.set_telemetry(tel);
+                apply_world_chaos(&opts.faults, world, &mut net, day, tel);
+                let mut allowed: Vec<Ipv4Addr> = job.live.iter().map(|(_, ip, _, _)| *ip).collect();
+                allowed.push(malnet_botgen::world::WORLD_RESOLVER);
+                let mut sb = Sandbox::new(
+                    net,
+                    SandboxConfig {
+                        bot_ip: BOT_IP,
+                        mode: AnalysisMode::Restricted { allowed },
+                        handshaker_threshold: None,
+                        instruction_budget: 2_000_000_000,
+                        seed: sample_seed(opts.seed, day, job.sample_id, SeedStream::Restricted),
+                    },
+                )
+                .with_telemetry(tel);
+                sb.execute(
+                    &world.samples[job.sample_id].elf,
+                    SimDuration::from_secs(opts.restricted_secs),
+                )
+            };
+            let _eavesdrop_span = tel.span_under("pipeline.ddos_eavesdrop", &parent);
+            let packets = session.packets();
+            let evidence = job
+                .live
+                .iter()
+                .map(|(addr, ip, _port, fam)| {
+                    let cmds = ddos::extract(&packets, BOT_IP, *ip, *fam, opts.pps_threshold);
+                    tel.add("pipeline.ddos_commands_seen", cmds.len() as u64);
+                    (addr.clone(), *ip, *fam, cmds)
+                })
+                .collect();
+            RestrictedOutcome {
+                sample_id: job.sample_id,
+                evidence,
+            }
+        },
+        // Unreachable short of a harness bug (see `fan_out`): degrade to
+        // "session produced nothing" rather than aborting the study.
+        |i| RestrictedOutcome {
+            sample_id: jobs[i].sample_id,
+            evidence: Vec::new(),
+        },
+    )
 }
 
 /// The per-sample RNG streams derived from the master seed. Each stream
@@ -620,6 +709,10 @@ enum SeedStream {
     ContainedSandbox,
     /// The restricted DDoS-observation [`Sandbox`].
     Restricted,
+    /// The restricted session's detached world-derived [`Network`]
+    /// ([`World::network_for_day_detached`]): same topology as the
+    /// coordinator's world net, private RNG + responsiveness chains.
+    RestrictedNet,
 }
 
 /// Derive the seed for one per-sample RNG stream.
@@ -632,6 +725,7 @@ fn sample_seed(master: u64, day: u32, sample_id: usize, stream: SeedStream) -> u
         SeedStream::ContainedNet => 0,
         SeedStream::ContainedSandbox => 0x5eed_0000_0000_0001,
         SeedStream::Restricted => 0x5eed_0000_0000_0002,
+        SeedStream::RestrictedNet => 0x5eed_0000_0000_0003,
     };
     sub_seed(master ^ domain, day, sample_id as u64)
 }
@@ -698,7 +792,6 @@ pub fn contained_activation(
     sample_id: usize,
     tel: &Telemetry,
 ) -> ContainedOutcome {
-    let _span = tel.span("pipeline.contained_sample");
     let plan = &opts.faults;
     if plan.forced_panic(day, sample_id) {
         tel.add("chaos.forced_panics", 1);
@@ -895,55 +988,37 @@ pub fn run_contained_batch(
     batch: &[usize],
     tel: &Telemetry,
 ) -> Vec<Result<ContainedOutcome, Quarantined>> {
-    let run_one = |id: usize| -> Result<ContainedOutcome, Quarantined> {
-        std::panic::catch_unwind(AssertUnwindSafe(|| {
-            contained_activation(world, opts, day, id, tel)
-        }))
-        .map_err(|payload| Quarantined {
-            sample_id: id,
-            detail: panic_message(payload.as_ref()),
-            fault_context: if opts.faults.forced_panic(day, id) {
-                vec!["forced worker panic".to_string()]
-            } else {
-                Vec::new()
-            },
-        })
-    };
-    let workers = opts.parallelism.max(1).min(batch.len());
-    if workers <= 1 {
-        return batch.iter().map(|&id| run_one(id)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<ContainedOutcome, Quarantined>>>> =
-        batch.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&id) = batch.get(i) else { break };
-                let out = run_one(id);
-                // `run_one` cannot panic (it catches), so the lock can
-                // only be poisoned by harness bugs; degrade by taking
-                // the data anyway rather than aborting the study.
-                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .zip(batch)
-        .map(|(slot, &id)| {
-            slot.into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .unwrap_or_else(|| {
-                    Err(Quarantined {
-                        sample_id: id,
-                        detail: "phase-A batch slot was never filled".to_string(),
-                        fault_context: Vec::new(),
-                    })
-                })
-        })
-        .collect()
+    // Workers re-attach their per-sample spans under the coordinator's
+    // phase-A span (or wherever the caller sits — the bench harness
+    // calls this with no span open, which degrades to a root span).
+    let parent = tel.current_span();
+    crate::par::fan_out(
+        batch.len(),
+        opts.parallelism,
+        |i| {
+            let id = batch[i];
+            let _span = tel.span_under("pipeline.contained_sample", &parent);
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                contained_activation(world, opts, day, id, tel)
+            }))
+            .map_err(|payload| Quarantined {
+                sample_id: id,
+                detail: panic_message(payload.as_ref()),
+                fault_context: if opts.faults.forced_panic(day, id) {
+                    vec!["forced worker panic".to_string()]
+                } else {
+                    Vec::new()
+                },
+            })
+        },
+        |i| {
+            Err(Quarantined {
+                sample_id: batch[i],
+                detail: "phase-A batch slot was never filled".to_string(),
+                fault_context: Vec::new(),
+            })
+        },
+    )
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -968,6 +1043,64 @@ fn family_from_label(label: Option<&str>) -> Option<Family> {
         "vpnfilter" => Some(Family::VpnFilter),
         _ => None,
     }
+}
+
+/// One liveness sweep over `targets` (`(addr, ip, port)`) from the
+/// monitor host: every target gets a SYN; misses are re-probed up to
+/// `syn_retries` more times with linear backoff (8 s, 16 s, 24 s, …).
+/// Returns the addresses that completed a TCP handshake in any round.
+///
+/// The retry loop is the defence against transient loss: with
+/// `syn_retries == 0` a single dropped SYN (or a C2 mid-reboot) reads
+/// as "dead", and under the tracking grace policy a couple of such
+/// windows erases a live C2's entry — the bug the
+/// `syn_retry_survives_transient_loss` regression test pins down.
+///
+/// Public so the regression suite can drive the sweep against a
+/// hand-built network; the pipeline calls it from its daily sweep.
+pub fn liveness_probe_rounds(
+    net: &mut Network,
+    targets: &[(String, Ipv4Addr, u16)],
+    syn_retries: u32,
+    tel: &Telemetry,
+) -> Vec<String> {
+    let added = !net.has_host(MONITOR_IP);
+    if added {
+        net.add_external_host(MONITOR_IP);
+    }
+    let mut live: Vec<String> = Vec::new();
+    let mut pending: Vec<(String, Ipv4Addr, u16)> = targets.to_vec();
+    for attempt in 0..=syn_retries {
+        if pending.is_empty() {
+            break;
+        }
+        if attempt > 0 {
+            tel.add("pipeline.liveness_retries", pending.len() as u64);
+        }
+        let mut socks: BTreeMap<u64, String> = BTreeMap::new();
+        for (addr, ip, port) in &pending {
+            let sock = net.ext_tcp_connect(MONITOR_IP, *ip, *port);
+            socks.insert(sock.0, addr.clone());
+        }
+        net.run_for(SimDuration::from_secs(8 * (u64::from(attempt) + 1)));
+        for ev in net.ext_events(MONITOR_IP) {
+            if let SockEvent::Connected(s) = ev {
+                if let Some(addr) = socks.get(&s.0) {
+                    live.push(addr.clone());
+                }
+            }
+        }
+        for &sock in socks.keys() {
+            net.ext_tcp_abort(MONITOR_IP, malnet_netsim::stack::SockId(sock));
+        }
+        net.run_for(SimDuration::from_secs(1));
+        net.ext_events(MONITOR_IP);
+        pending.retain(|(addr, _, _)| !live.contains(addr));
+    }
+    if added {
+        net.remove_host(MONITOR_IP);
+    }
+    live
 }
 
 /// TCP liveness probe from the monitor host.

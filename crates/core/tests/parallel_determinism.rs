@@ -165,6 +165,57 @@ fn static_triage_is_observation_only_across_parallelism() {
     }
 }
 
+/// The phase-B acceptance matrix: parallelism {1, 2, 8, 64} ×
+/// fault plan {none, fixed-seed chaos} × telemetry {off, on} — every
+/// cell of a fault arm produces the bytes of that arm's sequential,
+/// uninstrumented baseline. This is the differential that pins the
+/// phase-B split (restricted sessions and prober rounds fanning out
+/// over detached networks) to the canonical sequential semantics.
+#[test]
+fn phase_b_matrix_is_byte_identical() {
+    let seed = 6060;
+    let world = test_world(seed);
+    for plan in [FaultPlan::none(), FaultPlan::chaos(11)] {
+        let run = |par: usize, tel: Telemetry| {
+            let opts = PipelineOpts {
+                seed,
+                parallelism: par,
+                max_samples: Some(12),
+                faults: plan,
+                ..PipelineOpts::fast()
+            };
+            let (data, vendors) = Pipeline::with_telemetry(opts, tel).run(&world);
+            (data.canonical_dump(), vendors.canonical_dump())
+        };
+        let baseline = run(1, Telemetry::disabled());
+        // Phase B actually has parallel work to disagree on: the run
+        // discovered C2s (restricted-session jobs) and probed servers.
+        assert!(
+            baseline.0.contains("== D-C2s ==") && !baseline.0.is_empty(),
+            "matrix baseline looks degenerate"
+        );
+        for par in [1usize, 2, 8, 64] {
+            for instrumented in [false, true] {
+                if par == 1 && !instrumented {
+                    continue; // that cell *is* the baseline
+                }
+                let tel = if instrumented {
+                    Telemetry::enabled()
+                } else {
+                    Telemetry::disabled()
+                };
+                let cell = run(par, tel);
+                assert_eq!(
+                    baseline, cell,
+                    "phase-B matrix diverged at parallelism={par}, \
+                     telemetry={instrumented}, chaos={}",
+                    !plan.is_none()
+                );
+            }
+        }
+    }
+}
+
 /// Faults-off ≡ seed bytes: a `FaultPlan` whose rates are all zero —
 /// even with a non-zero `fault_seed` — draws no randomness and perturbs
 /// nothing, so the run is byte-identical to the chaos-unaware baseline

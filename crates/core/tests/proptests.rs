@@ -10,6 +10,7 @@ use malnet_botgen::world::{World, WorldConfig};
 use malnet_core::ddos;
 use malnet_prng::SeedableRng;
 use malnet_core::pipeline::{contained_activation, PipelineOpts};
+use malnet_core::prober::{merge_round_results, RoundResult};
 use malnet_core::stats::{Cdf, Counter};
 use malnet_protocols::Family;
 use malnet_wire::packet::Packet;
@@ -57,8 +58,61 @@ fn arb_packet() -> impl Strategy<Value = (u64, Packet)> {
         })
 }
 
+/// Arbitrary per-round prober results: up to 12 rounds (distinct round
+/// numbers) of engagements and banner filters over a small (ip, port)
+/// grid, mimicking what `probe_round` emits.
+fn arb_probe_pair() -> impl Strategy<Value = (Ipv4Addr, u16)> {
+    (0u8..6, prop_oneof![Just(23u16), Just(2323), Just(80)])
+        .prop_map(|(h, p)| (Ipv4Addr::new(10, 0, 0, h), p))
+}
+
+fn arb_round_results() -> impl Strategy<Value = Vec<RoundResult>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((arb_probe_pair(), any::<bool>()), 0..12),
+            proptest::collection::vec(arb_probe_pair(), 0..4),
+        ),
+        0..12,
+    )
+    .prop_map(|rounds| {
+        rounds
+            .into_iter()
+            .enumerate()
+            .map(|(i, (engagements, banner_filtered))| RoundResult {
+                round: i as u32,
+                engagements,
+                banner_filtered,
+            })
+            .collect()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The prober's merge is permutation-invariant: feeding per-round
+    /// results to `merge_round_results` in any arrival order yields the
+    /// same discovered-C2 list — the property that lets a day's rounds
+    /// fan out over worker threads and complete in any order.
+    #[test]
+    fn prober_merge_is_permutation_invariant(
+        rounds in arb_round_results(),
+        perm_seed in any::<u64>(),
+    ) {
+        let canonical = merge_round_results(rounds.clone());
+        // Structural invariants of the merge itself.
+        for p in &canonical {
+            prop_assert!(p.responses() >= 1, "non-engaging server survived: {p:?}");
+            prop_assert!(
+                p.probes.windows(2).all(|w| w[0].0 <= w[1].0),
+                "probe log out of round order: {p:?}"
+            );
+        }
+        let mut shuffled = rounds;
+        let mut rng = malnet_prng::StdRng::seed_from_u64(perm_seed);
+        malnet_prng::seq::SliceRandom::shuffle(&mut shuffled[..], &mut rng);
+        prop_assert_eq!(canonical, merge_round_results(shuffled));
+    }
 
     /// CDF invariants: monotone, bounded, quantiles within data range.
     #[test]

@@ -1,0 +1,97 @@
+//! Regression tests for the `syn_retries` bugfix.
+//!
+//! With `syn_retries == 0` the daily liveness sweep sent exactly one
+//! SYN per tracked C2; any transient loss window — an injected link
+//! fault, a host mid-reboot — read as "C2 dead", and a couple of such
+//! windows inside the tracking grace period erased a live C2's entry,
+//! skewing the lifespan study (§3.2) toward short lives. The sweep now
+//! re-probes misses with linear backoff, and the default configuration
+//! ships with retries enabled.
+
+use std::net::Ipv4Addr;
+
+use malnet_core::pipeline::{liveness_probe_rounds, PipelineOpts};
+use malnet_core::prober::ProbeConfig;
+use malnet_netsim::net::Network;
+use malnet_netsim::services::SinkService;
+use malnet_netsim::time::{SimDuration, SimTime};
+use malnet_telemetry::Telemetry;
+
+const C2_IP: Ipv4Addr = Ipv4Addr::new(10, 9, 9, 9);
+const C2_ADDR: &str = "10.9.9.9:23";
+
+/// A live listener that happens to be unreachable exactly when the
+/// sweep's first SYN lands, and back up two seconds later — the
+/// one-packet loss window of the bug report.
+fn net_with_flapping_listener(seed: u64) -> Network {
+    let t0 = SimTime::from_day(0, 0);
+    let mut net = Network::new(t0, seed);
+    net.add_service_host(C2_IP, Box::new(SinkService::new(vec![23])));
+    net.schedule_host_state(C2_IP, t0, false);
+    net.schedule_host_state(C2_IP, t0 + SimDuration::from_secs(2), true);
+    net
+}
+
+#[test]
+fn syn_retry_survives_transient_loss() {
+    let targets = vec![(C2_ADDR.to_string(), C2_IP, 23u16)];
+
+    // Legacy single-probe behaviour: the flap reads as a dead C2.
+    let tel0 = Telemetry::enabled();
+    let mut net = net_with_flapping_listener(11);
+    let live = liveness_probe_rounds(&mut net, &targets, 0, &tel0);
+    assert!(
+        live.is_empty(),
+        "without retries the transient window should read as dead (got {live:?})"
+    );
+
+    // One retry sees through the window.
+    let tel1 = Telemetry::enabled();
+    let mut net = net_with_flapping_listener(11);
+    let live = liveness_probe_rounds(&mut net, &targets, 1, &tel1);
+    assert_eq!(
+        live,
+        vec![C2_ADDR.to_string()],
+        "a single retry must survive the one-packet loss window"
+    );
+    assert!(
+        tel1.report().counter("pipeline.liveness_retries").unwrap_or(0) >= 1,
+        "the retry round should be visible in telemetry"
+    );
+}
+
+/// A C2 that is simply down stays dead no matter how many retries the
+/// sweep is allowed — retries must not manufacture liveness.
+#[test]
+fn syn_retry_does_not_revive_dead_hosts() {
+    let targets = vec![(C2_ADDR.to_string(), C2_IP, 23u16)];
+    let t0 = SimTime::from_day(0, 0);
+    let mut net = Network::new(t0, 12);
+    net.add_service_host(C2_IP, Box::new(SinkService::new(vec![23])));
+    net.schedule_host_state(C2_IP, t0, false); // down for good
+    let live = liveness_probe_rounds(&mut net, &targets, 3, &Telemetry::disabled());
+    assert!(live.is_empty(), "retries revived a dead host: {live:?}");
+}
+
+/// The defaults ship with the fix: both the pipeline sweep and the
+/// D-PC2 prober re-probe at least once before declaring death.
+#[test]
+fn retry_defaults_are_enabled() {
+    assert!(
+        PipelineOpts::default().syn_retries >= 1,
+        "PipelineOpts::default() regressed to single-probe liveness"
+    );
+    assert!(
+        PipelineOpts::fast().syn_retries >= 1,
+        "PipelineOpts::fast() regressed to single-probe liveness"
+    );
+    let world = malnet_botgen::world::World::generate(malnet_botgen::world::WorldConfig {
+        seed: 3,
+        n_samples: 4,
+        ..malnet_botgen::world::WorldConfig::default()
+    });
+    assert!(
+        ProbeConfig::from_world(&world).syn_retries >= 1,
+        "ProbeConfig::from_world() regressed to single-SYN discovery"
+    );
+}

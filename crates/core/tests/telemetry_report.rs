@@ -37,6 +37,7 @@ fn run_report_covers_every_stage() {
         "pipeline.run",
         "pipeline.day",
         "pipeline.phase_a",
+        "pipeline.phase_b",
         "pipeline.contained_sample",
         "pipeline.merge",
         "pipeline.restricted_session",
@@ -50,6 +51,41 @@ fn run_report_covers_every_stage() {
         let s = report.span(span).unwrap_or_else(|| panic!("missing span {span:?}"));
         assert!(s.calls > 0, "span {span:?} never entered");
         assert!(s.self_us <= s.total_us, "span {span:?} self > total");
+    }
+
+    // Span-tree nesting: worker spans must land *under* their
+    // coordinator phase span, not as top-level siblings — the bug was
+    // that crossing the fan-out thread boundary dropped the parent.
+    for (span, parent) in [
+        ("pipeline.day", "pipeline.run"),
+        ("pipeline.phase_a", "pipeline.day"),
+        ("pipeline.phase_b", "pipeline.day"),
+        ("pipeline.contained_sample", "pipeline.phase_a"),
+        ("pipeline.merge", "pipeline.phase_b"),
+        ("pipeline.restricted_session", "pipeline.phase_b"),
+        ("pipeline.ddos_eavesdrop", "pipeline.phase_b"),
+        ("pipeline.liveness_sweep", "pipeline.day"),
+        ("pipeline.probing", "pipeline.run"),
+        ("prober.round", "pipeline.probing"),
+    ] {
+        let s = report.span(span).unwrap_or_else(|| panic!("missing span {span:?}"));
+        assert_eq!(
+            s.parent.as_deref(),
+            Some(parent),
+            "span {span:?} is not nested under {parent:?}"
+        );
+    }
+    // And the re-attached child time is actually credited: the phase
+    // spans spend most of their time inside worker spans, so their self
+    // time must be strictly below their total.
+    for phase in ["pipeline.phase_a", "pipeline.phase_b"] {
+        let s = report.span(phase).unwrap();
+        assert!(
+            s.self_us < s.total_us,
+            "{phase}: worker child time was not credited (self {} >= total {})",
+            s.self_us,
+            s.total_us
+        );
     }
     for counter in [
         "pipeline.samples_analyzed",

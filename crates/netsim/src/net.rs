@@ -44,6 +44,11 @@ pub struct LinkFaults {
     pub latency: SimDuration,
     /// Maximum additional deterministic per-pair jitter.
     pub jitter: SimDuration,
+    /// Seed mixed into the per-pair jitter hash. `0` (the default)
+    /// keeps the legacy pair-only jitter pattern; the chaos layer's
+    /// `link_jitter` fault domain sets a per-link seed so delivery
+    /// schedules are re-shuffled deterministically per (day, link).
+    pub jitter_seed: u64,
 }
 
 impl Default for LinkFaults {
@@ -53,6 +58,7 @@ impl Default for LinkFaults {
             corrupt: 0.0,
             latency: SimDuration::from_millis(40),
             jitter: SimDuration::from_millis(30),
+            jitter_seed: 0,
         }
     }
 }
@@ -438,11 +444,15 @@ impl Network {
         }
     }
 
-    /// Deterministic per-pair latency: base + hash-derived jitter.
+    /// Deterministic per-pair latency: base + hash-derived jitter. The
+    /// hash mixes `LinkFaults::jitter_seed` (splitmix64-style) so a
+    /// seeded fault plan reshuffles the per-pair delivery pattern
+    /// without any extra RNG draws; seed 0 reproduces the legacy bytes.
     fn latency(&self, src: Ipv4Addr, dst: Ipv4Addr) -> SimDuration {
         let h = u64::from(u32::from(src))
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(u64::from(u32::from(dst)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+            .wrapping_add(u64::from(u32::from(dst)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f))
+            ^ self.faults.jitter_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let jitter_us = if self.faults.jitter.as_micros() == 0 {
             0
         } else {

@@ -103,21 +103,86 @@ impl Telemetry {
     /// Enter a named span. The returned guard records wall time into the
     /// span's total on drop; time spent in nested spans on the *same
     /// thread* is attributed to the children and subtracted from this
-    /// span's self-time. Spans opened on worker threads start their own
-    /// attribution stack, so a fan-out stage's per-item spans are
-    /// siblings of (not children of) the coordinating span — their
-    /// summed total can exceed the coordinator's wall time on purpose
-    /// (it is aggregate CPU, not wall).
+    /// span's self-time, and the enclosing span's name is recorded as
+    /// this span's parent in the report (first enclosure wins).
+    ///
+    /// Spans opened on worker threads start their own attribution stack
+    /// and therefore surface as parentless siblings; a fan-out stage
+    /// that wants its per-item spans attributed to the coordinating
+    /// span must capture a [`SpanCtx`] with [`Telemetry::current_span`]
+    /// before spawning and open worker spans with
+    /// [`Telemetry::span_under`].
     pub fn span(&self, name: &str) -> SpanGuard {
         let active = self.inner.as_ref().map(|r| {
             let stat = r.span_cell(name);
-            SPAN_STACK.with(|s| s.borrow_mut().push(stat.clone()));
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(top) = stack.last() {
+                    if !Arc::ptr_eq(top, &stat) {
+                        stat.record_parent(&top.name);
+                    }
+                }
+                stack.push(stat.clone());
+            });
             ActiveSpan {
                 stat,
                 start: Instant::now(),
             }
         });
-        SpanGuard { active }
+        SpanGuard {
+            active,
+            injected_parent: None,
+        }
+    }
+
+    /// Capture the innermost span active on *this* thread, as a handle
+    /// that can cross a thread boundary. Pair with
+    /// [`Telemetry::span_under`] on the worker side so a fan-out
+    /// stage's per-item spans nest under the coordinating span instead
+    /// of landing as siblings. Cheap; an empty context when telemetry
+    /// is disabled or no span is active.
+    pub fn current_span(&self) -> SpanCtx {
+        let stat = self
+            .inner
+            .as_ref()
+            .and_then(|_| SPAN_STACK.with(|s| s.borrow().last().cloned()));
+        SpanCtx { stat }
+    }
+
+    /// Enter a named span as a child of `parent` — typically a
+    /// [`SpanCtx`] captured on the coordinating thread before a
+    /// fan-out. The worker span's elapsed time is attributed to the
+    /// parent's child-time (so the parent's self-time excludes worker
+    /// work even across threads) and the parent's name is recorded for
+    /// the report's span tree. With an empty context this is exactly
+    /// [`Telemetry::span`]. Safe to call on the coordinator thread
+    /// itself (the sequential fan-out path): attribution is identical.
+    pub fn span_under(&self, name: &str, parent: &SpanCtx) -> SpanGuard {
+        let Some(parent_stat) = &parent.stat else {
+            return self.span(name);
+        };
+        let active = self.inner.as_ref().map(|r| {
+            let stat = r.span_cell(name);
+            if !Arc::ptr_eq(parent_stat, &stat) {
+                stat.record_parent(&parent_stat.name);
+            }
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                // Anchor the cross-thread parent below our own entry so
+                // `SpanGuard::drop` attributes elapsed time to it; the
+                // guard removes the anchor again on drop.
+                stack.push(parent_stat.clone());
+                stack.push(stat.clone());
+            });
+            ActiveSpan {
+                stat,
+                start: Instant::now(),
+            }
+        });
+        SpanGuard {
+            active,
+            injected_parent: self.inner.is_some().then(|| parent_stat.clone()),
+        }
     }
 
     /// One-shot counter add by name (cold paths; locks the registry).
@@ -281,11 +346,44 @@ impl Histogram {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SpanStat {
+    name: String,
     calls: AtomicU64,
     total_ns: AtomicU64,
     child_ns: AtomicU64,
+    /// Name of the first span observed enclosing this one (same-thread
+    /// nesting or an explicit [`Telemetry::span_under`] attachment).
+    /// First enclosure wins, so the tree is stable across runs.
+    parent: Mutex<Option<String>>,
+}
+
+impl SpanStat {
+    fn new(name: &str) -> Self {
+        SpanStat {
+            name: name.to_string(),
+            calls: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            child_ns: AtomicU64::new(0),
+            parent: Mutex::new(None),
+        }
+    }
+
+    fn record_parent(&self, parent: &str) {
+        let mut slot = self.parent.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(parent.to_string());
+        }
+    }
+}
+
+/// A handle to the innermost active span on the thread that captured it
+/// (see [`Telemetry::current_span`]). `Send + Sync`: made to cross the
+/// boundary into a fan-out worker, where [`Telemetry::span_under`]
+/// re-attaches the worker's spans beneath it.
+#[derive(Clone, Debug, Default)]
+pub struct SpanCtx {
+    stat: Option<Arc<SpanStat>>,
 }
 
 thread_local! {
@@ -308,6 +406,9 @@ struct ActiveSpan {
 #[must_use = "a span guard records time when dropped; binding it to _ ends the span immediately"]
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
+    /// Cross-thread parent anchor pushed by [`Telemetry::span_under`];
+    /// removed (without timing) when the guard drops.
+    injected_parent: Option<Arc<SpanStat>>,
 }
 
 impl Drop for SpanGuard {
@@ -326,6 +427,13 @@ impl Drop for SpanGuard {
             }
             if let Some(parent) = stack.last() {
                 parent.child_ns.fetch_add(elapsed, Ordering::Relaxed);
+            }
+            // Remove the cross-thread anchor `span_under` planted; it
+            // carries no timing of its own on this thread.
+            if let Some(anchor) = self.injected_parent.take() {
+                if let Some(pos) = stack.iter().rposition(|e| Arc::ptr_eq(e, &anchor)) {
+                    stack.remove(pos);
+                }
             }
         });
     }
@@ -376,7 +484,7 @@ impl Registry {
         match map.get(name) {
             Some(s) => s.clone(),
             None => {
-                let s = Arc::new(SpanStat::default());
+                let s = Arc::new(SpanStat::new(name));
                 map.insert(name.to_string(), s.clone());
                 s
             }
@@ -393,6 +501,7 @@ impl Registry {
                 calls: stat.calls.load(Ordering::Relaxed),
                 total_us: total_ns / 1_000,
                 self_us: total_ns.saturating_sub(child_ns) / 1_000,
+                parent: stat.parent.lock().unwrap().clone(),
             });
         }
         for (name, c) in self.counters.lock().unwrap().iter() {
@@ -556,6 +665,8 @@ mod tests {
         let inner = rep.span("inner").expect("inner recorded");
         assert_eq!(outer.calls, 1);
         assert_eq!(inner.calls, 1);
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent.as_deref(), Some("outer"));
         assert!(inner.total_us >= 8_000);
         assert!(outer.total_us >= inner.total_us);
         // Outer self-time excludes the inner sleep.
@@ -579,11 +690,89 @@ mod tests {
             });
         }
         let rep = tel.report();
-        assert_eq!(rep.span("worker").unwrap().calls, 2);
-        // Worker time is NOT subtracted from the coordinator: workers
-        // have their own per-thread stacks.
+        let worker = rep.span("worker").unwrap();
+        assert_eq!(worker.calls, 2);
+        // A plain span() on a worker thread starts its own stack: no
+        // parent recorded, no time subtracted from the coordinator.
+        assert_eq!(worker.parent, None);
         let coord = rep.span("coord").unwrap();
         assert_eq!(coord.self_us, coord.total_us);
+    }
+
+    #[test]
+    fn span_under_reattaches_worker_spans_across_threads() {
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("coord");
+            let ctx = tel.current_span();
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let tel = tel.clone();
+                    let ctx = ctx.clone();
+                    s.spawn(move || {
+                        let _w = tel.span_under("worker", &ctx);
+                        std::thread::sleep(std::time::Duration::from_millis(4));
+                        // Same-thread children of the worker span nest
+                        // under it as usual.
+                        let _g = tel.span("worker.child");
+                    });
+                }
+            });
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let rep = tel.report();
+        let worker = rep.span("worker").unwrap();
+        assert_eq!(worker.calls, 2);
+        assert_eq!(worker.parent.as_deref(), Some("coord"));
+        assert_eq!(rep.span("worker.child").unwrap().parent.as_deref(), Some("worker"));
+        // Worker elapsed IS attributed to the coordinator's child time
+        // now, so its self-time is strictly below its wall total.
+        let coord = rep.span("coord").unwrap();
+        assert_eq!(coord.parent, None);
+        assert!(
+            coord.self_us < coord.total_us,
+            "coord self {} !< total {}",
+            coord.self_us,
+            coord.total_us
+        );
+        // The coordinator's own stack is clean: a later span nests
+        // under nothing stale.
+        let _tail = tel.span("tail");
+        drop(_tail);
+        assert_eq!(tel.report().span("tail").unwrap().parent, None);
+    }
+
+    #[test]
+    fn span_under_empty_ctx_and_sequential_path_degrade_gracefully() {
+        // Empty context (no active span / disabled telemetry): plain span.
+        let tel = Telemetry::enabled();
+        {
+            let ctx = tel.current_span();
+            let _g = tel.span_under("lone", &ctx);
+        }
+        assert_eq!(tel.report().span("lone").unwrap().parent, None);
+        // Disabled handle: everything is a no-op.
+        let off = Telemetry::disabled();
+        let ctx = off.current_span();
+        {
+            let _g = off.span_under("x", &ctx);
+        }
+        assert!(off.report().spans.is_empty());
+        // span_under on the thread where the parent is already active
+        // (the sequential fan-out path) behaves exactly like nesting.
+        let tel = Telemetry::enabled();
+        {
+            let _outer = tel.span("seq.coord");
+            let ctx = tel.current_span();
+            {
+                let _w = tel.span_under("seq.worker", &ctx);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let rep = tel.report();
+        assert_eq!(rep.span("seq.worker").unwrap().parent.as_deref(), Some("seq.coord"));
+        let coord = rep.span("seq.coord").unwrap();
+        assert!(coord.self_us < coord.total_us);
     }
 
     #[test]

@@ -17,8 +17,12 @@ pub struct SpanReport {
     pub calls: u64,
     /// Total wall microseconds across all calls.
     pub total_us: u64,
-    /// Total minus time attributed to same-thread child spans.
+    /// Total minus time attributed to child spans (same-thread nesting
+    /// plus cross-thread `span_under` attachments).
     pub self_us: u64,
+    /// Name of the first span observed enclosing this one; `None` for
+    /// roots and spans only ever opened on detached worker threads.
+    pub parent: Option<String>,
 }
 
 /// Summary of one log2-bucketed histogram.
@@ -96,12 +100,16 @@ impl RunReport {
             }
             let _ = write!(
                 out,
-                "{{\"name\":{},\"calls\":{},\"total_us\":{},\"self_us\":{}}}",
+                "{{\"name\":{},\"calls\":{},\"total_us\":{},\"self_us\":{}",
                 json_str(&s.name),
                 s.calls,
                 s.total_us,
                 s.self_us
             );
+            if let Some(p) = &s.parent {
+                let _ = write!(out, ",\"parent\":{}", json_str(p));
+            }
+            out.push('}');
         }
         out.push_str("],");
 
@@ -194,6 +202,7 @@ mod tests {
                 calls: 3,
                 total_us: 1200,
                 self_us: 400,
+                parent: Some("pipeline.run".to_string()),
             }],
             counters: vec![("netsim.packets_delivered".to_string(), 42)],
             histograms: vec![HistogramReport {
@@ -232,6 +241,10 @@ mod tests {
             Some("pipeline.day")
         );
         assert_eq!(spans[0].get("self_us").and_then(|n| n.as_u64()), Some(400));
+        assert_eq!(
+            spans[0].get("parent").and_then(|s| s.as_str()),
+            Some("pipeline.run")
+        );
         let counters = v.get("counters").and_then(|a| a.as_array()).unwrap();
         assert_eq!(counters[0].get("value").and_then(|n| n.as_u64()), Some(42));
         let hists = v.get("histograms").and_then(|a| a.as_array()).unwrap();
