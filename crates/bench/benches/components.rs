@@ -17,6 +17,7 @@ use malnet_botgen::world::{Calibration, World, WorldConfig};
 use malnet_core::c2detect::detect_c2;
 use malnet_core::{Pipeline, PipelineOpts};
 use malnet_mips::asm::{Assembler, Ins, Reg};
+use malnet_mips::block::ExecCache;
 use malnet_mips::cpu::{Cpu, CpuError, STACK_SIZE, STACK_TOP};
 use malnet_mips::mem::Memory;
 use malnet_netsim::net::Network;
@@ -51,6 +52,9 @@ fn bench_wire(h: &mut Harness) {
 
 fn bench_mips(h: &mut Harness) {
     // A tight arithmetic loop: measures emulator instructions/second.
+    // The same ~500k-retired-instruction program runs under both
+    // engines; the per-op times and `instr_per_sec` fields make the
+    // block-engine speedup directly readable, and `main` gates on it.
     let base = 0x0040_0000;
     let mut a = Assembler::new(base);
     a.ins(Ins::Li(Reg::T0, 0))
@@ -62,16 +66,32 @@ fn bench_mips(h: &mut Harness) {
         .ins(Ins::Bne(Reg::T0, Reg::T1, "loop".into()))
         .ins(Ins::Break);
     let code = a.assemble().unwrap();
-    h.bench_batched(
+    let fresh_mem = |code: &[u8]| {
+        let mut mem = Memory::new();
+        mem.map(base, code.to_vec(), false);
+        mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+        mem
+    };
+    h.bench_batched_counted(
         "mips/emulate_500k_instr",
-        || {
-            let mut mem = Memory::new();
-            mem.map(base, code.clone(), false);
-            mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
-            Cpu::new(mem, base)
-        },
+        || Cpu::new(fresh_mem(&code), base),
         |mut cpu| loop {
             match cpu.step() {
+                Ok(_) => {}
+                Err(CpuError::Break { .. }) => break cpu.retired,
+                Err(e) => panic!("{e}"),
+            }
+        },
+    );
+    h.bench_batched_counted(
+        "mips/block_exec_500k",
+        || {
+            let mut mem = fresh_mem(&code);
+            let cache = ExecCache::for_entry(&mut mem, base).expect("text is cacheable");
+            (Cpu::new(mem, base), cache)
+        },
+        |(mut cpu, mut cache)| loop {
+            match cpu.run_cached(u64::MAX, &mut cache) {
                 Ok(_) => {}
                 Err(CpuError::Break { .. }) => break cpu.retired,
                 Err(e) => panic!("{e}"),
@@ -157,21 +177,25 @@ fn bench_pipeline(h: &mut Harness) {
 /// DESIGN.md §8's telemetry section.
 fn bench_telemetry(h: &mut Harness) {
     use malnet_telemetry::Telemetry;
+    // The bodies loop 1024× so one iteration is long enough to time;
+    // `bench_scaled` divides by the trip count, so these rows read
+    // per-*add* (the disabled row must be provably sub-10 ns — `main`
+    // gates on it).
     let off = Telemetry::disabled().counter("bench.counter");
-    h.bench("telemetry/counter_add_disabled", || {
+    h.bench_scaled("telemetry/counter_add_disabled", 1024, || {
         for _ in 0..1024 {
             std::hint::black_box(&off).add(1);
         }
     });
     let tel = Telemetry::enabled();
     let on = tel.counter("bench.counter");
-    h.bench("telemetry/counter_add_enabled", || {
+    h.bench_scaled("telemetry/counter_add_enabled", 1024, || {
         for _ in 0..1024 {
             std::hint::black_box(&on).add(1);
         }
     });
     let hist = tel.histogram("bench.histogram");
-    h.bench("telemetry/histogram_record", || {
+    h.bench_scaled("telemetry/histogram_record", 1024, || {
         for v in 0..1024u64 {
             std::hint::black_box(&hist).record(v);
         }
@@ -203,6 +227,37 @@ fn main() {
     bench_sandbox(&mut h);
     bench_pipeline(&mut h);
     bench_telemetry(&mut h);
+
+    // Regression gates (measured runs only; a gate is skipped if
+    // `--filter` excluded its rows).
+    let mut failures = Vec::new();
+    if let (Some(legacy), Some(block)) = (
+        h.median_ns_per_op("mips/emulate_500k_instr"),
+        h.median_ns_per_op("mips/block_exec_500k"),
+    ) {
+        let speedup = legacy / block;
+        h.record_derived("mips.block_speedup", speedup);
+        if speedup < 3.0 {
+            failures.push(format!(
+                "block-engine speedup {speedup:.2}x over the stepping \
+                 interpreter is below the 3x regression gate"
+            ));
+        }
+    }
+    if let Some(ns) = h.median_ns_per_op("telemetry/counter_add_disabled") {
+        if ns > 10.0 {
+            failures.push(format!(
+                "disabled telemetry counter costs {ns:.2} ns per add (gate: 10 ns)"
+            ));
+        }
+    }
+
     h.report();
     h.write_json("results/BENCH_components.json");
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -27,6 +27,20 @@ pub struct Row {
     pub mean: Duration,
     /// Iterations per batch the calibration settled on.
     pub iters: u64,
+    /// Operations performed by one iteration (1 for plain benches; the
+    /// loop/op count for scaled and counted benches). Reported times
+    /// are divided by this, so a row always reads per-*operation*.
+    pub ops: u64,
+    /// `true` for counted benches (the op count was measured, not
+    /// declared): the JSON row gains an `instr_per_sec` field.
+    pub counted: bool,
+}
+
+impl Row {
+    /// Median time per operation, in (possibly fractional) nanoseconds.
+    pub fn median_ns_per_op(&self) -> f64 {
+        self.median.as_nanos() as f64 / self.ops as f64
+    }
 }
 
 /// Timing harness: collects rows and prints a report.
@@ -38,18 +52,36 @@ pub struct Harness {
     /// `true` under `cargo bench` (`--bench` in argv); `false` means
     /// smoke mode: one iteration per bench, no report table.
     measure: bool,
+    /// `--filter <substr>`: only run benches whose name contains this.
+    filter: Option<String>,
     rows: Vec<Row>,
+    /// Derived scalar metrics (e.g. a speedup ratio) recorded via
+    /// [`Harness::record_derived`]; serialized alongside the rows.
+    derived: Vec<(String, f64)>,
 }
 
 impl Harness {
     /// Build a harness from argv; see the module docs for the modes.
+    /// `--filter <substr>` (or `--filter=<substr>`) restricts the run
+    /// to benches whose name contains the substring.
     pub fn from_args() -> Self {
-        let measure = std::env::args().any(|a| a == "--bench");
+        let args: Vec<String> = std::env::args().collect();
+        let measure = args.iter().any(|a| a == "--bench");
+        let mut filter = None;
+        for (i, a) in args.iter().enumerate() {
+            if let Some(rest) = a.strip_prefix("--filter=") {
+                filter = Some(rest.to_string());
+            } else if a == "--filter" {
+                filter = args.get(i + 1).cloned();
+            }
+        }
         Harness {
             target: Duration::from_millis(1500),
             batches: 5,
             measure,
+            filter,
             rows: Vec::new(),
+            derived: Vec::new(),
         }
     }
 
@@ -58,9 +90,31 @@ impl Harness {
         self.measure
     }
 
+    /// `true` if `--filter` excludes this bench (logs the skip).
+    fn filtered_out(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) if !name.contains(f.as_str()) => {
+                println!("skip  {name} (filtered)");
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Time `f`, auto-calibrating the iteration count so one batch
     /// takes roughly `target / batches`.
-    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        self.bench_scaled(name, 1, f);
+    }
+
+    /// Like [`Harness::bench`] for bodies that perform `ops` identical
+    /// operations per call (an unrolled inner loop): the reported times
+    /// are per *operation*, so sub-iteration costs (a ~0.5 ns branch)
+    /// aren't inflated by the loop trip count.
+    pub fn bench_scaled<R>(&mut self, name: &str, ops: u64, mut f: impl FnMut() -> R) {
+        if self.filtered_out(name) {
+            return;
+        }
         if !self.measure {
             black_box(f());
             println!("smoke {name}: ok");
@@ -80,7 +134,7 @@ impl Harness {
             }
             samples.push(start.elapsed() / iters as u32);
         }
-        self.push_row(name, iters, samples);
+        self.push_row(name, iters, samples, ops, false);
     }
 
     /// Like [`Harness::bench`], but re-creates state with `setup` before
@@ -88,9 +142,28 @@ impl Harness {
     pub fn bench_batched<S, R>(
         &mut self,
         name: &str,
-        mut setup: impl FnMut() -> S,
+        setup: impl FnMut() -> S,
         mut f: impl FnMut(S) -> R,
     ) {
+        self.bench_batched_counted(name, setup, |s| {
+            black_box(f(s));
+            1
+        });
+    }
+
+    /// Like [`Harness::bench_batched`], for bodies that *report* how
+    /// many operations one iteration performed (e.g. retired guest
+    /// instructions): times are per operation, and the JSON row gains
+    /// an `instr_per_sec` throughput field.
+    pub fn bench_batched_counted<S>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> u64,
+    ) {
+        if self.filtered_out(name) {
+            return;
+        }
         if !self.measure {
             black_box(f(setup()));
             println!("smoke {name}: ok");
@@ -98,7 +171,7 @@ impl Harness {
         }
         let input = setup();
         let t0 = Instant::now();
-        black_box(f(input));
+        let ops = black_box(f(input)).max(1);
         let once = t0.elapsed().max(Duration::from_nanos(20));
         let per_batch = self.target / self.batches as u32;
         let iters = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
@@ -111,18 +184,38 @@ impl Harness {
             }
             samples.push(start.elapsed() / iters as u32);
         }
-        self.push_row(name, iters, samples);
+        self.push_row(name, iters, samples, ops, ops > 1);
     }
 
-    fn push_row(&mut self, name: &str, iters: u64, mut samples: Vec<Duration>) {
+    /// Record a derived scalar metric (e.g. `mips.block_speedup`) for
+    /// the report table and the JSON artifact's `derived` object.
+    pub fn record_derived(&mut self, name: &str, value: f64) {
+        self.derived.push((name.to_string(), value));
+    }
+
+    /// Median per-operation time of a measured row, in nanoseconds.
+    /// `None` in smoke mode or if the row was filtered out.
+    pub fn median_ns_per_op(&self, name: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.name == name)
+            .map(Row::median_ns_per_op)
+    }
+
+    fn push_row(&mut self, name: &str, iters: u64, mut samples: Vec<Duration>, ops: u64, counted: bool) {
         samples.sort();
         let best = samples[0];
         let median = samples[samples.len() / 2];
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let per_iter = if ops > 1 {
+            format!(", {ops} ops/iter")
+        } else {
+            String::new()
+        };
         println!(
-            "{name:<34} best {:>12} median {:>12} ({iters} iters/batch)",
-            fmt_duration(best),
-            fmt_duration(median),
+            "{name:<34} best {:>12} median {:>12} ({iters} iters/batch{per_iter})",
+            fmt_ns(best.as_nanos() as f64 / ops as f64),
+            fmt_ns(median.as_nanos() as f64 / ops as f64),
         );
         self.rows.push(Row {
             name: name.to_string(),
@@ -130,39 +223,81 @@ impl Harness {
             median,
             mean,
             iters,
+            ops,
+            counted,
         });
     }
 
-    /// Serialize the measured rows as a `malnet.bench` v1 JSON document
-    /// (the `BENCH_*.json` artifact format; see EXPERIMENTS.md).
+    /// Serialize the measured rows as a `malnet.bench` v2 JSON document
+    /// (the `BENCH_*.json` artifact format; see EXPERIMENTS.md). The
+    /// `*_ns` values are per *operation* (fractional for scaled rows);
+    /// counted rows additionally carry `ops_per_iter` and
+    /// `instr_per_sec`, and derived metrics land in `derived`.
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("{\"schema\":\"malnet.bench\",\"version\":1,\"rows\":[");
+        let mut out = String::from("{\"schema\":\"malnet.bench\",\"version\":2,\"rows\":[");
         for (i, r) in self.rows.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
+            let ops = r.ops as f64;
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"best_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"iters\":{}}}",
+                "{{\"name\":\"{}\",\"best_ns\":{},\"median_ns\":{},\"mean_ns\":{},\"iters\":{}",
                 r.name.replace('\\', "\\\\").replace('"', "\\\""),
-                r.best.as_nanos(),
-                r.median.as_nanos(),
-                r.mean.as_nanos(),
+                json_num(r.best.as_nanos() as f64 / ops),
+                json_num(r.median.as_nanos() as f64 / ops),
+                json_num(r.mean.as_nanos() as f64 / ops),
                 r.iters
             );
+            if r.ops > 1 {
+                let _ = write!(out, ",\"ops_per_iter\":{}", r.ops);
+            }
+            if r.counted {
+                let per_sec = 1e9 / r.median_ns_per_op();
+                let _ = write!(out, ",\"instr_per_sec\":{}", json_num(per_sec));
+            }
+            out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.derived.is_empty() {
+            out.push_str(",\"derived\":{");
+            for (i, (name, value)) in self.derived.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\":{}",
+                    name.replace('\\', "\\\\").replace('"', "\\\""),
+                    json_num(*value)
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 
     /// Write the JSON artifact to `path`, creating parent directories.
-    /// No-op in smoke mode (nothing was measured).
+    /// No-op in smoke mode (nothing was measured). Relative paths are
+    /// anchored at the *workspace* root, not the current directory:
+    /// cargo runs bench binaries with cwd = the package dir, and the
+    /// `results/` artifacts (and the CI upload steps) live at top level.
     pub fn write_json(&self, path: &str) {
         if !self.measure {
             return;
         }
-        let path = std::path::Path::new(path);
+        let mut anchored = std::path::PathBuf::from(path);
+        if anchored.is_relative() {
+            if let Some(root) = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+            {
+                anchored = root.join(anchored);
+            }
+        }
+        let path = anchored.as_path();
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -183,27 +318,51 @@ impl Harness {
             "bench", "best", "median", "mean"
         );
         for r in &self.rows {
+            let ops = r.ops as f64;
             println!(
                 "{:<34} {:>12} {:>12} {:>12}",
                 r.name,
-                fmt_duration(r.best),
-                fmt_duration(r.median),
-                fmt_duration(r.mean),
+                fmt_ns(r.best.as_nanos() as f64 / ops),
+                fmt_ns(r.median.as_nanos() as f64 / ops),
+                fmt_ns(r.mean.as_nanos() as f64 / ops),
             );
+        }
+        for (name, value) in &self.derived {
+            println!("{name:<34} {value:>12.2}");
         }
     }
 }
 
 /// Render a duration with a unit that keeps 3-4 significant digits.
 pub fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos();
-    if ns < 1_000 {
-        format!("{ns} ns")
-    } else if ns < 1_000_000 {
-        format!("{:.2} µs", ns as f64 / 1e3)
-    } else if ns < 1_000_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
+    fmt_ns(d.as_nanos() as f64)
+}
+
+/// Render a (possibly sub-nanosecond) per-op time with 3-4 significant
+/// digits.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 10.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
     } else {
-        format!("{:.2} s", ns as f64 / 1e9)
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// JSON-format a float: integral values print without a fraction,
+/// everything else keeps three decimals (never `NaN`/`inf`, which are
+/// invalid JSON — clamped to 0).
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        "0".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
     }
 }

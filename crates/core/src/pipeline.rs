@@ -105,6 +105,11 @@ pub struct PipelineOpts {
     /// the lifespan study toward short lives (see the
     /// `syn_retry_survives_transient_loss` regression test).
     pub syn_retries: u32,
+    /// Run guests on the block-cached interpreter (default) or the
+    /// legacy stepping oracle. Bit-exact either way — the determinism
+    /// suite diffs full dataset dumps across both settings — so this is
+    /// purely a speed/differential-testing knob.
+    pub block_engine: bool,
 }
 
 impl Default for PipelineOpts {
@@ -127,6 +132,7 @@ impl Default for PipelineOpts {
             parallelism: 1,
             faults: FaultPlan::none(),
             syn_retries: 2,
+            block_engine: true,
         }
     }
 }
@@ -290,6 +296,7 @@ impl Pipeline {
                     hosts_per_subnet: self.opts.probe_hosts_per_subnet,
                     syn_retries: self.opts.syn_retries,
                     parallelism: self.opts.parallelism,
+                    block_engine: self.opts.block_engine,
                     ..ProbeConfig::from_world(world)
                 };
                 self.data.probed =
@@ -665,6 +672,7 @@ fn run_restricted_batch(
                         handshaker_threshold: None,
                         instruction_budget: 2_000_000_000,
                         seed: sample_seed(opts.seed, day, job.sample_id, SeedStream::Restricted),
+                        block_engine: opts.block_engine,
                     },
                 )
                 .with_telemetry(tel);
@@ -858,6 +866,7 @@ pub fn contained_activation(
             handshaker_threshold: Some(opts.handshaker_threshold),
             instruction_budget: 400_000_000,
             seed: sample_seed(opts.seed, day, sample_id, SeedStream::ContainedSandbox),
+            block_engine: opts.block_engine,
         },
     )
     .with_telemetry(tel);

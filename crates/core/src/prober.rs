@@ -63,6 +63,9 @@ pub struct ProbeConfig {
     /// discoveries in round order — byte-identical at every width
     /// (enforced by the parallel-determinism suite).
     pub parallelism: usize,
+    /// Run weaponized engagement guests on the block-cached interpreter
+    /// (default) or the legacy stepping oracle. Bit-exact either way.
+    pub block_engine: bool,
 }
 
 impl ProbeConfig {
@@ -78,6 +81,7 @@ impl ProbeConfig {
             hosts_per_subnet: 254,
             syn_retries: 2,
             parallelism: 1,
+            block_engine: true,
         }
     }
 }
@@ -301,6 +305,7 @@ fn probe_round(
                 handshaker_threshold: None,
                 instruction_budget: 50_000_000,
                 seed: sub_seed(seed ^ DOMAIN_ENGAGE, round, i as u64),
+                block_engine: cfg.block_engine,
             },
         );
         let art = sb.execute(elf, SimDuration::from_secs(cfg.engage_secs));

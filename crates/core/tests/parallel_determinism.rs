@@ -216,6 +216,52 @@ fn phase_b_matrix_is_byte_identical() {
     }
 }
 
+/// The block-engine axis: the block-cached MIPS interpreter (the
+/// default) is an observationally exact replacement for the stepping
+/// oracle, so parallelism {1, 2, 8, 64} × chaos {none, fixed-seed} ×
+/// block-engine {off, on} all produce the bytes of the sequential
+/// oracle baseline. This is what lets the speedup default to ON without
+/// an accuracy asterisk anywhere in the study.
+#[test]
+fn block_engine_matrix_is_byte_identical() {
+    let seed = 4141;
+    let world = test_world(seed);
+    for plan in [FaultPlan::none(), FaultPlan::chaos(23)] {
+        let run = |par: usize, block: bool| {
+            let opts = PipelineOpts {
+                seed,
+                parallelism: par,
+                max_samples: Some(12),
+                faults: plan,
+                block_engine: block,
+                ..PipelineOpts::fast()
+            };
+            let (data, vendors) = Pipeline::new(opts).run(&world);
+            (data.canonical_dump(), vendors.canonical_dump())
+        };
+        // Baseline: sequential, legacy stepping interpreter.
+        let baseline = run(1, false);
+        assert!(
+            baseline.0.contains("== D-Samples ==") && !baseline.0.is_empty(),
+            "matrix baseline looks degenerate"
+        );
+        for par in [1usize, 2, 8, 64] {
+            for block in [false, true] {
+                if par == 1 && !block {
+                    continue; // that cell *is* the baseline
+                }
+                let cell = run(par, block);
+                assert_eq!(
+                    baseline, cell,
+                    "block-engine matrix diverged at parallelism={par}, \
+                     block_engine={block}, chaos={}",
+                    !plan.is_none()
+                );
+            }
+        }
+    }
+}
+
 /// Faults-off ≡ seed bytes: a `FaultPlan` whose rates are all zero —
 /// even with a non-zero `fault_seed` — draws no randomness and perturbs
 /// nothing, so the run is byte-identical to the chaos-unaware baseline
@@ -370,6 +416,7 @@ fn chaos_pcaps_stay_parseable() {
                 handshaker_threshold: Some(5),
                 instruction_budget: 100_000_000,
                 seed: 77 + i as u64,
+                ..Default::default()
             },
         );
         let art = sb.execute(&sample.elf, SimDuration::from_secs(60));

@@ -86,7 +86,7 @@ pub struct Cpu {
     pub mem: Memory,
     /// Retired instruction count.
     pub retired: u64,
-    pending_branch: Option<u32>,
+    pub(crate) pending_branch: Option<u32>,
 }
 
 impl Cpu {
@@ -118,6 +118,13 @@ impl Cpu {
         if r & 31 != 0 {
             self.regs[(r & 31) as usize] = v;
         }
+    }
+
+    /// The branch target the next instruction (the delay slot) will
+    /// retire into, if the previous instruction was a taken branch.
+    /// Exposed so differential tests can compare complete CPU state.
+    pub fn pending_branch(&self) -> Option<u32> {
+        self.pending_branch
     }
 
     /// Execute one instruction.

@@ -302,10 +302,34 @@ pub fn decode(word: u32, pc: u32) -> Inst {
     }
 }
 
+/// Structurally decode a big-endian code buffer starting at `base`, one
+/// [`Inst`] per word (trailing bytes that do not fill a word are
+/// ignored). This is the shared linear sweep under both `malnet-xray`'s
+/// CFG construction and the block execution cache in [`crate::block`].
+pub fn decode_all(code: &[u8], base: u32) -> Vec<Inst> {
+    code.chunks_exact(4)
+        .enumerate()
+        .map(|(i, c)| {
+            let w = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            decode(w, base.wrapping_add(4 * i as u32))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::asm::{Assembler, Ins, Reg};
+
+    #[test]
+    fn decode_all_sweeps_words() {
+        let code = [0x00u8, 0x85, 0x10, 0x21, 0x00, 0x00, 0x00, 0x0c, 0xff];
+        let insts = decode_all(&code, 0x400000);
+        assert_eq!(insts.len(), 2); // trailing 0xff ignored
+        assert_eq!(insts[0].pc, 0x400000);
+        assert_eq!(insts[1].pc, 0x400004);
+        assert_eq!(insts[1].flow, Flow::Syscall);
+    }
 
     #[test]
     fn known_encodings() {

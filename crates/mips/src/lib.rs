@@ -19,16 +19,23 @@
 //!   syscalls against the simulated network (Linux o32 ABI, see [`sys`]).
 //! * [`sys`] — the o32 syscall numbers and calling convention shared
 //!   between the stub generator and the sandbox.
+//! * [`block`] — a block-cached execution engine: `.text` is predecoded
+//!   once into a flat op vector (with hot stub idioms fused into
+//!   superinstructions) and dispatched directly, with [`cpu::Cpu::step`]
+//!   retained as the bit-exact oracle for irregular control flow and
+//!   self-modifying code.
 //!
 //! Design note: this is an *interpreter*, not a JIT — determinism and
-//! instruction-budget enforcement matter more than speed, and the bot
-//! programs are small (a bytecode dispatch loop over the bot's behaviour
-//! program).
+//! instruction-budget enforcement matter more than speed. The block
+//! engine keeps that contract: it is observationally identical to the
+//! stepping oracle (same registers, memory, retired counts, faults),
+//! just faster on the regular majority of instructions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod block;
 pub mod cpu;
 pub mod dis;
 pub mod elf;
@@ -36,6 +43,7 @@ pub mod mem;
 pub mod sys;
 
 pub use asm::{Assembler, Ins, Reg};
+pub use block::ExecCache;
 pub use cpu::{Cpu, CpuError, StepOutcome};
 pub use elf::{ElfFile, ElfSegment};
 pub use mem::Memory;

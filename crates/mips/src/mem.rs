@@ -58,6 +58,14 @@ struct Segment {
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     segments: Vec<Segment>,
+    /// Code-watch range `[watch_start, watch_end)`: successful writes
+    /// overlapping it bump `code_version` so a predecoded execution
+    /// cache (see `crate::block`) knows its view of `.text` is stale.
+    /// Empty (`0..0`) by default, so unwatched memories pay only two
+    /// compares per write.
+    watch_start: u32,
+    watch_end: u32,
+    code_version: u64,
 }
 
 impl Memory {
@@ -87,6 +95,39 @@ impl Memory {
     /// Map a zero-filled writable segment.
     pub fn map_zeroed(&mut self, base: u32, len: u32, writable: bool) {
         self.map(base, vec![0; len as usize], writable);
+    }
+
+    /// Watch `[start, end)` for writes: any successful store overlapping
+    /// the range bumps [`Memory::code_version`]. One range per address
+    /// space (the guest's `.text`); re-watching replaces the old range.
+    pub fn watch_code(&mut self, start: u32, end: u32) {
+        self.watch_start = start;
+        self.watch_end = end;
+    }
+
+    /// Generation counter for the watched code range. Starts at 0 and
+    /// bumps on every successful write that overlaps the watch range.
+    pub fn code_version(&self) -> u64 {
+        self.code_version
+    }
+
+    #[inline]
+    fn note_write(&mut self, addr: u32, size: u32) {
+        if addr < self.watch_end && u64::from(addr) + u64::from(size) > u64::from(self.watch_start)
+        {
+            self.code_version += 1;
+        }
+    }
+
+    /// The `(base, len, writable)` of the segment containing `addr`, if
+    /// any. Used by the execution cache to find the text segment's span.
+    pub fn segment_span(&self, addr: u32) -> Option<(u32, u32, bool)> {
+        self.segments
+            .iter()
+            .find(|s| {
+                addr >= s.base && u64::from(addr) < s.base as u64 + s.data.len() as u64
+            })
+            .map(|s| (s.base, s.data.len() as u32, s.writable))
     }
 
     fn seg(&self, addr: u32, size: u32) -> Result<(usize, usize), MemError> {
@@ -132,6 +173,7 @@ impl Memory {
             return Err(MemError::ReadOnly { addr });
         }
         self.segments[i].data[off] = v;
+        self.note_write(addr, 1);
         Ok(())
     }
 
@@ -145,6 +187,7 @@ impl Memory {
             return Err(MemError::ReadOnly { addr });
         }
         self.segments[i].data[off..off + 2].copy_from_slice(&v.to_be_bytes());
+        self.note_write(addr, 2);
         Ok(())
     }
 
@@ -158,6 +201,7 @@ impl Memory {
             return Err(MemError::ReadOnly { addr });
         }
         self.segments[i].data[off..off + 4].copy_from_slice(&v.to_be_bytes());
+        self.note_write(addr, 4);
         Ok(())
     }
 
@@ -167,6 +211,21 @@ impl Memory {
         Ok(self.segments[i].data[off..off + len as usize].to_vec())
     }
 
+    /// Read exactly `buf.len()` bytes into `buf` without allocating
+    /// (syscall fast path for fixed-size guest structs).
+    pub fn read_into(&self, addr: u32, buf: &mut [u8]) -> Result<(), MemError> {
+        let (i, off) = self.seg(addr, buf.len() as u32)?;
+        buf.copy_from_slice(&self.segments[i].data[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Borrow `len` bytes of guest memory without copying (syscall fast
+    /// path for payloads that are immediately consumed, e.g. TCP sends).
+    pub fn view(&self, addr: u32, len: u32) -> Result<&[u8], MemError> {
+        let (i, off) = self.seg(addr, len)?;
+        Ok(&self.segments[i].data[off..off + len as usize])
+    }
+
     /// Write a byte slice.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemError> {
         let (i, off) = self.seg(addr, bytes.len() as u32)?;
@@ -174,6 +233,7 @@ impl Memory {
             return Err(MemError::ReadOnly { addr });
         }
         self.segments[i].data[off..off + bytes.len()].copy_from_slice(bytes);
+        self.note_write(addr, bytes.len() as u32);
         Ok(())
     }
 }
@@ -240,6 +300,42 @@ mod tests {
     fn overlap_panics() {
         let mut m = mem();
         m.map(0x10ff, vec![0; 4], true);
+    }
+
+    #[test]
+    fn code_watch_versions_overlapping_writes_only() {
+        let mut m = mem();
+        assert_eq!(m.code_version(), 0);
+        m.watch_code(0x1010, 0x1020);
+        m.write_u8(0x1000, 1).unwrap(); // below range
+        m.write_u32(0x1020, 2).unwrap(); // at end (exclusive)
+        assert_eq!(m.code_version(), 0);
+        m.write_u8(0x1010, 3).unwrap();
+        assert_eq!(m.code_version(), 1);
+        // A wide write straddling the range start counts once.
+        m.write_bytes(0x100c, &[0; 8]).unwrap();
+        assert_eq!(m.code_version(), 2);
+        // Halfword ending exactly at range start does not overlap.
+        m.write_u16(0x100e, 9).unwrap();
+        assert_eq!(m.code_version(), 2);
+        // Failed writes (read-only target) never bump.
+        m.watch_code(0x400000, 0x400040);
+        assert!(m.write_u8(0x400000, 1).is_err());
+        assert_eq!(m.code_version(), 2);
+    }
+
+    #[test]
+    fn segment_span_and_view() {
+        let m = mem();
+        assert_eq!(m.segment_span(0x400010), Some((0x400000, 64, false)));
+        assert_eq!(m.segment_span(0x1000), Some((0x1000, 256, true)));
+        assert_eq!(m.segment_span(0x2000), None);
+        assert_eq!(m.view(0x400000, 4).unwrap(), &[0, 1, 2, 3]);
+        assert!(m.view(0x400030, 64).is_err());
+        let mut buf = [0u8; 4];
+        m.read_into(0x400004, &mut buf).unwrap();
+        assert_eq!(buf, [4, 5, 6, 7]);
+        assert!(m.read_into(0x2000, &mut buf).is_err());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Cache-invalidation regressions for the block engine: self-modifying
+//! code must execute the *new* bytes, identically under the stepping
+//! oracle and `run_cached`, including the two nastiest shapes — a store
+//! into the block currently being executed, and a branch delay slot
+//! that straddles the cached segment's end.
+
+use malnet_mips::asm::{Assembler, Ins, Reg};
+use malnet_mips::block::ExecCache;
+use malnet_mips::cpu::{Cpu, CpuError, STACK_SIZE, STACK_TOP};
+use malnet_mips::mem::Memory;
+
+const BASE: u32 = 0x0040_0000;
+
+fn build_mem(code: &[u8], writable_text: bool) -> Memory {
+    let mut mem = Memory::new();
+    mem.map(BASE, code.to_vec(), writable_text);
+    mem.map_zeroed(0x1000_0000, 4096, true);
+    mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+    mem
+}
+
+/// Run to the first fault under both engines (several budget slicings)
+/// and assert identical outcome and state; returns the oracle CPU.
+fn assert_identical(code: &[u8], writable_text: bool) -> Cpu {
+    let mut result = None;
+    for slice in [1u64, 2, 3, 5, 100_000] {
+        let mut oracle = Cpu::new(build_mem(code, writable_text), BASE);
+        let mut mem = build_mem(code, writable_text);
+        let mut cache = ExecCache::for_entry(&mut mem, BASE).unwrap();
+        let mut fast = Cpu::new(mem, BASE);
+        let (a, b) = loop {
+            let a = oracle.run(slice);
+            let b = fast.run_cached(slice, &mut cache);
+            assert_eq!(a, b, "slice {slice}: outcome diverged");
+            assert_eq!(oracle.regs, fast.regs, "slice {slice}: registers");
+            assert_eq!(oracle.pc, fast.pc, "slice {slice}: pc");
+            assert_eq!(oracle.retired, fast.retired, "slice {slice}: retired");
+            let (tb, tl, _) = oracle.mem.segment_span(BASE).unwrap();
+            assert_eq!(
+                oracle.mem.view(tb, tl).unwrap(),
+                fast.mem.view(tb, tl).unwrap(),
+                "slice {slice}: text image"
+            );
+            if a.is_err() {
+                break (a, b);
+            }
+            assert!(oracle.retired < 100_000, "runaway program");
+        };
+        let _ = (a, b);
+        result = Some(oracle);
+    }
+    result.unwrap()
+}
+
+#[test]
+fn store_into_own_text_reexecutes_new_bytes() {
+    // Patch a later word from `break` to `addiu $t7,$t7,1`, then reach
+    // it: both engines must run the patched instruction.
+    let code = {
+        let mut a = Assembler::new(BASE);
+        a.ins(Ins::Li(Reg::T0, BASE))
+            .ins(Ins::Li(Reg::T1, 0x25ef_0001)) // addiu $t7,$t7,1
+            .ins(Ins::Sw(Reg::T1, Reg::T0, 24)) // word index 6
+            .ins(Ins::Nop) // index 5
+            .ins(Ins::Break) // index 6: patched before execution
+            .ins(Ins::Break); // index 7: real end
+        a.assemble().unwrap()
+    };
+    let cpu = assert_identical(&code, true);
+    assert_eq!(cpu.reg(15), 1, "patched addiu must have executed");
+}
+
+#[test]
+fn store_into_currently_executing_block_takes_effect_immediately() {
+    // The store's target is the *very next* word in the same block the
+    // fast path is streaming through (sw at word index 4 patches word
+    // index 5) — the engine must notice the version bump before
+    // dispatching the stale op.
+    let code = {
+        let mut a = Assembler::new(BASE);
+        a.ins(Ins::Li(Reg::T0, BASE)) // words 0-1
+            .ins(Ins::Li(Reg::T1, 0x25ef_0001)) // words 2-3: addiu $t7,$t7,1
+            .ins(Ins::Sw(Reg::T1, Reg::T0, 20)) // word 4, patches word 5
+            .ins(Ins::Break) // word 5: patched just before execution
+            .ins(Ins::Break); // word 6: real end
+        a.assemble().unwrap()
+    };
+    let cpu = assert_identical(&code, true);
+    assert_eq!(
+        cpu.reg(15),
+        1,
+        "word patched mid-block must execute in its new form"
+    );
+}
+
+#[test]
+fn delay_slot_straddling_cached_segment_boundary() {
+    // The cached segment's *last* word is a branch; its delay slot lives
+    // in the adjacent segment. The fast path cannot fold this (no next
+    // word in the cache) — it must hand off to the oracle, which
+    // executes the out-of-segment delay slot with pending-branch
+    // semantics. Equivalence includes the retired count and $t7.
+    let text = {
+        let mut a = Assembler::new(BASE);
+        a.ins(Ins::Li(Reg::T0, 1))
+            .label("spin")
+            .ins(Ins::Bne(Reg::T0, Reg::ZERO, "out".into()))
+            .label("out")
+            .ins(Ins::Li(Reg::T7, 7))
+            .ins(Ins::Break);
+        a.assemble().unwrap()
+    };
+    // Split: keep everything up to and including the bne in the cached
+    // segment; its delay slot (the assembler's nop) and the rest go into
+    // a second, adjacent segment.
+    let bne_end = 3 * 4; // Li(2 words) + bne head
+    let (seg1, seg2) = text.split_at(bne_end);
+
+    for slice in [1u64, 2, 3, 100_000] {
+        let mk = || {
+            let mut mem = Memory::new();
+            mem.map(BASE, seg1.to_vec(), false);
+            mem.map(BASE + bne_end as u32, seg2.to_vec(), false);
+            mem.map_zeroed(STACK_TOP - STACK_SIZE, STACK_SIZE + 0x1000, true);
+            mem
+        };
+        let mut oracle = Cpu::new(mk(), BASE);
+        let mut mem = mk();
+        // Cache covers ONLY the first segment: the bne is its last word.
+        let mut cache = ExecCache::for_entry(&mut mem, BASE).unwrap();
+        assert_eq!(cache.end(), BASE + bne_end as u32);
+        let mut fast = Cpu::new(mem, BASE);
+        loop {
+            let a = oracle.run(slice);
+            let b = fast.run_cached(slice, &mut cache);
+            assert_eq!(a, b, "slice {slice}");
+            assert_eq!(oracle.regs, fast.regs, "slice {slice}");
+            assert_eq!(oracle.pc, fast.pc, "slice {slice}");
+            assert_eq!(oracle.retired, fast.retired, "slice {slice}");
+            assert_eq!(
+                oracle.pending_branch(),
+                fast.pending_branch(),
+                "slice {slice}"
+            );
+            match a {
+                Err(CpuError::Break { .. }) => break,
+                Err(e) => panic!("unexpected fault: {e}"),
+                Ok(_) => assert!(oracle.retired < 1000, "runaway"),
+            }
+        }
+        assert_eq!(oracle.reg(15), 7, "post-branch code ran");
+    }
+}
+
+#[test]
+fn sandbox_syscall_write_into_text_invalidates_too() {
+    // `write_bytes` (the path sandbox syscalls like recv/getrandom use
+    // to deposit data into guest memory) must bump the code version just
+    // like guest stores: simulate the embedder patching text at a yield.
+    let code = {
+        let mut a = Assembler::new(BASE);
+        a.ins(Ins::Li(Reg::V0, 4013)) // fused LiSyscall prelude
+            .ins(Ins::Syscall)
+            .ins(Ins::Break) // patched to addiu $t7,$t7,1 at the yield
+            .ins(Ins::Break);
+        a.assemble().unwrap()
+    };
+    let patch = 0x25ef_0001u32.to_be_bytes(); // addiu $t7,$t7,1
+    let patch_at = BASE + 3 * 4;
+
+    let run = |use_cache: bool| -> (Cpu, u64) {
+        let mut mem = build_mem(&code, true);
+        let mut cache = ExecCache::for_entry(&mut mem, BASE).unwrap();
+        let mut cpu = Cpu::new(mem, BASE);
+        let mut yields = 0u64;
+        loop {
+            let r = if use_cache {
+                cpu.run_cached(100_000, &mut cache)
+            } else {
+                cpu.run(100_000)
+            };
+            match r {
+                Ok(Some(_)) => {
+                    yields += 1;
+                    cpu.mem.write_bytes(patch_at, &patch).unwrap();
+                    cpu.set_reg(2, 0);
+                    cpu.set_reg(7, 0);
+                }
+                Err(CpuError::Break { .. }) => break,
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        (cpu, yields)
+    };
+    let (oracle, oy) = run(false);
+    let (fast, fy) = run(true);
+    assert_eq!(oy, fy);
+    assert_eq!(oracle.regs, fast.regs);
+    assert_eq!(oracle.retired, fast.retired);
+    assert_eq!(fast.reg(15), 1, "embedder-patched word must execute");
+}

@@ -13,6 +13,7 @@ use std::net::Ipv4Addr;
 use malnet_prng::rngs::StdRng;
 use malnet_prng::{Rng, SeedableRng};
 
+use malnet_mips::block::ExecCache;
 use malnet_mips::cpu::{Cpu, StepOutcome};
 use malnet_mips::elf::ElfFile;
 use malnet_mips::sys;
@@ -80,6 +81,10 @@ pub struct ProcessConfig {
     pub instruction_budget: u64,
     /// RNG seed for `getrandom`.
     pub seed: u64,
+    /// Execute through the block-cached engine (`malnet_mips::block`)
+    /// instead of single-stepping. Observationally identical; off keeps
+    /// the legacy `step()` oracle for differential runs.
+    pub block_engine: bool,
 }
 
 impl Default for ProcessConfig {
@@ -88,6 +93,7 @@ impl Default for ProcessConfig {
             bot_ip: Ipv4Addr::new(100, 64, 0, 2),
             instruction_budget: 200_000_000,
             seed: 1,
+            block_engine: true,
         }
     }
 }
@@ -96,6 +102,9 @@ impl Default for ProcessConfig {
 pub struct BotProcess {
     cpu: Cpu,
     cfg: ProcessConfig,
+    /// Predecoded `.text` for the block engine; `None` runs the legacy
+    /// stepping oracle (toggle off, or entry outside any segment).
+    cache: Option<ExecCache>,
     fds: HashMap<u32, Fd>,
     next_fd: u32,
     rng: StdRng,
@@ -115,11 +124,17 @@ impl BotProcess {
             malnet_mips::cpu::STACK_SIZE + 0x1000,
             true,
         );
+        let cache = if cfg.block_engine {
+            ExecCache::for_entry(&mut mem, elf.entry)
+        } else {
+            None
+        };
         let cpu = Cpu::new(mem, elf.entry);
         let seed = cfg.seed;
         Some(BotProcess {
             cpu,
             cfg,
+            cache,
             fds: HashMap::new(),
             next_fd: 3,
             rng: StdRng::seed_from_u64(seed ^ 0xb07_cafe),
@@ -144,7 +159,12 @@ impl BotProcess {
                 return ExitReason::Budget;
             }
             let before = self.cpu.retired;
-            match self.cpu.run(SLICE.min(self.cfg.instruction_budget - self.executed)) {
+            let slice = SLICE.min(self.cfg.instruction_budget - self.executed);
+            let outcome = match self.cache.as_mut() {
+                Some(cache) => self.cpu.run_cached(slice, cache),
+                None => self.cpu.run(slice),
+            };
+            match outcome {
                 Ok(None) => {
                     self.executed += self.cpu.retired - before;
                 }
@@ -235,17 +255,15 @@ impl BotProcess {
                 self.ret(secs);
             }
             sys::NR_GETRANDOM => {
-                let len = a2.min(64).max(a1.min(64));
                 // a0 = buf, a1 = len per Linux; the stub passes len in a1.
-                let n = a1.min(64);
-                let mut bytes = vec![0u8; n as usize];
-                self.rng.fill(&mut bytes[..]);
-                if self.cpu.mem.write_bytes(a0, &bytes).is_err() {
+                let n = a1.min(64) as usize;
+                let mut bytes = [0u8; 64];
+                self.rng.fill(&mut bytes[..n]);
+                if self.cpu.mem.write_bytes(a0, &bytes[..n]).is_err() {
                     self.ret_err(sys::EINVAL);
                 } else {
-                    self.ret(n);
+                    self.ret(n as u32);
                 }
-                let _ = len;
             }
             sys::NR_NANOSLEEP => {
                 let secs = self.cpu.mem.read_u32(a0).unwrap_or(0);
@@ -347,13 +365,13 @@ impl BotProcess {
                 }
             }
             sys::NR_SEND | sys::NR_WRITE => {
-                let data = match self.cpu.mem.read_bytes(a1, a2.min(65536)) {
-                    Ok(d) => d,
-                    Err(_) => {
-                        self.ret_err(sys::EINVAL);
-                        return None;
-                    }
-                };
+                let len = a2.min(65536);
+                // A bad buffer is EINVAL even on a bad fd (checked
+                // before the fd, matching the pre-fast-path ordering).
+                if self.cpu.mem.view(a1, len).is_err() {
+                    self.ret_err(sys::EINVAL);
+                    return None;
+                }
                 match self.fds.get(&a0) {
                     Some(Fd::Tcp {
                         sock,
@@ -361,9 +379,11 @@ impl BotProcess {
                         ..
                     }) => {
                         let sock = *sock;
-                        let n = data.len() as u32;
-                        sb.net.ext_tcp_send(self.cfg.bot_ip, sock, &data);
-                        self.ret(n);
+                        // Borrow the payload straight out of guest memory:
+                        // the hot send loop copies nothing.
+                        let data = self.cpu.mem.view(a1, len).expect("validated above");
+                        sb.net.ext_tcp_send(self.cfg.bot_ip, sock, data);
+                        self.ret(len);
                     }
                     _ => self.ret_err(sys::EBADF),
                 }
@@ -496,7 +516,8 @@ impl BotProcess {
     }
 
     fn read_sockaddr(&self, addr: u32) -> Option<(u16, u16, u32)> {
-        let bytes = self.cpu.mem.read_bytes(addr, 8).ok()?;
+        let mut bytes = [0u8; 8];
+        self.cpu.mem.read_into(addr, &mut bytes).ok()?;
         sys::decode_sockaddr(&bytes)
     }
 

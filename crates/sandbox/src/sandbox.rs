@@ -60,6 +60,11 @@ pub struct SandboxConfig {
     pub instruction_budget: u64,
     /// RNG seed (drives guest randomness).
     pub seed: u64,
+    /// Run the guest on the block-cached interpreter (see
+    /// `malnet_mips::block`). Bit-exact against the legacy stepping
+    /// engine, so artifacts are identical either way; off is for
+    /// differential testing and oracle-speed baselines.
+    pub block_engine: bool,
 }
 
 impl Default for SandboxConfig {
@@ -70,6 +75,7 @@ impl Default for SandboxConfig {
             handshaker_threshold: Some(20),
             instruction_budget: 200_000_000,
             seed: 7,
+            block_engine: true,
         }
     }
 }
@@ -311,6 +317,7 @@ impl Sandbox {
             bot_ip: self.cfg.bot_ip,
             instruction_budget: self.cfg.instruction_budget,
             seed: self.cfg.seed,
+            block_engine: self.cfg.block_engine,
         };
         let (exit, instructions, syscalls) = match BotProcess::load(elf_bytes, pcfg) {
             Some(mut proc) => {
@@ -323,6 +330,11 @@ impl Sandbox {
                 0,
             ),
         };
+        // Instructions/sec is *derived*, never recorded: wall-clock
+        // values must not feed counters or histograms (they would break
+        // schedule-invariance; see DESIGN.md §8). Reports divide the
+        // `sandbox.instructions_retired` counter by the `sandbox.exec`
+        // span's wall time instead.
         // Let in-flight packets land so captures include trailing ACKs.
         self.net.run_for(SimDuration::from_millis(500));
         let cap = self.net.stop_capture(self.cfg.bot_ip);

@@ -23,7 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use malnet_mips::dis::{decode, Flow, Inst};
+use malnet_mips::dis::{decode_all, Flow, Inst};
 use malnet_mips::sys;
 
 /// Registers: $v0 carries the syscall number on MIPS o32.
@@ -68,14 +68,7 @@ impl TextAnalysis {
 /// Analyze an executable segment's bytes loaded at `base`, with the
 /// ELF entry point `entry`. Total on arbitrary bytes.
 pub fn analyze_text(code: &[u8], base: u32, entry: u32) -> TextAnalysis {
-    let insts: Vec<Inst> = code
-        .chunks_exact(4)
-        .enumerate()
-        .map(|(i, c)| {
-            let w = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
-            decode(w, base.wrapping_add(4 * i as u32))
-        })
-        .collect();
+    let insts: Vec<Inst> = decode_all(code, base);
     let n = insts.len();
     let end = base.wrapping_add(4 * n as u32);
     let in_range = |a: u32| a >= base && a < end && a.is_multiple_of(4);
