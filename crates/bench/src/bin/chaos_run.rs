@@ -47,7 +47,11 @@ fn main() {
         n_samples: opts.samples,
         cal: Calibration::default(),
     });
-    let tel = Telemetry::enabled();
+    // Stream the chaos run's lifecycle (quarantine and chaos events
+    // included) so CI can validate a fault-heavy event stream too.
+    let events_path = std::path::Path::new("results/events_chaos.jsonl");
+    let sink = malnet_telemetry::EventSink::create(events_path).expect("create event stream");
+    let tel = Telemetry::enabled_with_events(sink);
     let popts = PipelineOpts {
         seed: opts.seed,
         parallelism: 2,
@@ -58,6 +62,7 @@ fn main() {
     };
     let (data, _vendors) = Pipeline::with_telemetry(popts, tel.clone()).run(&world);
     let report = tel.report();
+    println!("wrote {} (live event stream)", events_path.display());
     println!(
         "chaos run done: {} samples profiled, {} quarantined, {} degradation rows, {} C2s",
         data.samples.len(),

@@ -107,10 +107,17 @@ fn main() {
             max_samples: Some(opts.samples),
             ..PipelineOpts::fast()
         };
-        // Telemetry on for every end-to-end run: the sweep doubles as a
-        // demonstration that instrumentation does not break scaling, and
-        // the last run's report lands in the JSON artifact.
-        let tel = Telemetry::enabled();
+        // Telemetry + event streaming on for every end-to-end run: the
+        // sweep doubles as a demonstration that instrumentation does not
+        // break scaling, and the last run's report lands in the JSON
+        // artifact. `File::create` truncates, so the streamed artifact
+        // CI validates is the widest run's — every width must produce a
+        // valid stream for the final file to exist at all.
+        let sink = malnet_telemetry::EventSink::create(std::path::Path::new(
+            "results/events_par_sweep.jsonl",
+        ))
+        .expect("create event stream");
+        let tel = Telemetry::enabled_with_events(sink);
         let t0 = Instant::now();
         let (data, vendors) = Pipeline::with_telemetry(popts, tel.clone()).run(&world);
         let wall = t0.elapsed();

@@ -1,9 +1,14 @@
 //! Run the pipeline's `fast()` config with telemetry enabled, write the
-//! JSON run report to `results/run_report.json`, and verify it: the
-//! report must parse (with `malnet_telemetry::json`) and contain every
-//! stage the pipeline is supposed to instrument. CI runs this on every
-//! push and uploads the artifact; a missing stage or malformed report
-//! fails the build.
+//! JSON run report to `results/run_report.json` (plus the live
+//! `malnet.events` stream to `results/events.jsonl` and a Chrome
+//! trace-event export of the span tree to `results/trace.json`), and
+//! verify the report: it must parse (with `malnet_telemetry::json`),
+//! contain every stage the pipeline is supposed to instrument, and its
+//! rollup rows must be well-formed (`day` keys present and strictly
+//! increasing, no duplicate field names) so a mis-merged day-shard is
+//! caught here instead of during analysis. CI runs this on every push,
+//! validates the stream with `study_watch --validate`, and uploads the
+//! artifacts; any failure fails the build.
 //!
 //! Usage:
 //! `cargo run -p malnet-bench --release --bin run_report -- [--samples N] [--seed S]`
@@ -11,7 +16,7 @@
 use malnet_bench::parse_args;
 use malnet_botgen::world::{Calibration, World, WorldConfig};
 use malnet_core::{Pipeline, PipelineOpts};
-use malnet_telemetry::{json, Telemetry};
+use malnet_telemetry::{json, trace, EventSink, RunReport, Telemetry};
 
 /// Spans the instrumented pipeline must have entered at least once on a
 /// corpus that exercises every stage.
@@ -49,6 +54,39 @@ const EXPECTED_COUNTERS: &[&str] = &[
     "wire.pcap_records_encoded",
 ];
 
+/// Rollup well-formedness: no row may carry a duplicate field name, and
+/// the `day`-keyed rows (one per study day with activity) must each
+/// carry a `day` field whose values strictly increase in arrival order.
+/// A mis-merged day-shard (duplicated or reordered rows) trips this in
+/// CI instead of surfacing as a silent analysis artifact.
+fn rollup_failures(report: &RunReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut last_day: Option<u64> = None;
+    for (i, (key, fields)) in report.rollups.iter().enumerate() {
+        for (j, (name, _)) in fields.iter().enumerate() {
+            if fields[..j].iter().any(|(n, _)| n == name) {
+                failures.push(format!(
+                    "rollup row {i} (key {key:?}) has duplicate field {name:?}"
+                ));
+            }
+        }
+        if key == "day" {
+            match fields.iter().find(|(n, _)| n == "day").map(|&(_, v)| v) {
+                None => failures.push(format!("day rollup row {i} lacks a \"day\" field")),
+                Some(day) => {
+                    if last_day.is_some_and(|prev| day <= prev) {
+                        failures.push(format!(
+                            "day rollup row {i}: day {day} does not increase (previous {last_day:?})"
+                        ));
+                    }
+                    last_day = Some(day);
+                }
+            }
+        }
+    }
+    failures
+}
+
 fn main() {
     let mut opts = parse_args();
     if opts.samples == 1447 {
@@ -59,7 +97,9 @@ fn main() {
         n_samples: opts.samples,
         cal: Calibration::default(),
     });
-    let tel = Telemetry::enabled();
+    let events_path = std::path::Path::new("results/events.jsonl");
+    let sink = EventSink::create(events_path).expect("create event stream");
+    let tel = Telemetry::enabled_with_events(sink);
     let popts = PipelineOpts {
         seed: opts.seed,
         parallelism: 2,
@@ -83,6 +123,12 @@ fn main() {
     }
     std::fs::write(path, &json_text).expect("write run report");
     println!("wrote {} ({} bytes)", path.display(), json_text.len());
+    println!("wrote {} (live event stream)", events_path.display());
+
+    let trace_path = std::path::Path::new("results/trace.json");
+    let trace_text = trace::chrome_trace(&report);
+    std::fs::write(trace_path, &trace_text).expect("write trace export");
+    println!("wrote {} ({} bytes)", trace_path.display(), trace_text.len());
 
     // --- verification: re-read from disk, parse, check stage coverage ---
     let reread = std::fs::read_to_string(path).expect("re-read run report");
@@ -128,6 +174,7 @@ fn main() {
     if report.rollups.is_empty() {
         failures.push("no per-day rollups".to_string());
     }
+    failures.extend(rollup_failures(&report));
     if !failures.is_empty() {
         for f in &failures {
             eprintln!("FAIL: {f}");

@@ -8,7 +8,13 @@
 //!   anywhere outside `crates/telemetry` (the sanctioned observer — use
 //!   [`Telemetry::stopwatch`] from other crates) and `crates/bench`
 //!   (offline measurement harness; its timings never feed the
-//!   simulation).
+//!   simulation). The exemption is *re-applied* to the telemetry
+//!   modules that construct event-stream and trace payloads
+//!   (`events.rs`, `trace.rs`): the `malnet.events` stream must stay
+//!   deterministic, so the only time-like inputs allowed there are
+//!   values handed in by callers (a `Telemetry::stopwatch` reading such
+//!   as the day rollup's `wall_us`) and the sink's own sequence
+//!   numbers — never a clock read of their own.
 //! * **Hash collections** (`HashMap`/`HashSet`) in `crates/core/src`
 //!   and `crates/wire/src`, where iteration order feeds serialized or
 //!   merged output. `RandomState` is seeded per-process, so iterating
@@ -60,6 +66,15 @@ impl std::fmt::Display for Violation {
 
 const CLOCK_TOKENS: &[&str] = &["SystemTime::now", "Instant::now", "std::time"];
 const CLOCK_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "crates/bench/"];
+/// Files inside a clock-exempt crate where the rule applies anyway:
+/// event-stream and trace payload construction must be wall-clock-free
+/// (only caller-supplied `Telemetry::stopwatch` readings and sequence
+/// numbers may appear in payloads) or streaming would reintroduce the
+/// schedule-dependence telemetry is proven not to have.
+const CLOCK_REAPPLIED_FILES: &[&str] = &[
+    "crates/telemetry/src/events.rs",
+    "crates/telemetry/src/trace.rs",
+];
 const HASH_TOKENS: &[&str] = &["HashMap", "HashSet"];
 const HASH_SCOPED_PREFIXES: &[&str] = &["crates/core/src/", "crates/wire/src/"];
 const PANIC_TOKENS: &[&str] = &["panic!", ".unwrap()", ".expect("];
@@ -68,7 +83,8 @@ const PANIC_SCOPED_PREFIXES: &[&str] = &["crates/core/src/", "crates/wire/src/"]
 /// Pure lint over one file's content. `path` is workspace-relative with
 /// forward slashes.
 fn lint_source(path: &str, content: &str) -> Vec<Violation> {
-    let clock_applies = !CLOCK_EXEMPT_PREFIXES.iter().any(|p| path.starts_with(p));
+    let clock_applies = CLOCK_REAPPLIED_FILES.contains(&path)
+        || !CLOCK_EXEMPT_PREFIXES.iter().any(|p| path.starts_with(p));
     let hash_applies = HASH_SCOPED_PREFIXES.iter().any(|p| path.starts_with(p));
     let panic_applies = PANIC_SCOPED_PREFIXES.iter().any(|p| path.starts_with(p));
     if !clock_applies && !hash_applies && !panic_applies {
@@ -211,6 +227,25 @@ mod tests {
         assert!(lint_source("crates/telemetry/src/lib.rs", src).is_empty());
         assert!(lint_source("crates/bench/benches/components.rs", src).is_empty());
         assert_eq!(lint_source("crates/sandbox/src/emu.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn clock_rule_reapplies_to_event_payload_modules() {
+        // The telemetry crate is clock-exempt — except in the modules
+        // that build event-stream / trace payloads, where a clock read
+        // would leak schedule-dependence into the stream.
+        let src = "use std::time::Instant;\nlet t = Instant::now();\n";
+        assert_eq!(lint_source("crates/telemetry/src/events.rs", src).len(), 2);
+        assert_eq!(lint_source("crates/telemetry/src/trace.rs", src).len(), 2);
+        assert_eq!(
+            lint_source("crates/telemetry/src/events.rs", src)[0].rule,
+            "clock"
+        );
+        // The marker still works for a justified site.
+        let marked = "let t = Instant::now(); // lint: clock-ok\n";
+        assert!(lint_source("crates/telemetry/src/events.rs", marked).is_empty());
+        // The rest of the crate (the span clock itself) stays exempt.
+        assert!(lint_source("crates/telemetry/src/lib.rs", src).is_empty());
     }
 
     #[test]

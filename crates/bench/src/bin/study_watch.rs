@@ -1,0 +1,233 @@
+//! Watch (or validate) a live `malnet.events` v1 stream.
+//!
+//! The pipeline streams lifecycle events to `results/events.jsonl` as a
+//! study runs (see `malnet_telemetry::events` and EXPERIMENTS.md);
+//! `study_watch` is the consumer:
+//!
+//! * **Default**: read the stream once and render a progress summary —
+//!   days completed, samples analyzed, instructions retired, per-day
+//!   rollup table, quarantine/chaos tallies.
+//! * **`--follow`**: tail the file, re-rendering as new complete lines
+//!   arrive, until the stream's `stream_end` line lands (the one place
+//!   in the workspace that legitimately sleeps on a wall clock; the
+//!   bench crate is `source_lint`'s clock-exempt zone).
+//! * **`--validate`**: strict mode for CI — the stream must be complete
+//!   and well-formed ([`validate_stream`]), and, when a final report is
+//!   present (`--report`, default `results/run_report.json`), folding
+//!   the stream must reconstruct the report's counters and rollup rows
+//!   exactly ([`fold_matches_report`]). Exit code 1 on any violation.
+//!   `--stream-only` skips the report cross-check for runs that don't
+//!   write a `malnet.run_report` artifact (e.g. the chaos job).
+//!
+//! Usage:
+//! `study_watch [--events PATH] [--report PATH] [--validate] [--stream-only] [--follow]`
+
+use malnet_telemetry::events::{
+    fold_matches_report, parse_event_line, validate_stream, StreamSummary,
+};
+use malnet_telemetry::RunReport;
+
+struct Args {
+    events: String,
+    report: String,
+    validate: bool,
+    stream_only: bool,
+    follow: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        events: "results/events.jsonl".to_string(),
+        report: "results/run_report.json".to_string(),
+        validate: false,
+        stream_only: false,
+        follow: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--events" => args.events = it.next().expect("--events needs a path"),
+            "--report" => args.report = it.next().expect("--report needs a path"),
+            "--validate" => args.validate = true,
+            "--stream-only" => args.stream_only = true,
+            "--follow" => args.follow = true,
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}\n\
+                     usage: study_watch [--events PATH] [--report PATH] [--validate] \
+                     [--stream-only] [--follow]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Render a one-screen progress summary of a (possibly still growing)
+/// stream. `complete` is whether `stream_end` has arrived.
+fn render(summary: &StreamSummary, complete: bool) {
+    let state = if complete { "complete" } else { "running" };
+    println!(
+        "study {state}: {} event(s), {} day(s) started, {} sample(s) completed",
+        summary.events,
+        summary.days.len(),
+        summary.samples_completed
+    );
+    let counter = |name: &str| {
+        summary
+            .final_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    if let Some(instr) = counter("sandbox.instructions_retired") {
+        println!("  instructions retired: {instr}");
+    }
+    if let Some(vtime) = counter("sandbox.vtime_secs") {
+        println!("  simulated sandbox time: {vtime} s");
+    }
+    if summary.quarantines > 0 || summary.chaos_events > 0 {
+        println!(
+            "  quarantines: {}, chaos events: {}",
+            summary.quarantines, summary.chaos_events
+        );
+    }
+    let day_rows: Vec<&(String, Vec<(String, u64)>)> = summary
+        .rollups
+        .iter()
+        .filter(|(key, _)| key == "day")
+        .collect();
+    if !day_rows.is_empty() {
+        println!("  last day rollups:");
+        for (_, fields) in day_rows.iter().rev().take(5).rev() {
+            let row: Vec<String> = fields.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            println!("    {}", row.join(" "));
+        }
+    }
+}
+
+/// Lenient fold of a possibly-incomplete stream for the live renderer:
+/// fold every line that parses, stop at the first that doesn't (a
+/// trailing partial line is expected mid-run — the sink flushes whole
+/// lines, so only the file's tail can be torn). No structural checks
+/// here; `--validate` uses the strict [`validate_stream`] path.
+fn fold_prefix(text: &str) -> (StreamSummary, bool) {
+    let mut summary = StreamSummary::default();
+    let mut complete = false;
+    for line in text.lines() {
+        let Ok(ev) = parse_event_line(line) else {
+            break;
+        };
+        summary.events += 1;
+        match ev.kind.as_str() {
+            "stream_end" => complete = true,
+            "day_start" => summary.days.extend(ev.u64("day")),
+            "heartbeat" => {
+                summary.heartbeats += 1;
+                if let Some(done) = ev.u64("samples_completed") {
+                    summary.samples_completed = done;
+                }
+            }
+            "counters" => {
+                summary.final_counters = ev
+                    .fields
+                    .iter()
+                    .filter_map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
+                    .collect();
+            }
+            "rollup" => {
+                if let Some(key) = ev.key.clone() {
+                    let fields = ev
+                        .fields
+                        .iter()
+                        .filter_map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
+                        .collect();
+                    summary.rollups.push((key, fields));
+                }
+            }
+            "quarantine" => summary.quarantines += 1,
+            "chaos" => summary.chaos_events += 1,
+            _ => {}
+        }
+    }
+    (summary, complete)
+}
+
+fn main() {
+    let args = parse_args();
+    if args.validate {
+        let text = match std::fs::read_to_string(&args.events) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL: cannot read {}: {e}", args.events);
+                std::process::exit(1);
+            }
+        };
+        let summary = match validate_stream(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAIL: {} is not a valid malnet.events stream: {e}", args.events);
+                std::process::exit(1);
+            }
+        };
+        render(&summary, true);
+        if args.stream_only {
+            println!("stream OK: {} ({} events, report cross-check skipped)", args.events, summary.events);
+            return;
+        }
+        match std::fs::read_to_string(&args.report) {
+            Ok(report_text) => {
+                let report = match RunReport::from_json(&report_text) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("FAIL: cannot parse {}: {e}", args.report);
+                        std::process::exit(1);
+                    }
+                };
+                if let Err(e) = fold_matches_report(&summary, &report) {
+                    eprintln!("FAIL: {e}");
+                    std::process::exit(1);
+                }
+                println!(
+                    "fold OK: stream reconstructs {} counter(s) and {} rollup row(s) of {}",
+                    summary.final_counters.len(),
+                    summary.rollups.len(),
+                    args.report
+                );
+            }
+            Err(_) => {
+                // No report alongside the stream (e.g. the chaos job):
+                // well-formedness alone is the contract.
+                println!("no report at {} — validated stream only", args.report);
+            }
+        }
+        println!("stream OK: {} ({} events)", args.events, summary.events);
+        return;
+    }
+
+    if args.follow {
+        // Live tail: poll for appended complete lines until stream_end.
+        // Wall-clock sleeping is fine here — the watcher observes the
+        // study, it is not part of it.
+        loop {
+            let text = std::fs::read_to_string(&args.events).unwrap_or_default();
+            let (summary, complete) = fold_prefix(&text);
+            render(&summary, complete);
+            if complete {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        }
+    }
+
+    let text = match std::fs::read_to_string(&args.events) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.events);
+            std::process::exit(1);
+        }
+    };
+    let (summary, complete) = fold_prefix(&text);
+    render(&summary, complete);
+}

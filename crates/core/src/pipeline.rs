@@ -22,7 +22,7 @@ use std::net::Ipv4Addr;
 use std::panic::AssertUnwindSafe;
 
 use malnet_prng::sub_seed;
-use malnet_telemetry::Telemetry;
+use malnet_telemetry::{Field as EventField, Telemetry};
 
 use malnet_botgen::exploitdb;
 use malnet_botgen::world::World;
@@ -210,7 +210,29 @@ impl Pipeline {
         days_with_samples.sort_unstable();
         let last_day = days_with_samples.last().copied().unwrap_or(0) + self.opts.track_max_days;
 
+        // Event-stream lifecycle: every emission below happens on this
+        // coordinator thread at a deterministic point (day boundaries,
+        // in-order merges), with payloads derived only from simulation
+        // state and counters whose day-boundary totals are
+        // schedule-independent — so the stream itself is deterministic
+        // and provably inert (see telemetry::events).
+        tel.event(
+            "study_start",
+            None,
+            &[
+                ("seed", EventField::U(self.opts.seed)),
+                ("parallelism", EventField::U(self.opts.parallelism as u64)),
+                ("samples", EventField::U(world.samples.len() as u64)),
+                (
+                    "last_day",
+                    EventField::U(u64::from(
+                        last_day.min(STUDY_DAYS + self.opts.track_max_days),
+                    )),
+                ),
+            ],
+        );
         let samples_analyzed = tel.counter("pipeline.samples_analyzed");
+        let instructions_retired = tel.counter("sandbox.instructions_retired");
         for day in 0..=last_day.min(STUDY_DAYS + self.opts.track_max_days) {
             let new_samples = world.samples_published_on(day);
             let has_tracking = !self.tracking.is_empty();
@@ -219,11 +241,22 @@ impl Pipeline {
             }
             let day_span = tel.span("pipeline.day");
             let day_start = tel.stopwatch();
+            tel.event(
+                "day_start",
+                None,
+                &[
+                    ("day", EventField::U(u64::from(day))),
+                    ("new_samples", EventField::U(new_samples.len() as u64)),
+                ],
+            );
             // One world network per day: shared by liveness probes and
             // restricted sessions.
             let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
             net.set_telemetry(&tel);
-            apply_world_chaos(&self.opts.faults, world, &mut net, day, &tel);
+            // Only the coordinator's application of the day's fault plan
+            // emits chaos events; the workers' re-applications on
+            // detached nets describe the same faults.
+            apply_world_chaos(&self.opts.faults, world, &mut net, day, &tel, true);
             self.daily_liveness_sweep(&mut net, day);
             // Select the day's batch up front (`samples_published_on`
             // returns ids in ascending order) so the contained stage can
@@ -234,9 +267,22 @@ impl Pipeline {
             }
             analyzed += batch.len();
             samples_analyzed.add(batch.len() as u64);
+            let phase = |name: &str, edge: &str| {
+                tel.event(
+                    edge,
+                    None,
+                    &[
+                        ("phase", EventField::S(name)),
+                        ("day", EventField::U(u64::from(day))),
+                    ],
+                );
+            };
             let outcomes = {
                 let _phase_a = tel.span("pipeline.phase_a");
-                run_contained_batch(world, &self.opts, day, &batch, &tel)
+                phase("phase_a", "phase_start");
+                let outcomes = run_contained_batch(world, &self.opts, day, &batch, &tel);
+                phase("phase_a", "phase_end");
+                outcomes
             };
             {
                 // Phase B splits in three: B1 replays every world-network
@@ -245,6 +291,7 @@ impl Pipeline {
                 // networks, B3 folds their evidence back in sample-id
                 // order. Only B2 is parallel; B1/B3 own all shared state.
                 let _phase_b = tel.span("pipeline.phase_b");
+                phase("phase_b", "phase_start");
                 let mut jobs: Vec<RestrictedJob> = Vec::new();
                 for outcome in outcomes {
                     match outcome {
@@ -261,6 +308,7 @@ impl Pipeline {
                 for session in sessions {
                     self.merge_ddos_evidence(world, day, session);
                 }
+                phase("phase_b", "phase_end");
             }
             drop(day_span);
             tel.rollup(
@@ -273,6 +321,23 @@ impl Pipeline {
                     ("wall_us", day_start.elapsed_us()),
                 ],
             );
+            // Progress heartbeat + counter snapshot at the day boundary:
+            // every fan-out has joined, so counter totals here are pure
+            // functions of (world, opts) — no wall clocks involved.
+            tel.event(
+                "heartbeat",
+                None,
+                &[
+                    ("day", EventField::U(u64::from(day))),
+                    ("samples_completed", EventField::U(analyzed as u64)),
+                    (
+                        "instructions_retired",
+                        EventField::U(instructions_retired.get()),
+                    ),
+                    ("tracked_c2s", EventField::U(self.tracking.len() as u64)),
+                ],
+            );
+            tel.counters_event();
         }
 
         // Final feed re-query ("May 7th 2022").
@@ -304,6 +369,22 @@ impl Pipeline {
             }
         }
 
+        // The final counter snapshot comes after ALL counter movement
+        // (probing included) so the stream's fold reconstructs the final
+        // report's counters exactly; then the stream is sealed. Both are
+        // no-ops without an attached sink.
+        tel.counters_event();
+        tel.event(
+            "study_end",
+            None,
+            &[
+                ("samples_analyzed", EventField::U(analyzed as u64)),
+                ("c2s_known", EventField::U(self.data.c2s.len() as u64)),
+                ("probed_c2s", EventField::U(self.data.probed.len() as u64)),
+            ],
+        );
+        tel.finish_events();
+
         (self.data, self.vendors)
     }
 
@@ -313,6 +394,29 @@ impl Pipeline {
     /// must not cost a multi-day study.
     fn quarantine_sample(&mut self, world: &World, day: u32, q: Quarantined) {
         self.tel.add("pipeline.samples_quarantined", 1);
+        // Emitted in sample-id order from the B1 merge loop, so the
+        // stream position is deterministic.
+        self.tel.event(
+            "quarantine",
+            None,
+            &[
+                ("sha256", EventField::S(&world.samples[q.sample_id].sha256)),
+                ("day", EventField::U(u64::from(day))),
+                ("kind", EventField::S("worker-panic")),
+                ("detail", EventField::S(&q.detail)),
+            ],
+        );
+        for ctx in &q.fault_context {
+            self.tel.event(
+                "chaos",
+                None,
+                &[
+                    ("day", EventField::U(u64::from(day))),
+                    ("sha256", EventField::S(&world.samples[q.sample_id].sha256)),
+                    ("detail", EventField::S(ctx)),
+                ],
+            );
+        }
         *self
             .data
             .health
@@ -400,6 +504,21 @@ impl Pipeline {
         } = outcome;
         self.data.triage.extend(triage);
         let sample = &world.samples[sample_id];
+        // Chaos that touched this sample's contained run (binary
+        // mutation, injected faults), streamed here — the B1 merge runs
+        // on the coordinator in sample-id order — rather than from the
+        // racing phase-A workers that observed it.
+        for ctx in &fault_context {
+            tel.event(
+                "chaos",
+                None,
+                &[
+                    ("day", EventField::U(u64::from(day))),
+                    ("sha256", EventField::S(&sample.sha256)),
+                    ("detail", EventField::S(ctx)),
+                ],
+            );
+        }
         // D-Health accounting: every contained run's exit reason is
         // tallied; sandbox faults (including malformed-ELF rejects) and
         // budget exhaustion get full degradation rows.
@@ -416,6 +535,16 @@ impl Pipeline {
             _ => None,
         };
         if let Some(kind) = degraded_kind {
+            tel.event(
+                "quarantine",
+                None,
+                &[
+                    ("sha256", EventField::S(&sample.sha256)),
+                    ("day", EventField::U(u64::from(day))),
+                    ("kind", EventField::S(class)),
+                    ("detail", EventField::S(&exit)),
+                ],
+            );
             self.data.health.rows.push(HealthRecord {
                 sha256: sample.sha256.clone(),
                 day,
@@ -584,7 +713,14 @@ impl Pipeline {
 /// detached network ([`run_restricted_batch`]) — the same day must see
 /// the same faults on both, or a restricted session would observe a C2
 /// the liveness sweep saw go down.
-fn apply_world_chaos(plan: &FaultPlan, world: &World, net: &mut Network, day: u32, tel: &Telemetry) {
+fn apply_world_chaos(
+    plan: &FaultPlan,
+    world: &World,
+    net: &mut Network,
+    day: u32,
+    tel: &Telemetry,
+    emit: bool,
+) {
     if plan.is_none() {
         return;
     }
@@ -599,6 +735,24 @@ fn apply_world_chaos(plan: &FaultPlan, world: &World, net: &mut Network, day: u3
             net.schedule_host_state(c2.host_ip, down_at, false);
             net.schedule_host_state(c2.host_ip, down_at + SimDuration::from_secs(dur), true);
             tel.add("chaos.c2_downtime_windows", 1);
+            // `emit` is true only on the coordinator's per-day
+            // application; each restricted worker re-applies the same
+            // plan to its detached net, which must not re-announce
+            // (or race) the identical window.
+            if emit {
+                let ip = c2.host_ip.to_string();
+                tel.event(
+                    "chaos",
+                    None,
+                    &[
+                        ("day", EventField::U(u64::from(day))),
+                        ("kind", EventField::S("c2_downtime")),
+                        ("ip", EventField::S(&ip)),
+                        ("start_secs", EventField::U(start)),
+                        ("duration_secs", EventField::U(dur)),
+                    ],
+                );
+            }
         }
     }
 }
@@ -661,7 +815,7 @@ fn run_restricted_batch(
                     sample_seed(opts.seed, day, job.sample_id, SeedStream::RestrictedNet),
                 );
                 net.set_telemetry(tel);
-                apply_world_chaos(&opts.faults, world, &mut net, day, tel);
+                apply_world_chaos(&opts.faults, world, &mut net, day, tel, false);
                 let mut allowed: Vec<Ipv4Addr> = job.live.iter().map(|(_, ip, _, _)| *ip).collect();
                 allowed.push(malnet_botgen::world::WORLD_RESOLVER);
                 let mut sb = Sandbox::new(

@@ -20,7 +20,7 @@ use malnet_netsim::stack::SockEvent;
 use malnet_netsim::time::{SimDuration, SimTime};
 use malnet_prng::sub_seed;
 use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
-use malnet_telemetry::{SpanCtx, Telemetry};
+use malnet_telemetry::{Field as EventField, SpanCtx, Telemetry};
 use malnet_wire::packet::Transport;
 
 use crate::datasets::ProbedC2;
@@ -193,6 +193,24 @@ pub fn run_probing(
             banner_filtered.extend(r.banner_filtered.iter().copied());
         }
         round_results.extend(day_out);
+        // A probing-day milestone for the event stream, emitted after
+        // the fan-out joined — every payload field is a deterministic
+        // fold of the day's round results.
+        tel.event(
+            "probe_day",
+            None,
+            &[
+                (
+                    "day",
+                    EventField::U(u64::from(cfg.start_day + round / cfg.rounds_per_day)),
+                ),
+                ("rounds_completed", EventField::U(u64::from(day_end))),
+                (
+                    "banner_filtered",
+                    EventField::U(banner_filtered.len() as u64),
+                ),
+            ],
+        );
         round = day_end;
     }
     merge_round_results(round_results)

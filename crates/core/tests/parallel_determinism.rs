@@ -469,3 +469,110 @@ fn telemetry_counters_are_parallelism_invariant() {
         assert_eq!(strip(af), strip(bf), "rollup {ak} diverged");
     }
 }
+
+/// The event-streaming axis: attaching a `malnet.events` sink is
+/// provably inert — parallelism {1, 2, 8, 64} × chaos {none, fixed}
+/// with the sink attached all reproduce the sink-less sequential
+/// baseline's bytes — and the stream itself upholds the consistency
+/// contract: it validates structurally and its fold reconstructs the
+/// final report's counters and rollup rows exactly. Because every event
+/// is emitted at a coordinator sync point from deterministic state, the
+/// stream is also byte-identical across parallelism levels once its two
+/// variant fields are masked: the day rollup's `wall_us` (wall clock)
+/// and `study_start`'s echo of the configured parallelism.
+#[test]
+fn event_streaming_is_inert_and_foldable() {
+    use malnet_telemetry::events::{fold_matches_report, validate_stream};
+    use malnet_telemetry::EventSink;
+
+    /// Mask the digits after every `"<field>":` occurrence.
+    fn mask_field(stream: &str, field: &str) -> String {
+        let needle = format!("\"{field}\":");
+        let mut out = String::with_capacity(stream.len());
+        let mut rest = stream;
+        while let Some(at) = rest.find(&needle) {
+            let digits_at = at + needle.len();
+            out.push_str(&rest[..digits_at]);
+            out.push('X');
+            rest = rest[digits_at..].trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+        out.push_str(rest);
+        out
+    }
+
+    /// Everything schedule- or config-variant in the stream: the day
+    /// rollup's `wall_us` (the stream's one wall-clock field) and
+    /// `study_start`'s echo of the configured parallelism.
+    fn mask_variant_fields(stream: &str) -> String {
+        mask_field(&mask_field(stream, "wall_us"), "parallelism")
+    }
+
+    let seed = 8181;
+    let world = test_world(seed);
+    for plan in [FaultPlan::none(), FaultPlan::chaos(17)] {
+        let run = |par: usize, tel: Telemetry| {
+            let opts = PipelineOpts {
+                seed,
+                parallelism: par,
+                max_samples: Some(12),
+                faults: plan,
+                ..PipelineOpts::fast()
+            };
+            let (data, vendors) = Pipeline::with_telemetry(opts, tel).run(&world);
+            (data.canonical_dump(), vendors.canonical_dump())
+        };
+        let baseline = run(1, Telemetry::disabled());
+        assert!(
+            baseline.0.contains("== D-Health =="),
+            "baseline dump lacks the health section the stream narrates"
+        );
+        let mut masked_streams: Vec<String> = Vec::new();
+        let mut folded_reports = Vec::new();
+        for par in [1usize, 2, 8, 64] {
+            let sink = EventSink::in_memory();
+            let tel = Telemetry::enabled_with_events(sink.clone());
+            let cell = run(par, tel.clone());
+            assert_eq!(
+                baseline, cell,
+                "event streaming perturbed output at parallelism={par}, chaos={}",
+                !plan.is_none()
+            );
+            let stream = sink.contents().expect("in-memory sink");
+            let summary = validate_stream(&stream).unwrap_or_else(|e| {
+                panic!("invalid stream at parallelism={par}: {e}")
+            });
+            let report = tel.report();
+            fold_matches_report(&summary, &report).unwrap_or_else(|e| {
+                panic!("fold mismatch at parallelism={par}: {e}")
+            });
+            if !plan.is_none() {
+                assert!(
+                    summary.chaos_events > 0,
+                    "chaos run streamed no chaos events"
+                );
+            }
+            masked_streams.push(mask_variant_fields(&stream));
+            let rollups_no_wall: Vec<(String, Vec<(String, u64)>)> = summary
+                .rollups
+                .into_iter()
+                .map(|(key, fields)| {
+                    (
+                        key,
+                        fields.into_iter().filter(|(n, _)| n != "wall_us").collect(),
+                    )
+                })
+                .collect();
+            folded_reports.push((summary.final_counters, rollups_no_wall));
+        }
+        for (i, stream) in masked_streams.iter().enumerate().skip(1) {
+            assert_eq!(
+                &masked_streams[0], stream,
+                "event stream (wall_us masked) diverged between parallelism 1 \
+                 and {}, chaos={}",
+                [1usize, 2, 8, 64][i],
+                !plan.is_none()
+            );
+            assert_eq!(&folded_reports[0], &folded_reports[i]);
+        }
+    }
+}

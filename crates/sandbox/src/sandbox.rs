@@ -147,6 +147,9 @@ struct SandboxTelemetry {
     instructions: malnet_telemetry::Counter,
     syscalls: malnet_telemetry::Counter,
     exploits: malnet_telemetry::Counter,
+    /// Simulated seconds of sandbox execution granted — a wall-clock-free
+    /// progress denominator for event-stream heartbeats.
+    vtime_secs: malnet_telemetry::Counter,
     instructions_per_run: malnet_telemetry::Histogram,
 }
 
@@ -157,6 +160,7 @@ impl SandboxTelemetry {
             instructions: tel.counter("sandbox.instructions_retired"),
             syscalls: tel.counter("sandbox.syscalls_serviced"),
             exploits: tel.counter("sandbox.exploits_captured"),
+            vtime_secs: tel.counter("sandbox.vtime_secs"),
             instructions_per_run: tel.histogram("sandbox.instructions_per_run"),
         }
     }
@@ -365,6 +369,7 @@ impl Sandbox {
         self.tel_handles.runs.incr();
         self.tel_handles.instructions.add(instructions);
         self.tel_handles.syscalls.add(syscalls);
+        self.tel_handles.vtime_secs.add(duration.as_secs());
         self.tel_handles.instructions_per_run.record(instructions);
         self.tel_handles.exploits.add(exploits.len() as u64);
         Artifacts {

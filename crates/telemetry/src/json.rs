@@ -13,8 +13,13 @@ pub enum Value {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number.
+    /// A non-integral, negative, or out-of-`u64`-range JSON number.
     Num(f64),
+    /// A non-negative integer that fits in a `u64`, kept exact. Counter
+    /// values and histogram bucket bounds go up to `u64::MAX`, which an
+    /// `f64` cannot represent — `RunReport::from_json` and the event-
+    /// stream fold need these bit-exact.
+    Int(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -48,9 +53,11 @@ impl Value {
         }
     }
 
-    /// The number as u64, if this is a non-negative integral number.
+    /// The number as u64: exact for [`Value::Int`], best-effort for a
+    /// non-negative integral [`Value::Num`] (e.g. `1e3`).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Value::Int(n) => Some(*n),
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
@@ -66,10 +73,12 @@ impl Value {
         }
     }
 
-    /// The number as f64, if this is a number.
+    /// The number as f64, if this is a number (lossy above 2^53 for
+    /// [`Value::Int`]).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            Value::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -290,6 +299,14 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        // Plain non-negative integers that fit a u64 stay exact; every
+        // other shape (negative, fractional, exponent, oversized) takes
+        // the f64 path.
+        if !text.starts_with('-') && !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Int(n));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|e| format!("bad number {text:?}: {e}"))
@@ -335,5 +352,28 @@ mod tests {
     #[test]
     fn unicode_passthrough() {
         assert_eq!(parse("\"héllo ✓\"").unwrap().as_str(), Some("héllo ✓"));
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        // Above 2^53 an f64 cannot hold every integer; the parser must.
+        for v in [
+            u64::MAX,
+            u64::MAX - 1,
+            (1u64 << 53) + 1,
+            9_007_199_254_740_993,
+        ] {
+            assert_eq!(parse(&v.to_string()).unwrap(), Value::Int(v));
+            assert_eq!(parse(&v.to_string()).unwrap().as_u64(), Some(v));
+        }
+        // Too big for u64: degrades to the f64 path instead of erroring.
+        assert!(matches!(
+            parse("18446744073709551616").unwrap(),
+            Value::Num(_)
+        ));
+        // Negative / fractional / exponent forms never claim Int.
+        assert!(matches!(parse("-3").unwrap(), Value::Num(_)));
+        assert!(matches!(parse("3.0").unwrap(), Value::Num(_)));
+        assert!(matches!(parse("1e3").unwrap(), Value::Num(_)));
     }
 }

@@ -48,8 +48,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod json;
 pub mod report;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -57,6 +59,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+pub use events::{EventSink, Field};
 pub use report::{HistogramReport, RunReport, SpanReport};
 
 /// Number of log2 histogram buckets: bucket 0 holds the value 0, bucket
@@ -77,6 +80,70 @@ impl Telemetry {
         Telemetry {
             inner: Some(Arc::new(Registry::default())),
         }
+    }
+
+    /// A live handle that additionally streams lifecycle events to
+    /// `sink` (the `malnet.events` v1 JSONL stream): rollup rows are
+    /// dual-emitted as they arrive, and instrumented coordinators emit
+    /// lifecycle events and counter snapshots through
+    /// [`Telemetry::event`] / [`Telemetry::counters_event`]. The sink
+    /// only ever *receives* deterministic data — attaching one cannot
+    /// perturb any instrumented computation.
+    pub fn enabled_with_events(sink: EventSink) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Registry {
+                events: Some(sink),
+                ..Registry::default()
+            })),
+        }
+    }
+
+    /// Emit one event to the attached sink, if any. A no-op on disabled
+    /// or sink-less handles, so instrumented code can emit
+    /// unconditionally. Callers must only emit from the coordinator
+    /// thread at deterministic points with deterministic payloads (see
+    /// `events` module docs); `source_lint` keeps clocks out of payload
+    /// construction.
+    pub fn event(&self, kind: &str, key: Option<&str>, fields: &[(&str, Field<'_>)]) {
+        if let Some(sink) = self.inner.as_ref().and_then(|r| r.events.as_ref()) {
+            sink.emit(kind, key, fields);
+        }
+    }
+
+    /// Emit a full counter snapshot (`counters` event, name-sorted) to
+    /// the attached sink. Called at day boundaries and at study end;
+    /// the stream's fold takes the *last* snapshot, so the final one
+    /// must come after all counter movement for
+    /// [`events::fold_matches_report`] to hold.
+    pub fn counters_event(&self) {
+        let Some(r) = &self.inner else { return };
+        let Some(sink) = &r.events else { return };
+        let snapshot: Vec<(String, u64)> = r
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let fields: Vec<(&str, Field<'_>)> = snapshot
+            .iter()
+            .map(|(name, v)| (name.as_str(), Field::U(*v)))
+            .collect();
+        sink.emit("counters", None, &fields);
+    }
+
+    /// Seal the attached event stream (emits `stream_end`); a no-op
+    /// without a sink. Idempotent.
+    pub fn finish_events(&self) {
+        if let Some(sink) = self.inner.as_ref().and_then(|r| r.events.as_ref()) {
+            sink.finish();
+        }
+    }
+
+    /// The attached event sink, if any (bench bins use this to reach
+    /// the stream for post-run validation).
+    pub fn event_sink(&self) -> Option<EventSink> {
+        self.inner.as_ref().and_then(|r| r.events.clone())
     }
 
     /// The inert handle: no registry, every operation is a no-op branch.
@@ -201,6 +268,10 @@ impl Telemetry {
 
     /// Append an ordered rollup row (e.g. one per study day): a key
     /// plus labelled integer fields, reported verbatim in arrival order.
+    /// With an event sink attached, the row is also streamed as a
+    /// `rollup` event the moment it arrives — this is how per-day
+    /// rollups become visible at day boundaries instead of only in the
+    /// final snapshot.
     pub fn rollup(&self, key: &str, fields: &[(&str, u64)]) {
         if let Some(r) = &self.inner {
             r.rollups.lock().unwrap().push(RollupRow {
@@ -210,6 +281,11 @@ impl Telemetry {
                     .map(|(k, v)| (k.to_string(), *v))
                     .collect(),
             });
+            if let Some(sink) = &r.events {
+                let streamed: Vec<(&str, Field<'_>)> =
+                    fields.iter().map(|&(k, v)| (k, Field::U(v))).collect();
+                sink.emit("rollup", Some(key), &streamed);
+            }
         }
     }
 
@@ -452,6 +528,9 @@ struct Registry {
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     spans: Mutex<BTreeMap<String, Arc<SpanStat>>>,
     rollups: Mutex<Vec<RollupRow>>,
+    /// Optional live event stream; every rollup dual-emits here and
+    /// instrumented coordinators push lifecycle events through it.
+    events: Option<EventSink>,
 }
 
 impl Registry {

@@ -167,10 +167,101 @@ impl RunReport {
         out.push_str("]}");
         out
     }
+
+    /// Parse a report back from its [`RunReport::to_json`] rendering.
+    ///
+    /// The inverse direction exists so consumers (`study_watch`, the
+    /// proptest roundtrip suite) can fold an event stream against a
+    /// report file without re-running the study. Counter values and
+    /// bucket bounds survive bit-exact up to `u64::MAX` (the parser
+    /// keeps plain integers out of `f64`).
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let v = crate::json::parse(text)?;
+        if v.get("schema").and_then(crate::json::Value::as_str) != Some(SCHEMA) {
+            return Err("wrong or missing schema".to_string());
+        }
+        if v.get("version").and_then(crate::json::Value::as_u64) != Some(VERSION as u64) {
+            return Err("wrong or missing version".to_string());
+        }
+        let arr = |name: &str| -> Result<&[crate::json::Value], String> {
+            v.get(name)
+                .and_then(crate::json::Value::as_array)
+                .ok_or(format!("missing {name:?} array"))
+        };
+        let str_of = |v: &crate::json::Value, name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(crate::json::Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string {name:?}"))
+        };
+        let u64_of = |v: &crate::json::Value, name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(crate::json::Value::as_u64)
+                .ok_or(format!("missing integer {name:?}"))
+        };
+
+        let mut report = RunReport::default();
+        for s in arr("spans")? {
+            report.spans.push(SpanReport {
+                name: str_of(s, "name")?,
+                calls: u64_of(s, "calls")?,
+                total_us: u64_of(s, "total_us")?,
+                self_us: u64_of(s, "self_us")?,
+                parent: match s.get("parent") {
+                    None => None,
+                    Some(p) => Some(
+                        p.as_str()
+                            .map(str::to_string)
+                            .ok_or("non-string \"parent\"")?,
+                    ),
+                },
+            });
+        }
+        for c in arr("counters")? {
+            report.counters.push((str_of(c, "name")?, u64_of(c, "value")?));
+        }
+        for h in arr("histograms")? {
+            let mut buckets = Vec::new();
+            for b in h
+                .get("buckets")
+                .and_then(crate::json::Value::as_array)
+                .ok_or("missing \"buckets\" array")?
+            {
+                buckets.push((u64_of(b, "le")?, u64_of(b, "count")?));
+            }
+            report.histograms.push(HistogramReport {
+                name: str_of(h, "name")?,
+                count: u64_of(h, "count")?,
+                sum: u64_of(h, "sum")?,
+                min: u64_of(h, "min")?,
+                max: u64_of(h, "max")?,
+                p50: u64_of(h, "p50")?,
+                p90: u64_of(h, "p90")?,
+                p99: u64_of(h, "p99")?,
+                buckets,
+            });
+        }
+        for r in arr("rollups")? {
+            let key = str_of(r, "key")?;
+            let Some(crate::json::Value::Obj(members)) = r.get("fields") else {
+                return Err("missing \"fields\" object".to_string());
+            };
+            let mut fields = Vec::with_capacity(members.len());
+            for (name, value) in members {
+                let n = value
+                    .as_u64()
+                    .ok_or(format!("rollup field {name:?} is not an integer"))?;
+                fields.push((name.clone(), n));
+            }
+            report.rollups.push((key, fields));
+        }
+        Ok(report)
+    }
 }
 
-/// Quote and escape a JSON string.
-fn json_str(s: &str) -> String {
+/// Quote and escape a JSON string (shared with the event stream and
+/// trace writers).
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -254,6 +345,25 @@ mod tests {
         let rollups = v.get("rollups").and_then(|a| a.as_array()).unwrap();
         let fields = rollups[0].get("fields").unwrap();
         assert_eq!(fields.get("samples").and_then(|n| n.as_u64()), Some(5));
+    }
+
+    #[test]
+    fn from_json_inverts_to_json() {
+        for rep in [sample_report(), RunReport::default()] {
+            let back = RunReport::from_json(&rep.to_json()).expect("parses");
+            assert_eq!(back, rep);
+        }
+        // Extreme counter values survive bit-exact.
+        let mut rep = RunReport::default();
+        rep.counters.push(("big".to_string(), u64::MAX));
+        rep.counters.push(("odd".to_string(), (1u64 << 53) + 1));
+        assert_eq!(RunReport::from_json(&rep.to_json()).unwrap(), rep);
+        // Wrong schema/version are rejected.
+        assert!(RunReport::from_json("{\"schema\":\"x\",\"version\":1}").is_err());
+        assert!(
+            RunReport::from_json(&rep.to_json().replace("\"version\":1", "\"version\":2"))
+                .is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Chrome trace-event export of the span tree.
+//!
+//! [`chrome_trace`] renders a [`RunReport`]'s aggregated spans as a
+//! `chrome://tracing` / Perfetto-compatible JSON document of complete
+//! (`"ph":"X"`) events, one per span name, nested by the report's
+//! recorded parent links. Our spans are *aggregates* (total wall time
+//! across all calls), not individual intervals, so the export is a
+//! flamegraph-style layout rather than a literal timeline: each span's
+//! duration is its aggregate `total_us`, children are laid out
+//! sequentially from their parent's start, and a `calls` arg carries
+//! the call count. Timestamps are synthetic (derived only from the
+//! report's own microsecond totals — no clock is read here), which
+//! keeps the export as deterministic as the report it came from.
+
+use std::fmt::Write as _;
+
+use crate::report::{json_str, RunReport};
+
+/// Render the report's span tree as a Chrome trace-event JSON document
+/// (`{"traceEvents":[...],"displayTimeUnit":"ms"}`).
+///
+/// Roots (spans with no recorded parent) are laid out back-to-back in
+/// name order on pid 1 / tid 1; each span's children start at its own
+/// start timestamp and run sequentially. A child whose `total_us`
+/// exceeds its parent's (possible: aggregates include cross-thread
+/// fan-out time) simply overflows the parent's box — viewers render
+/// this fine. Cycles or dangling parent names (possible only in a
+/// hand-edited report) are broken by treating the offending span as a
+/// root.
+pub fn chrome_trace(report: &RunReport) -> String {
+    // Child indices per parent name, preserving the report's name order.
+    let mut roots: Vec<usize> = Vec::new();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); report.spans.len()];
+    let index_of = |name: &str| report.spans.iter().position(|s| s.name == name);
+    for (i, span) in report.spans.iter().enumerate() {
+        match span.parent.as_deref().and_then(index_of) {
+            // A span whose recorded parent is itself (degenerate) or
+            // missing is treated as a root.
+            Some(p) if p != i => children[p].push(i),
+            _ => roots.push(i),
+        }
+    }
+
+    let mut events: Vec<(usize, u64)> = Vec::with_capacity(report.spans.len());
+    let mut visiting = vec![false; report.spans.len()];
+    // Iterative DFS carrying each span's start timestamp.
+    let mut stack: Vec<(usize, u64)> = Vec::new();
+    let mut cursor = 0u64;
+    for &root in &roots {
+        stack.push((root, cursor));
+        cursor = cursor.saturating_add(report.spans[root].total_us);
+        while let Some((i, ts)) = stack.pop() {
+            if visiting[i] {
+                continue; // cycle guard: emit each span once
+            }
+            visiting[i] = true;
+            events.push((i, ts));
+            let mut child_ts = ts;
+            for &c in &children[i] {
+                stack.push((c, child_ts));
+                child_ts = child_ts.saturating_add(report.spans[c].total_us);
+            }
+        }
+    }
+    // Anything unreachable from a root (a cycle among non-roots) still
+    // gets emitted, at the end of the timeline.
+    let emitted = visiting;
+    for (i, span) in report.spans.iter().enumerate() {
+        if !emitted[i] {
+            events.push((i, cursor));
+            cursor = cursor.saturating_add(span.total_us);
+        }
+    }
+
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (n, &(i, ts)) in events.iter().enumerate() {
+        let span = &report.spans[i];
+        if n > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{ts},\"dur\":{},\
+             \"args\":{{\"calls\":{},\"self_us\":{}}}}}",
+            json_str(&span.name),
+            span.total_us,
+            span.calls,
+            span.self_us
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::report::SpanReport;
+
+    fn span(name: &str, total_us: u64, parent: Option<&str>) -> SpanReport {
+        SpanReport {
+            name: name.to_string(),
+            calls: 1,
+            total_us,
+            self_us: total_us,
+            parent: parent.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn exports_a_nested_tree_with_sequential_children() {
+        let report = RunReport {
+            spans: vec![
+                span("root", 100, None),
+                span("root.a", 30, Some("root")),
+                span("root.b", 50, Some("root")),
+                span("root.a.x", 10, Some("root.a")),
+            ],
+            ..RunReport::default()
+        };
+        let v = json::parse(&chrome_trace(&report)).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(events.len(), 4);
+        let find = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|s| s.as_str()) == Some(name))
+                .unwrap()
+        };
+        let ts = |name: &str| find(name).get("ts").and_then(|n| n.as_u64()).unwrap();
+        let dur = |name: &str| find(name).get("dur").and_then(|n| n.as_u64()).unwrap();
+        // Children start at the parent's start and run back-to-back.
+        assert_eq!(ts("root"), 0);
+        assert_eq!(ts("root.a"), 0);
+        assert_eq!(ts("root.b"), 30);
+        assert_eq!(ts("root.a.x"), 0);
+        assert_eq!(dur("root"), 100);
+        assert_eq!(dur("root.b"), 50);
+        assert_eq!(
+            find("root").get("args").unwrap().get("calls").unwrap().as_u64(),
+            Some(1)
+        );
+        // The export is a pure function of the report.
+        assert_eq!(chrome_trace(&report), chrome_trace(&report));
+    }
+
+    #[test]
+    fn multiple_roots_lay_out_back_to_back() {
+        let report = RunReport {
+            spans: vec![span("a", 40, None), span("b", 60, None)],
+            ..RunReport::default()
+        };
+        let v = json::parse(&chrome_trace(&report)).unwrap();
+        let events = v.get("traceEvents").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(events[0].get("ts").unwrap().as_u64(), Some(0));
+        assert_eq!(events[1].get("ts").unwrap().as_u64(), Some(40));
+    }
+
+    #[test]
+    fn cycles_and_dangling_parents_do_not_hang_or_drop_spans() {
+        let report = RunReport {
+            spans: vec![
+                span("self", 10, Some("self")),       // degenerate self-parent
+                span("x", 10, Some("y")),             // 2-cycle
+                span("y", 10, Some("x")),
+                span("orphan", 10, Some("missing")),  // dangling parent
+            ],
+            ..RunReport::default()
+        };
+        let v = json::parse(&chrome_trace(&report)).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(events.len(), 4, "every span is emitted exactly once");
+    }
+
+    #[test]
+    fn empty_report_exports_an_empty_event_list() {
+        let v = json::parse(&chrome_trace(&RunReport::default())).unwrap();
+        assert_eq!(
+            v.get("traceEvents").and_then(|a| a.as_array()).unwrap().len(),
+            0
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Histogram edge cases: the documented log2 bucketing contract
+//! (bucket 0 holds the value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`)
+//! at its boundaries — 0, 1, exact powers of two, and `u64::MAX` — and
+//! lossless JSON rendering of the resulting extreme bucket bounds and
+//! sums.
+
+use malnet_telemetry::{
+    bucket_index, bucket_upper_bound, json, RunReport, Telemetry, HISTOGRAM_BUCKETS,
+};
+
+#[test]
+fn zero_and_one_get_their_own_buckets() {
+    let tel = Telemetry::enabled();
+    let h = tel.histogram("edge");
+    h.record(0);
+    h.record(1);
+    let rep = tel.report();
+    let hr = rep.histogram("edge").unwrap();
+    // Bucket 0 (upper bound 0) holds the zero; bucket 1 (upper bound 1)
+    // holds the one — they never share.
+    assert_eq!(hr.buckets, vec![(0, 1), (1, 1)]);
+    assert_eq!(hr.min, 0);
+    assert_eq!(hr.max, 1);
+    assert_eq!(hr.sum, 1);
+}
+
+#[test]
+fn powers_of_two_open_new_buckets_and_predecessors_close_them() {
+    // 2^k is the *first* value of bucket k+1; 2^k - 1 is the *last*
+    // value of bucket k. Exercise every boundary the encoding has.
+    for k in 0..63u32 {
+        let v = 1u64 << k;
+        assert_eq!(bucket_index(v), k as usize + 1, "2^{k} opens bucket {}", k + 1);
+        assert_eq!(
+            bucket_index(v - 1),
+            if v == 1 { 0 } else { k as usize },
+            "2^{k}-1 stays in bucket {k}"
+        );
+        let expected_upper = if k as usize + 1 >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (k + 1)) - 1
+        };
+        assert_eq!(bucket_upper_bound(k as usize + 1), expected_upper);
+    }
+    // The top bucket: 2^63 and everything above, u64::MAX included.
+    assert_eq!(bucket_index(1u64 << 63), 64);
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert_eq!(bucket_upper_bound(64), u64::MAX);
+    assert_eq!(HISTOGRAM_BUCKETS, 65, "documented bucket count");
+}
+
+#[test]
+fn recorded_boundary_values_land_in_documented_buckets() {
+    let tel = Telemetry::enabled();
+    let h = tel.histogram("bounds");
+    for v in [0u64, 1, 2, 4, 1u64 << 32, 1u64 << 63, u64::MAX] {
+        h.record(v);
+    }
+    let rep = tel.report();
+    let hr = rep.histogram("bounds").unwrap();
+    assert_eq!(
+        hr.buckets,
+        vec![
+            (0, 1),                  // 0
+            (1, 1),                  // 1
+            (3, 1),                  // 2
+            (7, 1),                  // 4
+            ((1u64 << 33) - 1, 1),   // 2^32
+            (u64::MAX, 2),           // 2^63 and u64::MAX share the top
+        ]
+    );
+    assert_eq!(hr.count, 7);
+    assert_eq!(hr.min, 0);
+    assert_eq!(hr.max, u64::MAX);
+    // Sum wraps nothing here: 7 + 2^32 + 2^63 + (2^64 - 1) computed in
+    // wrapping u64 arithmetic is what the atomic accumulates.
+    let expected_sum = 0u64
+        .wrapping_add(1)
+        .wrapping_add(2)
+        .wrapping_add(4)
+        .wrapping_add(1u64 << 32)
+        .wrapping_add(1u64 << 63)
+        .wrapping_add(u64::MAX);
+    assert_eq!(hr.sum, expected_sum);
+}
+
+#[test]
+fn extreme_buckets_render_losslessly_through_json() {
+    let tel = Telemetry::enabled();
+    let h = tel.histogram("extreme");
+    h.record(u64::MAX);
+    h.record(0);
+    let report = tel.report();
+    let json_text = report.to_json();
+    // The raw text must carry the exact integer, not an f64
+    // approximation like 1.8446744073709552e19.
+    assert!(
+        json_text.contains(&u64::MAX.to_string()),
+        "u64::MAX not rendered as an exact integer: {json_text}"
+    );
+    // And it survives a full parse → report → render cycle bit-exact.
+    let v = json::parse(&json_text).expect("parses");
+    let hists = v.get("histograms").and_then(|a| a.as_array()).unwrap();
+    let buckets = hists[0].get("buckets").and_then(|a| a.as_array()).unwrap();
+    assert_eq!(buckets[1].get("le").and_then(|n| n.as_u64()), Some(u64::MAX));
+    let back = RunReport::from_json(&json_text).expect("roundtrips");
+    assert_eq!(back, report);
+    assert_eq!(back.histogram("extreme").unwrap().max, u64::MAX);
+}
+
+#[test]
+fn percentiles_of_extreme_distributions_stay_in_range() {
+    let tel = Telemetry::enabled();
+    let h = tel.histogram("p");
+    for _ in 0..99 {
+        h.record(1);
+    }
+    h.record(u64::MAX);
+    let rep = tel.report();
+    let hr = rep.histogram("p").unwrap();
+    assert_eq!(hr.p50, 1);
+    assert_eq!(hr.p90, 1);
+    // The single extreme observation owns the tail estimate.
+    assert_eq!(hr.p99, 1);
+    assert_eq!(hr.max, u64::MAX);
+    assert_eq!(hr.buckets.last(), Some(&(u64::MAX, 1)));
+}

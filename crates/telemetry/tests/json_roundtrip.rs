@@ -1,0 +1,109 @@
+//! Property test: `RunReport::to_json` → `RunReport::from_json` is the
+//! identity on arbitrary reports — including names that need JSON
+//! escaping (quotes, backslashes, control characters), counter values
+//! up to `u64::MAX` (which must not detour through `f64`), empty
+//! sections, and duplicate names (the report model is a list, not a
+//! map, and the roundtrip must not dedupe).
+
+use malnet_telemetry::{HistogramReport, RunReport, SpanReport};
+use proptest::prelude::*;
+
+/// Names that stress the escaper: ASCII identifiers mixed with quotes,
+/// backslashes, tabs, newlines, a control character, and non-ASCII.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z.]{0,16}",
+        "[a-z\"\\ touché✓\t\n]{1,12}",
+        Just("\u{1}\u{1f}weird\r".to_string()),
+        Just(String::new()),
+    ]
+}
+
+/// Values covering the full u64 range plus the f64-dangerous region
+/// just above 2^53.
+fn arb_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        any::<u64>(),
+        Just(0u64),
+        Just(u64::MAX),
+        Just((1u64 << 53) + 1),
+    ]
+}
+
+fn arb_span() -> impl Strategy<Value = SpanReport> {
+    (
+        arb_name(),
+        arb_value(),
+        arb_value(),
+        arb_value(),
+        prop_oneof![Just(true), Just(false)],
+        arb_name(),
+    )
+        .prop_map(|(name, calls, total_us, self_us, has_parent, parent)| SpanReport {
+            name,
+            calls,
+            total_us,
+            self_us,
+            parent: has_parent.then_some(parent),
+        })
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramReport> {
+    (
+        (arb_name(), arb_value(), arb_value(), arb_value(), arb_value()),
+        (arb_value(), arb_value(), arb_value()),
+        prop::collection::vec((arb_value(), arb_value()), 0..5),
+    )
+        .prop_map(|((name, count, sum, min, max), (p50, p90, p99), buckets)| {
+            HistogramReport {
+                name,
+                count,
+                sum,
+                min,
+                max,
+                p50,
+                p90,
+                p99,
+                buckets,
+            }
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = RunReport> {
+    (
+        prop::collection::vec(arb_span(), 0..4),
+        prop::collection::vec((arb_name(), arb_value()), 0..6),
+        prop::collection::vec(arb_histogram(), 0..3),
+        prop::collection::vec(
+            (arb_name(), prop::collection::vec((arb_name(), arb_value()), 0..4)),
+            0..4,
+        ),
+    )
+        .prop_map(|(spans, counters, histograms, rollups)| RunReport {
+            spans,
+            counters,
+            histograms,
+            rollups,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn to_json_then_from_json_is_identity(report in arb_report()) {
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, report);
+    }
+
+    #[test]
+    fn rendered_json_always_parses(report in arb_report()) {
+        let json = report.to_json();
+        malnet_telemetry::json::parse(&json).map_err(TestCaseError::fail)?;
+        // And a second render of the recovered report is byte-identical:
+        // the serializer is canonical over its own output.
+        let back = RunReport::from_json(&json).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back.to_json(), json);
+    }
+}
