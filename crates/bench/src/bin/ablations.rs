@@ -26,7 +26,10 @@ fn main() {
     });
 
     println!("== Ablation 1: handshaker threshold (paper: 20) ==");
-    println!("{:>10} {:>18} {:>14}", "threshold", "exploit samples", "payloads");
+    println!(
+        "{:>10} {:>18} {:>14}",
+        "threshold", "exploit samples", "payloads"
+    );
     for threshold in [1usize, 5, 20, 60, 200] {
         let p = PipelineOpts {
             handshaker_threshold: threshold,
@@ -46,7 +49,10 @@ fn main() {
     println!("(higher thresholds delay victim impersonation until more of the pool is scanned;\n past the pool size, no exploits are ever captured)");
 
     println!("\n== Ablation 2: behavioural DDoS threshold (paper: 100 pps) ==");
-    println!("{:>10} {:>10} {:>22}", "pps", "commands", "behavioural detections");
+    println!(
+        "{:>10} {:>10} {:>22}",
+        "pps", "commands", "behavioural detections"
+    );
     for pps in [10u64, 50, 100, 300, 1000] {
         let p = PipelineOpts {
             pps_threshold: pps,
@@ -68,7 +74,9 @@ fn main() {
             .count();
         println!("{:>10} {:>10} {:>22}", pps, data.ddos.len(), behavioural);
     }
-    println!("(below bot flood rates the heuristic corroborates the profiler; above them it goes blind)");
+    println!(
+        "(below bot flood rates the heuristic corroborates the profiler; above them it goes blind)"
+    );
 
     println!("\n== Ablation 3: probe cadence (paper: 6/day = 4 h) ==");
     let weapons: Vec<Vec<u8>> = [Family::Mirai, Family::Gafgyt]
@@ -110,7 +118,9 @@ fn main() {
             responses as f64 / 4.0
         );
     }
-    println!("(sparse cadences miss elusive servers entirely — the paper's case for persistent probing)");
+    println!(
+        "(sparse cadences miss elusive servers entirely — the paper's case for persistent probing)"
+    );
 
     println!("\n== Ablation 4: AV corroboration bar (paper: 5 engines) ==");
     println!("{:>6} {:>12}", "bar", "corpus kept");
@@ -118,7 +128,13 @@ fn main() {
     let detections: Vec<u32> = (0..2000).map(|_| model.detections_for_malware()).collect();
     for bar in [1u32, 3, 5, 10, 30, 50] {
         let kept = detections.iter().filter(|&&d| d >= bar).count();
-        println!("{:>6} {:>11.1}%", bar, kept as f64 * 100.0 / detections.len() as f64);
+        println!(
+            "{:>6} {:>11.1}%",
+            bar,
+            kept as f64 * 100.0 / detections.len() as f64
+        );
     }
-    println!("(5 engines keeps ~98% of true malware; aggressive bars shed fresh low-consensus samples)");
+    println!(
+        "(5 engines keeps ~98% of true malware; aggressive bars shed fresh low-consensus samples)"
+    );
 }

@@ -128,7 +128,11 @@ fn main() {
     let trace_path = std::path::Path::new("results/trace.json");
     let trace_text = trace::chrome_trace(&report);
     std::fs::write(trace_path, &trace_text).expect("write trace export");
-    println!("wrote {} ({} bytes)", trace_path.display(), trace_text.len());
+    println!(
+        "wrote {} ({} bytes)",
+        trace_path.display(),
+        trace_text.len()
+    );
 
     // --- verification: re-read from disk, parse, check stage coverage ---
     let reread = std::fs::read_to_string(path).expect("re-read run report");
@@ -182,7 +186,8 @@ fn main() {
         std::process::exit(1);
     }
 
-    println!("run report OK: {} spans, {} counters, {} histograms, {} rollups",
+    println!(
+        "run report OK: {} spans, {} counters, {} histograms, {} rollups",
         report.spans.len(),
         report.counters.len(),
         report.histograms.len(),

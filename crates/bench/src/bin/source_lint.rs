@@ -1,335 +1,44 @@
-//! Determinism source-lint for the workspace.
+//! Determinism source-lint for the workspace — thin alias over
+//! `malnet-lint`.
 //!
-//! The pipeline's core guarantee — byte-identical datasets across
-//! parallelism levels *and across processes* — is easy to break with
-//! two innocuous-looking constructs, so CI greps for them:
+//! This bin used to carry its own line-based substring grep; that
+//! implementation could not see strings, comments, scopes, or
+//! cross-file facts, and it is now retired in favour of the token-aware
+//! rule engine in `crates/lint` (lexer + rules + suppression audit; see
+//! DESIGN.md §static analysis for the full catalog). The name is kept
+//! for muscle memory: `cargo run -p malnet-bench --bin source_lint`
+//! still runs the full rule set from the workspace root and exits
+//! non-zero listing every violation.
 //!
-//! * **Wall clocks** (`SystemTime::now`, `Instant::now`, `std::time`)
-//!   anywhere outside `crates/telemetry` (the sanctioned observer — use
-//!   [`Telemetry::stopwatch`] from other crates) and `crates/bench`
-//!   (offline measurement harness; its timings never feed the
-//!   simulation). The exemption is *re-applied* to the telemetry
-//!   modules that construct event-stream and trace payloads
-//!   (`events.rs`, `trace.rs`): the `malnet.events` stream must stay
-//!   deterministic, so the only time-like inputs allowed there are
-//!   values handed in by callers (a `Telemetry::stopwatch` reading such
-//!   as the day rollup's `wall_us`) and the sink's own sequence
-//!   numbers — never a clock read of their own.
-//! * **Hash collections** (`HashMap`/`HashSet`) in `crates/core/src`
-//!   and `crates/wire/src`, where iteration order feeds serialized or
-//!   merged output. `RandomState` is seeded per-process, so iterating
-//!   a hash map reorders output between *runs* even with a fixed seed.
-//!   Lookup-only maps are fine: annotate the declaration (same or
-//!   previous line) with `lint: hash-ok` and say why.
-//!
-//! * **Panic sites** (`panic!`, `.unwrap()`, `.expect(`) in
-//!   `crates/core/src` and `crates/wire/src` production code. One
-//!   crashing sample must degrade into D-Health, not abort a multi-day
-//!   study (see DESIGN.md §robustness). Deliberate sites — invariants
-//!   that genuinely cannot fail, or the chaos layer's forced panic —
-//!   are annotated `lint: panic-ok` (same or previous line) with a
-//!   justification. Test modules (everything after a `#[cfg(test)]`
-//!   line) are exempt: a test *should* panic on a broken invariant.
-//!
-//! Comment lines and (for the hash rule) `use` declarations are
-//! ignored; importing a type is not a hazard, iterating it is.
-//!
-//! Usage: `cargo run -p malnet-bench --bin source_lint` from the
-//! workspace root. Exits non-zero listing every violation.
-//!
-//! [`Telemetry::stopwatch`]: malnet_telemetry::Telemetry::stopwatch
-
-use std::path::{Path, PathBuf};
-
-/// One lint hit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Violation {
-    /// Workspace-relative path (forward slashes).
-    file: String,
-    /// 1-indexed line.
-    line: usize,
-    /// Which rule fired (`clock`, `hash`, or `panic`).
-    rule: &'static str,
-    /// The offending source line, trimmed.
-    text: String,
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.text
-        )
-    }
-}
-
-const CLOCK_TOKENS: &[&str] = &["SystemTime::now", "Instant::now", "std::time"];
-const CLOCK_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "crates/bench/"];
-/// Files inside a clock-exempt crate where the rule applies anyway:
-/// event-stream and trace payload construction must be wall-clock-free
-/// (only caller-supplied `Telemetry::stopwatch` readings and sequence
-/// numbers may appear in payloads) or streaming would reintroduce the
-/// schedule-dependence telemetry is proven not to have.
-const CLOCK_REAPPLIED_FILES: &[&str] = &[
-    "crates/telemetry/src/events.rs",
-    "crates/telemetry/src/trace.rs",
-];
-const HASH_TOKENS: &[&str] = &["HashMap", "HashSet"];
-const HASH_SCOPED_PREFIXES: &[&str] = &["crates/core/src/", "crates/wire/src/"];
-const PANIC_TOKENS: &[&str] = &["panic!", ".unwrap()", ".expect("];
-const PANIC_SCOPED_PREFIXES: &[&str] = &["crates/core/src/", "crates/wire/src/"];
-
-/// Pure lint over one file's content. `path` is workspace-relative with
-/// forward slashes.
-fn lint_source(path: &str, content: &str) -> Vec<Violation> {
-    let clock_applies = CLOCK_REAPPLIED_FILES.contains(&path)
-        || !CLOCK_EXEMPT_PREFIXES.iter().any(|p| path.starts_with(p));
-    let hash_applies = HASH_SCOPED_PREFIXES.iter().any(|p| path.starts_with(p));
-    let panic_applies = PANIC_SCOPED_PREFIXES.iter().any(|p| path.starts_with(p));
-    if !clock_applies && !hash_applies && !panic_applies {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    let mut prev_line = "";
-    // Unit-test modules sit at the bottom of each file behind
-    // `#[cfg(test)]`; the panic rule stops applying there.
-    let mut in_tests = false;
-    for (i, line) in content.lines().enumerate() {
-        let trimmed = line.trim_start();
-        if trimmed.starts_with("#[cfg(test)]") {
-            in_tests = true;
-        }
-        let is_comment = trimmed.starts_with("//");
-        let allowed = |marker: &str| line.contains(marker) || prev_line.contains(marker);
-        if clock_applies
-            && !is_comment
-            && !allowed("lint: clock-ok")
-            && CLOCK_TOKENS.iter().any(|t| line.contains(t))
-        {
-            out.push(Violation {
-                file: path.to_string(),
-                line: i + 1,
-                rule: "clock",
-                text: trimmed.trim_end().to_string(),
-            });
-        }
-        if hash_applies
-            && !is_comment
-            && !trimmed.starts_with("use ")
-            && !allowed("lint: hash-ok")
-            && HASH_TOKENS.iter().any(|t| line.contains(t))
-        {
-            out.push(Violation {
-                file: path.to_string(),
-                line: i + 1,
-                rule: "hash",
-                text: trimmed.trim_end().to_string(),
-            });
-        }
-        if panic_applies
-            && !in_tests
-            && !is_comment
-            && !allowed("lint: panic-ok")
-            && PANIC_TOKENS.iter().any(|t| line.contains(t))
-        {
-            out.push(Violation {
-                file: path.to_string(),
-                line: i + 1,
-                rule: "panic",
-                text: trimmed.trim_end().to_string(),
-            });
-        }
-        prev_line = line;
-    }
-    out
-}
-
-/// Collect every `.rs` file under `root`, skipping `target/` and hidden
-/// directories. Returned paths are sorted for stable output.
-fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.to_path_buf()];
-    while let Some(dir) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&dir) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if path.is_dir() {
-                if name == "target" || name.starts_with('.') {
-                    continue;
-                }
-                stack.push(path);
-            } else if name.ends_with(".rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
+//! The CI gate is the sibling `lint_report` bin, which additionally
+//! writes and self-validates the `malnet.lint_report` v1 artifact under
+//! `results/`.
 
 fn main() {
     let root = std::env::current_dir().expect("cwd");
-    let files = collect_rs_files(&root);
-    if files.is_empty() {
-        eprintln!("FAIL: no .rs files found under {} — run from the workspace root", root.display());
+    let lint = malnet_lint::lint_workspace(&root);
+    if lint.files_scanned == 0 {
+        eprintln!(
+            "FAIL: no .rs files found under {} — run from the workspace root",
+            root.display()
+        );
         std::process::exit(1);
     }
-    let mut violations = Vec::new();
-    for file in &files {
-        let rel = file
-            .strip_prefix(&root)
-            .unwrap_or(file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Ok(content) = std::fs::read_to_string(file) else {
-            continue;
-        };
-        violations.extend(lint_source(&rel, &content));
-    }
-    if violations.is_empty() {
-        println!("source lint OK: {} files, 0 violations", files.len());
+    if lint.clean() {
+        println!("source lint OK: {} files, 0 violations", lint.files_scanned);
         return;
     }
-    for v in &violations {
-        eprintln!("FAIL: {v}");
+    for f in &lint.findings {
+        eprintln!("FAIL: {f}");
     }
     eprintln!(
         "{} violation(s). Clocks belong in crates/telemetry (use Telemetry::stopwatch \
-         elsewhere); hash collections in core/wire need a `lint: hash-ok` justification \
-         or a BTree collection; panic sites in core/wire production code need typed \
-         errors / quarantine or a `lint: panic-ok` justification.",
-        violations.len()
+         elsewhere); hash collections that are iterated need a BTree collection or a \
+         justified `lint: hash-ok` / `hash-iter-ok`; panic family sites in core/wire \
+         production code need typed errors / quarantine or `lint: panic-ok`; RNGs \
+         outside crates/prng must derive from a SeedStream domain. See DESIGN.md \
+         §static analysis.",
+        lint.findings.len()
     );
     std::process::exit(1);
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn seeded_clock_violation_is_caught() {
-        let bad = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
-        let v = lint_source("crates/core/src/pipeline.rs", bad);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "clock");
-        assert_eq!(v[0].line, 2);
-    }
-
-    #[test]
-    fn clocks_allowed_in_telemetry_and_bench() {
-        let src = "use std::time::Instant;\nlet t = Instant::now();\n";
-        assert!(lint_source("crates/telemetry/src/lib.rs", src).is_empty());
-        assert!(lint_source("crates/bench/benches/components.rs", src).is_empty());
-        assert_eq!(lint_source("crates/sandbox/src/emu.rs", src).len(), 2);
-    }
-
-    #[test]
-    fn clock_rule_reapplies_to_event_payload_modules() {
-        // The telemetry crate is clock-exempt — except in the modules
-        // that build event-stream / trace payloads, where a clock read
-        // would leak schedule-dependence into the stream.
-        let src = "use std::time::Instant;\nlet t = Instant::now();\n";
-        assert_eq!(lint_source("crates/telemetry/src/events.rs", src).len(), 2);
-        assert_eq!(lint_source("crates/telemetry/src/trace.rs", src).len(), 2);
-        assert_eq!(
-            lint_source("crates/telemetry/src/events.rs", src)[0].rule,
-            "clock"
-        );
-        // The marker still works for a justified site.
-        let marked = "let t = Instant::now(); // lint: clock-ok\n";
-        assert!(lint_source("crates/telemetry/src/events.rs", marked).is_empty());
-        // The rest of the crate (the span clock itself) stays exempt.
-        assert!(lint_source("crates/telemetry/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn seeded_hash_violation_is_caught_and_marker_clears_it() {
-        let bad = "fn f() {\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
-        let v = lint_source("crates/core/src/c2detect.rs", bad);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "hash");
-
-        let marked_same =
-            "fn f() {\n    let m: HashMap<u32, u32> = HashMap::new(); // lint: hash-ok\n}\n";
-        assert!(lint_source("crates/core/src/c2detect.rs", marked_same).is_empty());
-        let marked_prev =
-            "fn f() {\n    // lookup only. lint: hash-ok\n    let m: HashMap<u32, u32> = HashMap::new();\n}\n";
-        assert!(lint_source("crates/core/src/c2detect.rs", marked_prev).is_empty());
-    }
-
-    #[test]
-    fn hash_rule_scope_and_exemptions() {
-        let src = "let m = HashMap::new();\n";
-        // Out of scope: other crates, and non-src dirs of scoped crates.
-        assert!(lint_source("crates/intel/src/lib.rs", src).is_empty());
-        assert!(lint_source("crates/core/tests/determinism.rs", src).is_empty());
-        // Imports and comments don't trip the rule.
-        assert!(lint_source(
-            "crates/wire/src/dns.rs",
-            "use std::collections::HashMap;\n// a HashMap would be bad here\n"
-        )
-        .is_empty());
-        assert_eq!(lint_source("crates/wire/src/dns.rs", src).len(), 1);
-    }
-
-    #[test]
-    fn panic_violation_is_caught_and_marker_clears_it() {
-        let bad = "fn f(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
-        let v = lint_source("crates/core/src/pipeline.rs", bad);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "panic");
-        assert_eq!(v[0].line, 2);
-
-        let marked =
-            "fn f(v: Option<u32>) -> u32 {\n    // set above. lint: panic-ok\n    v.unwrap()\n}\n";
-        assert!(lint_source("crates/core/src/pipeline.rs", marked).is_empty());
-    }
-
-    #[test]
-    fn panic_rule_skips_test_modules_and_other_crates() {
-        let src = "fn prod(v: Option<u32>) -> u32 {\n    v.expect(\"set\")\n}\n\
-                   #[cfg(test)]\nmod tests {\n    fn t() { panic!(\"boom\") }\n}\n";
-        let v = lint_source("crates/wire/src/dns.rs", src);
-        assert_eq!(v.len(), 1, "{v:#?}");
-        assert_eq!(v[0].line, 2);
-        // Out of scope entirely: other crates and test directories.
-        assert!(lint_source("crates/sandbox/src/emu.rs", src).is_empty());
-        assert!(lint_source("crates/core/tests/determinism.rs", src).is_empty());
-    }
-
-    #[test]
-    fn comment_lines_do_not_trip_the_clock_rule() {
-        let src = "// never call Instant::now() here\nfn g() {}\n";
-        assert!(lint_source("crates/core/src/pipeline.rs", src).is_empty());
-    }
-
-    #[test]
-    fn workspace_is_currently_clean() {
-        // The real tree must pass its own lint; the workspace root is
-        // two levels above this crate's manifest.
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .map(Path::to_path_buf)
-            .expect("workspace root");
-        assert!(root.join("Cargo.toml").exists(), "not the workspace root: {}", root.display());
-        let mut violations = Vec::new();
-        for file in collect_rs_files(&root) {
-            let rel = file
-                .strip_prefix(&root)
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .replace('\\', "/");
-            if let Ok(content) = std::fs::read_to_string(&file) {
-                violations.extend(lint_source(&rel, &content));
-            }
-        }
-        assert!(violations.is_empty(), "{violations:#?}");
-    }
 }

@@ -110,7 +110,10 @@ fn main() {
     if v.get("version").and_then(|n| n.as_u64()) != Some(malnet_xray::VERSION) {
         failures.push("version field missing or wrong".to_string());
     }
-    if v.get("per_family").and_then(|a| a.as_array()).is_none_or(<[_]>::is_empty) {
+    if v.get("per_family")
+        .and_then(|a| a.as_array())
+        .is_none_or(<[_]>::is_empty)
+    {
         failures.push("per_family missing or empty".to_string());
     }
     let overall = &xval.overall;

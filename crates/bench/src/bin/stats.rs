@@ -1,7 +1,7 @@
 //! Regenerates the paper's stats from a full pipeline run.
 //! Usage: `cargo run -p malnet-bench --release --bin stats -- [--samples N] [--seed S] [--fast]`
 
-use malnet_bench::{parse_args, run_study, render};
+use malnet_bench::{parse_args, render, run_study};
 
 fn main() {
     let opts = parse_args();

@@ -167,13 +167,19 @@ fn main() {
         let summary = match validate_stream(&text) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("FAIL: {} is not a valid malnet.events stream: {e}", args.events);
+                eprintln!(
+                    "FAIL: {} is not a valid malnet.events stream: {e}",
+                    args.events
+                );
                 std::process::exit(1);
             }
         };
         render(&summary, true);
         if args.stream_only {
-            println!("stream OK: {} ({} events, report cross-check skipped)", args.events, summary.events);
+            println!(
+                "stream OK: {} ({} events, report cross-check skipped)",
+                args.events, summary.events
+            );
             return;
         }
         match std::fs::read_to_string(&args.report) {

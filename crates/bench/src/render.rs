@@ -16,7 +16,13 @@ pub fn table1(data: &Datasets) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Table 1: datasets ==");
     let _ = writeln!(out, "{:<12} {:>10} {:>10}", "dataset", "paper", "measured");
-    let _ = writeln!(out, "{:<12} {:>10} {:>10}", "D-Samples", 1447, data.samples.len());
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10}",
+        "D-Samples",
+        1447,
+        data.samples.len()
+    );
     let _ = writeln!(out, "{:<12} {:>10} {:>10}", "D-C2s", 1160, data.c2s.len());
     let _ = writeln!(
         out,
@@ -104,7 +110,10 @@ pub fn table3(data: &Datasets) -> String {
 pub fn table4(data: &Datasets) -> String {
     let rows = analysis::table4(data);
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 4: exploited vulnerabilities (distinct samples) ==");
+    let _ = writeln!(
+        out,
+        "== Table 4: exploited vulnerabilities (distinct samples) =="
+    );
     let _ = writeln!(
         out,
         "{:<4} {:<18} {:<34} {:>7} {:>9}",
@@ -142,7 +151,10 @@ pub fn table7(vendors: &VendorDb, data: &Datasets, late_day: u32) -> String {
         "== Table 7: top vendors by C2 IPs flagged (of {} IP-based C2s) ==",
         data.c2s.values().filter(|r| !r.dns).count()
     );
-    let _ = writeln!(out, "(paper: counts over a 1000-C2 set, 0xSI_f33d 799 … G-Data 324)");
+    let _ = writeln!(
+        out,
+        "(paper: counts over a 1000-C2 set, 0xSI_f33d 799 … G-Data 324)"
+    );
     for (name, n) in rows {
         let _ = writeln!(out, "  {name:<28} {n:>6}");
     }
@@ -288,7 +300,11 @@ pub fn fig10(data: &Datasets) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 10: DDoS attacks by target protocol ==");
     for (proto, n) in c.sorted() {
-        let _ = writeln!(out, "  {proto:<5} {n:>4}  ({:.0}%)", n as f64 * 100.0 / total as f64);
+        let _ = writeln!(
+            out,
+            "  {proto:<5} {n:>4}  ({:.0}%)",
+            n as f64 * 100.0 / total as f64
+        );
     }
     let _ = writeln!(out, "(paper: UDP 74% dominant; rest TCP/DNS/ICMP)");
     out
@@ -308,7 +324,13 @@ pub fn fig11(data: &Datasets) -> String {
                 total += n;
             }
         }
-        let _ = writeln!(out, "  {:<10} total={:<3} {}", fam.label(), total, parts.join(", "));
+        let _ = writeln!(
+            out,
+            "  {:<10} total={:<3} {}",
+            fam.label(),
+            total,
+            parts.join(", ")
+        );
     }
     let _ = writeln!(
         out,

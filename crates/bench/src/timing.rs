@@ -202,7 +202,14 @@ impl Harness {
             .map(Row::median_ns_per_op)
     }
 
-    fn push_row(&mut self, name: &str, iters: u64, mut samples: Vec<Duration>, ops: u64, counted: bool) {
+    fn push_row(
+        &mut self,
+        name: &str,
+        iters: u64,
+        mut samples: Vec<Duration>,
+        ops: u64,
+        counted: bool,
+    ) {
         samples.sort();
         let best = samples[0];
         let median = samples[samples.len() / 2];

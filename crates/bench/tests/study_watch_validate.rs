@@ -1,0 +1,127 @@
+//! End-to-end tests for `study_watch --validate`'s failure paths.
+//!
+//! The consistency contract (`fold_matches_report`) says folding the
+//! `malnet.events` stream must reconstruct the final report's counters
+//! and rollup rows exactly. These tests build a small real stream and
+//! report through the telemetry API, then corrupt the stream in ways
+//! that keep it *structurally* valid — so only the cross-check can
+//! catch them — and assert the watcher exits non-zero.
+
+use std::path::{Path, PathBuf};
+use std::process::Output;
+
+use malnet_telemetry::{EventSink, Field, Telemetry};
+
+/// Build a two-day stream plus matching report under a fresh directory,
+/// returning `(events_path, report_path)`.
+fn write_study(dir: &Path) -> (PathBuf, PathBuf) {
+    std::fs::create_dir_all(dir).unwrap();
+    let events = dir.join("events.jsonl");
+    let report = dir.join("run_report.json");
+    let sink = EventSink::create(&events).unwrap();
+    let tel = Telemetry::enabled_with_events(sink);
+    tel.event("day_start", None, &[("day", Field::U(0))]);
+    tel.add("sandbox.instructions_retired", 4100);
+    tel.add("analysis.samples", 3);
+    tel.rollup("day", &[("day", 0), ("samples", 3)]);
+    tel.event("day_start", None, &[("day", Field::U(1))]);
+    tel.add("sandbox.instructions_retired", 1700);
+    tel.add("analysis.samples", 2);
+    tel.rollup("day", &[("day", 1), ("samples", 2)]);
+    tel.counters_event();
+    tel.finish_events();
+    std::fs::write(&report, tel.report().to_json()).unwrap();
+    (events, report)
+}
+
+fn run_validate(events: &Path, report: &Path) -> Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_study_watch"))
+        .arg("--events")
+        .arg(events)
+        .arg("--report")
+        .arg(report)
+        .arg("--validate")
+        .output()
+        .expect("spawn study_watch")
+}
+
+/// A scratch directory unique to this test binary + test name. Inside
+/// the target dir so ordinary cleanup sweeps it away.
+fn scratch(test: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp/study_watch_validate")
+        .join(format!("{}-{}", std::process::id(), test))
+}
+
+#[test]
+fn pristine_stream_validates_against_its_report() {
+    let dir = scratch("pristine");
+    let (events, report) = write_study(&dir);
+    let out = run_validate(&events, &report);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}\nstdout: {stdout}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("fold OK"), "stdout: {stdout}");
+}
+
+#[test]
+fn tampered_counter_snapshot_fails_the_fold() {
+    let dir = scratch("tampered-counter");
+    let (events, report) = write_study(&dir);
+    // Raise one value in the final counters snapshot. The stream stays
+    // structurally valid (a single snapshot has nothing to be monotone
+    // against), but the fold no longer reconstructs the report.
+    let text = std::fs::read_to_string(&events).unwrap();
+    let tampered = text.replace("\"analysis.samples\":5", "\"analysis.samples\":6");
+    assert_ne!(text, tampered, "tamper target not found in stream");
+    std::fs::write(&events, tampered).unwrap();
+    let out = run_validate(&events, &report);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("does not reconstruct the report's counters"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn dropped_rollup_row_fails_the_fold() {
+    let dir = scratch("dropped-rollup");
+    let (events, report) = write_study(&dir);
+    // Delete the day-1 rollup line, then repair the evidence: renumber
+    // every remaining seq and fix stream_end's declared event count so
+    // validate_stream has nothing to object to. Only the report
+    // cross-check can notice the missing row.
+    let text = std::fs::read_to_string(&events).unwrap();
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|l| !(l.contains("\"event\":\"rollup\"") && l.contains("\"day\":1")))
+        .collect();
+    assert_eq!(kept.len(), text.lines().count() - 1, "no rollup dropped");
+    let total = kept.len();
+    let mut rewritten = String::new();
+    for (i, line) in kept.iter().enumerate() {
+        let rest = line
+            .split_once(',')
+            .map(|(_, rest)| rest)
+            .expect("event line has fields");
+        rewritten.push_str(&format!("{{\"seq\":{i},{rest}"));
+        rewritten.push('\n');
+    }
+    let old_end = format!("\"events\":{}", total + 1);
+    let new_end = format!("\"events\":{total}");
+    assert!(rewritten.contains(&old_end), "stream_end count not found");
+    let rewritten = rewritten.replace(&old_end, &new_end);
+    std::fs::write(&events, rewritten).unwrap();
+    let out = run_validate(&events, &report);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("does not reconstruct the report's rollups"),
+        "stderr: {stderr}"
+    );
+}

@@ -143,7 +143,9 @@ mod tests {
         let elf = ElfFile::parse(&elf_bytes).unwrap();
         let strings = elf.strings(8);
         assert!(
-            strings.iter().any(|s| s.contains("http://10.1.0.5/t8UsA2.sh")),
+            strings
+                .iter()
+                .any(|s| s.contains("http://10.1.0.5/t8UsA2.sh")),
             "{strings:?}"
         );
     }

@@ -80,81 +80,216 @@ pub enum Op {
     /// Terminate the process (`exit(0)`).
     End,
     /// `r = a`.
-    Ldi { r: VReg, a: u32 },
+    Ldi {
+        r: VReg,
+        a: u32,
+    },
     /// `r = x`.
-    Mov { r: VReg, x: VReg },
-    Add { r: VReg, x: VReg, y: VReg },
-    Sub { r: VReg, x: VReg, y: VReg },
-    Mul { r: VReg, x: VReg, y: VReg },
+    Mov {
+        r: VReg,
+        x: VReg,
+    },
+    Add {
+        r: VReg,
+        x: VReg,
+        y: VReg,
+    },
+    Sub {
+        r: VReg,
+        x: VReg,
+        y: VReg,
+    },
+    Mul {
+        r: VReg,
+        x: VReg,
+        y: VReg,
+    },
     /// `r = x + a` (also subtract via wrapping).
-    Addi { r: VReg, x: VReg, a: u32 },
-    And { r: VReg, x: VReg, y: VReg },
-    Or { r: VReg, x: VReg, y: VReg },
-    Shr { r: VReg, x: VReg, a: u32 },
-    Shl { r: VReg, x: VReg, a: u32 },
+    Addi {
+        r: VReg,
+        x: VReg,
+        a: u32,
+    },
+    And {
+        r: VReg,
+        x: VReg,
+        y: VReg,
+    },
+    Or {
+        r: VReg,
+        x: VReg,
+        y: VReg,
+    },
+    Shr {
+        r: VReg,
+        x: VReg,
+        a: u32,
+    },
+    Shl {
+        r: VReg,
+        x: VReg,
+        a: u32,
+    },
     /// Unsigned modulo: `r = x % y` (y must be nonzero).
-    Mod { r: VReg, x: VReg, y: VReg },
+    Mod {
+        r: VReg,
+        x: VReg,
+        y: VReg,
+    },
     /// Unconditional jump to record index `a`.
-    Jmp { a: u32 },
+    Jmp {
+        a: u32,
+    },
     /// Jump to `a` if `x == y`.
-    Jeq { x: VReg, y: VReg, a: u32 },
+    Jeq {
+        x: VReg,
+        y: VReg,
+        a: u32,
+    },
     /// Jump to `a` if `x != y`.
-    Jne { x: VReg, y: VReg, a: u32 },
+    Jne {
+        x: VReg,
+        y: VReg,
+        a: u32,
+    },
     /// Jump to `a` if `x < y` (unsigned).
-    Jlt { x: VReg, y: VReg, a: u32 },
+    Jlt {
+        x: VReg,
+        y: VReg,
+        a: u32,
+    },
     /// `r = random u32` (getrandom syscall).
-    Rand { r: VReg },
+    Rand {
+        r: VReg,
+    },
     /// Sleep `a` milliseconds (nanosleep).
-    SleepMs { a: u32 },
+    SleepMs {
+        a: u32,
+    },
     /// Sleep `reg[x]` milliseconds.
-    SleepR { x: VReg },
+    SleepR {
+        x: VReg,
+    },
     /// `r = socket(kind)`.
-    Socket { r: VReg, kind: SockKind },
+    Socket {
+        r: VReg,
+        kind: SockKind,
+    },
     /// Connect fd `x` to ip `reg[y]`, port: `a` if nonzero else `reg[r]`…
     /// result (0 ok / -1 fail) in `reg[r]` — when `a == 0`, the port is
     /// taken from `reg[b]` (b is a register index here).
-    Connect { r: VReg, x: VReg, y: VReg, a: u32, b: u32 },
+    Connect {
+        r: VReg,
+        x: VReg,
+        y: VReg,
+        a: u32,
+        b: u32,
+    },
     /// `send(fd=x, blob[a..a+b])`.
-    Send { x: VReg, a: u32, b: u32 },
+    Send {
+        x: VReg,
+        a: u32,
+        b: u32,
+    },
     /// `send(fd=x, rbuf[reg[y]..reg[y]+reg[b]])` (b is a register index).
-    SendR { x: VReg, y: VReg, b: u32 },
+    SendR {
+        x: VReg,
+        y: VReg,
+        b: u32,
+    },
     /// `r = recv(fd=x)` into RBUF[0..]; `a` = timeout ms; -1 on
     /// timeout/closed.
-    Recv { r: VReg, x: VReg, a: u32 },
+    Recv {
+        r: VReg,
+        x: VReg,
+        a: u32,
+    },
     /// Orderly close of fd `x`.
-    Close { x: VReg },
+    Close {
+        x: VReg,
+    },
     /// Abortive close (RST) of fd `x`.
-    Abort { x: VReg },
+    Abort {
+        x: VReg,
+    },
     /// `sendto(fd=x, ip=reg[y], port=(a nonzero ? a : reg[r]),
     /// blob[b..b+c])`.
-    SendTo { x: VReg, y: VReg, r: VReg, a: u32, b: u32, c: u32 },
+    SendTo {
+        x: VReg,
+        y: VReg,
+        r: VReg,
+        a: u32,
+        b: u32,
+        c: u32,
+    },
     /// `sendto` from RBUF: `sendto(fd=x, ip=reg[y], port=reg[r],
     /// rbuf[a..a+b])` — used for crafted floods with varying bytes.
-    SendToR { x: VReg, y: VReg, r: VReg, a: u32, b: u32 },
+    SendToR {
+        x: VReg,
+        y: VReg,
+        r: VReg,
+        a: u32,
+        b: u32,
+    },
     /// `r = recvfrom(fd=x)` into RBUF[0..]; `a` = timeout ms.
-    RecvFrom { r: VReg, x: VReg, a: u32 },
+    RecvFrom {
+        r: VReg,
+        x: VReg,
+        a: u32,
+    },
     /// `r = rbuf[reg[x]]` (byte load).
-    Ldb { r: VReg, x: VReg },
+    Ldb {
+        r: VReg,
+        x: VReg,
+    },
     /// `r = BE u32 at rbuf[reg[x]]` (unaligned ok).
-    Ldw { r: VReg, x: VReg },
+    Ldw {
+        r: VReg,
+        x: VReg,
+    },
     /// `rbuf[reg[x]] = low byte of reg[y]`.
-    Stb { x: VReg, y: VReg },
+    Stb {
+        x: VReg,
+        y: VReg,
+    },
     /// Copy `blob[a..a+b]` into rbuf at offset `c`.
-    Cpy { a: u32, b: u32, c: u32 },
+    Cpy {
+        a: u32,
+        b: u32,
+        c: u32,
+    },
     /// Parse dotted-quad ASCII at `rbuf[reg[x]]` → `reg[r]`; advances
     /// `reg[x]` past the address. On failure `reg[r] = 0`.
-    ParseIp { r: VReg, x: VReg },
+    ParseIp {
+        r: VReg,
+        x: VReg,
+    },
     /// Parse decimal ASCII at `rbuf[reg[x]]` → `reg[r]`; advances `reg[x]`.
-    ParseNum { r: VReg, x: VReg },
+    ParseNum {
+        r: VReg,
+        x: VReg,
+    },
     /// Advance `reg[x]` past spaces.
-    SkipSp { x: VReg },
+    SkipSp {
+        x: VReg,
+    },
     /// `reg[r] = 1` if `rbuf[reg[x]..]` starts with `blob[a..a+b]`, else 0.
-    Match { r: VReg, x: VReg, a: u32, b: u32 },
+    Match {
+        r: VReg,
+        x: VReg,
+        a: u32,
+        b: u32,
+    },
     /// Send a raw transport payload: `fd=x` must be a raw socket; payload
     /// is rbuf[a..a+b]; destination ip `reg[y]`. For RawTcp the payload is
     /// a 20-byte TCP header the program crafted; for RawIcmp an ICMP
     /// message.
-    RawSend { x: VReg, y: VReg, a: u32, b: u32 },
+    RawSend {
+        x: VReg,
+        y: VReg,
+        a: u32,
+        b: u32,
+    },
 }
 
 impl Op {
@@ -315,7 +450,7 @@ impl fmt::Display for Op {
 pub struct ProgramBuilder {
     ops: Vec<Op>,
     fixups: Vec<(usize, String)>,
-    labels: std::collections::HashMap<String, u32>,
+    labels: std::collections::BTreeMap<String, u32>,
     blob: Vec<u8>,
 }
 
@@ -408,7 +543,10 @@ mod tests {
     fn all_ops_roundtrip() {
         let ops = vec![
             Op::End,
-            Op::Ldi { r: 3, a: 0xdeadbeef },
+            Op::Ldi {
+                r: 3,
+                a: 0xdeadbeef,
+            },
             Op::Mov { r: 1, x: 2 },
             Op::Add { r: 1, x: 2, y: 3 },
             Op::Sub { r: 1, x: 2, y: 3 },
@@ -439,7 +577,11 @@ mod tests {
             },
             Op::Send { x: 0, a: 4, b: 10 },
             Op::SendR { x: 0, y: 1, b: 2 },
-            Op::Recv { r: 3, x: 0, a: 5000 },
+            Op::Recv {
+                r: 3,
+                x: 0,
+                a: 5000,
+            },
             Op::Close { x: 0 },
             Op::Abort { x: 0 },
             Op::SendTo {
@@ -461,7 +603,11 @@ mod tests {
             Op::Ldb { r: 1, x: 2 },
             Op::Ldw { r: 1, x: 2 },
             Op::Stb { x: 1, y: 2 },
-            Op::Cpy { a: 0, b: 20, c: 2048 },
+            Op::Cpy {
+                a: 0,
+                b: 20,
+                c: 2048,
+            },
             Op::ParseIp { r: 1, x: 2 },
             Op::ParseNum { r: 1, x: 2 },
             Op::SkipSp { x: 2 },

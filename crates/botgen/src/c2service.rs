@@ -7,7 +7,7 @@
 //! an accepting-but-silent server is exactly what the probing study
 //! observed 91% of the time after a successful probe.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::{Arc, Mutex};
 
@@ -102,9 +102,9 @@ pub type RespondState = Arc<Mutex<bool>>;
 pub struct C2Service {
     cfg: C2Config,
     log: C2Log,
-    sessions: HashMap<SockId, Session>,
+    sessions: BTreeMap<SockId, Session>,
     last_engaged: RespondState,
-    timers: HashMap<u64, (SockId, usize)>,
+    timers: BTreeMap<u64, (SockId, usize)>,
     next_timer: u64,
     commands_scheduled: bool,
 }
@@ -121,9 +121,9 @@ impl C2Service {
         C2Service {
             cfg,
             log,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             last_engaged: state,
-            timers: HashMap::new(),
+            timers: BTreeMap::new(),
             next_timer: 1,
             commands_scheduled: false,
         }
@@ -296,11 +296,7 @@ impl Service for C2Service {
 }
 
 /// Convenience: install a C2 at `ip` on `net`, returning its log handle.
-pub fn install_c2(
-    net: &mut malnet_netsim::net::Network,
-    ip: Ipv4Addr,
-    cfg: C2Config,
-) -> C2Log {
+pub fn install_c2(net: &mut malnet_netsim::net::Network, ip: Ipv4Addr, cfg: C2Config) -> C2Log {
     let log = C2Log::default();
     net.add_service_host(ip, Box::new(C2Service::new(cfg, log.clone())));
     log

@@ -8,10 +8,10 @@
 #![warn(missing_docs)]
 
 pub mod binary;
+pub mod botvm;
 pub mod c2service;
 pub mod exploitdb;
 pub mod programs;
 pub mod spec;
-pub mod botvm;
 pub mod stub;
 pub mod world;

@@ -68,7 +68,10 @@ pub fn compile(spec: &BehaviorSpec) -> BotProgram {
     // Constants.
     b.op(Op::Ldi { r: R_ZERO, a: 0 })
         .op(Op::Ldi { r: R_ONE, a: 1 })
-        .op(Op::Ldi { r: R_M1, a: u32::MAX });
+        .op(Op::Ldi {
+            r: R_M1,
+            a: u32::MAX,
+        });
 
     // Evasion: check connectivity via DNS; abort when the Internet is
     // "missing" (the sandbox's InetSim counter-measure defeats this).
@@ -361,12 +364,18 @@ fn emit_syn_flood(b: &mut ProgramBuilder, n: &mut Names, spec: &BehaviorSpec, re
         r: R_POS,
         a: CRAFT_OFF + 2,
     })
-    .op(Op::Stb { x: R_POS, y: R_SCR2 })
+    .op(Op::Stb {
+        x: R_POS,
+        y: R_SCR2,
+    })
     .op(Op::Ldi {
         r: R_POS,
         a: CRAFT_OFF + 3,
     })
-    .op(Op::Stb { x: R_POS, y: R_APORT })
+    .op(Op::Stb {
+        x: R_POS,
+        y: R_APORT,
+    })
     .op(Op::Socket {
         r: R_FD2,
         kind: SockKind::RawTcp,
@@ -385,19 +394,28 @@ fn emit_syn_flood(b: &mut ProgramBuilder, n: &mut Names, spec: &BehaviorSpec, re
             x: R_RAND,
             a: 8,
         })
-        .op(Op::Stb { x: R_POS, y: R_SCR2 })
+        .op(Op::Stb {
+            x: R_POS,
+            y: R_SCR2,
+        })
         .op(Op::Ldi {
             r: R_POS,
             a: CRAFT_OFF + 1,
         })
-        .op(Op::Stb { x: R_POS, y: R_RAND });
+        .op(Op::Stb {
+            x: R_POS,
+            y: R_RAND,
+        });
     }
     // Randomise a sequence byte.
     b.op(Op::Ldi {
         r: R_POS,
         a: CRAFT_OFF + 4,
     })
-    .op(Op::Stb { x: R_POS, y: R_RAND })
+    .op(Op::Stb {
+        x: R_POS,
+        y: R_RAND,
+    })
     .op(Op::RawSend {
         x: R_FD2,
         y: R_AIP,
@@ -799,7 +817,10 @@ fn emit_mirai_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Name
     b.op(Op::Ldi { r: R_POS, a: 2 })
         .op(Op::Ldw { r: R_DUR, x: R_POS })
         .op(Op::Ldi { r: R_POS, a: 6 })
-        .op(Op::Ldb { r: R_SCR1, x: R_POS })
+        .op(Op::Ldb {
+            r: R_SCR1,
+            x: R_POS,
+        })
         .op(Op::Ldi { r: R_POS, a: 8 })
         .op(Op::Ldw { r: R_AIP, x: R_POS })
         .op(Op::Ldi { r: R_POS, a: 16 })
@@ -814,7 +835,10 @@ fn emit_mirai_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Name
         (5, "atk_stomp"),
         (33, "atk_tls"),
     ] {
-        b.op(Op::Ldi { r: R_SCR2, a: vec_id });
+        b.op(Op::Ldi {
+            r: R_SCR2,
+            a: vec_id,
+        });
         b.jump(
             Op::Jeq {
                 x: R_SCR1,
@@ -902,20 +926,14 @@ fn emit_gafgyt_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Nam
     for label in ["g_udp", "g_std", "g_vse"] {
         b.label(label);
         b.op(Op::Ldi { r: R_POS, a: 7 })
-            .op(Op::ParseIp {
-                r: R_AIP,
-                x: R_POS,
-            })
+            .op(Op::ParseIp { r: R_AIP, x: R_POS })
             .op(Op::SkipSp { x: R_POS })
             .op(Op::ParseNum {
                 r: R_APORT,
                 x: R_POS,
             })
             .op(Op::SkipSp { x: R_POS })
-            .op(Op::ParseNum {
-                r: R_DUR,
-                x: R_POS,
-            });
+            .op(Op::ParseNum { r: R_DUR, x: R_POS });
         match label {
             "g_udp" => emit_udp_flood(b, n, spec, &[0u8], "sess_loop"),
             "g_std" => emit_std_flood(b, n, spec, "sess_loop"),
@@ -989,20 +1007,14 @@ fn emit_daddy_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Name
     for (skip, label) in [(8u32, "d_udp"), (10, "d_syn"), (5, "d_tls")] {
         b.label(label);
         b.op(Op::Ldi { r: R_POS, a: skip })
-            .op(Op::ParseIp {
-                r: R_AIP,
-                x: R_POS,
-            })
+            .op(Op::ParseIp { r: R_AIP, x: R_POS })
             .op(Op::SkipSp { x: R_POS })
             .op(Op::ParseNum {
                 r: R_APORT,
                 x: R_POS,
             })
             .op(Op::SkipSp { x: R_POS })
-            .op(Op::ParseNum {
-                r: R_DUR,
-                x: R_POS,
-            });
+            .op(Op::ParseNum { r: R_DUR, x: R_POS });
         match label {
             "d_udp" => emit_udp_flood(b, n, spec, &[0u8], "sess_loop"),
             "d_syn" => emit_syn_flood(b, n, spec, "sess_loop"),
@@ -1020,30 +1032,18 @@ fn emit_daddy_commands(spec: &BehaviorSpec, b: &mut ProgramBuilder, n: &mut Name
     // .nurse ip time (no port).
     b.label("d_nurse");
     b.op(Op::Ldi { r: R_POS, a: 7 })
-        .op(Op::ParseIp {
-            r: R_AIP,
-            x: R_POS,
-        })
+        .op(Op::ParseIp { r: R_AIP, x: R_POS })
         .op(Op::SkipSp { x: R_POS })
-        .op(Op::ParseNum {
-            r: R_DUR,
-            x: R_POS,
-        })
+        .op(Op::ParseNum { r: R_DUR, x: R_POS })
         .op(Op::Ldi { r: R_APORT, a: 0 });
     emit_blacknurse(b, n, spec, "sess_loop");
 
     // .nfov6 ip time (fixed UDP port 238, custom payload).
     b.label("d_nfo");
     b.op(Op::Ldi { r: R_POS, a: 7 })
-        .op(Op::ParseIp {
-            r: R_AIP,
-            x: R_POS,
-        })
+        .op(Op::ParseIp { r: R_AIP, x: R_POS })
         .op(Op::SkipSp { x: R_POS })
-        .op(Op::ParseNum {
-            r: R_DUR,
-            x: R_POS,
-        })
+        .op(Op::ParseNum { r: R_DUR, x: R_POS })
         .op(Op::Ldi {
             r: R_APORT,
             a: u32::from(malnet_protocols::daddyl33t::NFO_PORT),
@@ -1216,10 +1216,8 @@ mod tests {
             assert!(ops.len() > 10, "{family}: suspiciously small program");
             // All jump targets in range.
             for op in &ops {
-                if let Op::Jmp { a }
-                | Op::Jeq { a, .. }
-                | Op::Jne { a, .. }
-                | Op::Jlt { a, .. } = op
+                if let Op::Jmp { a } | Op::Jeq { a, .. } | Op::Jne { a, .. } | Op::Jlt { a, .. } =
+                    op
                 {
                     assert!(
                         (*a as usize) < ops.len(),

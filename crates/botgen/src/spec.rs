@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn endpoint_display() {
-        assert_eq!(C2Endpoint::Ip(Ipv4Addr::new(1, 2, 3, 4)).to_string(), "1.2.3.4");
+        assert_eq!(
+            C2Endpoint::Ip(Ipv4Addr::new(1, 2, 3, 4)).to_string(),
+            "1.2.3.4"
+        );
         assert_eq!(
             C2Endpoint::Domain("cnc.example.net".into()).to_string(),
             "cnc.example.net"

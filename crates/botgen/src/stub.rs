@@ -445,7 +445,7 @@ fn build_stub_uncached() -> Vec<u8> {
     g.f_a();
     g.f_b();
     g.vreg_read(Reg::T6, Reg::T2); // ip
-    // port: a != 0 ? a : vreg[b]
+                                   // port: a != 0 ? a : vreg[b]
     let port_imm = g.sym("conn_port_imm");
     let port_done = g.sym("conn_port_done");
     g.i(Ins::Bne(Reg::T3, Reg::ZERO, port_imm.as_str().into()));
@@ -523,7 +523,7 @@ fn build_stub_uncached() -> Vec<u8> {
     g.f_b();
     g.f_c();
     g.vreg_read(Reg::T6, Reg::T2); // ip
-    // port: a != 0 ? a : vreg[r]
+                                   // port: a != 0 ? a : vreg[r]
     let st_imm = g.sym("st_port_imm");
     let st_done = g.sym("st_port_done");
     g.i(Ins::Bne(Reg::T3, Reg::ZERO, st_imm.as_str().into()));

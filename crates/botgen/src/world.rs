@@ -19,7 +19,7 @@
 //! against the paper claim it reproduces. The pipeline never reads this
 //! module's ground truth — only the evaluation harness does.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use malnet_prng::rngs::StdRng;
@@ -239,7 +239,7 @@ pub struct World {
     /// The DDoS observation plan.
     pub attacks: Vec<AttackPlan>,
     /// Commands a C2 issues into engaged sessions on a given day.
-    pub attack_schedule: HashMap<(usize, u32), Vec<(SimDuration, AttackCommand)>>,
+    pub attack_schedule: BTreeMap<(usize, u32), Vec<(SimDuration, AttackCommand)>>,
     /// The 6 probing subnets (D-PC2).
     pub probe_subnets: Vec<Prefix>,
     /// Ids of the 7 C2s living in the probe subnets.
@@ -363,7 +363,11 @@ impl World {
         let rest: Vec<Asn> = asdb
             .records()
             .iter()
-            .filter(|r| !malnet_netsim::asdb::TABLE2_ASES.iter().any(|t| t.1 == r.asn.0))
+            .filter(|r| {
+                !malnet_netsim::asdb::TABLE2_ASES
+                    .iter()
+                    .any(|t| t.1 == r.asn.0)
+            })
             .map(|r| r.asn)
             .collect();
         let rest_share = (1.0 - 0.697) / rest.len() as f64;
@@ -405,16 +409,16 @@ impl World {
         let mut hub_targets: Vec<u32> = Vec::new();
         let mut samples: Vec<SampleTruth> = Vec::new();
         // Recruiting pools per family: ids of C2s still taking samples.
-        let mut recruiting: HashMap<Family, Vec<usize>> = HashMap::new();
+        let mut recruiting: BTreeMap<Family, Vec<usize>> = BTreeMap::new();
         let mut dirty_ports = vec![23u16, 48101, 666, 1312, 3074, 6969, 42516, 9506, 1791, 6738];
         dirty_ports.shuffle(rng);
 
         let mint_c2 = |rng: &mut StdRng,
-                           asdb: &mut AsDb,
-                           c2s: &mut Vec<C2Truth>,
-                           family: Family,
-                           day: u32,
-                           force_live: Option<bool>|
+                       asdb: &mut AsDb,
+                       c2s: &mut Vec<C2Truth>,
+                       family: Family,
+                       day: u32,
+                       force_live: Option<bool>|
          -> usize {
             let id = c2s.len();
             let asn = pick_asn(rng);
@@ -491,91 +495,87 @@ impl World {
                     // sample) retries once so hub pulls don't shrink the
                     // per-sample reference count.
                     for _attempt in 0..2 {
-                    let pool_snapshot: Vec<usize> =
-                        recruiting.get(&family).cloned().unwrap_or_default();
-                    let cid = if k == 0 {
-                        // The primary's liveness drives the §3.2 dead-on-
-                        // arrival statistic: pin it to the target rate.
-                        let want_live = rng.gen_bool(cal.primary_live_rate);
-                        let candidates: Vec<usize> = pool_snapshot
-                            .iter()
-                            .copied()
-                            .filter(|&cid| c2s[cid].alive_on(publish_day) == want_live)
-                            .collect();
-                        if !candidates.is_empty() && rng.gen_bool(cal.c2_reuse_rate) {
-                            // Prefer an unfilled hub; else preferential
-                            // attachment over the recruiting pool.
-                            let hubs: Vec<usize> = candidates
+                        let pool_snapshot: Vec<usize> =
+                            recruiting.get(&family).cloned().unwrap_or_default();
+                        let cid = if k == 0 {
+                            // The primary's liveness drives the §3.2 dead-on-
+                            // arrival statistic: pin it to the target rate.
+                            let want_live = rng.gen_bool(cal.primary_live_rate);
+                            let candidates: Vec<usize> = pool_snapshot
+                                .iter()
+                                .copied()
+                                .filter(|&cid| c2s[cid].alive_on(publish_day) == want_live)
+                                .collect();
+                            if !candidates.is_empty() && rng.gen_bool(cal.c2_reuse_rate) {
+                                // Prefer an unfilled hub; else preferential
+                                // attachment over the recruiting pool.
+                                let hubs: Vec<usize> = candidates
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| {
+                                        hub_targets.get(c).copied().unwrap_or(0) > 0
+                                            && ref_counts.get(c).copied().unwrap_or(0)
+                                                < hub_targets[c]
+                                    })
+                                    .collect();
+                                if !hubs.is_empty() && rng.gen_bool(0.65) {
+                                    hubs[rng.gen_range(0..hubs.len())]
+                                } else {
+                                    pick_weighted(rng, &candidates, &ref_counts)
+                                }
+                            } else {
+                                let new_id = mint_c2(
+                                    rng,
+                                    &mut asdb,
+                                    &mut c2s,
+                                    family,
+                                    publish_day,
+                                    Some(want_live),
+                                );
+                                recruiting.entry(family).or_default().push(new_id);
+                                new_id
+                            }
+                        } else if !pool_snapshot.is_empty() && rng.gen_bool(cal.c2_reuse_rate) {
+                            let hubs: Vec<usize> = pool_snapshot
                                 .iter()
                                 .copied()
                                 .filter(|&c| {
                                     hub_targets.get(c).copied().unwrap_or(0) > 0
-                                        && ref_counts.get(c).copied().unwrap_or(0)
-                                            < hub_targets[c]
+                                        && ref_counts.get(c).copied().unwrap_or(0) < hub_targets[c]
                                 })
                                 .collect();
-                            if !hubs.is_empty() && rng.gen_bool(0.65) {
+                            if !hubs.is_empty() && rng.gen_bool(0.75) {
                                 hubs[rng.gen_range(0..hubs.len())]
                             } else {
-                                pick_weighted(rng, &candidates, &ref_counts)
+                                pick_weighted(rng, &pool_snapshot, &ref_counts)
                             }
                         } else {
+                            // Fallback endpoints are almost always stale.
+                            let stale_live = rng.gen_bool(0.02);
                             let new_id = mint_c2(
                                 rng,
                                 &mut asdb,
                                 &mut c2s,
                                 family,
                                 publish_day,
-                                Some(want_live),
+                                Some(stale_live),
                             );
                             recruiting.entry(family).or_default().push(new_id);
                             new_id
+                        };
+                        if !c2_ids.contains(&cid) {
+                            c2_ids.push(cid);
+                            while ref_counts.len() < c2s.len() {
+                                ref_counts.push(0);
+                            }
+                            while hub_targets.len() < c2s.len() {
+                                // Newly minted: a fraction become hubs.
+                                let is_hub = rng.gen_bool(0.22);
+                                hub_targets.push(if is_hub { 12 + rng.gen_range(0..9) } else { 0 });
+                            }
+                            ref_counts[cid] += 1;
+                            break; // pick accepted; no retry needed
                         }
-                    } else if !pool_snapshot.is_empty() && rng.gen_bool(cal.c2_reuse_rate) {
-                        let hubs: Vec<usize> = pool_snapshot
-                            .iter()
-                            .copied()
-                            .filter(|&c| {
-                                hub_targets.get(c).copied().unwrap_or(0) > 0
-                                    && ref_counts.get(c).copied().unwrap_or(0) < hub_targets[c]
-                            })
-                            .collect();
-                        if !hubs.is_empty() && rng.gen_bool(0.75) {
-                            hubs[rng.gen_range(0..hubs.len())]
-                        } else {
-                            pick_weighted(rng, &pool_snapshot, &ref_counts)
-                        }
-                    } else {
-                        // Fallback endpoints are almost always stale.
-                        let stale_live = rng.gen_bool(0.02);
-                        let new_id = mint_c2(
-                            rng,
-                            &mut asdb,
-                            &mut c2s,
-                            family,
-                            publish_day,
-                            Some(stale_live),
-                        );
-                        recruiting.entry(family).or_default().push(new_id);
-                        new_id
-                    };
-                    if !c2_ids.contains(&cid) {
-                        c2_ids.push(cid);
-                        while ref_counts.len() < c2s.len() {
-                            ref_counts.push(0);
-                        }
-                        while hub_targets.len() < c2s.len() {
-                            // Newly minted: a fraction become hubs.
-                            let is_hub = rng.gen_bool(0.22);
-                            hub_targets.push(if is_hub {
-                                12 + rng.gen_range(0..9)
-                            } else {
-                                0
-                            });
-                        }
-                        ref_counts[cid] += 1;
-                        break; // pick accepted; no retry needed
-                    }
                     }
                 }
             }
@@ -687,7 +687,11 @@ impl World {
             let subnet = &probe_subnets[i % 6];
             let host_ip = subnet.host(10 + i as u32 * 13).expect("room in /24");
             let id = c2s.len();
-            let family = if i % 2 == 0 { Family::Gafgyt } else { Family::Mirai };
+            let family = if i % 2 == 0 {
+                Family::Gafgyt
+            } else {
+                Family::Mirai
+            };
             c2s.push(C2Truth {
                 id,
                 endpoint: C2Endpoint::Ip(host_ip),
@@ -705,7 +709,7 @@ impl World {
         }
 
         // --- finalize specs, compile and emit binaries ---
-        let attack_sample_ids: std::collections::HashSet<usize> =
+        let attack_sample_ids: std::collections::BTreeSet<usize> =
             attacks.iter().map(|a| a.sample_id).collect();
         for s in &mut samples {
             let mut spec = BehaviorSpec {
@@ -891,6 +895,8 @@ impl World {
         }
         // Standalone downloaders.
         for (ip, loader) in &self.downloaders {
+            // HttpFileServer's constructor takes a HashMap; one entry,
+            // looked up by path only. lint: hash-ok
             let mut files = HashMap::new();
             files.insert(
                 format!("/{loader}"),
@@ -925,7 +931,7 @@ impl World {
 
 /// Build the §5 attack plan. Mutates C2/sample truths (attack C2s are
 /// re-hosted into US/NL/CZ ASes and made long-lived).
-type AttackSchedule = HashMap<(usize, u32), Vec<(SimDuration, AttackCommand)>>;
+type AttackSchedule = BTreeMap<(usize, u32), Vec<(SimDuration, AttackCommand)>>;
 
 fn plan_attacks(
     rng: &mut StdRng,
@@ -1026,10 +1032,10 @@ fn plan_attacks(
         .collect();
 
     let mut plans: Vec<AttackPlan> = Vec::new();
-    let mut schedule: AttackSchedule = HashMap::new();
+    let mut schedule: AttackSchedule = BTreeMap::new();
     // Delay-slot cursor per (c2, day): commands land 12 minutes apart so
     // the bot never receives two coalesced into one read.
-    let mut delay_cursor: HashMap<(usize, u32), u64> = HashMap::new();
+    let mut delay_cursor: BTreeMap<(usize, u32), u64> = BTreeMap::new();
     let mut double_hit_budget = 7; // ~25% of ~28 targets take two types
     let mut target_cursor = 0usize;
 
@@ -1118,7 +1124,11 @@ fn plan_attacks(
             c2.born_day = c2.born_day.min(day.saturating_sub(2));
             c2.dead_day = c2.dead_day.max(day + 4 + rng.gen_range(0..7));
             c2.respond = RespondMode::Always;
-            let pool = if rng.gen_bool(0.8) { &us_nl_cz } else { &elsewhere };
+            let pool = if rng.gen_bool(0.8) {
+                &us_nl_cz
+            } else {
+                &elsewhere
+            };
             if let Some(asn) = pool.get(rng.gen_range(0..pool.len().max(1))) {
                 if let Some(ip) = asdb.alloc_ip(*asn) {
                     c2.asn = *asn;
@@ -1253,9 +1263,12 @@ mod tests {
         assert_eq!(total_cmds, 42, "42 observed commands");
         let samples: std::collections::BTreeSet<usize> =
             w.attacks.iter().map(|a| a.sample_id).collect();
-        assert!(samples.len() >= 15 && samples.len() <= 20, "{}", samples.len());
-        let c2set: std::collections::BTreeSet<usize> =
-            w.attacks.iter().map(|a| a.c2_id).collect();
+        assert!(
+            samples.len() >= 15 && samples.len() <= 20,
+            "{}",
+            samples.len()
+        );
+        let c2set: std::collections::BTreeSet<usize> = w.attacks.iter().map(|a| a.c2_id).collect();
         assert!(c2set.len() >= 12 && c2set.len() <= 17, "{}", c2set.len());
         // All 8 attack types appear.
         let methods: std::collections::BTreeSet<AttackMethod> = w
@@ -1319,12 +1332,19 @@ mod tests {
             if s.spec.exploits.iter().any(|e| e.vuln == VulnId::Gpon10561) {
                 gpon += 1;
             }
-            if s.spec.exploits.iter().any(|e| e.vuln == VulnId::HuaweiHg532) {
+            if s.spec
+                .exploits
+                .iter()
+                .any(|e| e.vuln == VulnId::HuaweiHg532)
+            {
                 huawei += 1;
             }
         }
         assert!(any > 80, "exploiter count {any}");
-        assert!(gpon > huawei, "GPON ({gpon}) must dominate Huawei ({huawei})");
+        assert!(
+            gpon > huawei,
+            "GPON ({gpon}) must dominate Huawei ({huawei})"
+        );
     }
 
     #[test]

@@ -79,7 +79,12 @@ fn handshaker_captures_exploit_payload() {
     );
     let payload = &art.exploits[0].payload;
     let vulns = exploitdb::classify(payload);
-    assert_eq!(vulns, vec![VulnId::MvpowerDvr], "{:?}", String::from_utf8_lossy(payload));
+    assert_eq!(
+        vulns,
+        vec![VulnId::MvpowerDvr],
+        "{:?}",
+        String::from_utf8_lossy(payload)
+    );
     let (dl, loader) = exploitdb::extract_downloader(payload).unwrap();
     assert_eq!(dl, C2_IP);
     assert_eq!(loader, "t8UsA2.sh");
@@ -115,7 +120,10 @@ fn evasive_sample_aborts_without_dns_but_activates_with_inetsim() {
         .packets()
         .iter()
         .any(|(_, p)| p.dst == C2_IP && p.transport.dst_port() == Some(23));
-    assert!(c2_contacted, "evasive sample failed to activate under InetSim");
+    assert!(
+        c2_contacted,
+        "evasive sample failed to activate under InetSim"
+    );
 }
 
 #[test]
@@ -149,7 +157,11 @@ fn mozi_binary_gossips_with_peers() {
         .into_iter()
         .filter(|(_, p)| p.dst == peer && matches!(p.transport, Transport::Udp { .. }))
         .collect();
-    assert!(gossip.len() >= 2, "expected ping+find_node, got {}", gossip.len());
+    assert!(
+        gossip.len() >= 2,
+        "expected ping+find_node, got {}",
+        gossip.len()
+    );
     // Payload parses as a Mozi message.
     let (_, first) = &gossip[0];
     let msg = malnet_protocols::mozi::MoziMsg::decode(first.transport.payload());
@@ -220,11 +232,11 @@ fn run_with_live_c2(
     (art, log)
 }
 
-fn flood_packets_to(
-    art: &malnet_sandbox::Artifacts,
-    target: Ipv4Addr,
-) -> usize {
-    art.packets().iter().filter(|(_, p)| p.dst == target).count()
+fn flood_packets_to(art: &malnet_sandbox::Artifacts, target: Ipv4Addr) -> usize {
+    art.packets()
+        .iter()
+        .filter(|(_, p)| p.dst == target)
+        .count()
 }
 
 #[test]
@@ -237,7 +249,11 @@ fn mirai_bot_obeys_udp_flood_command() {
         duration_secs: 3,
     };
     let (art, log) = run_with_live_c2(Family::Mirai, command, 60);
-    assert_eq!(log.lock().unwrap().commands.len(), 1, "C2 issued the command");
+    assert_eq!(
+        log.lock().unwrap().commands.len(),
+        1,
+        "C2 issued the command"
+    );
     let n = flood_packets_to(&art, target);
     // 3 s at default 200 pps ≈ 600 packets (containment still captures).
     assert!(n > 300, "expected a flood, saw {n} packets");
@@ -284,9 +300,7 @@ fn mirai_bot_syn_floods_with_random_source_ports() {
     let syns: Vec<_> = art
         .packets()
         .into_iter()
-        .filter(|(_, p)| {
-            p.dst == target && p.tcp_flags().map(|f| f.syn()).unwrap_or(false)
-        })
+        .filter(|(_, p)| p.dst == target && p.tcp_flags().map(|f| f.syn()).unwrap_or(false))
         .collect();
     assert!(syns.len() > 100, "SYN flood missing: {}", syns.len());
     let sports: std::collections::HashSet<u16> = syns
@@ -294,9 +308,7 @@ fn mirai_bot_syn_floods_with_random_source_ports() {
         .filter_map(|(_, p)| p.transport.src_port())
         .collect();
     assert!(sports.len() > 10, "multi-source-port variant expected");
-    assert!(syns
-        .iter()
-        .all(|(_, p)| p.transport.dst_port() == Some(80)));
+    assert!(syns.iter().all(|(_, p)| p.transport.dst_port() == Some(80)));
 }
 
 #[test]

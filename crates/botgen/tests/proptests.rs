@@ -26,24 +26,30 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (r(), r(), any::<u32>()).prop_map(|(x, y, a)| Op::Jlt { x, y, a }),
         r().prop_map(|r| Op::Rand { r }),
         any::<u32>().prop_map(|a| Op::SleepMs { a }),
-        (r(), prop_oneof![
-            Just(SockKind::Tcp),
-            Just(SockKind::Udp),
-            Just(SockKind::RawTcp),
-            Just(SockKind::RawIcmp)
-        ])
+        (
+            r(),
+            prop_oneof![
+                Just(SockKind::Tcp),
+                Just(SockKind::Udp),
+                Just(SockKind::RawTcp),
+                Just(SockKind::RawIcmp)
+            ]
+        )
             .prop_map(|(r, kind)| Op::Socket { r, kind }),
-        (r(), r(), r(), any::<u32>(), any::<u32>())
-            .prop_map(|(r, x, y, a, b)| Op::Connect { r, x, y, a, b }),
+        (r(), r(), r(), any::<u32>(), any::<u32>()).prop_map(|(r, x, y, a, b)| Op::Connect {
+            r,
+            x,
+            y,
+            a,
+            b
+        }),
         (r(), any::<u32>(), any::<u32>()).prop_map(|(x, a, b)| Op::Send { x, a, b }),
         (r(), r(), any::<u32>()).prop_map(|(r, x, a)| Op::Recv { r, x, a }),
         (r(), r(), r(), any::<u32>(), any::<u32>(), any::<u32>())
             .prop_map(|(x, y, r, a, b, c)| Op::SendTo { x, y, r, a, b, c }),
         (r(), r()).prop_map(|(r, x)| Op::ParseIp { r, x }),
-        (r(), r(), any::<u32>(), any::<u32>())
-            .prop_map(|(r, x, a, b)| Op::Match { r, x, a, b }),
-        (r(), r(), any::<u32>(), any::<u32>())
-            .prop_map(|(x, y, a, b)| Op::RawSend { x, y, a, b }),
+        (r(), r(), any::<u32>(), any::<u32>()).prop_map(|(r, x, a, b)| Op::Match { r, x, a, b }),
+        (r(), r(), any::<u32>(), any::<u32>()).prop_map(|(x, y, a, b)| Op::RawSend { x, y, a, b }),
     ]
 }
 
@@ -167,7 +173,10 @@ fn world_invariants() {
         );
         for &cid in &s.c2_ids {
             assert!(cid < w.c2s.len());
-            assert_eq!(w.c2s[cid].family, s.family, "bots speak their C2's protocol");
+            assert_eq!(
+                w.c2s[cid].family, s.family,
+                "bots speak their C2's protocol"
+            );
         }
         if s.family.is_p2p() {
             assert!(s.c2_ids.is_empty());
@@ -175,7 +184,12 @@ fn world_invariants() {
         }
     }
     for c2 in &w.c2s {
-        assert!(c2.born_day < c2.dead_day, "{}..{}", c2.born_day, c2.dead_day);
+        assert!(
+            c2.born_day < c2.dead_day,
+            "{}..{}",
+            c2.born_day,
+            c2.dead_day
+        );
     }
     // Host IPs are unique across C2s.
     let mut ips: Vec<_> = w.c2s.iter().map(|c| c.host_ip).collect();

@@ -43,7 +43,9 @@ pub fn table2(data: &Datasets, asdb: &AsDb, n: usize) -> (Vec<Table2Row>, f64) {
         .map(|(asn, c2_count)| {
             let rec = asdb.get(Asn(asn));
             Table2Row {
-                name: rec.map(|r| r.name.clone()).unwrap_or_else(|| format!("AS{asn}")),
+                name: rec
+                    .map(|r| r.name.clone())
+                    .unwrap_or_else(|| format!("AS{asn}")),
                 asn,
                 country: rec.map(|r| r.country.to_string()).unwrap_or_default(),
                 hosting: rec.map(|r| r.is_hosting()).unwrap_or(false),
@@ -77,8 +79,7 @@ pub struct Table3 {
 /// Compute Table 3.
 pub fn table3(data: &Datasets) -> Table3 {
     let all: Vec<&crate::datasets::C2Record> = data.c2s.values().collect();
-    let ips: Vec<&crate::datasets::C2Record> =
-        all.iter().copied().filter(|r| !r.dns).collect();
+    let ips: Vec<&crate::datasets::C2Record> = all.iter().copied().filter(|r| !r.dns).collect();
     let dns: Vec<&crate::datasets::C2Record> = all.iter().copied().filter(|r| r.dns).collect();
     let miss0 = |set: &[&crate::datasets::C2Record]| {
         pct(set.iter().filter(|r| !r.vt_day0).count(), set.len())
@@ -491,9 +492,14 @@ mod tests {
 
     fn sample_data() -> Datasets {
         let mut d = Datasets::default();
-        d.c2s.insert("10.1.0.1".into(), rec("10.1.0.1", false, 36352, vec![35], 1));
-        d.c2s
-            .insert("10.1.0.2".into(), rec("10.1.0.2", false, 36352, vec![35, 38], 12));
+        d.c2s.insert(
+            "10.1.0.1".into(),
+            rec("10.1.0.1", false, 36352, vec![35], 1),
+        );
+        d.c2s.insert(
+            "10.1.0.2".into(),
+            rec("10.1.0.2", false, 36352, vec![35, 38], 12),
+        );
         let mut miss = rec("10.1.0.3", false, 14061, vec![], 2);
         miss.vt_day0 = false;
         d.c2s.insert("10.1.0.3".into(), miss);
@@ -522,12 +528,31 @@ mod tests {
         d.probed.push(ProbedC2 {
             ip: Ipv4Addr::new(77, 99, 0, 10),
             port: 1312,
-            probes: vec![(0, true), (1, false), (2, false), (3, true), (4, false), (5, false)],
+            probes: vec![
+                (0, true),
+                (1, false),
+                (2, false),
+                (3, true),
+                (4, false),
+                (5, false),
+            ],
         });
         for (fam, method, target) in [
-            (Family::Mirai, AttackMethod::UdpFlood, Ipv4Addr::new(20, 1, 0, 5)),
-            (Family::Mirai, AttackMethod::SynFlood, Ipv4Addr::new(20, 1, 0, 5)),
-            (Family::Gafgyt, AttackMethod::Std, Ipv4Addr::new(30, 0, 0, 9)),
+            (
+                Family::Mirai,
+                AttackMethod::UdpFlood,
+                Ipv4Addr::new(20, 1, 0, 5),
+            ),
+            (
+                Family::Mirai,
+                AttackMethod::SynFlood,
+                Ipv4Addr::new(20, 1, 0, 5),
+            ),
+            (
+                Family::Gafgyt,
+                AttackMethod::Std,
+                Ipv4Addr::new(30, 0, 0, 9),
+            ),
         ] {
             d.ddos.push(DdosRecord {
                 sha256: format!("s{fam}"),

@@ -78,7 +78,10 @@ pub fn detect_c2(art: &Artifacts, bot_ip: Ipv4Addr) -> Vec<C2Candidate> {
                 let f = flows.entry(key).or_default();
                 if header.flags.syn() && !header.flags.ack() {
                     f.syns += 1;
-                    port_fanout.entry(header.dst_port).or_default().insert(p.dst);
+                    port_fanout
+                        .entry(header.dst_port)
+                        .or_default()
+                        .insert(p.dst);
                 }
                 if !payload.is_empty() && f.first_payload.is_empty() {
                     f.first_payload = payload.clone();
@@ -129,9 +132,9 @@ pub fn detect_c2(art: &Artifacts, bot_ip: Ipv4Addr) -> Vec<C2Candidate> {
 mod tests {
     use super::*;
     use malnet_botgen::binary::emit_elf;
+    use malnet_botgen::exploitdb::VulnId;
     use malnet_botgen::programs::compile;
     use malnet_botgen::spec::{BehaviorSpec, C2Endpoint, ExploitPlan};
-    use malnet_botgen::exploitdb::VulnId;
     use malnet_netsim::net::Network;
     use malnet_netsim::time::{SimDuration, SimTime};
     use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};

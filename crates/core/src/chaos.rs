@@ -220,7 +220,11 @@ impl FaultPlan {
             return;
         }
         let (lo, hi) = self.link_jitter_ms;
-        let extra_ms = if hi > lo { rng.gen_range(lo..=hi) } else { lo.max(1) };
+        let extra_ms = if hi > lo {
+            rng.gen_range(lo..=hi)
+        } else {
+            lo.max(1)
+        };
         link.jitter = link.jitter + malnet_netsim::time::SimDuration::from_millis(extra_ms);
         // Non-zero by construction so a fired fault always reshuffles
         // the per-pair pattern (seed 0 means "legacy pattern").
@@ -252,7 +256,11 @@ impl FaultPlan {
             return None;
         }
         let (lo, hi) = self.c2_downtime_secs;
-        let dur = if hi > lo { rng.gen_range(lo..=hi) } else { lo.max(1) };
+        let dur = if hi > lo {
+            rng.gen_range(lo..=hi)
+        } else {
+            lo.max(1)
+        };
         // Start somewhere inside the pipeline's active hours for the
         // day: liveness sweeps run first, restricted sessions can run
         // for a couple of simulated hours after.
@@ -263,7 +271,12 @@ impl FaultPlan {
     /// Maybe mutate a sample's binary before analysis. Returns the
     /// mutated bytes plus a human-readable fault-context string, or
     /// `None` to analyze the binary untouched.
-    pub fn mutate_binary(&self, day: u32, sample_id: usize, elf: &[u8]) -> Option<(Vec<u8>, String)> {
+    pub fn mutate_binary(
+        &self,
+        day: u32,
+        sample_id: usize,
+        elf: &[u8],
+    ) -> Option<(Vec<u8>, String)> {
         if (self.truncate_rate == 0.0 && self.bitflip_rate == 0.0) || elf.is_empty() {
             return None;
         }
@@ -272,7 +285,10 @@ impl FaultPlan {
             let keep = rng.gen_range(1..=elf.len());
             let mut bytes = elf.to_vec();
             bytes.truncate(keep);
-            return Some((bytes, format!("binary truncated {} -> {keep} bytes", elf.len())));
+            return Some((
+                bytes,
+                format!("binary truncated {} -> {keep} bytes", elf.len()),
+            ));
         }
         if self.bitflip_rate > 0.0 && rng.gen_bool(self.bitflip_rate) {
             let pos = rng.gen_range(0..elf.len());
@@ -366,7 +382,10 @@ mod tests {
             let l = p.world_link(d);
             l.jitter_seed != 0 && l.jitter > LinkFaults::default().jitter
         });
-        assert!(world_jittered.count() > 0, "no world link_jitter over 40 days");
+        assert!(
+            world_jittered.count() > 0,
+            "no world link_jitter over 40 days"
+        );
         let contained_jittered = (0..40u32)
             .flat_map(|d| (0..40usize).map(move |id| (d, id)))
             .filter(|&(d, id)| p.contained_link(d, id).jitter_seed != 0);
@@ -439,6 +458,9 @@ mod tests {
         let a = FaultPlan::chaos(1);
         let b = FaultPlan::chaos(2);
         let differs = (0..40).any(|d| a.world_link(d) != b.world_link(d));
-        assert!(differs, "fault seeds 1 and 2 produced identical link schedules");
+        assert!(
+            differs,
+            "fault seeds 1 and 2 produced identical link schedules"
+        );
     }
 }

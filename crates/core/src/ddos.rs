@@ -92,9 +92,9 @@ pub fn extract(
                 for command in profiler.extract_commands(chunk) {
                     // Verification: continuous traffic toward the target
                     // after the command.
-                    let flood_after = packets.iter().any(|(t2, p)| {
-                        t2 > ts && p.src == bot_ip && p.dst == command.target
-                    });
+                    let flood_after = packets
+                        .iter()
+                        .any(|(t2, p)| t2 > ts && p.src == bot_ip && p.dst == command.target);
                     let pps = peak_pps.get(&command.target).copied().unwrap_or(0);
                     out.push(ExtractedCommand {
                         command,
@@ -208,7 +208,15 @@ fn characterize_flood(
     } else {
         AttackMethod::UdpFlood
     };
-    (method, if method == AttackMethod::Blacknurse { 0 } else { port }, dur)
+    (
+        method,
+        if method == AttackMethod::Blacknurse {
+            0
+        } else {
+            port
+        },
+        dur,
+    )
 }
 
 #[cfg(test)]

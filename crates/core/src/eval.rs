@@ -49,7 +49,10 @@ pub fn evaluate(world: &World, data: &Datasets) -> EvalReport {
     // C2 precision/recall.
     let truth_addrs: BTreeSet<String> = world.c2s.iter().map(|c| c.addr_string()).collect();
     let detected: BTreeSet<&String> = data.c2s.keys().collect();
-    let true_pos = detected.iter().filter(|a| truth_addrs.contains(**a)).count();
+    let true_pos = detected
+        .iter()
+        .filter(|a| truth_addrs.contains(**a))
+        .count();
     let c2_precision = pct(true_pos, detected.len());
     let mut expected = 0usize;
     let mut found = 0usize;
@@ -69,8 +72,7 @@ pub fn evaluate(world: &World, data: &Datasets) -> EvalReport {
     let c2_recall = pct(found, expected);
 
     // Exploit recall.
-    let exploit_samples: BTreeSet<&str> =
-        data.exploits.iter().map(|e| e.sha256.as_str()).collect();
+    let exploit_samples: BTreeSet<&str> = data.exploits.iter().map(|e| e.sha256.as_str()).collect();
     let mut exp_expected = 0usize;
     let mut exp_found = 0usize;
     for s in &data.samples {
@@ -98,9 +100,7 @@ pub fn evaluate(world: &World, data: &Datasets) -> EvalReport {
         for (_, cmd) in &plan.commands {
             planned += 1;
             if data.ddos.iter().any(|d| {
-                d.sha256 == *sha
-                    && d.command.method == cmd.method
-                    && d.command.target == cmd.target
+                d.sha256 == *sha && d.command.method == cmd.method && d.command.target == cmd.target
             }) {
                 observed += 1;
             }

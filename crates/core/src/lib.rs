@@ -36,10 +36,10 @@
 pub mod analysis;
 pub mod c2detect;
 pub mod chaos;
-mod par;
 pub mod datasets;
 pub mod ddos;
 pub mod eval;
+mod par;
 pub mod pipeline;
 pub mod prober;
 pub mod stats;

@@ -50,7 +50,9 @@ where
                 let out = run(i);
                 // The lock can only be poisoned by a panic inside this
                 // very assignment; take the data rather than aborting.
-                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
             });
         }
     });

@@ -296,8 +296,7 @@ impl Pipeline {
                 for outcome in outcomes {
                     match outcome {
                         Ok(out) => {
-                            if let Some(job) = self.merge_world_effects(world, &mut net, day, out)
-                            {
+                            if let Some(job) = self.merge_world_effects(world, &mut net, day, out) {
                                 jobs.push(job);
                             }
                         }
@@ -364,8 +363,7 @@ impl Pipeline {
                     block_engine: self.opts.block_engine,
                     ..ProbeConfig::from_world(world)
                 };
-                self.data.probed =
-                    prober::run_probing(world, &weapons, &cfg, self.opts.seed, &tel);
+                self.data.probed = prober::run_probing(world, &weapons, &cfg, self.opts.seed, &tel);
             }
         }
 
@@ -553,7 +551,10 @@ impl Pipeline {
                 fault_context: fault_context.clone(),
             });
         }
-        let av = self.engines.detections_for_malware().max(sample.av_detections.min(60));
+        let av = self
+            .engines
+            .detections_for_malware()
+            .max(sample.av_detections.min(60));
 
         // Exploits (D-Exploits).
         self.data.exploits.extend(exploits);
@@ -776,7 +777,12 @@ struct RestrictedOutcome {
     sample_id: usize,
     /// Per live C2: `(addr, ip, family, extracted commands)` in the
     /// job's candidate order.
-    evidence: Vec<(String, Ipv4Addr, Option<Family>, Vec<ddos::ExtractedCommand>)>,
+    evidence: Vec<(
+        String,
+        Ipv4Addr,
+        Option<Family>,
+        Vec<ddos::ExtractedCommand>,
+    )>,
 }
 
 /// Phase B2: run every pending restricted session, returning outcomes in
@@ -860,20 +866,35 @@ fn run_restricted_batch(
     )
 }
 
+/// Sub-seed domain for the contained run's isolated [`Network`]. Zero
+/// by historical accident (the first stream predates the domain
+/// registry) and pinned forever: changing it would shift every
+/// published dataset byte-for-byte.
+const DOMAIN_CONTAINED_NET: u64 = 0;
+/// Sub-seed domain for the contained [`Sandbox`] (emulator jitter,
+/// handshaker).
+const DOMAIN_CONTAINED_SANDBOX: u64 = 0x5eed_0000_0000_0001;
+/// Sub-seed domain for the restricted DDoS-observation [`Sandbox`].
+const DOMAIN_RESTRICTED: u64 = 0x5eed_0000_0000_0002;
+/// Sub-seed domain for the restricted session's detached world-derived
+/// [`Network`] ([`World::network_for_day_detached`]): same topology as
+/// the coordinator's world net, private RNG + responsiveness chains.
+const DOMAIN_RESTRICTED_NET: u64 = 0x5eed_0000_0000_0003;
+
 /// The per-sample RNG streams derived from the master seed. Each stream
 /// gets its own [`sub_seed`] domain so the contained network, contained
-/// sandbox, and restricted sandbox never share a generator.
+/// sandbox, and restricted sandbox never share a generator. The domain
+/// constants live in the workspace-wide `0x5eed_…` family whose
+/// uniqueness `malnet-lint` checks across crates.
 #[derive(Debug, Clone, Copy)]
 enum SeedStream {
-    /// The contained run's isolated [`Network`].
+    /// [`DOMAIN_CONTAINED_NET`].
     ContainedNet,
-    /// The contained [`Sandbox`] (emulator jitter, handshaker).
+    /// [`DOMAIN_CONTAINED_SANDBOX`].
     ContainedSandbox,
-    /// The restricted DDoS-observation [`Sandbox`].
+    /// [`DOMAIN_RESTRICTED`].
     Restricted,
-    /// The restricted session's detached world-derived [`Network`]
-    /// ([`World::network_for_day_detached`]): same topology as the
-    /// coordinator's world net, private RNG + responsiveness chains.
+    /// [`DOMAIN_RESTRICTED_NET`].
     RestrictedNet,
 }
 
@@ -884,10 +905,10 @@ enum SeedStream {
 /// the old `master ^ id << k` scheme, which collided across days.
 fn sample_seed(master: u64, day: u32, sample_id: usize, stream: SeedStream) -> u64 {
     let domain = match stream {
-        SeedStream::ContainedNet => 0,
-        SeedStream::ContainedSandbox => 0x5eed_0000_0000_0001,
-        SeedStream::Restricted => 0x5eed_0000_0000_0002,
-        SeedStream::RestrictedNet => 0x5eed_0000_0000_0003,
+        SeedStream::ContainedNet => DOMAIN_CONTAINED_NET,
+        SeedStream::ContainedSandbox => DOMAIN_CONTAINED_SANDBOX,
+        SeedStream::Restricted => DOMAIN_RESTRICTED,
+        SeedStream::RestrictedNet => DOMAIN_RESTRICTED_NET,
     };
     sub_seed(master ^ domain, day, sample_id as u64)
 }

@@ -119,7 +119,10 @@ pub fn merge_round_results(mut rounds: Vec<RoundResult>) -> Vec<ProbedC2> {
     let mut results: BTreeMap<(Ipv4Addr, u16), Vec<(u32, bool)>> = BTreeMap::new();
     for r in rounds {
         for ((ip, port), engaged) in r.engagements {
-            results.entry((ip, port)).or_default().push((r.round, engaged));
+            results
+                .entry((ip, port))
+                .or_default()
+                .push((r.round, engaged));
         }
     }
     results
@@ -235,8 +238,10 @@ fn probe_round(
     let day = cfg.start_day + round / cfg.rounds_per_day;
     let secs_into_day =
         u64::from(round % cfg.rounds_per_day) * 86_400 / u64::from(cfg.rounds_per_day);
-    let (mut net, _logs) =
-        world.network_for_day_detached(day, sub_seed(seed ^ DOMAIN_ROUND_NET, day, u64::from(round)));
+    let (mut net, _logs) = world.network_for_day_detached(
+        day,
+        sub_seed(seed ^ DOMAIN_ROUND_NET, day, u64::from(round)),
+    );
     net.run_until(SimTime::from_day(day, secs_into_day));
     net.add_external_host(PROBER_IP);
 
@@ -359,24 +364,24 @@ mod tests {
             cal: Calibration::default(),
         });
         // Weapons: compile plain Mirai/Gafgyt probes without exploits.
-        let weapons: Vec<Vec<u8>> = [malnet_protocols::Family::Mirai, malnet_protocols::Family::Gafgyt]
-            .iter()
-            .map(|f| {
-                let spec = malnet_botgen::spec::BehaviorSpec {
-                    family: *f,
-                    c2: vec![(
-                        malnet_botgen::spec::C2Endpoint::Ip(Ipv4Addr::new(10, 255, 0, 1)),
-                        23,
-                    )],
-                    recv_timeout_ms: 8000,
-                    ..Default::default()
-                };
-                malnet_botgen::binary::emit_elf(
-                    &malnet_botgen::programs::compile(&spec),
-                    b"probe",
-                )
-            })
-            .collect();
+        let weapons: Vec<Vec<u8>> = [
+            malnet_protocols::Family::Mirai,
+            malnet_protocols::Family::Gafgyt,
+        ]
+        .iter()
+        .map(|f| {
+            let spec = malnet_botgen::spec::BehaviorSpec {
+                family: *f,
+                c2: vec![(
+                    malnet_botgen::spec::C2Endpoint::Ip(Ipv4Addr::new(10, 255, 0, 1)),
+                    23,
+                )],
+                recv_timeout_ms: 8000,
+                ..Default::default()
+            };
+            malnet_botgen::binary::emit_elf(&malnet_botgen::programs::compile(&spec), b"probe")
+        })
+        .collect();
         let cfg = ProbeConfig {
             rounds: 12,
             rounds_per_day: 6,

@@ -43,9 +43,15 @@ fn assert_identical_artifacts(elf: &[u8], seed: u64, what: &str) {
         oracle.instructions, block.instructions,
         "{what}: retired instruction count diverged"
     );
-    assert_eq!(oracle.syscalls, block.syscalls, "{what}: syscall count diverged");
+    assert_eq!(
+        oracle.syscalls, block.syscalls,
+        "{what}: syscall count diverged"
+    );
     assert_eq!(oracle.pcap, block.pcap, "{what}: pcap bytes diverged");
-    assert_eq!(oracle.dns_queries, block.dns_queries, "{what}: DNS log diverged");
+    assert_eq!(
+        oracle.dns_queries, block.dns_queries,
+        "{what}: DNS log diverged"
+    );
     assert_eq!(
         oracle.exploits, block.exploits,
         "{what}: exploit captures diverged"
@@ -70,7 +76,10 @@ fn all_families_identical_under_both_engines() {
         }
         assert_identical_artifacts(&s.elf, 1000 + s.id as u64, &format!("{:?}", s.family));
     }
-    assert!(seen.len() >= 4, "world too small to cover families: {seen:?}");
+    assert!(
+        seen.len() >= 4,
+        "world too small to cover families: {seen:?}"
+    );
 }
 
 /// Truncated binaries — cut at awkward offsets, including mid-`.text`

@@ -206,7 +206,8 @@ fn phase_b_matrix_is_byte_identical() {
                 };
                 let cell = run(par, tel);
                 assert_eq!(
-                    baseline, cell,
+                    baseline,
+                    cell,
                     "phase-B matrix diverged at parallelism={par}, \
                      telemetry={instrumented}, chaos={}",
                     !plan.is_none()
@@ -252,7 +253,8 @@ fn block_engine_matrix_is_byte_identical() {
                 }
                 let cell = run(par, block);
                 assert_eq!(
-                    baseline, cell,
+                    baseline,
+                    cell,
                     "block-engine matrix diverged at parallelism={par}, \
                      block_engine={block}, chaos={}",
                     !plan.is_none()
@@ -323,9 +325,9 @@ fn chaos_runs_are_deterministic_and_complete() {
         "== D-Health ==",
         "== D-Triage ==",
     ] {
-        let pos = base[at..].find(header).unwrap_or_else(|| {
-            panic!("chaos dump lost section {header}")
-        });
+        let pos = base[at..]
+            .find(header)
+            .unwrap_or_else(|| panic!("chaos dump lost section {header}"));
         at += pos;
     }
     // Degradation is visible, and the study still produced data.
@@ -389,7 +391,10 @@ fn phase_a_panic_no_longer_aborts_the_run() {
     // quarantine — none silently vanished.
     assert_eq!(data.samples.len() + quarantined, 30);
     for row in &data.health.rows {
-        assert!(row.detail.contains("chaos: forced"), "unexpected row {row:?}");
+        assert!(
+            row.detail.contains("chaos: forced"),
+            "unexpected row {row:?}"
+        );
         assert_eq!(row.fault_context, vec!["forced worker panic".to_string()]);
     }
 }
@@ -444,7 +449,10 @@ fn telemetry_counters_are_parallelism_invariant() {
         reports.push(tel.report());
     }
     let (seq, par) = (&reports[0], &reports[1]);
-    assert!(!seq.counters.is_empty(), "instrumented run recorded nothing");
+    assert!(
+        !seq.counters.is_empty(),
+        "instrumented run recorded nothing"
+    );
     assert_eq!(
         seq.counters, par.counters,
         "counter totals diverged between parallelism 1 and 8"
@@ -533,18 +541,17 @@ fn event_streaming_is_inert_and_foldable() {
             let tel = Telemetry::enabled_with_events(sink.clone());
             let cell = run(par, tel.clone());
             assert_eq!(
-                baseline, cell,
+                baseline,
+                cell,
                 "event streaming perturbed output at parallelism={par}, chaos={}",
                 !plan.is_none()
             );
             let stream = sink.contents().expect("in-memory sink");
-            let summary = validate_stream(&stream).unwrap_or_else(|e| {
-                panic!("invalid stream at parallelism={par}: {e}")
-            });
+            let summary = validate_stream(&stream)
+                .unwrap_or_else(|e| panic!("invalid stream at parallelism={par}: {e}"));
             let report = tel.report();
-            fold_matches_report(&summary, &report).unwrap_or_else(|e| {
-                panic!("fold mismatch at parallelism={par}: {e}")
-            });
+            fold_matches_report(&summary, &report)
+                .unwrap_or_else(|e| panic!("fold mismatch at parallelism={par}: {e}"));
             if !plan.is_none() {
                 assert!(
                     summary.chaos_events > 0,
@@ -566,7 +573,8 @@ fn event_streaming_is_inert_and_foldable() {
         }
         for (i, stream) in masked_streams.iter().enumerate().skip(1) {
             assert_eq!(
-                &masked_streams[0], stream,
+                &masked_streams[0],
+                stream,
                 "event stream (wall_us masked) diverged between parallelism 1 \
                  and {}, chaos={}",
                 [1usize, 2, 8, 64][i],

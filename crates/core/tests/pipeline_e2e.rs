@@ -43,10 +43,7 @@ fn pipeline_produces_all_five_datasets() {
     assert!(live_seen >= 3, "no liveness observations: {live_seen}");
 
     // D-Exploits: exploiting samples produced classified payloads.
-    assert!(
-        !data.exploits.is_empty(),
-        "handshaker produced no exploits"
-    );
+    assert!(!data.exploits.is_empty(), "handshaker produced no exploits");
     assert!(data.exploits.iter().all(|e| !e.vulns.is_empty()));
     assert!(data
         .exploits
@@ -94,7 +91,11 @@ fn instruments_score_well_against_ground_truth() {
         "precision {}\n{report}",
         report.c2_precision
     );
-    assert!(report.c2_recall >= 70.0, "recall {}\n{report}", report.c2_recall);
+    assert!(
+        report.c2_recall >= 70.0,
+        "recall {}\n{report}",
+        report.c2_recall
+    );
     assert!(
         report.label_accuracy >= 90.0,
         "labels {}\n{report}",

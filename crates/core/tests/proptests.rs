@@ -8,10 +8,10 @@ use proptest::prelude::*;
 
 use malnet_botgen::world::{World, WorldConfig};
 use malnet_core::ddos;
-use malnet_prng::SeedableRng;
 use malnet_core::pipeline::{contained_activation, PipelineOpts};
 use malnet_core::prober::{merge_round_results, RoundResult};
 use malnet_core::stats::{Cdf, Counter};
+use malnet_prng::SeedableRng;
 use malnet_protocols::Family;
 use malnet_wire::packet::Packet;
 use malnet_wire::tcp::TcpFlags;

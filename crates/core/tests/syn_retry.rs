@@ -55,7 +55,10 @@ fn syn_retry_survives_transient_loss() {
         "a single retry must survive the one-packet loss window"
     );
     assert!(
-        tel1.report().counter("pipeline.liveness_retries").unwrap_or(0) >= 1,
+        tel1.report()
+            .counter("pipeline.liveness_retries")
+            .unwrap_or(0)
+            >= 1,
         "the retry round should be visible in telemetry"
     );
 }

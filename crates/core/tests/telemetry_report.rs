@@ -48,7 +48,9 @@ fn run_report_covers_every_stage() {
         "prober.round",
         "sandbox.exec",
     ] {
-        let s = report.span(span).unwrap_or_else(|| panic!("missing span {span:?}"));
+        let s = report
+            .span(span)
+            .unwrap_or_else(|| panic!("missing span {span:?}"));
         assert!(s.calls > 0, "span {span:?} never entered");
         assert!(s.self_us <= s.total_us, "span {span:?} self > total");
     }
@@ -68,7 +70,9 @@ fn run_report_covers_every_stage() {
         ("pipeline.probing", "pipeline.run"),
         ("prober.round", "pipeline.probing"),
     ] {
-        let s = report.span(span).unwrap_or_else(|| panic!("missing span {span:?}"));
+        let s = report
+            .span(span)
+            .unwrap_or_else(|| panic!("missing span {span:?}"));
         assert_eq!(
             s.parent.as_deref(),
             Some(parent),
@@ -143,9 +147,14 @@ fn phase_a_panic_is_quarantined_per_sample() {
         if batch[i] == 9999 {
             let q = out.as_ref().expect_err("bad sample id must quarantine");
             assert_eq!(q.sample_id, 9999);
-            assert!(!q.detail.is_empty(), "quarantine detail must carry the panic");
+            assert!(
+                !q.detail.is_empty(),
+                "quarantine detail must carry the panic"
+            );
         } else {
-            let ok = out.as_ref().unwrap_or_else(|q| panic!("sample {} quarantined: {q:?}", batch[i]));
+            let ok = out
+                .as_ref()
+                .unwrap_or_else(|q| panic!("sample {} quarantined: {q:?}", batch[i]));
             assert_eq!(ok.sample_id, batch[i]);
         }
     }
@@ -156,5 +165,8 @@ fn phase_a_panic_is_quarantined_per_sample() {
         ..opts
     };
     let seq = run_contained_batch(&world, &opts_seq, 3, &batch, &tel);
-    assert_eq!(seq, outcomes, "quarantine outcomes differ across parallelism");
+    assert_eq!(
+        seq, outcomes,
+        "quarantine outcomes differ across parallelism"
+    );
 }

@@ -16,7 +16,7 @@
 //!   another 24 vendors get low coverage; the remaining 45 never flag
 //!   IoT C2s — matching "only 44 vendors could flag ... at least 1 C2".
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use malnet_prng::rngs::StdRng;
 use malnet_prng::{Rng, SeedableRng};
@@ -123,7 +123,9 @@ pub struct VendorDb {
     pub vendors: Vec<Vendor>,
     params: FeedParams,
     rng: StdRng,
-    records: HashMap<String, AddrRecord>,
+    /// Ordered so `canonical_dump` walks addresses in byte order with
+    /// no explicit sort.
+    records: BTreeMap<String, AddrRecord>,
 }
 
 impl VendorDb {
@@ -163,7 +165,7 @@ impl VendorDb {
             vendors,
             params,
             rng: StdRng::seed_from_u64(seed ^ 0x7e11),
-            records: HashMap::new(),
+            records: BTreeMap::new(),
         }
     }
 
@@ -213,17 +215,14 @@ impl VendorDb {
 
     /// A canonical, byte-stable serialization of the vendor state.
     ///
-    /// Records are sorted by address (the backing map is a `HashMap`,
-    /// so iteration order alone is not reproducible). Two `VendorDb`s
+    /// The backing map is a `BTreeMap`, so records come out sorted by
+    /// address with no per-process hasher influence. Two `VendorDb`s
     /// that produce identical dumps have registered the same addresses
     /// with the same RNG draws — the parallel-determinism suite compares
     /// these across `parallelism` settings.
     pub fn canonical_dump(&self) -> String {
-        let mut keys: Vec<&String> = self.records.keys().collect();
-        keys.sort();
         let mut out = String::new();
-        for k in keys {
-            let r = &self.records[k];
+        for (k, r) in &self.records {
             out.push_str(&format!("{k} => {r:?}\n"));
         }
         out
@@ -263,7 +262,7 @@ impl VendorDb {
     /// Per-vendor detection counts over a set of addresses at `day`
     /// (regenerates Table 7).
     pub fn vendor_counts(&self, addrs: &[String], day: u32) -> Vec<(String, u32)> {
-        let mut counts: HashMap<&str, u32> = HashMap::new();
+        let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
         for a in addrs {
             for v in self.query(a, day).vendors {
                 // Count by name; names are unique.

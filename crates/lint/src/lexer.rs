@@ -1,0 +1,477 @@
+//! A small Rust lexer, just deep enough for lint rules.
+//!
+//! The grep lint this crate replaces could not tell an identifier from
+//! the same characters inside a string literal, a comment, or a doc
+//! example. This lexer can: it splits source text into identifier,
+//! literal and punctuation tokens, and collects comments separately so
+//! suppression markers can be read from them (and *only* from them).
+//!
+//! Coverage, deliberately less than a full rustc lexer but enough for
+//! every construct in this workspace:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments (`/* */`,
+//!   `/** */`, `/*! */`) with arbitrary nesting;
+//! * string literals with escapes, byte strings (`b"..."`), raw strings
+//!   (`r"..."`, `r#"..."#`, any number of hashes) and raw byte strings
+//!   (`br#"..."#`), C strings (`c"..."`);
+//! * char and byte-char literals (`'a'`, `b'\n'`) distinguished from
+//!   lifetimes (`'a` in `&'a str`);
+//! * integer literals in every radix with `_` separators and type
+//!   suffixes (floats come out as adjacent int/punct tokens, which is
+//!   fine — no rule inspects floats);
+//! * raw identifiers (`r#match` lexes as the identifier `match`).
+//!
+//! Every token carries the 1-indexed line of its first character, so a
+//! construct broken across physical lines (a method chain ending in
+//! `.expect(...)`, say) is still one token sequence to the rules.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `use`, `const`, ...).
+    Ident,
+    /// An integer literal (`42`, `0x5eed_0000_0000_0001u64`).
+    Int,
+    /// A string literal of any flavor; `text` is the unquoted body.
+    Str,
+    /// A char or byte-char literal; `text` is the body between quotes.
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` excludes the quote.
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct,
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-indexed line of the token's first character.
+    pub line: usize,
+}
+
+/// One comment (line or block), kept out of the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-indexed line on which the comment *ends* — the line a
+    /// same-or-previous-line suppression marker is anchored to.
+    pub line_end: usize,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`).
+    /// Suppression markers are only honored in regular comments, so
+    /// documentation that *mentions* the marker grammar is inert.
+    pub doc: bool,
+}
+
+/// A lexed file: code tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the most useful behavior for linting possibly-broken input.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek_at(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek_at(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string(0);
+            } else if c == '\'' {
+                self.quote();
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else {
+                let line = self.line;
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn line_comment(&mut self) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // `//!` and `///` are docs; `////...` (a rule-off line) is not.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.out.comments.push(Comment {
+            text,
+            line_end: self.line,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            if c == '/' && self.peek_at(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek_at(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text != "/**/")
+            || text.starts_with("/*!");
+        self.out.comments.push(Comment {
+            text,
+            line_end: self.line,
+            doc,
+        });
+    }
+
+    /// A string body starting at the opening quote, with `hashes` raw
+    /// delimiter hashes (0 for a normal escaped string).
+    fn string(&mut self, hashes: usize) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut body = String::new();
+        while let Some(c) = self.peek() {
+            if hashes == 0 && c == '\\' {
+                body.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    body.push(e);
+                }
+            } else if c == '"' {
+                if hashes == 0 {
+                    self.bump();
+                    break;
+                }
+                // Raw string: closing quote must be followed by the
+                // same number of hashes.
+                let closes = (1..=hashes).all(|i| self.peek_at(i) == Some('#'));
+                if closes {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+                body.push(c);
+                self.bump();
+            } else {
+                body.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Str, body, line);
+    }
+
+    /// `'` — a char literal or a lifetime.
+    fn quote(&mut self) {
+        let line = self.line;
+        // Char literal iff an escape follows, or a single char followed
+        // by a closing quote. Everything else (`'a` in `<'a>`,
+        // `'static`) is a lifetime.
+        if self.peek_at(1) == Some('\\')
+            || (self.peek_at(2) == Some('\'') && self.peek_at(1) != Some('\''))
+        {
+            self.bump(); // '
+            let mut body = String::new();
+            if self.peek() == Some('\\') {
+                body.push('\\');
+                self.bump();
+                if let Some(e) = self.bump() {
+                    body.push(e);
+                }
+            } else if let Some(c) = self.bump() {
+                body.push(c);
+            }
+            if self.peek() == Some('\'') {
+                self.bump();
+            }
+            self.push(TokKind::Char, body, line);
+        } else {
+            self.bump(); // '
+            let mut name = String::new();
+            while let Some(c) = self.peek() {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, name, line);
+        }
+    }
+
+    /// An identifier — possibly a string/char prefix (`r"`, `b"`, `br#"`,
+    /// `b'`) or a raw identifier (`r#name`).
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_str_prefix = matches!(name.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+        match self.peek() {
+            Some('"') if is_str_prefix => self.string(0),
+            Some('\'') if name == "b" => self.quote(),
+            Some('#') if is_str_prefix || name == "r" => {
+                // Count hashes; `r#"..."#` is a raw string, `r#name` a
+                // raw identifier.
+                let mut hashes = 0usize;
+                while self.peek_at(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek_at(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.string(hashes);
+                } else if hashes == 1 && name == "r" && self.peek_at(1).is_some_and(is_ident_start)
+                {
+                    self.bump(); // #
+                    let mut raw = String::new();
+                    while let Some(c) = self.peek() {
+                        if is_ident_continue(c) {
+                            raw.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, raw, line);
+                } else {
+                    self.push(TokKind::Ident, name, line);
+                }
+            }
+            _ => self.push(TokKind::Ident, name, line),
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // A float like `1.5` — but not `0..n` (range) or
+                // `1.max(2)` (method call on a literal).
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Int, text, line);
+    }
+}
+
+/// Parse an integer literal token's numeric value, tolerating `_`
+/// separators, any radix prefix and a trailing type suffix. Returns
+/// `None` for floats and out-of-range values.
+pub fn int_value(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if t.contains('.') {
+        return None;
+    }
+    let (radix, digits) = match t.as_bytes() {
+        [b'0', b'x' | b'X', rest @ ..] => (16, rest),
+        [b'0', b'o' | b'O', rest @ ..] => (8, rest),
+        [b'0', b'b' | b'B', rest @ ..] => (2, rest),
+        _ => (10, t.as_bytes()),
+    };
+    // Stop at the type suffix (`u64`, `i32`, `usize`...).
+    let end = digits
+        .iter()
+        .position(|&b| !(b as char).is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    let body = std::str::from_utf8(&digits[..end]).ok()?;
+    u64::from_str_radix(body, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"HashMap " quoted"#;
+            let b = b"HashMap";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' } let q = '\\''; let b = b'\\n';";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 3, "{:?}", lexed.toks);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1;\n/* c\nd */\nlet e = 2;";
+        let lexed = lex(src);
+        let b = lexed.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+        let e = lexed.toks.iter().find(|t| t.text == "e").unwrap();
+        assert_eq!(e.line, 6);
+        // The block comment ends on line 5.
+        assert_eq!(lexed.comments.last().unwrap().line_end, 5);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let lexed = lex("/// doc\n//! inner\n// plain\n//// rule\n/** block doc */\n/* plain */");
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn raw_identifiers_and_hash_strings() {
+        let ids = idents("let r#match = 1; let s = r##\"two \"# hashes\"##; after();");
+        assert!(ids.contains(&"match".to_string()));
+        assert!(ids.contains(&"after".to_string()));
+        assert!(!ids.contains(&"hashes".to_string()));
+    }
+
+    #[test]
+    fn int_values_parse_all_radixes() {
+        assert_eq!(
+            int_value("0x5eed_0000_0000_0001"),
+            Some(0x5eed_0000_0000_0001)
+        );
+        assert_eq!(
+            int_value("0xc4a0_0000_0000_0003u64"),
+            Some(0xc4a0_0000_0000_0003)
+        );
+        assert_eq!(int_value("42"), Some(42));
+        assert_eq!(int_value("0b1010"), Some(10));
+        assert_eq!(int_value("1_000_000usize"), Some(1_000_000));
+        assert_eq!(int_value("1.5"), None);
+    }
+
+    #[test]
+    fn method_chain_across_lines_is_contiguous_tokens() {
+        let src = "value\n    .collect::<Vec<_>>()\n    .expect(\"boom\");";
+        let lexed = lex(src);
+        let expect = lexed.toks.iter().find(|t| t.text == "expect").unwrap();
+        assert_eq!(expect.line, 3);
+        // The token before `expect` is the `.` — chains are seamless.
+        let i = lexed.toks.iter().position(|t| t.text == "expect").unwrap();
+        assert_eq!(lexed.toks[i - 1].text, ".");
+    }
+}

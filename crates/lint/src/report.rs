@@ -1,0 +1,195 @@
+//! The `malnet.lint_report` v1 artifact.
+//!
+//! Schema (one JSON object):
+//!
+//! ```json
+//! {
+//!   "schema": "malnet.lint_report",
+//!   "version": 1,
+//!   "files_scanned": 123,
+//!   "rules": ["clock", "hash", "hash-iter", "panic", "index", "seed",
+//!             "stale-suppression"],
+//!   "violations": [
+//!     {"file": "crates/core/src/x.rs", "line": 7, "rule": "hash",
+//!      "message": "..."}
+//!   ],
+//!   "suppressions": {"total": 9, "used": 9, "stale": 0},
+//!   "seed_domains": [
+//!     {"name": "DOMAIN_PANIC", "value": "0xc4a0000000000005",
+//!      "file": "crates/core/src/chaos.rs", "line": 39}
+//!   ],
+//!   "clean": true
+//! }
+//! ```
+//!
+//! `violations` is sorted by (file, line, rule); `seed_domains` by
+//! value, so the registry doubles as human-readable documentation of
+//! every sub-seed stream in the workspace. `clean` is exactly
+//! `violations.is_empty()` — consumers may gate on either.
+
+use crate::rules::{DomainDecl, Finding, RULES};
+
+/// Artifact schema identifier.
+pub const SCHEMA: &str = "malnet.lint_report";
+/// Artifact schema version.
+pub const VERSION: u32 = 1;
+
+/// Aggregated lint result for a whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceLint {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Every seed-domain constant declaration, sorted by value.
+    pub domains: Vec<DomainDecl>,
+    /// Suppression markers seen.
+    pub markers: usize,
+    /// Suppression markers that silenced at least one violation.
+    pub markers_used: usize,
+}
+
+impl WorkspaceLint {
+    /// True when no rule fired anywhere.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Stale markers (each also appears as a `stale-suppression`
+    /// finding).
+    pub fn stale_markers(&self) -> usize {
+        self.markers - self.markers_used
+    }
+
+    /// Serialize the `malnet.lint_report` v1 artifact.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let _ = write!(out, "{}:{},", jstr("schema"), jstr(SCHEMA));
+        let _ = write!(out, "{}:{VERSION},", jstr("version"));
+        let _ = write!(out, "{}:{},", jstr("files_scanned"), self.files_scanned);
+        let _ = write!(out, "{}:[", jstr("rules"));
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&jstr(r));
+        }
+        let _ = write!(out, "],{}:[", jstr("violations"));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{{}:{},{}:{},{}:{},{}:{}}}",
+                jstr("file"),
+                jstr(&f.file),
+                jstr("line"),
+                f.line,
+                jstr("rule"),
+                jstr(f.rule),
+                jstr("message"),
+                jstr(&f.message)
+            );
+        }
+        let _ = write!(
+            out,
+            "],{}:{{{}:{},{}:{},{}:{}}},",
+            jstr("suppressions"),
+            jstr("total"),
+            self.markers,
+            jstr("used"),
+            self.markers_used,
+            jstr("stale"),
+            self.stale_markers()
+        );
+        let _ = write!(out, "{}:[", jstr("seed_domains"));
+        for (i, d) in self.domains.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{{}:{},{}:{},{}:{},{}:{}}}",
+                jstr("name"),
+                jstr(&d.name),
+                jstr("value"),
+                jstr(&format!("{:#x}", d.value)),
+                jstr("file"),
+                jstr(&d.file),
+                jstr("line"),
+                d.line
+            );
+        }
+        let _ = write!(out, "],{}:{}}}", jstr("clean"), self.clean());
+        out
+    }
+}
+
+/// JSON string literal with escaping.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_round_trips_textually() {
+        let lint = WorkspaceLint {
+            files_scanned: 2,
+            findings: vec![Finding {
+                file: "crates/core/src/x.rs".to_string(),
+                line: 7,
+                rule: "hash",
+                message: "a \"quoted\" message".to_string(),
+            }],
+            domains: vec![DomainDecl {
+                name: "DOMAIN_TEST".to_string(),
+                value: 0x5eed_0000_0000_0009,
+                file: "crates/core/src/x.rs".to_string(),
+                line: 3,
+            }],
+            markers: 4,
+            markers_used: 3,
+        };
+        let json = lint.to_json();
+        assert!(json.starts_with("{\"schema\":\"malnet.lint_report\",\"version\":1,"));
+        assert!(json.contains("\"files_scanned\":2"));
+        assert!(json.contains("\"rule\":\"hash\""));
+        assert!(json.contains("a \\\"quoted\\\" message"));
+        assert!(json.contains("\"value\":\"0x5eed000000000009\""));
+        assert!(json.contains("\"suppressions\":{\"total\":4,\"used\":3,\"stale\":1}"));
+        assert!(json.contains("\"clean\":false"));
+        assert!(!lint.clean());
+        assert_eq!(lint.stale_markers(), 1);
+    }
+
+    #[test]
+    fn empty_report_is_clean() {
+        let lint = WorkspaceLint::default();
+        let json = lint.to_json();
+        assert!(json.contains("\"violations\":[]"));
+        assert!(json.contains("\"clean\":true"));
+        assert!(lint.clean());
+    }
+}

@@ -1,0 +1,15 @@
+//! Doc comment mentioning Instant::now() — inert.
+//! So is `lint: panic-ok` here: doc comments never carry markers.
+
+/// Returns the banner. `v.unwrap()` in docs is inert too.
+fn banner() -> &'static str {
+    let s = r#"panic!("not real") Instant::now() SystemTime::now()"#;
+    /* block comment with HashMap::new()
+       /* nested */ still one comment */
+    let c = 'h'; // a char literal, not a lifetime
+    let _lt: &'static str = "lifetime disambiguation";
+    let bytes = b"\x00.expect(";
+    let raw = r"HashSet::new() .elapsed()";
+    let _ = (c, bytes, raw);
+    s
+}

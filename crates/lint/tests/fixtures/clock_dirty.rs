@@ -1,0 +1,17 @@
+use std::time::{Duration, Instant};
+
+fn measure() -> Duration {
+    let start = Instant::now();
+    work();
+    start.elapsed()
+}
+
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    to_micros(t)
+}
+
+fn sanctioned() -> Duration {
+    // Stopwatch reading handed in by telemetry. lint: clock-ok
+    Instant::now().elapsed()
+}

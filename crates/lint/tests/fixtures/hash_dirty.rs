@@ -1,0 +1,24 @@
+use std::collections::HashMap;
+
+struct Tally {
+    counts: HashMap<String, u64>,
+}
+
+impl Tally {
+    fn dump(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counts {
+            out.push(format!("{k}={v}"));
+        }
+        out
+    }
+
+    fn names(&self) -> Vec<&String> {
+        self.counts.keys().collect()
+    }
+}
+
+// Point lookups only, never iterated. lint: hash-ok
+fn cache() -> HashMap<u32, u32> {
+    HashMap::new()
+}

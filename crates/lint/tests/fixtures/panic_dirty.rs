@@ -1,0 +1,29 @@
+fn config(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn parse(raw: &str) -> u32 {
+    raw.parse()
+        .expect("caller validated")
+}
+
+fn stub() {
+    todo!("wire this up")
+}
+
+fn must_fail(r: Result<u32, String>) {
+    let _ = r.expect_err("always an error here");
+}
+
+fn guarded(v: Option<u32>) -> u32 {
+    // Invariant: set by the loader before any call. lint: panic-ok
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        panic!("boom");
+    }
+}

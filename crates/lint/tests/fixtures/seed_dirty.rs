@@ -1,0 +1,17 @@
+const DOMAIN_FIXTURE_A: u64 = 0x5eed_00ff_0000_0001;
+
+fn good(seed: u64, day: u32) -> StdRng {
+    StdRng::seed_from_u64(sub_seed(seed ^ DOMAIN_FIXTURE_A, day, 0))
+}
+
+fn bad_literal() -> StdRng {
+    StdRng::seed_from_u64(7)
+}
+
+fn bad_inline(seed: u64) -> u64 {
+    seed ^ 0x5eed_00ff_0000_0002
+}
+
+fn bad_entropy() -> StdRng {
+    StdRng::from_entropy()
+}

@@ -1,0 +1,4 @@
+// Nothing hashes here any more. lint: hash-ok
+fn tidy() -> u32 {
+    7
+}

@@ -52,8 +52,8 @@ impl Reg {
 /// Conventional register names for the disassembler.
 pub const REG_NAMES: [&str; 32] = [
     "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
-    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp",
-    "fp", "ra",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp",
+    "ra",
 ];
 
 impl fmt::Display for Reg {
@@ -336,7 +336,11 @@ impl Assembler {
                     &mut pc,
                 ),
                 Ins::Jr(rs) => {
-                    word(&mut out, r_type(0, *rs, Reg::ZERO, Reg::ZERO, 0, 0x08), &mut pc);
+                    word(
+                        &mut out,
+                        r_type(0, *rs, Reg::ZERO, Reg::ZERO, 0, 0x08),
+                        &mut pc,
+                    );
                     word(&mut out, 0, &mut pc); // delay slot
                 }
                 Ins::Jalr(rd, rs) => {
@@ -424,7 +428,11 @@ impl Assembler {
                 }
                 Ins::Nop => word(&mut out, 0, &mut pc),
                 Ins::Li(rt, imm) => {
-                    word(&mut out, i_type(0x0f, Reg::ZERO, *rt, (*imm >> 16) as u16), &mut pc);
+                    word(
+                        &mut out,
+                        i_type(0x0f, Reg::ZERO, *rt, (*imm >> 16) as u16),
+                        &mut pc,
+                    );
                     word(&mut out, i_type(0x0d, *rt, *rt, *imm as u16), &mut pc);
                 }
                 Ins::Move(rd, rs) => {
@@ -505,7 +513,10 @@ mod tests {
     fn duplicate_label_errors() {
         let mut a = Assembler::new(0);
         a.label("x").ins(Ins::Nop).label("x");
-        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

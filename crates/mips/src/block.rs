@@ -129,9 +129,19 @@ pub enum Op {
     /// `jal target`
     Jal { target: u32, nop: bool },
     /// `beq rs, rt, target`
-    Beq { rs: u8, rt: u8, target: u32, nop: bool },
+    Beq {
+        rs: u8,
+        rt: u8,
+        target: u32,
+        nop: bool,
+    },
     /// `bne rs, rt, target`
-    Bne { rs: u8, rt: u8, target: u32, nop: bool },
+    Bne {
+        rs: u8,
+        rt: u8,
+        target: u32,
+        nop: bool,
+    },
     /// `blez rs, target`
     Blez { rs: u8, target: u32, nop: bool },
     /// `bgtz rs, target`
@@ -177,7 +187,13 @@ pub enum Op {
     LiSyscall { rt: u8, hi: u32, val: u32 },
     /// Superinstruction: `addiu rt, rt, imm; bne rs, rt2, target; nop` —
     /// the loop-counter idiom. Retires 3.
-    CountBne { rt: u8, imm: u32, rs: u8, rt2: u8, target: u32 },
+    CountBne {
+        rt: u8,
+        imm: u32,
+        rs: u8,
+        rt2: u8,
+        target: u32,
+    },
     /// Superinstruction: two adjacent pure-ALU instructions in one
     /// dispatch. Retires 2; degrades to `a` alone when the budget
     /// covers only one instruction.
@@ -191,10 +207,24 @@ pub enum Op {
     /// `addiu d1, s1, imm; addu d2, s2, t2` (induction step plus a
     /// dependent arithmetic op): straight-line code, no per-component
     /// kind dispatch. Retires 2.
-    AddiuAddu { d1: u8, s1: u8, imm: u32, d2: u8, s2: u8, t2: u8 },
+    AddiuAddu {
+        d1: u8,
+        s1: u8,
+        imm: u32,
+        d2: u8,
+        s2: u8,
+        t2: u8,
+    },
     /// [`Op::AluBne`] specialized for `xor d, s, t; bne rs, rt, target;
     /// nop` — the stub's compare-and-loop back-edge. Retires 3.
-    XorBne { d: u8, s: u8, t: u8, rs: u8, rt: u8, target: u32 },
+    XorBne {
+        d: u8,
+        s: u8,
+        t: u8,
+        rs: u8,
+        rt: u8,
+        target: u32,
+    },
     /// The whole stub mix busy-loop body in one dispatch:
     /// `addiu d1, s1, imm; addu d2, s2, t2; xor d3, s3, t3;
     /// bne rs, rt, target; nop`. Retires 5 per trip, and when the bne
@@ -442,12 +472,26 @@ fn lower(inst: &Inst, nop: bool) -> Op {
         },
         0x02 => Op::J { target, nop },
         0x03 => Op::Jal { target, nop },
-        0x04 => Op::Beq { rs, rt, target, nop },
-        0x05 => Op::Bne { rs, rt, target, nop },
+        0x04 => Op::Beq {
+            rs,
+            rt,
+            target,
+            nop,
+        },
+        0x05 => Op::Bne {
+            rs,
+            rt,
+            target,
+            nop,
+        },
         0x06 => Op::Blez { rs, target, nop },
         0x07 => Op::Bgtz { rs, target, nop },
         0x08 | 0x09 => Op::Addiu { rt, rs, imm: sx },
-        0x0a => Op::Slti { rt, rs, imm: sx as i32 },
+        0x0a => Op::Slti {
+            rt,
+            rs,
+            imm: sx as i32,
+        },
         0x0b => Op::Sltiu { rt, rs, imm: sx },
         0x0c => Op::Andi { rt, rs, imm: zx },
         0x0d => Op::Ori { rt, rs, imm: zx },
@@ -1139,10 +1183,20 @@ impl Cpu {
                         }
                         idx += 1;
                     }
-                    Op::Beq { rs, rt, target, nop } => {
+                    Op::Beq {
+                        rs,
+                        rt,
+                        target,
+                        nop,
+                    } => {
                         control!(rr!(rs) == rr!(rt), target, nop);
                     }
-                    Op::Bne { rs, rt, target, nop } => {
+                    Op::Bne {
+                        rs,
+                        rt,
+                        target,
+                        nop,
+                    } => {
                         control!(rr!(rs) != rr!(rt), target, nop);
                     }
                     Op::Blez { rs, target, nop } => {
@@ -1322,7 +1376,9 @@ mod tests {
     #[test]
     fn li_syscall_superinstruction_yields_with_exact_state() {
         let code = asm(|a| {
-            a.ins(Ins::Li(Reg::V0, 4020)).ins(Ins::Syscall).ins(Ins::Break);
+            a.ins(Ins::Li(Reg::V0, 4020))
+                .ins(Ins::Syscall)
+                .ins(Ins::Break);
         });
         // Budgets 1 and 2 force partial execution of the fused prelude.
         for slice in [1, 2, 3, 100] {
@@ -1389,12 +1445,14 @@ mod tests {
     fn faults_match_oracle_exactly() {
         // Divide by zero.
         let code = asm(|a| {
-            a.ins(Ins::Li(Reg::T0, 1)).ins(Ins::Divu(Reg::T0, Reg::ZERO));
+            a.ins(Ins::Li(Reg::T0, 1))
+                .ins(Ins::Divu(Reg::T0, Reg::ZERO));
         });
         lockstep(code, 1000, false);
         // Unmapped load.
         let code = asm(|a| {
-            a.ins(Ins::Li(Reg::T0, 0x0666_0000)).ins(Ins::Lw(Reg::T1, Reg::T0, 0));
+            a.ins(Ins::Li(Reg::T0, 0x0666_0000))
+                .ins(Ins::Lw(Reg::T1, Reg::T0, 0));
         });
         lockstep(code, 1000, false);
         // Illegal instruction word.
@@ -1405,7 +1463,8 @@ mod tests {
         lockstep(code, 1000, false);
         // Store to read-only text.
         let code = asm(|a| {
-            a.ins(Ins::Li(Reg::T0, 0x0040_0000)).ins(Ins::Sw(Reg::T0, Reg::T0, 0));
+            a.ins(Ins::Li(Reg::T0, 0x0040_0000))
+                .ins(Ins::Sw(Reg::T0, Reg::T0, 0));
         });
         lockstep(code, 1000, false);
         // Run off the end of the segment.
@@ -1495,4 +1554,3 @@ mod tests {
         assert_eq!(cache.ops.last(), Some(&Op::Leave));
     }
 }
-

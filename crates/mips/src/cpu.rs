@@ -419,7 +419,8 @@ mod tests {
     #[test]
     fn zero_register_is_hardwired() {
         let cpu = run(|a| {
-            a.ins(Ins::Li(Reg::T0, 99)).ins(Ins::Addu(Reg::ZERO, Reg::T0, Reg::T0));
+            a.ins(Ins::Li(Reg::T0, 99))
+                .ins(Ins::Addu(Reg::ZERO, Reg::T0, Reg::T0));
         });
         assert_eq!(cpu.reg(0), 0);
     }
@@ -540,7 +541,8 @@ mod tests {
     fn divide_by_zero_faults() {
         let base = 0x0040_0000;
         let mut a = Assembler::new(base);
-        a.ins(Ins::Li(Reg::T0, 1)).ins(Ins::Divu(Reg::T0, Reg::ZERO));
+        a.ins(Ins::Li(Reg::T0, 1))
+            .ins(Ins::Divu(Reg::T0, Reg::ZERO));
         let code = a.assemble().unwrap();
         let mut mem = Memory::new();
         mem.map(base, code, false);

@@ -31,9 +31,7 @@ pub fn disassemble(word: u32, pc: u32) -> String {
     let funct = word & 0x3f;
     let imm = (word & 0xffff) as u16;
     let simm = imm as i16;
-    let btarget = pc
-        .wrapping_add(4)
-        .wrapping_add(((simm as i32) << 2) as u32);
+    let btarget = pc.wrapping_add(4).wrapping_add(((simm as i32) << 2) as u32);
     match op {
         0 => match funct {
             0x00 if word == 0 => "nop".to_string(),
@@ -380,7 +378,7 @@ mod tests {
         assert_eq!(decode(0x0000000c, 0).flow, Flow::Syscall);
         assert_eq!(decode(0x0000000d, 0).flow, Flow::Break);
         assert_eq!(decode(0x03e00008, 0).flow, Flow::JumpReg); // jr $ra
-        // lui is straight-line with the immediate visible.
+                                                               // lui is straight-line with the immediate visible.
         let lui = decode(0x3c08dead, 0);
         assert_eq!(lui.flow, Flow::Normal);
         assert_eq!(lui.op(), 0x0f);

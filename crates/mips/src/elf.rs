@@ -207,9 +207,8 @@ impl ElfFile {
             return Err(ElfError::NotElf("data encoding"));
         }
         let u16_at = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
-        let u32_at = |i: usize| {
-            u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
-        };
+        let u32_at =
+            |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         let machine = u16_at(18);
         if machine != EM_MIPS {
             return Err(ElfError::WrongMachine(machine));
@@ -366,11 +365,17 @@ mod tests {
         assert_eq!(ElfFile::parse(b"MZ").unwrap_err(), ElfError::Truncated);
         let mut bytes = sample().write();
         bytes[0] = 0;
-        assert_eq!(ElfFile::parse(&bytes).unwrap_err(), ElfError::NotElf("magic"));
+        assert_eq!(
+            ElfFile::parse(&bytes).unwrap_err(),
+            ElfError::NotElf("magic")
+        );
         let mut bytes = sample().write();
         bytes[18] = 0;
         bytes[19] = 62; // x86-64
-        assert_eq!(ElfFile::parse(&bytes).unwrap_err(), ElfError::WrongMachine(62));
+        assert_eq!(
+            ElfFile::parse(&bytes).unwrap_err(),
+            ElfError::WrongMachine(62)
+        );
     }
 
     #[test]

@@ -124,9 +124,7 @@ impl Memory {
     pub fn segment_span(&self, addr: u32) -> Option<(u32, u32, bool)> {
         self.segments
             .iter()
-            .find(|s| {
-                addr >= s.base && u64::from(addr) < s.base as u64 + s.data.len() as u64
-            })
+            .find(|s| addr >= s.base && u64::from(addr) < s.base as u64 + s.data.len() as u64)
             .map(|s| (s.base, s.data.len() as u32, s.writable))
     }
 
@@ -163,7 +161,12 @@ impl Memory {
         }
         let (i, off) = self.seg(addr, 4)?;
         let d = &self.segments[i].data;
-        Ok(u32::from_be_bytes([d[off], d[off + 1], d[off + 2], d[off + 3]]))
+        Ok(u32::from_be_bytes([
+            d[off],
+            d[off + 1],
+            d[off + 2],
+            d[off + 3],
+        ]))
     }
 
     /// Write one byte.
@@ -291,8 +294,14 @@ mod tests {
     #[test]
     fn misaligned_faults() {
         let m = mem();
-        assert!(matches!(m.read_u32(0x1001), Err(MemError::Misaligned { .. })));
-        assert!(matches!(m.read_u16(0x1001), Err(MemError::Misaligned { .. })));
+        assert!(matches!(
+            m.read_u32(0x1001),
+            Err(MemError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.read_u16(0x1001),
+            Err(MemError::Misaligned { .. })
+        ));
     }
 
     #[test]

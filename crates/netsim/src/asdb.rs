@@ -131,7 +131,9 @@ impl AsRecord {
 #[derive(Debug, Clone, Default)]
 pub struct AsDb {
     records: Vec<AsRecord>,
+    // Lookup-only indexes into `records`; never iterated. lint: hash-ok
     by_asn: HashMap<u32, usize>,
+    // Per-AS allocation cursor, entry-accessed by ASN only. lint: hash-ok
     alloc_cursor: HashMap<u32, u32>,
 }
 
@@ -262,7 +264,13 @@ pub fn standard_internet(
     let big = [
         ("Google LLC", 15169u32, "US", AsKind::Business, true),
         ("Amazon.com Inc", 16509, "US", AsKind::Business, true),
-        ("Hangzhou Alibaba Advertising", 37963, "CN", AsKind::Business, true),
+        (
+            "Hangzhou Alibaba Advertising",
+            37963,
+            "CN",
+            AsKind::Business,
+            true,
+        ),
         ("Roblox", 22697, "US", AsKind::Business, false),
         ("NFOservers", 14586, "US", AsKind::GamingHosting, false),
     ];
@@ -310,7 +318,13 @@ pub fn standard_internet(
     };
     synth(&mut db, extra_hosting, AsKind::Hosting, 60_000, "HostCo");
     synth(&mut db, extra_isp, AsKind::Isp, 61_000, "TelcoNet");
-    synth(&mut db, extra_gaming, AsKind::GamingHosting, 62_000, "GameHost");
+    synth(
+        &mut db,
+        extra_gaming,
+        AsKind::GamingHosting,
+        62_000,
+        "GameHost",
+    );
     synth(&mut db, extra_business, AsKind::Business, 63_000, "BizCorp");
     db
 }

@@ -75,6 +75,8 @@ impl DnsFaults {
 
 #[derive(Debug, Default)]
 struct ZoneData {
+    // Point queries only (insert/remove/get/len); answers come from the
+    // per-name Vec, so hash order is unobservable. lint: hash-ok
     records: HashMap<DomainName, Vec<Ipv4Addr>>,
     queries_served: u64,
 }
@@ -164,12 +166,8 @@ impl Service for DnsService {
         }
         let reply = match injected {
             Some(DnsFailure::Drop) => return,
-            Some(DnsFailure::ServFail) => {
-                DnsMessage::servfail(query.id, query.question.clone())
-            }
-            Some(DnsFailure::NxDomain) => {
-                DnsMessage::nxdomain(query.id, query.question.clone())
-            }
+            Some(DnsFailure::ServFail) => DnsMessage::servfail(query.id, query.question.clone()),
+            Some(DnsFailure::NxDomain) => DnsMessage::nxdomain(query.id, query.question.clone()),
             None => match self.zone.lookup(&query.question) {
                 Some(addrs) if !addrs.is_empty() => {
                     DnsMessage::answer(query.id, query.question.clone(), &addrs)

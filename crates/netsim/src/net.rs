@@ -182,11 +182,20 @@ struct HostEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     Deliver,
-    Timer { host: Ipv4Addr, token: u64 },
-    ConnectTimeout { host: Ipv4Addr, sock: SockId },
+    Timer {
+        host: Ipv4Addr,
+        token: u64,
+    },
+    ConnectTimeout {
+        host: Ipv4Addr,
+        sock: SockId,
+    },
     /// Scheduled host up/down transition (chaos layer: C2 downtime
     /// windows). Dispatch calls [`Network::set_host_up`].
-    HostState { host: Ipv4Addr, up: bool },
+    HostState {
+        host: Ipv4Addr,
+        up: bool,
+    },
 }
 
 struct QueuedEvent {
@@ -233,6 +242,8 @@ pub struct Network {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
+    // Point queries by IP only; event order comes from the queue, never
+    // from host-table iteration. lint: hash-ok
     hosts: HashMap<Ipv4Addr, HostEntry>,
     /// Fault model applied to every link.
     pub faults: LinkFaults,
@@ -290,7 +301,7 @@ impl Network {
             now: start,
             seq: 0,
             queue: BinaryHeap::new(),
-            hosts: HashMap::new(),
+            hosts: HashMap::new(), // lookup-only, see field. lint: hash-ok
             faults: LinkFaults::default(),
             dns_faults: crate::dns::DnsFaults::default(),
             rng: StdRng::seed_from_u64(seed ^ 0x6d61_6c6e_6574),
@@ -603,7 +614,14 @@ impl Network {
     }
 
     /// Send UDP from an external host.
-    pub fn ext_udp_send(&mut self, ip: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, data: Vec<u8>) {
+    pub fn ext_udp_send(
+        &mut self,
+        ip: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        data: Vec<u8>,
+    ) {
         self.with_external(ip, |s| {
             let p = s.udp_send(sport, dst, dport, data);
             ((), vec![p])

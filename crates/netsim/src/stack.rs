@@ -7,7 +7,7 @@
 //! [`HostStack::handle_packet`], which returns reply packets plus a list
 //! of [`SockEvent`]s for the application.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 use malnet_wire::icmp::IcmpMessage;
@@ -120,10 +120,12 @@ pub struct HostStack {
     next_sock: u64,
     next_ephemeral: u16,
     iss: u32,
-    listeners: HashSet<u16>,
-    udp_binds: HashSet<u16>,
-    conns: HashMap<ConnKey, (SockId, TcpConn)>,
-    by_sock: HashMap<SockId, ConnKey>,
+    // Ordered maps: `abort_all` walks `conns`, and event emission order
+    // must not depend on per-process hasher state.
+    listeners: BTreeSet<u16>,
+    udp_binds: BTreeSet<u16>,
+    conns: BTreeMap<ConnKey, (SockId, TcpConn)>,
+    by_sock: BTreeMap<SockId, ConnKey>,
     /// When true, closed UDP ports elicit ICMP port-unreachable and closed
     /// TCP ports elicit RST (a "live host"). When false the stack is
     /// silent, which the network uses to model firewalled hosts.
@@ -138,10 +140,10 @@ impl HostStack {
             next_sock: 1,
             next_ephemeral: 32768,
             iss: (u32::from(ip)).wrapping_mul(2654435761),
-            listeners: HashSet::new(),
-            udp_binds: HashSet::new(),
-            conns: HashMap::new(),
-            by_sock: HashMap::new(),
+            listeners: BTreeSet::new(),
+            udp_binds: BTreeSet::new(),
+            conns: BTreeMap::new(),
+            by_sock: BTreeMap::new(),
             responds_when_closed: true,
         }
     }
@@ -312,20 +314,16 @@ impl HostStack {
     }
 
     /// Abort every connection, returning the RST notifications for the
-    /// peers in canonical `(local port, peer ip, peer port)` order (the
-    /// sort makes the emission order — and therefore network event
-    /// ordering — independent of `HashMap` iteration). Used by
+    /// peers in canonical `(local port, peer ip, peer port)` order —
+    /// `conns` is a `BTreeMap`, so draining it yields exactly that
+    /// order with no explicit sort. Used by
     /// `Network::set_host_up(_, false)` so a dying host's peers are not
     /// left with dangling TCP state.
     pub fn abort_all(&mut self) -> Vec<Packet> {
-        let mut keys: Vec<ConnKey> = self.conns.keys().copied().collect();
-        keys.sort_unstable();
         let mut out = Vec::new();
-        for key in keys {
-            if let Some((_, mut conn)) = self.conns.remove(&key) {
-                if let Some(rst) = conn.abort() {
-                    out.push(rst);
-                }
+        for (_, (_, mut conn)) in std::mem::take(&mut self.conns) {
+            if let Some(rst) = conn.abort() {
+                out.push(rst);
             }
         }
         self.by_sock.clear();
@@ -428,7 +426,8 @@ impl HostStack {
                     });
                 } else if self.responds_when_closed {
                     let mut original = Vec::with_capacity(32);
-                    original.extend_from_slice(&pkt.encode_ipv4()[..28.min(pkt.encode_ipv4().len())]);
+                    original
+                        .extend_from_slice(&pkt.encode_ipv4()[..28.min(pkt.encode_ipv4().len())]);
                     out.replies.push(Packet::icmp(
                         self.ip,
                         pkt.src,
@@ -473,7 +472,11 @@ mod tests {
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
     /// Shuttle packets between two stacks until quiescent, collecting events.
-    fn pump(a: &mut HostStack, b: &mut HostStack, initial: Vec<Packet>) -> Vec<(Ipv4Addr, SockEvent)> {
+    fn pump(
+        a: &mut HostStack,
+        b: &mut HostStack,
+        initial: Vec<Packet>,
+    ) -> Vec<(Ipv4Addr, SockEvent)> {
         let mut events = Vec::new();
         let mut inflight = initial;
         let mut guard = 0;
@@ -513,7 +516,8 @@ mod tests {
         let events = pump(&mut client, &mut server, data);
         assert!(events
             .iter()
-            .any(|(ip, e)| *ip == B && matches!(e, SockEvent::TcpData { data, .. } if data == b"ping")));
+            .any(|(ip, e)| *ip == B
+                && matches!(e, SockEvent::TcpData { data, .. } if data == b"ping")));
     }
 
     #[test]

@@ -82,7 +82,14 @@ impl TcpConn {
             bytes_out: 0,
         };
         let syn = Packet::tcp(
-            local.0, local.1, remote.0, remote.1, iss, 0, TcpFlags::SYN, vec![],
+            local.0,
+            local.1,
+            remote.0,
+            remote.1,
+            iss,
+            0,
+            TcpFlags::SYN,
+            vec![],
         );
         (conn, syn)
     }
@@ -313,7 +320,10 @@ mod tests {
         let (h, p) = hdr_of(&segs[0]);
         assert!(h.flags.psh() && h.flags.ack());
         let (acks, evs) = server.on_segment(&h, &p);
-        assert_eq!(evs, vec![TcpEvent::Data(b"GET / HTTP/1.0\r\n\r\n".to_vec())]);
+        assert_eq!(
+            evs,
+            vec![TcpEvent::Data(b"GET / HTTP/1.0\r\n\r\n".to_vec())]
+        );
         assert_eq!(acks.len(), 1);
         let (ah, _) = hdr_of(&acks[0]);
         assert_eq!(ah.ack, h.seq.wrapping_add(p.len() as u32));

@@ -137,7 +137,14 @@ impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let day = self.day();
         let s = self.secs_into_day();
-        write!(f, "d{:03} {:02}:{:02}:{:02}", day, s / 3600, (s / 60) % 60, s % 60)
+        write!(
+            f,
+            "d{:03} {:02}:{:02}:{:02}",
+            day,
+            s / 3600,
+            (s / 60) % 60,
+            s % 60
+        )
     }
 }
 

@@ -135,8 +135,12 @@ impl Standard for f32 {
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draw uniformly from `lo..hi` (`inclusive = false`) or `lo..=hi`
     /// (`inclusive = true`). The caller guarantees a non-empty range.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

@@ -296,7 +296,8 @@ fn regex_lite_generate(pattern: &str, rng: &mut StdRng) -> String {
                 let close = chars[i..]
                     .iter()
                     .position(|&c| c == ']')
-                    .expect("unclosed class") + i;
+                    .expect("unclosed class")
+                    + i;
                 let mut set = Vec::new();
                 let mut j = i + 1;
                 while j < close {
@@ -342,7 +343,8 @@ fn regex_lite_generate(pattern: &str, rng: &mut StdRng) -> String {
                     let close = chars[i..]
                         .iter()
                         .position(|&c| c == '}')
-                        .expect("unclosed quantifier") + i;
+                        .expect("unclosed quantifier")
+                        + i;
                     let body: String = chars[i + 1..close].iter().collect();
                     i = close + 1;
                     match body.split_once(',') {
@@ -371,7 +373,7 @@ fn regex_lite_generate(pattern: &str, rng: &mut StdRng) -> String {
 
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use malnet_prng::Rng;
 
     /// Element-count specification: a fixed size or a half-open range.
@@ -390,13 +392,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
         }
     }
 
@@ -408,7 +416,10 @@ pub mod collection {
 
     /// Vectors of values drawn from `elem`, with length in `size`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -427,13 +438,13 @@ pub mod strategy {
 
 /// Everything the tests import.
 pub mod prelude {
-    /// The `prop` namespace alias real proptest's prelude provides
-    /// (`prop::sample::Index`, `prop::collection::vec`, ...).
-    pub use crate as prop;
     pub use super::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
         BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
+    /// The `prop` namespace alias real proptest's prelude provides
+    /// (`prop::sample::Index`, `prop::collection::vec`, ...).
+    pub use crate as prop;
 }
 
 /// Define property tests. Each `fn name(pat in strategy, ...) { body }`

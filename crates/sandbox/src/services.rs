@@ -1,6 +1,6 @@
 //! Fake-endpoint services the sandbox spins up on demand.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::{Arc, Mutex};
 
@@ -31,7 +31,7 @@ pub struct FakeVictim {
     ip: Ipv4Addr,
     ports: Vec<u16>,
     log: VictimLog,
-    got: HashMap<malnet_netsim::stack::SockId, bool>,
+    got: BTreeMap<malnet_netsim::stack::SockId, bool>,
 }
 
 impl FakeVictim {
@@ -41,7 +41,7 @@ impl FakeVictim {
             ip,
             ports,
             log,
-            got: HashMap::new(),
+            got: BTreeMap::new(),
         }
     }
 }
@@ -56,7 +56,7 @@ impl Service for FakeVictim {
     fn on_event(&mut self, ctx: &mut ServiceCtx<'_>, ev: SockEvent) {
         match ev {
             SockEvent::TcpData { sock, data } => {
-                if let std::collections::hash_map::Entry::Vacant(e) = self.got.entry(sock) {
+                if let std::collections::btree_map::Entry::Vacant(e) = self.got.entry(sock) {
                     e.insert(true);
                     let port = ctx.stack.local_port(sock).unwrap_or(0);
                     self.log.lock().unwrap().push(VictimCapture {
@@ -147,7 +147,10 @@ impl Service for WildcardDns {
         if q.is_response {
             return;
         }
-        self.queried.lock().unwrap().push(q.question.as_str().to_string());
+        self.queried
+            .lock()
+            .unwrap()
+            .push(q.question.as_str().to_string());
         // Fault injection (chaos layer): the fake resolver honours the
         // network's DNS fault policy exactly like the world resolver —
         // the name is still logged as evidence, but the bot may get no
@@ -165,9 +168,7 @@ impl Service for WildcardDns {
             Some(malnet_netsim::dns::DnsFailure::NxDomain) => {
                 malnet_wire::dns::DnsMessage::nxdomain(q.id, q.question.clone())
             }
-            None => {
-                malnet_wire::dns::DnsMessage::answer(q.id, q.question.clone(), &[self.answer])
-            }
+            None => malnet_wire::dns::DnsMessage::answer(q.id, q.question.clone(), &[self.answer]),
         };
         ctx.udp_send(53, src.0, src.1, reply.encode());
     }
@@ -187,11 +188,18 @@ mod tests {
     fn fake_victim_records_first_payload() {
         let log: VictimLog = Arc::default();
         let mut net = Network::new(SimTime::EPOCH, 5);
-        net.add_service_host(FAKE, Box::new(FakeVictim::new(FAKE, vec![8080], log.clone())));
+        net.add_service_host(
+            FAKE,
+            Box::new(FakeVictim::new(FAKE, vec![8080], log.clone())),
+        );
         net.add_external_host(BOT);
         let sock = net.ext_tcp_connect(BOT, FAKE, 8080);
         net.run_for(SimDuration::from_secs(1));
-        net.ext_tcp_send(BOT, sock, b"POST /GponForm/diag_Form HTTP/1.1\r\n\r\nXWebPageName=diag");
+        net.ext_tcp_send(
+            BOT,
+            sock,
+            b"POST /GponForm/diag_Form HTTP/1.1\r\n\r\nXWebPageName=diag",
+        );
         net.run_for(SimDuration::from_secs(2));
         let log = log.lock().unwrap();
         assert_eq!(log.len(), 1);

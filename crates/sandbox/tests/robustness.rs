@@ -71,7 +71,10 @@ fn spinning_binary_hits_instruction_budget() {
 #[test]
 fn segfaulting_binary_reports_fault() {
     // lw from unmapped memory.
-    let elf = elf_from(vec![Ins::Li(Reg::T0, 0xdead_0000), Ins::Lw(Reg::T1, Reg::T0, 0)]);
+    let elf = elf_from(vec![
+        Ins::Li(Reg::T0, 0xdead_0000),
+        Ins::Lw(Reg::T1, Reg::T0, 0),
+    ]);
     let mut sb = sandbox();
     let art = sb.execute(&elf, SimDuration::from_secs(5));
     match art.exit {
@@ -123,7 +126,10 @@ fn weaponized_mode_redirects_every_connect() {
         .ins(Ins::Syscall)
         .ins(Ins::Move(Reg::S0, Reg::V0))
         // build sockaddr for 1.2.3.4:9999 on the stack
-        .ins(Ins::Li(Reg::T0, u32::from(sys::AF_INET as u16) << 16 | 9999))
+        .ins(Ins::Li(
+            Reg::T0,
+            u32::from(sys::AF_INET as u16) << 16 | 9999,
+        ))
         .ins(Ins::Sw(Reg::T0, Reg::SP, 32))
         .ins(Ins::Li(Reg::T1, u32::from(Ipv4Addr::new(1, 2, 3, 4))))
         .ins(Ins::Sw(Reg::T1, Reg::SP, 36))
@@ -166,7 +172,9 @@ fn weaponized_mode_redirects_every_connect() {
         "SYN must go to the probe target: {packets:?}"
     );
     assert!(
-        !packets.iter().any(|(_, p)| p.dst == Ipv4Addr::new(1, 2, 3, 4)),
+        !packets
+            .iter()
+            .any(|(_, p)| p.dst == Ipv4Addr::new(1, 2, 3, 4)),
         "original C2 must never be contacted"
     );
 }
@@ -201,7 +209,10 @@ fn deadline_is_enforced_during_sleep() {
     let mut sb = sandbox();
     let start = sb.net.now();
     let art = sb.execute(&elf, SimDuration::from_secs(5));
-    assert!(matches!(art.exit, ExitReason::Deadline | ExitReason::Budget));
+    assert!(matches!(
+        art.exit,
+        ExitReason::Deadline | ExitReason::Budget
+    ));
     let elapsed = sb.net.now().since(start);
     assert!(elapsed <= SimDuration::from_secs(6), "{elapsed:?}");
 }

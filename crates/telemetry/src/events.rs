@@ -267,7 +267,11 @@ pub fn parse_event_line(line: &str) -> Result<Event, String> {
         let parsed = match value {
             Value::Int(n) => FieldValue::U64(*n),
             Value::Str(s) => FieldValue::Str(s.clone()),
-            other => return Err(format!("field {name:?} is neither u64 nor string: {other:?}")),
+            other => {
+                return Err(format!(
+                    "field {name:?} is neither u64 nor string: {other:?}"
+                ))
+            }
         };
         fields.push((name.clone(), parsed));
     }
@@ -400,9 +404,9 @@ pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
             "counters" => {
                 let mut snapshot: Vec<(String, u64)> = Vec::with_capacity(ev.fields.len());
                 for (name, value) in &ev.fields {
-                    let n = value.as_u64().ok_or(format!(
-                        "line {lineno}: counter {name:?} is not an integer"
-                    ))?;
+                    let n = value
+                        .as_u64()
+                        .ok_or(format!("line {lineno}: counter {name:?} is not an integer"))?;
                     snapshot.push((name.clone(), n));
                 }
                 for (name, prev) in &last_counters {
@@ -561,7 +565,10 @@ mod tests {
             sink.emit(
                 "heartbeat",
                 None,
-                &[("day", field_u(day)), ("samples_completed", field_u(day + 1))],
+                &[
+                    ("day", field_u(day)),
+                    ("samples_completed", field_u(day + 1)),
+                ],
             );
             sink.emit(
                 "rollup",
@@ -592,7 +599,9 @@ mod tests {
         let sink = EventSink::in_memory();
         sink.emit("day_start", None, &[("day", field_u(0))]);
         let text = sink.contents().unwrap();
-        assert!(validate_stream(&text).unwrap_err().contains("not terminated"));
+        assert!(validate_stream(&text)
+            .unwrap_err()
+            .contains("not terminated"));
 
         // Sequence gap (drop a middle line).
         let sink = EventSink::in_memory();
@@ -600,7 +609,12 @@ mod tests {
         sink.emit("day_start", None, &[("day", field_u(1))]);
         sink.finish();
         let full = sink.contents().unwrap();
-        let cut: Vec<&str> = full.lines().enumerate().filter(|(i, _)| *i != 1).map(|(_, l)| l).collect();
+        let cut: Vec<&str> = full
+            .lines()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, l)| l)
+            .collect();
         assert!(validate_stream(&cut.join("\n"))
             .unwrap_err()
             .contains("sequence gap"));

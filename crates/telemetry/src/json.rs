@@ -256,9 +256,7 @@ impl Parser<'_> {
                             );
                             self.pos += 4;
                         }
-                        other => {
-                            return Err(format!("bad escape {:?}", other.map(|c| c as char)))
-                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
                     }
                     self.pos += 1;
                 }

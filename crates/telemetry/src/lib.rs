@@ -276,10 +276,7 @@ impl Telemetry {
         if let Some(r) = &self.inner {
             r.rollups.lock().unwrap().push(RollupRow {
                 key: key.to_string(),
-                fields: fields
-                    .iter()
-                    .map(|(k, v)| (k.to_string(), *v))
-                    .collect(),
+                fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             });
             if let Some(sink) = &r.events {
                 let streamed: Vec<(&str, Field<'_>)> =
@@ -418,7 +415,9 @@ impl Histogram {
 
     /// Observations recorded so far (0 when disabled).
     pub fn count(&self) -> u64 {
-        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
     }
 }
 
@@ -584,7 +583,9 @@ impl Registry {
             });
         }
         for (name, c) in self.counters.lock().unwrap().iter() {
-            report.counters.push((name.clone(), c.load(Ordering::Relaxed)));
+            report
+                .counters
+                .push((name.clone(), c.load(Ordering::Relaxed)));
         }
         for (name, h) in self.histograms.lock().unwrap().iter() {
             let count = h.count.load(Ordering::Relaxed);
@@ -614,9 +615,7 @@ impl Registry {
             });
         }
         for row in self.rollups.lock().unwrap().iter() {
-            report
-                .rollups
-                .push((row.key.clone(), row.fields.clone()));
+            report.rollups.push((row.key.clone(), row.fields.clone()));
         }
         report
     }
@@ -803,7 +802,10 @@ mod tests {
         let worker = rep.span("worker").unwrap();
         assert_eq!(worker.calls, 2);
         assert_eq!(worker.parent.as_deref(), Some("coord"));
-        assert_eq!(rep.span("worker.child").unwrap().parent.as_deref(), Some("worker"));
+        assert_eq!(
+            rep.span("worker.child").unwrap().parent.as_deref(),
+            Some("worker")
+        );
         // Worker elapsed IS attributed to the coordinator's child time
         // now, so its self-time is strictly below its wall total.
         let coord = rep.span("coord").unwrap();
@@ -849,7 +851,10 @@ mod tests {
             }
         }
         let rep = tel.report();
-        assert_eq!(rep.span("seq.worker").unwrap().parent.as_deref(), Some("seq.coord"));
+        assert_eq!(
+            rep.span("seq.worker").unwrap().parent.as_deref(),
+            Some("seq.coord")
+        );
         let coord = rep.span("seq.coord").unwrap();
         assert!(coord.self_us < coord.total_us);
     }

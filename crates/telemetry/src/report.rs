@@ -218,7 +218,9 @@ impl RunReport {
             });
         }
         for c in arr("counters")? {
-            report.counters.push((str_of(c, "name")?, u64_of(c, "value")?));
+            report
+                .counters
+                .push((str_of(c, "name")?, u64_of(c, "value")?));
         }
         for h in arr("histograms")? {
             let mut buckets = Vec::new();
@@ -361,8 +363,7 @@ mod tests {
         // Wrong schema/version are rejected.
         assert!(RunReport::from_json("{\"schema\":\"x\",\"version\":1}").is_err());
         assert!(
-            RunReport::from_json(&rep.to_json().replace("\"version\":1", "\"version\":2"))
-                .is_err()
+            RunReport::from_json(&rep.to_json().replace("\"version\":1", "\"version\":2")).is_err()
         );
     }
 
@@ -373,7 +374,10 @@ mod tests {
         assert!(rep.span("missing").is_none());
         assert_eq!(rep.counter("netsim.packets_delivered"), Some(42));
         assert_eq!(rep.counter("missing"), None);
-        assert_eq!(rep.histogram("sandbox.instructions_per_run").unwrap().max, 8);
+        assert_eq!(
+            rep.histogram("sandbox.instructions_per_run").unwrap().max,
+            8
+        );
     }
 
     #[test]

@@ -139,7 +139,12 @@ mod tests {
         assert_eq!(dur("root"), 100);
         assert_eq!(dur("root.b"), 50);
         assert_eq!(
-            find("root").get("args").unwrap().get("calls").unwrap().as_u64(),
+            find("root")
+                .get("args")
+                .unwrap()
+                .get("calls")
+                .unwrap()
+                .as_u64(),
             Some(1)
         );
         // The export is a pure function of the report.
@@ -162,10 +167,10 @@ mod tests {
     fn cycles_and_dangling_parents_do_not_hang_or_drop_spans() {
         let report = RunReport {
             spans: vec![
-                span("self", 10, Some("self")),       // degenerate self-parent
-                span("x", 10, Some("y")),             // 2-cycle
+                span("self", 10, Some("self")), // degenerate self-parent
+                span("x", 10, Some("y")),       // 2-cycle
                 span("y", 10, Some("x")),
-                span("orphan", 10, Some("missing")),  // dangling parent
+                span("orphan", 10, Some("missing")), // dangling parent
             ],
             ..RunReport::default()
         };
@@ -178,7 +183,10 @@ mod tests {
     fn empty_report_exports_an_empty_event_list() {
         let v = json::parse(&chrome_trace(&RunReport::default())).unwrap();
         assert_eq!(
-            v.get("traceEvents").and_then(|a| a.as_array()).unwrap().len(),
+            v.get("traceEvents")
+                .and_then(|a| a.as_array())
+                .unwrap()
+                .len(),
             0
         );
     }

@@ -30,7 +30,12 @@ fn powers_of_two_open_new_buckets_and_predecessors_close_them() {
     // value of bucket k. Exercise every boundary the encoding has.
     for k in 0..63u32 {
         let v = 1u64 << k;
-        assert_eq!(bucket_index(v), k as usize + 1, "2^{k} opens bucket {}", k + 1);
+        assert_eq!(
+            bucket_index(v),
+            k as usize + 1,
+            "2^{k} opens bucket {}",
+            k + 1
+        );
         assert_eq!(
             bucket_index(v - 1),
             if v == 1 { 0 } else { k as usize },
@@ -62,12 +67,12 @@ fn recorded_boundary_values_land_in_documented_buckets() {
     assert_eq!(
         hr.buckets,
         vec![
-            (0, 1),                  // 0
-            (1, 1),                  // 1
-            (3, 1),                  // 2
-            (7, 1),                  // 4
-            ((1u64 << 33) - 1, 1),   // 2^32
-            (u64::MAX, 2),           // 2^63 and u64::MAX share the top
+            (0, 1),                // 0
+            (1, 1),                // 1
+            (3, 1),                // 2
+            (7, 1),                // 4
+            ((1u64 << 33) - 1, 1), // 2^32
+            (u64::MAX, 2),         // 2^63 and u64::MAX share the top
         ]
     );
     assert_eq!(hr.count, 7);
@@ -103,7 +108,10 @@ fn extreme_buckets_render_losslessly_through_json() {
     let v = json::parse(&json_text).expect("parses");
     let hists = v.get("histograms").and_then(|a| a.as_array()).unwrap();
     let buckets = hists[0].get("buckets").and_then(|a| a.as_array()).unwrap();
-    assert_eq!(buckets[1].get("le").and_then(|n| n.as_u64()), Some(u64::MAX));
+    assert_eq!(
+        buckets[1].get("le").and_then(|n| n.as_u64()),
+        Some(u64::MAX)
+    );
     let back = RunReport::from_json(&json_text).expect("roundtrips");
     assert_eq!(back, report);
     assert_eq!(back.histogram("extreme").unwrap().max, u64::MAX);

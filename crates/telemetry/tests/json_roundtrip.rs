@@ -39,23 +39,31 @@ fn arb_span() -> impl Strategy<Value = SpanReport> {
         prop_oneof![Just(true), Just(false)],
         arb_name(),
     )
-        .prop_map(|(name, calls, total_us, self_us, has_parent, parent)| SpanReport {
-            name,
-            calls,
-            total_us,
-            self_us,
-            parent: has_parent.then_some(parent),
-        })
+        .prop_map(
+            |(name, calls, total_us, self_us, has_parent, parent)| SpanReport {
+                name,
+                calls,
+                total_us,
+                self_us,
+                parent: has_parent.then_some(parent),
+            },
+        )
 }
 
 fn arb_histogram() -> impl Strategy<Value = HistogramReport> {
     (
-        (arb_name(), arb_value(), arb_value(), arb_value(), arb_value()),
+        (
+            arb_name(),
+            arb_value(),
+            arb_value(),
+            arb_value(),
+            arb_value(),
+        ),
         (arb_value(), arb_value(), arb_value()),
         prop::collection::vec((arb_value(), arb_value()), 0..5),
     )
-        .prop_map(|((name, count, sum, min, max), (p50, p90, p99), buckets)| {
-            HistogramReport {
+        .prop_map(
+            |((name, count, sum, min, max), (p50, p90, p99), buckets)| HistogramReport {
                 name,
                 count,
                 sum,
@@ -65,8 +73,8 @@ fn arb_histogram() -> impl Strategy<Value = HistogramReport> {
                 p90,
                 p99,
                 buckets,
-            }
-        })
+            },
+        )
 }
 
 fn arb_report() -> impl Strategy<Value = RunReport> {
@@ -75,7 +83,10 @@ fn arb_report() -> impl Strategy<Value = RunReport> {
         prop::collection::vec((arb_name(), arb_value()), 0..6),
         prop::collection::vec(arb_histogram(), 0..3),
         prop::collection::vec(
-            (arb_name(), prop::collection::vec((arb_name(), arb_value()), 0..4)),
+            (
+                arb_name(),
+                prop::collection::vec((arb_name(), arb_value()), 0..4),
+            ),
             0..4,
         ),
     )

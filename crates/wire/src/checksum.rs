@@ -102,7 +102,12 @@ mod tests {
     #[test]
     fn pseudo_header_matches_manual_sum() {
         let mut a = Checksum::new();
-        a.push_pseudo_header(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6, 20);
+        a.push_pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            6,
+            20,
+        );
         let mut b = Checksum::new();
         b.push(&[10, 0, 0, 1, 10, 0, 0, 2, 0, 6, 0, 20]);
         assert_eq!(a.finish(), b.finish());

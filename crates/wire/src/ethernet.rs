@@ -89,6 +89,7 @@ impl EthernetFrame {
             dst: MacAddr(dst),
             src: MacAddr(src),
             ethertype,
+            // Guarded: len >= HEADER_LEN checked on entry. lint: index-ok
             payload: data[HEADER_LEN..].to_vec(),
         })
     }
@@ -114,7 +115,13 @@ mod tests {
     #[test]
     fn truncated_header_rejected() {
         let err = EthernetFrame::decode(&[0u8; 13]).unwrap_err();
-        assert!(matches!(err, WireError::Truncated { layer: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            WireError::Truncated {
+                layer: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

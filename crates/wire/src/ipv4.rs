@@ -91,6 +91,7 @@ impl Ipv4Header {
         out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(&self.src.octets());
         out.extend_from_slice(&self.dst.octets());
+        // Encode path: `out` was just built HEADER_LEN long. lint: index-ok
         let c = checksum::checksum(&out[..HEADER_LEN]);
         out[10..12].copy_from_slice(&c.to_be_bytes());
         out.extend_from_slice(payload);
@@ -131,6 +132,7 @@ impl Ipv4Header {
                 got: data.len(),
             });
         }
+        // Guarded: len >= ihl checked just above. lint: index-ok
         if !checksum::verify(&data[..ihl]) {
             return Err(WireError::BadChecksum { layer: "ipv4" });
         }
@@ -151,6 +153,7 @@ impl Ipv4Header {
             ident: u16::from_be_bytes([data[4], data[5]]),
             total_len,
         };
+        // Guarded: ihl <= tl <= len established above. lint: index-ok
         Ok((hdr, &data[ihl..tl]))
     }
 
@@ -204,7 +207,10 @@ mod tests {
         bytes[0] = 0x65;
         assert!(matches!(
             Ipv4Header::decode(&bytes).unwrap_err(),
-            WireError::Unsupported { what: "version", .. }
+            WireError::Unsupported {
+                what: "version",
+                ..
+            }
         ));
     }
 

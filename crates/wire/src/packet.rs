@@ -240,18 +240,24 @@ impl Packet {
         match &self.transport {
             Transport::Tcp { header, payload } => format!(
                 "TCP {}:{} > {}:{} [{}] len={}",
-                self.src, header.src_port, self.dst, header.dst_port, header.flags, payload.len()
+                self.src,
+                header.src_port,
+                self.dst,
+                header.dst_port,
+                header.flags,
+                payload.len()
             ),
             Transport::Udp { header, payload } => format!(
                 "UDP {}:{} > {}:{} len={}",
-                self.src, header.src_port, self.dst, header.dst_port, payload.len()
-            ),
-            Transport::Icmp(msg) => format!(
-                "ICMP {} > {} type={}",
                 self.src,
+                header.src_port,
                 self.dst,
-                msg.icmp_type()
+                header.dst_port,
+                payload.len()
             ),
+            Transport::Icmp(msg) => {
+                format!("ICMP {} > {} type={}", self.src, self.dst, msg.icmp_type())
+            }
         }
     }
 }

@@ -87,7 +87,8 @@ impl<W: Write> PcapWriter<W> {
         self.inner.write_all(frame)?;
         self.packets_written += 1;
         self.records_encoded.incr();
-        self.bytes_encoded.add(RECORD_HEADER_LEN + frame.len() as u64);
+        self.bytes_encoded
+            .add(RECORD_HEADER_LEN + frame.len() as u64);
         Ok(())
     }
 
@@ -147,6 +148,7 @@ impl<R: Read> PcapReader<R> {
             }
         };
         let u32_at = |b: &[u8; 24], i: usize| {
+            // Fixed 24-byte array; callers pass i <= 20. lint: index-ok
             let v = [b[i], b[i + 1], b[i + 2], b[i + 3]];
             if swapped {
                 u32::from_be_bytes(v)
@@ -185,6 +187,7 @@ impl<R: Read> PcapReader<R> {
         }
         read_exact(&mut self.inner, &mut rec[1..], "pcap record header")?;
         let u32_at = |b: &[u8; 16], i: usize| {
+            // Fixed 16-byte array; callers pass i <= 12. lint: index-ok
             let v = [b[i], b[i + 1], b[i + 2], b[i + 3]];
             if self.swapped {
                 u32::from_be_bytes(v)

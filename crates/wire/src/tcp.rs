@@ -134,11 +134,7 @@ impl TcpHeader {
 
     /// Parse a TCP segment, verifying the pseudo-header checksum, and
     /// return the header plus payload slice.
-    pub fn decode(
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        data: &[u8],
-    ) -> Result<(Self, &[u8]), WireError> {
+    pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, data: &[u8]) -> Result<(Self, &[u8]), WireError> {
         if data.len() < HEADER_LEN {
             return Err(WireError::Truncated {
                 layer: "tcp",
@@ -174,6 +170,7 @@ impl TcpHeader {
             flags: TcpFlags(data[13]),
             window: u16::from_be_bytes([data[14], data[15]]),
         };
+        // Guarded: len >= data_off checked above. lint: index-ok
         Ok((hdr, &data[data_off..]))
     }
 }

@@ -40,11 +40,7 @@ impl UdpHeader {
 
     /// Parse a UDP datagram, verifying length and checksum, returning the
     /// header plus payload slice.
-    pub fn decode(
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        data: &[u8],
-    ) -> Result<(Self, &[u8]), WireError> {
+    pub fn decode(src: Ipv4Addr, dst: Ipv4Addr, data: &[u8]) -> Result<(Self, &[u8]), WireError> {
         if data.len() < HEADER_LEN {
             return Err(WireError::Truncated {
                 layer: "udp",
@@ -64,6 +60,7 @@ impl UdpHeader {
         if cksum != 0 {
             let mut c = Checksum::new();
             c.push_pseudo_header(src, dst, 17, len as u16);
+            // Guarded: HEADER_LEN <= len <= data.len() above. lint: index-ok
             c.push(&data[..len]);
             if c.finish() != 0 {
                 return Err(WireError::BadChecksum { layer: "udp" });
@@ -73,6 +70,7 @@ impl UdpHeader {
             src_port: u16::from_be_bytes([data[0], data[1]]),
             dst_port: u16::from_be_bytes([data[2], data[3]]),
         };
+        // Guarded: HEADER_LEN <= len <= data.len() above. lint: index-ok
         Ok((hdr, &data[HEADER_LEN..len]))
     }
 }

@@ -177,8 +177,9 @@ fn check_or_regen(name: &str, packets: &[(u64, Packet)]) {
         std::fs::write(&path, &encoded).expect("write fixture");
         return;
     }
-    let golden = std::fs::read(&path)
-        .unwrap_or_else(|e| panic!("missing golden fixture {path:?} ({e}); regenerate with MALNET_REGEN_GOLDEN=1"));
+    let golden = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {path:?} ({e}); regenerate with MALNET_REGEN_GOLDEN=1")
+    });
     assert_eq!(
         encoded, golden,
         "{name}: encoding drifted from the committed golden bytes"

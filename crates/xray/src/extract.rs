@@ -239,8 +239,7 @@ fn scan_config(d: &[u8]) -> Option<BytecodeScan> {
     if d.len() < 20 || d[0..4] != CONFIG_MAGIC[..] {
         return None;
     }
-    let u32_at =
-        |i: usize| u32::from_be_bytes([d[i], d[i + 1], d[i + 2], d[i + 3]]) as usize;
+    let u32_at = |i: usize| u32::from_be_bytes([d[i], d[i + 1], d[i + 2], d[i + 3]]) as usize;
     let (bc_off, bc_len) = (u32_at(4), u32_at(8));
     let (blob_off, blob_len) = (u32_at(12), u32_at(16));
     let mut out = BytecodeScan {
@@ -523,19 +522,22 @@ mod tests {
         use malnet_botgen::binary::{emit_elf, BotProgram};
         use malnet_botgen::botvm::ProgramBuilder;
         let mut b = ProgramBuilder::new();
-        b.op(Op::Ldi { r: 1, a: 0x01020304 })
-            .op(Op::Socket {
-                r: 0,
-                kind: SockKind::Tcp,
-            })
-            .op(Op::Connect {
-                r: 2,
-                x: 0,
-                y: 1,
-                a: 23,
-                b: 0,
-            })
-            .op(Op::End);
+        b.op(Op::Ldi {
+            r: 1,
+            a: 0x01020304,
+        })
+        .op(Op::Socket {
+            r: 0,
+            kind: SockKind::Tcp,
+        })
+        .op(Op::Connect {
+            r: 2,
+            x: 0,
+            y: 1,
+            a: 23,
+            b: 0,
+        })
+        .op(Op::End);
         let (bytecode, blob) = b.build();
         let mut program = BotProgram { bytecode, blob };
         // Corrupt the *second* record's opcode: the Ldi before it and

@@ -136,10 +136,11 @@ mod tests {
             ..BehaviorSpec::default()
         };
         let r = analyze(&build(&spec));
-        assert!(!r
-            .endpoints
-            .iter()
-            .any(|e| e.addr.starts_with("100.70.")), "{:?}", r.endpoints);
+        assert!(
+            !r.endpoints.iter().any(|e| e.addr.starts_with("100.70.")),
+            "{:?}",
+            r.endpoints
+        );
     }
 
     #[test]

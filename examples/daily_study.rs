@@ -23,7 +23,11 @@ fn main() {
         world.samples.len(),
         world.publish_days().len(),
         world.c2s.len(),
-        world.attacks.iter().map(|a| a.commands.len()).sum::<usize>()
+        world
+            .attacks
+            .iter()
+            .map(|a| a.commands.len())
+            .sum::<usize>()
     );
 
     let opts = PipelineOpts {
@@ -53,5 +57,8 @@ fn main() {
         h.ddos_commands, h.ddos_c2s, h.ddos_samples
     );
 
-    println!("\ninstrument scores vs ground truth:\n{}", evaluate(&world, &data));
+    println!(
+        "\ninstrument scores vs ground truth:\n{}",
+        evaluate(&world, &data)
+    );
 }

@@ -16,7 +16,10 @@ use malnet::mips::elf::ElfFile;
 
 fn main() {
     let spec = BehaviorSpec {
-        c2: vec![(C2Endpoint::Domain("cnc.dyn-13.example-cdn.net".into()), 48101)],
+        c2: vec![(
+            C2Endpoint::Domain("cnc.dyn-13.example-cdn.net".into()),
+            48101,
+        )],
         exploits: vec![ExploitPlan {
             vuln: VulnId::DlinkHnap,
             downloader: Ipv4Addr::new(45, 0, 3, 7),

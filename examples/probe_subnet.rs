@@ -34,10 +34,7 @@ fn main() {
                 .samples
                 .iter()
                 .find(|s| {
-                    s.family == *f
-                        && !s.corrupted
-                        && s.spec.exploits.is_empty()
-                        && !s.spec.evasive
+                    s.family == *f && !s.corrupted && s.spec.exploits.is_empty() && !s.spec.evasive
                 })
                 .map(|s| s.elf.clone())
         })

@@ -36,7 +36,10 @@ fn main() {
         ..Default::default()
     };
     let elf = emit_elf(&compile(&spec), b"quickstart");
-    println!("sample: {} bytes of ELF32/MIPS (big-endian, ET_EXEC)", elf.len());
+    println!(
+        "sample: {} bytes of ELF32/MIPS (big-endian, ET_EXEC)",
+        elf.len()
+    );
     println!("YARA family label: {:?}", yara_label(&elf));
 
     // --- 2. activate it in the contained sandbox ------------------------
@@ -70,7 +73,10 @@ fn main() {
     for e in &art.exploits {
         let vulns = exploitdb::classify(&e.payload);
         let dl = exploitdb::extract_downloader(&e.payload);
-        println!("  victim {}:{} -> {vulns:?}, downloader {dl:?}", e.victim, e.port);
+        println!(
+            "  victim {}:{} -> {vulns:?}, downloader {dl:?}",
+            e.victim, e.port
+        );
     }
 
     println!("\nfirst packets on the wire:");
