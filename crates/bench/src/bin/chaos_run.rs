@@ -8,7 +8,7 @@
 //! build.
 //!
 //! Usage:
-//! `cargo run -p malnet-bench --release --bin chaos_run -- [--samples N] [--seed S]`
+//! `cargo run -p malnet-bench --release --bin chaos_run -- [--samples N] [--seed S] [--fault-seed N]`
 
 use std::fmt::Write as _;
 
@@ -19,8 +19,9 @@ use malnet_core::{Pipeline, PipelineOpts};
 use malnet_telemetry::{json, Telemetry};
 use malnet_xray::report::json_escape;
 
-/// Fault seed of the CI chaos run (fixed: the injected faults — and
-/// therefore the report — are byte-reproducible).
+/// Default fault seed of the CI chaos run (fixed: the injected faults —
+/// and therefore the report — are byte-reproducible). Override with
+/// `--fault-seed N`.
 const FAULT_SEED: u64 = 7;
 
 /// Fault-injection and degradation counters the report snapshots.
@@ -28,6 +29,8 @@ const FAULT_COUNTERS: &[&str] = &[
     "chaos.forced_panics",
     "chaos.binaries_mutated",
     "chaos.c2_downtime_windows",
+    "chaos.emu_faults_injected",
+    "chaos.emu_faulted_samples",
     "netsim.dns_faults_injected",
     "netsim.dns_queries",
     "pipeline.dns_resolutions",
@@ -36,6 +39,47 @@ const FAULT_COUNTERS: &[&str] = &[
     "pipeline.liveness_retries",
     "prober.syn_retries",
 ];
+
+/// JSON object echoing every knob of the active [`FaultPlan`], so the
+/// report alone reproduces the run (`chaos_run --seed S --fault-seed F`
+/// against the recorded sample count).
+fn fault_plan_json(p: &FaultPlan) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"fault_seed\":{},\"world_loss\":{},\"world_corrupt\":{},\
+         \"contained_loss\":{},\"contained_corrupt\":{},\"dns_drop\":{},\
+         \"dns_servfail\":{},\"dns_nxdomain\":{},\"c2_downtime_rate\":{},\
+         \"c2_downtime_secs\":[{},{}],\"truncate_rate\":{},\"bitflip_rate\":{},\
+         \"panic_rate\":{},\"link_jitter_rate\":{},\"link_jitter_ms\":[{},{}],\
+         \"emu_short_rate\":{},\"emu_eintr_rate\":{},\"emu_enomem_rate\":{},\
+         \"emu_fd_cap_rate\":{},\"emu_fd_cap\":[{},{}]}}",
+        p.fault_seed,
+        p.world_loss,
+        p.world_corrupt,
+        p.contained_loss,
+        p.contained_corrupt,
+        p.dns_drop,
+        p.dns_servfail,
+        p.dns_nxdomain,
+        p.c2_downtime_rate,
+        p.c2_downtime_secs.0,
+        p.c2_downtime_secs.1,
+        p.truncate_rate,
+        p.bitflip_rate,
+        p.panic_rate,
+        p.link_jitter_rate,
+        p.link_jitter_ms.0,
+        p.link_jitter_ms.1,
+        p.emu_short_rate,
+        p.emu_eintr_rate,
+        p.emu_enomem_rate,
+        p.emu_fd_cap_rate,
+        p.emu_fd_cap.0,
+        p.emu_fd_cap.1,
+    );
+    s
+}
 
 fn main() {
     let mut opts = parse_args();
@@ -52,11 +96,13 @@ fn main() {
     let events_path = std::path::Path::new("results/events_chaos.jsonl");
     let sink = malnet_telemetry::EventSink::create(events_path).expect("create event stream");
     let tel = Telemetry::enabled_with_events(sink);
+    let fault_seed = opts.fault_seed.unwrap_or(FAULT_SEED);
+    let plan = FaultPlan::chaos(fault_seed);
     let popts = PipelineOpts {
         seed: opts.seed,
         parallelism: 2,
         max_samples: Some(opts.samples),
-        faults: FaultPlan::chaos(FAULT_SEED),
+        faults: plan,
         syn_retries: 1,
         ..PipelineOpts::fast()
     };
@@ -76,9 +122,10 @@ fn main() {
     out.push_str("{\"schema\":\"malnet.health_report\",\"version\":1,");
     let _ = write!(
         out,
-        "\"samples\":{},\"seed\":{},\"fault_seed\":{FAULT_SEED},",
+        "\"samples\":{},\"seed\":{},\"fault_seed\":{fault_seed},",
         opts.samples, opts.seed
     );
+    let _ = write!(out, "\"fault_plan\":{},", fault_plan_json(&plan));
     let _ = write!(
         out,
         "\"profiled\":{},\"quarantined\":{},",
@@ -166,10 +213,31 @@ fn main() {
     if v.get("exit_counts").and_then(|o| o.get("exited")).is_none() {
         failures.push("exit_counts lost the healthy-exit tally".to_string());
     }
-    for name in ["chaos.forced_panics", "netsim.dns_faults_injected"] {
+    for name in [
+        "chaos.forced_panics",
+        "netsim.dns_faults_injected",
+        "chaos.emu_faults_injected",
+    ] {
         if report.counter(name).unwrap_or(0) == 0 {
             failures.push(format!("fault counter {name:?} is zero — injection inert"));
         }
+    }
+    let echoed_seed = v
+        .get("fault_plan")
+        .and_then(|p| p.get("fault_seed"))
+        .and_then(|n| n.as_u64());
+    if echoed_seed != Some(fault_seed) {
+        failures.push(format!(
+            "fault_plan echo lost the seed: wrote {fault_seed}, re-read {echoed_seed:?}"
+        ));
+    }
+    if v.get("fault_plan")
+        .and_then(|p| p.get("emu_short_rate"))
+        .and_then(json::Value::as_f64)
+        .unwrap_or(0.0)
+        <= 0.0
+    {
+        failures.push("fault_plan echo lost the emulator rates".to_string());
     }
     if !failures.is_empty() {
         for f in &failures {

@@ -31,6 +31,9 @@ pub struct RunOpts {
     pub seed: u64,
     /// Use fast (reduced-duration) pipeline settings.
     pub fast: bool,
+    /// Chaos fault seed override (`--fault-seed N`); the chaos binaries
+    /// fall back to their own fixed default when absent.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for RunOpts {
@@ -39,11 +42,12 @@ impl Default for RunOpts {
             samples: 1447,
             seed: 22,
             fast: false,
+            fault_seed: None,
         }
     }
 }
 
-/// Parse `--samples N --seed S --fast` from argv.
+/// Parse `--samples N --seed S --fast --fault-seed N` from argv.
 pub fn parse_args() -> RunOpts {
     let mut opts = RunOpts::default();
     let args: Vec<String> = std::env::args().collect();
@@ -59,6 +63,12 @@ pub fn parse_args() -> RunOpts {
             "--seed" => {
                 if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                     opts.seed = v;
+                    i += 1;
+                }
+            }
+            "--fault-seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    opts.fault_seed = Some(v);
                     i += 1;
                 }
             }

@@ -215,6 +215,7 @@ mod tests {
             dns_queries: vec![],
             instructions: 0,
             syscalls: 0,
+            emu_faults: malnet_sandbox::EmuFaultTally::default(),
         };
         assert!(detect_c2(&art, BOT).is_empty());
     }

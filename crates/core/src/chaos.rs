@@ -15,17 +15,21 @@
 //!   byte-identical to a chaos-unaware build (enforced by
 //!   `crates/core/tests/parallel_determinism.rs`).
 //!
-//! The plan covers five fault families: world-network link loss and
+//! The plan covers six fault families: world-network link loss and
 //! corruption, DNS failure injection (drop / SERVFAIL / NXDOMAIN),
 //! scheduled C2 downtime windows, binary mutation (truncation and bit
-//! flips) at feed ingestion, and forced phase-A worker panics. The
-//! pipeline applies it in [`crate::pipeline`]; quarantined casualties
-//! land in the D-Health dataset section.
+//! flips) at feed ingestion, forced phase-A worker panics, and — inside
+//! the emulator itself — syscall-boundary faults (short I/O, `EINTR`,
+//! `ENOMEM`, fd-cap exhaustion) delegated per sample to
+//! [`malnet_sandbox::faults::EmuFaults`]. The pipeline applies it in
+//! [`crate::pipeline`]; quarantined casualties land in the D-Health
+//! dataset section.
 
 use malnet_netsim::dns::DnsFaults;
 use malnet_netsim::net::LinkFaults;
 use malnet_prng::rngs::StdRng;
 use malnet_prng::{sub_seed, Rng, SeedableRng};
+use malnet_sandbox::faults::EmuFaults;
 
 /// Sub-seed domain for world-network link faults (per day).
 const DOMAIN_WORLD_LINK: u64 = 0xc4a0_0000_0000_0001;
@@ -41,6 +45,13 @@ const DOMAIN_PANIC: u64 = 0xc4a0_0000_0000_0005;
 /// network's link coordinate is [`WORLD_LINK_ID`]; contained networks
 /// use their sample id.
 const DOMAIN_LINK_JITTER: u64 = 0xc4a0_0000_0000_0006;
+/// Sub-seed domain for the emulator's per-sample syscall-fault stream
+/// (per day, sample): the derived seed feeds every short-I/O / `EINTR` /
+/// `ENOMEM` decision the sandbox makes at the syscall boundary.
+const DOMAIN_EMU_SYSCALL: u64 = 0xc4a0_0000_0000_0007;
+/// Sub-seed domain for the per-sample fd-cap reduction draw (per day,
+/// sample): whether this run gets a tightened fd table, and how tight.
+const DOMAIN_EMU_FDCAP: u64 = 0xc4a0_0000_0000_0008;
 
 /// Link coordinate of the shared world network in the
 /// [`DOMAIN_LINK_JITTER`] stream (contained links use the sample id, so
@@ -91,6 +102,20 @@ pub struct FaultPlan {
     /// `[min, max]` extra jitter in milliseconds added on top of the
     /// default jitter window when the `link_jitter` fault fires.
     pub link_jitter_ms: (u64, u64),
+    /// Probability a contained run's `read`/`recv`/`send` is cut short
+    /// (partial-count return) at any given syscall.
+    pub emu_short_rate: f64,
+    /// Probability a contained run's blocking call
+    /// (`read`/`recv`/`accept`/`nanosleep`) returns `EINTR`.
+    pub emu_eintr_rate: f64,
+    /// Probability an allocation-backed syscall (`socket`) returns
+    /// `ENOMEM` in a contained run.
+    pub emu_enomem_rate: f64,
+    /// Probability a contained run gets a reduced per-process fd cap
+    /// (so `socket` hits `EMFILE` early).
+    pub emu_fd_cap_rate: f64,
+    /// `[min, max]` reduced fd cap drawn when the fd-cap fault fires.
+    pub emu_fd_cap: (u32, u32),
 }
 
 impl Default for FaultPlan {
@@ -118,6 +143,11 @@ impl FaultPlan {
             panic_rate: 0.0,
             link_jitter_rate: 0.0,
             link_jitter_ms: (0, 0),
+            emu_short_rate: 0.0,
+            emu_eintr_rate: 0.0,
+            emu_enomem_rate: 0.0,
+            emu_fd_cap_rate: 0.0,
+            emu_fd_cap: (0, 0),
         }
     }
 
@@ -142,6 +172,35 @@ impl FaultPlan {
             panic_rate: 0.05,
             link_jitter_rate: 0.35,
             link_jitter_ms: (10, 150),
+            emu_short_rate: 0.05,
+            emu_eintr_rate: 0.05,
+            emu_enomem_rate: 0.02,
+            emu_fd_cap_rate: 0.1,
+            emu_fd_cap: (8, 32),
+        }
+    }
+
+    /// An emulator-only plan for the `chaos_sweep` degradation-frontier
+    /// harness: every world-side family off, the four syscall-boundary
+    /// families scaled linearly by `intensity` (clamped to `[0, 1]`).
+    /// Intensity `0.0` is exactly `FaultPlan::none()` with the seed set,
+    /// so the zero cell of a sweep is provably chaos-free.
+    pub fn emu_sweep(fault_seed: u64, intensity: f64) -> Self {
+        let x = intensity.clamp(0.0, 1.0);
+        if x == 0.0 {
+            return FaultPlan {
+                fault_seed,
+                ..FaultPlan::none()
+            };
+        }
+        FaultPlan {
+            fault_seed,
+            emu_short_rate: 0.30 * x,
+            emu_eintr_rate: 0.30 * x,
+            emu_enomem_rate: 0.10 * x,
+            emu_fd_cap_rate: 0.50 * x,
+            emu_fd_cap: (4, 24),
+            ..FaultPlan::none()
         }
     }
 
@@ -159,6 +218,10 @@ impl FaultPlan {
             && self.bitflip_rate == 0.0
             && self.panic_rate == 0.0
             && self.link_jitter_rate == 0.0
+            && self.emu_short_rate == 0.0
+            && self.emu_eintr_rate == 0.0
+            && self.emu_enomem_rate == 0.0
+            && self.emu_fd_cap_rate == 0.0
     }
 
     fn rng(&self, domain: u64, day: u32, id: u64) -> StdRng {
@@ -310,6 +373,48 @@ impl FaultPlan {
         let mut rng = self.rng(DOMAIN_PANIC, day, sample_id as u64);
         rng.gen_bool(self.panic_rate)
     }
+
+    /// The emulator fault sub-plan for `(day, sample_id)`'s contained
+    /// run. With all four emulator rates at zero this returns
+    /// [`EmuFaults::none`] without drawing RNG; otherwise the rates get
+    /// the same per-day `[0.5, 1.5)` pressure scaling as the other fault
+    /// families, and the fd-cap reduction (its own sub-seed domain, so it
+    /// never perturbs the syscall-decision stream) is drawn from
+    /// `emu_fd_cap`.
+    pub fn emu_faults(&self, day: u32, sample_id: usize) -> EmuFaults {
+        if self.emu_short_rate == 0.0
+            && self.emu_eintr_rate == 0.0
+            && self.emu_enomem_rate == 0.0
+            && self.emu_fd_cap_rate == 0.0
+        {
+            return EmuFaults::none();
+        }
+        let mut rng = self.rng(DOMAIN_EMU_SYSCALL, day, sample_id as u64);
+        let scale = Self::day_scale(&mut rng);
+        let fd_cap = if self.emu_fd_cap_rate == 0.0 {
+            None
+        } else {
+            let mut cap_rng = self.rng(DOMAIN_EMU_FDCAP, day, sample_id as u64);
+            if cap_rng.gen_bool(self.emu_fd_cap_rate.min(1.0)) {
+                let (lo, hi) = self.emu_fd_cap;
+                let lo = lo.max(1);
+                Some(if hi > lo {
+                    cap_rng.gen_range(lo..=hi)
+                } else {
+                    lo
+                })
+            } else {
+                None
+            }
+        };
+        EmuFaults {
+            seed: sub_seed(self.fault_seed ^ DOMAIN_EMU_SYSCALL, day, sample_id as u64),
+            short_rate: (self.emu_short_rate * scale).min(1.0),
+            eintr_rate: (self.emu_eintr_rate * scale).min(1.0),
+            enomem_rate: (self.emu_enomem_rate * scale).min(1.0),
+            fd_cap,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +432,7 @@ mod tests {
         assert_eq!(p.downtime_window(3, Ipv4Addr::new(1, 2, 3, 4)), None);
         assert_eq!(p.mutate_binary(3, 9, b"\x7fELF"), None);
         assert!(!p.forced_panic(3, 9));
+        assert!(p.emu_faults(3, 9).is_none());
         assert_eq!(FaultPlan::default(), p);
     }
 
@@ -346,6 +452,7 @@ mod tests {
                     p.mutate_binary(day, id, b"some elf bytes")
                 );
                 assert_eq!(p.forced_panic(day, id), p.forced_panic(day, id));
+                assert_eq!(p.emu_faults(day, id), p.emu_faults(day, id));
             }
         }
     }
@@ -393,6 +500,49 @@ mod tests {
             contained_jittered.count() > 0,
             "no contained link_jitter over 1600 trials"
         );
+        // The emulator family is live too: every run gets a non-inert
+        // sub-plan, and the fd-cap reduction fires for some of them
+        // within the configured bounds.
+        let mut caps = 0;
+        for d in 0..40u32 {
+            for id in 0..40usize {
+                let f = p.emu_faults(d, id);
+                assert!(!f.is_none());
+                assert!(f.short_rate > 0.0 && f.eintr_rate > 0.0 && f.enomem_rate > 0.0);
+                if let Some(cap) = f.fd_cap {
+                    assert!((8..=32).contains(&cap), "fd cap {cap} out of bounds");
+                    caps += 1;
+                }
+            }
+        }
+        assert!(caps > 0, "no fd-cap reductions over 1600 trials");
+    }
+
+    /// `emu_sweep` spans the degradation frontier: intensity 0 is the
+    /// empty plan (so a sweep's zero cell is provably chaos-free), and
+    /// positive intensities scale only the emulator families.
+    #[test]
+    fn emu_sweep_scales_from_none() {
+        let zero = FaultPlan::emu_sweep(99, 0.0);
+        assert!(zero.is_none());
+        assert_eq!(zero.fault_seed, 99);
+        assert!(zero.emu_faults(5, 3).is_none());
+
+        let half = FaultPlan::emu_sweep(99, 0.5);
+        assert!(!half.is_none());
+        assert_eq!(half.world_loss, 0.0);
+        assert_eq!(half.panic_rate, 0.0);
+        assert_eq!(half.truncate_rate, 0.0);
+        let full = FaultPlan::emu_sweep(99, 1.0);
+        assert!(full.emu_short_rate > half.emu_short_rate);
+        // Clamped above 1.0.
+        assert_eq!(FaultPlan::emu_sweep(99, 7.0), full);
+        // Every run under a positive intensity has a live sub-plan whose
+        // seed varies by coordinate.
+        let a = half.emu_faults(2, 1);
+        let b = half.emu_faults(2, 2);
+        assert!(!a.is_none() && !b.is_none());
+        assert_ne!(a.seed, b.seed);
     }
 
     /// A plan with loss/corruption but `link_jitter_rate` 0 must leave

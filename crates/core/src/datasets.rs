@@ -189,6 +189,11 @@ pub enum HealthKind {
     /// The contained sandbox exhausted its instruction budget (guest
     /// hung in a compute loop).
     BudgetExhausted,
+    /// The contained run degraded (fault or budget exhaustion) while
+    /// syscall-boundary faults were being injected into it — the
+    /// casualty is attributed to the emulator fault domain, with the
+    /// injected-fault tally in `fault_context`.
+    EmuFault,
 }
 
 /// One graceful-degradation event (D-Health row): a sample the pipeline

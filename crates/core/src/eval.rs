@@ -132,6 +132,37 @@ pub fn evaluate(world: &World, data: &Datasets) -> EvalReport {
     }
 }
 
+/// Mean absolute error (in days) between each detected true C2's
+/// observed lifespan and its ground-truth lifetime, over the portion of
+/// its life the pipeline could have watched.
+///
+/// The truth window for a C2 first seen on `first_seen_day` is
+/// `max(born_day, first_seen_day) .. dead_day` — the instrument cannot
+/// be docked for days before it knew the address existed. Returns `0.0`
+/// when no detected address matches a true C2 (nothing measurable, not
+/// a perfect score: callers pair this with recall). This is the
+/// C2-lifetime axis the `chaos_sweep` degradation frontier charts —
+/// fault pressure first blurs lifetimes (missed liveness probes) before
+/// it destroys detection outright.
+pub fn c2_lifetime_error(world: &World, data: &Datasets) -> f64 {
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for truth in &world.c2s {
+        let Some(rec) = data.c2s.get(&truth.addr_string()) else {
+            continue;
+        };
+        let watch_start = truth.born_day.max(rec.first_seen_day);
+        let expected = truth.dead_day.saturating_sub(watch_start);
+        let observed = rec.observed_lifespan();
+        total += (f64::from(observed) - f64::from(expected)).abs();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    total / n as f64
+}
+
 /// Agreement counts between the static triage candidates and the
 /// dynamically observed C2 addresses, for one family (or overall).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -17,8 +17,9 @@
 //! * [`pipeline`] — the daily loop: collect, vet, activate, extract,
 //!   cross-validate with the intelligence feeds, track liveness.
 //! * [`chaos`] — deterministic fault plans (link loss, DNS failures,
-//!   C2 downtime, binary mutation, worker panics) and the
-//!   graceful-degradation discipline behind the D-Health section.
+//!   C2 downtime, binary mutation, worker panics, syscall-boundary
+//!   emulator faults) and the graceful-degradation discipline behind
+//!   the D-Health section.
 //! * [`datasets`] — D-Samples, D-C2s, D-PC2, D-Exploits, D-DDOS.
 //! * [`stats`] — CDFs, distributions and the text renderers used by the
 //!   table/figure regeneration harness.

@@ -32,7 +32,7 @@ use malnet_netsim::net::Network;
 use malnet_netsim::stack::SockEvent;
 use malnet_netsim::time::{SimDuration, SimTime, STUDY_DAYS};
 use malnet_protocols::Family;
-use malnet_sandbox::{AnalysisMode, Sandbox, SandboxConfig};
+use malnet_sandbox::{AnalysisMode, EmuFaultTally, Sandbox, SandboxConfig};
 use malnet_wire::dns::{DnsMessage, DomainName};
 
 use crate::c2detect::detect_c2;
@@ -499,6 +499,7 @@ impl Pipeline {
             triage,
             exit,
             fault_context,
+            emu_faults,
         } = outcome;
         self.data.triage.extend(triage);
         let sample = &world.samples[sample_id];
@@ -527,19 +528,22 @@ impl Pipeline {
             .exit_counts
             .entry(class.to_string())
             .or_insert(0) += 1;
-        let degraded_kind = match class {
-            "fault" => Some(HealthKind::SandboxFault),
-            "budget" => Some(HealthKind::BudgetExhausted),
-            _ => None,
-        };
-        if let Some(kind) = degraded_kind {
+        if emu_faults.any() {
+            tel.add("chaos.emu_faulted_samples", 1);
+        }
+        if let Some(kind) = degraded_kind(class, emu_faults.any()) {
+            let kind_label = if kind == HealthKind::EmuFault {
+                "emu-fault"
+            } else {
+                class
+            };
             tel.event(
                 "quarantine",
                 None,
                 &[
                     ("sha256", EventField::S(&sample.sha256)),
                     ("day", EventField::U(u64::from(day))),
-                    ("kind", EventField::S(class)),
+                    ("kind", EventField::S(kind_label)),
                     ("detail", EventField::S(&exit)),
                 ],
             );
@@ -833,6 +837,10 @@ fn run_restricted_batch(
                         instruction_budget: 2_000_000_000,
                         seed: sample_seed(opts.seed, day, job.sample_id, SeedStream::Restricted),
                         block_engine: opts.block_engine,
+                        // Emulator faults target the contained run only;
+                        // restricted sessions keep the honest fd cap.
+                        fd_cap: malnet_sandbox::process::DEFAULT_FD_CAP,
+                        emu_faults: malnet_sandbox::EmuFaults::none(),
                     },
                 )
                 .with_telemetry(tel);
@@ -940,6 +948,10 @@ pub struct ContainedOutcome {
     /// Injected-fault context active during this sample's contained run
     /// (empty outside chaos runs).
     pub fault_context: Vec<String>,
+    /// Syscall-boundary faults actually injected into the contained run
+    /// (all-zero outside chaos runs) — when the run degraded, this is
+    /// what reclassifies it as [`HealthKind::EmuFault`].
+    pub emu_faults: EmuFaultTally,
 }
 
 /// A phase-A casualty: the worker analyzing this sample panicked. The
@@ -1033,6 +1045,20 @@ pub fn contained_activation(
             contained_net.dns_faults = dns;
         }
     }
+    // Emulator fault sub-plan: syscall-boundary chaos injected inside
+    // the guest's kernel view (short I/O, EINTR, ENOMEM, fd-cap
+    // squeeze). Inert — and RNG-free — unless the plan enables it.
+    let emu = plan.emu_faults(day, sample_id);
+    if !emu.is_none() {
+        fault_context.push(format!(
+            "emu faults armed: short={:.4} eintr={:.4} enomem={:.4} fd_cap={}",
+            emu.short_rate,
+            emu.eintr_rate,
+            emu.enomem_rate,
+            emu.fd_cap
+                .map_or_else(|| "default".to_string(), |c| c.to_string()),
+        ));
+    }
     let mut sb = Sandbox::new(
         contained_net,
         SandboxConfig {
@@ -1042,11 +1068,16 @@ pub fn contained_activation(
             instruction_budget: 400_000_000,
             seed: sample_seed(opts.seed, day, sample_id, SeedStream::ContainedSandbox),
             block_engine: opts.block_engine,
+            fd_cap: malnet_sandbox::process::DEFAULT_FD_CAP,
+            emu_faults: emu,
         },
     )
     .with_telemetry(tel);
     let art = sb.execute(elf, SimDuration::from_secs(opts.contained_secs));
     drop(sb);
+    if art.emu_faults.any() {
+        fault_context.push(art.emu_faults.describe());
+    }
     let activated = !matches!(art.exit, malnet_sandbox::ExitReason::Fault(_))
         && art.syscalls > 0
         && !matches!(art.exit, malnet_sandbox::ExitReason::Exited(126 | 127));
@@ -1095,6 +1126,7 @@ pub fn contained_activation(
         triage,
         exit: exit_label(&art.exit),
         fault_context,
+        emu_faults: art.emu_faults,
     }
 }
 
@@ -1110,7 +1142,7 @@ fn exit_label(exit: &malnet_sandbox::ExitReason) -> String {
 
 /// Coarse exit class an [`exit_label`] string belongs to — the
 /// D-Health `exit_counts` key.
-fn exit_class(label: &str) -> &'static str {
+pub fn exit_class(label: &str) -> &'static str {
     if label.starts_with("exited") {
         "exited"
     } else if label.starts_with("fault") {
@@ -1119,6 +1151,26 @@ fn exit_class(label: &str) -> &'static str {
         "budget"
     } else {
         "deadline"
+    }
+}
+
+/// D-Health classification of a contained run's [`exit_class`]: which
+/// degradation row (if any) the run earns. Total over every class the
+/// pipeline produces — `crates/core/tests/health_classification.rs`
+/// proves no label falls through.
+///
+/// A degraded run (`fault` or `budget`) that had syscall-boundary
+/// faults injected (`emu_injected`) is attributed to the emulator fault
+/// domain ([`HealthKind::EmuFault`]) rather than blamed on the binary:
+/// the casualty's proximate cause is chaos we inflicted. Clean exits and
+/// deadlines are never reclassified — running out the clock is normal
+/// bot behaviour, faults or not.
+pub fn degraded_kind(class: &str, emu_injected: bool) -> Option<HealthKind> {
+    match class {
+        "fault" | "budget" if emu_injected => Some(HealthKind::EmuFault),
+        "fault" => Some(HealthKind::SandboxFault),
+        "budget" => Some(HealthKind::BudgetExhausted),
+        _ => None,
     }
 }
 

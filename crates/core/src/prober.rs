@@ -329,6 +329,7 @@ fn probe_round(
                 instruction_budget: 50_000_000,
                 seed: sub_seed(seed ^ DOMAIN_ENGAGE, round, i as u64),
                 block_engine: cfg.block_engine,
+                ..SandboxConfig::default()
             },
         );
         let art = sb.execute(elf, SimDuration::from_secs(cfg.engage_secs));

@@ -30,6 +30,7 @@ fn run_once(elf: &[u8], seed: u64, block_engine: bool) -> Artifacts {
             instruction_budget: 40_000_000,
             seed,
             block_engine,
+            ..SandboxConfig::default()
         },
     );
     sb.execute(elf, SimDuration::from_secs(90))

@@ -63,6 +63,15 @@ pub const ECONNREFUSED: u32 = 146;
 pub const EBADF: u32 = 9;
 /// Errno: invalid argument.
 pub const EINVAL: u32 = 22;
+/// Errno: interrupted system call (a signal arrived mid-syscall; the
+/// caller is expected to retry). Injected by the emulator fault domain.
+pub const EINTR: u32 = 4;
+/// Errno: out of memory (allocation-backed syscall paths).
+pub const ENOMEM: u32 = 12;
+/// Errno: too many open files (the per-process fd table is full).
+pub const EMFILE: u32 = 24;
+/// Errno: resource temporarily unavailable (non-blocking would-block).
+pub const EAGAIN: u32 = 11;
 
 /// Layout of `struct sockaddr_in` as the stub writes it into guest
 /// memory: family(u16)=AF_INET, port(u16 BE), addr(u32 BE), zero pad to 16.
@@ -113,5 +122,16 @@ mod tests {
         assert_eq!(NR_SOCKET, 4183);
         assert_eq!(NR_CONNECT, 4170);
         assert_eq!(NR_SENDTO, 4180);
+        // Errnos: MIPS shares the low classic-Unix values with asm-generic
+        // (EINTR..EMFILE) but diverges above 34 (ETIMEDOUT/ECONNREFUSED
+        // come from the SysV-derived MIPS table, not the 110/111 of x86).
+        assert_eq!(EINTR, 4);
+        assert_eq!(EBADF, 9);
+        assert_eq!(EAGAIN, 11);
+        assert_eq!(ENOMEM, 12);
+        assert_eq!(EINVAL, 22);
+        assert_eq!(EMFILE, 24);
+        assert_eq!(ETIMEDOUT, 145);
+        assert_eq!(ECONNREFUSED, 146);
     }
 }

@@ -1,0 +1,241 @@
+//! Syscall-boundary fault injection: the emulator's share of a chaos
+//! plan.
+//!
+//! The pipeline's `FaultPlan` (in `malnet-core`) perturbs the *world*
+//! around a guest — links, DNS, C2 uptime, the binary itself. This
+//! module pushes chaos **inside** the emulated kernel: an [`EmuFaults`]
+//! sub-plan makes individual syscalls fail the way a hostile substrate
+//! fails them — short reads/writes, `EINTR` on blocking calls, `ENOMEM`
+//! on allocation-backed paths, and a reduced fd cap that turns `socket`
+//! into `EMFILE` (IoT-BDA documents exactly these as the dominant
+//! sandbox-run killers).
+//!
+//! Determinism contract, same as the rest of the chaos layer:
+//!
+//! * every decision is a pure function of `(seed, syscall-index)` via
+//!   [`sub_seed`]-derived generators — the guest's own syscall stream
+//!   is deterministic, so replaying a run replays its faults exactly,
+//!   independent of parallelism or the block-engine toggle;
+//! * a sub-plan with every rate zero ([`EmuFaults::none`], the default)
+//!   draws **zero** RNG values and injects nothing — the run is
+//!   byte-identical to a fault-unaware build (enforced by
+//!   `crates/core/tests/parallel_determinism.rs`).
+
+use malnet_prng::rngs::StdRng;
+use malnet_prng::{sub_seed, Rng, SeedableRng};
+
+/// Decision-stream discriminants mixed into [`sub_seed`]'s `day` slot so
+/// the EINTR, short-I/O, and ENOMEM draws at one syscall index stay
+/// independent (one shared generator would correlate them).
+const STREAM_EINTR: u32 = 1;
+const STREAM_SHORT: u32 = 2;
+const STREAM_ENOMEM: u32 = 3;
+
+/// The emulator's per-run fault sub-plan: rates in `[0, 1]` plus an
+/// optional reduced fd cap. Decisions are keyed on the process's
+/// syscall index (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmuFaults {
+    /// Seed every per-syscall decision derives from (typically a
+    /// `sub_seed` of the study's fault seed, per day and sample).
+    pub seed: u64,
+    /// Probability a `read`/`recv` delivery or `send`/`write` is cut
+    /// short (a partial count is returned; the rest stays queued).
+    pub short_rate: f64,
+    /// Probability a blocking call (`read`/`recv`/`accept`/`nanosleep`)
+    /// returns `EINTR` before blocking.
+    pub eintr_rate: f64,
+    /// Probability an allocation-backed call (`socket`) returns `ENOMEM`.
+    pub enomem_rate: f64,
+    /// Reduced per-process fd cap for this run (`None` leaves the
+    /// sandbox's configured cap in force).
+    pub fd_cap: Option<u32>,
+}
+
+impl EmuFaults {
+    /// The inert sub-plan: every rate zero, no cap reduction, no RNG
+    /// ever drawn.
+    pub const fn none() -> Self {
+        EmuFaults {
+            seed: 0,
+            short_rate: 0.0,
+            eintr_rate: 0.0,
+            enomem_rate: 0.0,
+            fd_cap: None,
+        }
+    }
+
+    /// Is this the inert sub-plan?
+    pub fn is_none(&self) -> bool {
+        self.short_rate == 0.0
+            && self.eintr_rate == 0.0
+            && self.enomem_rate == 0.0
+            && self.fd_cap.is_none()
+    }
+
+    fn fires(&self, stream: u32, index: u64, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let mut rng = StdRng::seed_from_u64(sub_seed(self.seed, stream, index));
+        rng.gen_bool(rate.min(1.0))
+    }
+
+    /// Should the blocking call at `index` be interrupted (`EINTR`)?
+    pub fn eintr(&self, index: u64) -> bool {
+        self.fires(STREAM_EINTR, index, self.eintr_rate)
+    }
+
+    /// Should the I/O at `index` be cut short? Returns the reduced
+    /// count in `1..count`; `None` leaves the transfer whole. Transfers
+    /// of one byte or less cannot be shortened.
+    pub fn short_count(&self, index: u64, count: usize) -> Option<usize> {
+        if count <= 1 || !self.fires(STREAM_SHORT, index, self.short_rate) {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(sub_seed(self.seed, STREAM_SHORT, !index));
+        Some(rng.gen_range(1..count))
+    }
+
+    /// Should the allocation-backed call at `index` fail with `ENOMEM`?
+    pub fn enomem(&self, index: u64) -> bool {
+        self.fires(STREAM_ENOMEM, index, self.enomem_rate)
+    }
+}
+
+impl Default for EmuFaults {
+    fn default() -> Self {
+        EmuFaults::none()
+    }
+}
+
+/// Tally of syscall-boundary faults actually injected during one run —
+/// the audit trail a degradation row carries so a casualty is
+/// attributable to its faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmuFaultTally {
+    /// Short reads/writes delivered.
+    pub short_io: u64,
+    /// `EINTR` returns injected.
+    pub eintr: u64,
+    /// `ENOMEM` returns injected.
+    pub enomem: u64,
+    /// `EMFILE` returns served (fd table at its cap).
+    pub emfile: u64,
+}
+
+impl EmuFaultTally {
+    /// Total injected faults.
+    pub fn total(&self) -> u64 {
+        self.short_io + self.eintr + self.enomem + self.emfile
+    }
+
+    /// Did anything fire?
+    pub fn any(&self) -> bool {
+        self.total() > 0
+    }
+
+    /// Human-readable fault-context line for D-Health rows.
+    pub fn describe(&self) -> String {
+        format!(
+            "emu faults injected: short_io={} eintr={} enomem={} emfile={}",
+            self.short_io, self.eintr, self.enomem, self.emfile
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_and_default() {
+        let f = EmuFaults::none();
+        assert!(f.is_none());
+        assert_eq!(EmuFaults::default(), f);
+        for idx in 0..512 {
+            assert!(!f.eintr(idx));
+            assert!(!f.enomem(idx));
+            assert_eq!(f.short_count(idx, 4096), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_and_index() {
+        let f = EmuFaults {
+            seed: 0xfeed,
+            short_rate: 0.3,
+            eintr_rate: 0.2,
+            enomem_rate: 0.1,
+            fd_cap: Some(16),
+        };
+        for idx in 0..256 {
+            assert_eq!(f.eintr(idx), f.eintr(idx));
+            assert_eq!(f.enomem(idx), f.enomem(idx));
+            assert_eq!(f.short_count(idx, 100), f.short_count(idx, 100));
+        }
+    }
+
+    #[test]
+    fn every_family_fires_and_streams_are_independent() {
+        let f = EmuFaults {
+            seed: 7,
+            short_rate: 0.5,
+            eintr_rate: 0.5,
+            enomem_rate: 0.5,
+            fd_cap: None,
+        };
+        let eintr: Vec<bool> = (0..256).map(|i| f.eintr(i)).collect();
+        let enomem: Vec<bool> = (0..256).map(|i| f.enomem(i)).collect();
+        let short: Vec<bool> = (0..256).map(|i| f.short_count(i, 64).is_some()).collect();
+        assert!(eintr.iter().any(|&b| b) && eintr.iter().any(|&b| !b));
+        assert!(enomem.iter().any(|&b| b) && enomem.iter().any(|&b| !b));
+        assert!(short.iter().any(|&b| b) && short.iter().any(|&b| !b));
+        // Perfectly correlated streams would mean one generator is
+        // shared; the discriminant keeps them apart.
+        assert_ne!(eintr, enomem);
+        assert_ne!(eintr, short);
+    }
+
+    #[test]
+    fn short_counts_stay_in_bounds() {
+        let f = EmuFaults {
+            seed: 3,
+            short_rate: 1.0,
+            ..EmuFaults::none()
+        };
+        for idx in 0..128 {
+            for count in [2usize, 3, 64, 65536] {
+                let n = f.short_count(idx, count).expect("rate 1.0 always fires");
+                assert!((1..count).contains(&n), "short {n} of {count}");
+            }
+            assert_eq!(f.short_count(idx, 1), None);
+            assert_eq!(f.short_count(idx, 0), None);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = EmuFaults {
+            seed: 1,
+            eintr_rate: 0.5,
+            ..EmuFaults::none()
+        };
+        let b = EmuFaults { seed: 2, ..a };
+        let va: Vec<bool> = (0..128).map(|i| a.eintr(i)).collect();
+        let vb: Vec<bool> = (0..128).map(|i| b.eintr(i)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn tally_accounting() {
+        let mut t = EmuFaultTally::default();
+        assert!(!t.any());
+        t.short_io = 2;
+        t.emfile = 1;
+        assert_eq!(t.total(), 3);
+        assert!(t.any());
+        let d = t.describe();
+        assert!(d.contains("short_io=2") && d.contains("emfile=1"), "{d}");
+    }
+}

@@ -19,6 +19,9 @@
 //!   everything the malware emits.
 //! * [`services`] — the fake-endpoint services (sinkhole, fake victim,
 //!   wildcard DNS).
+//! * [`faults`] — deterministic syscall-boundary fault injection (short
+//!   I/O, `EINTR`, `ENOMEM`, fd-cap exhaustion): the emulator's share of
+//!   the chaos layer, driven per sample by `malnet-core`'s fault plan.
 //!
 //! The sandbox is intentionally ignorant of how binaries are made: it
 //! loads any ELF32/MIPS executable. `malnet-botgen` produces them; the
@@ -27,9 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod process;
 pub mod sandbox;
 pub mod services;
 
+pub use faults::{EmuFaultTally, EmuFaults};
 pub use process::{BotProcess, ExitReason};
 pub use sandbox::{AnalysisMode, Artifacts, CapturedExploit, Sandbox, SandboxConfig};

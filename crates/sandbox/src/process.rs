@@ -23,10 +23,16 @@ use malnet_wire::icmp::IcmpMessage;
 use malnet_wire::packet::Packet;
 use malnet_wire::tcp::TcpFlags;
 
+use crate::faults::{EmuFaultTally, EmuFaults};
 use crate::sandbox::Sandbox;
 
 /// Virtual time charged per syscall.
 pub const SYSCALL_COST: SimDuration = SimDuration::from_micros(50);
+/// Default per-process fd-table cap. Generous — the corpus' bots open a
+/// handful of sockets — but *bounded*, so a leaking guest hits `EMFILE`
+/// the way it would on a real kernel (and so the chaos layer's reduced
+/// caps are an honest tightening of real behaviour, not a new rule).
+pub const DEFAULT_FD_CAP: u32 = 512;
 /// Slice of guest instructions executed between deadline checks.
 const SLICE: u64 = 100_000;
 /// Hard cap on how long a blocking connect waits (matches the network's
@@ -85,6 +91,12 @@ pub struct ProcessConfig {
     /// instead of single-stepping. Observationally identical; off keeps
     /// the legacy `step()` oracle for differential runs.
     pub block_engine: bool,
+    /// Per-process fd-table cap: `socket` returns `EMFILE` once this
+    /// many descriptors are open.
+    pub fd_cap: u32,
+    /// Syscall-boundary fault sub-plan ([`EmuFaults::none`] injects
+    /// nothing and draws no randomness).
+    pub faults: EmuFaults,
 }
 
 impl Default for ProcessConfig {
@@ -94,6 +106,8 @@ impl Default for ProcessConfig {
             instruction_budget: 200_000_000,
             seed: 1,
             block_engine: true,
+            fd_cap: DEFAULT_FD_CAP,
+            faults: EmuFaults::none(),
         }
     }
 }
@@ -113,8 +127,13 @@ pub struct BotProcess {
     next_fd: u32,
     rng: StdRng,
     executed: u64,
-    /// Count of syscalls serviced (diagnostics).
+    /// Count of syscalls serviced (diagnostics). Incremented *before*
+    /// dispatch, so during [`BotProcess::syscall`] it is the 1-based
+    /// index of the current call — the deterministic coordinate the
+    /// fault sub-plan keys its per-syscall decisions on.
     pub syscall_count: u64,
+    /// Faults the sub-plan actually injected into this run.
+    pub fault_tally: EmuFaultTally,
 }
 
 impl BotProcess {
@@ -144,6 +163,7 @@ impl BotProcess {
             rng: StdRng::seed_from_u64(seed ^ 0xb07_cafe),
             executed: 0,
             syscall_count: 0,
+            fault_tally: EmuFaultTally::default(),
         })
     }
 
@@ -244,6 +264,15 @@ impl BotProcess {
         self.cpu.set_reg(7, errno); // $a3 carries the errno
     }
 
+    /// Effective fd cap: the configured table bound, tightened by the
+    /// fault sub-plan's reduction when one is active.
+    fn fd_cap(&self) -> u32 {
+        match self.cfg.faults.fd_cap {
+            Some(c) => c.min(self.cfg.fd_cap),
+            None => self.cfg.fd_cap,
+        }
+    }
+
     /// Service one syscall; `Some(exit)` terminates the run.
     fn syscall(&mut self, sb: &mut Sandbox, deadline: SimTime) -> Option<ExitReason> {
         let nr = self.cpu.reg(2);
@@ -251,6 +280,9 @@ impl BotProcess {
         let a1 = self.cpu.reg(5);
         let a2 = self.cpu.reg(6);
         let a3 = self.cpu.reg(7);
+        // `run` bumped the count before dispatch: the 1-based index of
+        // this call, and the coordinate every injected fault keys on.
+        let idx = self.syscall_count;
         match nr {
             sys::NR_EXIT => return Some(ExitReason::Exited(a0)),
             sys::NR_GETPID => self.ret(1337),
@@ -270,6 +302,11 @@ impl BotProcess {
                 }
             }
             sys::NR_NANOSLEEP => {
+                if self.cfg.faults.eintr(idx) {
+                    self.fault_tally.eintr += 1;
+                    self.ret_err(sys::EINTR);
+                    return None;
+                }
                 let secs = self.cpu.mem.read_u32(a0).unwrap_or(0);
                 let nanos = self.cpu.mem.read_u32(a0.wrapping_add(4)).unwrap_or(0);
                 let mut dur = SimDuration::from_secs(u64::from(secs))
@@ -283,6 +320,18 @@ impl BotProcess {
                 self.ret(0);
             }
             sys::NR_SOCKET => {
+                // Allocation-backed path: the fault sub-plan's ENOMEM
+                // fires before any kernel-side state is touched.
+                if self.cfg.faults.enomem(idx) {
+                    self.fault_tally.enomem += 1;
+                    self.ret_err(sys::ENOMEM);
+                    return None;
+                }
+                if self.fds.len() >= self.fd_cap() as usize {
+                    self.fault_tally.emfile += 1;
+                    self.ret_err(sys::EMFILE);
+                    return None;
+                }
                 let fd = self.next_fd;
                 self.next_fd += 1;
                 let entry = match (a1, a2) {
@@ -383,6 +432,15 @@ impl BotProcess {
                         ..
                     }) => {
                         let sock = *sock;
+                        // Short write: transmit (and report) a partial
+                        // count; the guest's retry loop owns the rest.
+                        let len = match self.cfg.faults.short_count(idx, len as usize) {
+                            Some(n) => {
+                                self.fault_tally.short_io += 1;
+                                n as u32
+                            }
+                            None => len,
+                        };
                         // Borrow the payload straight out of guest memory:
                         // the hot send loop copies nothing.
                         let data = self.cpu.mem.view(a1, len).expect("validated above");
@@ -393,6 +451,11 @@ impl BotProcess {
                 }
             }
             sys::NR_RECV | sys::NR_READ | sys::NR_RECVFROM => {
+                if self.cfg.faults.eintr(idx) {
+                    self.fault_tally.eintr += 1;
+                    self.ret_err(sys::EINTR);
+                    return None;
+                }
                 let timeout = if a3 == 0 {
                     DEFAULT_RECV_TIMEOUT
                 } else {
@@ -423,7 +486,13 @@ impl BotProcess {
                 let max = a2 as usize;
                 let chunk: Vec<u8> = match self.fds.get_mut(&a0) {
                     Some(Fd::Tcp { rx, .. }) => {
-                        let n = rx.len().min(max);
+                        // Short read: deliver a partial count; the rest
+                        // stays queued for the guest's next read.
+                        let mut n = rx.len().min(max);
+                        if let Some(s) = self.cfg.faults.short_count(idx, n) {
+                            self.fault_tally.short_io += 1;
+                            n = s;
+                        }
                         rx.drain(..n).collect()
                     }
                     Some(Fd::Udp { rx, .. }) => match rx.pop_front() {
@@ -507,7 +576,17 @@ impl BotProcess {
                 Some(_) => self.ret(0),
                 None => self.ret_err(sys::EBADF),
             },
-            sys::NR_BIND | sys::NR_LISTEN | sys::NR_ACCEPT => {
+            sys::NR_ACCEPT => {
+                // Blocking call, so the EINTR fault applies; otherwise
+                // bots in our corpus never act as servers.
+                if self.cfg.faults.eintr(idx) {
+                    self.fault_tally.eintr += 1;
+                    self.ret_err(sys::EINTR);
+                } else {
+                    self.ret_err(sys::EINVAL);
+                }
+            }
+            sys::NR_BIND | sys::NR_LISTEN => {
                 // Bots in our corpus never act as servers.
                 self.ret_err(sys::EINVAL);
             }

@@ -11,7 +11,8 @@ use malnet_telemetry::Telemetry;
 use malnet_wire::packet::Packet;
 use malnet_wire::pcap;
 
-use crate::process::{BotProcess, ExitReason, ProcessConfig};
+use crate::faults::{EmuFaultTally, EmuFaults};
+use crate::process::{BotProcess, ExitReason, ProcessConfig, DEFAULT_FD_CAP};
 use crate::services::{FakeVictim, InetSimHttp, VictimCapture, VictimLog, WildcardDns};
 
 /// The sinkhole address the wildcard DNS hands out in contained mode.
@@ -65,6 +66,13 @@ pub struct SandboxConfig {
     /// engine, so artifacts are identical either way; off is for
     /// differential testing and oracle-speed baselines.
     pub block_engine: bool,
+    /// Per-process fd-table cap ([`DEFAULT_FD_CAP`]): `socket` returns
+    /// `EMFILE` once this many descriptors are open.
+    pub fd_cap: u32,
+    /// Syscall-boundary fault sub-plan for the guest process
+    /// ([`EmuFaults::none`], the default, injects nothing and draws no
+    /// randomness).
+    pub emu_faults: EmuFaults,
 }
 
 impl Default for SandboxConfig {
@@ -76,6 +84,8 @@ impl Default for SandboxConfig {
             instruction_budget: 200_000_000,
             seed: 7,
             block_engine: true,
+            fd_cap: DEFAULT_FD_CAP,
+            emu_faults: EmuFaults::none(),
         }
     }
 }
@@ -110,6 +120,9 @@ pub struct Artifacts {
     pub instructions: u64,
     /// Syscalls serviced.
     pub syscalls: u64,
+    /// Syscall-boundary faults the chaos sub-plan injected (all zero
+    /// outside chaos runs).
+    pub emu_faults: EmuFaultTally,
 }
 
 impl Artifacts {
@@ -154,6 +167,8 @@ struct SandboxTelemetry {
     /// Simulated seconds of sandbox execution granted — a wall-clock-free
     /// progress denominator for event-stream heartbeats.
     vtime_secs: malnet_telemetry::Counter,
+    /// Total syscall-boundary faults injected (zero outside chaos runs).
+    emu_faults: malnet_telemetry::Counter,
     instructions_per_run: malnet_telemetry::Histogram,
 }
 
@@ -165,6 +180,7 @@ impl SandboxTelemetry {
             syscalls: tel.counter("sandbox.syscalls_serviced"),
             exploits: tel.counter("sandbox.exploits_captured"),
             vtime_secs: tel.counter("sandbox.vtime_secs"),
+            emu_faults: tel.counter("chaos.emu_faults_injected"),
             instructions_per_run: tel.histogram("sandbox.instructions_per_run"),
         }
     }
@@ -321,13 +337,25 @@ impl Sandbox {
             instruction_budget: self.cfg.instruction_budget,
             seed: self.cfg.seed,
             block_engine: self.cfg.block_engine,
+            fd_cap: self.cfg.fd_cap,
+            faults: self.cfg.emu_faults,
         };
-        let (exit, instructions, syscalls) = match BotProcess::load(elf_bytes, pcfg) {
+        let (exit, instructions, syscalls, emu_faults) = match BotProcess::load(elf_bytes, pcfg) {
             Some(mut proc) => {
                 let exit = proc.run(self, deadline);
-                (exit, proc.instructions(), proc.syscall_count)
+                (
+                    exit,
+                    proc.instructions(),
+                    proc.syscall_count,
+                    proc.fault_tally,
+                )
             }
-            None => (ExitReason::Fault("unloadable ELF".to_string()), 0, 0),
+            None => (
+                ExitReason::Fault("unloadable ELF".to_string()),
+                0,
+                0,
+                EmuFaultTally::default(),
+            ),
         };
         // Instructions/sec is *derived*, never recorded: wall-clock
         // values must not feed counters or histograms (they would break
@@ -365,6 +393,7 @@ impl Sandbox {
         self.tel_handles.instructions.add(instructions);
         self.tel_handles.syscalls.add(syscalls);
         self.tel_handles.vtime_secs.add(duration.as_secs());
+        self.tel_handles.emu_faults.add(emu_faults.total());
         self.tel_handles.instructions_per_run.record(instructions);
         self.tel_handles.exploits.add(exploits.len() as u64);
         Artifacts {
@@ -374,6 +403,7 @@ impl Sandbox {
             dns_queries,
             instructions,
             syscalls,
+            emu_faults,
         }
     }
 

@@ -9,7 +9,7 @@ use malnet_mips::elf::{ElfFile, ElfSegment};
 use malnet_mips::sys;
 use malnet_netsim::net::Network;
 use malnet_netsim::time::{SimDuration, SimTime};
-use malnet_sandbox::{AnalysisMode, ExitReason, Sandbox, SandboxConfig};
+use malnet_sandbox::{AnalysisMode, EmuFaults, ExitReason, Sandbox, SandboxConfig};
 
 fn sandbox() -> Sandbox {
     Sandbox::new(Network::new(SimTime::EPOCH, 1), SandboxConfig::default())
@@ -177,6 +177,104 @@ fn weaponized_mode_redirects_every_connect() {
             .any(|(_, p)| p.dst == Ipv4Addr::new(1, 2, 3, 4)),
         "original C2 must never be contacted"
     );
+}
+
+/// A guest that leaks sockets: loop opening TCP sockets until either 64
+/// succeed (exit with the success count) or `socket` fails. On failure
+/// the guest checks that `$a3` carries `EMFILE` — any other errno exits
+/// 99 so the test can tell "capped" apart from "failed differently".
+fn socket_leak_guest() -> Vec<u8> {
+    let mut a = Assembler::new(0x0040_0000);
+    a.ins(Ins::Li(Reg::S0, 0)) // successes
+        .label("loop")
+        .ins(Ins::Li(Reg::A0, sys::AF_INET))
+        .ins(Ins::Li(Reg::A1, sys::SOCK_STREAM))
+        .ins(Ins::Li(Reg::A2, 0))
+        .ins(Ins::Li(Reg::V0, sys::NR_SOCKET))
+        .ins(Ins::Syscall)
+        .ins(Ins::Bltz(Reg::V0, "capped".into()))
+        .ins(Ins::Nop)
+        .ins(Ins::Addiu(Reg::S0, Reg::S0, 1))
+        .ins(Ins::Slti(Reg::T0, Reg::S0, 64))
+        .ins(Ins::Bne(Reg::T0, Reg::ZERO, "loop".into()))
+        .ins(Ins::Nop)
+        // Never capped: exit with the success count (64).
+        .ins(Ins::Move(Reg::A0, Reg::S0))
+        .ins(Ins::Li(Reg::V0, sys::NR_EXIT))
+        .ins(Ins::Syscall)
+        .label("capped")
+        .ins(Ins::Li(Reg::T1, sys::EMFILE))
+        .ins(Ins::Bne(Reg::A3, Reg::T1, "wrong_errno".into()))
+        .ins(Ins::Nop)
+        .ins(Ins::Move(Reg::A0, Reg::S0))
+        .ins(Ins::Li(Reg::V0, sys::NR_EXIT))
+        .ins(Ins::Syscall)
+        .label("wrong_errno")
+        .ins(Ins::Li(Reg::A0, 99))
+        .ins(Ins::Li(Reg::V0, sys::NR_EXIT))
+        .ins(Ins::Syscall);
+    let text = a.assemble().unwrap();
+    ElfFile {
+        entry: 0x0040_0000,
+        segments: vec![ElfSegment {
+            vaddr: 0x0040_0000,
+            memsz: text.len() as u32,
+            data: text,
+            writable: false,
+            executable: true,
+            name: ".text",
+        }],
+    }
+    .write()
+}
+
+#[test]
+fn fd_table_cap_returns_emfile_to_the_guest() {
+    // With the table bounded at 4, the fifth socket() must fail soft
+    // with EMFILE: the guest sees -1/$a3=EMFILE and exits with its
+    // success count. Exit code 99 would mean a different errno leaked.
+    let elf = socket_leak_guest();
+    let mut sb = Sandbox::new(
+        Network::new(SimTime::EPOCH, 1),
+        SandboxConfig {
+            fd_cap: 4,
+            ..Default::default()
+        },
+    );
+    let art = sb.execute(&elf, SimDuration::from_secs(30));
+    assert_eq!(art.exit, ExitReason::Exited(4), "cap must bite at 4 fds");
+    assert_eq!(art.emu_faults.emfile, 1, "EMFILE must be tallied");
+}
+
+#[test]
+fn default_fd_cap_is_generous() {
+    // The same leaking guest under the default cap never sees EMFILE:
+    // all 64 sockets open and the run exits cleanly.
+    let elf = socket_leak_guest();
+    let mut sb = sandbox();
+    let art = sb.execute(&elf, SimDuration::from_secs(30));
+    assert_eq!(art.exit, ExitReason::Exited(64));
+    assert_eq!(art.emu_faults.emfile, 0);
+}
+
+#[test]
+fn fault_plan_fd_cap_tightens_the_table_bound() {
+    // An emulator fault sub-plan squeezes the cap below the configured
+    // bound; the honest table limit stays as the backstop.
+    let elf = socket_leak_guest();
+    let mut sb = Sandbox::new(
+        Network::new(SimTime::EPOCH, 1),
+        SandboxConfig {
+            emu_faults: EmuFaults {
+                fd_cap: Some(3),
+                ..EmuFaults::none()
+            },
+            ..Default::default()
+        },
+    );
+    let art = sb.execute(&elf, SimDuration::from_secs(30));
+    assert_eq!(art.exit, ExitReason::Exited(3), "sub-plan cap must win");
+    assert_eq!(art.emu_faults.emfile, 1);
 }
 
 #[test]
