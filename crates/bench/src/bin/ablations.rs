@@ -124,8 +124,10 @@ fn main() {
 
     println!("\n== Ablation 4: AV corroboration bar (paper: 5 engines) ==");
     println!("{:>6} {:>12}", "bar", "corpus kept");
-    let mut model = EngineModel::new(opts.seed);
-    let detections: Vec<u32> = (0..2000).map(|_| model.detections_for_malware()).collect();
+    let model = EngineModel::new(opts.seed);
+    let detections: Vec<u32> = (0..2000)
+        .map(|id| model.detections_for_malware(0, id))
+        .collect();
     for bar in [1u32, 3, 5, 10, 30, 50] {
         let kept = detections.iter().filter(|&&d| d >= bar).count();
         println!(

@@ -10,10 +10,17 @@
 //! state are diffed against the sequential baseline, and any divergence
 //! exits non-zero (the CI gate).
 //!
-//! Besides the stdout table, the sweep writes a machine-readable
-//! artifact to `results/par_sweep.json` (`malnet.par_sweep` v2): both
-//! sweeps, a per-N phase-A/phase-B/probing wall-time breakdown, the
-//! divergence verdict, plus the full telemetry
+//! A third sweep exercises the day-epoch axis (`PipelineOpts::
+//! day_shards`): the study's day range is partitioned into contiguous
+//! epochs that run as independent units and merge through the canonical
+//! reduce, so every `day_shards × parallelism` cell must also be
+//! byte-identical to the sequential baseline. Divergent cells land in
+//! `divergent_day_shards` and fail the run the same way.
+//!
+//! Besides the stdout tables, the sweep writes a machine-readable
+//! artifact to `results/par_sweep.json` (`malnet.par_sweep` v3): all
+//! three sweeps, a per-N phase-A/phase-B/probing wall-time breakdown,
+//! both divergence verdicts, plus the full telemetry
 //! [`RunReport`](malnet_telemetry::RunReport) of the final instrumented
 //! pipeline run. EXPERIMENTS.md documents the format.
 //!
@@ -30,8 +37,12 @@ use malnet_core::pipeline::run_contained_batch;
 use malnet_core::{Pipeline, PipelineOpts};
 use malnet_telemetry::Telemetry;
 
-/// Worker counts both sweeps measure.
+/// Worker counts the stage and end-to-end sweeps measure.
 const SWEEP_N: [usize; 4] = [1, 2, 4, 8];
+
+/// `(day_shards, parallelism)` cells of the epoch sweep. `(1, 1)` is
+/// the sequential baseline every other cell is byte-diffed against.
+const SHARD_CELLS: [(usize, usize); 6] = [(1, 1), (2, 1), (2, 8), (4, 8), (8, 1), (8, 8)];
 
 /// One end-to-end measurement: wall time plus the coordinator-side
 /// wall-time of each pipeline phase, read from that run's telemetry.
@@ -41,6 +52,14 @@ struct PipelineRow {
     phase_a_us: u64,
     phase_b_us: u64,
     probing_us: u64,
+}
+
+/// One cell of the day-epoch sweep: the study split into `day_shards`
+/// contiguous epochs, run on a pool of `parallelism` workers.
+struct ShardRow {
+    day_shards: usize,
+    parallelism: usize,
+    wall_us: u64,
 }
 
 fn main() {
@@ -155,13 +174,74 @@ fn main() {
         last_report = Some(report);
     }
 
+    println!("\n== day-epoch sharding: Pipeline::run at day_shards x parallelism ==");
+    println!(
+        "{:>7} {:>4} {:>14} {:>10}",
+        "shards", "N", "wall", "speedup"
+    );
+    let mut shard_rows: Vec<ShardRow> = Vec::new();
+    let mut shard_baseline = None;
+    let mut divergent_day_shards: Vec<(usize, usize)> = Vec::new();
+    for (shards, n) in SHARD_CELLS {
+        let popts = PipelineOpts {
+            seed: opts.seed,
+            parallelism: n,
+            day_shards: shards,
+            max_samples: Some(opts.samples),
+            ..PipelineOpts::fast()
+        };
+        // Same streaming discipline as the end-to-end sweep: the file
+        // is truncated per run, so the surviving stream CI validates is
+        // the widest epoch-sharded cell's — every cell must stream a
+        // valid `malnet.events` file for the final one to exist.
+        let sink = malnet_telemetry::EventSink::create(std::path::Path::new(
+            "results/events_par_sweep.jsonl",
+        ))
+        .expect("create event stream");
+        let tel = Telemetry::enabled_with_events(sink);
+        let t0 = Instant::now();
+        let (data, vendors) = Pipeline::with_telemetry(popts, tel.clone()).run(&world);
+        let wall = t0.elapsed();
+        let base = *shard_baseline.get_or_insert(wall);
+        println!(
+            "{shards:>7} {n:>4} {:>14} {:>9.2}x",
+            fmt_duration(wall),
+            base.as_secs_f64() / wall.as_secs_f64(),
+        );
+        // Every epoch-sharded run must reproduce the sequential
+        // baseline (day_shards 1, parallelism 1 of this sweep — which
+        // itself matched the end-to-end sweep's baseline above, since
+        // day_shards 1 runs through the same epoch machinery).
+        let dumps = (data.canonical_dump(), vendors.canonical_dump());
+        match &baseline_dumps {
+            None => baseline_dumps = Some(dumps),
+            Some(base_dumps) => {
+                if *base_dumps != dumps {
+                    eprintln!(
+                        "DIVERGENCE: day_shards {shards} x parallelism {n} produced \
+                         different bytes than the sequential baseline"
+                    );
+                    divergent_day_shards.push((shards, n));
+                }
+            }
+        }
+        shard_rows.push(ShardRow {
+            day_shards: shards,
+            parallelism: n,
+            wall_us: wall.as_micros() as u64,
+        });
+        last_report = Some(tel.report());
+    }
+
     let report = last_report.expect("at least one pipeline run");
     let json = sweep_json(
         opts.samples,
         opts.seed,
         &stage_rows,
         &pipeline_rows,
+        &shard_rows,
         &divergent,
+        &divergent_day_shards,
         &report,
     );
     let path = std::path::Path::new("results/par_sweep.json");
@@ -172,27 +252,38 @@ fn main() {
         Ok(()) => println!("\nwrote {} ({} bytes)", path.display(), json.len()),
         Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
     }
-    if divergent.is_empty() {
-        println!("byte check: all parallel runs match the sequential baseline");
+    if divergent.is_empty() && divergent_day_shards.is_empty() {
+        println!("byte check: all parallel and epoch-sharded runs match the sequential baseline");
     } else {
-        eprintln!(
-            "byte check FAILED: parallelism {divergent:?} diverged from the sequential baseline"
-        );
+        if !divergent.is_empty() {
+            eprintln!(
+                "byte check FAILED: parallelism {divergent:?} diverged from the sequential baseline"
+            );
+        }
+        if !divergent_day_shards.is_empty() {
+            eprintln!(
+                "byte check FAILED: day-shard cells {divergent_day_shards:?} \
+                 (day_shards, parallelism) diverged from the sequential baseline"
+            );
+        }
         std::process::exit(1);
     }
 }
 
-/// Assemble the `malnet.par_sweep` v2 artifact (see EXPERIMENTS.md).
+/// Assemble the `malnet.par_sweep` v3 artifact (see EXPERIMENTS.md).
+#[allow(clippy::too_many_arguments)]
 fn sweep_json(
     samples: usize,
     seed: u64,
     stage: &[(usize, u64)],
     pipeline: &[PipelineRow],
+    shards: &[ShardRow],
     divergent: &[usize],
+    divergent_day_shards: &[(usize, usize)],
     report: &malnet_telemetry::RunReport,
 ) -> String {
     let mut out = String::new();
-    out.push_str("{\"schema\":\"malnet.par_sweep\",\"version\":2,");
+    out.push_str("{\"schema\":\"malnet.par_sweep\",\"version\":3,");
     let _ = write!(out, "\"samples\":{samples},\"seed\":{seed},");
     out.push_str("\"stage_sweep\":[");
     for (i, (n, wall_us)) in stage.iter().enumerate() {
@@ -223,6 +314,17 @@ fn sweep_json(
             row.parallelism, row.phase_a_us, row.phase_b_us, row.probing_us
         );
     }
+    out.push_str("],\"shard_sweep\":[");
+    for (i, row) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"day_shards\":{},\"parallelism\":{},\"wall_us\":{}}}",
+            row.day_shards, row.parallelism, row.wall_us
+        );
+    }
     out.push_str("],");
     let _ = write!(
         out,
@@ -230,6 +332,15 @@ fn sweep_json(
         divergent
             .iter()
             .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let _ = write!(
+        out,
+        "\"divergent_day_shards\":[{}],",
+        divergent_day_shards
+            .iter()
+            .map(|(s, n)| format!("{{\"day_shards\":{s},\"parallelism\":{n}}}"))
             .collect::<Vec<_>>()
             .join(",")
     );

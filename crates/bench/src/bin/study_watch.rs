@@ -10,7 +10,14 @@
 //! * **`--follow`**: tail the file, re-rendering as new complete lines
 //!   arrive, until the stream's `stream_end` line lands (the one place
 //!   in the workspace that legitimately sleeps on a wall clock; the
-//!   bench crate is `source_lint`'s clock-exempt zone).
+//!   bench crate is `source_lint`'s clock-exempt zone). The tail is
+//!   **stateful** ([`StreamTail`]): each tick reads only the bytes
+//!   appended since the last one and folds them incrementally, so a
+//!   long study costs O(stream) total instead of the old
+//!   re-read-and-refold-everything O(stream²). A torn trailing line
+//!   (observed between the sink's write and flush) is carried, not
+//!   folded, until its newline arrives; a shrinking file (truncation /
+//!   rotation) resets the tail and starts over.
 //! * **`--validate`**: strict mode for CI — the stream must be complete
 //!   and well-formed ([`validate_stream`]), and, when a final report is
 //!   present (`--report`, default `results/run_report.json`), folding
@@ -22,9 +29,9 @@
 //! Usage:
 //! `study_watch [--events PATH] [--report PATH] [--validate] [--stream-only] [--follow]`
 
-use malnet_telemetry::events::{
-    fold_matches_report, parse_event_line, validate_stream, StreamSummary,
-};
+use std::io::{Read, Seek, SeekFrom};
+
+use malnet_telemetry::events::{fold_matches_report, validate_stream, StreamSummary, StreamTail};
 use malnet_telemetry::RunReport;
 
 struct Args {
@@ -107,51 +114,33 @@ fn render(summary: &StreamSummary, complete: bool) {
     }
 }
 
-/// Lenient fold of a possibly-incomplete stream for the live renderer:
-/// fold every line that parses, stop at the first that doesn't (a
-/// trailing partial line is expected mid-run — the sink flushes whole
-/// lines, so only the file's tail can be torn). No structural checks
-/// here; `--validate` uses the strict [`validate_stream`] path.
-fn fold_prefix(text: &str) -> (StreamSummary, bool) {
-    let mut summary = StreamSummary::default();
-    let mut complete = false;
-    for line in text.lines() {
-        let Ok(ev) = parse_event_line(line) else {
-            break;
-        };
-        summary.events += 1;
-        match ev.kind.as_str() {
-            "stream_end" => complete = true,
-            "day_start" => summary.days.extend(ev.u64("day")),
-            "heartbeat" => {
-                summary.heartbeats += 1;
-                if let Some(done) = ev.u64("samples_completed") {
-                    summary.samples_completed = done;
-                }
-            }
-            "counters" => {
-                summary.final_counters = ev
-                    .fields
-                    .iter()
-                    .filter_map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
-                    .collect();
-            }
-            "rollup" => {
-                if let Some(key) = ev.key.clone() {
-                    let fields = ev
-                        .fields
-                        .iter()
-                        .filter_map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
-                        .collect();
-                    summary.rollups.push((key, fields));
-                }
-            }
-            "quarantine" => summary.quarantines += 1,
-            "chaos" => summary.chaos_events += 1,
-            _ => {}
-        }
+/// Read the bytes appended to `path` since `offset` and feed them into
+/// the tail. Returns the new offset. A file shorter than `offset`
+/// (truncated or rotated mid-watch) resets the tail and re-reads from
+/// the start, so the watcher converges on the new stream instead of
+/// folding a stale suffix.
+fn tail_step(path: &str, tail: &mut StreamTail, offset: u64) -> u64 {
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return offset; // not created yet — keep waiting
+    };
+    let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+    let mut offset = offset;
+    if len < offset {
+        *tail = StreamTail::new();
+        offset = 0;
     }
-    (summary, complete)
+    if len == offset {
+        return offset;
+    }
+    if f.seek(SeekFrom::Start(offset)).is_err() {
+        return offset;
+    }
+    let mut fresh = String::new();
+    let Ok(n) = f.read_to_string(&mut fresh) else {
+        return offset; // torn read; retry next tick
+    };
+    tail.push(&fresh);
+    offset + n as u64
 }
 
 fn main() {
@@ -213,14 +202,16 @@ fn main() {
     }
 
     if args.follow {
-        // Live tail: poll for appended complete lines until stream_end.
-        // Wall-clock sleeping is fine here — the watcher observes the
-        // study, it is not part of it.
+        // Live tail: poll for appended bytes until stream_end. Each
+        // tick folds only the new bytes (see `tail_step`). Wall-clock
+        // sleeping is fine here — the watcher observes the study, it is
+        // not part of it.
+        let mut tail = StreamTail::new();
+        let mut offset = 0u64;
         loop {
-            let text = std::fs::read_to_string(&args.events).unwrap_or_default();
-            let (summary, complete) = fold_prefix(&text);
-            render(&summary, complete);
-            if complete {
+            offset = tail_step(&args.events, &mut tail, offset);
+            render(tail.summary(), tail.is_complete());
+            if tail.is_complete() {
                 return;
             }
             std::thread::sleep(std::time::Duration::from_millis(500));
@@ -234,6 +225,8 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let (summary, complete) = fold_prefix(&text);
-    render(&summary, complete);
+    let mut tail = StreamTail::new();
+    tail.push(&text);
+    tail.flush_partial();
+    render(tail.summary(), tail.is_complete());
 }

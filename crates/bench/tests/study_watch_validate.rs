@@ -53,6 +53,97 @@ fn scratch(test: &str) -> PathBuf {
         .join(format!("{}-{}", std::process::id(), test))
 }
 
+/// `--follow` must keep watching an incomplete stream (including one
+/// whose last line is torn mid-JSON) and exit cleanly once the
+/// remainder — ending in `stream_end` — is appended. This drives the
+/// stateful `StreamTail` path end to end: the watcher only ever reads
+/// the appended bytes, so the torn line is carried across ticks and
+/// folded exactly once when its terminator lands.
+#[test]
+fn follow_tails_a_growing_stream_to_completion() {
+    use std::io::Write;
+
+    let dir = scratch("follow-grows");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sink = EventSink::in_memory();
+    let tel = Telemetry::enabled_with_events(sink.clone());
+    for day in 0..6u64 {
+        tel.event("day_start", None, &[("day", Field::U(day))]);
+        tel.event(
+            "heartbeat",
+            None,
+            &[("day", Field::U(day)), ("samples_completed", Field::U(day))],
+        );
+        tel.rollup("day", &[("day", day), ("samples", 1)]);
+    }
+    tel.counters_event();
+    tel.finish_events();
+    let text = sink.contents().unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let split = lines.len() / 2;
+
+    // First write: half the stream plus a torn fragment of the next line.
+    let events = dir.join("events.jsonl");
+    let (torn_head, torn_tail) = lines[split].split_at(lines[split].len() / 2);
+    let mut first = lines[..split].join("\n");
+    first.push('\n');
+    first.push_str(torn_head);
+    std::fs::write(&events, &first).unwrap();
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_study_watch"))
+        .arg("--events")
+        .arg(&events)
+        .arg("--follow")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn study_watch --follow");
+    // Give the watcher a couple of poll ticks on the incomplete stream:
+    // it must still be running (no stream_end yet).
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    assert!(
+        child.try_wait().unwrap().is_none(),
+        "watcher exited before stream_end arrived"
+    );
+
+    // Append the rest: the torn line's terminator, then everything up
+    // to and including stream_end.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&events)
+        .unwrap();
+    writeln!(f, "{torn_tail}").unwrap();
+    for line in &lines[split + 1..] {
+        writeln!(f, "{line}").unwrap();
+    }
+    drop(f);
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watcher never saw stream_end"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    };
+    assert!(status.success(), "watcher exited {status:?}");
+    let mut stdout = String::new();
+    use std::io::Read;
+    child
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut stdout)
+        .unwrap();
+    assert!(
+        stdout.contains("study complete"),
+        "final render missing: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn pristine_stream_validates_against_its_report() {
     let dir = scratch("pristine");

@@ -1,11 +1,13 @@
 //! The pipeline's deterministic fan-out primitive.
 //!
-//! Both parallel stages (phase A's contained activations, phase B's
-//! restricted sessions, and the prober's per-day rounds) share the same
-//! scheduling discipline: worker threads pull item indices from a
-//! shared counter, each item's result is written into its own
-//! index-addressed slot, and the caller reads the slots back in item
-//! order. The *completion* order is scheduling-dependent; the returned
+//! Every parallel stage — phase A's contained activations, phase B's
+//! restricted sessions, the prober's per-day rounds, the reduce's
+//! liveness probes, and the day-epoch pool itself (whole contiguous
+//! day-ranges run as `EpochRun` units, nesting their own per-sample
+//! fan-outs inside; see DESIGN.md §8a) — shares the same scheduling
+//! discipline: worker threads pull item indices from a shared counter,
+//! each item's result is written into its own index-addressed slot,
+//! and the caller reads the slots back in item order. The *completion* order is scheduling-dependent; the returned
 //! order never is — which is the first leg of the byte-determinism
 //! argument in DESIGN.md §8 (the second leg is that `run` itself must
 //! be a pure function of the item).

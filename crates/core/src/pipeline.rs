@@ -16,13 +16,34 @@
 //!    (C2-only egress) and extracts DDoS commands (§2.5),
 //! 6. runs the D-PC2 probing study in its two-week window (§2.3b),
 //! 7. re-queries the feeds at the end ("May 7th") for Table 3.
+//!
+//! ## Day-epoch sharding
+//!
+//! Days no longer execute as one sequential walk. The study plan (which
+//! sample runs on which day) is computed up front, partitioned into
+//! [`PipelineOpts::day_shards`] contiguous day-ranges ("epochs"), and
+//! each epoch runs as an independent unit over [`crate::par::fan_out`]:
+//! phase A (contained activation), phase B (world-effect merge +
+//! restricted sessions) and the epoch's own [`VendorDb`] knowledge delta
+//! and [`Datasets`] slice, all pure functions of `(world, opts, epoch
+//! days)`. Cross-day state — the C2 liveness-tracking table and the
+//! merged vendor knowledge — is owned exclusively by the deterministic
+//! reduce ([`merge_epoch_results`]): it folds epoch deltas in canonical
+//! day order, re-resolves every liveness transition (including ones that
+//! straddle an epoch edge) through a pure per-`(day, address)` oracle,
+//! and emits the entire `malnet.events` day stream from the fold, so the
+//! stream and every dataset byte are independent of how many shards (or
+//! worker threads) executed the study. DESIGN.md §8 states the ownership
+//! rules; `crates/core/tests/parallel_determinism.rs` proves the
+//! byte-identity across day-shards × parallelism × chaos.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::panic::AssertUnwindSafe;
 
-use malnet_prng::sub_seed;
-use malnet_telemetry::{Field as EventField, Telemetry};
+use malnet_prng::{fnv1a, sub_seed};
+use malnet_telemetry::{Field as EventField, SpanCtx, Telemetry};
 
 use malnet_botgen::exploitdb;
 use malnet_botgen::world::World;
@@ -85,13 +106,20 @@ pub struct PipelineOpts {
     pub static_triage: bool,
     /// Day of the final feed re-query (paper: 2022-05-07 ≈ day 432).
     pub late_query_day: u32,
-    /// Worker threads for the contained-activation stage. `1` (the
-    /// default) keeps the fully sequential legacy path; larger values fan
-    /// contained sandbox runs out over OS threads. Every value produces
-    /// byte-identical datasets: each sample's contained run draws from
-    /// its own [`sub_seed`]-derived RNG and results are merged back in
-    /// sample-id order (see DESIGN.md).
+    /// Worker threads for the fan-out stages (contained activation,
+    /// restricted sessions, the epoch pool and the liveness oracle).
+    /// `1` (the default) keeps every stage a plain sequential loop.
+    /// Every value produces byte-identical datasets: each unit of work
+    /// draws from its own [`sub_seed`]-derived RNG and results are
+    /// merged back in canonical order (see DESIGN.md §8).
     pub parallelism: usize,
+    /// Contiguous day-ranges ("epochs") the study plan is split into.
+    /// `1` (the default) runs the whole study as a single epoch; larger
+    /// values let epochs execute concurrently on the epoch pool. Every
+    /// value produces byte-identical datasets and event streams: all
+    /// cross-day state lives in the deterministic epoch reduce
+    /// ([`merge_epoch_results`]), never inside an epoch.
+    pub day_shards: usize,
     /// Deterministic chaos-engineering fault plan. [`FaultPlan::none`]
     /// (the default) injects nothing, draws no randomness, and leaves
     /// every byte of the datasets untouched; any other plan perturbs the
@@ -130,6 +158,7 @@ impl Default for PipelineOpts {
             static_triage: true,
             late_query_day: STUDY_DAYS + 45,
             parallelism: 1,
+            day_shards: 1,
             faults: FaultPlan::none(),
             syn_retries: 2,
             block_engine: true,
@@ -152,6 +181,8 @@ impl PipelineOpts {
     }
 }
 
+/// Cross-day tracking state for one C2 — owned exclusively by the epoch
+/// reduce's chronological fold.
 struct TrackState {
     ip: Ipv4Addr,
     port: u16,
@@ -162,15 +193,6 @@ struct TrackState {
 /// The pipeline engine.
 pub struct Pipeline {
     opts: PipelineOpts,
-    vendors: VendorDb,
-    engines: EngineModel,
-    data: Datasets,
-    // BTreeMap, not HashMap: `daily_liveness_sweep` iterates this map
-    // and its order decides the order liveness connections are created
-    // on the shared network. A hash map would randomize that order
-    // across *processes* (`RandomState` is seeded per-process), breaking
-    // cross-run reproducibility of the datasets.
-    tracking: BTreeMap<String, TrackState>,
     tel: Telemetry,
 }
 
@@ -187,183 +209,68 @@ impl Pipeline {
     /// `crates/core/tests/parallel_determinism.rs`). Snapshot the
     /// results with [`Telemetry::report`] after [`Pipeline::run`].
     pub fn with_telemetry(opts: PipelineOpts, tel: Telemetry) -> Self {
-        Pipeline {
-            vendors: VendorDb::new(opts.seed),
-            engines: EngineModel::new(opts.seed),
-            data: Datasets::default(),
-            tracking: BTreeMap::new(),
-            opts,
-            tel,
-        }
+        Pipeline { opts, tel }
     }
 
     /// Run the full study over a world and return the datasets.
-    pub fn run(mut self, world: &World) -> (Datasets, VendorDb) {
-        let tel = self.tel.clone();
+    ///
+    /// Orchestration only: the per-day work happens inside the epoch
+    /// pool ([`run_day_epochs`]) and every cross-day effect inside the
+    /// reduce ([`merge_epoch_results`]); this method wraps them with the
+    /// study lifecycle (events, late feed re-query, D-PC2 probing).
+    pub fn run(self, world: &World) -> (Datasets, VendorDb) {
+        let Pipeline { opts, tel } = self;
         let _run_span = tel.span("pipeline.run");
-        // A run must be a pure function of `(world, opts)`: the C2
-        // responsiveness chains live in the world and would otherwise
-        // carry state from a previous run over the same `World`.
-        world.reset_respond_chains();
-        let mut analyzed = 0usize;
-        let mut days_with_samples: Vec<u32> = world.publish_days();
-        days_with_samples.sort_unstable();
-        let last_day = days_with_samples.last().copied().unwrap_or(0) + self.opts.track_max_days;
+        let plans = day_plans(world, &opts);
+        let analyzed: usize = plans.iter().map(|p| p.batch.len()).sum();
+        let bound = study_bound(world, &opts);
 
-        // Event-stream lifecycle: every emission below happens on this
-        // coordinator thread at a deterministic point (day boundaries,
-        // in-order merges), with payloads derived only from simulation
-        // state and counters whose day-boundary totals are
-        // schedule-independent — so the stream itself is deterministic
-        // and provably inert (see telemetry::events).
+        // Event-stream lifecycle: every emission happens on this
+        // coordinator thread at a deterministic point (the reduce's
+        // day-ordered fold, post-join milestones), with payloads derived
+        // only from simulation state and recorded per-day deltas — so
+        // the stream itself is deterministic and provably inert across
+        // parallelism AND day-shard counts (see telemetry::events).
         tel.event(
             "study_start",
             None,
             &[
-                ("seed", EventField::U(self.opts.seed)),
-                ("parallelism", EventField::U(self.opts.parallelism as u64)),
+                ("seed", EventField::U(opts.seed)),
+                ("parallelism", EventField::U(opts.parallelism as u64)),
+                ("day_shards", EventField::U(opts.day_shards.max(1) as u64)),
                 ("samples", EventField::U(world.samples.len() as u64)),
-                (
-                    "last_day",
-                    EventField::U(u64::from(
-                        last_day.min(STUDY_DAYS + self.opts.track_max_days),
-                    )),
-                ),
+                ("last_day", EventField::U(u64::from(bound))),
             ],
         );
-        let samples_analyzed = tel.counter("pipeline.samples_analyzed");
-        let instructions_retired = tel.counter("sandbox.instructions_retired");
-        for day in 0..=last_day.min(STUDY_DAYS + self.opts.track_max_days) {
-            let new_samples = world.samples_published_on(day);
-            let has_tracking = !self.tracking.is_empty();
-            if new_samples.is_empty() && !has_tracking {
-                continue;
-            }
-            let day_span = tel.span("pipeline.day");
-            let day_start = tel.stopwatch();
-            tel.event(
-                "day_start",
-                None,
-                &[
-                    ("day", EventField::U(u64::from(day))),
-                    ("new_samples", EventField::U(new_samples.len() as u64)),
-                ],
-            );
-            // One world network per day: shared by liveness probes and
-            // restricted sessions.
-            let (mut net, _logs) = world.network_for_day(day, self.opts.seed);
-            net.set_telemetry(&tel);
-            // Only the coordinator's application of the day's fault plan
-            // emits chaos events; the workers' re-applications on
-            // detached nets describe the same faults.
-            apply_world_chaos(&self.opts.faults, world, &mut net, day, &tel, true);
-            self.daily_liveness_sweep(&mut net, day);
-            // Select the day's batch up front (`samples_published_on`
-            // returns ids in ascending order) so the contained stage can
-            // fan out while the merge stays canonically ordered.
-            let mut batch: Vec<usize> = new_samples.iter().map(|s| s.id).collect();
-            if let Some(max) = self.opts.max_samples {
-                batch.truncate(max.saturating_sub(analyzed));
-            }
-            analyzed += batch.len();
-            samples_analyzed.add(batch.len() as u64);
-            let phase = |name: &str, edge: &str| {
-                tel.event(
-                    edge,
-                    None,
-                    &[
-                        ("phase", EventField::S(name)),
-                        ("day", EventField::U(u64::from(day))),
-                    ],
-                );
-            };
-            let outcomes = {
-                let _phase_a = tel.span("pipeline.phase_a");
-                phase("phase_a", "phase_start");
-                let outcomes = run_contained_batch(world, &self.opts, day, &batch, &tel);
-                phase("phase_a", "phase_end");
-                outcomes
-            };
-            {
-                // Phase B splits in three: B1 replays every world-network
-                // effect on the coordinator in sample-id order, B2 fans
-                // restricted sessions out over detached per-sample
-                // networks, B3 folds their evidence back in sample-id
-                // order. Only B2 is parallel; B1/B3 own all shared state.
-                let _phase_b = tel.span("pipeline.phase_b");
-                phase("phase_b", "phase_start");
-                let mut jobs: Vec<RestrictedJob> = Vec::new();
-                for outcome in outcomes {
-                    match outcome {
-                        Ok(out) => {
-                            if let Some(job) = self.merge_world_effects(world, &mut net, day, out) {
-                                jobs.push(job);
-                            }
-                        }
-                        Err(q) => self.quarantine_sample(world, day, q),
-                    }
-                }
-                let sessions = run_restricted_batch(world, &self.opts, day, &jobs, &tel);
-                for session in sessions {
-                    self.merge_ddos_evidence(world, day, session);
-                }
-                phase("phase_b", "phase_end");
-            }
-            drop(day_span);
-            tel.rollup(
-                "day",
-                &[
-                    ("day", u64::from(day)),
-                    ("new_samples", batch.len() as u64),
-                    ("tracked_c2s", self.tracking.len() as u64),
-                    ("c2s_known", self.data.c2s.len() as u64),
-                    ("wall_us", day_start.elapsed_us()),
-                ],
-            );
-            // Progress heartbeat + counter snapshot at the day boundary:
-            // every fan-out has joined, so counter totals here are pure
-            // functions of (world, opts) — no wall clocks involved.
-            tel.event(
-                "heartbeat",
-                None,
-                &[
-                    ("day", EventField::U(u64::from(day))),
-                    ("samples_completed", EventField::U(analyzed as u64)),
-                    (
-                        "instructions_retired",
-                        EventField::U(instructions_retired.get()),
-                    ),
-                    ("tracked_c2s", EventField::U(self.tracking.len() as u64)),
-                ],
-            );
-            tel.counters_event();
-        }
+
+        let epochs = run_day_epochs(world, &opts, &tel);
+        let (mut data, vendors) = merge_epoch_results(world, &opts, epochs, &tel);
 
         // Final feed re-query ("May 7th 2022").
         {
             let _late_span = tel.span("pipeline.late_query");
-            let late = self.opts.late_query_day;
-            for rec in self.data.c2s.values_mut() {
-                let v = self.vendors.query(&rec.addr, late);
+            let late = opts.late_query_day;
+            for rec in data.c2s.values_mut() {
+                let v = vendors.query(&rec.addr, late);
                 rec.vt_late = v.is_malicious();
                 rec.vt_late_vendors = v.count();
             }
         }
 
         // D-PC2 probing study.
-        if self.opts.run_probing {
+        if opts.run_probing {
             let weapons = probe_weapons(world);
             if !weapons.is_empty() {
                 let _probe_span = tel.span("pipeline.probing");
                 let cfg = ProbeConfig {
-                    rounds: self.opts.probe_rounds,
-                    hosts_per_subnet: self.opts.probe_hosts_per_subnet,
-                    syn_retries: self.opts.syn_retries,
-                    parallelism: self.opts.parallelism,
-                    block_engine: self.opts.block_engine,
+                    rounds: opts.probe_rounds,
+                    hosts_per_subnet: opts.probe_hosts_per_subnet,
+                    syn_retries: opts.syn_retries,
+                    parallelism: opts.parallelism,
+                    block_engine: opts.block_engine,
                     ..ProbeConfig::from_world(world)
                 };
-                self.data.probed = prober::run_probing(world, &weapons, &cfg, self.opts.seed, &tel);
+                data.probed = prober::run_probing(world, &weapons, &cfg, opts.seed, &tel);
             }
         }
 
@@ -377,43 +284,327 @@ impl Pipeline {
             None,
             &[
                 ("samples_analyzed", EventField::U(analyzed as u64)),
-                ("c2s_known", EventField::U(self.data.c2s.len() as u64)),
-                ("probed_c2s", EventField::U(self.data.probed.len() as u64)),
+                ("c2s_known", EventField::U(data.c2s.len() as u64)),
+                ("probed_c2s", EventField::U(data.probed.len() as u64)),
             ],
         );
         tel.finish_events();
 
-        (self.data, self.vendors)
+        (data, vendors)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Study planning: which sample runs on which day, and which epoch owns
+// which day. All pure functions of (world, opts).
+// ---------------------------------------------------------------------
+
+/// One study day's planned phase-A batch (sample ids in ascending
+/// order, after the global `max_samples` truncation).
+#[derive(Debug, Clone)]
+struct DayPlan {
+    day: u32,
+    batch: Vec<usize>,
+}
+
+/// Last day the chronological fold walks: tracking may outlive the feed
+/// by up to `track_max_days`.
+fn study_bound(world: &World, opts: &PipelineOpts) -> u32 {
+    let last_publish = world.publish_days().into_iter().max().unwrap_or(0);
+    (last_publish + opts.track_max_days).min(STUDY_DAYS + opts.track_max_days)
+}
+
+/// The study plan: every day with a non-empty batch, in day order. The
+/// `max_samples` cap is applied here — on the *plan*, before any epoch
+/// runs — so the cap is a global property of the study, not of whichever
+/// epoch happens to execute first.
+fn day_plans(world: &World, opts: &PipelineOpts) -> Vec<DayPlan> {
+    let bound = study_bound(world, opts);
+    let mut days: Vec<u32> = world.publish_days();
+    days.sort_unstable();
+    let mut analyzed = 0usize;
+    let mut plans = Vec::new();
+    for day in days {
+        if day > bound {
+            continue;
+        }
+        // `samples_published_on` returns ids in ascending order, so the
+        // batch — and everything the merge stages do — is canonical.
+        let mut batch: Vec<usize> = world
+            .samples_published_on(day)
+            .iter()
+            .map(|s| s.id)
+            .collect();
+        if let Some(max) = opts.max_samples {
+            batch.truncate(max.saturating_sub(analyzed));
+        }
+        analyzed += batch.len();
+        if batch.is_empty() {
+            continue;
+        }
+        plans.push(DayPlan { day, batch });
+    }
+    plans
+}
+
+/// Partition the plan into `shards` contiguous day-ranges, balanced by
+/// cumulative sample count (an epoch's cost is dominated by its sandbox
+/// runs, not its day count). Deterministic, order-preserving, and never
+/// produces an empty epoch.
+fn partition_epochs(plans: Vec<DayPlan>, shards: usize) -> Vec<Vec<DayPlan>> {
+    let shards = shards.max(1);
+    let total: usize = plans.iter().map(|p| p.batch.len()).sum::<usize>().max(1);
+    let mut parts: Vec<Vec<DayPlan>> = Vec::new();
+    let mut cum = 0usize;
+    let mut last_shard = usize::MAX;
+    for plan in plans {
+        cum += plan.batch.len();
+        let shard = ((cum - 1) * shards / total).min(shards - 1);
+        if shard != last_shard {
+            parts.push(Vec::new());
+            last_shard = shard;
+        }
+        if let Some(cur) = parts.last_mut() {
+            cur.push(plan);
+        }
+    }
+    parts
+}
+
+// ---------------------------------------------------------------------
+// Epoch execution: everything a contiguous day-range produces on its
+// own, as plain mergeable data.
+// ---------------------------------------------------------------------
+
+/// A stream-event payload value recorded inside an epoch for the reduce
+/// to replay. Owned mirror of [`EventField`].
+#[derive(Debug, Clone)]
+enum RecVal {
+    U(u64),
+    S(String),
+}
+
+/// One stream event an epoch recorded instead of emitting: epochs run
+/// concurrently, so only the reduce's day-ordered fold may write to the
+/// event sink.
+#[derive(Debug, Clone)]
+struct RecordedEvent {
+    kind: &'static str,
+    fields: Vec<(&'static str, RecVal)>,
+}
+
+impl RecordedEvent {
+    fn emit(&self, tel: &Telemetry) {
+        let fields: Vec<(&str, EventField<'_>)> = self
+            .fields
+            .iter()
+            .map(|(name, v)| {
+                let f = match v {
+                    RecVal::U(u) => EventField::U(*u),
+                    RecVal::S(s) => EventField::S(s.as_str()),
+                };
+                (*name, f)
+            })
+            .collect();
+        tel.event(self.kind, None, &fields);
+    }
+}
+
+/// A day-0 liveness hit recorded by an epoch: the reduce replays it to
+/// update `C2Record::live_days`/`ip` and to seed the tracking table —
+/// the two cross-day effects an epoch must not apply itself.
+#[derive(Debug, Clone)]
+struct Day0Live {
+    addr: String,
+    ip: Ipv4Addr,
+    port: u16,
+}
+
+/// One day's mergeable residue inside an [`EpochResult`].
+#[derive(Debug, Clone)]
+struct EpochDay {
+    day: u32,
+    batch_len: usize,
+    /// Instructions retired by this day's contained + restricted runs
+    /// (the reduce reconstructs heartbeat totals from these, so the
+    /// stream is independent of scheduling).
+    instructions: u64,
+    /// Wall time of the epoch-side day work (masked in determinism
+    /// comparisons, like every wall-clock value).
+    wall_us: u64,
+    events: Vec<RecordedEvent>,
+    day0_live: Vec<Day0Live>,
+}
+
+/// Everything one epoch (a contiguous run of batch days) produced: its
+/// dataset slice, its vendor-knowledge delta, and per-day residues for
+/// the reduce. Opaque outside this module — tests treat it as a value
+/// to shuffle and merge.
+#[derive(Debug, Clone)]
+pub struct EpochResult {
+    start_day: u32,
+    days: Vec<EpochDay>,
+    data: Datasets,
+    vendors: VendorDb,
+}
+
+/// One epoch's running state while its days execute.
+struct EpochRun<'a> {
+    world: &'a World,
+    opts: &'a PipelineOpts,
+    tel: Telemetry,
+    engines: EngineModel,
+    vendors: VendorDb,
+    data: Datasets,
+}
+
+/// Run the study plan as [`PipelineOpts::day_shards`] epochs on the
+/// epoch pool and return their results in epoch (day) order.
+///
+/// Each epoch is a pure function of `(world, opts, its days)`: every
+/// network it touches is detached ([`World::network_for_day_detached`],
+/// per-day [`DOMAIN_WORLD_NET`] sub-seeds), every RNG stream is
+/// per-sample or per-address, and no epoch reads the tracking table or
+/// another epoch's vendor knowledge. Public so the epoch-merge
+/// permutation proptest can drive [`merge_epoch_results`] with shuffled
+/// inputs.
+pub fn run_day_epochs(world: &World, opts: &PipelineOpts, tel: &Telemetry) -> Vec<EpochResult> {
+    let plans = day_plans(world, opts);
+    let parts = partition_epochs(plans, opts.day_shards);
+    // Workers re-attach their epoch spans under the coordinator's run
+    // span, same as every other fan-out in the workspace.
+    let parent = tel.current_span();
+    crate::par::fan_out(
+        parts.len(),
+        opts.parallelism,
+        |i| run_epoch(world, opts, &parts[i], tel, &parent),
+        // Unreachable short of a harness bug (see `fan_out`): an empty
+        // epoch keeps the reduce total-ordered instead of aborting.
+        |i| EpochResult {
+            start_day: parts[i].first().map_or(0, |p| p.day),
+            days: Vec::new(),
+            data: Datasets::default(),
+            vendors: VendorDb::new(opts.seed),
+        },
+    )
+}
+
+/// Execute one epoch's days in order. Runs on an epoch-pool worker; the
+/// only shared state it touches is (commutative) telemetry.
+fn run_epoch(
+    world: &World,
+    opts: &PipelineOpts,
+    plans: &[DayPlan],
+    tel: &Telemetry,
+    parent: &SpanCtx,
+) -> EpochResult {
+    let _epoch_span = tel.span_under("pipeline.epoch", parent);
+    let mut run = EpochRun {
+        world,
+        opts,
+        tel: tel.clone(),
+        engines: EngineModel::new(opts.seed),
+        vendors: VendorDb::new(opts.seed),
+        data: Datasets::default(),
+    };
+    let mut days = Vec::with_capacity(plans.len());
+    for plan in plans {
+        days.push(run.run_day(plan));
+    }
+    EpochResult {
+        start_day: plans.first().map_or(0, |p| p.day),
+        days,
+        data: run.data,
+        vendors: run.vendors,
+    }
+}
+
+impl EpochRun<'_> {
+    /// One epoch day: phase A fan-out, then the B1/B2/B3 split from
+    /// PR 5, recording cross-day effects instead of applying them.
+    fn run_day(&mut self, plan: &DayPlan) -> EpochDay {
+        let tel = self.tel.clone();
+        let day = plan.day;
+        let day_span = tel.span("pipeline.day");
+        let watch = tel.stopwatch();
+        let mut eday = EpochDay {
+            day,
+            batch_len: plan.batch.len(),
+            instructions: 0,
+            wall_us: 0,
+            events: Vec::new(),
+            day0_live: Vec::new(),
+        };
+        tel.add("pipeline.samples_analyzed", plan.batch.len() as u64);
+        // The epoch's own network for this day: identical topology to
+        // what any other shard layout would build, private RNG and
+        // responsiveness chains ([`DOMAIN_WORLD_NET`]).
+        let (mut net, _logs) = self
+            .world
+            .network_for_day_detached(day, sub_seed(self.opts.seed ^ DOMAIN_WORLD_NET, day, 0));
+        net.set_telemetry(&tel);
+        apply_world_chaos(&self.opts.faults, self.world, &mut net, day, &tel);
+        let outcomes = {
+            let _phase_a = tel.span("pipeline.phase_a");
+            run_contained_batch(self.world, self.opts, day, &plan.batch, &tel)
+        };
+        {
+            // Phase B splits in three: B1 replays every world-network
+            // effect in sample-id order on the epoch's day network, B2
+            // fans restricted sessions out over detached per-sample
+            // networks, B3 folds their evidence back in sample-id
+            // order. Only B2 is parallel; B1/B3 own the epoch state.
+            let _phase_b = tel.span("pipeline.phase_b");
+            let mut jobs: Vec<RestrictedJob> = Vec::new();
+            for outcome in outcomes {
+                match outcome {
+                    Ok(out) => {
+                        eday.instructions += out.instructions;
+                        if let Some(job) = self.merge_world_effects(&mut net, day, out, &mut eday) {
+                            jobs.push(job);
+                        }
+                    }
+                    Err(q) => self.quarantine_sample(day, q, &mut eday),
+                }
+            }
+            let sessions = run_restricted_batch(self.world, self.opts, day, &jobs, &tel);
+            for session in sessions {
+                eday.instructions += session.instructions;
+                self.merge_ddos_evidence(day, session);
+            }
+        }
+        drop(day_span);
+        eday.wall_us = watch.elapsed_us();
+        eday
     }
 
     /// Phase-B handling of a sample whose phase-A worker panicked: the
     /// casualty is recorded in D-Health and the study continues. This
     /// replaces the old abort-on-panic behaviour — one crashing sample
     /// must not cost a multi-day study.
-    fn quarantine_sample(&mut self, world: &World, day: u32, q: Quarantined) {
+    fn quarantine_sample(&mut self, day: u32, q: Quarantined, eday: &mut EpochDay) {
         self.tel.add("pipeline.samples_quarantined", 1);
-        // Emitted in sample-id order from the B1 merge loop, so the
-        // stream position is deterministic.
-        self.tel.event(
-            "quarantine",
-            None,
-            &[
-                ("sha256", EventField::S(&world.samples[q.sample_id].sha256)),
-                ("day", EventField::U(u64::from(day))),
-                ("kind", EventField::S("worker-panic")),
-                ("detail", EventField::S(&q.detail)),
+        let sha = self.world.samples[q.sample_id].sha256.clone();
+        // Recorded in sample-id order from the B1 merge loop, so the
+        // replayed stream position is deterministic.
+        eday.events.push(RecordedEvent {
+            kind: "quarantine",
+            fields: vec![
+                ("sha256", RecVal::S(sha.clone())),
+                ("day", RecVal::U(u64::from(day))),
+                ("kind", RecVal::S("worker-panic".to_string())),
+                ("detail", RecVal::S(q.detail.clone())),
             ],
-        );
+        });
         for ctx in &q.fault_context {
-            self.tel.event(
-                "chaos",
-                None,
-                &[
-                    ("day", EventField::U(u64::from(day))),
-                    ("sha256", EventField::S(&world.samples[q.sample_id].sha256)),
-                    ("detail", EventField::S(ctx)),
+            eday.events.push(RecordedEvent {
+                kind: "chaos",
+                fields: vec![
+                    ("day", RecVal::U(u64::from(day))),
+                    ("sha256", RecVal::S(sha.clone())),
+                    ("detail", RecVal::S(ctx.clone())),
                 ],
-            );
+            });
         }
         *self
             .data
@@ -422,7 +613,7 @@ impl Pipeline {
             .entry("worker-panic".to_string())
             .or_insert(0) += 1;
         self.data.health.rows.push(HealthRecord {
-            sha256: world.samples[q.sample_id].sha256.clone(),
+            sha256: sha,
             day,
             kind: HealthKind::WorkerPanic,
             detail: q.detail,
@@ -430,61 +621,22 @@ impl Pipeline {
         });
     }
 
-    /// Probe all tracked C2s once on `day` (re-probing misses up to
-    /// `opts.syn_retries` times with linear backoff).
-    fn daily_liveness_sweep(&mut self, net: &mut Network, day: u32) {
-        if self.tracking.is_empty() {
-            return;
-        }
-        let _span = self.tel.span("pipeline.liveness_sweep");
-        self.tel
-            .add("pipeline.liveness_probes", self.tracking.len() as u64);
-        // BTreeMap iteration order: the connect order is canonical.
-        let targets: Vec<(String, Ipv4Addr, u16)> = self
-            .tracking
-            .iter()
-            .map(|(addr, t)| (addr.clone(), t.ip, t.port))
-            .collect();
-        let live = liveness_probe_rounds(net, &targets, self.opts.syn_retries, &self.tel);
-        let mut drop_list = Vec::new();
-        for (addr, t) in self.tracking.iter_mut() {
-            t.days += 1;
-            if live.contains(addr) {
-                t.misses = 0;
-                if let Some(rec) = self.data.c2s.get_mut(addr) {
-                    rec.live_days.push(day);
-                }
-            } else {
-                t.misses += 1;
-            }
-            if t.misses > self.opts.track_grace_days || t.days > self.opts.track_max_days {
-                drop_list.push(addr.clone());
-            }
-        }
-        for addr in drop_list {
-            self.tracking.remove(&addr);
-        }
-    }
-
     /// Phase B1: merge one sample's contained-activation outcome into
-    /// the study state on the coordinator thread.
+    /// the epoch state in sample-id order.
     ///
     /// Every *order-sensitive* effect lives here — vendor registration
-    /// and feed queries, DNS resolution and day-0 liveness probes on the
-    /// shared world network, tracking-table inserts, and all record
-    /// pushes — so calling this in sample-id order reproduces the
-    /// canonical sequence no matter how phase A was scheduled. The one
-    /// effect that used to live here but is order-*insensitive* — the
-    /// restricted DDoS-observation session — is hoisted out: when the
-    /// sample activated with live C2s this returns a [`RestrictedJob`]
-    /// for the phase-B worker pool ([`run_restricted_batch`]), whose
-    /// evidence rejoins the datasets in [`Pipeline::merge_ddos_evidence`].
+    /// and feed queries (against the epoch's own delta), DNS resolution
+    /// and day-0 liveness probes on the epoch's day network, and all
+    /// record pushes. The two effects that cross days — tracking-table
+    /// inserts and `live_days`/`ip` updates — are **recorded** into the
+    /// epoch day ([`Day0Live`]) for the reduce to replay, because only
+    /// the reduce owns cross-day state.
     fn merge_world_effects(
         &mut self,
-        world: &World,
         net: &mut Network,
         day: u32,
         outcome: ContainedOutcome,
+        eday: &mut EpochDay,
     ) -> Option<RestrictedJob> {
         let tel = self.tel.clone();
         let _merge_span = tel.span("pipeline.merge");
@@ -502,21 +654,20 @@ impl Pipeline {
             emu_faults,
         } = outcome;
         self.data.triage.extend(triage);
-        let sample = &world.samples[sample_id];
+        let sample = &self.world.samples[sample_id];
         // Chaos that touched this sample's contained run (binary
-        // mutation, injected faults), streamed here — the B1 merge runs
-        // on the coordinator in sample-id order — rather than from the
-        // racing phase-A workers that observed it.
+        // mutation, injected faults), recorded here — the B1 merge runs
+        // in sample-id order — rather than from the racing phase-A
+        // workers that observed it.
         for ctx in &fault_context {
-            tel.event(
-                "chaos",
-                None,
-                &[
-                    ("day", EventField::U(u64::from(day))),
-                    ("sha256", EventField::S(&sample.sha256)),
-                    ("detail", EventField::S(ctx)),
+            eday.events.push(RecordedEvent {
+                kind: "chaos",
+                fields: vec![
+                    ("day", RecVal::U(u64::from(day))),
+                    ("sha256", RecVal::S(sample.sha256.clone())),
+                    ("detail", RecVal::S(ctx.clone())),
                 ],
-            );
+            });
         }
         // D-Health accounting: every contained run's exit reason is
         // tallied; sandbox faults (including malformed-ELF rejects) and
@@ -537,16 +688,15 @@ impl Pipeline {
             } else {
                 class
             };
-            tel.event(
-                "quarantine",
-                None,
-                &[
-                    ("sha256", EventField::S(&sample.sha256)),
-                    ("day", EventField::U(u64::from(day))),
-                    ("kind", EventField::S(kind_label)),
-                    ("detail", EventField::S(&exit)),
+            eday.events.push(RecordedEvent {
+                kind: "quarantine",
+                fields: vec![
+                    ("sha256", RecVal::S(sample.sha256.clone())),
+                    ("day", RecVal::U(u64::from(day))),
+                    ("kind", RecVal::S(kind_label.to_string())),
+                    ("detail", RecVal::S(exit.clone())),
                 ],
-            );
+            });
             self.data.health.rows.push(HealthRecord {
                 sha256: sample.sha256.clone(),
                 day,
@@ -555,15 +705,16 @@ impl Pipeline {
                 fault_context: fault_context.clone(),
             });
         }
+        // Pure per-(day, sample) AV-consensus draw: no shared RNG, so
+        // every shard layout sees the same count.
         let av = self
             .engines
-            .detections_for_malware()
+            .detections_for_malware(day, sample_id as u64)
             .max(sample.av_detections.min(60));
 
         // Exploits (D-Exploits).
         self.data.exploits.extend(exploits);
 
-        let known_c2s_before = self.data.c2s.len();
         let mut live_c2_ips: Vec<(String, Ipv4Addr, u16, Option<Family>)> = Vec::new();
         let mut c2_addrs = Vec::new();
         for cand in &candidates {
@@ -575,9 +726,17 @@ impl Pipeline {
             } else {
                 Some(cand.ip)
             };
+            // Epoch-local knowledge accrual: records are pure per
+            // address, so if this is the address's globally-earliest
+            // sighting the record (and the verdict below) is exactly
+            // what the merged database derives; if an earlier epoch saw
+            // it first, that epoch's C2Record wins the merge and this
+            // one's feed fields are discarded.
             self.vendors.register(&cand.addr, cand.dns, day);
             let verdict = self.vendors.query(&cand.addr, day);
-            let asn = real_ip.and_then(|ip| world.asdb.asn_of(ip)).map(|a| a.0);
+            let asn = real_ip
+                .and_then(|ip| self.world.asdb.asn_of(ip))
+                .map(|a| a.0);
             let family_label = cand
                 .family_from_traffic
                 .or_else(|| family_from_label(yara.as_deref()));
@@ -611,34 +770,23 @@ impl Pipeline {
             }
             rec.protocol_verified |= cand.family_from_traffic.is_some();
 
-            // Day-0 liveness probe on the real network.
+            // Day-0 liveness probe on the real network. The hit itself
+            // is pure — the epoch's day net is a function of (world,
+            // opts, day) — but its consequences (tracking entry,
+            // live-day/ip bookkeeping) cross days, so they are recorded
+            // for the reduce instead of applied here.
             if let Some(ip) = real_ip {
                 let live = tcp_probe(net, ip, cand.port);
                 if live {
-                    // The entry was inserted above; `if let` (rather
-                    // than an `expect`) keeps the hot path panic-free.
-                    if let Some(rec) = self.data.c2s.get_mut(&cand.addr) {
-                        if !rec.live_days.contains(&day) {
-                            rec.live_days.push(day);
-                        }
-                        rec.ip = ip;
-                    }
-                    self.tracking
-                        .entry(cand.addr.clone())
-                        .or_insert(TrackState {
-                            ip,
-                            port: cand.port,
-                            misses: 0,
-                            days: 0,
-                        });
+                    eday.day0_live.push(Day0Live {
+                        addr: cand.addr.clone(),
+                        ip,
+                        port: cand.port,
+                    });
                     live_c2_ips.push((cand.addr.clone(), ip, cand.port, family_label));
                 }
             }
         }
-        tel.add(
-            "pipeline.c2_detected",
-            (self.data.c2s.len() - known_c2s_before) as u64,
-        );
         tel.add("pipeline.c2_live_day0", live_c2_ips.len() as u64);
 
         self.data.samples.push(SampleRecord {
@@ -665,12 +813,14 @@ impl Pipeline {
     }
 
     /// Phase B3: fold one restricted session's DDoS evidence into the
-    /// datasets on the coordinator thread. Runs in sample-id order, so
-    /// the duplicate-command gate and the feed queries see exactly the
-    /// state the sequential pipeline would have.
-    fn merge_ddos_evidence(&mut self, world: &World, day: u32, session: RestrictedOutcome) {
+    /// epoch's datasets in sample-id order. The duplicate-command gate
+    /// is day-local and a day belongs to exactly one epoch, so the gate
+    /// sees exactly the records the sequential pipeline would have. The
+    /// feed-knowledge flag is provisional (epoch-local knowledge); the
+    /// reduce recomputes it against the merged database.
+    fn merge_ddos_evidence(&mut self, day: u32, session: RestrictedOutcome) {
         let _merge_span = self.tel.span("pipeline.merge");
-        let sample = &world.samples[session.sample_id];
+        let sample = &self.world.samples[session.sample_id];
         for (addr, ip, fam, cmds) in session.evidence {
             for c in cmds {
                 if !c.verified {
@@ -709,22 +859,317 @@ impl Pipeline {
     }
 }
 
+// ---------------------------------------------------------------------
+// The epoch reduce: the only owner of cross-day state.
+// ---------------------------------------------------------------------
+
+/// Stitch epoch results into the study's datasets and vendor database,
+/// and emit the canonical day-event stream.
+///
+/// Deterministic and **order-invariant**: epochs are first sorted by
+/// their start day (they cover disjoint contiguous day-ranges), then
+///
+/// 1. vendor-knowledge deltas fold with earliest-discovery-day-wins
+///    semantics ([`VendorDb::absorb`] — order-invariant because records
+///    are pure per address),
+/// 2. dataset slices concatenate in day order; C2 records merge with
+///    earliest-sighting-wins for the per-address fields and day-ordered
+///    concatenation for sample/family lists,
+/// 3. a chronological fold walks every study day, owning the tracking
+///    table: it re-resolves each tracked C2's liveness through a pure
+///    per-`(day, address)` oracle ([`DOMAIN_LIVENESS_NET`]) — which is
+///    what re-resolves transitions straddling an epoch edge — replays
+///    the epochs' recorded day-0 hits, and emits the day's events
+///    (day_start, chaos windows, phase markers, rollup, heartbeat) from
+///    recorded per-day deltas, never from live counters.
+///
+/// The permutation proptest in `crates/core/tests/proptests.rs` feeds
+/// this shuffled epoch vectors and asserts byte-identical dumps.
+pub fn merge_epoch_results(
+    world: &World,
+    opts: &PipelineOpts,
+    mut epochs: Vec<EpochResult>,
+    tel: &Telemetry,
+) -> (Datasets, VendorDb) {
+    let _reduce_span = tel.span("pipeline.reduce");
+    epochs.sort_by_key(|e| e.start_day);
+
+    // 1. Vendor knowledge: fold every epoch's delta.
+    let mut vendors = VendorDb::new(opts.seed);
+    for e in &epochs {
+        vendors.absorb(&e.vendors.delta());
+    }
+
+    // 2. Dataset slices, in day (= sorted epoch) order.
+    let mut data = Datasets::default();
+    for e in &mut epochs {
+        data.samples.append(&mut e.data.samples);
+        data.triage.append(&mut e.data.triage);
+        data.exploits.append(&mut e.data.exploits);
+        data.ddos.append(&mut e.data.ddos);
+        data.health.rows.append(&mut e.data.health.rows);
+        for (class, n) in std::mem::take(&mut e.data.health.exit_counts) {
+            *data.health.exit_counts.entry(class).or_insert(0) += n;
+        }
+        for (addr, rec) in std::mem::take(&mut e.data.c2s) {
+            match data.c2s.entry(addr) {
+                Entry::Vacant(slot) => {
+                    // Earliest epoch wins the address-level fields
+                    // (first sighting, feed verdicts, endpoint data) —
+                    // identical to what the sequential insert saw.
+                    slot.insert(rec);
+                }
+                Entry::Occupied(mut slot) => {
+                    let dst = slot.get_mut();
+                    for sha in rec.samples {
+                        if !dst.samples.contains(&sha) {
+                            dst.samples.push(sha);
+                        }
+                    }
+                    for fam in rec.families {
+                        if !dst.families.contains(&fam) {
+                            dst.families.push(fam);
+                        }
+                    }
+                    dst.protocol_verified |= rec.protocol_verified;
+                }
+            }
+        }
+    }
+    // Feed-knowledge flags recomputed against the *merged* database:
+    // an epoch only knew its own registrations, so its provisional
+    // flags can miss knowledge an earlier epoch accrued.
+    for d in &mut data.ddos {
+        d.c2_known_to_feeds = vendors.query(&d.c2_addr, d.day).is_malicious();
+    }
+    // Every merged C2 record was a new detection exactly once.
+    tel.add("pipeline.c2_detected", data.c2s.len() as u64);
+
+    // 3. Chronological fold: tracking, liveness, and the day stream.
+    let eday_by_day: BTreeMap<u32, &EpochDay> = epochs
+        .iter()
+        .flat_map(|e| e.days.iter())
+        .map(|d| (d.day, d))
+        .collect();
+    let bound = study_bound(world, opts);
+    let mut tracking: BTreeMap<String, TrackState> = BTreeMap::new();
+    let mut analyzed = 0u64;
+    let mut instructions = 0u64;
+    for day in 0..=bound {
+        let eday = eday_by_day.get(&day).copied();
+        if eday.is_none() && tracking.is_empty() {
+            continue;
+        }
+        let fold_watch = tel.stopwatch();
+        let batch_len = eday.map_or(0, |d| d.batch_len);
+        tel.event(
+            "day_start",
+            None,
+            &[
+                ("day", EventField::U(u64::from(day))),
+                ("new_samples", EventField::U(batch_len as u64)),
+            ],
+        );
+        emit_chaos_downtime_events(&opts.faults, world, day, tel);
+        // Daily liveness sweep over the tracked set — before the day's
+        // phase replay, mirroring the sequential schedule. Each target
+        // is re-resolved through the pure per-(day, address) oracle, so
+        // a transition on an epoch-boundary day resolves exactly as it
+        // would have in any other shard layout.
+        if !tracking.is_empty() {
+            let _sweep_span = tel.span("pipeline.liveness_sweep");
+            tel.add("pipeline.liveness_probes", tracking.len() as u64);
+            // BTreeMap iteration order: the probe order is canonical.
+            let targets: Vec<(String, Ipv4Addr, u16)> = tracking
+                .iter()
+                .map(|(addr, t)| (addr.clone(), t.ip, t.port))
+                .collect();
+            let parent = tel.current_span();
+            let alive: Vec<bool> = crate::par::fan_out(
+                targets.len(),
+                opts.parallelism,
+                |i| {
+                    let _span = tel.span_under("pipeline.liveness_probe", &parent);
+                    liveness_oracle(world, opts, day, &targets[i], tel)
+                },
+                // Unreachable short of a harness bug (see `fan_out`).
+                |_| false,
+            );
+            let mut drop_list = Vec::new();
+            for ((addr, _, _), is_live) in targets.iter().zip(&alive) {
+                let Some(t) = tracking.get_mut(addr) else {
+                    continue;
+                };
+                t.days += 1;
+                if *is_live {
+                    t.misses = 0;
+                    if let Some(rec) = data.c2s.get_mut(addr) {
+                        rec.live_days.push(day);
+                    }
+                } else {
+                    t.misses += 1;
+                }
+                if t.misses > opts.track_grace_days || t.days > opts.track_max_days {
+                    drop_list.push(addr.clone());
+                }
+            }
+            for addr in drop_list {
+                tracking.remove(&addr);
+            }
+        }
+        let phase = |name: &str, edge: &str| {
+            tel.event(
+                edge,
+                None,
+                &[
+                    ("phase", EventField::S(name)),
+                    ("day", EventField::U(u64::from(day))),
+                ],
+            );
+        };
+        phase("phase_a", "phase_start");
+        phase("phase_a", "phase_end");
+        phase("phase_b", "phase_start");
+        if let Some(d) = eday {
+            // Replay the epoch's recorded B1/B3 stream events, then its
+            // day-0 liveness hits (in occurrence order): live-day and
+            // endpoint updates on the merged records, and the tracking
+            // inserts that start tomorrow's sweeps.
+            for ev in &d.events {
+                ev.emit(tel);
+            }
+            for hit in &d.day0_live {
+                if let Some(rec) = data.c2s.get_mut(&hit.addr) {
+                    if !rec.live_days.contains(&day) {
+                        rec.live_days.push(day);
+                    }
+                    rec.ip = hit.ip;
+                }
+                tracking.entry(hit.addr.clone()).or_insert(TrackState {
+                    ip: hit.ip,
+                    port: hit.port,
+                    misses: 0,
+                    days: 0,
+                });
+            }
+            analyzed += d.batch_len as u64;
+            instructions += d.instructions;
+        }
+        phase("phase_b", "phase_end");
+        let c2s_known = data
+            .c2s
+            .values()
+            .filter(|r| r.first_seen_day <= day)
+            .count() as u64;
+        tel.rollup(
+            "day",
+            &[
+                ("day", u64::from(day)),
+                ("new_samples", batch_len as u64),
+                ("tracked_c2s", tracking.len() as u64),
+                ("c2s_known", c2s_known),
+                (
+                    "wall_us",
+                    eday.map_or(0, |d| d.wall_us) + fold_watch.elapsed_us(),
+                ),
+            ],
+        );
+        // Progress heartbeat at the day boundary, reconstructed from
+        // recorded per-day deltas — pure functions of (world, opts) —
+        // so the stream is identical at every shard/thread count.
+        tel.event(
+            "heartbeat",
+            None,
+            &[
+                ("day", EventField::U(u64::from(day))),
+                ("samples_completed", EventField::U(analyzed)),
+                ("instructions_retired", EventField::U(instructions)),
+                ("tracked_c2s", EventField::U(tracking.len() as u64)),
+            ],
+        );
+    }
+
+    (data, vendors)
+}
+
+/// The pure per-`(day, address)` liveness oracle the reduce's daily
+/// sweep consults: a single-target probe (with the usual bounded SYN
+/// retries) against a detached day network derived from the address's
+/// own [`DOMAIN_LIVENESS_NET`] sub-seed, with the day's fault plan
+/// applied — chaos downtime windows affect the oracle exactly as they
+/// affect every other view of the world.
+fn liveness_oracle(
+    world: &World,
+    opts: &PipelineOpts,
+    day: u32,
+    target: &(String, Ipv4Addr, u16),
+    tel: &Telemetry,
+) -> bool {
+    let (mut net, _logs) = world.network_for_day_detached(
+        day,
+        sub_seed(
+            opts.seed ^ DOMAIN_LIVENESS_NET,
+            day,
+            fnv1a(target.0.as_bytes()),
+        ),
+    );
+    net.set_telemetry(tel);
+    apply_world_chaos(&opts.faults, world, &mut net, day, tel);
+    let live = liveness_probe_rounds(
+        &mut net,
+        std::slice::from_ref(target),
+        opts.syn_retries,
+        tel,
+    );
+    !live.is_empty()
+}
+
+/// Emit the day's scheduled C2-downtime chaos events. The reduce calls
+/// this once per active day; the *application* of those windows happens
+/// on every network that models the day (epoch day nets, restricted
+/// nets, oracle nets) via [`apply_world_chaos`], which never emits.
+fn emit_chaos_downtime_events(plan: &FaultPlan, world: &World, day: u32, tel: &Telemetry) {
+    if plan.is_none() {
+        return;
+    }
+    for c2 in &world.c2s {
+        if !c2.alive_on(day) {
+            continue;
+        }
+        if let Some((start, dur)) = plan.downtime_window(day, c2.host_ip) {
+            let ip = c2.host_ip.to_string();
+            tel.event(
+                "chaos",
+                None,
+                &[
+                    ("day", EventField::U(u64::from(day))),
+                    ("kind", EventField::S("c2_downtime")),
+                    ("ip", EventField::S(&ip)),
+                    ("start_secs", EventField::U(start)),
+                    ("duration_secs", EventField::U(dur)),
+                ],
+            );
+        }
+    }
+}
+
 /// Apply the day's share of the fault plan to a world-derived network:
 /// link faults, DNS failure injection, and scheduled C2 downtime
 /// windows. A no-op (that draws no randomness) for the empty plan.
 ///
-/// A free function because two kinds of network need it: the
-/// coordinator's shared world network and each restricted session's
-/// detached network ([`run_restricted_batch`]) — the same day must see
-/// the same faults on both, or a restricted session would observe a C2
-/// the liveness sweep saw go down.
+/// A free function because every kind of day network needs it — the
+/// epoch's day network, each restricted session's detached network
+/// ([`run_restricted_batch`]) and each liveness-oracle network — and
+/// the same day must see the same faults on all of them, or a
+/// restricted session would observe a C2 the liveness sweep saw go
+/// down. Never emits events: the stream's chaos announcements come from
+/// the reduce ([`emit_chaos_downtime_events`]), exactly once per day.
 fn apply_world_chaos(
     plan: &FaultPlan,
     world: &World,
     net: &mut Network,
     day: u32,
     tel: &Telemetry,
-    emit: bool,
 ) {
     if plan.is_none() {
         return;
@@ -740,30 +1185,12 @@ fn apply_world_chaos(
             net.schedule_host_state(c2.host_ip, down_at, false);
             net.schedule_host_state(c2.host_ip, down_at + SimDuration::from_secs(dur), true);
             tel.add("chaos.c2_downtime_windows", 1);
-            // `emit` is true only on the coordinator's per-day
-            // application; each restricted worker re-applies the same
-            // plan to its detached net, which must not re-announce
-            // (or race) the identical window.
-            if emit {
-                let ip = c2.host_ip.to_string();
-                tel.event(
-                    "chaos",
-                    None,
-                    &[
-                        ("day", EventField::U(u64::from(day))),
-                        ("kind", EventField::S("c2_downtime")),
-                        ("ip", EventField::S(&ip)),
-                        ("start_secs", EventField::U(start)),
-                        ("duration_secs", EventField::U(dur)),
-                    ],
-                );
-            }
         }
     }
 }
 
 /// One sample's pending restricted DDoS-observation session: emitted by
-/// [`Pipeline::merge_world_effects`] (phase B1) and consumed by the
+/// [`EpochRun::merge_world_effects`] (phase B1) and consumed by the
 /// phase-B worker pool ([`run_restricted_batch`]).
 #[derive(Debug, Clone)]
 struct RestrictedJob {
@@ -774,11 +1201,14 @@ struct RestrictedJob {
     live: Vec<(String, Ipv4Addr, u16, Option<Family>)>,
 }
 
-/// Everything one restricted session produced, as plain data the
-/// coordinator merges in sample-id order (phase B3).
+/// Everything one restricted session produced, as plain data the epoch
+/// merges in sample-id order (phase B3).
 struct RestrictedOutcome {
     /// The sample's id in `world.samples`.
     sample_id: usize,
+    /// Instructions the restricted run retired (feeds the reduce's
+    /// heartbeat reconstruction).
+    instructions: u64,
     /// Per live C2: `(addr, ip, family, extracted commands)` in the
     /// job's candidate order.
     evidence: Vec<(
@@ -794,8 +1224,8 @@ struct RestrictedOutcome {
 ///
 /// Each session runs against its **own detached network** built by
 /// [`World::network_for_day_detached`] from a [`SeedStream::RestrictedNet`]
-/// sub-seed: same topology and day as the coordinator's world network,
-/// but private RNG state and private C2 responsiveness chains, so one
+/// sub-seed: same topology and day as the epoch's day network, but
+/// private RNG state and private C2 responsiveness chains, so one
 /// session's traffic can never perturb another's — the property that
 /// makes the fan-out byte-deterministic (DESIGN.md §8). The day's fault
 /// plan is re-applied to every detached network so chaos runs see
@@ -810,7 +1240,7 @@ fn run_restricted_batch(
     if jobs.is_empty() {
         return Vec::new();
     }
-    // Workers re-attach their spans under the coordinator's phase-B span.
+    // Workers re-attach their spans under the epoch's phase-B span.
     let parent = tel.current_span();
     crate::par::fan_out(
         jobs.len(),
@@ -825,7 +1255,7 @@ fn run_restricted_batch(
                     sample_seed(opts.seed, day, job.sample_id, SeedStream::RestrictedNet),
                 );
                 net.set_telemetry(tel);
-                apply_world_chaos(&opts.faults, world, &mut net, day, tel, false);
+                apply_world_chaos(&opts.faults, world, &mut net, day, tel);
                 let mut allowed: Vec<Ipv4Addr> = job.live.iter().map(|(_, ip, _, _)| *ip).collect();
                 allowed.push(malnet_botgen::world::WORLD_RESOLVER);
                 let mut sb = Sandbox::new(
@@ -862,6 +1292,7 @@ fn run_restricted_batch(
                 .collect();
             RestrictedOutcome {
                 sample_id: job.sample_id,
+                instructions: session.instructions,
                 evidence,
             }
         },
@@ -869,6 +1300,7 @@ fn run_restricted_batch(
         // "session produced nothing" rather than aborting the study.
         |i| RestrictedOutcome {
             sample_id: jobs[i].sample_id,
+            instructions: 0,
             evidence: Vec::new(),
         },
     )
@@ -886,8 +1318,15 @@ const DOMAIN_CONTAINED_SANDBOX: u64 = 0x5eed_0000_0000_0001;
 const DOMAIN_RESTRICTED: u64 = 0x5eed_0000_0000_0002;
 /// Sub-seed domain for the restricted session's detached world-derived
 /// [`Network`] ([`World::network_for_day_detached`]): same topology as
-/// the coordinator's world net, private RNG + responsiveness chains.
+/// the epoch's day net, private RNG + responsiveness chains.
 const DOMAIN_RESTRICTED_NET: u64 = 0x5eed_0000_0000_0003;
+/// Sub-seed domain for an epoch's per-day world [`Network`] — the net
+/// that hosts B1's DNS resolutions and day-0 liveness probes. Keyed by
+/// day only, so every shard layout derives the identical network.
+const DOMAIN_WORLD_NET: u64 = 0x5eed_0000_0000_0006;
+/// Sub-seed domain for the reduce's per-`(day, address)` liveness-oracle
+/// [`Network`]s (the address hashes in through [`fnv1a`]).
+const DOMAIN_LIVENESS_NET: u64 = 0x5eed_0000_0000_0007;
 
 /// The per-sample RNG streams derived from the master seed. Each stream
 /// gets its own [`sub_seed`] domain so the contained network, contained
@@ -919,6 +1358,69 @@ fn sample_seed(master: u64, day: u32, sample_id: usize, stream: SeedStream) -> u
         SeedStream::RestrictedNet => DOMAIN_RESTRICTED_NET,
     };
     sub_seed(master ^ domain, day, sample_id as u64)
+}
+
+/// Every sub-seed stream a study over `(world, opts)` can draw, each
+/// labelled by its coordinates: the four per-`(day, sample)` streams,
+/// the per-sample AV-consensus stream, the per-day world networks, the
+/// per-`(day, address)` liveness-oracle networks and the per-address
+/// vendor-feed streams.
+///
+/// Input to the `sub_seed_domains_never_collide` proptest: two entries
+/// with different labels must never share a seed — the domain-
+/// separation property the epoch refactor leans on (a collision would
+/// let one stream's draws echo into another, silently correlating
+/// "independent" runs).
+pub fn seed_inventory(world: &World, opts: &PipelineOpts) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let plans = day_plans(world, opts);
+    let bound = study_bound(world, opts);
+    for plan in &plans {
+        let day = plan.day;
+        out.push((
+            format!("world_net/{day}"),
+            sub_seed(opts.seed ^ DOMAIN_WORLD_NET, day, 0),
+        ));
+        for &id in &plan.batch {
+            for (name, stream) in [
+                ("contained_net", SeedStream::ContainedNet),
+                ("contained_sandbox", SeedStream::ContainedSandbox),
+                ("restricted", SeedStream::Restricted),
+                ("restricted_net", SeedStream::RestrictedNet),
+            ] {
+                out.push((
+                    format!("{name}/{day}/{id}"),
+                    sample_seed(opts.seed, day, id, stream),
+                ));
+            }
+            out.push((
+                format!("av_engines/{day}/{id}"),
+                malnet_intel::engines::engine_seed(opts.seed, day, id as u64),
+            ));
+        }
+    }
+    // Every address form a study can register or track: the C2s'
+    // carried endpoints (IP or domain) and their host addresses.
+    let mut addrs: Vec<String> = Vec::new();
+    for c2 in &world.c2s {
+        addrs.push(c2.endpoint.to_string());
+        addrs.push(c2.host_ip.to_string());
+    }
+    addrs.sort_unstable();
+    addrs.dedup();
+    for addr in &addrs {
+        out.push((
+            format!("vendor_addr/{addr}"),
+            malnet_intel::feeds::vendor_addr_seed(opts.seed, addr),
+        ));
+        for day in 0..=bound {
+            out.push((
+                format!("liveness_net/{day}/{addr}"),
+                sub_seed(opts.seed ^ DOMAIN_LIVENESS_NET, day, fnv1a(addr.as_bytes())),
+            ));
+        }
+    }
+    out
 }
 
 /// Everything the contained-activation stage (phase A) produces for one
@@ -1224,7 +1726,7 @@ pub fn run_contained_batch(
     batch: &[usize],
     tel: &Telemetry,
 ) -> Vec<Result<ContainedOutcome, Quarantined>> {
-    // Workers re-attach their per-sample spans under the coordinator's
+    // Workers re-attach their per-sample spans under the epoch's
     // phase-A span (or wherever the caller sits — the bench harness
     // calls this with no span open, which degrades to a root span).
     let parent = tel.current_span();
@@ -1292,8 +1794,14 @@ fn family_from_label(label: Option<&str>) -> Option<Family> {
 /// windows erases a live C2's entry — the bug the
 /// `syn_retry_survives_transient_loss` regression test pins down.
 ///
+/// The `pipeline.liveness_retries` counter ticks once per re-probe SYN
+/// actually sent (a retry-round connection for a still-pending target),
+/// never ahead of the probe itself — semantics pinned by the
+/// `liveness_retry_counter_counts_actual_reprobes` regression test.
+///
 /// Public so the regression suite can drive the sweep against a
-/// hand-built network; the pipeline calls it from its daily sweep.
+/// hand-built network; the pipeline calls it from the reduce's daily
+/// sweep (via the per-address liveness oracle).
 pub fn liveness_probe_rounds(
     net: &mut Network,
     targets: &[(String, Ipv4Addr, u16)],
@@ -1310,11 +1818,13 @@ pub fn liveness_probe_rounds(
         if pending.is_empty() {
             break;
         }
-        if attempt > 0 {
-            tel.add("pipeline.liveness_retries", pending.len() as u64);
-        }
         let mut socks: BTreeMap<u64, String> = BTreeMap::new();
         for (addr, ip, port) in &pending {
+            // Count each re-probe as it is sent — a retry that never
+            // happens (everything already answered) must not count.
+            if attempt > 0 {
+                tel.add("pipeline.liveness_retries", 1);
+            }
             let sock = net.ext_tcp_connect(MONITOR_IP, *ip, *port);
             socks.insert(sock.0, addr.clone());
         }

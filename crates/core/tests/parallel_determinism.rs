@@ -12,6 +12,11 @@
 //! uninstrumented one at every parallelism level, and the telemetry
 //! *counters* themselves — being commutative atomic adds driven only by
 //! simulation events — must agree across parallelism levels too.
+//!
+//! The day-shard axis (`PipelineOpts::day_shards`) joins the matrix at
+//! the bottom of the file: splitting the study into mergeable day-range
+//! epochs must be invisible in the datasets, the vendor state, and the
+//! (wall-clock-masked) event stream.
 
 use malnet_botgen::world::{World, WorldConfig};
 use malnet_core::chaos::FaultPlan;
@@ -46,6 +51,34 @@ fn run_dumps_with(
 
 fn run_dumps(world: &World, seed: u64, parallelism: usize) -> (String, String) {
     run_dumps_with(world, seed, parallelism, Telemetry::disabled())
+}
+
+/// Mask the digits after every `"<field>":` occurrence — for comparing
+/// event streams across configurations that legitimately differ in a
+/// wall-clock or echoed-config field.
+fn mask_field(stream: &str, field: &str) -> String {
+    let needle = format!("\"{field}\":");
+    let mut out = String::with_capacity(stream.len());
+    let mut rest = stream;
+    while let Some(at) = rest.find(&needle) {
+        let digits_at = at + needle.len();
+        out.push_str(&rest[..digits_at]);
+        out.push('X');
+        rest = rest[digits_at..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Everything schedule- or config-variant in the stream: the day
+/// rollup's `wall_us` (the stream's one wall-clock field) and
+/// `study_start`'s echo of the configured parallelism and day-shard
+/// count.
+fn mask_variant_fields(stream: &str) -> String {
+    mask_field(
+        &mask_field(&mask_field(stream, "wall_us"), "parallelism"),
+        "day_shards",
+    )
 }
 
 /// The core differential: for each master seed, parallelism ∈ {1, 2, 8}
@@ -609,28 +642,6 @@ fn event_streaming_is_inert_and_foldable() {
     use malnet_telemetry::events::{fold_matches_report, validate_stream};
     use malnet_telemetry::EventSink;
 
-    /// Mask the digits after every `"<field>":` occurrence.
-    fn mask_field(stream: &str, field: &str) -> String {
-        let needle = format!("\"{field}\":");
-        let mut out = String::with_capacity(stream.len());
-        let mut rest = stream;
-        while let Some(at) = rest.find(&needle) {
-            let digits_at = at + needle.len();
-            out.push_str(&rest[..digits_at]);
-            out.push('X');
-            rest = rest[digits_at..].trim_start_matches(|c: char| c.is_ascii_digit());
-        }
-        out.push_str(rest);
-        out
-    }
-
-    /// Everything schedule- or config-variant in the stream: the day
-    /// rollup's `wall_us` (the stream's one wall-clock field) and
-    /// `study_start`'s echo of the configured parallelism.
-    fn mask_variant_fields(stream: &str) -> String {
-        mask_field(&mask_field(stream, "wall_us"), "parallelism")
-    }
-
     let seed = 8181;
     let world = test_world(seed);
     for plan in [FaultPlan::none(), FaultPlan::chaos(17)] {
@@ -697,6 +708,115 @@ fn event_streaming_is_inert_and_foldable() {
                 !plan.is_none()
             );
             assert_eq!(&folded_reports[0], &folded_reports[i]);
+        }
+    }
+}
+
+/// The ISSUE's day-epoch acceptance matrix: day-shards {1, 2, 8} ×
+/// parallelism {1, 8} × fault plan {none, fixed-seed chaos} — every
+/// cell produces the bytes of that fault arm's unsharded, sequential
+/// baseline. This is the headline differential of the epoch refactor:
+/// splitting the study into mergeable day-range epochs (each carrying
+/// its own vendor-knowledge delta and C2 tracking residue, stitched by
+/// the deterministic reduce) must be invisible in every dataset and
+/// vendor-state byte, including liveness transitions that straddle an
+/// epoch boundary.
+#[test]
+fn day_shard_matrix_is_byte_identical() {
+    let seed = 7272;
+    let world = test_world(seed);
+    for plan in [FaultPlan::none(), FaultPlan::chaos(29)] {
+        let run = |shards: usize, par: usize| {
+            let opts = PipelineOpts {
+                seed,
+                parallelism: par,
+                day_shards: shards,
+                max_samples: Some(24),
+                faults: plan,
+                ..PipelineOpts::fast()
+            };
+            let (data, vendors) = Pipeline::new(opts).run(&world);
+            (data.canonical_dump(), vendors.canonical_dump())
+        };
+        let baseline = run(1, 1);
+        // The matrix must have cross-day state to disagree on: tracked
+        // C2s with observed live days, spread over several study days.
+        assert!(
+            baseline.0.contains("== D-C2s ==") && baseline.0.contains("live_days"),
+            "baseline has no liveness tracking to stitch"
+        );
+        for shards in [1usize, 2, 8] {
+            for par in [1usize, 8] {
+                if shards == 1 && par == 1 {
+                    continue; // that cell *is* the baseline
+                }
+                let cell = run(shards, par);
+                assert_eq!(
+                    baseline,
+                    cell,
+                    "day-shard matrix diverged at day_shards={shards}, \
+                     parallelism={par}, chaos={}",
+                    !plan.is_none()
+                );
+            }
+        }
+    }
+}
+
+/// The epoch-sharded event stream upholds the same contracts as the
+/// unsharded one: it validates structurally, its fold reconstructs the
+/// final report's counters and rollup rows exactly
+/// (`fold_matches_report`), and — with the wall-clock and echoed-config
+/// fields masked — the stream is byte-identical across day-shard and
+/// parallelism choices, because every day event is emitted by the
+/// reduce's chronological fold from recorded per-day deltas.
+#[test]
+fn epoch_sharded_stream_is_foldable_and_shard_invariant() {
+    use malnet_telemetry::events::{fold_matches_report, validate_stream};
+    use malnet_telemetry::EventSink;
+
+    let seed = 9393;
+    let world = test_world(seed);
+    let run = |shards: usize, par: usize| {
+        let sink = EventSink::in_memory();
+        let tel = Telemetry::enabled_with_events(sink.clone());
+        let opts = PipelineOpts {
+            seed,
+            parallelism: par,
+            day_shards: shards,
+            max_samples: Some(24),
+            ..PipelineOpts::fast()
+        };
+        let (data, vendors) = Pipeline::with_telemetry(opts, tel.clone()).run(&world);
+        let stream = sink.contents().expect("in-memory sink");
+        (
+            stream,
+            tel.report(),
+            (data.canonical_dump(), vendors.canonical_dump()),
+        )
+    };
+    let (base_stream, base_report, base_dumps) = run(1, 1);
+    let base_summary = validate_stream(&base_stream).expect("baseline stream invalid");
+    fold_matches_report(&base_summary, &base_report).expect("baseline fold mismatch");
+    assert!(
+        base_summary.days.len() > 2,
+        "study too short to exercise epoch boundaries"
+    );
+    for shards in [2usize, 8] {
+        for par in [1usize, 8] {
+            let (stream, report, dumps) = run(shards, par);
+            let summary = validate_stream(&stream).unwrap_or_else(|e| {
+                panic!("invalid stream at day_shards={shards}, parallelism={par}: {e}")
+            });
+            fold_matches_report(&summary, &report).unwrap_or_else(|e| {
+                panic!("fold mismatch at day_shards={shards}, parallelism={par}: {e}")
+            });
+            assert_eq!(base_dumps, dumps, "dumps diverged at day_shards={shards}");
+            assert_eq!(
+                mask_variant_fields(&base_stream),
+                mask_variant_fields(&stream),
+                "masked stream diverged at day_shards={shards}, parallelism={par}"
+            );
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Property tests for the analysis layer: statistics invariants and
 //! extractor totality on arbitrary traffic.
 
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::OnceLock;
 
@@ -8,11 +9,15 @@ use proptest::prelude::*;
 
 use malnet_botgen::world::{World, WorldConfig};
 use malnet_core::ddos;
-use malnet_core::pipeline::{contained_activation, PipelineOpts};
+use malnet_core::pipeline::{
+    contained_activation, merge_epoch_results, run_day_epochs, seed_inventory, EpochResult,
+    PipelineOpts,
+};
 use malnet_core::prober::{merge_round_results, RoundResult};
 use malnet_core::stats::{Cdf, Counter};
 use malnet_prng::SeedableRng;
 use malnet_protocols::Family;
+use malnet_telemetry::Telemetry;
 use malnet_wire::packet::Packet;
 use malnet_wire::tcp::TcpFlags;
 
@@ -172,6 +177,37 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Domain separation across the whole study, epoch axis included:
+    /// no two *distinct* sub-seed streams a study draws — per-(day,
+    /// sample) sandbox/net streams, per-sample AV-consensus draws,
+    /// per-day world networks, per-(day, address) liveness-oracle
+    /// networks, per-address vendor-feed streams — may ever share a
+    /// seed, for any master seed. A collision would silently correlate
+    /// two "independent" RNG streams, which is exactly the failure mode
+    /// the epoch refactor's purity arguments rule out.
+    #[test]
+    fn sub_seed_domains_never_collide(master in any::<u64>()) {
+        let world = perm_world();
+        let opts = PipelineOpts { seed: master, ..PipelineOpts::fast() };
+        let inventory = seed_inventory(world, &opts);
+        prop_assert!(inventory.len() > 1000, "inventory too small to audit");
+        let mut by_seed: BTreeMap<u64, &str> = BTreeMap::new();
+        for (label, seed) in &inventory {
+            if let Some(prev) = by_seed.insert(*seed, label) {
+                // Labels are unique by construction, so any repeat of a
+                // seed is a cross-stream collision.
+                prop_assert_eq!(
+                    prev, label,
+                    "sub-seed collision at {:#018x}", seed
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Merge-order permutation invariance, the property the parallel
@@ -211,5 +247,53 @@ proptest! {
             let out = contained_activation(world, &opts, day, id, &on);
             prop_assert_eq!(&out, &canonical[id], "sample {} diverged", id);
         }
+    }
+}
+
+/// A fixed epoch-sharded study run once (epochs are the expensive
+/// part), plus its canonical merge dumps: the permutation property only
+/// needs the same epoch vector fed to the reduce in different orders.
+fn epoch_fixture() -> &'static (PipelineOpts, Vec<EpochResult>, String, String) {
+    static FIXTURE: OnceLock<(PipelineOpts, Vec<EpochResult>, String, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world = perm_world();
+        let opts = PipelineOpts {
+            seed: 77,
+            contained_secs: 40,
+            restricted_secs: 60,
+            handshaker_threshold: 5,
+            day_shards: 4,
+            track_max_days: 6,
+            run_probing: false,
+            ..PipelineOpts::fast()
+        };
+        let tel = Telemetry::disabled();
+        let epochs = run_day_epochs(world, &opts, &tel);
+        assert!(epochs.len() >= 2, "fixture must produce several epochs");
+        let (data, vendors) = merge_epoch_results(world, &opts, epochs.clone(), &tel);
+        let data_dump = data.canonical_dump();
+        let vendor_dump = vendors.canonical_dump();
+        (opts, epochs, data_dump, vendor_dump)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The epoch reduce is permutation-invariant: merging the same
+    /// epoch results in *any* arrival order yields byte-identical
+    /// `Datasets` and `VendorDb` canonical dumps — the property that
+    /// lets epochs complete on the pool in any schedule. (The mirror of
+    /// `prober_merge_is_permutation_invariant`, one level up.)
+    #[test]
+    fn epoch_merge_is_permutation_invariant(perm_seed in any::<u64>()) {
+        let (opts, epochs, data_dump, vendor_dump) = epoch_fixture();
+        let mut shuffled = epochs.clone();
+        let mut rng = malnet_prng::StdRng::seed_from_u64(perm_seed);
+        malnet_prng::seq::SliceRandom::shuffle(&mut shuffled[..], &mut rng);
+        let (data, vendors) =
+            merge_epoch_results(perm_world(), opts, shuffled, &Telemetry::disabled());
+        prop_assert_eq!(&data.canonical_dump(), data_dump, "datasets diverged");
+        prop_assert_eq!(&vendors.canonical_dump(), vendor_dump, "vendor db diverged");
     }
 }

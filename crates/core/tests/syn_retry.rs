@@ -63,6 +63,69 @@ fn syn_retry_survives_transient_loss() {
     );
 }
 
+/// Pin the `pipeline.liveness_retries` counter's semantics: one tick
+/// per re-probe SYN actually sent. The legacy implementation charged
+/// the whole pending set to the counter before deciding whether the
+/// retry round would probe anyone, over-reporting retries whenever
+/// targets had already answered; the counter now moves inside the
+/// connection loop, so it cannot drift from the probes on the wire.
+#[test]
+fn liveness_retry_counter_counts_actual_reprobes() {
+    let retries = |targets: &[(String, Ipv4Addr, u16)], net: &mut Network, syn_retries: u32| {
+        let tel = Telemetry::enabled();
+        liveness_probe_rounds(net, targets, syn_retries, &tel);
+        tel.report()
+            .counter("pipeline.liveness_retries")
+            .unwrap_or(0)
+    };
+
+    // A listener that answers the first SYN: zero retries, no matter
+    // how many the sweep is allowed.
+    let live_target = vec![(C2_ADDR.to_string(), C2_IP, 23u16)];
+    let t0 = SimTime::from_day(0, 0);
+    let mut net = Network::new(t0, 31);
+    net.add_service_host(C2_IP, Box::new(SinkService::new(vec![23])));
+    assert_eq!(
+        retries(&live_target, &mut net, 3),
+        0,
+        "a target that answered round 0 was charged a retry"
+    );
+
+    // A dead host: exactly one retry per allowed round, for each of
+    // syn_retries ∈ {0, 1, 3}.
+    for allowed in [0u32, 1, 3] {
+        let mut net = Network::new(t0, 32);
+        net.add_service_host(C2_IP, Box::new(SinkService::new(vec![23])));
+        net.schedule_host_state(C2_IP, t0, false); // down for good
+        assert_eq!(
+            retries(&live_target, &mut net, allowed),
+            u64::from(allowed),
+            "dead-host retry count must equal the allowed rounds"
+        );
+    }
+
+    // Mixed sweep: the live target answers round 0 and drops out of the
+    // pending set; only the two dead ones are re-probed each round.
+    let dead_a = Ipv4Addr::new(10, 9, 9, 10);
+    let dead_b = Ipv4Addr::new(10, 9, 9, 11);
+    let targets = vec![
+        (C2_ADDR.to_string(), C2_IP, 23u16),
+        ("10.9.9.10:23".to_string(), dead_a, 23u16),
+        ("10.9.9.11:23".to_string(), dead_b, 23u16),
+    ];
+    let mut net = Network::new(t0, 33);
+    net.add_service_host(C2_IP, Box::new(SinkService::new(vec![23])));
+    for ip in [dead_a, dead_b] {
+        net.add_service_host(ip, Box::new(SinkService::new(vec![23])));
+        net.schedule_host_state(ip, t0, false);
+    }
+    assert_eq!(
+        retries(&targets, &mut net, 2),
+        4,
+        "2 dead targets × 2 retry rounds must charge exactly 4 re-probes"
+    );
+}
+
 /// A C2 that is simply down stays dead no matter how many retries the
 /// sweep is allowed — retries must not manufacture liveness.
 #[test]

@@ -35,6 +35,7 @@ fn run_report_covers_every_stage() {
 
     for span in [
         "pipeline.run",
+        "pipeline.epoch",
         "pipeline.day",
         "pipeline.phase_a",
         "pipeline.phase_b",
@@ -42,7 +43,9 @@ fn run_report_covers_every_stage() {
         "pipeline.merge",
         "pipeline.restricted_session",
         "pipeline.ddos_eavesdrop",
+        "pipeline.reduce",
         "pipeline.liveness_sweep",
+        "pipeline.liveness_probe",
         "pipeline.probing",
         "pipeline.late_query",
         "prober.round",
@@ -59,14 +62,17 @@ fn run_report_covers_every_stage() {
     // coordinator phase span, not as top-level siblings — the bug was
     // that crossing the fan-out thread boundary dropped the parent.
     for (span, parent) in [
-        ("pipeline.day", "pipeline.run"),
+        ("pipeline.epoch", "pipeline.run"),
+        ("pipeline.day", "pipeline.epoch"),
         ("pipeline.phase_a", "pipeline.day"),
         ("pipeline.phase_b", "pipeline.day"),
         ("pipeline.contained_sample", "pipeline.phase_a"),
         ("pipeline.merge", "pipeline.phase_b"),
         ("pipeline.restricted_session", "pipeline.phase_b"),
         ("pipeline.ddos_eavesdrop", "pipeline.phase_b"),
-        ("pipeline.liveness_sweep", "pipeline.day"),
+        ("pipeline.reduce", "pipeline.run"),
+        ("pipeline.liveness_sweep", "pipeline.reduce"),
+        ("pipeline.liveness_probe", "pipeline.liveness_sweep"),
         ("pipeline.probing", "pipeline.run"),
         ("prober.round", "pipeline.probing"),
     ] {

@@ -19,10 +19,22 @@
 use std::collections::BTreeMap;
 
 use malnet_prng::rngs::StdRng;
-use malnet_prng::{Rng, SeedableRng};
+use malnet_prng::{fnv1a, sub_seed, Rng, SeedableRng};
 
 /// Total vendor feeds on the VT-like service (paper: 89).
 pub const TOTAL_VENDORS: usize = 89;
+
+/// Sub-seed domain for per-address feed-knowledge draws. Lives in the
+/// workspace-wide `0x5eed_…` family whose uniqueness `malnet-lint`
+/// checks across crates.
+const DOMAIN_VENDOR_ADDR: u64 = 0x5eed_0000_0000_0008;
+
+/// The seed of one address's feed-knowledge RNG stream. Public so the
+/// pipeline's seed-collision audit can enumerate it alongside every
+/// other sub-seed a study draws.
+pub fn vendor_addr_seed(master: u64, addr: &str) -> u64 {
+    sub_seed(master ^ DOMAIN_VENDOR_ADDR, 0, fnv1a(addr.as_bytes()))
+}
 
 /// The top-20 vendors of Table 7 with their per-1000 detection counts.
 pub const TABLE7_VENDORS: [(&str, u32); 20] = [
@@ -88,6 +100,12 @@ pub struct Vendor {
 
 #[derive(Debug, Clone)]
 struct AddrRecord {
+    /// Was the address registered as a DNS name (vs. a hardcoded IP)?
+    is_dns: bool,
+    /// The pipeline's discovery day the record was derived from — the
+    /// earliest registration seen so far. A re-registration with an
+    /// *earlier* day ([`VendorDb::absorb`]) re-derives the record.
+    discovery_day: u32,
     /// First day any feed knows the address; `None` = never.
     known_day: Option<u32>,
     /// Visibility score in (0, 1].
@@ -95,6 +113,15 @@ struct AddrRecord {
     /// Index of the vendor that first reported it (always flags it once
     /// known, regardless of visibility).
     discoverer: usize,
+}
+
+/// One epoch's worth of feed knowledge: every address the epoch
+/// registered, with its earliest local discovery day. The payload of
+/// [`VendorDb::delta`] / [`VendorDb::absorb`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedDelta {
+    /// `(addr, is_dns, discovery_day)` in address order.
+    pub registrations: Vec<(String, bool, u32)>,
 }
 
 /// The result of one query.
@@ -117,12 +144,22 @@ impl Verdict {
 }
 
 /// The vendor database.
-#[derive(Debug)]
+///
+/// Every record is a **pure function of `(seed, addr, is_dns,
+/// discovery_day)`**: each address draws from its own
+/// [`vendor_addr_seed`]-derived generator, never from shared RNG state.
+/// Registration order therefore cannot influence any record, which is
+/// what makes the day-epoch shards mergeable — each epoch accrues
+/// knowledge into its own `VendorDb` and the coordinator folds the
+/// [`FeedDelta`]s back together ([`VendorDb::absorb`]) with
+/// earliest-discovery-day-wins semantics, reproducing the sequential
+/// database exactly regardless of merge order.
+#[derive(Debug, Clone)]
 pub struct VendorDb {
     /// All feeds (89), in fixed order.
     pub vendors: Vec<Vendor>,
     params: FeedParams,
-    rng: StdRng,
+    seed: u64,
     /// Ordered so `canonical_dump` walks addresses in byte order with
     /// no explicit sort.
     records: BTreeMap<String, AddrRecord>,
@@ -164,8 +201,51 @@ impl VendorDb {
         VendorDb {
             vendors,
             params,
-            rng: StdRng::seed_from_u64(seed ^ 0x7e11),
+            seed,
             records: BTreeMap::new(),
+        }
+    }
+
+    /// Derive one address's record from its private RNG stream. The
+    /// draw *sequence* (knowledge coin, day offset, visibility,
+    /// discoverer pick) is fixed; only `discovery_day` shifts where the
+    /// knowledge day lands, so re-deriving with an earlier day keeps
+    /// every other property of the record.
+    fn derive_record(&self, addr: &str, is_dns: bool, discovery_day: u32) -> AddrRecord {
+        let (p_same, p_event) = if is_dns {
+            (self.params.dns_same_day, self.params.dns_eventually)
+        } else {
+            (self.params.ip_same_day, self.params.ip_eventually)
+        };
+        let mut rng = StdRng::seed_from_u64(vendor_addr_seed(self.seed, addr));
+        let u: f64 = rng.gen();
+        let known_day = if u < p_same {
+            // Known before or at discovery.
+            Some(discovery_day.saturating_sub(rng.gen_range(0..30)))
+        } else if u < p_event {
+            // Flagged later with a lag.
+            Some(discovery_day + 1 + rng.gen_range(0..self.params.max_lag_days))
+        } else {
+            None
+        };
+        let visibility = rng.gen_range(0.05f64..1.0);
+        // Coverage-weighted choice of the feed that first reported it.
+        let total: f64 = self.vendors.iter().map(|v| v.coverage).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut discoverer = 0;
+        for (i, v) in self.vendors.iter().enumerate() {
+            if pick < v.coverage {
+                discoverer = i;
+                break;
+            }
+            pick -= v.coverage;
+        }
+        AddrRecord {
+            is_dns,
+            discovery_day,
+            known_day,
+            visibility,
+            discoverer,
         }
     }
 
@@ -176,41 +256,39 @@ impl VendorDb {
         if self.records.contains_key(addr) {
             return;
         }
-        let (p_same, p_event) = if is_dns {
-            (self.params.dns_same_day, self.params.dns_eventually)
-        } else {
-            (self.params.ip_same_day, self.params.ip_eventually)
-        };
-        let u: f64 = self.rng.gen();
-        let known_day = if u < p_same {
-            // Known before or at discovery.
-            Some(discovery_day.saturating_sub(self.rng.gen_range(0..30)))
-        } else if u < p_event {
-            // Flagged later with a lag.
-            Some(discovery_day + 1 + self.rng.gen_range(0..self.params.max_lag_days))
-        } else {
-            None
-        };
-        let visibility = self.rng.gen_range(0.05f64..1.0);
-        // Coverage-weighted choice of the feed that first reported it.
-        let total: f64 = self.vendors.iter().map(|v| v.coverage).sum();
-        let mut pick = self.rng.gen_range(0.0..total);
-        let mut discoverer = 0;
-        for (i, v) in self.vendors.iter().enumerate() {
-            if pick < v.coverage {
-                discoverer = i;
-                break;
-            }
-            pick -= v.coverage;
+        let rec = self.derive_record(addr, is_dns, discovery_day);
+        self.records.insert(addr.to_string(), rec);
+    }
+
+    /// Everything this database learned, as a mergeable delta: the
+    /// registered addresses with their discovery days, in address order.
+    pub fn delta(&self) -> FeedDelta {
+        FeedDelta {
+            registrations: self
+                .records
+                .iter()
+                .map(|(a, r)| (a.clone(), r.is_dns, r.discovery_day))
+                .collect(),
         }
-        self.records.insert(
-            addr.to_string(),
-            AddrRecord {
-                known_day,
-                visibility,
-                discoverer,
-            },
-        );
+    }
+
+    /// Fold another database's [`FeedDelta`] into this one.
+    ///
+    /// Earliest-discovery-day wins: an address already present is
+    /// re-derived only when the delta saw it strictly earlier. Because
+    /// records are pure per address, absorbing any permutation of a set
+    /// of deltas yields the identical database — the property the
+    /// epoch-merge permutation proptest in `malnet-core` pins down.
+    pub fn absorb(&mut self, delta: &FeedDelta) {
+        for (addr, is_dns, day) in &delta.registrations {
+            match self.records.get(addr) {
+                Some(rec) if rec.discovery_day <= *day => {}
+                _ => {
+                    let rec = self.derive_record(addr, *is_dns, *day);
+                    self.records.insert(addr.clone(), rec);
+                }
+            }
+        }
     }
 
     /// A canonical, byte-stable serialization of the vendor state.
@@ -381,6 +459,43 @@ mod tests {
         let v1 = db.query("1.2.3.4", 60);
         db.register("1.2.3.4", false, 55);
         assert_eq!(db.query("1.2.3.4", 60), v1);
+    }
+
+    #[test]
+    fn registration_order_cannot_influence_records() {
+        let mut a = VendorDb::new(7);
+        a.register("1.2.3.4", false, 10);
+        a.register("c2.example.net", true, 20);
+        let mut b = VendorDb::new(7);
+        b.register("c2.example.net", true, 20);
+        b.register("1.2.3.4", false, 10);
+        assert_eq!(a.canonical_dump(), b.canonical_dump());
+    }
+
+    #[test]
+    fn absorb_merges_deltas_with_earliest_day_winning() {
+        // The sequential reference: one db sees every registration in
+        // day order.
+        let mut seq = VendorDb::new(11);
+        seq.register("5.6.7.8", false, 3);
+        seq.register("bot.example.org", true, 5);
+        seq.register("9.9.9.9", false, 8);
+        // Two "epochs" that saw overlapping slices, folded in either
+        // order.
+        let mut e1 = VendorDb::new(11);
+        e1.register("5.6.7.8", false, 3);
+        e1.register("bot.example.org", true, 5);
+        let mut e2 = VendorDb::new(11);
+        e2.register("bot.example.org", true, 9);
+        e2.register("9.9.9.9", false, 8);
+        let mut fwd = VendorDb::new(11);
+        fwd.absorb(&e1.delta());
+        fwd.absorb(&e2.delta());
+        let mut rev = VendorDb::new(11);
+        rev.absorb(&e2.delta());
+        rev.absorb(&e1.delta());
+        assert_eq!(fwd.canonical_dump(), seq.canonical_dump());
+        assert_eq!(rev.canonical_dump(), seq.canonical_dump());
     }
 
     #[test]

@@ -30,6 +30,23 @@ pub fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// FNV-1a over a byte string, yielding a stable 64-bit id.
+///
+/// The pipeline's [`sub_seed`] coordinates are numeric; streams keyed by
+/// a *string* (a C2 address in the liveness oracle, a vendor-feed
+/// record) hash the string through this first. FNV-1a is tiny,
+/// dependency-free, and stable across platforms — collision freedom for
+/// the address sets a study actually draws is checked by the
+/// `sub_seed_domains_never_collide` proptest in `malnet-core`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Derive an independent sub-seed from a master seed and two coordinates
 /// (typically study day and sample id). Used by the pipeline so each
 /// sample's contained sandbox run has its own reproducible randomness,

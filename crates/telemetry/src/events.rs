@@ -517,6 +517,126 @@ pub fn fold_matches_report(summary: &StreamSummary, report: &RunReport) -> Resul
     Ok(())
 }
 
+/// Incremental, stateful fold of a growing `malnet.events` stream —
+/// the engine behind `study_watch --follow`.
+///
+/// The legacy follower re-read and re-folded the entire events file on
+/// every 500 ms poll tick, which is O(n²) work over a study's lifetime
+/// (a day-432 stream was folded hundreds of times per minute near the
+/// end). `StreamTail` consumes only newly appended bytes: feed it
+/// chunks split at **any** boundary — including mid-line; the sink
+/// flushes whole lines, but a reader can still observe a torn tail
+/// between the write and the flush — and it folds exactly the complete
+/// lines, carrying an unterminated tail until its newline arrives.
+///
+/// The fold is the lenient watcher fold, not the strict one: no
+/// structural checks (CI's `--validate` path uses [`validate_stream`]
+/// on the finished file), and the first complete line that fails to
+/// parse poisons the tail — folding stops for good, matching the old
+/// break-on-first-bad-line behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct StreamTail {
+    /// Bytes of an unterminated trailing line, held until its newline.
+    carry: String,
+    summary: StreamSummary,
+    complete: bool,
+    poisoned: bool,
+}
+
+impl StreamTail {
+    /// A fresh tail with nothing folded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the next chunk of the stream. Complete lines fold
+    /// immediately; a trailing partial line is carried (the summary
+    /// does not change) until a later chunk terminates it.
+    pub fn push(&mut self, chunk: &str) {
+        let mut rest = chunk;
+        while let Some(nl) = rest.find('\n') {
+            let (head, tail) = rest.split_at(nl);
+            rest = &tail[1..];
+            if self.carry.is_empty() {
+                self.fold_line(head);
+            } else {
+                let mut line = std::mem::take(&mut self.carry);
+                line.push_str(head);
+                self.fold_line(&line);
+            }
+        }
+        self.carry.push_str(rest);
+    }
+
+    /// Fold the carried partial line, if any, as though it were
+    /// complete. For one-shot reads of a file that does not end in a
+    /// newline; a follower should *not* call this (the next chunk may
+    /// still be coming).
+    pub fn flush_partial(&mut self) {
+        if !self.carry.is_empty() {
+            let line = std::mem::take(&mut self.carry);
+            self.fold_line(&line);
+        }
+    }
+
+    /// The fold so far. Only complete, parsed lines are reflected.
+    pub fn summary(&self) -> &StreamSummary {
+        &self.summary
+    }
+
+    /// Has `stream_end` been folded?
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Did a complete line fail to parse? Once poisoned, further pushes
+    /// are ignored and the summary is frozen at the last good line.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn fold_line(&mut self, line: &str) {
+        if self.poisoned {
+            return;
+        }
+        let Ok(ev) = parse_event_line(line) else {
+            self.poisoned = true;
+            return;
+        };
+        self.summary.events += 1;
+        match ev.kind.as_str() {
+            "stream_end" => self.complete = true,
+            "day_start" => self.summary.days.extend(ev.u64("day")),
+            "heartbeat" => {
+                self.summary.heartbeats += 1;
+                if let Some(done) = ev.u64("samples_completed") {
+                    self.summary.samples_completed = done;
+                }
+            }
+            "counters" => {
+                self.summary.final_counters = ev
+                    .fields
+                    .iter()
+                    .filter_map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
+                    .collect();
+            }
+            "rollup" => {
+                if let Some(key) = ev.key.clone() {
+                    let fields = ev
+                        .fields
+                        .iter()
+                        .filter_map(|(n, v)| v.as_u64().map(|v| (n.clone(), v)))
+                        .collect();
+                    self.summary.rollups.push((key, fields));
+                }
+            }
+            "quarantine" => self.summary.quarantines += 1,
+            "chaos" => self.summary.chaos_events += 1,
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +800,131 @@ mod tests {
         let summary = validate_stream(&sink.contents().unwrap()).unwrap();
         let err = fold_matches_report(&summary, &tel.report()).unwrap_err();
         assert!(err.contains("counters"), "{err}");
+    }
+
+    /// A large synthetic study stream: `days` day blocks, each with a
+    /// heartbeat, rollup, counters snapshot and some lifecycle noise.
+    fn synthetic_stream(days: u64) -> String {
+        let sink = EventSink::in_memory();
+        sink.emit("study_start", None, &[("seed", field_u(7))]);
+        for day in 0..days {
+            sink.emit("day_start", None, &[("day", field_u(day))]);
+            sink.emit("phase_start", None, &[("phase", Field::S("phase_a"))]);
+            sink.emit("phase_end", None, &[("phase", Field::S("phase_a"))]);
+            if day % 5 == 0 {
+                sink.emit(
+                    "quarantine",
+                    None,
+                    &[("sha256", Field::S("feed\"back")), ("day", field_u(day))],
+                );
+            }
+            if day % 7 == 0 {
+                sink.emit(
+                    "chaos",
+                    None,
+                    &[("day", field_u(day)), ("kind", Field::S("c2_downtime"))],
+                );
+            }
+            sink.emit(
+                "rollup",
+                Some("day"),
+                &[("day", field_u(day)), ("samples", field_u(day % 9))],
+            );
+            sink.emit(
+                "heartbeat",
+                None,
+                &[
+                    ("day", field_u(day)),
+                    ("samples_completed", field_u(day * 3)),
+                ],
+            );
+            sink.emit(
+                "counters",
+                None,
+                &[
+                    ("pipeline.samples_analyzed", field_u(day * 3)),
+                    ("sandbox.instructions_retired", field_u(day * 1_000_001)),
+                ],
+            );
+        }
+        sink.finish();
+        sink.contents().unwrap()
+    }
+
+    /// The stateful tail must produce the same fold as a single batch
+    /// push, no matter how the byte stream is chunked — including
+    /// chunks that tear lines mid-JSON. This is the regression test for
+    /// the `study_watch --follow` O(n²) re-fold fix: the follower now
+    /// feeds only appended bytes through this incremental path.
+    #[test]
+    fn stream_tail_fold_is_chunking_invariant() {
+        let text = synthetic_stream(400);
+        assert!(text.len() > 100_000, "stream not large: {}", text.len());
+        let mut batch = StreamTail::new();
+        batch.push(&text);
+        assert!(batch.is_complete());
+        assert!(!batch.is_poisoned());
+        assert_eq!(batch.summary().days.len(), 400);
+
+        // The stream is ASCII JSON, so any byte split is a char split.
+        for chunk in [1usize, 3, 7, 64, 509, 4096] {
+            let mut tail = StreamTail::new();
+            for part in text.as_bytes().chunks(chunk) {
+                tail.push(std::str::from_utf8(part).unwrap());
+            }
+            assert_eq!(tail.summary(), batch.summary(), "chunk size {chunk}");
+            assert!(tail.is_complete(), "chunk size {chunk}");
+            assert!(!tail.is_poisoned(), "chunk size {chunk}");
+        }
+
+        // And the batch fold agrees with the strict validator's.
+        let strict = validate_stream(&text).expect("valid");
+        assert_eq!(batch.summary(), &strict);
+    }
+
+    /// A flushed-but-torn trailing line must not perturb the fold: the
+    /// summary is frozen until the line's newline arrives, then the
+    /// line folds exactly once.
+    #[test]
+    fn stream_tail_carries_partial_lines() {
+        let text = synthetic_stream(10);
+        let lines: Vec<&str> = text.lines().collect();
+        let mut tail = StreamTail::new();
+        let head = lines[..3].join("\n");
+        tail.push(&head);
+        tail.push("\n");
+        let folded = tail.summary().clone();
+        // Push half of the next line: nothing may change.
+        let (torn_a, torn_b) = lines[3].split_at(lines[3].len() / 2);
+        tail.push(torn_a);
+        assert_eq!(tail.summary(), &folded, "torn line leaked into the fold");
+        // Terminating it folds the line exactly once.
+        tail.push(torn_b);
+        tail.push("\n");
+        assert_eq!(tail.summary().events, folded.events + 1);
+        // A one-shot reader may force the carry out instead.
+        let mut oneshot = StreamTail::new();
+        oneshot.push(lines[0]);
+        assert_eq!(oneshot.summary().events, 0);
+        oneshot.flush_partial();
+        assert_eq!(oneshot.summary().events, 1);
+    }
+
+    /// A complete line that does not parse poisons the tail: the fold
+    /// freezes at the last good line (the legacy watcher's
+    /// break-on-first-bad-line semantics, made permanent).
+    #[test]
+    fn stream_tail_poisons_on_garbage() {
+        let text = synthetic_stream(4);
+        let mut tail = StreamTail::new();
+        tail.push(&text);
+        let good = tail.summary().clone();
+        let mut poisoned = StreamTail::new();
+        poisoned.push(&text);
+        poisoned.push("not json at all\n");
+        poisoned.push(&text);
+        assert!(poisoned.is_poisoned());
+        assert_eq!(poisoned.summary(), &good, "post-poison lines folded");
     }
 
     #[test]
